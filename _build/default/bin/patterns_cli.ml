@@ -1,0 +1,328 @@
+(* Command-line interface to the library: run protocols, enumerate
+   schemes, classify against the taxonomy, and verify the lattice. *)
+
+open Cmdliner
+open Patterns_sim
+open Patterns_core
+
+let find_protocol name =
+  match Patterns_protocols.Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (Printf.sprintf "unknown protocol %S; try one of: %s" name
+         (String.concat ", " (Patterns_protocols.Registry.names ())))
+
+let parse_inputs n = function
+  | None -> Ok (List.init n (fun _ -> true))
+  | Some s ->
+    if String.length s <> n then
+      Error (Printf.sprintf "--inputs needs exactly %d bits, got %S" n s)
+    else
+      Ok (List.init n (fun i -> s.[i] = '1'))
+
+let rule_of_registry entry =
+  (* the broadcast protocol uses the Broadcast rule; the standalone
+     termination protocol computes threshold-1; everything else is
+     unanimity *)
+  let open Patterns_protocols in
+  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
+  else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
+  else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
+  else Decision_rule.Unanimity
+
+(* ----- list ----- *)
+
+let list_cmd =
+  let doc = "List the available protocols." in
+  let run () =
+    let table =
+      Patterns_stdx.Table.create
+        ~headers:
+          [ ("name", Patterns_stdx.Table.Left); ("n", Patterns_stdx.Table.Right);
+            ("description", Patterns_stdx.Table.Left) ]
+    in
+    List.iter
+      (fun e ->
+        Patterns_stdx.Table.add_row table
+          [
+            e.Patterns_protocols.Registry.name;
+            (string_of_int e.Patterns_protocols.Registry.default_n
+            ^ if e.Patterns_protocols.Registry.fixed_n then "" else "+");
+            e.Patterns_protocols.Registry.describe;
+          ])
+      Patterns_protocols.Registry.all;
+    Patterns_stdx.Table.print table
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ----- shared arguments ----- *)
+
+let protocol_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROTOCOL" ~doc:"Protocol name (see $(b,list)).")
+
+let n_arg =
+  Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc:"Number of processors.")
+
+let inputs_arg =
+  Arg.(value & opt (some string) None
+       & info [ "inputs" ] ~docv:"BITS" ~doc:"Initial bits, e.g. 1101. Default: all ones.")
+
+let seed_arg =
+  Arg.(value & opt (some int) None
+       & info [ "seed" ] ~docv:"SEED" ~doc:"Random fair scheduler with this seed (default: deterministic FIFO).")
+
+let fifo_notices_arg =
+  Arg.(value & flag
+       & info [ "fifo-notices" ]
+         ~doc:"Fail-stop delivery discipline: a failure notice arrives only after all of the \
+               failed sender's messages (the paper's default leaves them unordered).")
+
+let failures_arg =
+  Arg.(value & opt_all (pair ~sep:':' int int) []
+       & info [ "fail" ] ~docv:"STEP:PROC" ~doc:"Fail-stop processor PROC at global step STEP (repeatable).")
+
+let resolve_n entry n =
+  let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+  let n = Option.value n ~default:entry.Patterns_protocols.Registry.default_n in
+  if P.valid_n n then Ok n
+  else Error (Printf.sprintf "%s does not support n = %d" P.name n)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
+
+(* ----- run ----- *)
+
+let run_cmd =
+  let doc = "Run a protocol and print its trace, decisions and checks." in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the trace as CSV instead of the report.")
+  in
+  let run name n inputs seed failures csv fifo_notices =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let inputs = or_die (parse_inputs n inputs) in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module E = Engine.Make (P) in
+    let scheduler =
+      match seed with
+      | None -> E.fifo_scheduler
+      | Some seed -> E.random_scheduler (Patterns_stdx.Prng.create ~seed)
+    in
+    let r = E.run ~failures ~fifo_notices ~scheduler ~n ~inputs () in
+    if csv then begin
+      print_string (Trace.to_csv ~pp_msg:P.pp_msg r.E.trace);
+      exit 0
+    end;
+    Format.printf "%a@." (Trace.pp ~pp_msg:P.pp_msg) r.E.trace;
+    Format.printf "@.steps=%d messages=%d quiescent=%b@." r.E.steps
+      (Trace.message_count r.E.trace) r.E.quiescent;
+    List.iter
+      (fun p ->
+        Format.printf "%a: %a%s@." Proc_id.pp p Status.pp (E.status_of r.E.final p)
+          (if E.is_failed r.E.final p then " (failed)" else ""))
+      (Proc_id.all ~n);
+    let rule = rule_of_registry entry in
+    let verdict name = function
+      | Ok () -> Format.printf "%-26s ok@." name
+      | Error e -> Format.printf "%-26s VIOLATED: %s@." name e
+    in
+    Format.printf "@.";
+    verdict "total consistency" (Check.total_consistency r.E.trace);
+    verdict "interactive consistency" (Check.interactive_consistency r.E.trace);
+    verdict "decision rule" (Check.decision_rule rule ~inputs r.E.trace)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ inputs_arg $ seed_arg $ failures_arg $ csv_arg
+      $ fifo_notices_arg)
+
+(* ----- scheme ----- *)
+
+let scheme_cmd =
+  let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
+  let run name n =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module S = Patterns_pattern.Scheme.Make (P) in
+    let pats, stats = S.scheme ~n () in
+    Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
+      Patterns_pattern.Scheme.pp_scheme pats
+  in
+  Cmd.v (Cmd.info "scheme" ~doc) Term.(const run $ protocol_arg $ n_arg)
+
+(* ----- dot ----- *)
+
+let dot_cmd =
+  let doc = "Print the communication pattern of a fair run as Graphviz DOT." in
+  let run name n inputs =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let inputs = or_die (parse_inputs n inputs) in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module E = Engine.Make (P) in
+    let r = E.run ~scheduler:E.fifo_scheduler ~n ~inputs () in
+    print_string
+      (Patterns_stdx.Dot.to_string
+         (Patterns_pattern.Render.trace_to_dot ~name:P.name r.E.trace))
+  in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ protocol_arg $ n_arg $ inputs_arg)
+
+(* ----- msc ----- *)
+
+let msc_cmd =
+  let doc = "Space-time (lane) diagram of a run." in
+  let run name n inputs seed failures =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let inputs = or_die (parse_inputs n inputs) in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module E = Engine.Make (P) in
+    let scheduler =
+      match seed with
+      | None -> E.fifo_scheduler
+      | Some seed -> E.random_scheduler (Patterns_stdx.Prng.create ~seed)
+    in
+    let r = E.run ~failures ~scheduler ~n ~inputs () in
+    print_string (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+  in
+  Cmd.v (Cmd.info "msc" ~doc)
+    Term.(const run $ protocol_arg $ n_arg $ inputs_arg $ seed_arg $ failures_arg)
+
+(* ----- check ----- *)
+
+let check_cmd =
+  let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
+  let max_failures_arg =
+    Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"F" ~doc:"Failures injected per execution.")
+  in
+  let max_configs_arg =
+    Arg.(value & opt int 400_000 & info [ "max-configs" ] ~docv:"K" ~doc:"Exploration budget.")
+  in
+  let run name n max_failures max_configs fifo_notices =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let rule = rule_of_registry entry in
+    let v =
+      Classify.classify ~max_failures ~max_configs ~fifo_notices ~rule ~n
+        entry.Patterns_protocols.Registry.protocol
+    in
+    Format.printf "%a@." Classify.pp v;
+    List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg)
+
+(* ----- reduce ----- *)
+
+let reduce_cmd =
+  let doc = "Compare the schemes of two protocols (the reducibility ingredient)." in
+  let second_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"PROTOCOL2" ~doc:"Second protocol.")
+  in
+  let run name1 name2 n =
+    let e1 = or_die (find_protocol name1) in
+    let e2 = or_die (find_protocol name2) in
+    let n = Option.value n ~default:e1.Patterns_protocols.Registry.default_n in
+    let rel, left, right =
+      Patterns_pattern.Reduce.compare_protocols ~n e1.Patterns_protocols.Registry.protocol
+        e2.Patterns_protocols.Registry.protocol
+    in
+    Format.printf "%s: %d patterns; %s: %d patterns@." name1
+      (Patterns_pattern.Pattern.Set.cardinal left) name2
+      (Patterns_pattern.Pattern.Set.cardinal right);
+    Format.printf "@[<v>%a@]@." Patterns_pattern.Reduce.pp_relationship rel
+  in
+  Cmd.v (Cmd.info "reduce" ~doc) Term.(const run $ protocol_arg $ second_arg $ n_arg)
+
+(* ----- latency ----- *)
+
+let latency_cmd =
+  let doc = "Simulated latency of a fair run under a seeded delay model." in
+  let run name n inputs seed =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let inputs = or_die (parse_inputs n inputs) in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module E = Engine.Make (P) in
+    let r = E.run ~scheduler:E.fifo_scheduler ~n ~inputs () in
+    let seed = Option.value seed ~default:42 in
+    let model = Patterns_pattern.Latency.Uniform { lo = 5.0; hi = 15.0 } in
+    let t = Patterns_pattern.Latency.evaluate ~seed ~model ~n r.E.trace in
+    Format.printf "critical path (pattern height): %d hops@."
+      (Patterns_pattern.Latency.critical_path_bound r.E.trace);
+    Format.printf "completion under U(5,15) delays, unit step cost: %.1f@."
+      t.Patterns_pattern.Latency.completion;
+    List.iter
+      (fun (p, when_) -> Format.printf "  %a decides at %.1f@." Proc_id.pp p when_)
+      (Patterns_pattern.Latency.decision_times ~seed ~model ~n r.E.trace)
+  in
+  Cmd.v (Cmd.info "latency" ~doc) Term.(const run $ protocol_arg $ n_arg $ inputs_arg $ seed_arg)
+
+(* ----- hunt ----- *)
+
+let hunt_cmd =
+  let doc = "Search randomized crash schedules for a property violation." in
+  let property_arg =
+    let prop_conv =
+      Arg.enum
+        [ ("tc", Audit.TC); ("ic", Audit.IC); ("agreement", Audit.Agreement); ("wt", Audit.WT);
+          ("rule", Audit.Rule) ]
+    in
+    Arg.(value & opt prop_conv Audit.TC & info [ "property" ] ~docv:"PROP"
+         ~doc:"Property to attack: tc, ic, agreement, wt or rule.")
+  in
+  let crashes_arg =
+    Arg.(value & opt int 2 & info [ "crashes" ] ~docv:"F" ~doc:"Crashes per run.")
+  in
+  let runs_arg =
+    Arg.(value & opt int 5000 & info [ "runs" ] ~docv:"K" ~doc:"Run budget.")
+  in
+  let run name n property crashes runs seed fifo_notices =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let rule = rule_of_registry entry in
+    let seed = Option.value seed ~default:1984 in
+    match
+      Audit.hunt ~max_failures:crashes ~max_runs:runs ~fifo_notices ~property ~rule ~n ~seed
+        entry.Patterns_protocols.Registry.protocol
+    with
+    | Ok report -> print_endline report
+    | Error tried -> Printf.printf "no violation found in %d runs\n" tried
+  in
+  Cmd.v (Cmd.info "hunt" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
+      $ fifo_notices_arg)
+
+(* ----- lattice / theorems ----- *)
+
+let lattice_cmd =
+  let doc = "Verify and print the paper's six-problem lattice." in
+  let run () =
+    let evidences = Theorems.all () in
+    Format.printf "%a@." Lattice.pp_verified (Lattice.verify evidences)
+  in
+  Cmd.v (Cmd.info "lattice" ~doc) Term.(const run $ const ())
+
+let theorems_cmd =
+  let doc = "Replay the executable witnesses for the paper's theorems." in
+  let run () =
+    List.iter (fun e -> Format.printf "%a@.@." Theorems.pp_evidence e) (Theorems.all ())
+  in
+  Cmd.v (Cmd.info "theorems" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "Patterns of Communication in Consensus Protocols (Dwork & Skeen, PODC 1984)" in
+  let info = Cmd.info "patterns-cli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; scheme_cmd; dot_cmd; msc_cmd; check_cmd; reduce_cmd; latency_cmd;
+            hunt_cmd; lattice_cmd; theorems_cmd ]))

@@ -1,0 +1,1 @@
+examples/amnesia.ml: Check Engine Format Patterns_core Patterns_pattern Patterns_protocols Patterns_sim Protocol Theorems

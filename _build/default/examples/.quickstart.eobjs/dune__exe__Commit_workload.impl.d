@@ -1,0 +1,1 @@
+examples/commit_workload.ml: Decision Engine Format List Patterns_pattern Patterns_protocols Patterns_sim Patterns_stdx Printf Protocol Table Trace

@@ -1,0 +1,1 @@
+examples/failure_drill.ml: Check Engine Format List Patterns_core Patterns_protocols Patterns_sim Proc_id Protocol Result Theorems Trace

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check Engine Format Pattern Patterns_core Patterns_pattern Patterns_protocols Patterns_sim Patterns_stdx Render

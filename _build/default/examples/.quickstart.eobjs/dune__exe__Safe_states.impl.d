@@ -1,0 +1,1 @@
+examples/safe_states.ml: Explore Format Int List Listx Patterns_core Patterns_protocols Patterns_sim Patterns_stdx Table

@@ -1,0 +1,1 @@
+examples/scheme_explorer.ml: Format List Pattern Patterns_pattern Patterns_protocols Patterns_sim Protocol Scheme

@@ -1,0 +1,52 @@
+(* Strong termination and the price of forgetting.
+
+   Strong termination lets a processor forget its decision value once
+   made (the amnesic state), keeping only "a decision happened".  The
+   paper's Theorem 13 shows this is a real constraint: the chain
+   protocol's single pattern works for WT-IC but no ST-IC protocol can
+   realize it.  Watch the failure mode in space-time.
+
+     dune exec examples/amnesia.exe *)
+
+open Patterns_sim
+open Patterns_core
+
+let run_scenario (module P : Protocol.S) title =
+  let module E = Engine.Make (P) in
+  let c = E.init ~n:4 ~inputs:[ true; true; true; true ] in
+  (* the Theorem 13 schedule: votes in; p0 decides, forwards to p1 and
+     (in the ST variant) forgets; p1 and p3 crash before the decision
+     reaches p2; p2 can only ask p0 *)
+  let directives =
+    [ E.Step_of 1; E.Step_of 2; E.Step_of 3;
+      E.Deliver_from (0, 1); E.Deliver_from (0, 2); E.Deliver_from (0, 3);
+      E.Drain 0;
+      E.Fail_now 1; E.Fail_now 3;
+      E.Deliver_note (2, 1); E.Drain 2; E.Deliver_note (2, 3);
+      E.Deliver_note (0, 1); E.Drain 0;
+      E.Deliver_from (2, 0); E.Drain 2; E.Flush_fifo ]
+  in
+  match E.play c directives with
+  | Error e -> Format.printf "%s: replay failed (%s)@." title e
+  | Ok (_, trace) ->
+    Format.printf "@.== %s ==@.%s@." title (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n:4 trace);
+    (match Check.nonfaulty_agreement trace with
+    | Ok () -> Format.printf "nonfaulty deciders agree@."
+    | Error m -> Format.printf "!!! %s@." m)
+
+let () =
+  print_endline
+    "Theorem 13's scenario on the chain protocol, with and without amnesia.\n\
+     All inputs are 1; p1 and p3 crash before p0's decision reaches p2.";
+  run_scenario Patterns_protocols.Chain_proto.fig3 "weak termination: p0 remembers and helps";
+  run_scenario Patterns_protocols.Chain_proto.fig3_amnesic
+    "strong termination: p0 has forgotten";
+  print_endline
+    "\nWith weak termination, p0 joins p2's termination run carrying its committable\n\
+     bias and p2 commits consistently.  The amnesic p0 can only announce that it has\n\
+     forgotten; p2's termination run aborts while the nonfaulty p0 decided commit —\n\
+     the inconsistency that proves WT-IC < ST-IC.";
+  (* Corollary 11: amnesia is compatible with total consistency if the
+     protocol shares its bias before deciding *)
+  let e = Theorems.corollary11 () in
+  Format.printf "@.%a@." Theorems.pp_evidence e

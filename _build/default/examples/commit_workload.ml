@@ -1,0 +1,126 @@
+(* Transaction commitment workload: the paper's motivating setting.
+
+   A set of banks must atomically commit a batch of transfers.  We run
+   the same workload through four commitment protocols and compare
+   message cost, latency (engine steps), and what happens when the
+   coordinator crashes at the worst moment — the price of total
+   consistency made concrete.
+
+     dune exec examples/commit_workload.exe *)
+
+open Patterns_sim
+open Patterns_stdx
+
+type row = {
+  protocol : string;
+  messages : int;
+  hops : int;  (* pattern height: sequential network hops on the critical path *)
+  latency : float;  (* simulated completion under U(5,15) delays *)
+  survivors_outcome : string;
+  dead_commit_conflict : bool;  (* a failed processor committed while survivors aborted *)
+}
+
+(* run one commitment with the coordinator/root crashing right after
+   it first decides (the classic window) *)
+let crash_after_first_decision (module P : Protocol.S) ~n ~inputs =
+  let module E = Engine.Make (P) in
+  (* find the step at which the first decision happens under the fair
+     scheduler, then re-run failing the decider at that instant *)
+  let probe = E.run ~scheduler:E.fifo_scheduler ~n ~inputs () in
+  match
+    List.find_map
+      (function Trace.Decided { step; proc; _ } -> Some (step, proc) | _ -> None)
+      probe.E.trace
+  with
+  | None -> None
+  | Some (step, proc) ->
+    let r = E.run ~scheduler:E.fifo_scheduler ~failures:[ (step + 1, proc) ] ~n ~inputs () in
+    let decisions = Trace.decisions r.E.trace in
+    let dead = Trace.failures r.E.trace in
+    let survivors = List.filter (fun (p, _) -> not (List.mem p dead)) decisions in
+    let dead_decisions = List.filter (fun (p, _) -> List.mem p dead) decisions in
+    let conflict =
+      List.exists
+        (fun (_, d) ->
+          List.exists (fun (_, d') -> not (Decision.equal d d')) survivors)
+        dead_decisions
+    in
+    let outcome =
+      match survivors with
+      | [] -> "none"
+      | (_, d) :: _
+        when List.for_all (fun (_, d') -> Decision.equal d d') survivors ->
+        Decision.to_string d
+      | _ -> "MIXED"
+    in
+    Some (outcome, conflict)
+
+let measure name (module P : Protocol.S) ~n =
+  let module E = Engine.Make (P) in
+  let inputs = List.init n (fun _ -> true) in
+  let happy = E.run ~scheduler:E.fifo_scheduler ~n ~inputs () in
+  let survivors_outcome, dead_commit_conflict =
+    match crash_after_first_decision (module P) ~n ~inputs with
+    | Some (o, c) -> (o, c)
+    | None -> ("-", false)
+  in
+  let latency =
+    (Patterns_pattern.Latency.evaluate ~seed:42
+       ~model:(Patterns_pattern.Latency.Uniform { lo = 5.0; hi = 15.0 })
+       ~n happy.E.trace)
+      .Patterns_pattern.Latency.completion
+  in
+  {
+    protocol = name;
+    messages = Trace.message_count happy.E.trace;
+    hops = Patterns_pattern.Latency.critical_path_bound happy.E.trace;
+    latency;
+    survivors_outcome;
+    dead_commit_conflict;
+  }
+
+let () =
+  let n = 5 in
+  Format.printf "Atomic commitment across %d banks, all voting yes.@." n;
+  Format.printf "Crash model: the first decider fail-stops immediately after deciding.@.@." ;
+  let rows =
+    [
+      measure "2pc" Patterns_protocols.Two_phase_commit.default ~n;
+      measure "d2pc" Patterns_protocols.Decentralized_commit.default ~n;
+      measure "tree-2pc [ML]" (Patterns_protocols.Tree_commit.star n) ~n;
+      measure "3pc (star tree)" (Patterns_protocols.Tree_proto.three_phase_commit n) ~n;
+      measure "fig1 tree (n=7)" Patterns_protocols.Tree_proto.fig1 ~n:7;
+    ]
+  in
+  let table =
+    Table.create
+      ~headers:
+        [
+          ("protocol", Table.Left);
+          ("msgs (happy)", Table.Right);
+          ("hops", Table.Right);
+          ("latency", Table.Right);
+          ("survivors decide", Table.Left);
+          ("dead-commit conflict", Table.Left);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.protocol;
+          string_of_int r.messages;
+          string_of_int r.hops;
+          Printf.sprintf "%.0f" r.latency;
+          r.survivors_outcome;
+          (if r.dead_commit_conflict then "YES (total consistency lost)" else "no");
+        ])
+    rows;
+  Table.print table;
+  print_newline ();
+  print_endline
+    "2PC pays the fewest messages but a coordinator crash after its decision leaves\n\
+     the survivors to abort against a committed (dead) coordinator — exactly the\n\
+     total-consistency violation Corollary 6 predicts for protocols that decide\n\
+     before sharing their bias.  The tree/3PC family spends an extra round trip\n\
+     (bias + acks) and keeps total consistency."

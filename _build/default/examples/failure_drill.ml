@@ -1,0 +1,59 @@
+(* Failure drill: fail every processor at every point of a 3PC run and
+   watch the Appendix termination protocol recover, then show the one
+   schedule where classic 2PC loses total consistency.
+
+     dune exec examples/failure_drill.exe *)
+
+open Patterns_sim
+open Patterns_core
+
+let drill (module P : Protocol.S) ~n ~inputs =
+  let module E = Engine.Make (P) in
+  (* reference run to learn its length *)
+  let reference = E.run ~scheduler:E.fifo_scheduler ~n ~inputs () in
+  let horizon = reference.E.steps in
+  let outcomes = ref [] in
+  for victim = 0 to n - 1 do
+    for step = 0 to horizon do
+      let r = E.run ~scheduler:E.fifo_scheduler ~failures:[ (step, victim) ] ~n ~inputs () in
+      let tc = Result.is_ok (Check.total_consistency r.E.trace) in
+      let ic = Result.is_ok (Check.interactive_consistency r.E.trace) in
+      let failed = Trace.failures r.E.trace in
+      let survivors_decided =
+        List.for_all
+          (fun p ->
+            List.mem p failed || List.mem_assoc p (Trace.decisions r.E.trace))
+          (Proc_id.all ~n)
+      in
+      outcomes := (victim, step, tc, ic, survivors_decided, r.E.quiescent) :: !outcomes
+    done
+  done;
+  List.rev !outcomes
+
+let summarize name outcomes =
+  let total = List.length outcomes in
+  let count f = List.length (List.filter f outcomes) in
+  Format.printf "%-18s %4d crash points: TC kept %d/%d, IC kept %d/%d, survivors decided %d/%d@."
+    name total
+    (count (fun (_, _, tc, _, _, _) -> tc))
+    total
+    (count (fun (_, _, _, ic, _, _) -> ic))
+    total
+    (count (fun (_, _, _, _, dec, q) -> dec && q))
+    total
+
+let () =
+  let n = 4 in
+  let inputs = List.init n (fun _ -> true) in
+  Format.printf "Failing each of the %d processors at every step of a fair run (all-yes inputs):@.@." n;
+  summarize "3pc (tree/star)" (drill (Patterns_protocols.Tree_proto.three_phase_commit n) ~n ~inputs);
+  summarize "2pc" (drill Patterns_protocols.Two_phase_commit.default ~n ~inputs);
+  summarize "fig2 central" (drill Patterns_protocols.Central_proto.fig2 ~n ~inputs);
+  summarize "chain (fig3)" (drill Patterns_protocols.Chain_proto.fig3 ~n ~inputs);
+
+  Format.printf
+    "@.Every protocol keeps interactive consistency and lets the survivors decide@.\
+     (the termination protocol at work); only the tree family also keeps total@.\
+     consistency at every crash point.  The scripted worst case for 2PC/fig2:@.@.";
+  let e = Theorems.theorem8_converse () in
+  Format.printf "%a@." Theorems.pp_evidence e

@@ -1,0 +1,44 @@
+(* Quickstart: run a consensus protocol, look at its execution, extract
+   its communication pattern, and check the taxonomy's properties.
+
+     dune exec examples/quickstart.exe *)
+
+open Patterns_sim
+open Patterns_pattern
+open Patterns_core
+
+let () =
+  (* pick a protocol from the registry: classic two-phase commit *)
+  let (module P) = Patterns_protocols.Two_phase_commit.default in
+  let module E = Engine.Make (P) in
+
+  (* run it on 4 processors that all vote yes, under a deterministic
+     fair scheduler *)
+  let result = E.run ~scheduler:E.fifo_scheduler ~n:4 ~inputs:[ true; true; true; true ] () in
+
+  print_endline "=== execution trace ===";
+  print_string (Render.msc ~pp_msg:P.pp_msg result.E.trace);
+
+  (* the communication pattern: the paper's happens-before order on
+     message triples (p, q, k) *)
+  let pattern = Pattern.of_trace result.E.trace in
+  print_endline "\n=== communication pattern ===";
+  Format.printf "%a@." Pattern.pp pattern;
+  Format.printf "width (max concurrent messages) = %d, height (longest causal chain) = %d@."
+    (Pattern.width pattern) (Pattern.height pattern);
+
+  (* consistency checks from the taxonomy *)
+  print_endline "\n=== checks ===";
+  let report name = function
+    | Ok () -> Format.printf "%-28s ok@." name
+    | Error e -> Format.printf "%-28s VIOLATED: %s@." name e
+  in
+  report "total consistency" (Check.total_consistency result.E.trace);
+  report "interactive consistency" (Check.interactive_consistency result.E.trace);
+  report "validity (unanimity)"
+    (Check.validity Patterns_protocols.Decision_rule.Unanimity
+       ~inputs:[ true; true; true; true ] result.E.trace);
+
+  (* and the same protocol as a Graphviz graph, ready for dot -Tpng *)
+  print_endline "\n=== pattern as DOT ===";
+  print_string (Patterns_stdx.Dot.to_string (Render.pattern_to_dot pattern))

@@ -1,0 +1,51 @@
+(* Scheme explorer: enumerate the communication patterns of the
+   paper's four figure protocols, exactly as the reducibility theory
+   consumes them.
+
+     dune exec examples/scheme_explorer.exe *)
+
+open Patterns_pattern
+open Patterns_sim
+
+let scheme_of (module P : Protocol.S) ~n =
+  let module S = Scheme.Make (P) in
+  S.scheme ~n ()
+
+let describe name (module P : Protocol.S) ~n =
+  let pats, stats = scheme_of (module P) ~n in
+  Format.printf "@.== %s (n=%d) ==@." name n;
+  Format.printf "scheme: %d pattern(s)  [%a]@." (Pattern.Set.cardinal pats) Scheme.pp_stats stats;
+  List.iteri
+    (fun i p ->
+      Format.printf "  pattern %d: %d messages, width %d, height %d, %d linearizations@."
+        (i + 1) (Pattern.message_count p) (Pattern.width p) (Pattern.height p)
+        (List.length (Pattern.delivery_orders p)))
+    (Pattern.Set.elements pats);
+  pats
+
+let () =
+  print_endline "Enumerating schemes (all failure-free executions, all input vectors).";
+
+  let fig3 = describe "fig3 chain (WT-IC)" Patterns_protocols.Chain_proto.fig3 ~n:4 in
+  let fig4 = describe "fig4 perverse (WT-TC)" Patterns_protocols.Perverse_proto.fig4 ~n:4 in
+  let fig4st = describe "fig4 amnesic ST attempt" Patterns_protocols.Perverse_proto.fig4_amnesic ~n:4 in
+  let _fig2 = describe "fig2 central (HT-IC)" Patterns_protocols.Central_proto.fig2 ~n:4 in
+  let fig1 = describe "fig1 tree (WT-TC)" Patterns_protocols.Tree_proto.fig1 ~n:7 in
+
+  Format.printf "@.== reducibility ingredients ==@.";
+  Format.printf "fig3's scheme is a single pattern: %b@." (Pattern.Set.cardinal fig3 = 1);
+  Format.printf "fig4 amnesic scheme equals fig4's: %b (Theorem 13: it cannot)@."
+    (Scheme.equal_schemes fig4 fig4st);
+  Format.printf "fig4 amnesic scheme contains fig4's: %b@." (Scheme.subscheme fig4 fig4st);
+
+  (* the lone-abort pattern of Theorem 8: our p3 is the paper's p4 *)
+  let lone =
+    Pattern.Set.exists
+      (fun p ->
+        List.length (Pattern.messages_of_proc p 3) = 1 && List.mem 3 (Pattern.received_none p ~n:7))
+      fig1
+  in
+  Format.printf "fig1 scheme contains the lone-abort pattern of Theorem 8: %b@." lone;
+
+  (* show the four fig4 patterns in full *)
+  Format.printf "@.== the four patterns of Figure 4 ==@.%a@." Scheme.pp_scheme fig4

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Check Engine Format List Patterns_pattern Patterns_sim Patterns_stdx Printf Prng Protocol String Trace

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Decision_rule Format Patterns_protocols Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Decision Decision_rule Format List Patterns_protocols Patterns_sim Proc_id Status Trace

@@ -1,0 +1,1 @@
+lib/core/check.mli: Decision Decision_rule Patterns_protocols Patterns_sim Status Trace

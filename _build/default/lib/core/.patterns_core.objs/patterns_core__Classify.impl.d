@@ -1,0 +1,1 @@
+lib/core/classify.ml: Explore Format Fun List Option Patterns_sim Protocol Taxonomy

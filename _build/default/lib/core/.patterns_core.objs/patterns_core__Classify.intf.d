@@ -1,0 +1,1 @@
+lib/core/classify.mli: Decision_rule Format Patterns_protocols Patterns_sim Protocol Taxonomy

@@ -1,0 +1,1 @@
+lib/core/concurrency.ml: Array Engine Format List Listx Map Patterns_sim Patterns_stdx Proc_id Protocol Set Stats Stdlib

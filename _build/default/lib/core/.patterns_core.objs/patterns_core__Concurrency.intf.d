@@ -1,0 +1,1 @@
+lib/core/concurrency.mli: Engine Format Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Decision Engine Format Fun List Listx Map Option Patterns_protocols Patterns_sim Patterns_stdx Proc_id Protocol Set Status Stdlib String Trace

@@ -1,0 +1,1 @@
+lib/core/explore.mli: Decision Engine Format Patterns_protocols Patterns_sim Protocol

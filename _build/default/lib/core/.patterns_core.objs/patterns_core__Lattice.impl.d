@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Format List String Taxonomy Theorems

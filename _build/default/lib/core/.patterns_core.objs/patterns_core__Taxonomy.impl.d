@@ -1,0 +1,1 @@
+lib/core/taxonomy.ml: Decision_rule Format Patterns_protocols

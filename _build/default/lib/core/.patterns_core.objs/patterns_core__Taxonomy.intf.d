@@ -1,0 +1,1 @@
+lib/core/taxonomy.mli: Decision_rule Format Patterns_protocols

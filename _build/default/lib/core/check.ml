@@ -1,0 +1,149 @@
+open Patterns_sim
+open Patterns_protocols
+
+type verdict = (unit, string) result
+
+let proc_count trace =
+  List.fold_left (fun acc e -> max acc (Trace.proc_of e + 1)) 0 trace
+
+let total_consistency trace =
+  let rec scan first = function
+    | [] -> Ok ()
+    | Trace.Decided { proc; decision; step } :: tl -> (
+      match first with
+      | None -> scan (Some (proc, decision)) tl
+      | Some (p0, d0) ->
+        if Decision.equal d0 decision then scan first tl
+        else
+          Error
+            (Format.asprintf
+               "total consistency violated: %a decided %a but %a decided %a (step %d)" Proc_id.pp
+               p0 Decision.pp d0 Proc_id.pp proc Decision.pp decision step))
+    | _ :: tl -> scan first tl
+  in
+  scan None trace
+
+let interactive_consistency trace =
+  let n = proc_count trace in
+  let decisions = Array.make n None in
+  let failed = Array.make n false in
+  let check step =
+    let conflict = ref (Ok ()) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        match (decisions.(i), decisions.(j)) with
+        | Some di, Some dj when (not failed.(i)) && (not failed.(j)) && not (Decision.equal di dj)
+          ->
+          conflict :=
+            Error
+              (Format.asprintf
+                 "interactive consistency violated at step %d: operational %a in %a vs %a in %a"
+                 step Proc_id.pp i Decision.pp di Proc_id.pp j Decision.pp dj)
+        | _ -> ()
+      done
+    done;
+    !conflict
+  in
+  let rec scan = function
+    | [] -> Ok ()
+    | e :: tl -> (
+      (match e with
+      | Trace.Decided { proc; decision; _ } -> decisions.(proc) <- Some decision
+      | Trace.Became_amnesic { proc; _ } -> decisions.(proc) <- None
+      | Trace.Failed_proc { proc; _ } -> failed.(proc) <- true
+      | Trace.Sent _ | Trace.Null_step _ | Trace.Delivered_msg _ | Trace.Delivered_note _
+      | Trace.Halted _ -> ());
+      match check (Trace.step_of e) with Ok () -> scan tl | Error _ as err -> err)
+  in
+  scan trace
+
+let nonfaulty_agreement trace =
+  let failed = Trace.failures trace in
+  let decisions =
+    List.filter (fun (p, _) -> not (List.mem p failed)) (Trace.decisions trace)
+  in
+  match decisions with
+  | [] -> Ok ()
+  | (p0, d0) :: rest -> (
+    match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
+    | None -> Ok ()
+    | Some (p, d) ->
+      Error
+        (Format.asprintf "nonfaulty processors disagree: %a decided %a but %a decided %a"
+           Proc_id.pp p0 Decision.pp d0 Proc_id.pp p Decision.pp d))
+
+let decision_rule rule ~inputs trace =
+  let inputs = Array.of_list inputs in
+  let rec scan failure_occurred = function
+    | [] -> Ok ()
+    | Trace.Failed_proc _ :: tl -> scan true tl
+    | Trace.Decided { proc; decision; step } :: tl ->
+      if Decision_rule.permits rule ~inputs ~failure_occurred decision then
+        scan failure_occurred tl
+      else
+        Error
+          (Format.asprintf "decision rule %a forbids %a's %a at step %d" Decision_rule.pp rule
+             Proc_id.pp proc Decision.pp decision step)
+    | _ :: tl -> scan failure_occurred tl
+  in
+  scan false trace
+
+let validity rule ~inputs trace =
+  if Trace.failures trace <> [] then
+    Error "validity check applies to failure-free runs only"
+  else begin
+    let expected = Decision_rule.natural_decision rule (Array.of_list inputs) in
+    match
+      List.find_opt (fun (_, d) -> not (Decision.equal d expected)) (Trace.decisions trace)
+    with
+    | None -> Ok ()
+    | Some (p, d) ->
+      Error
+        (Format.asprintf "validity violated: failure-free run should decide %a but %a decided %a"
+           Decision.pp expected Proc_id.pp p Decision.pp d)
+  end
+
+let ever_decided ~n trace =
+  let first = Array.make n None in
+  List.iter
+    (function
+      | Trace.Decided { proc; decision; _ } ->
+        if first.(proc) = None then first.(proc) <- Some decision
+      | _ -> ())
+    trace;
+  first
+
+let for_each_nonfaulty ~failed f =
+  let n = Array.length failed in
+  let check p = if failed.(p) then Ok () else f p in
+  let rec go p = if p >= n then Ok () else match check p with Ok () -> go (p + 1) | e -> e in
+  go 0
+
+let weak_termination ~quiescent ~statuses:_ ~ever_decided ~failed =
+  if not quiescent then Error "run did not reach quiescence"
+  else
+    for_each_nonfaulty ~failed (fun p ->
+        if ever_decided.(p) = None then
+          Error (Format.asprintf "weak termination violated: nonfaulty %a never decided" Proc_id.pp p)
+        else Ok ())
+
+let strong_termination ~quiescent ~statuses ~ever_decided ~failed =
+  match weak_termination ~quiescent ~statuses ~ever_decided ~failed with
+  | Error _ as e -> e
+  | Ok () ->
+    for_each_nonfaulty ~failed (fun p ->
+        let st = statuses.(p) in
+        if st.Status.amnesic || st.Status.halted then Ok ()
+        else
+          Error
+            (Format.asprintf "strong termination violated: nonfaulty %a never reached an amnesic state"
+               Proc_id.pp p))
+
+let halting_termination ~quiescent ~statuses ~ever_decided ~failed =
+  match weak_termination ~quiescent ~statuses ~ever_decided ~failed with
+  | Error _ as e -> e
+  | Ok () ->
+    for_each_nonfaulty ~failed (fun p ->
+        if statuses.(p).Status.halted then Ok ()
+        else
+          Error (Format.asprintf "halting termination violated: nonfaulty %a never halted" Proc_id.pp p))

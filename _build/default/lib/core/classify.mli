@@ -1,0 +1,48 @@
+(** Which problems of the taxonomy a protocol solves.
+
+    Combines exhaustive exploration ({!Explore}) with the taxonomy:
+    a protocol solves T-C at size [n] iff exploration finds no
+    C-violation and no T-violation (and the decision rule and validity
+    hold).  The verdict powers the lattice table of the benchmark
+    harness: each implemented protocol lands exactly where the paper
+    places it. *)
+
+open Patterns_sim
+open Patterns_protocols
+
+type verdict = {
+  name : string;
+  n : int;
+  ic : bool;
+  tc : bool;
+  wt : bool;
+  st : bool;
+  ht : bool;
+  rule_ok : bool;
+  validity_ok : bool;
+  all_states_safe : bool;  (** Theorem 2's conditions *)
+  corollary6 : bool;
+  configs : int;
+  truncated : bool;
+  details : string list;  (** the recorded violations, for display *)
+}
+
+val classify :
+  ?max_failures:int ->
+  ?max_configs:int ->
+  ?inputs_choices:bool list list ->
+  ?fifo_notices:bool ->
+  rule:Decision_rule.t ->
+  n:int ->
+  (module Protocol.S) ->
+  verdict
+
+val solves : verdict -> Taxonomy.t -> bool
+(** Interpret the verdict against a taxonomy point (the rule is
+    assumed to be the one classified against). *)
+
+val best_problem : verdict -> Taxonomy.t option
+(** The strongest of the six problems the protocol solves: strongest
+    termination first, then total over interactive consistency. *)
+
+val pp : Format.formatter -> verdict -> unit

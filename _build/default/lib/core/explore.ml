@@ -1,0 +1,331 @@
+open Patterns_sim
+open Patterns_stdx
+
+module Make (P : Protocol.S) = struct
+  module E = Engine.Make (P)
+
+  type options = {
+    max_failures : int;
+    max_configs : int;
+    inputs_choices : bool list list;
+    fifo_notices : bool;
+  }
+
+  let default_options ~n =
+    {
+      max_failures = 1;
+      max_configs = 400_000;
+      inputs_choices = Listx.all_bool_vectors n;
+      fifo_notices = false;
+    }
+
+  type state_info = {
+    state : P.state;
+    decision : Decision.t option;
+    commit_cooccurs : bool;
+    abort_cooccurs : bool;
+    always_all_ones : bool;
+    input_vectors : int list;
+    occurrences : int;
+  }
+
+  let encode_inputs inputs =
+    Array.to_list inputs
+    |> List.mapi (fun i b -> if b then 1 lsl i else 0)
+    |> List.fold_left ( lor ) 0
+
+  let decode_inputs ~n code = Array.init n (fun i -> code land (1 lsl i) <> 0)
+
+  let implies ~n info pred = List.for_all (fun code -> pred (decode_inputs ~n code)) info.input_vectors
+
+  let safe info =
+    (not (info.commit_cooccurs && info.abort_cooccurs))
+    && ((not info.commit_cooccurs) || info.always_all_ones)
+
+  let committable info = info.always_all_ones && not info.abort_cooccurs
+
+  type report = {
+    configs_visited : int;
+    terminal_configs : int;
+    truncated : bool;
+    ic_violation : string option;
+    tc_violation : string option;
+    wt_violation : string option;
+    st_violation : string option;
+    ht_violation : string option;
+    rule_violation : string option;
+    validity_violation : string option;
+    protocol_errors : string list;
+    states : state_info list;
+  }
+
+  let unsafe_states report = List.filter (fun i -> not (safe i)) report.states
+
+  (* Corollary 6 restated on concurrency data: a committed processor
+     must only co-occur with committable states, an aborted one only
+     with noncommittable states.  [commit_cooccurs s && not
+     (committable s)] is a violation of the commit side; [abort_cooccurs
+     s && committable s] of the abort side.  Both reduce to the
+     safe-state conditions. *)
+  let corollary6_holds report =
+    List.for_all
+      (fun i ->
+        ((not i.commit_cooccurs) || committable i)
+        && ((not i.abort_cooccurs) || not (committable i)))
+      report.states
+
+  module State_map = Map.Make (struct
+    type t = P.state
+
+    let compare = P.compare_state
+  end)
+
+  (* exploration node: behavioural configuration plus each processor's
+     first decision (amnesia may erase it from the state) *)
+  module Node_set = Set.Make (struct
+    type t = E.config * Decision.t option array
+
+    let compare (c1, d1) (c2, d2) =
+      let c = E.compare_behavioral c1 c2 in
+      if c <> 0 then c else Stdlib.compare d1 d2
+  end)
+
+  let explore ?options ~rule ~n () =
+    let options = match options with Some o -> o | None -> default_options ~n in
+    let visited = ref Node_set.empty in
+    let visited_count = ref 0 in
+    let truncated = ref false in
+    let terminal = ref 0 in
+    let ic_violation = ref None and tc_violation = ref None in
+    let wt_violation = ref None and st_violation = ref None and ht_violation = ref None in
+    let rule_violation = ref None and validity_violation = ref None in
+    let protocol_errors = ref [] in
+    let states = ref State_map.empty in
+    let record_first cell msg = if !cell = None then cell := Some msg in
+
+    let observe_config config decided =
+      (* "s implies the commit rule is satisfied": track whether every
+         configuration containing a state permits commit on its inputs *)
+      let commit_permitted =
+        Patterns_protocols.Decision_rule.permits rule ~inputs:(E.inputs_of config)
+          ~failure_occurred:false Decision.Commit
+      in
+      let statuses = E.statuses config in
+      let ops =
+        List.filter (fun p -> not (E.is_failed config p)) (Proc_id.all ~n:(E.n_of config))
+      in
+      (* interactive consistency at this configuration *)
+      let op_decisions =
+        List.filter_map (fun p -> Option.map (fun d -> (p, d)) statuses.(p).Status.decision) ops
+      in
+      (match op_decisions with
+      | (p0, d0) :: rest -> (
+        match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
+        | Some (p1, d1) ->
+          record_first ic_violation
+            (Format.asprintf "operational %a in %a while %a in %a" Proc_id.pp p0 Decision.pp d0
+               Proc_id.pp p1 Decision.pp d1)
+        | None -> ())
+      | [] -> ());
+      (* total consistency over first decisions (includes the failed) *)
+      let all_decided =
+        List.filter_map
+          (fun p -> Option.map (fun d -> (p, d)) decided.(p))
+          (Proc_id.all ~n:(E.n_of config))
+      in
+      (match all_decided with
+      | (p0, d0) :: rest -> (
+        match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
+        | Some (p1, d1) ->
+          record_first tc_violation
+            (Format.asprintf "%a decided %a but %a decided %a" Proc_id.pp p0 Decision.pp d0
+               Proc_id.pp p1 Decision.pp d1)
+        | None -> ())
+      | [] -> ());
+      (* concurrency-set accumulation over operational states *)
+      let commit_here p =
+        List.exists
+          (fun q ->
+            q <> p
+            && match statuses.(q).Status.decision with
+               | Some Decision.Commit -> true
+               | _ -> false)
+          ops
+      in
+      let abort_here p =
+        List.exists
+          (fun q ->
+            q <> p
+            && match statuses.(q).Status.decision with
+               | Some Decision.Abort -> true
+               | _ -> false)
+          ops
+      in
+      List.iter
+        (fun p ->
+          let s = E.state_of config p in
+          let prev =
+            match State_map.find_opt s !states with
+            | Some i -> i
+            | None ->
+              {
+                state = s;
+                decision = statuses.(p).Status.decision;
+                commit_cooccurs = false;
+                abort_cooccurs = false;
+                always_all_ones = true;
+                input_vectors = [];
+                occurrences = 0;
+              }
+          in
+          let code = encode_inputs (E.inputs_of config) in
+          let info =
+            {
+              prev with
+              commit_cooccurs = prev.commit_cooccurs || commit_here p;
+              abort_cooccurs = prev.abort_cooccurs || abort_here p;
+              always_all_ones = prev.always_all_ones && commit_permitted;
+              input_vectors =
+                (if List.mem code prev.input_vectors then prev.input_vectors
+                 else code :: prev.input_vectors);
+              occurrences = prev.occurrences + 1;
+            }
+          in
+          states := State_map.add s info !states)
+        ops
+    in
+
+    let observe_terminal config decided =
+      incr terminal;
+      let statuses = E.statuses config in
+      List.iter
+        (fun p ->
+          if not (E.is_failed config p) then begin
+            if decided.(p) = None then
+              record_first wt_violation
+                (Format.asprintf "terminal configuration with nonfaulty %a undecided:@,%a"
+                   Proc_id.pp p E.pp_config config);
+            (match decided.(p) with
+            | Some _ when not (statuses.(p).Status.amnesic || statuses.(p).Status.halted) ->
+              record_first st_violation
+                (Format.asprintf "nonfaulty %a decided but never forgot or halted" Proc_id.pp p)
+            | _ -> ());
+            if not statuses.(p).Status.halted then
+              record_first ht_violation
+                (Format.asprintf "nonfaulty %a never halted" Proc_id.pp p)
+          end)
+        (Proc_id.all ~n:(E.n_of config))
+    in
+
+    (* decision-time checks carried on the trace events of one edge *)
+    let observe_events pre_config events decided =
+      let inputs = E.inputs_of pre_config in
+      let failure_before =
+        Array.exists Fun.id
+          (Array.init (E.n_of pre_config) (fun p -> E.is_failed pre_config p))
+      in
+      List.fold_left
+        (fun decided ev ->
+          match ev with
+          | Trace.Decided { proc; decision; _ } ->
+            if not (Patterns_protocols.Decision_rule.permits rule ~inputs ~failure_occurred:failure_before decision)
+            then
+              record_first rule_violation
+                (Format.asprintf "%a's %a not permitted by %a" Proc_id.pp proc Decision.pp
+                   decision Patterns_protocols.Decision_rule.pp rule);
+            if
+              (not failure_before)
+              && not
+                   (Decision.equal decision
+                      (Patterns_protocols.Decision_rule.natural_decision rule inputs))
+            then
+              record_first validity_violation
+                (Format.asprintf "failure-free path: %a decided %a, natural decision differs"
+                   Proc_id.pp proc Decision.pp decision);
+            let decided = Array.copy decided in
+            if decided.(proc) = None then decided.(proc) <- Some decision;
+            decided
+          | _ -> decided)
+        decided events
+    in
+
+    let failures_in config =
+      List.length (List.filter (fun p -> E.is_failed config p) (Proc_id.all ~n:(E.n_of config)))
+    in
+
+    let stack = ref [] in
+    List.iter
+      (fun inputs ->
+        let c = E.init ~n ~inputs in
+        stack := (c, Array.make n None) :: !stack)
+      options.inputs_choices;
+
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | (config, decided) :: rest ->
+        stack := rest;
+        let node = (config, decided) in
+        if Node_set.mem node !visited then loop ()
+        else if !visited_count >= options.max_configs then truncated := true
+        else begin
+          visited := Node_set.add node !visited;
+          incr visited_count;
+          observe_config config decided;
+          let actions = E.applicable ~fifo_notices:options.fifo_notices config in
+          if actions = [] then observe_terminal config decided;
+          let fail_actions =
+            if failures_in config < options.max_failures then E.failure_actions config else []
+          in
+          List.iter
+            (fun a ->
+              match E.apply ~step:0 config a with
+              | Error e -> protocol_errors := e :: !protocol_errors
+              | Ok (config', events) ->
+                let decided' = observe_events config events decided in
+                let node' = (config', decided') in
+                if not (Node_set.mem node' !visited) then stack := node' :: !stack)
+            (actions @ fail_actions);
+          loop ()
+        end
+    in
+    loop ();
+    {
+      configs_visited = !visited_count;
+      terminal_configs = !terminal;
+      truncated = !truncated;
+      ic_violation = !ic_violation;
+      tc_violation = !tc_violation;
+      wt_violation = !wt_violation;
+      st_violation = !st_violation;
+      ht_violation = !ht_violation;
+      rule_violation = !rule_violation;
+      validity_violation = !validity_violation;
+      protocol_errors = Listx.dedup_sorted ~cmp:String.compare !protocol_errors;
+      states = List.map snd (State_map.bindings !states);
+    }
+
+  let pp_report ppf r =
+    let opt name = function
+      | None -> Format.fprintf ppf "  %s: ok@," name
+      | Some v -> Format.fprintf ppf "  %s: VIOLATED (%s)@," name v
+    in
+    Format.fprintf ppf "@[<v>configs=%d terminal=%d%s states=%d@," r.configs_visited
+      r.terminal_configs
+      (if r.truncated then " (TRUNCATED)" else "")
+      (List.length r.states);
+    opt "interactive consistency" r.ic_violation;
+    opt "total consistency" r.tc_violation;
+    opt "weak termination" r.wt_violation;
+    opt "strong termination" r.st_violation;
+    opt "halting termination" r.ht_violation;
+    opt "decision rule" r.rule_violation;
+    opt "validity" r.validity_violation;
+    let unsafe = unsafe_states r in
+    Format.fprintf ppf "  safe states: %d/%d%s@," (List.length r.states - List.length unsafe)
+      (List.length r.states)
+      (if unsafe = [] then "" else " (UNSAFE STATES EXIST)");
+    if r.protocol_errors <> [] then
+      Format.fprintf ppf "  protocol errors: %d@," (List.length r.protocol_errors);
+    Format.fprintf ppf "@]"
+end

@@ -1,0 +1,97 @@
+(** Exhaustive exploration of reachable configurations.
+
+    [Make (P)] enumerates every configuration reachable from the given
+    initial input vectors under every schedule, with up to
+    [max_failures] fail-stop events injected at every possible point.
+    On the way it checks, for every execution the model admits:
+
+    - interactive consistency (config-level, the paper's definition);
+    - total consistency (via each processor's first decision, so
+      amnesia cannot hide a conflict);
+    - conformance to the decision rule, checked at decision time;
+    - validity on failure-free paths;
+    - weak / strong / halting termination at every terminal
+      (quiescent) configuration;
+
+    and accumulates the data for Theorem 2: each operational local
+    state's concurrency information — which decision values co-occur
+    with it and whether it implies the all-ones input vector — from
+    which the safe-state conditions and Corollary 6 are decided. *)
+
+open Patterns_sim
+
+module Make (P : Protocol.S) : sig
+  module E : module type of Engine.Make (P)
+
+  type options = {
+    max_failures : int;
+    max_configs : int;
+    inputs_choices : bool list list;
+    fifo_notices : bool;
+        (** deliver a failure notice only after all of the failed
+            sender's messages (fail-stop-processor discipline); the
+            paper's unordered default is [false] *)
+  }
+
+  val default_options : n:int -> options
+  (** All [2^n] input vectors, one failure, 400_000 configurations,
+      unordered notices. *)
+
+  type state_info = {
+    state : P.state;
+    decision : Decision.t option;  (** from the state's status *)
+    commit_cooccurs : bool;
+        (** some reachable configuration pairs this state with an
+            operational committed processor *)
+    abort_cooccurs : bool;
+    always_all_ones : bool;
+        (** every reachable configuration containing this state
+            permits commit under the classified rule — the paper's
+            "s implies satisfaction of the commit rule" *)
+    input_vectors : int list;
+        (** every input vector (bit i of the encoding = processor i's
+            initial bit) of a reachable configuration containing this
+            state — the raw material of "s implies X" *)
+    occurrences : int;  (** number of distinct configurations *)
+  }
+
+  val implies : n:int -> state_info -> (bool array -> bool) -> bool
+  (** [implies ~n info pred]: the paper's "state s implies predicate
+      X" — [pred inputs] holds for every input vector of a reachable
+      configuration containing the state. *)
+
+  val safe : state_info -> bool
+  (** The paper's safe-state predicate: not both decisions in the
+      concurrency set, and committability implies all-ones. *)
+
+  val committable : state_info -> bool
+  (** [s] implies all inputs 1 and no abort state in [C(s)]. *)
+
+  type report = {
+    configs_visited : int;
+    terminal_configs : int;
+    truncated : bool;
+    ic_violation : string option;
+    tc_violation : string option;
+    wt_violation : string option;
+    st_violation : string option;
+    ht_violation : string option;
+    rule_violation : string option;
+    validity_violation : string option;
+    protocol_errors : string list;
+    states : state_info list;
+  }
+
+  val unsafe_states : report -> state_info list
+  (** States violating Theorem 2's safe-state conditions.  Nonempty
+      for any protocol that is not WT-TC (Theorem 2); empty for the
+      WT-TC protocols in this repository. *)
+
+  val corollary6_holds : report -> bool
+  (** Whenever a processor has decided, every operational processor
+      shares its bias — equivalent to all states being safe. *)
+
+  val explore : ?options:options -> rule:Patterns_protocols.Decision_rule.t -> n:int -> unit -> report
+
+  val pp_report : Format.formatter -> report -> unit
+end

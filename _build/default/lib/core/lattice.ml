@@ -1,0 +1,87 @@
+type relation = Strictly_below | Incomparable
+
+type link = {
+  a : Taxonomy.t;
+  b : Taxonomy.t;
+  relation : relation;
+  source : string;
+  witness : string list;
+}
+
+let p c t = Taxonomy.make c t
+
+let links =
+  Taxonomy.
+    [
+      (* consistency separations: T-IC < T-TC (Theorem 1 + Corollary 9) *)
+      { a = p IC WT; b = p TC WT; relation = Strictly_below; source = "Thm 1 + Cor 9";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      { a = p IC ST; b = p TC ST; relation = Strictly_below; source = "Thm 1 + Cor 9";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      { a = p IC HT; b = p TC HT; relation = Strictly_below; source = "Thm 1 + Cor 9";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      (* termination separations: WT < ST (Theorem 13) *)
+      { a = p IC WT; b = p IC ST; relation = Strictly_below; source = "Thm 1 + Thm 13";
+        witness = [ "thm13-ic" ] };
+      { a = p TC WT; b = p TC ST; relation = Strictly_below; source = "Thm 1 + Thm 13";
+        witness = [ "thm13-tc" ] };
+      (* termination separations: ST < HT (Corollary 12) *)
+      { a = p IC ST; b = p IC HT; relation = Strictly_below; source = "Thm 1 + Cor 12";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      { a = p TC ST; b = p TC HT; relation = Strictly_below; source = "Thm 1 + Cor 12";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      (* incomparabilities (Theorem 8, Corollary 11) *)
+      { a = p IC HT; b = p TC WT; relation = Incomparable; source = "Thm 8";
+        witness = [ "thm8-forward"; "thm8-converse" ] };
+      { a = p IC HT; b = p TC ST; relation = Incomparable; source = "Cor 11";
+        witness = [ "thm8-forward"; "thm8-converse"; "cor11" ] };
+    ]
+
+let diagram =
+  String.concat "\n"
+    [
+      "        WT-IC  <  WT-TC";
+      "          <          <";
+      "        ST-IC  <  ST-TC";
+      "          <          <";
+      "        HT-IC  <  HT-TC";
+      "";
+      "  (all inequalities strict; HT-IC is incomparable";
+      "   with both WT-TC and ST-TC)";
+    ]
+
+type verified = { link : link; reduction_ok : bool; witnesses_ok : bool }
+
+let verify evidences =
+  let holds id =
+    match List.find_opt (fun (e : Theorems.evidence) -> String.equal e.Theorems.id id) evidences with
+    | Some e -> e.Theorems.holds
+    | None -> false
+  in
+  List.map
+    (fun link ->
+      let reduction_ok =
+        match link.relation with
+        | Strictly_below ->
+          Taxonomy.trivially_reduces link.a link.b
+          && not (Taxonomy.trivially_reduces link.b link.a)
+        | Incomparable ->
+          (not (Taxonomy.trivially_reduces link.a link.b))
+          && not (Taxonomy.trivially_reduces link.b link.a)
+      in
+      { link; reduction_ok; witnesses_ok = List.for_all holds link.witness })
+    links
+
+let pp_verified ppf verifieds =
+  Format.fprintf ppf "@[<v>%s@,@," diagram;
+  List.iter
+    (fun v ->
+      let rel = match v.link.relation with Strictly_below -> "<" | Incomparable -> "<>" in
+      Format.fprintf ppf "%-6s %-2s %-6s  [%s]  reduction:%s witnesses:%s@,"
+        (Taxonomy.short_name v.link.a) rel
+        (Taxonomy.short_name v.link.b)
+        v.link.source
+        (if v.reduction_ok then "ok" else "FAIL")
+        (if v.witnesses_ok then "ok" else "FAIL"))
+    verifieds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** The six-problem lattice (summary diagram of Section 4).
+
+    Every reduction is Theorem 1's trivial direction; every
+    *strictness* and *incomparability* is backed by one of the
+    executable witnesses in {!Theorems}.  [verify] re-runs those
+    witnesses and reports whether the whole diagram reproduces. *)
+
+type relation =
+  | Strictly_below  (** [a < b]: a reduces to b, not conversely *)
+  | Incomparable
+
+type link = {
+  a : Taxonomy.t;
+  b : Taxonomy.t;
+  relation : relation;
+  source : string;  (** paper artifact: "Thm 1 + Cor 9", ... *)
+  witness : string list;  (** {!Theorems} evidence ids backing strictness *)
+}
+
+val links : link list
+(** The five strict edges of the diagram (WT-IC < WT-TC, WT-IC <
+    ST-IC, WT-TC < ST-TC, ST-IC < HT-IC, ST-TC < HT-TC, plus the
+    derived ST-IC < ST-TC and HT-IC < HT-TC) and the two
+    incomparabilities (HT-IC vs WT-TC, HT-IC vs ST-TC). *)
+
+val diagram : string
+(** The ASCII rendition of the paper's closing diagram. *)
+
+type verified = { link : link; reduction_ok : bool; witnesses_ok : bool }
+
+val verify : Theorems.evidence list -> verified list
+(** Check each link: the trivial-reduction direction against
+    {!Taxonomy.trivially_reduces}, and each named witness against the
+    supplied evidence list. *)
+
+val pp_verified : Format.formatter -> verified list -> unit

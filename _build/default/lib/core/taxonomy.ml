@@ -1,0 +1,48 @@
+open Patterns_protocols
+
+type consistency = IC | TC
+
+type termination = WT | ST | HT
+
+type t = {
+  rule : Decision_rule.t;
+  consistency : consistency;
+  termination : termination;
+}
+
+let make ?(rule = Decision_rule.Unanimity) consistency termination =
+  { rule; consistency; termination }
+
+let all_six =
+  [ make IC WT; make TC WT; make IC ST; make TC ST; make IC HT; make TC HT ]
+
+let consistency_implies a b =
+  match (a, b) with IC, IC | TC, TC | TC, IC -> true | IC, TC -> false
+
+let termination_rank = function WT -> 0 | ST -> 1 | HT -> 2
+
+let termination_implies a b = termination_rank a >= termination_rank b
+
+let trivially_reduces p1 p2 =
+  Decision_rule.to_string p1.rule = Decision_rule.to_string p2.rule
+  && consistency_implies p2.consistency p1.consistency
+  && termination_implies p2.termination p1.termination
+
+let pp_consistency ppf = function
+  | IC -> Format.pp_print_string ppf "IC"
+  | TC -> Format.pp_print_string ppf "TC"
+
+let pp_termination ppf = function
+  | WT -> Format.pp_print_string ppf "WT"
+  | ST -> Format.pp_print_string ppf "ST"
+  | HT -> Format.pp_print_string ppf "HT"
+
+let short_name t =
+  Format.asprintf "%a-%a" pp_termination t.termination pp_consistency t.consistency
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%a)" (short_name t) Decision_rule.pp t.rule
+
+let equal a b =
+  a.consistency = b.consistency && a.termination = b.termination
+  && Decision_rule.to_string a.rule = Decision_rule.to_string b.rule

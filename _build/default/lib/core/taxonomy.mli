@@ -1,0 +1,49 @@
+(** The paper's taxonomy of consensus problems (Section 2).
+
+    A consensus problem is a triple: a decision rule, a consistency
+    constraint, and a termination condition.  Section 4 studies the
+    six problems obtained from unanimity x {IC, TC} x {WT, ST, HT}. *)
+
+open Patterns_protocols
+
+type consistency =
+  | IC  (** interactive: no two *operational* processors in different decision states *)
+  | TC  (** total: no two processors ever decide differently, failed ones included *)
+
+type termination =
+  | WT  (** weak: every nonfaulty processor decides in bounded steps *)
+  | ST  (** strong: additionally, deciders may forget the value (amnesic state) *)
+  | HT  (** halting: additionally, deciders stop sending and receiving *)
+
+type t = {
+  rule : Decision_rule.t;
+  consistency : consistency;
+  termination : termination;
+}
+
+val all_six : t list
+(** The six unanimity problems of Section 4, in the order
+    WT-IC, WT-TC, ST-IC, ST-TC, HT-IC, HT-TC. *)
+
+val make : ?rule:Decision_rule.t -> consistency -> termination -> t
+(** Defaults to unanimity. *)
+
+val consistency_implies : consistency -> consistency -> bool
+(** [consistency_implies a b]: establishing [a] establishes [b]
+    (TC implies IC). *)
+
+val termination_implies : termination -> termination -> bool
+(** HT implies ST implies WT. *)
+
+val trivially_reduces : t -> t -> bool
+(** The Theorem 1 direction: [trivially_reduces p1 p2] iff any
+    protocol for [p2] is also a protocol for [p1] because [p2]'s
+    constraints imply [p1]'s (same rule required). *)
+
+val short_name : t -> string
+(** e.g. ["WT-TC"]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_consistency : Format.formatter -> consistency -> unit
+val pp_termination : Format.formatter -> termination -> unit
+val equal : t -> t -> bool

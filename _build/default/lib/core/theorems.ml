@@ -1,0 +1,365 @@
+open Patterns_sim
+open Patterns_pattern
+open Patterns_protocols
+
+type evidence = {
+  id : string;
+  claim : string;
+  holds : bool;
+  facts : (string * bool) list;
+  details : string list;
+}
+
+let pp_evidence ppf e =
+  Format.fprintf ppf "@[<v>[%s] %s@,verdict: %s@," e.id e.claim
+    (if e.holds then "REPRODUCED" else "FAILED");
+  List.iter (fun (name, ok) -> Format.fprintf ppf "  %-50s %s@," name (if ok then "yes" else "NO")) e.facts;
+  List.iter (fun d -> Format.fprintf ppf "  note: %s@," d) e.details;
+  Format.fprintf ppf "@]"
+
+let make_evidence ~id ~claim ?(details = []) facts =
+  { id; claim; holds = List.for_all snd facts; facts; details }
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 8, forward direction: HT-IC does not reduce to WT-TC.      *)
+(* ------------------------------------------------------------------ *)
+
+let theorem8_forward () =
+  let (module P) = Tree_proto.fig1 in
+  let module E = Engine.Make (P) in
+  let module S = Scheme.Make (P) in
+  (* our p3 is the paper's p4 (the 0-input leaf under the paper's p2);
+     our p5 is the paper's p6 *)
+  let inputs_sc1 = [ true; true; true; false; true; true; true ] in
+  let patterns, _ = S.patterns_for_inputs ~n:7 ~inputs:inputs_sc1 () in
+  let lone_abort_pattern p =
+    List.length (Pattern.messages_of_proc p 3) = 1
+    && List.mem 3 (Pattern.received_none p ~n:7)
+  in
+  let pattern_found = Pattern.Set.exists lone_abort_pattern patterns in
+  (* the two scenarios: everybody but p3 and p5 fails before the
+     paper's p3 (our p2) sends anything to p5 in phase 1 *)
+  let scenario inputs =
+    let c = E.init ~n:7 ~inputs in
+    let directives =
+      [ E.Step_of 3; E.Step_of 4; E.Step_of 5; E.Step_of 6 ]
+      @ List.map (fun p -> E.Fail_now p) [ 0; 1; 2; 4; 6 ]
+      @ List.concat_map (fun q -> [ E.Deliver_note (5, q); E.Drain 5 ]) [ 0; 1; 2; 4; 6 ]
+    in
+    E.play c directives
+  in
+  match (scenario inputs_sc1, scenario [ true; true; true; true; true; true; true ]) with
+  | Ok (c1, _), Ok (c2, _) ->
+    let states_equal = P.compare_state (E.state_of c1 5) (E.state_of c2 5) = 0 in
+    make_evidence ~id:"thm8-forward" ~claim:"HT-IC does not reduce to WT-TC"
+      ~details:
+        [
+          "in scenario 1 the 0-input leaf must halt in abort; in scenario 2 an HT \
+           protocol would have it halt in commit; p5 cannot distinguish the two";
+        ]
+      [
+        ("fig1 scheme contains the lone-abort pattern", pattern_found);
+        ("p5's local state identical in scenarios 1 and 2", states_equal);
+      ]
+  | Error e, _ | _, Error e ->
+    make_evidence ~id:"thm8-forward" ~claim:"HT-IC does not reduce to WT-TC"
+      ~details:[ "replay failed: " ^ e ]
+      [ ("replays executed", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 8, converse: WT-TC does not reduce to HT-IC.               *)
+(* ------------------------------------------------------------------ *)
+
+let theorem8_converse () =
+  let (module P) = Central_proto.fig2 in
+  let module E = Engine.Make (P) in
+  let c = E.init ~n:4 ~inputs:[ true; true; true; true ] in
+  let votes =
+    [ E.Step_of 1; E.Step_of 2; E.Step_of 3;
+      E.Deliver_from (0, 1); E.Deliver_from (0, 2); E.Deliver_from (0, 3);
+      E.Drain 0 (* decision broadcast; p0 decides commit and halts *) ]
+  in
+  let crash_and_terminate =
+    [ E.Fail_now 0;
+      E.Deliver_note (1, 0); E.Drain 1;
+      E.Deliver_note (2, 0); E.Drain 2;
+      E.Deliver_note (3, 0); E.Drain 3 ]
+  in
+  let exchange_round =
+    List.concat_map
+      (fun p ->
+        List.filter_map (fun q -> if q <> p then Some (E.Deliver_from (p, q)) else None) [ 1; 2; 3 ])
+      [ 1; 2; 3 ]
+    @ [ E.Drain 1; E.Drain 2; E.Drain 3 ]
+  in
+  let rounds = List.concat (List.init 4 (fun _ -> exchange_round)) in
+  match E.play c (votes @ crash_and_terminate @ rounds) with
+  | Error e ->
+    make_evidence ~id:"thm8-converse" ~claim:"WT-TC does not reduce to HT-IC"
+      ~details:[ "replay failed: " ^ e ]
+      [ ("replay executed", false) ]
+  | Ok (final, trace) ->
+    let coordinator_committed =
+      List.mem (0, Decision.Commit) (Trace.decisions trace)
+    in
+    let survivors_aborted =
+      List.for_all
+        (fun p -> List.mem (p, Decision.Abort) (Trace.decisions trace))
+        [ 1; 2; 3 ]
+    in
+    let tc_violated = Result.is_error (Check.total_consistency trace) in
+    let ic_holds = Result.is_ok (Check.interactive_consistency trace) in
+    ignore final;
+    make_evidence ~id:"thm8-converse" ~claim:"WT-TC does not reduce to HT-IC"
+      ~details:
+        [
+          "Figure 2's coordinator decides before anyone shares its bias (Corollary 6 \
+           violated); delaying its decision messages past the survivors' termination \
+           run realizes the inconsistency";
+        ]
+      [
+        ("halted coordinator decided commit", coordinator_committed);
+        ("all survivors decided abort", survivors_aborted);
+        ("total consistency violated", tc_violated);
+        ("interactive consistency maintained", ic_holds);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 13 for IC: WT-IC < ST-IC.                                  *)
+(* ------------------------------------------------------------------ *)
+
+type chain_outcome = {
+  decisions1 : (Proc_id.t * Decision.t) list;
+  decisions2 : (Proc_id.t * Decision.t) list;
+  agreement1 : Check.verdict;
+  p2_states_equal : bool;
+}
+
+(* run the Theorem 13 schedule twice (all-ones inputs, then with p1's
+   input 0) inside one unpacking so the two p2 states can be compared *)
+let chain_scenarios (module P : Protocol.S) =
+  let module E = Engine.Make (P) in
+  let scenario inputs =
+    let c = E.init ~n:4 ~inputs in
+    let directives =
+      [ E.Step_of 1; E.Step_of 2; E.Step_of 3;
+        E.Deliver_from (0, 1); E.Deliver_from (0, 2); E.Deliver_from (0, 3);
+        E.Drain 0 (* forward the decision to p1, then forget (ST variant) *);
+        E.Fail_now 1; E.Fail_now 3;
+        E.Deliver_note (2, 1); E.Drain 2; E.Deliver_note (2, 3);
+        (* p0 joins the termination run (announcing amnesia in the ST
+           variant, after which it is quiescent) *)
+        E.Deliver_note (0, 1); E.Drain 0;
+        E.Deliver_from (2, 0); E.Drain 2; E.Flush_fifo ]
+    in
+    E.play c directives
+  in
+  match (scenario [ true; true; true; true ], scenario [ true; false; true; true ]) with
+  | Ok (c1, trace1), Ok (c2, trace2) ->
+    Ok
+      {
+        decisions1 = Trace.decisions trace1;
+        decisions2 = Trace.decisions trace2;
+        agreement1 = Check.nonfaulty_agreement trace1;
+        p2_states_equal = P.compare_state (E.state_of c1 2) (E.state_of c2 2) = 0;
+      }
+  | Error e, _ | _, Error e -> Error e
+
+let theorem13_ic () =
+  let claim = "WT-IC is strictly weaker than ST-IC" in
+  match (chain_scenarios Chain_proto.fig3_amnesic, chain_scenarios Chain_proto.fig3) with
+  | Ok st, Ok plain ->
+    let p0_committed = List.mem (0, Decision.Commit) st.decisions1 in
+    let p2_aborted = List.mem (2, Decision.Abort) st.decisions1 in
+    let disagreement = Result.is_error st.agreement1 in
+    let p2_indistinguishable = st.p2_states_equal in
+    let sc2_consistent =
+      List.for_all (fun (_, d) -> Decision.equal d Decision.Abort) st.decisions2
+    in
+    let plain_consistent =
+      Result.is_ok plain.agreement1 && List.mem (2, Decision.Commit) plain.decisions1
+    in
+    make_evidence ~id:"thm13-ic" ~claim
+      ~details:
+        [
+          "amnesic chain: p0 commits and forgets; p1, p3 fail before the decision \
+           reaches p2; the amnesia announcement leaves p2 no way to learn the value";
+        ]
+      [
+        ("scenario 1: p0 (nonfaulty) decided commit", p0_committed);
+        ("scenario 1: p2 (nonfaulty) decided abort", p2_aborted);
+        ("nonfaulty deciders disagree", disagreement);
+        ("p2's state identical in scenarios 1 and 2", p2_indistinguishable);
+        ("scenario 2 (a 0 input) aborts consistently", sc2_consistent);
+        ("non-amnesic chain stays consistent on the same schedule", plain_consistent);
+      ]
+  | Error e, _ | _, Error e ->
+    make_evidence ~id:"thm13-ic" ~claim ~details:[ "replay failed: " ^ e ]
+      [ ("replays executed", false) ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 13 for TC: WT-TC < ST-TC.                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* drive the Figure 4 protocol to the point just after p0 resolves the
+   Ga/Gb race, in both race outcomes, and report whether p0's two
+   local states are distinguishable *)
+let perverse_race_states_equal (module P : Protocol.S) =
+  let module E = Engine.Make (P) in
+  let to_race ~a_first =
+    let c = E.init ~n:4 ~inputs:[ true; true; true; true ] in
+    let race =
+      if a_first then [ E.Deliver_from (0, 1); E.Deliver_from (0, 3) ]
+      else [ E.Deliver_from (0, 3); E.Deliver_from (0, 1) ]
+    in
+    let directives =
+      [ E.Step_of 1; E.Step_of 2; E.Step_of 3;
+        E.Deliver_from (0, 1); E.Deliver_from (0, 2); E.Deliver_from (0, 3);
+        E.Drain 0 (* bias broadcast *);
+        E.Deliver_from (1, 0); E.Drain 1;
+        E.Deliver_from (2, 0); E.Drain 2;
+        E.Deliver_from (3, 0); E.Drain 3;
+        E.Deliver_from (0, 1); E.Deliver_from (0, 2); E.Deliver_from (0, 3);
+        E.Drain 0 (* decision broadcast *);
+        E.Deliver_from (1, 0); E.Drain 1 (* p1 decides; sends Ga, Gc *);
+        E.Deliver_from (3, 0); E.Drain 3 (* p3 decides; sends Gb, G4 *) ]
+      @ race
+      @ [ E.Drain 0 (* m1? and go *) ]
+    in
+    E.play c directives
+  in
+  match (to_race ~a_first:true, to_race ~a_first:false) with
+  | Ok (c1, _), Ok (c2, _) -> Some (P.compare_state (E.state_of c1 0) (E.state_of c2 0) = 0)
+  | _ -> None
+
+let theorem13_tc () =
+  let claim = "WT-TC is strictly weaker than ST-TC" in
+  let scheme_of (module P : Protocol.S) =
+    let module S = Scheme.Make (P) in
+    fst (S.scheme ~n:4 ())
+  in
+  let base = scheme_of Perverse_proto.fig4 in
+  let st = scheme_of Perverse_proto.fig4_amnesic in
+  let sizes =
+    Pattern.Set.elements base |> List.map Pattern.message_count |> List.sort Int.compare
+  in
+  let four_patterns = Pattern.Set.cardinal base = 4 && sizes = [ 17; 18; 18; 20 ] in
+  let schemes_differ = not (Scheme.equal_schemes base st) in
+  let st_cannot_realize = not (Scheme.subscheme base st) in
+  let amnesic_equal = perverse_race_states_equal Perverse_proto.fig4_amnesic = Some true in
+  let base_differ = perverse_race_states_equal Perverse_proto.fig4 = Some false in
+  make_evidence ~id:"thm13-tc" ~claim
+    ~details:
+      [
+        "fig4's four patterns: base (17 msgs), +m1 (18), +m2 (18), +m1+m2+m3 (20)";
+        "after the race the amnesic p0 cannot remember whether m1 was sent, so no \
+         deterministic ST protocol produces m3 exactly when m1 was sent";
+      ]
+    [
+      ("fig4 scheme is exactly the four advertised patterns", four_patterns);
+      ("amnesic variant's scheme differs", schemes_differ);
+      ("amnesic variant cannot realize the base scheme", st_cannot_realize);
+      ("amnesic p0's states identical across the race outcomes", amnesic_equal);
+      ("non-amnesic p0's states differ across the race outcomes", base_differ);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Corollary 11: an ST-TC protocol exists (amnesic Figure 1).         *)
+(* ------------------------------------------------------------------ *)
+
+let corollary11 () =
+  let claim = "the amnesic Figure 1 variant solves ST-TC (Corollary 11)" in
+  let verdict =
+    Classify.classify ~max_failures:0 ~rule:Decision_rule.Unanimity ~n:7 Tree_proto.fig1_amnesic
+  in
+  let audit =
+    Audit.random_audit ~max_failures:2 ~rule:Decision_rule.Unanimity ~n:7 ~runs:150 ~seed:1984
+      Tree_proto.fig1_amnesic
+  in
+  make_evidence ~id:"cor11" ~claim
+    ~details:[ Format.asprintf "failure audit: %a" Audit.pp audit ]
+    [
+      ("failure-free exploration: total consistency", verdict.Classify.tc);
+      ("failure-free exploration: strong termination", verdict.Classify.st);
+      ("failure-free exploration: validity", verdict.Classify.validity_ok);
+      ("randomized failure audit clean", Audit.clean audit);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 7: WT-TC within O(N^2) steps per processor.                *)
+(* ------------------------------------------------------------------ *)
+
+let theorem7 ?(sizes = [ 3; 4; 5; 6; 8; 10; 12; 16 ]) () =
+  let (module P) = Termination_proto.default in
+  let module E = Engine.Make (P) in
+  let measurements =
+    List.map
+      (fun n ->
+        let r =
+          E.run ~scheduler:E.fifo_scheduler ~n ~inputs:(List.init n (fun _ -> true)) ()
+        in
+        let per_proc = Trace.steps_per_proc ~n r.E.trace in
+        (n, float_of_int (Array.fold_left max 0 per_proc)))
+      sizes
+  in
+  let points = List.map (fun (n, s) -> (float_of_int n, s)) measurements in
+  let exponent, _c = Patterns_stdx.Stats.power_fit points in
+  let quadratic = exponent > 1.5 && exponent < 2.5 in
+  let all_decide =
+    List.for_all
+      (fun n ->
+        let r =
+          E.run ~scheduler:E.fifo_scheduler ~n ~inputs:(List.init n (fun i -> i = 0)) ()
+        in
+        r.E.quiescent && List.length (E.decisions_of r.E.final) = n)
+      sizes
+  in
+  ( make_evidence ~id:"thm7" ~claim:"the termination protocol establishes WT-TC in O(N^2) steps per processor"
+      ~details:[ Printf.sprintf "fitted steps/processor ~ N^%.2f" exponent ]
+      [
+        (Printf.sprintf "power-law exponent %.2f within [1.5, 2.5]" exponent, quadratic);
+        ("every processor decides at every size", all_decide);
+      ],
+    measurements )
+
+let appendix_anomaly ?(max_configs = 4_000_000) () =
+  let (module P) = Termination_proto.default in
+  let module X = Explore.Make (P) in
+  let explore fifo_notices =
+    let options =
+      { (X.default_options ~n:3) with X.max_failures = 2; max_configs; fifo_notices }
+    in
+    X.explore ~options ~rule:(Decision_rule.Threshold 1) ~n:3 ()
+  in
+  let unordered = explore false in
+  let fifo = explore true in
+  let violation_found = unordered.X.tc_violation <> None in
+  let fifo_clean = fifo.X.tc_violation = None && fifo.X.ic_violation = None in
+  make_evidence ~id:"appendix-anomaly"
+    ~claim:
+      "reproduction finding: with unordered failure notices the standalone Appendix \
+       protocol admits a 2-crash TC violation; fail-stop (FIFO) notice delivery removes it"
+    ~details:
+      [
+        (match unordered.X.tc_violation with
+        | Some m -> "unordered notices: " ^ m
+        | None -> "unordered notices: no violation found");
+        Printf.sprintf "fifo notices: %d configurations explored%s" fifo.X.configs_visited
+          (if fifo.X.truncated then " (truncated)" else " (complete)");
+      ]
+    [
+      ("2-crash violation exists under unordered notices", violation_found);
+      ( (if fifo.X.truncated then "no violation within the explored scope under fifo notices"
+         else "no violation under fifo notices (exhaustive)"),
+        fifo_clean );
+    ]
+
+let all () =
+  [
+    theorem8_forward ();
+    theorem8_converse ();
+    theorem13_ic ();
+    theorem13_tc ();
+    corollary11 ();
+    fst (theorem7 ());
+  ]

@@ -1,0 +1,1 @@
+lib/order/poset.ml: Array Format Hashtbl Int List Listx Patterns_stdx Relation

@@ -1,0 +1,1 @@
+lib/order/relation.ml: Array Bitset Format Hashtbl Int List Listx Patterns_stdx Printf Set Stdlib

@@ -1,0 +1,1 @@
+lib/order/relation.mli: Bitset Format Patterns_stdx

@@ -1,0 +1,103 @@
+open Patterns_stdx
+
+module type ELT = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Elt : ELT) = struct
+  type t = { elts : Elt.t array; closed : Relation.t }
+
+  let index_of_exn t x =
+    let lo = ref 0 and hi = ref (Array.length t.elts) in
+    let found = ref (-1) in
+    while !found < 0 && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = Elt.compare x t.elts.(mid) in
+      if c = 0 then found := mid else if c < 0 then hi := mid else lo := mid + 1
+    done;
+    if !found < 0 then invalid_arg "Poset: element not in carrier";
+    !found
+
+  let of_order elements pairs =
+    let elts = Array.of_list (Listx.dedup_sorted ~cmp:Elt.compare elements) in
+    let t0 = { elts; closed = Relation.create (Array.length elts) } in
+    let rel = Relation.create (Array.length elts) in
+    List.iter
+      (fun (a, b) ->
+        let i = index_of_exn t0 a and j = index_of_exn t0 b in
+        if i = j then invalid_arg "Poset.of_order: reflexive pair"
+        else Relation.add rel i j)
+      pairs;
+    if Relation.has_cycle rel then invalid_arg "Poset.of_order: pairs induce a cycle";
+    { elts; closed = Relation.transitive_closure rel }
+
+  let empty = { elts = [||]; closed = Relation.create 0 }
+
+  let elements t = Array.to_list t.elts
+
+  let cardinal t = Array.length t.elts
+
+  let index_of t x = match index_of_exn t x with i -> Some i | exception Invalid_argument _ -> None
+
+  let lt t a b =
+    match (index_of t a, index_of t b) with
+    | Some i, Some j -> Relation.mem t.closed i j
+    | _ -> false
+
+  let comparable t a b = lt t a b || lt t b a
+
+  let pairs_of_relation t rel =
+    List.map (fun (i, j) -> (t.elts.(i), t.elts.(j))) (Relation.edges rel)
+
+  let covers t = pairs_of_relation t (Relation.transitive_reduction t.closed)
+
+  let relation_pairs t = pairs_of_relation t t.closed
+
+  let closure t = Relation.copy t.closed
+
+  let equal a b =
+    Array.length a.elts = Array.length b.elts
+    && Array.for_all2 (fun x y -> Elt.compare x y = 0) a.elts b.elts
+    && Relation.equal a.closed b.closed
+
+  let compare a b =
+    let c = Int.compare (Array.length a.elts) (Array.length b.elts) in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i = Array.length a.elts then Relation.compare a.closed b.closed
+        else
+          let c = Elt.compare a.elts.(i) b.elts.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+  let hash t = Hashtbl.hash (Array.length t.elts, Relation.hash t.closed)
+
+  let is_subposet a b =
+    List.for_all (fun x -> index_of b x <> None) (elements a)
+    && List.for_all (fun (x, y) -> lt b x y) (relation_pairs a)
+
+  let minima t = List.map (fun i -> t.elts.(i)) (Relation.minima t.closed)
+
+  let maxima t = List.map (fun i -> t.elts.(i)) (Relation.maxima t.closed)
+
+  let linear_extensions t =
+    List.map (List.map (fun i -> t.elts.(i))) (Relation.linear_extensions t.closed)
+
+  let width t = List.length (Relation.max_antichain t.closed)
+
+  let height t = List.length (Relation.longest_chain t.closed)
+
+  let pp ppf t =
+    let pp_pair ppf (a, b) = Format.fprintf ppf "%a < %a" Elt.pp a Elt.pp b in
+    Format.fprintf ppf "@[<hov 2>poset{elems=[%a];@ covers=[%a]}@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") Elt.pp)
+      (elements t)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_pair)
+      (covers t)
+end

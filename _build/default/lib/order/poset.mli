@@ -1,0 +1,72 @@
+(** Labeled strict partial orders with canonical representation.
+
+    A poset is a finite set of labeled elements plus a strict partial
+    order.  Elements are interned in sorted label order, so two posets
+    over the same labels with the same order relation are structurally
+    equal — this is exactly the equality on communication patterns the
+    paper needs (patterns are orders on globally-named message triples,
+    so no isomorphism search is involved). *)
+
+module type ELT = sig
+  type t
+
+  val compare : t -> t -> int
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Elt : ELT) : sig
+  type t
+
+  val of_order : Elt.t list -> (Elt.t * Elt.t) list -> t
+  (** [of_order elements pairs] builds the poset whose order is the
+      transitive closure of [pairs].  Duplicate elements are merged;
+      pair endpoints must be listed in [elements].
+      @raise Invalid_argument if the pairs induce a cycle or mention an
+      unknown element. *)
+
+  val empty : t
+
+  val elements : t -> Elt.t list
+  (** Sorted by [Elt.compare]. *)
+
+  val cardinal : t -> int
+
+  val lt : t -> Elt.t -> Elt.t -> bool
+  (** Strict order (transitively closed). *)
+
+  val comparable : t -> Elt.t -> Elt.t -> bool
+
+  val covers : t -> (Elt.t * Elt.t) list
+  (** Hasse covers (transitive reduction), lexicographically sorted. *)
+
+  val relation_pairs : t -> (Elt.t * Elt.t) list
+  (** All ordered pairs of the closure, lexicographically sorted. *)
+
+  val closure : t -> Relation.t
+  (** The underlying closed relation on interned indices (a copy). *)
+
+  val index_of : t -> Elt.t -> int option
+  (** Interned index of an element, in sorted-label order. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val is_subposet : t -> t -> bool
+  (** [is_subposet a b]: [a]'s elements are a subset of [b]'s and [a]'s
+      order pairs are a subset of [b]'s. *)
+
+  val minima : t -> Elt.t list
+  val maxima : t -> Elt.t list
+
+  val linear_extensions : t -> Elt.t list list
+
+  val width : t -> int
+  (** Size of a maximum antichain. *)
+
+  val height : t -> int
+  (** Length (number of elements) of a maximum chain. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,265 @@
+open Patterns_stdx
+
+type t = { n : int; rows : Bitset.t array }
+
+let create n =
+  if n < 0 then invalid_arg "Relation.create: negative size";
+  { n; rows = Array.init n (fun _ -> Bitset.create n) }
+
+let size t = t.n
+
+let copy t = { t with rows = Array.map Bitset.copy t.rows }
+
+let check t i name =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Relation.%s: index %d out of [0,%d)" name i t.n)
+
+let add t i j =
+  check t i "add";
+  check t j "add";
+  if i = j then invalid_arg "Relation.add: relations are irreflexive";
+  Bitset.add t.rows.(i) j
+
+let mem t i j =
+  check t i "mem";
+  check t j "mem";
+  Bitset.mem t.rows.(i) j
+
+let remove t i j =
+  check t i "remove";
+  check t j "remove";
+  Bitset.remove t.rows.(i) j
+
+let edges t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    let row = List.map (fun j -> (i, j)) (Bitset.to_list t.rows.(i)) in
+    acc := row @ !acc
+  done;
+  !acc
+
+let of_edges n pairs =
+  let t = create n in
+  List.iter (fun (i, j) -> add t i j) pairs;
+  t
+
+let edge_count t = Array.fold_left (fun acc row -> acc + Bitset.cardinal row) 0 t.rows
+
+let succs t i =
+  check t i "succs";
+  Bitset.copy t.rows.(i)
+
+let preds t i =
+  check t i "preds";
+  let p = Bitset.create t.n in
+  for j = 0 to t.n - 1 do
+    if Bitset.mem t.rows.(j) i then Bitset.add p j
+  done;
+  p
+
+let equal a b = a.n = b.n && Array.for_all2 Bitset.equal a.rows b.rows
+
+let compare a b =
+  let c = Int.compare a.n b.n in
+  if c <> 0 then c
+  else
+    let rec loop i =
+      if i = a.n then 0
+      else
+        let c = Bitset.compare a.rows.(i) b.rows.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let hash t = Hashtbl.hash (t.n, Array.map Bitset.hash t.rows)
+
+let union a b =
+  if a.n <> b.n then invalid_arg "Relation.union: size mismatch";
+  let r = copy a in
+  Array.iteri (fun i row -> Bitset.union_into ~dst:r.rows.(i) row) b.rows;
+  r
+
+let is_subrelation a b =
+  if a.n <> b.n then invalid_arg "Relation.is_subrelation: size mismatch";
+  Array.for_all2 Bitset.subset a.rows b.rows
+
+(* Row-oriented Warshall: once k's row is final, fold it into every row
+   that reaches k.  Each inner step is one word-parallel union. *)
+let transitive_closure t =
+  let r = copy t in
+  for k = 0 to r.n - 1 do
+    for i = 0 to r.n - 1 do
+      if i <> k && Bitset.mem r.rows.(i) k then Bitset.union_into ~dst:r.rows.(i) r.rows.(k)
+    done
+  done;
+  (* closure of an irreflexive relation may gain self-loops only via
+     cycles; keep them so [has_cycle] can detect them, but strip i<i in
+     the acyclic case is unnecessary since add forbids them. *)
+  r
+
+let is_transitive t = equal t (transitive_closure t)
+
+let has_cycle t =
+  let c = transitive_closure t in
+  let cyclic = ref false in
+  for i = 0 to c.n - 1 do
+    if Bitset.mem c.rows.(i) i then cyclic := true
+  done;
+  !cyclic
+
+let is_strict_partial_order t = (not (has_cycle t)) && is_transitive t
+
+let transitive_reduction t =
+  if has_cycle t then invalid_arg "Relation.transitive_reduction: relation has a cycle";
+  let c = transitive_closure t in
+  let r = copy c in
+  (* an edge i->j is redundant iff some k with i->k and k->j exists *)
+  for i = 0 to c.n - 1 do
+    List.iter
+      (fun j ->
+        let redundant =
+          List.exists (fun k -> k <> j && Bitset.mem c.rows.(k) j) (Bitset.to_list c.rows.(i))
+        in
+        if redundant then Bitset.remove r.rows.(i) j)
+      (Bitset.to_list c.rows.(i))
+  done;
+  r
+
+let in_degrees t =
+  let deg = Array.make t.n 0 in
+  Array.iter (fun row -> Bitset.iter (fun j -> deg.(j) <- deg.(j) + 1) row) t.rows;
+  deg
+
+let topo_sort t =
+  let deg = in_degrees t in
+  let module IS = Set.Make (Int) in
+  let ready = ref IS.empty in
+  Array.iteri (fun i d -> if d = 0 then ready := IS.add i !ready) deg;
+  let rec loop acc =
+    match IS.min_elt_opt !ready with
+    | None -> if List.length acc = t.n then Some (List.rev acc) else None
+    | Some i ->
+      ready := IS.remove i !ready;
+      Bitset.iter
+        (fun j ->
+          deg.(j) <- deg.(j) - 1;
+          if deg.(j) = 0 then ready := IS.add j !ready)
+        t.rows.(i);
+      loop (i :: acc)
+  in
+  loop []
+
+let linear_extensions t =
+  let c = transitive_closure t in
+  let deg = in_degrees c in
+  let used = Array.make c.n false in
+  let results = ref [] in
+  let rec go chosen count =
+    if count = c.n then results := List.rev chosen :: !results
+    else
+      for i = c.n - 1 downto 0 do
+        if (not used.(i)) && deg.(i) = 0 then begin
+          used.(i) <- true;
+          Bitset.iter (fun j -> deg.(j) <- deg.(j) - 1) c.rows.(i);
+          go (i :: chosen) (count + 1);
+          Bitset.iter (fun j -> deg.(j) <- deg.(j) + 1) c.rows.(i);
+          used.(i) <- false
+        end
+      done
+  in
+  go [] 0;
+  List.sort Stdlib.compare !results
+
+let count_linear_extensions t =
+  let c = transitive_closure t in
+  let deg = in_degrees c in
+  let used = Array.make c.n false in
+  let count = ref 0 in
+  let rec go k =
+    if k = c.n then incr count
+    else
+      for i = 0 to c.n - 1 do
+        if (not used.(i)) && deg.(i) = 0 then begin
+          used.(i) <- true;
+          Bitset.iter (fun j -> deg.(j) <- deg.(j) - 1) c.rows.(i);
+          go (k + 1);
+          Bitset.iter (fun j -> deg.(j) <- deg.(j) + 1) c.rows.(i);
+          used.(i) <- false
+        end
+      done
+  in
+  go 0;
+  !count
+
+let minima t =
+  let deg = in_degrees t in
+  List.filter (fun i -> deg.(i) = 0) (Listx.range 0 t.n)
+
+let maxima t = List.filter (fun i -> Bitset.is_empty t.rows.(i)) (Listx.range 0 t.n)
+
+let comparable t i j =
+  check t i "comparable";
+  check t j "comparable";
+  let c = transitive_closure t in
+  Bitset.mem c.rows.(i) j || Bitset.mem c.rows.(j) i
+
+let longest_chain t =
+  if has_cycle t then invalid_arg "Relation.longest_chain: relation has a cycle";
+  let c = transitive_closure t in
+  let memo = Array.make c.n None in
+  (* longest chain starting at i, as a list *)
+  let rec best_from i =
+    match memo.(i) with
+    | Some chain -> chain
+    | None ->
+      let tail =
+        Bitset.fold
+          (fun j acc ->
+            let cand = best_from j in
+            if List.length cand > List.length acc then cand else acc)
+          c.rows.(i) []
+      in
+      let chain = i :: tail in
+      memo.(i) <- Some chain;
+      chain
+  in
+  List.fold_left
+    (fun acc i ->
+      let cand = best_from i in
+      if List.length cand > List.length acc then cand else acc)
+    []
+    (Listx.range 0 t.n)
+
+let max_antichain t =
+  let c = transitive_closure t in
+  let incomparable i j = (not (Bitset.mem c.rows.(i) j)) && not (Bitset.mem c.rows.(j) i) in
+  (* branch and bound over indices in increasing order *)
+  let best = ref [] in
+  let rec go i current =
+    if List.length current + (c.n - i) <= List.length !best then ()
+    else if i = c.n then begin
+      if List.length current > List.length !best then best := List.rev current
+    end
+    else begin
+      if List.for_all (fun j -> incomparable i j) current then go (i + 1) (i :: current);
+      go (i + 1) current
+    end
+  in
+  go 0 [];
+  !best
+
+let down_set t i =
+  check t i "down_set";
+  let c = transitive_closure t in
+  let d = Bitset.create t.n in
+  for j = 0 to t.n - 1 do
+    if Bitset.mem c.rows.(j) i then Bitset.add d j
+  done;
+  d
+
+let pp ppf t =
+  let pairs = edges t in
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+    (fun ppf (i, j) -> Format.fprintf ppf "%d<%d" i j)
+    ppf pairs

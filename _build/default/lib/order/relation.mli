@@ -1,0 +1,97 @@
+(** Binary relations over a dense integer universe [0 .. size-1].
+
+    The representation is one bitset row of successors per element, so
+    closure and reachability are word-parallel.  Communication patterns
+    (the paper's [<_I] relation on message triples) are stored in this
+    form after triples are interned to indices. *)
+
+open Patterns_stdx
+
+type t
+
+val create : int -> t
+(** [create n] is the empty relation on [n] elements. *)
+
+val size : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> int -> unit
+(** [add t i j] adds the pair (i, j), i.e. [i < j].
+    @raise Invalid_argument if an index is out of range or [i = j]
+    (relations here are irreflexive by construction). *)
+
+val mem : t -> int -> int -> bool
+
+val remove : t -> int -> int -> unit
+
+val edges : t -> (int * int) list
+(** All pairs, lexicographically sorted. *)
+
+val of_edges : int -> (int * int) list -> t
+
+val edge_count : t -> int
+
+val succs : t -> int -> Bitset.t
+(** Successor row of [i] (a copy; mutations do not affect [t]). *)
+
+val preds : t -> int -> Bitset.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val union : t -> t -> t
+(** Pointwise union.  @raise Invalid_argument on size mismatch. *)
+
+val is_subrelation : t -> t -> bool
+(** [is_subrelation a b] iff every pair of [a] is in [b]. *)
+
+val transitive_closure : t -> t
+(** Smallest transitive superrelation (bitset Warshall, O(n^2)
+    word-ops per level). *)
+
+val is_transitive : t -> bool
+
+val transitive_reduction : t -> t
+(** For acyclic [t]: the unique minimal relation with the same
+    transitive closure (the Hasse covers).
+    @raise Invalid_argument if [t] has a cycle. *)
+
+val has_cycle : t -> bool
+
+val is_strict_partial_order : t -> bool
+(** Irreflexive (by construction) + transitive + acyclic. *)
+
+val topo_sort : t -> int list option
+(** A topological order of the elements ([None] if cyclic).  Ties are
+    broken by index, so the result is deterministic. *)
+
+val linear_extensions : t -> int list list
+(** All linear extensions of the (closure of the) relation.  Factorial
+    in the antichain width; intended for small patterns. *)
+
+val count_linear_extensions : t -> int
+
+val minima : t -> int list
+(** Elements with no predecessor. *)
+
+val maxima : t -> int list
+
+val comparable : t -> int -> int -> bool
+(** Whether [i] and [j] are ordered either way in the transitive
+    closure.  O(closure) per call; for bulk queries close first. *)
+
+val longest_chain : t -> int list
+(** A maximum-length chain in the closure (the relation must be
+    acyclic), listed in order. *)
+
+val max_antichain : t -> int list
+(** A maximum antichain of the closure (mutually incomparable
+    elements).  Exponential fallback suitable for small n. *)
+
+val down_set : t -> int -> Bitset.t
+(** Strict predecessors of [i] in the transitive closure. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders the edge list, e.g. [0<1, 0<2, 1<2]. *)

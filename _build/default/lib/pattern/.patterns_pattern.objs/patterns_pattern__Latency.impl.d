@@ -1,0 +1,1 @@
+lib/pattern/latency.ml: Array Float Hashtbl List Option Pattern Patterns_sim Patterns_stdx Prng Proc_id Trace Triple

@@ -1,0 +1,1 @@
+lib/pattern/latency.mli: Patterns_sim Proc_id Trace Triple

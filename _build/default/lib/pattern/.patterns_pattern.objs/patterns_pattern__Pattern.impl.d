@@ -1,0 +1,1 @@
+lib/pattern/pattern.ml: Format List Patterns_order Patterns_sim Proc_id Set Trace Triple

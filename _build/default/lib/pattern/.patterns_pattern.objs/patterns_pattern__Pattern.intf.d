@@ -1,0 +1,1 @@
+lib/pattern/pattern.mli: Format Patterns_sim Proc_id Set Trace Triple

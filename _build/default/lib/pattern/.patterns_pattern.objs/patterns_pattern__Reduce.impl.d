@@ -1,0 +1,1 @@
+lib/pattern/reduce.ml: Format Pattern Patterns_sim Protocol Scheme

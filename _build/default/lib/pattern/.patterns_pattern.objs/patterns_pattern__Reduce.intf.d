@@ -1,0 +1,1 @@
+lib/pattern/reduce.mli: Format Pattern Patterns_sim Protocol

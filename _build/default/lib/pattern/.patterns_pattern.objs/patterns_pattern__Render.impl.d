@@ -1,0 +1,1 @@
+lib/pattern/render.ml: Buffer Decision Dot Format List Pattern Patterns_sim Patterns_stdx Proc_id String Trace Triple

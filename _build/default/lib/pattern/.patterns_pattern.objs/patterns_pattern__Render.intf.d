@@ -1,0 +1,1 @@
+lib/pattern/render.mli: Format Pattern Patterns_sim Patterns_stdx Trace

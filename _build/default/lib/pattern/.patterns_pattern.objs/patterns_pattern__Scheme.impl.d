@@ -1,0 +1,1 @@
+lib/pattern/scheme.ml: Engine Format List Listx Pattern Patterns_sim Patterns_stdx Protocol Set

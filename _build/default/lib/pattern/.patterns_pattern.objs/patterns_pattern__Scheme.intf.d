@@ -1,0 +1,1 @@
+lib/pattern/scheme.mli: Engine Format Pattern Patterns_sim Protocol

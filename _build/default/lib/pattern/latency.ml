@@ -1,0 +1,62 @@
+open Patterns_sim
+open Patterns_stdx
+
+type delay_model =
+  | Uniform of { lo : float; hi : float }
+  | Fixed of float
+  | Per_link of (Proc_id.t -> Proc_id.t -> float)
+
+type timing = {
+  completion : float;
+  per_proc : float array;
+  msg_times : (Triple.t * float * float) list;
+}
+
+let draw_delay prng model (t : Triple.t) =
+  match model with
+  | Fixed d -> d
+  | Uniform { lo; hi } -> lo +. (Prng.float prng *. (hi -. lo))
+  | Per_link f -> f t.Triple.sender t.Triple.receiver
+
+let propagate ?(step_cost = 1.0) ~seed ~model ~n trace =
+  let prng = Prng.create ~seed in
+  let proc_time = Array.make n 0.0 in
+  let sent_at = Hashtbl.create 64 in
+  let arrival = Hashtbl.create 64 in
+  let msg_times = ref [] in
+  let decisions = ref [] in
+  let key (t : Triple.t) = (t.Triple.sender, t.Triple.receiver, t.Triple.index) in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Sent { triple; _ } ->
+        let p = triple.Triple.sender in
+        let t = proc_time.(p) +. step_cost in
+        proc_time.(p) <- t;
+        let delay = draw_delay prng model triple in
+        Hashtbl.replace sent_at (key triple) t;
+        Hashtbl.replace arrival (key triple) (t +. delay)
+      | Trace.Null_step { proc; _ } -> proc_time.(proc) <- proc_time.(proc) +. step_cost
+      | Trace.Delivered_msg { triple; _ } ->
+        let p = triple.Triple.receiver in
+        let arr = Option.value (Hashtbl.find_opt arrival (key triple)) ~default:0.0 in
+        let t = Float.max proc_time.(p) arr +. step_cost in
+        proc_time.(p) <- t;
+        let sent = Option.value (Hashtbl.find_opt sent_at (key triple)) ~default:0.0 in
+        msg_times := (triple, sent, t) :: !msg_times
+      | Trace.Delivered_note { at; _ } -> proc_time.(at) <- proc_time.(at) +. step_cost
+      | Trace.Failed_proc _ -> ()
+      | Trace.Decided { proc; _ } -> decisions := (proc, proc_time.(proc)) :: !decisions
+      | Trace.Became_amnesic _ | Trace.Halted _ -> ())
+    trace;
+  let completion = Array.fold_left Float.max 0.0 proc_time in
+  ( { completion; per_proc = proc_time; msg_times = List.rev !msg_times },
+    List.rev !decisions )
+
+let evaluate ?step_cost ~seed ~model ~n trace =
+  fst (propagate ?step_cost ~seed ~model ~n trace)
+
+let critical_path_bound trace = Pattern.height (Pattern.of_trace trace)
+
+let decision_times ?step_cost ~seed ~model ~n trace =
+  snd (propagate ?step_cost ~seed ~model ~n trace)

@@ -1,0 +1,51 @@
+(** Latency analysis of executions.
+
+    The model is untimed, but a trace plus a delay assignment induces
+    completion times: a message is sent when its sender has finished
+    every earlier step, and received no earlier than [send + delay].
+    This is the longest-path semantics of the happens-before order —
+    the link between a pattern's *height* and the wall-clock latency a
+    deployment would see, and the quantitative face of the lattice:
+    each extra phase a stronger problem needs shows up as critical-path
+    depth.
+
+    Delays are drawn from a seeded model so analyses are reproducible. *)
+
+open Patterns_sim
+
+type delay_model =
+  | Uniform of { lo : float; hi : float }  (** per-message, independent *)
+  | Fixed of float
+  | Per_link of (Proc_id.t -> Proc_id.t -> float)
+      (** deterministic function of (sender, receiver) *)
+
+type timing = {
+  completion : float;  (** when the last nonfaulty processor finishes its last step *)
+  per_proc : float array;  (** each processor's last-step time *)
+  msg_times : (Triple.t * float * float) list;  (** (triple, sent, received), in order *)
+}
+
+val evaluate :
+  ?step_cost:float ->
+  seed:int ->
+  model:delay_model ->
+  n:int ->
+  'msg Trace.t ->
+  timing
+(** Assign a delay to every message of the trace (seeded), then
+    propagate times through the trace's event order: each event of a
+    processor starts when the processor is free and (for receipts) the
+    message has arrived.  [step_cost] (default 1.0) is the local
+    processing time per step; delays default to the model.
+
+    The trace's own event order is respected, so the result is the
+    latency of *this* schedule under the drawn delays. *)
+
+val critical_path_bound : 'msg Trace.t -> int
+(** Height of the trace's communication pattern — the number of
+    messages on the longest causal chain, a delay-independent lower
+    bound on the number of sequential network hops. *)
+
+val decision_times : ?step_cost:float -> seed:int -> model:delay_model -> n:int ->
+  'msg Trace.t -> (Proc_id.t * float) list
+(** Time at which each decision event occurs under the same semantics. *)

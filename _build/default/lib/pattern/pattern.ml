@@ -1,0 +1,84 @@
+open Patterns_sim
+
+module Tp = Patterns_order.Poset.Make (struct
+  type t = Triple.t
+
+  let compare = Triple.compare
+  let pp = Triple.pp
+end)
+
+type t = Tp.t
+
+let make triples pairs = Tp.of_order triples pairs
+
+let of_trace trace =
+  let sends = Trace.sends trace in
+  let triples = List.map (fun (t, _, _) -> t) sends in
+  let pairs =
+    List.concat_map (fun (t, _, causes) -> List.map (fun c -> (c, t)) causes) sends
+  in
+  make triples pairs
+
+let empty = Tp.empty
+
+let messages = Tp.elements
+
+let message_count = Tp.cardinal
+
+let lt = Tp.lt
+
+let concurrent t a b = Triple.compare a b <> 0 && not (Tp.comparable t a b)
+
+let covers = Tp.covers
+
+let all_pairs = Tp.relation_pairs
+
+let equal = Tp.equal
+
+let compare = Tp.compare
+
+let is_prefix_consistent a b =
+  List.for_all (fun m -> Tp.index_of b m <> None) (messages a)
+  && List.for_all (fun (x, y) -> lt b x y) (all_pairs a)
+  &&
+  (* the extension must not order a's messages in ways a's closure
+     lacks: agreement, not mere containment *)
+  List.for_all
+    (fun (x, y) ->
+      match (Tp.index_of a x, Tp.index_of a y) with
+      | Some _, Some _ -> lt a x y
+      | _ -> true)
+    (all_pairs b)
+
+let width = Tp.width
+
+let height = Tp.height
+
+let delivery_orders = Tp.linear_extensions
+
+let messages_of_proc t p =
+  List.filter (fun m -> Proc_id.equal m.Triple.sender p) (messages t)
+
+let received_none t ~n =
+  let receivers =
+    List.fold_left (fun acc m -> Proc_id.Set.add m.Triple.receiver acc) Proc_id.Set.empty
+      (messages t)
+  in
+  List.filter (fun p -> not (Proc_id.Set.mem p receivers)) (Proc_id.all ~n)
+
+let pp ppf t =
+  if message_count t = 0 then Format.pp_print_string ppf "(empty pattern)"
+  else
+    Format.fprintf ppf "@[<v>msgs: %a@,order: %a@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Triple.pp)
+      (messages t)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (fun ppf (a, b) -> Format.fprintf ppf "%a<%a" Triple.pp a Triple.pp b))
+      (covers t)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

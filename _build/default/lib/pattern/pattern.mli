@@ -1,0 +1,75 @@
+(** Communication patterns.
+
+    The communication pattern of an execution [I] is the smallest
+    irreflexive transitive relation [<_I] on the message triples of
+    [I] such that (1) messages with the same sender are ordered by
+    sending time and (2) a message received before another is sent
+    precedes it (Section 3 of the paper).  Patterns are the unit of
+    comparison for schemes and reducibility.
+
+    Triples are globally named [(p, q, k)], so pattern equality is
+    plain structural equality of labeled posets — no isomorphism
+    search. *)
+
+open Patterns_sim
+
+type t
+
+val make : Triple.t list -> (Triple.t * Triple.t) list -> t
+(** [make triples direct_pairs] closes [direct_pairs] transitively.
+    @raise Invalid_argument on cyclic input or pairs over unknown
+    triples. *)
+
+val of_trace : 'msg Trace.t -> t
+(** Extract the pattern of a trace from its [Sent] events (failure
+    notices never appear in patterns). *)
+
+val empty : t
+
+val messages : t -> Triple.t list
+(** Sorted. *)
+
+val message_count : t -> int
+
+val lt : t -> Triple.t -> Triple.t -> bool
+(** The closed [<_I] relation. *)
+
+val concurrent : t -> Triple.t -> Triple.t -> bool
+(** Distinct and incomparable. *)
+
+val covers : t -> (Triple.t * Triple.t) list
+(** Hasse covers of the order, sorted. *)
+
+val all_pairs : t -> (Triple.t * Triple.t) list
+(** Every ordered pair of the closure, sorted. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_prefix_consistent : t -> t -> bool
+(** [is_prefix_consistent a b]: [a]'s messages are a subset of [b]'s
+    and the two orders agree on [a]'s messages.  Holds of any
+    execution prefix against its extension. *)
+
+val width : t -> int
+(** Maximum number of pairwise-concurrent messages. *)
+
+val height : t -> int
+(** Longest causal chain length. *)
+
+val delivery_orders : t -> Triple.t list list
+(** All linear extensions: the sequential send orders consistent with
+    the pattern. *)
+
+val messages_of_proc : t -> Proc_id.t -> Triple.t list
+(** Messages sent by the given processor, in sending order. *)
+
+val received_none : t -> n:int -> Proc_id.t list
+(** Processors that receive no message in the pattern (used by the
+    Theorem 8 argument: such a processor cannot know any input but its
+    own). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+(** Sets of patterns; a protocol's scheme is such a set. *)

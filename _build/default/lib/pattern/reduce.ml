@@ -1,0 +1,37 @@
+open Patterns_sim
+
+type relationship =
+  | Equal
+  | Left_subscheme
+  | Right_subscheme
+  | Incomparable of { only_left : Pattern.t; only_right : Pattern.t }
+
+let compare_schemes left right =
+  let l_in_r = Pattern.Set.subset left right in
+  let r_in_l = Pattern.Set.subset right left in
+  match (l_in_r, r_in_l) with
+  | true, true -> Equal
+  | true, false -> Left_subscheme
+  | false, true -> Right_subscheme
+  | false, false ->
+    Incomparable
+      {
+        only_left = Pattern.Set.min_elt (Pattern.Set.diff left right);
+        only_right = Pattern.Set.min_elt (Pattern.Set.diff right left);
+      }
+
+let compare_protocols ?max_configs ~n (module A : Protocol.S) (module B : Protocol.S) =
+  let module SA = Scheme.Make (A) in
+  let module SB = Scheme.Make (B) in
+  let left, _ = SA.scheme ?max_configs ~n () in
+  let right, _ = SB.scheme ?max_configs ~n () in
+  (compare_schemes left right, left, right)
+
+let pp_relationship ppf = function
+  | Equal -> Format.pp_print_string ppf "equal schemes"
+  | Left_subscheme -> Format.pp_print_string ppf "left scheme strictly contained in right"
+  | Right_subscheme -> Format.pp_print_string ppf "right scheme strictly contained in left"
+  | Incomparable { only_left; only_right } ->
+    Format.fprintf ppf
+      "incomparable schemes@,  a pattern only the left realizes: %d msgs@,  a pattern only the right realizes: %d msgs"
+      (Pattern.message_count only_left) (Pattern.message_count only_right)

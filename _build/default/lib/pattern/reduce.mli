@@ -1,0 +1,32 @@
+(** Scheme comparison between concrete protocols.
+
+    The paper's reducibility relates *problems* via sets of schemes; at
+    the level of two concrete protocols the computable ingredient is
+    the relationship between their schemes.  [scheme_of Q ⊆ schemes
+    solving P1] is what makes "any protocol for P2 solves P1 by
+    relabeling states and padding messages" go through, so comparing
+    schemes of a P1-solver and a P2-solver exhibits the reduction (or
+    its failure) concretely. *)
+
+open Patterns_sim
+
+type relationship =
+  | Equal
+  | Left_subscheme  (** the left scheme is strictly contained in the right *)
+  | Right_subscheme
+  | Incomparable of { only_left : Pattern.t; only_right : Pattern.t }
+      (** witnesses: a pattern only the left protocol realizes, and one
+          only the right does *)
+
+val compare_schemes : Pattern.Set.t -> Pattern.Set.t -> relationship
+
+val compare_protocols :
+  ?max_configs:int ->
+  n:int ->
+  (module Protocol.S) ->
+  (module Protocol.S) ->
+  relationship * Pattern.Set.t * Pattern.Set.t
+(** Enumerate both schemes at size [n] and compare.  Also returns the
+    two schemes for display. *)
+
+val pp_relationship : Format.formatter -> relationship -> unit

@@ -1,0 +1,53 @@
+open Patterns_sim
+open Patterns_stdx
+
+let pattern_to_dot ?(name = "pattern") p =
+  let nodes = List.map (fun t -> Dot.node ~shape:"box" (Triple.to_string t)) (Pattern.messages p) in
+  let edges =
+    List.map (fun (a, b) -> Dot.edge (Triple.to_string a) (Triple.to_string b)) (Pattern.covers p)
+  in
+  Dot.digraph ~rankdir:"LR" ~name nodes edges
+
+let pattern_ascii p =
+  Format.asprintf "%a@.width=%d height=%d@." Pattern.pp p (Pattern.width p) (Pattern.height p)
+
+let msc ~pp_msg trace = Format.asprintf "%a@." (Trace.pp ~pp_msg) trace
+
+let lanes ?(width = 16) ~pp_msg ~n trace =
+  let buf = Buffer.create 1024 in
+  let cell proc text =
+    let text = if String.length text > width - 1 then String.sub text 0 (width - 1) else text in
+    for _ = 1 to proc * width do Buffer.add_char buf ' ' done;
+    Buffer.add_string buf text;
+    Buffer.add_char buf '\n'
+  in
+  (* header *)
+  for p = 0 to n - 1 do
+    let label = Proc_id.to_string p in
+    Buffer.add_string buf label;
+    for _ = 1 to width - String.length label do Buffer.add_char buf ' ' done
+  done;
+  Buffer.add_char buf '\n';
+  for _ = 1 to n * width do Buffer.add_char buf '-' done;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Sent { triple; payload; _ } ->
+        cell triple.Triple.sender
+          (Format.asprintf "%a=>%a" pp_msg payload Proc_id.pp triple.Triple.receiver)
+      | Trace.Null_step { proc; _ } -> cell proc "."
+      | Trace.Delivered_msg { triple; payload; _ } ->
+        cell triple.Triple.receiver
+          (Format.asprintf "<=%a:%a" Proc_id.pp triple.Triple.sender pp_msg payload)
+      | Trace.Delivered_note { at; about; _ } ->
+        cell at (Format.asprintf "<=failed(%a)" Proc_id.pp about)
+      | Trace.Failed_proc { proc; _ } -> cell proc "CRASH"
+      | Trace.Decided { proc; decision; _ } ->
+        cell proc (Format.asprintf "#%a#" Decision.pp decision)
+      | Trace.Became_amnesic { proc; _ } -> cell proc "#forgets#"
+      | Trace.Halted { proc; _ } -> cell proc "#halts#")
+    trace;
+  Buffer.contents buf
+
+let trace_to_dot ?name trace = pattern_to_dot ?name (Pattern.of_trace trace)

@@ -1,0 +1,22 @@
+(** Rendering of patterns and traces for humans. *)
+
+open Patterns_sim
+
+val pattern_to_dot : ?name:string -> Pattern.t -> Patterns_stdx.Dot.graph
+(** Hasse diagram of the pattern: nodes are message triples, edges the
+    covers. *)
+
+val pattern_ascii : Pattern.t -> string
+(** Multi-line listing: messages, covers, width/height. *)
+
+val msc : pp_msg:(Format.formatter -> 'msg -> unit) -> 'msg Trace.t -> string
+(** Message-sequence-chart-style listing of a trace: one line per
+    send/receive/failure/decision in chronological order. *)
+
+val lanes : ?width:int -> pp_msg:(Format.formatter -> 'msg -> unit) -> n:int -> 'msg Trace.t -> string
+(** Two-dimensional space-time diagram: one column (lane) per
+    processor, one row per event, each event printed in its
+    processor's lane ([width] characters per lane, default 16). *)
+
+val trace_to_dot : ?name:string -> 'msg Trace.t -> Patterns_stdx.Dot.graph
+(** The pattern of the trace as a DOT graph (payloads dropped). *)

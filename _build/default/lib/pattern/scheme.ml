@@ -1,0 +1,115 @@
+open Patterns_sim
+open Patterns_stdx
+
+type stats = {
+  configs_visited : int;
+  terminal_configs : int;
+  truncated : bool;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf "visited=%d terminal=%d%s" s.configs_visited s.terminal_configs
+    (if s.truncated then " (TRUNCATED)" else "")
+
+module Make (P : Protocol.S) = struct
+  module E = Engine.Make (P)
+
+  module Config_set = Set.Make (struct
+    type t = E.config
+
+    let compare = E.compare_config
+  end)
+
+  let patterns_for_inputs ?(max_configs = 1_000_000) ~n ~inputs () =
+    let visited = ref Config_set.empty in
+    let visited_count = ref 0 in
+    let patterns = ref Pattern.Set.empty in
+    let terminal = ref 0 in
+    let truncated = ref false in
+    let stack = ref [ E.init ~n ~inputs ] in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | c :: rest ->
+        stack := rest;
+        if Config_set.mem c !visited then loop ()
+        else if !visited_count >= max_configs then truncated := true
+        else begin
+          visited := Config_set.add c !visited;
+          incr visited_count;
+          (match E.applicable c with
+          | [] ->
+            incr terminal;
+            patterns :=
+              Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns
+          | actions ->
+            List.iter
+              (fun a ->
+                let c', _ = E.apply_exn ~step:0 c a in
+                if not (Config_set.mem c' !visited) then stack := c' :: !stack)
+              actions);
+          loop ()
+        end
+    in
+    loop ();
+    ( !patterns,
+      {
+        configs_visited = !visited_count;
+        terminal_configs = !terminal;
+        truncated = !truncated;
+      } )
+
+  let realize ?(max_configs = 1_000_000) ~n ~inputs ~target () =
+    let visited = ref Config_set.empty in
+    let visited_count = ref 0 in
+    (* the accumulated pattern must be a prefix of the target: its
+       triples a subset, and the orders in agreement *)
+    let prefix_ok c =
+      let here = Pattern.make (E.triples_of c) (E.pattern_edges c) in
+      Pattern.is_prefix_consistent here target
+    in
+    let exception Found of Action.t list in
+    let rec dfs c path =
+      if Config_set.mem c !visited || !visited_count >= max_configs then ()
+      else begin
+        visited := Config_set.add c !visited;
+        incr visited_count;
+        match E.applicable c with
+        | [] ->
+          if Pattern.equal (Pattern.make (E.triples_of c) (E.pattern_edges c)) target then
+            raise (Found (List.rev path))
+        | actions ->
+          List.iter
+            (fun a ->
+              let c', _ = E.apply_exn ~step:0 c a in
+              if (not (Config_set.mem c' !visited)) && prefix_ok c' then dfs c' (a :: path))
+            actions
+      end
+    in
+    match dfs (E.init ~n ~inputs) [] with
+    | () -> None
+    | exception Found path -> Some path
+
+  let scheme ?max_configs ~n () =
+    List.fold_left
+      (fun (acc, st) inputs ->
+        let pats, st' = patterns_for_inputs ?max_configs ~n ~inputs () in
+        ( Pattern.Set.union acc pats,
+          {
+            configs_visited = st.configs_visited + st'.configs_visited;
+            terminal_configs = st.terminal_configs + st'.terminal_configs;
+            truncated = st.truncated || st'.truncated;
+          } ))
+      (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
+      (Listx.all_bool_vectors n)
+end
+
+let subscheme a b = Pattern.Set.subset a b
+
+let equal_schemes a b = Pattern.Set.equal a b
+
+let pp_scheme ppf s =
+  let pats = Pattern.Set.elements s in
+  Format.fprintf ppf "@[<v>%d pattern(s):@," (List.length pats);
+  List.iteri (fun i p -> Format.fprintf ppf "-- pattern %d --@,%a@," (i + 1) Pattern.pp p) pats;
+  Format.fprintf ppf "@]"

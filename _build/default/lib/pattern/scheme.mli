@@ -1,0 +1,55 @@
+(** Scheme enumeration.
+
+    The scheme of a protocol is the set of communication patterns of
+    all its failure-free executions.  For the finite, quiescing
+    protocols studied here the scheme is computed exactly, by
+    depth-first search over every applicable event from every initial
+    configuration, memoizing on full configurations (which carry the
+    pattern-so-far, making the memoization sound for pattern
+    collection). *)
+
+open Patterns_sim
+
+type stats = {
+  configs_visited : int;
+  terminal_configs : int;  (** distinct quiescent configurations *)
+  truncated : bool;  (** hit [max_configs] before exhausting the space *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+module Make (P : Protocol.S) : sig
+  module E : module type of Engine.Make (P)
+
+  val patterns_for_inputs :
+    ?max_configs:int -> n:int -> inputs:bool list -> unit -> Pattern.Set.t * stats
+  (** All patterns of failure-free executions from the given initial
+      bits.  Default [max_configs] is 1_000_000. *)
+
+  val scheme : ?max_configs:int -> n:int -> unit -> Pattern.Set.t * stats
+  (** Union over all [2^n] input vectors: the scheme proper.  Stats
+      are summed. *)
+
+  val realize :
+    ?max_configs:int ->
+    n:int ->
+    inputs:bool list ->
+    target:Pattern.t ->
+    unit ->
+    Patterns_sim.Action.t list option
+  (** Synthesize a failure-free execution whose communication pattern
+      is exactly [target]: a depth-first search over applicable events
+      pruned to pattern prefixes of the target.  Returns the event
+      sequence (replayable with {!E.apply}), or [None] if no
+      execution from these inputs realizes the pattern. *)
+end
+
+val subscheme : Pattern.Set.t -> Pattern.Set.t -> bool
+(** Set containment — the ingredient of the paper's reducibility:
+    [P1 <= P2] iff every scheme of a protocol for [P2] is the scheme
+    of some protocol for [P1]. *)
+
+val equal_schemes : Pattern.Set.t -> Pattern.Set.t -> bool
+
+val pp_scheme : Format.formatter -> Pattern.Set.t -> unit
+(** Lists the patterns, numbered. *)

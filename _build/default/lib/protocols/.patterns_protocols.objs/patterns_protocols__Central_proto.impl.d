@@ -1,0 +1,1 @@
+lib/protocols/central_proto.ml: Array Bool Commit_glue Decision Decision_rule Format List Outbox Patterns_sim Printf Proc_id Protocol Status Stdlib Step_kind Termination_core

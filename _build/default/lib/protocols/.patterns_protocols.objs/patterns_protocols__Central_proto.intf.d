@@ -1,0 +1,1 @@
+lib/protocols/central_proto.mli: Decision_rule Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/chain_proto.mli: Decision_rule Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/commit_glue.ml: Decision Format Incoming Int List Option Patterns_sim Proc_id Status Step_kind Termination_core

@@ -1,0 +1,1 @@
+lib/protocols/commit_glue.mli: Decision Format Patterns_sim Proc_id Protocol Status Step_kind Termination_core

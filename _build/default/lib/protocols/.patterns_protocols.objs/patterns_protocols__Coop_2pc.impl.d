@@ -1,0 +1,1 @@
+lib/protocols/coop_2pc.ml: Bool Decision Decision_rule Format Incoming Int List Outbox Patterns_sim Printf Proc_id Protocol Status Step_kind Vote_collect

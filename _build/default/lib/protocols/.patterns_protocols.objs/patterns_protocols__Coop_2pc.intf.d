@@ -1,0 +1,1 @@
+lib/protocols/coop_2pc.mli: Decision_rule Patterns_sim Protocol

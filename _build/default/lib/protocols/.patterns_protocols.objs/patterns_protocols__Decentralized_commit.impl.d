@@ -1,0 +1,1 @@
+lib/protocols/decentralized_commit.ml: Bool Commit_glue Decision Decision_rule Format Outbox Patterns_sim Printf Proc_id Protocol Status Step_kind Termination_core Vote_collect

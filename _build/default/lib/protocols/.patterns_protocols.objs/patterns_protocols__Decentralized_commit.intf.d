@@ -1,0 +1,1 @@
+lib/protocols/decentralized_commit.mli: Decision_rule Patterns_sim Protocol

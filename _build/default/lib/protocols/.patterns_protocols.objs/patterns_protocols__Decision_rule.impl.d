@@ -1,0 +1,1 @@
+lib/protocols/decision_rule.ml: Array Decision Format Fun List Patterns_sim Printf Proc_id String

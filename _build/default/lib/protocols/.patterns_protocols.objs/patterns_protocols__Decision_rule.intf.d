@@ -1,0 +1,1 @@
+lib/protocols/decision_rule.mli: Decision Format Patterns_sim Proc_id

@@ -1,0 +1,1 @@
+lib/protocols/perverse_proto.ml: Bool Commit_glue Decision Decision_rule Format Int Option Outbox Patterns_sim Proc_id Protocol Status Stdlib Step_kind Termination_core Vote_collect

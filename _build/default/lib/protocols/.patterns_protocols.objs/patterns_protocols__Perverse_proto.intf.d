@@ -1,0 +1,1 @@
+lib/protocols/perverse_proto.mli: Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/registry.mli: Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/reliable_broadcast.ml: Bool Commit_glue Decision Format List Outbox Patterns_sim Proc_id Protocol Status Step_kind Termination_core

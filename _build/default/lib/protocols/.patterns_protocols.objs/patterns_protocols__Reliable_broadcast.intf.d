@@ -1,0 +1,1 @@
+lib/protocols/reliable_broadcast.mli: Patterns_sim Protocol

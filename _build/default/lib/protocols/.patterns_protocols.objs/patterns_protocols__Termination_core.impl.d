@@ -1,0 +1,1 @@
+lib/protocols/termination_core.ml: Decision Format Int List Option Patterns_sim Proc_id Step_kind

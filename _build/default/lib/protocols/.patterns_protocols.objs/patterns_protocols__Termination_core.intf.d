@@ -1,0 +1,1 @@
+lib/protocols/termination_core.mli: Decision Format Patterns_sim Proc_id Step_kind

@@ -1,0 +1,1 @@
+lib/protocols/termination_proto.ml: Incoming Patterns_sim Proc_id Protocol Status Termination_core

@@ -1,0 +1,1 @@
+lib/protocols/termination_proto.mli: Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/total_comm.ml: Format Incoming Int List Patterns_sim Proc_id Protocol Stdlib Step_kind

@@ -1,0 +1,1 @@
+lib/protocols/total_comm.mli: Patterns_sim Protocol

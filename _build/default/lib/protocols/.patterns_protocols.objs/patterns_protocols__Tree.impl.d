@@ -1,0 +1,1 @@
+lib/protocols/tree.ml: Array Format List Patterns_sim Patterns_stdx Proc_id

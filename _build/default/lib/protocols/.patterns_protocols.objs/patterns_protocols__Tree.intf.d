@@ -1,0 +1,1 @@
+lib/protocols/tree.mli: Format Patterns_sim Proc_id

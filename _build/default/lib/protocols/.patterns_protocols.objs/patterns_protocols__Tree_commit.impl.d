@@ -1,0 +1,1 @@
+lib/protocols/tree_commit.ml: Bool Commit_glue Decision Format Option Outbox Patterns_sim Printf Proc_id Protocol Status Step_kind Termination_core Tree

@@ -1,0 +1,1 @@
+lib/protocols/tree_commit.mli: Patterns_sim Protocol Tree

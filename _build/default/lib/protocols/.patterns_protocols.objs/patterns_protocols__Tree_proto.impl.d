@@ -1,0 +1,1 @@
+lib/protocols/tree_proto.ml: Bool Commit_glue Decision Format Int List Option Outbox Patterns_sim Printf Proc_id Protocol Status Stdlib Step_kind Termination_core Tree

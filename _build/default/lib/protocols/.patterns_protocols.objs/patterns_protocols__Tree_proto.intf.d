@@ -1,0 +1,1 @@
+lib/protocols/tree_proto.mli: Patterns_sim Protocol Tree

@@ -1,0 +1,1 @@
+lib/protocols/two_phase_commit.mli: Decision_rule Patterns_sim Protocol

@@ -1,0 +1,1 @@
+lib/protocols/vote_collect.ml: Array Bool Decision Decision_rule Format List Patterns_sim Proc_id Stdlib

@@ -1,0 +1,1 @@
+lib/protocols/vote_collect.mli: Decision Decision_rule Format Patterns_sim Proc_id

@@ -1,0 +1,1 @@
+lib/protocols/voting_tree.ml: Array Bool Commit_glue Decision Decision_rule Format Int List Option Outbox Patterns_sim Printf Proc_id Protocol Status Stdlib Step_kind String Termination_core Tree

@@ -1,0 +1,1 @@
+lib/protocols/voting_tree.mli: Decision_rule Patterns_sim Proc_id Protocol Tree

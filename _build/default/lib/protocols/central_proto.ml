@@ -1,0 +1,170 @@
+open Patterns_sim
+
+type nmsg = Bit of bool | Decision_msg of Decision.t
+
+let compare_nmsg a b =
+  match (a, b) with
+  | Bit x, Bit y -> Bool.compare x y
+  | Decision_msg x, Decision_msg y -> Decision.compare x y
+  | Bit _, Decision_msg _ -> -1
+  | Decision_msg _, Bit _ -> 1
+
+let pp_nmsg ppf = function
+  | Bit b -> Format.fprintf ppf "bit(%d)" (if b then 1 else 0)
+  | Decision_msg d -> Format.fprintf ppf "decision(%a)" Decision.pp d
+
+type phase =
+  | Collect of { waiting : Proc_id.Set.t; bits : (Proc_id.t * bool) list; failed_seen : bool }
+  | Wait_decision
+  | Done of Decision.t
+
+type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool }
+
+let coordinator : Proc_id.t = 0
+
+module Make_base (Cfg : sig
+  val rule : Decision_rule.t
+  val name : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+
+  let describe =
+    Printf.sprintf "Figure 2: HT-IC centralized protocol (%s)" (Decision_rule.to_string Cfg.rule)
+
+  let amnesic_variant = false
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input =
+    if Proc_id.equal me coordinator then
+      {
+        outbox = Outbox.empty;
+        phase =
+          Collect
+            {
+              waiting = Proc_id.set_of_list (Proc_id.others ~n coordinator);
+              bits = [];
+              failed_seen = false;
+            };
+        input;
+      }
+    else { outbox = [ (coordinator, Bit input) ]; phase = Wait_decision; input }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Collect _ | Wait_decision -> Step_kind.Receiving
+      | Done _ -> Step_kind.Quiescent (* halting termination *)
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  (* [p0] finishes collecting: compute the decision, queue the
+     broadcast, and decide once the broadcast has drained. *)
+  let finish_collect ~n ~me s bits failed_seen =
+    let decision =
+      if failed_seen then Decision.Abort
+      else begin
+        let inputs = Array.make n false in
+        inputs.(me) <- s.input;
+        List.iter (fun (q, b) -> inputs.(q) <- b) bits;
+        Decision_rule.natural_decision Cfg.rule inputs
+      end
+    in
+    {
+      s with
+      outbox = Outbox.broadcast Outbox.empty (Proc_id.others ~n me) (Decision_msg decision);
+      phase = Done decision;
+    }
+
+  let receive ~n ~me s ~from msg =
+    match (s.phase, msg) with
+    | Collect { waiting; bits; failed_seen }, Bit b when Proc_id.Set.mem from waiting ->
+      let waiting = Proc_id.Set.remove from waiting in
+      let bits = List.sort Stdlib.compare ((from, b) :: bits) in
+      if Proc_id.Set.is_empty waiting then finish_collect ~n ~me s bits failed_seen
+      else { s with phase = Collect { waiting; bits; failed_seen } }
+    | Wait_decision, Decision_msg d ->
+      (* rebroadcast to the other participants, then decide and halt *)
+      let peers = List.filter (fun q -> not (Proc_id.equal q coordinator)) (Proc_id.others ~n me) in
+      { s with outbox = Outbox.broadcast Outbox.empty peers (Decision_msg d); phase = Done d }
+    | (Collect _ | Wait_decision | Done _), _ -> s
+
+  let on_failure ~n ~me s q =
+    match s.phase with
+    | Collect { waiting; bits; failed_seen = _ } when Proc_id.Set.mem q waiting ->
+      let waiting = Proc_id.Set.remove q waiting in
+      let s' = { s with phase = Collect { waiting; bits; failed_seen = true } } in
+      if Proc_id.Set.is_empty waiting then `Continue (finish_collect ~n ~me s' bits true)
+      else `Continue s'
+    | Collect _ | Done _ -> `Continue s
+    | Wait_decision -> `Join Termination_core.Noncommittable
+
+  let on_term_msg ~n:_ ~me:_ s =
+    match s.phase with
+    | Wait_decision -> `Join Termination_core.Noncommittable
+    | Collect _ | Done _ -> `Ignore
+
+  let term_translate = function
+    | Decision_msg d -> `Peer_decided d
+    | Bit _ -> `Ignore
+
+  let known_halted _ = []
+
+  let status s =
+    match s.phase with
+    | Done d when Outbox.is_empty s.outbox -> Status.decided_halted d
+    | Done _ | Collect _ | Wait_decision -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Collect a, Collect b ->
+      let c = Proc_id.Set.compare a.waiting b.waiting in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.bits b.bits in
+        if c <> 0 then c else Bool.compare a.failed_seen b.failed_seen
+    | Wait_decision, Wait_decision -> 0
+    | Done a, Done b -> Decision.compare a b
+    | Collect _, (Wait_decision | Done _) -> -1
+    | Wait_decision, Collect _ -> 1
+    | Wait_decision, Done _ -> -1
+    | Done _, (Collect _ | Wait_decision) -> 1
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c else Bool.compare a.input b.input
+
+  let pp_nstate ppf s =
+    let pp_phase ppf = function
+      | Collect { waiting; failed_seen; _ } ->
+        Format.fprintf ppf "collect(wait=%a%s)" Proc_id.pp_set waiting
+          (if failed_seen then ",failure" else "")
+      | Wait_decision -> Format.pp_print_string ppf "wait-decision"
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~rule ~name =
+  let module B = Make_base (struct
+    let rule = rule
+    let name = name
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let fig2 = make ~rule:Decision_rule.Unanimity ~name:"fig2-central"

@@ -1,0 +1,25 @@
+(** The Figure 2 centralized protocol (HT-IC).
+
+    [p0] collects every input (substituting "abort" if it detects a
+    failure while collecting), broadcasts its decision, decides and
+    halts.  Each participant sends its input to [p0], waits for a
+    decision message (from [p0] or any rebroadcasting peer),
+    rebroadcasts it to the other participants, decides and halts.  A
+    participant that detects a failure while waiting joins the
+    "modified" termination protocol of the figure: decision messages
+    received during termination remove their sender from the UP set
+    (the sender halts) and are classified committable /
+    noncommittable.
+
+    The protocol halts but only guarantees interactive consistency:
+    [p0] decides before the nonfaulty processors share its bias, so by
+    Corollary 6 it cannot establish total consistency (the violating
+    schedule is exercised in the Theorem 8 reproduction). *)
+
+open Patterns_sim
+
+val make : rule:Decision_rule.t -> name:string -> (module Protocol.S)
+(** Centralized protocol deciding by an arbitrary decision rule. *)
+
+val fig2 : (module Protocol.S)
+(** The paper's instance: unanimity. *)

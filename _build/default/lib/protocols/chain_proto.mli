@@ -1,0 +1,28 @@
+(** The Figure 3 chain protocol (WT-IC).
+
+    Every [p_i] (i >= 1) sends its input to [p0]; [p0] tallies,
+    decides, and sends its decision to [p1]; each [p_i] decides and
+    forwards the decision to [p_(i+1)]; [p_(N-1)] simply decides.
+    Nobody halts (weak termination: deciders keep listening).
+
+    On a detected failure a processor joins the Appendix termination
+    protocol, with a committable bias iff it has already decided
+    commit — deciders stay up and participate, which preserves
+    interactive consistency; total consistency is *not* guaranteed
+    (a decided processor may fail while the survivors know nothing).
+
+    Its single failure-free communication pattern — a star into [p0]
+    followed by a decision chain — cannot be realized by any ST-IC
+    protocol (Theorem 13); [fig3_amnesic] is the amnesic variant used
+    to exhibit the inconsistency. *)
+
+open Patterns_sim
+
+val make : ?amnesic:bool -> rule:Decision_rule.t -> name:string -> unit -> (module Protocol.S)
+
+val fig3 : (module Protocol.S)
+(** The paper's instance: unanimity, 4 processors or more. *)
+
+val fig3_amnesic : (module Protocol.S)
+(** Deciders forget immediately (strong termination attempt); used to
+    replay the Theorem 13 scenarios that show WT-IC < ST-IC. *)

@@ -1,0 +1,219 @@
+open Patterns_sim
+
+module type BASE = sig
+  type nstate
+  type nmsg
+
+  val name : string
+  val describe : string
+  val valid_n : int -> bool
+  val amnesic_variant : bool
+  val initial : n:int -> me:Proc_id.t -> input:bool -> nstate
+  val step_kind : nstate -> Step_kind.t
+  val send : n:int -> me:Proc_id.t -> nstate -> (Proc_id.t * nmsg) option * nstate
+  val receive : n:int -> me:Proc_id.t -> nstate -> from:Proc_id.t -> nmsg -> nstate
+
+  val on_failure :
+    n:int ->
+    me:Proc_id.t ->
+    nstate ->
+    Proc_id.t ->
+    [ `Join of Termination_core.bias | `Continue of nstate ]
+
+  val on_term_msg :
+    n:int -> me:Proc_id.t -> nstate -> [ `Join of Termination_core.bias | `Ignore ]
+
+  val term_translate : nmsg -> [ `Ignore | `Peer_decided of Decision.t ]
+  val known_halted : nstate -> Proc_id.t list
+  val status : nstate -> Status.t
+  val compare_nstate : nstate -> nstate -> int
+  val pp_nstate : Format.formatter -> nstate -> unit
+  val compare_nmsg : nmsg -> nmsg -> int
+  val pp_nmsg : Format.formatter -> nmsg -> unit
+end
+
+module Make (B : BASE) = struct
+  type msg = Norm of B.nmsg | Term of Termination_core.msg
+
+  (* [`No]: not applicable / not yet decided.  [`Pending]: decided,
+     about to take the internal forgetting step.  [`Done]: amnesic. *)
+  type amnesia = No_amnesia | Pending_amnesia | Amnesic
+
+  type term_info = {
+    core : Termination_core.t;
+    decided : Decision.t option;  (* decision carried from normal mode *)
+    amnesia : amnesia;
+  }
+
+  type state =
+    | Norm_mode of { norm : B.nstate; up : Proc_id.Set.t; amnesia : amnesia }
+    | Term_mode of term_info
+
+  let name = B.name
+  let describe = B.describe
+  let valid_n = B.valid_n
+
+  let initial ~n ~me ~input =
+    Norm_mode { norm = B.initial ~n ~me ~input; up = Proc_id.set_of_list (Proc_id.all ~n); amnesia = No_amnesia }
+
+  (* Decide whether the freshly produced normal state triggers the
+     ST-variant forgetting step. *)
+  let refresh_amnesia amnesia norm =
+    match amnesia with
+    | Pending_amnesia | Amnesic -> amnesia
+    | No_amnesia ->
+      (* forget as soon as decided — but let any already-queued sends
+         (e.g. forwarding the decision down a chain) drain first *)
+      if
+        B.amnesic_variant
+        && (B.status norm).Status.decision <> None
+        && not (Step_kind.equal (B.step_kind norm) Step_kind.Sending)
+      then Pending_amnesia
+      else No_amnesia
+
+  let normal norm up amnesia = Norm_mode { norm; up; amnesia = refresh_amnesia amnesia norm }
+
+  let step_kind = function
+    | Norm_mode { amnesia = Pending_amnesia; _ } -> Step_kind.Sending
+    | Norm_mode { norm; _ } -> B.step_kind norm
+    | Term_mode { amnesia = Pending_amnesia; _ } -> Step_kind.Sending
+    | Term_mode { core; _ } ->
+      (* the Appendix protocol ends with "halt": a finished participant
+         takes no further steps (its rounds have all been broadcast) *)
+      if Termination_core.finished core then Step_kind.Quiescent
+      else Termination_core.step_kind core
+
+  let term_decided t core' =
+    (* once the termination run finishes, record its outcome as the
+       carried decision (the engine checks it agrees with any decision
+       made before joining); in the ST variant the decision is followed
+       by the internal forgetting step *)
+    match Termination_core.outcome core' with
+    | Some _ as d ->
+      let amnesia =
+        match t.amnesia with
+        | No_amnesia when B.amnesic_variant -> Pending_amnesia
+        | a -> a
+      in
+      Term_mode { core = core'; decided = d; amnesia }
+    | None -> Term_mode { t with core = core' }
+
+  let send ~n ~me state =
+    match state with
+    | Norm_mode { amnesia = Pending_amnesia; norm; up } ->
+      (None, Norm_mode { norm; up; amnesia = Amnesic })
+    | Norm_mode { norm; up; amnesia } ->
+      let out, norm' = B.send ~n ~me norm in
+      let out = Option.map (fun (q, m) -> (q, Norm m)) out in
+      (out, normal norm' up amnesia)
+    | Term_mode ({ amnesia = Pending_amnesia; _ } as t) -> (None, Term_mode { t with amnesia = Amnesic })
+    | Term_mode ({ core; _ } as t) ->
+      let out, core' = Termination_core.send core in
+      let out = Option.map (fun (q, m) -> (q, Term m)) out in
+      (out, term_decided t core')
+
+  let join ~n ~me ~up ~decided ~amnesia bias =
+    let core =
+      match amnesia with
+      | Amnesic | Pending_amnesia -> Termination_core.start_amnesic ~n ~me ~up
+      | No_amnesia -> Termination_core.start ~n ~me ~up ~bias
+    in
+    Term_mode { core; decided; amnesia = (match amnesia with Pending_amnesia -> Amnesic | a -> a) }
+
+  (* a base may manage amnesia itself (e.g. the ST variant of the
+     Figure 4 protocol erases state mid-phase); respect its status
+     when joining a termination run *)
+  let effective_amnesia norm amnesia =
+    if (B.status norm).Status.amnesic then Amnesic else amnesia
+
+  let receive ~n ~me state incoming =
+    match state with
+    | Norm_mode { norm; up; amnesia } -> (
+      match incoming with
+      | Incoming.Failed q -> (
+        let up = Proc_id.Set.remove q up in
+        match B.on_failure ~n ~me norm q with
+        | `Continue norm' -> normal norm' up amnesia
+        | `Join bias ->
+          let up = List.fold_left (fun s p -> Proc_id.Set.remove p s) up (B.known_halted norm) in
+          join ~n ~me ~up ~decided:(B.status norm).Status.decision
+            ~amnesia:(effective_amnesia norm amnesia) bias)
+      | Incoming.Msg { from; payload = Norm m } -> normal (B.receive ~n ~me norm ~from m) up amnesia
+      | Incoming.Msg { from; payload = Term tmsg } -> (
+        match B.on_term_msg ~n ~me norm with
+        | `Ignore -> Norm_mode { norm; up; amnesia }
+        | `Join bias -> (
+          let up = List.fold_left (fun s p -> Proc_id.Set.remove p s) up (B.known_halted norm) in
+          match
+            join ~n ~me ~up ~decided:(B.status norm).Status.decision
+              ~amnesia:(effective_amnesia norm amnesia) bias
+          with
+          | Term_mode t ->
+            let core' = Termination_core.on_msg t.core ~from tmsg in
+            term_decided t core'
+          | Norm_mode _ -> assert false)))
+    | Term_mode ({ core; _ } as t) -> (
+      match incoming with
+      | Incoming.Failed q -> term_decided t (Termination_core.on_failure core q)
+      | Incoming.Msg { from; payload = Term tmsg } ->
+        term_decided t (Termination_core.on_msg core ~from tmsg)
+      | Incoming.Msg { from; payload = Norm m } -> (
+        let upgrade core = function
+          | Decision.Commit -> Termination_core.upgrade_committable core
+          | Decision.Abort -> core
+        in
+        match B.term_translate m with
+        | `Ignore -> state
+        | `Peer_decided d ->
+          (* classify the decision (bias upgrade) before removing the
+             halted sender: the removal may complete the final round *)
+          let core = upgrade core d in
+          term_decided t (Termination_core.on_failure core from)))
+
+  let status = function
+    | Norm_mode { amnesia = Amnesic; norm; _ } ->
+      { Status.decision = None; amnesic = true; halted = (B.status norm).Status.halted }
+    | Norm_mode { norm; _ } -> B.status norm
+    | Term_mode { amnesia = Amnesic; core; _ } ->
+      { Status.decision = None; amnesic = true; halted = Termination_core.finished core }
+    | Term_mode { decided; core; _ } ->
+      { Status.decision = decided; amnesic = false; halted = Termination_core.finished core }
+
+  let amnesia_rank = function No_amnesia -> 0 | Pending_amnesia -> 1 | Amnesic -> 2
+
+  let compare_state a b =
+    match (a, b) with
+    | Norm_mode a, Norm_mode b ->
+      let c = B.compare_nstate a.norm b.norm in
+      if c <> 0 then c
+      else
+        let c = Proc_id.Set.compare a.up b.up in
+        if c <> 0 then c else Int.compare (amnesia_rank a.amnesia) (amnesia_rank b.amnesia)
+    | Term_mode a, Term_mode b ->
+      let c = Termination_core.compare a.core b.core in
+      if c <> 0 then c
+      else
+        let c = Option.compare Decision.compare a.decided b.decided in
+        if c <> 0 then c else Int.compare (amnesia_rank a.amnesia) (amnesia_rank b.amnesia)
+    | Norm_mode _, Term_mode _ -> -1
+    | Term_mode _, Norm_mode _ -> 1
+
+  let pp_state ppf = function
+    | Norm_mode { norm; amnesia; _ } ->
+      Format.fprintf ppf "%a%s" B.pp_nstate norm
+        (match amnesia with Amnesic -> "/amnesic" | Pending_amnesia -> "/forgetting" | No_amnesia -> "")
+    | Term_mode { core; amnesia; _ } ->
+      Format.fprintf ppf "%a%s" Termination_core.pp core
+        (match amnesia with Amnesic -> "/amnesic" | Pending_amnesia -> "/forgetting" | No_amnesia -> "")
+
+  let compare_msg a b =
+    match (a, b) with
+    | Norm a, Norm b -> B.compare_nmsg a b
+    | Term a, Term b -> Termination_core.compare_msg a b
+    | Norm _, Term _ -> -1
+    | Term _, Norm _ -> 1
+
+  let pp_msg ppf = function
+    | Norm m -> B.pp_nmsg ppf m
+    | Term m -> Format.fprintf ppf "term:%a" Termination_core.pp_msg m
+end

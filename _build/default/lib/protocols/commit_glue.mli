@@ -1,0 +1,91 @@
+(** Termination-protocol embedding.
+
+    Every consensus protocol in the paper specifies its failure-free
+    behaviour and delegates failures to the Appendix termination
+    protocol ("whenever a failure is detected processors invoke the
+    termination protocol").  This functor factors that delegation out:
+    a [BASE] describes the failure-free state machine plus three
+    policies (when to join, what bias to join with, how to interpret a
+    normal message arriving during termination), and [Make] produces a
+    full [Protocol.S] whose message type is the base vocabulary
+    extended with termination messages.
+
+    The glue also implements the strong-termination (amnesic) variants
+    of Corollary 11: with [amnesic_variant] set, a processor takes one
+    internal step immediately after deciding and moves to the amnesic
+    state, and joins any later termination run by announcing amnesia
+    rather than a bias. *)
+
+open Patterns_sim
+
+module type BASE = sig
+  type nstate
+  (** Failure-free ("normal-mode") local state. *)
+
+  type nmsg
+  (** Failure-free message vocabulary. *)
+
+  val name : string
+  val describe : string
+  val valid_n : int -> bool
+
+  val amnesic_variant : bool
+  (** Become amnesic immediately after deciding (ST protocols). *)
+
+  val initial : n:int -> me:Proc_id.t -> input:bool -> nstate
+  val step_kind : nstate -> Step_kind.t
+  val send : n:int -> me:Proc_id.t -> nstate -> (Proc_id.t * nmsg) option * nstate
+
+  val receive : n:int -> me:Proc_id.t -> nstate -> from:Proc_id.t -> nmsg -> nstate
+  (** Normal message in normal mode. *)
+
+  val on_failure :
+    n:int ->
+    me:Proc_id.t ->
+    nstate ->
+    Proc_id.t ->
+    [ `Join of Termination_core.bias | `Continue of nstate ]
+  (** Reaction to a failure notice in normal mode: join the
+      termination protocol with the given bias, or handle it locally
+      (e.g. a coordinator substituting a failure for a missing vote). *)
+
+  val on_term_msg :
+    n:int -> me:Proc_id.t -> nstate -> [ `Join of Termination_core.bias | `Ignore ]
+  (** Reaction to a termination message arriving in normal mode:
+      somebody else detected a failure first. *)
+
+  val term_translate : nmsg -> [ `Ignore | `Peer_decided of Decision.t ]
+  (** How a normal message is interpreted when it arrives in
+      termination mode.  [`Peer_decided d] implements the "modified"
+      termination protocol of Figure 2: the sender has decided [d]
+      and will halt, so it is removed from the UP set and (subject to
+      the final-round guard of {!Termination_core.upgrade_committable})
+      a commit upgrades the local bias.
+
+      Everything else must be [`Ignore]: adopting a committable bias
+      from an in-flight normal message mid-termination would inject
+      committability without consuming a failure, breaking the N-round
+      flooding argument — an operational processor holding the bias
+      joins the run itself and propagates it through its round
+      broadcasts, which is sufficient. *)
+
+  val known_halted : nstate -> Proc_id.t list
+  (** Peers this state knows will never participate in a termination
+      run (e.g. a coordinator that halts right after broadcasting its
+      decision, once that decision has been received).  They are
+      excluded from the UP set when joining, since nothing will ever
+      remove them otherwise. *)
+
+  val status : nstate -> Status.t
+
+  val compare_nstate : nstate -> nstate -> int
+  val pp_nstate : Format.formatter -> nstate -> unit
+  val compare_nmsg : nmsg -> nmsg -> int
+  val pp_nmsg : Format.formatter -> nmsg -> unit
+end
+
+module Make (B : BASE) : sig
+  type msg = Norm of B.nmsg | Term of Termination_core.msg
+
+  include Protocol.S with type msg := msg
+end

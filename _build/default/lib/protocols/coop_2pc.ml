@@ -1,0 +1,207 @@
+open Patterns_sim
+
+type msg =
+  | Vote of bool
+  | Decision_msg of Decision.t
+  | Dreq  (** "do you know the decision?" *)
+  | Dreply of Decision.t
+  | Uncertain_reply
+
+let msg_rank = function
+  | Vote _ -> 0 | Decision_msg _ -> 1 | Dreq -> 2 | Dreply _ -> 3 | Uncertain_reply -> 4
+
+let compare_msg a b =
+  match (a, b) with
+  | Vote x, Vote y -> Bool.compare x y
+  | Decision_msg x, Decision_msg y | Dreply x, Dreply y -> Decision.compare x y
+  | Dreq, Dreq | Uncertain_reply, Uncertain_reply -> 0
+  | (Vote _ | Decision_msg _ | Dreq | Dreply _ | Uncertain_reply), _ ->
+    Int.compare (msg_rank a) (msg_rank b)
+
+let pp_msg ppf = function
+  | Vote b -> Format.fprintf ppf "vote(%d)" (if b then 1 else 0)
+  | Decision_msg d -> Format.fprintf ppf "decision(%a)" Decision.pp d
+  | Dreq -> Format.pp_print_string ppf "decision-request"
+  | Dreply d -> Format.fprintf ppf "decision-reply(%a)" Decision.pp d
+  | Uncertain_reply -> Format.pp_print_string ppf "uncertain"
+
+type phase =
+  | Collect of Vote_collect.t  (** coordinator *)
+  | Wait_decision  (** participant, before asking *)
+  | Querying of { waiting : Proc_id.Set.t }  (** asked the peers *)
+  | Blocked  (** every operational peer is uncertain too *)
+  | Done of Decision.t
+
+type state = {
+  outbox : msg Outbox.t;
+  phase : phase;
+  input : bool;
+  coord : bool;
+  pending : Proc_id.Set.t;  (** uncertain peers to answer if we ever learn *)
+}
+
+let coordinator : Proc_id.t = 0
+
+module Make (Cfg : sig
+  val rule : Decision_rule.t
+  val name : string
+end) : Protocol.S = struct
+  type nonrec state = state
+  type nonrec msg = msg
+
+  let name = Cfg.name
+
+  let describe =
+    Printf.sprintf "2PC with cooperative termination ([S81]) — blocking (%s)"
+      (Decision_rule.to_string Cfg.rule)
+
+  let valid_n n = n >= 3 (* with one participant there is nobody to ask *)
+
+  let initial ~n ~me ~input =
+    if Proc_id.equal me coordinator then
+      {
+        outbox = Outbox.empty;
+        phase = Collect (Vote_collect.start (Proc_id.others ~n me));
+        input;
+        coord = true;
+        pending = Proc_id.Set.empty;
+      }
+    else
+      {
+        outbox = [ (coordinator, Vote input) ];
+        phase = Wait_decision;
+        input;
+        coord = false;
+        pending = Proc_id.Set.empty;
+      }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Collect _ | Wait_decision | Querying _ | Blocked -> Step_kind.Receiving
+      | Done _ -> if s.coord then Step_kind.Quiescent else Step_kind.Receiving
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  let participants ~n me =
+    List.filter (fun q -> not (Proc_id.equal q coordinator)) (Proc_id.others ~n me)
+
+  (* learning the decision: decide and answer every stored request *)
+  let learn s d =
+    let replies =
+      List.map (fun q -> (q, Dreply d)) (Proc_id.Set.elements s.pending)
+    in
+    { s with outbox = s.outbox @ replies; phase = Done d; pending = Proc_id.Set.empty }
+
+  let finish_collect ~n ~me s vc =
+    let decision = Vote_collect.decide ~rule:Cfg.rule ~n ~me ~own:s.input vc in
+    {
+      s with
+      outbox = Outbox.broadcast Outbox.empty (Proc_id.others ~n me) (Decision_msg decision);
+      phase = Done decision;
+    }
+
+  let receive ~n ~me s incoming =
+    match incoming with
+    | Incoming.Msg { from; payload } -> (
+      match (s.phase, payload) with
+      (* coordinator *)
+      | Collect vc, Vote b when Vote_collect.awaiting vc from ->
+        let vc = Vote_collect.add_bit vc from b in
+        if Vote_collect.complete vc then finish_collect ~n ~me s vc
+        else { s with phase = Collect vc }
+      (* participants *)
+      | (Wait_decision | Querying _ | Blocked), Decision_msg d -> learn s d
+      | (Wait_decision | Querying _ | Blocked), Dreply d -> learn s d
+      | (Wait_decision | Querying _ | Blocked), Dreq ->
+        (* uncertain ourselves: say so, and remember to answer later *)
+        {
+          s with
+          outbox = Outbox.push s.outbox from Uncertain_reply;
+          pending = Proc_id.Set.add from s.pending;
+        }
+      | Querying { waiting }, Uncertain_reply ->
+        let waiting = Proc_id.Set.remove from waiting in
+        if Proc_id.Set.is_empty waiting then { s with phase = Blocked }
+        else { s with phase = Querying { waiting } }
+      | Done d, Dreq -> { s with outbox = Outbox.push s.outbox from (Dreply d) }
+      | _, (Vote _ | Decision_msg _ | Dreq | Dreply _ | Uncertain_reply) -> s)
+    | Incoming.Failed q -> (
+      match s.phase with
+      | Collect vc when Vote_collect.awaiting vc q ->
+        let vc = Vote_collect.note_failure vc q in
+        if Vote_collect.complete vc then finish_collect ~n ~me s vc
+        else { s with phase = Collect vc }
+      | Wait_decision when Proc_id.equal q coordinator ->
+        (* the uncertain window: ask the other participants *)
+        let peers = participants ~n me in
+        {
+          s with
+          outbox = Outbox.broadcast s.outbox peers Dreq;
+          phase = Querying { waiting = Proc_id.set_of_list peers };
+        }
+      | Querying { waiting } ->
+        let waiting = Proc_id.Set.remove q waiting in
+        if Proc_id.Set.is_empty waiting then { s with phase = Blocked }
+        else { s with phase = Querying { waiting } }
+      | Collect _ | Wait_decision | Blocked | Done _ -> s)
+
+  let status s =
+    match s.phase with
+    | Done d when s.coord && Outbox.is_empty s.outbox -> Status.decided_halted d
+    | Done d -> Status.decided d
+    | Collect _ | Wait_decision | Querying _ | Blocked -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Collect x, Collect y -> Vote_collect.compare x y
+    | Querying x, Querying y -> Proc_id.Set.compare x.waiting y.waiting
+    | Wait_decision, Wait_decision | Blocked, Blocked -> 0
+    | Done x, Done y -> Decision.compare x y
+    | (Collect _ | Wait_decision | Querying _ | Blocked | Done _), _ ->
+      let rank = function
+        | Collect _ -> 0 | Wait_decision -> 1 | Querying _ -> 2 | Blocked -> 3 | Done _ -> 4
+      in
+      Int.compare (rank a) (rank b)
+
+  let compare_state a b =
+    let c = Outbox.compare ~cmp_msg:compare_msg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Bool.compare a.input b.input in
+        if c <> 0 then c
+        else
+          let c = Bool.compare a.coord b.coord in
+          if c <> 0 then c else Proc_id.Set.compare a.pending b.pending
+
+  let pp_state ppf s =
+    let pp_phase ppf = function
+      | Collect vc -> Vote_collect.pp ppf vc
+      | Wait_decision -> Format.pp_print_string ppf "wait-decision"
+      | Querying { waiting } -> Format.fprintf ppf "querying(wait=%a)" Proc_id.pp_set waiting
+      | Blocked -> Format.pp_print_string ppf "BLOCKED"
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg) s.outbox)
+
+  let compare_msg = compare_msg
+  let pp_msg = pp_msg
+end
+
+let make ~rule ~name =
+  let module P = Make (struct
+    let rule = rule
+    let name = name
+  end) in
+  (module P : Protocol.S)
+
+let default = make ~rule:Decision_rule.Unanimity ~name:"coop-2pc"

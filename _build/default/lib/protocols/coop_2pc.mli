@@ -1,0 +1,20 @@
+(** Two-phase commit with cooperative termination ([S81]).
+
+    The historically deployed termination strategy: a participant that
+    detects the coordinator's failure while in its uncertain window
+    (voted yes, no decision yet) asks the other participants; anyone
+    who knows the decision replies with it; if every operational peer
+    is equally uncertain, the participant *blocks* — it never decides.
+
+    This sits outside the paper's six problems: blocking preserves
+    both interactive and total consistency (nobody ever guesses) at
+    the price of weak termination itself — the live processors may
+    never decide.  The classification table shows IC and TC holding
+    with WT violated: the real-world 2PC trade-off the Appendix
+    protocol (and 3PC) exists to avoid. *)
+
+open Patterns_sim
+
+val make : rule:Decision_rule.t -> name:string -> (module Protocol.S)
+
+val default : (module Protocol.S)

@@ -1,0 +1,106 @@
+open Patterns_sim
+
+type nmsg = Vote of bool
+
+let compare_nmsg (Vote a) (Vote b) = Bool.compare a b
+
+let pp_nmsg ppf (Vote b) = Format.fprintf ppf "vote(%d)" (if b then 1 else 0)
+
+type phase = Collect of Vote_collect.t | Done of Decision.t
+
+type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool }
+
+module Make_base (Cfg : sig
+  val rule : Decision_rule.t
+  val name : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+
+  let describe =
+    Printf.sprintf "decentralized commit: all-to-all votes (%s)" (Decision_rule.to_string Cfg.rule)
+
+  let amnesic_variant = false
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input =
+    {
+      outbox = Outbox.broadcast Outbox.empty (Proc_id.others ~n me) (Vote input);
+      phase = Collect (Vote_collect.start (Proc_id.others ~n me));
+      input;
+    }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Collect _ -> Step_kind.Receiving
+      | Done _ -> Step_kind.Receiving (* weak termination *)
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  let finish ~n ~me s vc =
+    { s with phase = Done (Vote_collect.decide ~rule:Cfg.rule ~n ~me ~own:s.input vc) }
+
+  let receive ~n ~me s ~from msg =
+    match (s.phase, msg) with
+    | Collect vc, Vote b when Vote_collect.awaiting vc from ->
+      let vc = Vote_collect.add_bit vc from b in
+      if Vote_collect.complete vc then finish ~n ~me s vc else { s with phase = Collect vc }
+    | (Collect _ | Done _), _ -> s
+
+  let bias_of s =
+    match s.phase with
+    | Done Decision.Commit -> Termination_core.Committable
+    | Done Decision.Abort | Collect _ -> Termination_core.Noncommittable
+
+  let on_failure ~n:_ ~me:_ s _q = `Join (bias_of s)
+  let on_term_msg ~n:_ ~me:_ s = `Join (bias_of s)
+
+  let term_translate (Vote _) = `Ignore
+  let known_halted _ = []
+
+  let status s =
+    match s.phase with Done d -> Status.decided d | Collect _ -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Collect a, Collect b -> Vote_collect.compare a b
+    | Done a, Done b -> Decision.compare a b
+    | Collect _, Done _ -> -1
+    | Done _, Collect _ -> 1
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c else Bool.compare a.input b.input
+
+  let pp_nstate ppf s =
+    let pp_phase ppf = function
+      | Collect vc -> Vote_collect.pp ppf vc
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~rule ~name =
+  let module B = Make_base (struct
+    let rule = rule
+    let name = name
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let default = make ~rule:Decision_rule.Unanimity ~name:"d2pc"

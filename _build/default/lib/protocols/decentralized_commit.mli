@@ -1,0 +1,19 @@
+(** Decentralized commitment ([S82]'s decentralized 2PC).
+
+    Every processor broadcasts its vote to every other; each decides
+    independently once it holds the full vote vector (commit iff the
+    rule permits).  No coordinator, one message delay, O(N^2)
+    messages.  Deciders keep listening (weak termination) and join the
+    Appendix termination protocol when a failure is detected.
+
+    Like the chain protocol this is WT-IC but not WT-TC: a processor
+    can decide commit and fail while some peer is still missing a vote
+    from another failed processor, and the survivors' termination run
+    aborts. *)
+
+open Patterns_sim
+
+val make : rule:Decision_rule.t -> name:string -> (module Protocol.S)
+
+val default : (module Protocol.S)
+(** Unanimity instance. *)

@@ -1,0 +1,40 @@
+open Patterns_sim
+
+type t =
+  | Unanimity
+  | Broadcast of Proc_id.t
+  | Threshold of int
+  | Subset of Proc_id.t list
+
+let count_ones inputs = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 inputs
+
+let commit_permitted rule inputs =
+  match rule with
+  | Unanimity -> Array.for_all Fun.id inputs
+  | Broadcast p -> inputs.(p)
+  | Threshold k -> count_ones inputs >= k
+  | Subset s -> List.for_all (fun p -> inputs.(p)) s
+
+let natural_decision rule inputs =
+  if commit_permitted rule inputs then Decision.Commit else Decision.Abort
+
+let permits rule ~inputs ~failure_occurred decision =
+  match decision with
+  | Decision.Commit -> commit_permitted rule inputs
+  | Decision.Abort -> (
+    (* abort is permitted when commit is not forced; under unanimity
+       the paper allows abort exactly when some bit is 0 or a failure
+       occurred, and symmetrically for the generalizations *)
+    match rule with
+    | Unanimity -> failure_occurred || not (Array.for_all Fun.id inputs)
+    | Broadcast p -> failure_occurred || not inputs.(p)
+    | Threshold k -> failure_occurred || count_ones inputs < k
+    | Subset s -> failure_occurred || not (List.for_all (fun p -> inputs.(p)) s))
+
+let to_string = function
+  | Unanimity -> "unanimity"
+  | Broadcast p -> Printf.sprintf "broadcast(%s)" (Proc_id.to_string p)
+  | Threshold k -> Printf.sprintf "threshold(%d)" k
+  | Subset s -> Printf.sprintf "set{%s}" (String.concat "," (List.map Proc_id.to_string s))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

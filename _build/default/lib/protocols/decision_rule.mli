@@ -1,0 +1,33 @@
+(** Decision rules (Section 2 of the paper).
+
+    A decision rule states the conditions under which a processor may
+    decide a given value.  The paper's examples: the Broadcast rule of
+    the Byzantine Generals problem, unanimity (transaction commitment),
+    and the generalizations threshold-k and set(S, v). *)
+
+open Patterns_sim
+
+type t =
+  | Unanimity
+      (** decide 1 only if every initial bit is 1; decide 0 only if
+          some bit is 0 or a failure occurred *)
+  | Broadcast of Proc_id.t
+      (** decide [v] only if the distinguished processor's bit is [v];
+          the weak variant permits a default 0 when it is faulty *)
+  | Threshold of int
+      (** decide 1 only if at least [k] initial bits are 1 *)
+  | Subset of Proc_id.t list
+      (** set(S, v): decide [v] only if every processor in [S] has
+          initial bit [v] *)
+
+val natural_decision : t -> bool array -> Decision.t
+(** The decision a correct failure-free run should reach: the
+    strongest value the rule permits on these inputs (commit whenever
+    commit is permitted). *)
+
+val permits : t -> inputs:bool array -> failure_occurred:bool -> Decision.t -> bool
+(** Whether the rule allows the given decision for this input vector
+    (the safety direction used by checkers). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,279 @@
+open Patterns_sim
+
+type nmsg =
+  | Vote of bool
+  | Bias_m of Termination_core.bias
+  | Ack
+  | Dec of Decision.t
+  | Ga  (** p1 -> p0, gadget race 1 *)
+  | Gb  (** p3 -> p0, gadget race 1 *)
+  | Gc  (** p1 -> p2, gadget race 2 *)
+  | G4  (** p3 -> p2, gadget race 2 *)
+  | Go  (** p0 -> p2: race 1 resolved, start race 2 *)
+  | M1  (** dashed, p0 -> p3: Ga beat Gb *)
+  | M2  (** dashed, p2 -> p0: Gc beat G4 *)
+  | M3  (** dashed, p0 -> p1: M2 received and M1 was sent *)
+
+let nmsg_rank = function
+  | Vote _ -> 0 | Bias_m _ -> 1 | Ack -> 2 | Dec _ -> 3 | Ga -> 4 | Gb -> 5
+  | Gc -> 6 | G4 -> 7 | Go -> 8 | M1 -> 9 | M2 -> 10 | M3 -> 11
+
+let compare_nmsg a b =
+  match (a, b) with
+  | Vote x, Vote y -> Bool.compare x y
+  | Bias_m x, Bias_m y ->
+    Bool.compare
+      (Termination_core.bias_equal x Termination_core.Committable)
+      (Termination_core.bias_equal y Termination_core.Committable)
+  | Dec x, Dec y -> Decision.compare x y
+  | _ -> Int.compare (nmsg_rank a) (nmsg_rank b)
+
+let pp_nmsg ppf = function
+  | Vote b -> Format.fprintf ppf "vote(%d)" (if b then 1 else 0)
+  | Bias_m bias -> Format.fprintf ppf "bias(%a)" Termination_core.pp_bias bias
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Dec d -> Format.fprintf ppf "decision(%a)" Decision.pp d
+  | Ga -> Format.pp_print_string ppf "m_a"
+  | Gb -> Format.pp_print_string ppf "m_b"
+  | Gc -> Format.pp_print_string ppf "m_c"
+  | G4 -> Format.pp_print_string ppf "m_4"
+  | Go -> Format.pp_print_string ppf "go"
+  | M1 -> Format.pp_print_string ppf "m1"
+  | M2 -> Format.pp_print_string ppf "m2"
+  | M3 -> Format.pp_print_string ppf "m3"
+
+type race = { got_a : bool; got_b : bool; a_first : bool }
+
+type gather2 = { need_dec : bool; need_go : bool; got_c : bool; got_4 : bool; c_first : bool }
+
+type phase =
+  (* p0 *)
+  | P0_collect of Vote_collect.t
+  | P0_acks of Proc_id.Set.t
+  | P0_race of race
+  | P0_wait_m2 of { sent_m1 : bool }
+  | P0_wait_m2_amnesic  (** ST variant: the [sent_m1] flag is erased *)
+  | P0_listen
+  (* p1, p2, p3 *)
+  | Px_wait_bias
+  | Px_wait_dec
+  | P2_gather of gather2
+  | Px_listen
+
+type nstate = {
+  outbox : nmsg Outbox.t;
+  phase : phase;
+  decision : Decision.t option;
+  committable : bool;
+  input : bool;
+}
+
+module Make_base (Cfg : sig
+  val st : bool
+  val name : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+
+  let describe =
+    if Cfg.st then "Figure 4 gadget protocol, amnesic ST attempt (provably cannot work)"
+    else "Figure 4: WT-TC protocol with exactly four failure-free patterns"
+
+  let amnesic_variant = false (* amnesia, where present, is managed in the base *)
+  let valid_n n = n = 4
+
+  let participants = [ 1; 2; 3 ]
+
+  let initial ~n:_ ~me ~input =
+    if me = 0 then
+      {
+        outbox = Outbox.empty;
+        phase = P0_collect (Vote_collect.start participants);
+        decision = None;
+        committable = false;
+        input;
+      }
+    else
+      { outbox = [ (0, Vote input) ]; phase = Px_wait_bias; decision = None; committable = false; input }
+
+  (* participants that have finished their role in the ST variant are
+     genuinely amnesic: decision erased *)
+  let amnesic_now s =
+    Cfg.st && Outbox.is_empty s.outbox
+    && (match s.phase with P0_wait_m2_amnesic | P0_listen | Px_listen -> true | _ -> false)
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | P0_collect _ | P0_acks _ | P0_race _ | P0_wait_m2 _ | P0_wait_m2_amnesic | P0_listen
+      | Px_wait_bias | Px_wait_dec | P2_gather _ | Px_listen -> Step_kind.Receiving
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  let bias_value s =
+    if s.committable then Termination_core.Committable else Termination_core.Noncommittable
+
+  (* p0: all votes in — broadcast the bias (always: the flow is
+     input-independent so that the scheme has exactly four patterns) *)
+  let finish_collect s vc =
+    let committable =
+      s.input && not (Vote_collect.failure_seen vc)
+      && Decision.equal (Vote_collect.decide ~rule:Decision_rule.Unanimity ~n:4 ~me:0 ~own:s.input vc)
+           Decision.Commit
+    in
+    let s = { s with committable } in
+    {
+      s with
+      outbox = Outbox.broadcast Outbox.empty participants (Bias_m (bias_value s));
+      phase = P0_acks (Proc_id.set_of_list participants);
+    }
+
+  let decision_of_bias s =
+    if s.committable then Decision.Commit else Decision.Abort
+
+  let resolve_race s a_first =
+    let dashed = if a_first then [ (3, M1) ] else [] in
+    {
+      s with
+      outbox = dashed @ [ (2, Go) ];
+      phase = (if Cfg.st then P0_wait_m2_amnesic else P0_wait_m2 { sent_m1 = a_first });
+    }
+
+  let p2_check s g =
+    if (not g.need_dec) && (not g.need_go) && g.got_c && g.got_4 then
+      { s with outbox = (if g.c_first then [ (0, M2) ] else []); phase = Px_listen }
+    else { s with phase = P2_gather g }
+
+  let receive ~n:_ ~me s ~from msg =
+    match (s.phase, msg) with
+    (* ---- p0 ---- *)
+    | P0_collect vc, Vote b when Vote_collect.awaiting vc from ->
+      let vc = Vote_collect.add_bit vc from b in
+      if Vote_collect.complete vc then finish_collect s vc else { s with phase = P0_collect vc }
+    | P0_acks waiting, Ack when Proc_id.Set.mem from waiting ->
+      let waiting = Proc_id.Set.remove from waiting in
+      if Proc_id.Set.is_empty waiting then begin
+        (* every nonfaulty processor holds the bias: decide, then
+           broadcast the decision and enter the gadget *)
+        let d = decision_of_bias s in
+        {
+          s with
+          decision = Some d;
+          outbox = Outbox.broadcast Outbox.empty participants (Dec d);
+          phase = P0_race { got_a = false; got_b = false; a_first = false };
+        }
+      end
+      else { s with phase = P0_acks waiting }
+    | P0_race r, Ga ->
+      let r = { r with got_a = true; a_first = not r.got_b } in
+      if r.got_a && r.got_b then resolve_race s r.a_first else { s with phase = P0_race r }
+    | P0_race r, Gb ->
+      let r = { r with got_b = true } in
+      if r.got_a && r.got_b then resolve_race s r.a_first else { s with phase = P0_race r }
+    | P0_wait_m2 { sent_m1 }, M2 ->
+      { s with outbox = (if sent_m1 then [ (1, M3) ] else []); phase = P0_listen }
+    | P0_wait_m2_amnesic, M2 ->
+      (* amnesic p0 cannot remember whether M1 was sent; deterministic
+         machines must react uniformly — this one never sends M3 *)
+      { s with phase = P0_listen }
+    (* ---- participants ---- *)
+    | Px_wait_bias, Bias_m bias ->
+      let s =
+        { s with committable = Termination_core.bias_equal bias Termination_core.Committable }
+      in
+      { s with outbox = [ (0, Ack) ]; phase = (if me = 2 then
+          P2_gather { need_dec = true; need_go = true; got_c = false; got_4 = false; c_first = false }
+        else Px_wait_dec) }
+    | Px_wait_dec, Dec d ->
+      (* p1 and p3 decide, then send their gadget pair *)
+      let gadget = if me = 1 then [ (0, Ga); (2, Gc) ] else [ (0, Gb); (2, G4) ] in
+      { s with decision = Some d; outbox = gadget; phase = Px_listen }
+    | P2_gather g, Dec d -> p2_check { s with decision = Some d } { g with need_dec = false }
+    | P2_gather g, Go -> p2_check s { g with need_go = false }
+    | P2_gather g, Gc -> p2_check s { g with got_c = true; c_first = not g.got_4 }
+    | P2_gather g, G4 -> p2_check s { g with got_4 = true }
+    (* ---- strays (late gadget messages to listeners, etc.) ---- *)
+    | ( ( P0_collect _ | P0_acks _ | P0_race _ | P0_wait_m2 _ | P0_wait_m2_amnesic | P0_listen
+        | Px_wait_bias | Px_wait_dec | P2_gather _ | Px_listen ),
+        _ ) -> s
+
+  let on_failure ~n:_ ~me:_ s _q = `Join (bias_value s)
+  let on_term_msg ~n:_ ~me:_ s = `Join (bias_value s)
+
+  (* in-flight normal messages are ignored mid-termination (see
+     Commit_glue.BASE.term_translate) *)
+  let term_translate (_ : nmsg) = `Ignore
+  let known_halted _ = []
+
+  let status s =
+    if amnesic_now s then Status.amnesic
+    else { Status.decision = s.decision; amnesic = false; halted = false }
+
+  let phase_key = function
+    | P0_collect _ -> 0 | P0_acks _ -> 1 | P0_race _ -> 2 | P0_wait_m2 _ -> 3
+    | P0_wait_m2_amnesic -> 4 | P0_listen -> 5 | Px_wait_bias -> 6 | Px_wait_dec -> 7
+    | P2_gather _ -> 8 | Px_listen -> 9
+
+  let compare_phase a b =
+    match (a, b) with
+    | P0_collect x, P0_collect y -> Vote_collect.compare x y
+    | P0_acks x, P0_acks y -> Proc_id.Set.compare x y
+    | P0_race x, P0_race y -> Stdlib.compare x y
+    | P0_wait_m2 { sent_m1 = x }, P0_wait_m2 { sent_m1 = y } -> Bool.compare x y
+    | P2_gather x, P2_gather y -> Stdlib.compare x y
+    | _ -> Int.compare (phase_key a) (phase_key b)
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Option.compare Decision.compare a.decision b.decision in
+        if c <> 0 then c
+        else
+          let c = Bool.compare a.committable b.committable in
+          if c <> 0 then c else Bool.compare a.input b.input
+
+  let pp_phase ppf = function
+    | P0_collect vc -> Vote_collect.pp ppf vc
+    | P0_acks w -> Format.fprintf ppf "acks(wait=%a)" Proc_id.pp_set w
+    | P0_race r ->
+      Format.fprintf ppf "race(a=%b,b=%b,a_first=%b)" r.got_a r.got_b r.a_first
+    | P0_wait_m2 { sent_m1 } -> Format.fprintf ppf "wait-m2(sent_m1=%b)" sent_m1
+    | P0_wait_m2_amnesic -> Format.pp_print_string ppf "wait-m2(amnesic)"
+    | P0_listen -> Format.pp_print_string ppf "listen(p0)"
+    | Px_wait_bias -> Format.pp_print_string ppf "wait-bias"
+    | Px_wait_dec -> Format.pp_print_string ppf "wait-decision"
+    | P2_gather g ->
+      Format.fprintf ppf "gather(dec=%b,go=%b,c=%b,4=%b,c_first=%b)" (not g.need_dec)
+        (not g.need_go) g.got_c g.got_4 g.c_first
+    | Px_listen -> Format.pp_print_string ppf "listen"
+
+  let pp_nstate ppf s =
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~st ~name =
+  let module B = Make_base (struct
+    let st = st
+    let name = name
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let fig4 = make ~st:false ~name:"fig4-perverse"
+
+let fig4_amnesic = make ~st:true ~name:"fig4-perverse-st"

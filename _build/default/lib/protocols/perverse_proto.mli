@@ -1,0 +1,42 @@
+(** The Figure 4 "perverse" protocol (WT-TC, not ST-TC).
+
+    A 4-processor WT-TC protocol with exactly four failure-free
+    communication patterns.  The solid core is a sound two-phase
+    commitment: votes to [p0], bias broadcast, acknowledgements,
+    decision broadcast (so the bias is shared before anybody decides —
+    Corollary 6 holds).  After deciding, a gadget of pointless
+    messages runs:
+
+    - [p1] sends [Ga] to [p0] and [Gc] to [p2];
+    - [p3] sends [Gb] to [p0] and [G4] to [p2];
+    - [p0], once it holds both [Ga] and [Gb], sends the dashed [M1]
+      to [p3] iff [Ga] was delivered first, then the solid [Go] to
+      [p2];
+    - [p2], once it holds its decision, [Go], [Gc] and [G4], sends
+      the dashed [M2] to [p0] iff [Gc] beat [G4];
+    - [p0], on receiving [M2], sends the dashed [M3] to [p1] iff it
+      sent [M1].
+
+    The dashed messages serve no purpose, yet no ST-TC protocol can
+    realize this scheme: [p0] must eventually forget, and once amnesic
+    it cannot make [M3] depend on whether [M1] was sent (Theorem 13).
+    [fig4_amnesic] implements that doomed attempt — [p0] erases the
+    [M1] flag when it starts waiting for [M2] — and its enumerated
+    scheme visibly differs.
+
+    In the paper's labels: [Ga]/[Gb] are the raced pair called [m_a]
+    and its partner, [Gc]/[G4] are [m_c]/[m_4], and [M1]/[M2]/[M3] are
+    the dashed [m_1]/[m_2]/[m_3].  (The original figure drawing is not
+    in the text; this is a faithful reconstruction of its prose
+    description — see DESIGN.md.) *)
+
+open Patterns_sim
+
+val fig4 : (module Protocol.S)
+(** The WT-TC protocol with the four-pattern scheme.  [n = 4] only. *)
+
+val fig4_amnesic : (module Protocol.S)
+(** The ST attempt: [p0] genuinely erases the [M1] flag before
+    waiting for [M2] (and never sends [M3]); participants become
+    amnesic when their role ends.  Enumerating its scheme shows it
+    cannot reproduce [fig4]'s. *)

@@ -1,0 +1,41 @@
+open Patterns_sim
+
+type entry = {
+  name : string;
+  describe : string;
+  default_n : int;
+  fixed_n : bool;
+  protocol : (module Protocol.S);
+}
+
+let entry ?(fixed_n = false) ~default_n protocol =
+  let (module P : Protocol.S) = protocol in
+  { name = P.name; describe = P.describe; default_n; fixed_n; protocol }
+
+let all =
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    [
+      entry ~default_n:7 ~fixed_n:true Tree_proto.fig1;
+      entry ~default_n:7 ~fixed_n:true Tree_proto.fig1_amnesic;
+      entry ~default_n:4 Central_proto.fig2;
+      entry ~default_n:4 Chain_proto.fig3;
+      entry ~default_n:4 Chain_proto.fig3_amnesic;
+      entry ~default_n:4 ~fixed_n:true Perverse_proto.fig4;
+      entry ~default_n:4 ~fixed_n:true Perverse_proto.fig4_amnesic;
+      entry ~default_n:5 ~fixed_n:true (Tree_proto.three_phase_commit 5);
+      entry ~default_n:5 Two_phase_commit.default;
+      entry ~default_n:4 Coop_2pc.default;
+      entry ~default_n:4 Decentralized_commit.default;
+      entry ~default_n:4 Reliable_broadcast.default;
+      entry ~default_n:5 Termination_proto.default;
+      entry ~default_n:4 ~fixed_n:true (Total_comm.transform Perverse_proto.fig4);
+      entry ~default_n:7 ~fixed_n:true Tree_commit.binary7;
+      entry ~default_n:5 ~fixed_n:true (Tree_commit.star 5);
+      entry ~default_n:5 ~fixed_n:true (Voting_tree.threshold_star ~k:3 5);
+      entry ~default_n:5 ~fixed_n:true (Voting_tree.subset_star ~quorum:[ 0; 1 ] 5);
+    ]
+
+let find name = List.find_opt (fun e -> String.equal e.name name) all
+
+let names () = List.map (fun e -> e.name) all

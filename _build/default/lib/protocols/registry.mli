@@ -1,0 +1,19 @@
+(** Name-indexed catalogue of all built-in protocols, for the CLI,
+    examples and benches. *)
+
+open Patterns_sim
+
+type entry = {
+  name : string;
+  describe : string;
+  default_n : int;  (** a size the protocol supports *)
+  fixed_n : bool;  (** whether only [default_n] is supported *)
+  protocol : (module Protocol.S);
+}
+
+val all : entry list
+(** Sorted by name. *)
+
+val find : string -> entry option
+
+val names : unit -> string list

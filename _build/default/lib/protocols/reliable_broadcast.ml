@@ -1,0 +1,114 @@
+open Patterns_sim
+
+type nmsg = Value of bool
+
+let compare_nmsg (Value a) (Value b) = Bool.compare a b
+
+let pp_nmsg ppf (Value b) = Format.fprintf ppf "value(%d)" (if b then 1 else 0)
+
+type phase = Wait_value | Done of Decision.t
+
+type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool; general : bool }
+
+let general_id : Proc_id.t = 0
+
+module Base : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = "reliable-broadcast"
+  let describe = "fail-stop reliable broadcast: general p0, relaying lieutenants"
+  let amnesic_variant = false
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input =
+    if Proc_id.equal me general_id then
+      {
+        outbox = Outbox.broadcast Outbox.empty (Proc_id.others ~n me) (Value input);
+        phase = Done (Decision.of_bool input);
+        input;
+        general = true;
+      }
+    else { outbox = Outbox.empty; phase = Wait_value; input; general = false }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Wait_value -> Step_kind.Receiving
+      | Done _ -> Step_kind.Receiving (* weak termination: stay available *)
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  let receive ~n ~me s ~from:_ msg =
+    match (s.phase, msg) with
+    | Wait_value, Value b ->
+      (* relay the first value to the other lieutenants, then decide *)
+      let peers =
+        List.filter (fun q -> not (Proc_id.equal q general_id)) (Proc_id.others ~n me)
+      in
+      { s with outbox = Outbox.broadcast Outbox.empty peers (Value b); phase = Done (Decision.of_bool b) }
+    | Done _, _ -> s
+
+  let bias_of s =
+    match s.phase with
+    | Done Decision.Commit -> Termination_core.Committable
+    | Done Decision.Abort | Wait_value -> Termination_core.Noncommittable
+
+  let on_failure ~n:_ ~me:_ s _q = `Join (bias_of s)
+  let on_term_msg ~n:_ ~me:_ s = `Join (bias_of s)
+
+  (* a relayed value arriving mid-termination is ignored: operational
+     holders of the value join the run with a committable bias *)
+  let term_translate (Value _) = `Ignore
+  let known_halted _ = []
+
+  let status s =
+    match s.phase with
+    | Done d when Outbox.is_empty s.outbox -> Status.decided d
+    | Done _ | Wait_value -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Wait_value, Wait_value -> 0
+    | Done a, Done b -> Decision.compare a b
+    | Wait_value, Done _ -> -1
+    | Done _, Wait_value -> 1
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Bool.compare a.input b.input in
+        if c <> 0 then c else Bool.compare a.general b.general
+
+  let pp_nstate ppf s =
+    let pp_phase ppf = function
+      | Wait_value -> Format.pp_print_string ppf "wait-value"
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~name =
+  let chosen_name = name in
+  let module B = struct
+    include Base
+
+    let name = chosen_name
+  end in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let default = make ~name:"reliable-broadcast"

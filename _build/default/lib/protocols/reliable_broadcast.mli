@@ -1,0 +1,18 @@
+(** Fail-stop reliable broadcast ([SGS]; the Byzantine Generals
+    problem of [PSL] restricted to fail-stop processors).
+
+    The distinguished general [p0] broadcasts its input bit; each
+    lieutenant relays the first value it receives to all other
+    lieutenants (so a value that reaches anybody reaches everybody,
+    even if [p0] dies mid-broadcast), decides on it, and keeps
+    listening.  A lieutenant that detects a failure while still
+    waiting joins the Appendix termination protocol with a bias that
+    is committable iff it holds the value 1; if nobody operational
+    ever received the general's value, the run decides the default 0
+    — the weak variant of the Broadcast decision rule. *)
+
+open Patterns_sim
+
+val make : name:string -> (module Protocol.S)
+
+val default : (module Protocol.S)

@@ -1,0 +1,258 @@
+open Patterns_sim
+
+type bias = Committable | Noncommittable
+
+let bias_equal a b =
+  match (a, b) with
+  | Committable, Committable | Noncommittable, Noncommittable -> true
+  | (Committable | Noncommittable), _ -> false
+
+let bias_rank = function Noncommittable -> 0 | Committable -> 1
+
+let pp_bias ppf = function
+  | Committable -> Format.pp_print_string ppf "committable"
+  | Noncommittable -> Format.pp_print_string ppf "noncommittable"
+
+type msg =
+  | Round of { round : int; bias : bias }
+  | Amnesic_notice
+
+let compare_msg a b =
+  match (a, b) with
+  | Amnesic_notice, Amnesic_notice -> 0
+  | Amnesic_notice, Round _ -> -1
+  | Round _, Amnesic_notice -> 1
+  | Round a, Round b ->
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else Int.compare (bias_rank a.bias) (bias_rank b.bias)
+
+let pp_msg ppf = function
+  | Amnesic_notice -> Format.pp_print_string ppf "amnesic"
+  | Round { round; bias } -> Format.fprintf ppf "(round %d, %a)" round pp_bias bias
+
+type phase =
+  | Broadcasting of { round : int; pending : Proc_id.t list }
+  | Collecting of { round : int; waiting : Proc_id.Set.t }
+  | Announce_amnesia of { pending : Proc_id.t list }
+  | Finished of Decision.t option
+
+type t = {
+  n : int;
+  me : Proc_id.t;
+  up : Proc_id.Set.t;  (* operational peers, excluding me *)
+  bias : bias;
+  phase : phase;
+  (* round messages that arrived ahead of the collection they belong
+     to: (sender, round, bias) *)
+  stash : (Proc_id.t * int * bias) list;
+}
+
+let phase_rank = function
+  | Broadcasting _ -> 0
+  | Collecting _ -> 1
+  | Announce_amnesia _ -> 2
+  | Finished _ -> 3
+
+let compare_phase a b =
+  match (a, b) with
+  | Broadcasting a, Broadcasting b ->
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else List.compare Proc_id.compare a.pending b.pending
+  | Collecting a, Collecting b ->
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else Proc_id.Set.compare a.waiting b.waiting
+  | Announce_amnesia a, Announce_amnesia b -> List.compare Proc_id.compare a.pending b.pending
+  | Finished a, Finished b -> Option.compare Decision.compare a b
+  | (Broadcasting _ | Collecting _ | Announce_amnesia _ | Finished _), _ ->
+    Int.compare (phase_rank a) (phase_rank b)
+
+let compare a b =
+  let c = Int.compare a.n b.n in
+  if c <> 0 then c
+  else
+    let c = Proc_id.compare a.me b.me in
+    if c <> 0 then c
+    else
+      let c = Proc_id.Set.compare a.up b.up in
+      if c <> 0 then c
+      else
+        let c = Int.compare (bias_rank a.bias) (bias_rank b.bias) in
+        if c <> 0 then c
+        else
+          let c = compare_phase a.phase b.phase in
+          if c <> 0 then c
+          else
+            List.compare
+              (fun (p1, r1, b1) (p2, r2, b2) ->
+                let c = Proc_id.compare p1 p2 in
+                if c <> 0 then c
+                else
+                  let c = Int.compare r1 r2 in
+                  if c <> 0 then c else Int.compare (bias_rank b1) (bias_rank b2))
+              a.stash b.stash
+
+let decision_of_bias = function Committable -> Decision.Commit | Noncommittable -> Decision.Abort
+
+(* Move through phases that need no external event: an empty broadcast
+   list starts the collection; an empty waiting set starts the next
+   round or finishes. *)
+let rec normalize t =
+  match t.phase with
+  | Broadcasting { round; pending = [] } ->
+    let waiting = Proc_id.Set.remove t.me t.up in
+    (* consume stashed messages belonging to this round *)
+    let this_round, stash =
+      List.partition (fun (_, r, _) -> r = round) t.stash
+    in
+    let waiting, bias =
+      List.fold_left
+        (fun (w, b) (q, _, qb) ->
+          ( Proc_id.Set.remove q w,
+            if bias_equal qb Committable then Committable else b ))
+        (waiting, t.bias) this_round
+    in
+    normalize { t with bias; stash; phase = Collecting { round; waiting } }
+  | Collecting { round; waiting } when Proc_id.Set.is_empty waiting ->
+    if round >= t.n then { t with phase = Finished (Some (decision_of_bias t.bias)) }
+    else
+      normalize
+        { t with
+          phase =
+            Broadcasting
+              { round = round + 1; pending = Proc_id.Set.elements (Proc_id.Set.remove t.me t.up) };
+        }
+  | Announce_amnesia { pending = [] } -> { t with phase = Finished None }
+  | Broadcasting _ | Collecting _ | Announce_amnesia _ | Finished _ -> t
+
+let start ~n ~me ~up ~bias =
+  let up = Proc_id.Set.remove me up in
+  normalize
+    {
+      n;
+      me;
+      up;
+      bias;
+      phase = Broadcasting { round = 1; pending = Proc_id.Set.elements up };
+      stash = [];
+    }
+
+let start_amnesic ~n ~me ~up =
+  let up = Proc_id.Set.remove me up in
+  normalize
+    {
+      n;
+      me;
+      up;
+      bias = Noncommittable;
+      phase = Announce_amnesia { pending = Proc_id.Set.elements up };
+      stash = [];
+    }
+
+let step_kind t =
+  match t.phase with
+  | Broadcasting _ | Announce_amnesia _ -> Step_kind.Sending
+  | Collecting _ -> Step_kind.Receiving
+  | Finished _ -> Step_kind.Quiescent
+
+let send t =
+  match t.phase with
+  | Broadcasting { round; pending = q :: rest } ->
+    ( Some (q, Round { round; bias = t.bias }),
+      normalize { t with phase = Broadcasting { round; pending = rest } } )
+  | Announce_amnesia { pending = q :: rest } ->
+    (Some (q, Amnesic_notice), normalize { t with phase = Announce_amnesia { pending = rest } })
+  | Broadcasting { pending = []; _ } | Announce_amnesia { pending = [] } | Collecting _
+  | Finished _ -> (None, normalize t)
+
+let remove_peer t q =
+  let t =
+    { t with
+      up = Proc_id.Set.remove q t.up;
+      stash = List.filter (fun (p, _, _) -> not (Proc_id.equal p q)) t.stash;
+    }
+  in
+  match t.phase with
+  | Collecting { round; waiting } ->
+    normalize { t with phase = Collecting { round; waiting = Proc_id.Set.remove q waiting } }
+  | Broadcasting { round; pending } ->
+    normalize
+      { t with
+        phase =
+          Broadcasting { round; pending = List.filter (fun p -> not (Proc_id.equal p q)) pending };
+      }
+  | Announce_amnesia { pending } ->
+    normalize
+      { t with
+        phase =
+          Announce_amnesia { pending = List.filter (fun p -> not (Proc_id.equal p q)) pending };
+      }
+  | Finished _ -> t
+
+let on_msg t ~from msg =
+  match msg with
+  | Amnesic_notice -> remove_peer t from
+  | Round { round = r; bias = b } -> (
+    (* Bias adoption discipline.  Adopting a committable bias is only
+       sound if it can still be acted on consistently: either the
+       message is from the current or a future round (then either the
+       sender broadcast it to every peer in this round, or we will
+       rebroadcast it ourselves in a later round), or it is stale but
+       at least one of our own broadcast rounds remains to propagate
+       it.  A stale committable arriving during the final round must
+       be dropped: adopting it would let this processor commit while
+       peers that never see a committable message abort.  (Dropping is
+       consistent: a sender that was alive through round r had its
+       earlier rounds processed as current by everybody, and a sender
+       that died before deciding constrains nobody.) *)
+    let upgrade t current =
+      if bias_equal b Committable && (r >= current || current < t.n) then
+        { t with bias = Committable }
+      else t
+    in
+    match t.phase with
+    | Collecting { round; waiting } when r = round ->
+      normalize
+        (upgrade
+           { t with phase = Collecting { round; waiting = Proc_id.Set.remove from waiting } }
+           round)
+    | Collecting { round; _ } when r > round ->
+      normalize (upgrade { t with stash = t.stash @ [ (from, r, b) ] } round)
+    | Broadcasting { round; _ } when r >= round ->
+      normalize (upgrade { t with stash = t.stash @ [ (from, r, b) ] } round)
+    | Collecting { round; _ } | Broadcasting { round; _ } -> normalize (upgrade t round)
+    | Announce_amnesia _ | Finished _ -> normalize t)
+
+let on_failure t q = remove_peer t q
+
+(* An out-of-band upgrade (decision message) is only taken while at
+   least one full round of broadcasts remains: a bias learned during
+   the final round cannot be propagated to the peers, and acting on it
+   unilaterally would let one processor commit while another —
+   operational — aborts.  Round-carried biases do not need this guard
+   because every round message is broadcast to all peers. *)
+let upgrade_committable t =
+  match t.phase with
+  | Finished _ -> t
+  | (Broadcasting { round; _ } | Collecting { round; _ }) when round >= t.n -> t
+  | Broadcasting _ | Collecting _ | Announce_amnesia _ -> { t with bias = Committable }
+
+let finished t = match t.phase with Finished _ -> true | _ -> false
+
+let outcome t = match t.phase with Finished d -> d | _ -> None
+
+let bias_of t = t.bias
+
+let up_of t = t.up
+
+let pp ppf t =
+  let pp_phase ppf = function
+    | Broadcasting { round; pending } ->
+      Format.fprintf ppf "broadcast r%d (%d left)" round (List.length pending)
+    | Collecting { round; waiting } ->
+      Format.fprintf ppf "collect r%d wait=%a" round Proc_id.pp_set waiting
+    | Announce_amnesia { pending } ->
+      Format.fprintf ppf "announce-amnesia (%d left)" (List.length pending)
+    | Finished None -> Format.pp_print_string ppf "finished(amnesic)"
+    | Finished (Some d) -> Format.fprintf ppf "finished(%a)" Decision.pp d
+  in
+  Format.fprintf ppf "term{%a bias=%a up=%a}" pp_phase t.phase pp_bias t.bias Proc_id.pp_set t.up

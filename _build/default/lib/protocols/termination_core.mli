@@ -1,0 +1,73 @@
+(** The Appendix termination protocol, as an embeddable component.
+
+    Invoked from any configuration of a safe protocol (Theorem 7), it
+    establishes WT-TC in [N] rounds: each round, broadcast
+    [(round, bias)] to the processors still thought up, collect the
+    round's messages from them (removing processors whose failure
+    notices arrive), and upgrade to [committable] whenever a
+    committable bias is received.  After round [N], commit iff the
+    bias is committable.
+
+    Host protocols embed a [t] in their state and enter it when they
+    detect a failure or receive a termination message from a peer
+    that did.  The strong-termination variant of Corollary 11 is also
+    supported: an amnesic processor announces amnesia instead of a
+    bias, and is deleted from its peers' UP sets. *)
+
+open Patterns_sim
+
+type bias = Committable | Noncommittable
+
+val bias_equal : bias -> bias -> bool
+val pp_bias : Format.formatter -> bias -> unit
+
+type msg =
+  | Round of { round : int; bias : bias }
+  | Amnesic_notice  (** ST variant: "I have decided and forgotten" *)
+
+val compare_msg : msg -> msg -> int
+val pp_msg : Format.formatter -> msg -> unit
+
+type t
+
+val start : n:int -> me:Proc_id.t -> up:Proc_id.Set.t -> bias:bias -> t
+(** Join the termination protocol.  [up] is the host's current UP set
+    (it may or may not contain [me]; [me] is ignored).  [n] is the
+    total number of participating processors — the round count. *)
+
+val start_amnesic : n:int -> me:Proc_id.t -> up:Proc_id.Set.t -> t
+(** Join as an amnesic processor: broadcast [Amnesic_notice] once and
+    finish. *)
+
+val step_kind : t -> Step_kind.t
+(** [Sending] while broadcast messages remain queued, [Receiving]
+    while collecting a round, [Quiescent] when finished. *)
+
+val send : t -> (Proc_id.t * msg) option * t
+(** Next queued broadcast message.  Call only when [step_kind] is
+    [Sending]. *)
+
+val on_msg : t -> from:Proc_id.t -> msg -> t
+(** Process a peer's termination message (any phase; future rounds are
+    stashed, stale rounds ignored, finished states absorb). *)
+
+val on_failure : t -> Proc_id.t -> t
+(** Process the failure notice for a processor. *)
+
+val upgrade_committable : t -> t
+(** Force the bias to committable — used when a commit decision is
+    learned out-of-band (the "modified" termination protocol of
+    Figure 2 classifies decision messages as committable). *)
+
+val finished : t -> bool
+
+val outcome : t -> Decision.t option
+(** [Some d] once finished (non-amnesic participants); amnesic
+    participants finish with [None]. *)
+
+val bias_of : t -> bias
+
+val up_of : t -> Proc_id.Set.t
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

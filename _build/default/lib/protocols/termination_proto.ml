@@ -1,0 +1,38 @@
+open Patterns_sim
+
+module P : Protocol.S with type state = Termination_core.t and type msg = Termination_core.msg =
+struct
+  type state = Termination_core.t
+  type msg = Termination_core.msg
+
+  let name = "termination"
+  let describe = "Appendix termination protocol run standalone (threshold-1; Theorem 7's O(N^2))"
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input =
+    let bias =
+      if input then Termination_core.Committable else Termination_core.Noncommittable
+    in
+    Termination_core.start ~n ~me ~up:(Proc_id.set_of_list (Proc_id.all ~n)) ~bias
+
+  let step_kind = Termination_core.step_kind
+
+  let send ~n:_ ~me:_ s = Termination_core.send s
+
+  let receive ~n:_ ~me:_ s incoming =
+    match incoming with
+    | Incoming.Msg { from; payload } -> Termination_core.on_msg s ~from payload
+    | Incoming.Failed q -> Termination_core.on_failure s q
+
+  let status s =
+    match Termination_core.outcome s with
+    | Some d -> Status.decided_halted d (* the protocol ends with "halt" *)
+    | None -> Status.undecided
+
+  let compare_state = Termination_core.compare
+  let pp_state = Termination_core.pp
+  let compare_msg = Termination_core.compare_msg
+  let pp_msg = Termination_core.pp_msg
+end
+
+let default = (module P : Protocol.S)

@@ -1,0 +1,13 @@
+(** The Appendix termination protocol, run standalone.
+
+    Each processor starts directly in the termination protocol with a
+    bias derived from its input (committable iff 1).  After [N]
+    rounds of bias exchange every operational processor commits iff a
+    committable bias reached it — failure-free this computes
+    threshold-1 consensus, and it is the measurement vehicle for
+    Theorem 7: each processor takes O(N^2) steps ([N] rounds of [N-1]
+    sends and receives). *)
+
+open Patterns_sim
+
+val default : (module Protocol.S)

@@ -1,0 +1,146 @@
+open Patterns_sim
+
+type mid = { src : Proc_id.t; dst : Proc_id.t; seq : int }
+
+let compare_mid a b =
+  let c = Proc_id.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Proc_id.compare a.dst b.dst in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let pp_mid ppf m = Format.fprintf ppf "%a->%a#%d" Proc_id.pp m.src Proc_id.pp m.dst m.seq
+
+module Make (P : Protocol.S) : Protocol.S = struct
+  type copy = { id : mid; clock : int; payload : P.msg }
+
+  (* causal processing order: Lamport clock, ties by id *)
+  let compare_copy a b =
+    let c = Int.compare a.clock b.clock in
+    if c <> 0 then c else compare_mid a.id b.id
+
+  type msg = { carried : copy; history : copy list (* sorted, every ancestor *) }
+
+  type state = {
+    inner : P.state;
+    seqs : (Proc_id.t * int) list;  (* per-destination send counters, sorted *)
+    known : copy list;  (* sorted by [compare_copy]; everything ever learned *)
+    processed : mid list;  (* sorted by [compare_mid]; simulated-received or own *)
+    clock : int;
+  }
+
+  let name = P.name ^ "+totalcomm"
+  let describe = "total-communication transform of " ^ P.name
+  let valid_n = P.valid_n
+
+  let initial ~n ~me ~input =
+    { inner = P.initial ~n ~me ~input; seqs = []; known = []; processed = []; clock = 0 }
+
+  let is_processed s id = List.exists (fun p -> compare_mid p id = 0) s.processed
+
+  let pending s = List.filter (fun c -> not (is_processed s c.id)) s.known
+
+  let step_kind s =
+    match P.step_kind s.inner with
+    | Step_kind.Sending -> Step_kind.Sending
+    | Step_kind.Quiescent -> Step_kind.Quiescent
+    | Step_kind.Receiving ->
+      if pending s = [] then Step_kind.Receiving
+      else Step_kind.Sending (* internal step: simulate one queued receipt *)
+
+  let insert_sorted cmp x l =
+    let rec go = function
+      | [] -> [ x ]
+      | y :: tl as l -> if cmp x y <= 0 then x :: l else y :: go tl
+    in
+    go l
+
+  let add_known s c =
+    if List.exists (fun k -> compare_mid k.id c.id = 0) s.known then s
+    else { s with known = insert_sorted compare_copy c s.known }
+
+  let next_seq s dst =
+    match List.assoc_opt dst s.seqs with None -> 1 | Some k -> k + 1
+
+  let set_seq s dst k =
+    { s with seqs = List.sort Stdlib.compare ((dst, k) :: List.remove_assoc dst s.seqs) }
+
+  let send ~n ~me s =
+    match P.step_kind s.inner with
+    | Step_kind.Sending -> (
+      let out, inner' = P.send ~n ~me s.inner in
+      let s = { s with inner = inner' } in
+      match out with
+      | None -> (None, s)
+      | Some (dst, payload) ->
+        let seq = next_seq s dst in
+        let clock = s.clock + 1 in
+        let copy = { id = { src = me; dst; seq }; clock; payload } in
+        let history = s.known in
+        let s = set_seq s dst seq in
+        let s = add_known { s with clock } copy in
+        let s = { s with processed = insert_sorted compare_mid copy.id s.processed } in
+        (Some (dst, { carried = copy; history }), s))
+    | Step_kind.Receiving | Step_kind.Quiescent -> (
+      (* internal step: feed the causally-earliest unprocessed copy to
+         the simulated processor *)
+      match pending s with
+      | [] -> (None, s)
+      | c :: _ ->
+        let inner' =
+          P.receive ~n ~me s.inner (Incoming.Msg { from = c.id.src; payload = c.payload })
+        in
+        ( None,
+          {
+            s with
+            inner = inner';
+            processed = insert_sorted compare_mid c.id s.processed;
+            clock = max s.clock c.clock + 1;
+          } ))
+
+  let receive ~n ~me s incoming =
+    match incoming with
+    | Incoming.Failed q -> { s with inner = P.receive ~n ~me s.inner (Incoming.Failed q) }
+    | Incoming.Msg { from = _; payload = { carried; history } } ->
+      let s = List.fold_left add_known s (carried :: history) in
+      { s with clock = max s.clock carried.clock + 1 }
+
+  let status s = P.status s.inner
+
+  let compare_state a b =
+    let c = P.compare_state a.inner b.inner in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.seqs b.seqs in
+      if c <> 0 then c
+      else
+        let ccopy x y =
+          let c = compare_copy x y in
+          if c <> 0 then c else P.compare_msg x.payload y.payload
+        in
+        let c = List.compare ccopy a.known b.known in
+        if c <> 0 then c
+        else
+          let c = List.compare compare_mid a.processed b.processed in
+          if c <> 0 then c else Int.compare a.clock b.clock
+
+  let pp_state ppf s =
+    Format.fprintf ppf "tc{%a known=%d pending=%d clk=%d}" P.pp_state s.inner
+      (List.length s.known) (List.length (pending s)) s.clock
+
+  let compare_msg a b =
+    let ccopy x y =
+      let c = compare_copy x y in
+      if c <> 0 then c else P.compare_msg x.payload y.payload
+    in
+    let c = ccopy a.carried b.carried in
+    if c <> 0 then c else List.compare ccopy a.history b.history
+
+  let pp_msg ppf m =
+    Format.fprintf ppf "%a:%a+%d copies" pp_mid m.carried.id P.pp_msg m.carried.payload
+      (List.length m.history)
+end
+
+let transform (module P : Protocol.S) =
+  let module T = Make (P) in
+  (module T : Protocol.S)

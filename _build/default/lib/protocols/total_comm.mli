@@ -1,0 +1,23 @@
+(** The total-communication transformation (Section 3).
+
+    A total-communication protocol appends to every outgoing message a
+    copy of every message causally before it.  The paper uses the
+    transformation to eliminate "E-bar" states — states a processor
+    only enters when it knows its buffer is nonempty: the transformed
+    processor holds indirectly-received copies in a priority queue
+    ordered causally (here: by Lamport timestamp) and simulates
+    processing each known message before it acts on anything newer, so
+    the simulated processor never acts while knowingly behind.
+
+    [Make (P)] wraps any protocol.  Its messages carry the full copy
+    history; its communication patterns use the same triples as [P]'s
+    and form a subset of [P]'s scheme (collapsing the delivery races
+    [P] may have observed) — a property the test suite checks on the
+    Figure 4 protocol, whose four patterns collapse. *)
+
+open Patterns_sim
+
+module Make (P : Protocol.S) : Protocol.S
+
+val transform : (module Protocol.S) -> (module Protocol.S)
+(** First-class-module convenience wrapper around [Make]. *)

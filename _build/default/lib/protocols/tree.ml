@@ -1,0 +1,69 @@
+open Patterns_sim
+
+type t = { parents : Proc_id.t option array; child_map : Proc_id.t list array; root : Proc_id.t }
+
+let of_parents parents =
+  let n = Array.length parents in
+  if n = 0 then invalid_arg "Tree.of_parents: empty tree";
+  let roots = ref [] in
+  Array.iteri (fun i p -> if p = None then roots := i :: !roots) parents;
+  let root =
+    match !roots with
+    | [ r ] -> r
+    | _ -> invalid_arg "Tree.of_parents: exactly one root required"
+  in
+  let child_map = Array.make n [] in
+  Array.iteri
+    (fun i p ->
+      match p with
+      | None -> ()
+      | Some q ->
+        if q < 0 || q >= n || q = i then invalid_arg "Tree.of_parents: bad parent index";
+        child_map.(q) <- i :: child_map.(q))
+    parents;
+  Array.iteri (fun i cs -> child_map.(i) <- List.sort Proc_id.compare cs) child_map;
+  (* reject cycles: every node must reach the root *)
+  Array.iteri
+    (fun i _ ->
+      let rec climb j steps =
+        if steps > n then invalid_arg "Tree.of_parents: cycle detected"
+        else match parents.(j) with None -> () | Some q -> climb q (steps + 1)
+      in
+      climb i 0)
+    parents;
+  { parents; child_map; root }
+
+let size t = Array.length t.parents
+let root t = t.root
+let parent t p = t.parents.(p)
+let children t p = t.child_map.(p)
+let is_leaf t p = t.child_map.(p) = []
+
+let depth t =
+  let rec node_depth p = match t.parents.(p) with None -> 0 | Some q -> 1 + node_depth q in
+  Array.to_list (Array.mapi (fun i _ -> node_depth i) t.parents)
+  |> List.fold_left max 0
+
+let binary n =
+  of_parents (Array.init n (fun i -> if i = 0 then None else Some ((i - 1) / 2)))
+
+let star n = of_parents (Array.init n (fun i -> if i = 0 then None else Some 0))
+
+let path n = of_parents (Array.init n (fun i -> if i = 0 then None else Some (i - 1)))
+
+let random ~seed n =
+  let prng = Patterns_stdx.Prng.create ~seed in
+  of_parents
+    (Array.init n (fun i ->
+         if i = 0 then None else Some (Patterns_stdx.Prng.int prng ~bound:i)))
+
+let pp ppf t =
+  Format.fprintf ppf "tree(root=%a" Proc_id.pp t.root;
+  Array.iteri
+    (fun i cs ->
+      if cs <> [] then
+        Format.fprintf ppf ", %a->{%a}" Proc_id.pp i
+          (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Proc_id.pp)
+          cs)
+    t.child_map;
+  Format.fprintf ppf ")"

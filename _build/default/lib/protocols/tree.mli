@@ -1,0 +1,43 @@
+(** Rooted tree topologies for the Figure 1 protocol family.
+
+    Figure 1's protocol runs on any rooted tree over the processors;
+    the paper's instance is a 7-processor complete binary tree.  The
+    star instance is exactly three-phase commit with a central
+    coordinator. *)
+
+open Patterns_sim
+
+type t
+
+val of_parents : Proc_id.t option array -> t
+(** [of_parents parents]: [parents.(i)] is [i]'s parent, [None] for
+    the root.  @raise Invalid_argument unless the array describes a
+    single rooted tree. *)
+
+val size : t -> int
+val root : t -> Proc_id.t
+val parent : t -> Proc_id.t -> Proc_id.t option
+val children : t -> Proc_id.t -> Proc_id.t list
+(** Ascending. *)
+
+val is_leaf : t -> Proc_id.t -> bool
+val depth : t -> int
+(** Number of edges on the longest root-to-leaf path. *)
+
+val binary : int -> t
+(** Complete binary tree on [n] nodes in heap layout: node [i] has
+    children [2i+1], [2i+2].  [binary 7] is the paper's Figure 1
+    shape (the paper's [p1..p7] are our [p0..p6]). *)
+
+val star : int -> t
+(** Root [p0] with [n-1] leaf children — the three-phase-commit
+    topology. *)
+
+val path : int -> t
+(** A chain [p0 - p1 - ... - p(n-1)] rooted at [p0]. *)
+
+val random : seed:int -> int -> t
+(** A uniformly random recursive tree on [n] nodes rooted at [p0]
+    (node [i]'s parent drawn among [0..i-1]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Tree-of-processes two-phase commit ([ML], Mohan & Lindsay).
+
+    Votes aggregate leaf-to-root (each subtree reports the AND of its
+    inputs, with a detected failure reported as a 0); the root decides
+    and the decision floods back down.  One up-sweep and one
+    down-sweep — half the phases of the Figure 1 tree protocol, and
+    accordingly only WT-IC: the root (and every interior node) decides
+    before the rest of the tree shares its bias, so a well-timed crash
+    leaves a committed ancestor dead while the survivors' termination
+    run aborts.  The executable counterpart of the paper's remark that
+    commitment systems in practice ([DS], [Gr], [ML]) trade total
+    consistency for messages. *)
+
+open Patterns_sim
+
+val make : name:string -> Tree.t -> (module Protocol.S)
+
+val binary7 : (module Protocol.S)
+(** On the Figure 1 tree shape, for side-by-side comparison. *)
+
+val star : int -> (module Protocol.S)
+(** Equivalent to flat 2PC with listening participants. *)

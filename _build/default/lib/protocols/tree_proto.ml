@@ -1,0 +1,269 @@
+open Patterns_sim
+
+type nmsg =
+  | Bit of bool  (** phase-1 subtree AND, flowing rootward *)
+  | Bias_msg of Termination_core.bias  (** root's bias, flowing leafward *)
+  | Ack  (** phase-2 acknowledgement, flowing rootward *)
+  | Commit_msg  (** final decision, flowing leafward *)
+
+let nmsg_rank = function Bit _ -> 0 | Bias_msg _ -> 1 | Ack -> 2 | Commit_msg -> 3
+
+let compare_nmsg a b =
+  match (a, b) with
+  | Bit x, Bit y -> Bool.compare x y
+  | Bias_msg x, Bias_msg y ->
+    Bool.compare
+      (Termination_core.bias_equal x Termination_core.Committable)
+      (Termination_core.bias_equal y Termination_core.Committable)
+  | Ack, Ack | Commit_msg, Commit_msg -> 0
+  | (Bit _ | Bias_msg _ | Ack | Commit_msg), _ -> Int.compare (nmsg_rank a) (nmsg_rank b)
+
+let pp_nmsg ppf = function
+  | Bit b -> Format.fprintf ppf "bit(%d)" (if b then 1 else 0)
+  | Bias_msg bias -> Format.fprintf ppf "bias(%a)" Termination_core.pp_bias bias
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Commit_msg -> Format.pp_print_string ppf "commit"
+
+type phase =
+  | Gather of { waiting : Proc_id.Set.t; bit : bool }
+  | Wait_bias
+  | Gather_acks of { waiting : Proc_id.Set.t }
+  | Wait_commit
+  | Done of Decision.t
+
+let phase_rank = function
+  | Gather _ -> 0
+  | Wait_bias -> 1
+  | Gather_acks _ -> 2
+  | Wait_commit -> 3
+  | Done _ -> 4
+
+let compare_phase a b =
+  match (a, b) with
+  | Gather a, Gather b ->
+    let c = Proc_id.Set.compare a.waiting b.waiting in
+    if c <> 0 then c else Bool.compare a.bit b.bit
+  | Gather_acks a, Gather_acks b -> Proc_id.Set.compare a.waiting b.waiting
+  | Wait_bias, Wait_bias | Wait_commit, Wait_commit -> 0
+  | Done a, Done b -> Decision.compare a b
+  | (Gather _ | Wait_bias | Gather_acks _ | Wait_commit | Done _), _ ->
+    Int.compare (phase_rank a) (phase_rank b)
+
+type nstate = {
+  outbox : nmsg Outbox.t;  (* drained before the phase is active *)
+  phase : phase;
+  child_bits : (Proc_id.t * bool) list;  (* sorted by child id *)
+  committable : bool;  (* has learned a committable bias *)
+  input : bool;
+}
+
+module Make_base (Cfg : sig
+  val tree : Tree.t
+  val amnesic : bool
+  val name : string
+  val describe : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+  let describe = Cfg.describe
+  let amnesic_variant = Cfg.amnesic
+  let valid_n n = n = Tree.size Cfg.tree
+
+  let tree = Cfg.tree
+  let root = Tree.root tree
+
+  let initial ~n:_ ~me ~input =
+    let children = Tree.children tree me in
+    if children = [] then
+      (* leaf: report the input, then either deduce the bias (input 0)
+         or wait for it *)
+      let parent = Option.get (Tree.parent tree me) in
+      {
+        outbox = [ (parent, Bit input) ];
+        phase = (if input then Wait_bias else Done Decision.Abort);
+        child_bits = [];
+        committable = false;
+        input;
+      }
+    else
+      {
+        outbox = [];
+        phase = Gather { waiting = Proc_id.set_of_list children; bit = input };
+        child_bits = [];
+        committable = false;
+        input;
+      }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Gather _ | Wait_bias | Gather_acks _ | Wait_commit -> Step_kind.Receiving
+      | Done _ -> Step_kind.Receiving (* weak termination: listen forever *)
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  (* Down-phase targets: every child except leaves whose reported bit
+     was 0 (Figure 1's starred note). *)
+  let bias_targets s me =
+    List.filter
+      (fun c ->
+        not (Tree.is_leaf tree c && List.assoc_opt c s.child_bits = Some false))
+      (Tree.children tree me)
+
+  let on_gather s me c b waiting bit =
+    let bit = bit && b in
+    let waiting = Proc_id.Set.remove c waiting in
+    let s = { s with child_bits = List.sort Stdlib.compare ((c, b) :: s.child_bits) } in
+    if not (Proc_id.Set.is_empty waiting) then { s with phase = Gather { waiting; bit } }
+    else if Proc_id.equal me root then
+      (* root fixes the bias *)
+      if bit then
+        {
+          s with
+          committable = true;
+          outbox =
+            Outbox.broadcast Outbox.empty (bias_targets s me) (Bias_msg Termination_core.Committable);
+          phase = Gather_acks { waiting = Proc_id.set_of_list (Tree.children tree me) };
+        }
+      else
+        {
+          s with
+          outbox =
+            Outbox.broadcast Outbox.empty (bias_targets s me)
+              (Bias_msg Termination_core.Noncommittable);
+          phase = Done Decision.Abort;
+        }
+    else
+      let parent = Option.get (Tree.parent tree me) in
+      { s with outbox = [ (parent, Bit bit) ]; phase = Wait_bias }
+
+  let receive ~n:_ ~me s ~from msg =
+    match (s.phase, msg) with
+    | Gather { waiting; bit }, Bit b when Proc_id.Set.mem from waiting ->
+      on_gather s me from b waiting bit
+    | Wait_bias, Bias_msg Termination_core.Noncommittable ->
+      if Tree.is_leaf tree me then { s with phase = Done Decision.Abort }
+      else
+        {
+          s with
+          outbox =
+            Outbox.broadcast Outbox.empty (bias_targets s me)
+              (Bias_msg Termination_core.Noncommittable);
+          phase = Done Decision.Abort;
+        }
+    | Wait_bias, Bias_msg Termination_core.Committable ->
+      let s = { s with committable = true } in
+      if Tree.is_leaf tree me then
+        let parent = Option.get (Tree.parent tree me) in
+        { s with outbox = [ (parent, Ack) ]; phase = Wait_commit }
+      else
+        {
+          s with
+          outbox =
+            Outbox.broadcast Outbox.empty (Tree.children tree me)
+              (Bias_msg Termination_core.Committable);
+          phase = Gather_acks { waiting = Proc_id.set_of_list (Tree.children tree me) };
+        }
+    | Gather_acks { waiting }, Ack when Proc_id.Set.mem from waiting ->
+      let waiting = Proc_id.Set.remove from waiting in
+      if not (Proc_id.Set.is_empty waiting) then { s with phase = Gather_acks { waiting } }
+      else if Proc_id.equal me root then
+        {
+          s with
+          outbox = Outbox.broadcast Outbox.empty (Tree.children tree me) Commit_msg;
+          phase = Done Decision.Commit;
+        }
+      else
+        let parent = Option.get (Tree.parent tree me) in
+        { s with outbox = [ (parent, Ack) ]; phase = Wait_commit }
+    | Wait_commit, Commit_msg ->
+      if Tree.is_leaf tree me then { s with phase = Done Decision.Commit }
+      else
+        {
+          s with
+          outbox = Outbox.broadcast Outbox.empty (Tree.children tree me) Commit_msg;
+          phase = Done Decision.Commit;
+        }
+    | (Gather _ | Wait_bias | Gather_acks _ | Wait_commit | Done _), _ ->
+      (* stray or duplicate message: safe to ignore (all decisive
+         information travels through the phases above) *)
+      s
+
+  let current_bias s =
+    if s.committable then Termination_core.Committable else Termination_core.Noncommittable
+
+  let on_failure ~n:_ ~me:_ s _q = `Join (current_bias s)
+  let on_term_msg ~n:_ ~me:_ s = `Join (current_bias s)
+
+  (* in-flight phase messages arriving during a termination run are
+     ignored: any operational processor holding a committable bias
+     joins the run and propagates it through its round broadcasts *)
+  let term_translate (_ : nmsg) = `Ignore
+  let known_halted _ = []
+
+  (* a 0-input leaf is born with phase [Done Abort] but only occupies
+     the decision state once its report has been sent ("p4 sends '0'
+     as its input value and halts in an abort state") *)
+  let status s =
+    match s.phase with
+    | Done d when Outbox.is_empty s.outbox -> Status.decided d
+    | Done _ | Gather _ | Wait_bias | Gather_acks _ | Wait_commit -> Status.undecided
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.child_bits b.child_bits in
+        if c <> 0 then c
+        else
+          let c = Bool.compare a.committable b.committable in
+          if c <> 0 then c else Bool.compare a.input b.input
+
+  let pp_phase ppf = function
+    | Gather { waiting; bit } ->
+      Format.fprintf ppf "gather(bit=%d,wait=%a)" (if bit then 1 else 0) Proc_id.pp_set waiting
+    | Wait_bias -> Format.pp_print_string ppf "wait-bias"
+    | Gather_acks { waiting } -> Format.fprintf ppf "gather-acks(wait=%a)" Proc_id.pp_set waiting
+    | Wait_commit -> Format.pp_print_string ppf "wait-commit"
+    | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+
+  let pp_nstate ppf s =
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then "" else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ?(amnesic = false) ~name ~describe tree =
+  let module B = Make_base (struct
+    let tree = tree
+    let amnesic = amnesic
+    let name = name
+    let describe = describe
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let fig1 =
+  make ~name:"fig1-tree"
+    ~describe:"Figure 1: WT-TC tree protocol on the 7-processor binary tree" (Tree.binary 7)
+
+let fig1_amnesic =
+  make ~amnesic:true ~name:"fig1-tree-st"
+    ~describe:"Corollary 11: ST-TC amnesic variant of the Figure 1 tree protocol"
+    (Tree.binary 7)
+
+let three_phase_commit n =
+  make
+    ~name:(Printf.sprintf "3pc-%d" n)
+    ~describe:"three-phase commit: the tree protocol on a star topology" (Tree.star n)

@@ -1,0 +1,40 @@
+(** The Figure 1 tree protocol (WT-TC).
+
+    Phase 1: inputs flow leaf-to-root, each node forwarding the AND of
+    its subtree; the root fixes the bias and floods it rootward-down,
+    skipping leaves that reported 0 (they can deduce the bias alone).
+    Phase 2 (committable bias only): acknowledgements flow back to the
+    root, which then floods the commit decision.  A noncommittable
+    bias aborts immediately and omits phase 2.
+
+    On any detected failure (or termination message) a processor joins
+    the Appendix termination protocol with its current bias —
+    committable iff it has learned a committable bias.
+
+    Instances: the paper's 7-processor binary tree ([fig1]); its
+    amnesic ST-TC variant per Corollary 11 ([fig1_amnesic]); the star
+    topology, which is exactly three-phase commit
+    ([three_phase_commit]); and arbitrary trees ([make]). *)
+
+open Patterns_sim
+
+val make : ?amnesic:bool -> name:string -> describe:string -> Tree.t -> (module Protocol.S)
+(** Tree protocol over an arbitrary rooted tree.  [amnesic] selects
+    the strong-termination variant (processors forget their decision
+    immediately after deciding, and announce amnesia during
+    termination runs). *)
+
+val fig1 : (module Protocol.S)
+(** The paper's Figure 1: 7 processors on a complete binary tree.
+    (The paper's [p1..p7] are [p0..p6] here; its [p4] — the 0-input
+    leaf that halts after one send — is our [p3]; its [p6] is our
+    [p5].) *)
+
+val fig1_amnesic : (module Protocol.S)
+(** Corollary 11's ST-TC protocol: Figure 1 with
+    amnesia-immediately-after-decision. *)
+
+val three_phase_commit : int -> (module Protocol.S)
+(** Star topology on [n] processors: vote / precommit (bias) /
+    acknowledge / commit — nonblocking commitment in the style of
+    Skeen's 3PC. *)

@@ -1,0 +1,167 @@
+open Patterns_sim
+
+type nmsg = Vote of bool | Decision_msg of Decision.t
+
+let compare_nmsg a b =
+  match (a, b) with
+  | Vote x, Vote y -> Bool.compare x y
+  | Decision_msg x, Decision_msg y -> Decision.compare x y
+  | Vote _, Decision_msg _ -> -1
+  | Decision_msg _, Vote _ -> 1
+
+let pp_nmsg ppf = function
+  | Vote b -> Format.fprintf ppf "vote(%d)" (if b then 1 else 0)
+  | Decision_msg d -> Format.fprintf ppf "decision(%a)" Decision.pp d
+
+type phase =
+  | Collect of Vote_collect.t  (* coordinator *)
+  | Wait_decision  (* participant *)
+  | Done of Decision.t
+
+type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool; coord : bool }
+
+let coordinator : Proc_id.t = 0
+
+module Make_base (Cfg : sig
+  val rule : Decision_rule.t
+  val name : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+
+  let describe =
+    Printf.sprintf "classic two-phase commit, Appendix-protocol fallback (%s)"
+      (Decision_rule.to_string Cfg.rule)
+
+  let amnesic_variant = false
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input =
+    if Proc_id.equal me coordinator then
+      {
+        outbox = Outbox.empty;
+        phase = Collect (Vote_collect.start (Proc_id.others ~n me));
+        input;
+        coord = true;
+      }
+    else { outbox = [ (coordinator, Vote input) ]; phase = Wait_decision; input; coord = false }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Collect _ | Wait_decision -> Step_kind.Receiving
+      | Done _ ->
+        (* the coordinator halts after its broadcast; participants
+           stay up to serve termination queries *)
+        if s.coord then Step_kind.Quiescent else Step_kind.Receiving
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  (* the coordinator decides as soon as collection completes — before
+     broadcasting: the classic 2PC window of vulnerability *)
+  let finish_collect ~n ~me s vc =
+    let decision = Vote_collect.decide ~rule:Cfg.rule ~n ~me ~own:s.input vc in
+    {
+      s with
+      outbox = Outbox.broadcast Outbox.empty (Proc_id.others ~n me) (Decision_msg decision);
+      phase = Done decision;
+    }
+
+  let receive ~n ~me s ~from msg =
+    match (s.phase, msg) with
+    | Collect vc, Vote b when Vote_collect.awaiting vc from ->
+      let vc = Vote_collect.add_bit vc from b in
+      if Vote_collect.complete vc then finish_collect ~n ~me s vc
+      else { s with phase = Collect vc }
+    | Wait_decision, Decision_msg d -> { s with phase = Done d }
+    | (Collect _ | Wait_decision | Done _), _ -> s
+
+  let bias_of s =
+    match s.phase with
+    | Done Decision.Commit -> Termination_core.Committable
+    | Done Decision.Abort | Collect _ | Wait_decision -> Termination_core.Noncommittable
+
+  let on_failure ~n ~me s q =
+    match s.phase with
+    | Collect vc when Vote_collect.awaiting vc q ->
+      let vc = Vote_collect.note_failure vc q in
+      if Vote_collect.complete vc then `Continue (finish_collect ~n ~me s vc)
+      else `Continue { s with phase = Collect vc }
+    | Collect _ -> `Continue s
+    | Wait_decision | Done _ ->
+      if Proc_id.equal me coordinator then `Continue s (* it halts; never joins *)
+      else `Join (bias_of s)
+
+  let on_term_msg ~n:_ ~me s =
+    match s.phase with
+    | Collect _ -> `Ignore
+    | Wait_decision | Done _ ->
+      if Proc_id.equal me coordinator then `Ignore else `Join (bias_of s)
+
+  let term_translate = function
+    | Decision_msg d -> `Peer_decided d (* decisions come from the halting coordinator *)
+    | Vote _ -> `Ignore
+
+  (* a participant that has processed the coordinator's decision knows
+     the coordinator halted; waiting for its termination rounds would
+     deadlock *)
+  let known_halted s =
+    match s.phase with
+    | Done _ when not s.coord -> [ coordinator ]
+    | Done _ | Collect _ | Wait_decision -> []
+
+  let status s =
+    match s.phase with
+    | Done d when s.coord && Outbox.is_empty s.outbox -> Status.decided_halted d
+    | Done d -> Status.decided d
+    | Collect _ | Wait_decision -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Collect a, Collect b -> Vote_collect.compare a b
+    | Wait_decision, Wait_decision -> 0
+    | Done a, Done b -> Decision.compare a b
+    | Collect _, (Wait_decision | Done _) -> -1
+    | Wait_decision, Collect _ -> 1
+    | Wait_decision, Done _ -> -1
+    | Done _, (Collect _ | Wait_decision) -> 1
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Bool.compare a.input b.input in
+        if c <> 0 then c else Bool.compare a.coord b.coord
+
+  let pp_nstate ppf s =
+    let pp_phase ppf = function
+      | Collect vc -> Vote_collect.pp ppf vc
+      | Wait_decision -> Format.pp_print_string ppf "wait-decision"
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~rule ~name =
+  let module B = Make_base (struct
+    let rule = rule
+    let name = name
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let default = make ~rule:Decision_rule.Unanimity ~name:"2pc"

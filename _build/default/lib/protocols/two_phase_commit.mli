@@ -1,0 +1,23 @@
+(** Classic (blocking) two-phase commit, with cooperative termination.
+
+    Participants vote to the coordinator [p0]; the coordinator
+    *decides first* — commit iff every vote is yes and no failure was
+    detected — then broadcasts the decision and halts.  Participants
+    decide on receipt and keep listening (so they can serve the
+    termination protocol of peers that detected failures).
+
+    Because the coordinator decides before anyone shares its bias, the
+    protocol violates Corollary 6: if the coordinator commits and
+    fails before its decision messages are delivered, the survivors'
+    termination run aborts while the dead coordinator committed — a
+    total-consistency violation with many fewer messages than the
+    Figure 1 / 3PC family needs to prevent it.  Interactive
+    consistency still holds.  This is the paper's transaction-
+    commitment motivation ([S82]) made executable. *)
+
+open Patterns_sim
+
+val make : rule:Decision_rule.t -> name:string -> (module Protocol.S)
+
+val default : (module Protocol.S)
+(** Unanimity instance, any [n >= 2]. *)

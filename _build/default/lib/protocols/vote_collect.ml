@@ -1,0 +1,49 @@
+open Patterns_sim
+
+type t = {
+  waiting : Proc_id.Set.t;
+  bits : (Proc_id.t * bool) list;  (* sorted by processor *)
+  failed_seen : bool;
+}
+
+let start procs = { waiting = Proc_id.set_of_list procs; bits = []; failed_seen = false }
+
+let add_bit t q b =
+  if Proc_id.Set.mem q t.waiting then
+    {
+      t with
+      waiting = Proc_id.Set.remove q t.waiting;
+      bits = List.sort Stdlib.compare ((q, b) :: t.bits);
+    }
+  else t
+
+let note_failure t q =
+  if Proc_id.Set.mem q t.waiting then
+    { t with waiting = Proc_id.Set.remove q t.waiting; failed_seen = true }
+  else t
+
+let awaiting t q = Proc_id.Set.mem q t.waiting
+
+let complete t = Proc_id.Set.is_empty t.waiting
+
+let failure_seen t = t.failed_seen
+
+let decide ~rule ~n ~me ~own t =
+  if t.failed_seen then Decision.Abort
+  else begin
+    let inputs = Array.make n false in
+    inputs.(me) <- own;
+    List.iter (fun (q, b) -> inputs.(q) <- b) t.bits;
+    Decision_rule.natural_decision rule inputs
+  end
+
+let compare a b =
+  let c = Proc_id.Set.compare a.waiting b.waiting in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.bits b.bits in
+    if c <> 0 then c else Bool.compare a.failed_seen b.failed_seen
+
+let pp ppf t =
+  Format.fprintf ppf "collect(wait=%a%s)" Proc_id.pp_set t.waiting
+    (if t.failed_seen then ",failure" else "")

@@ -1,0 +1,33 @@
+(** Vote collection, shared by the coordinator-style protocols.
+
+    A coordinator (or, in the decentralized protocol, every processor)
+    waits for one input bit from each peer; failure notices substitute
+    for missing bits and force an abort under every rule the paper
+    considers ("decide 0 if ... a failure occurs"). *)
+
+open Patterns_sim
+
+type t
+
+val start : Proc_id.t list -> t
+(** Wait for a bit from each of the given processors. *)
+
+val add_bit : t -> Proc_id.t -> bool -> t
+(** Record a bit (ignored if not awaited). *)
+
+val note_failure : t -> Proc_id.t -> t
+(** Stop waiting for a failed processor and set the failure flag. *)
+
+val awaiting : t -> Proc_id.t -> bool
+
+val complete : t -> bool
+
+val failure_seen : t -> bool
+
+val decide : rule:Decision_rule.t -> n:int -> me:Proc_id.t -> own:bool -> t -> Decision.t
+(** The natural decision once collection is complete: abort if a
+    failure was seen, otherwise the rule applied to the full input
+    vector. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

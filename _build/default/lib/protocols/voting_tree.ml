@@ -1,0 +1,252 @@
+open Patterns_sim
+
+type nmsg =
+  | Votes of (Proc_id.t * bool) list  (** subtree votes, flowing rootward *)
+  | Bias_msg of Termination_core.bias
+  | Ack
+  | Commit_msg
+
+let nmsg_rank = function Votes _ -> 0 | Bias_msg _ -> 1 | Ack -> 2 | Commit_msg -> 3
+
+let compare_nmsg a b =
+  match (a, b) with
+  | Votes x, Votes y -> Stdlib.compare x y
+  | Bias_msg x, Bias_msg y ->
+    Bool.compare
+      (Termination_core.bias_equal x Termination_core.Committable)
+      (Termination_core.bias_equal y Termination_core.Committable)
+  | Ack, Ack | Commit_msg, Commit_msg -> 0
+  | (Votes _ | Bias_msg _ | Ack | Commit_msg), _ -> Int.compare (nmsg_rank a) (nmsg_rank b)
+
+let pp_nmsg ppf = function
+  | Votes vs ->
+    Format.fprintf ppf "votes[%s]"
+      (String.concat ","
+         (List.map (fun (p, b) -> Printf.sprintf "%d:%d" p (if b then 1 else 0)) vs))
+  | Bias_msg bias -> Format.fprintf ppf "bias(%a)" Termination_core.pp_bias bias
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Commit_msg -> Format.pp_print_string ppf "commit"
+
+type phase =
+  | Gather of { waiting : Proc_id.Set.t; votes : (Proc_id.t * bool) list; failed_seen : bool }
+  | Wait_bias
+  | Gather_acks of { waiting : Proc_id.Set.t }
+  | Wait_commit
+  | Done of Decision.t
+
+type nstate = {
+  outbox : nmsg Outbox.t;
+  phase : phase;
+  committable : bool;
+  input : bool;
+}
+
+module Make_base (Cfg : sig
+  val tree : Tree.t
+  val rule : Decision_rule.t
+  val name : string
+end) : Commit_glue.BASE with type nmsg = nmsg = struct
+  type nonrec nstate = nstate
+  type nonrec nmsg = nmsg
+
+  let name = Cfg.name
+
+  let describe =
+    Printf.sprintf "rule-parametric WT-TC voting tree (%s)" (Decision_rule.to_string Cfg.rule)
+
+  let amnesic_variant = false
+  let valid_n n = n = Tree.size Cfg.tree
+
+  let tree = Cfg.tree
+  let root = Tree.root tree
+
+  let initial ~n:_ ~me ~input =
+    match Tree.children tree me with
+    | [] ->
+      let parent = Option.get (Tree.parent tree me) in
+      {
+        outbox = [ (parent, Votes [ (me, input) ]) ];
+        phase = Wait_bias;
+        committable = false;
+        input;
+      }
+    | children ->
+      {
+        outbox = [];
+        phase =
+          Gather
+            { waiting = Proc_id.set_of_list children; votes = [ (me, input) ]; failed_seen = false };
+        committable = false;
+        input;
+      }
+
+  let step_kind s =
+    if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+    else
+      match s.phase with
+      | Gather _ | Wait_bias | Gather_acks _ | Wait_commit -> Step_kind.Receiving
+      | Done _ -> Step_kind.Receiving (* weak termination *)
+
+  let send ~n:_ ~me:_ s =
+    match Outbox.pop s.outbox with
+    | None -> (None, s)
+    | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+  let children_of me = Tree.children tree me
+
+  (* subtree complete: the root fixes the bias from the assembled vote
+     vector; interior nodes forward their subtree's votes upward *)
+  let finish_gather ~n s me votes failed_seen =
+    if Proc_id.equal me root then begin
+      let inputs = Array.make n false in
+      List.iter (fun (q, b) -> inputs.(q) <- b) votes;
+      let committable =
+        (not failed_seen)
+        && Decision_rule.permits Cfg.rule ~inputs ~failure_occurred:false Decision.Commit
+      in
+      let bias =
+        if committable then Termination_core.Committable else Termination_core.Noncommittable
+      in
+      let s = { s with committable } in
+      let s =
+        { s with outbox = Outbox.broadcast Outbox.empty (children_of me) (Bias_msg bias) }
+      in
+      if committable then
+        { s with phase = Gather_acks { waiting = Proc_id.set_of_list (children_of me) } }
+      else { s with phase = Done Decision.Abort }
+    end
+    else
+      let parent = Option.get (Tree.parent tree me) in
+      { s with outbox = [ (parent, Votes votes) ]; phase = Wait_bias }
+
+  let receive ~n ~me s ~from msg =
+    match (s.phase, msg) with
+    | Gather { waiting; votes; failed_seen }, Votes vs when Proc_id.Set.mem from waiting ->
+      let waiting = Proc_id.Set.remove from waiting in
+      let votes = List.sort Stdlib.compare (vs @ votes) in
+      if Proc_id.Set.is_empty waiting then finish_gather ~n s me votes failed_seen
+      else { s with phase = Gather { waiting; votes; failed_seen } }
+    | Wait_bias, Bias_msg Termination_core.Noncommittable ->
+      {
+        s with
+        outbox =
+          Outbox.broadcast Outbox.empty (children_of me) (Bias_msg Termination_core.Noncommittable);
+        phase = Done Decision.Abort;
+      }
+    | Wait_bias, Bias_msg Termination_core.Committable ->
+      let s = { s with committable = true } in
+      if Tree.is_leaf tree me then
+        let parent = Option.get (Tree.parent tree me) in
+        { s with outbox = [ (parent, Ack) ]; phase = Wait_commit }
+      else
+        {
+          s with
+          outbox =
+            Outbox.broadcast Outbox.empty (children_of me) (Bias_msg Termination_core.Committable);
+          phase = Gather_acks { waiting = Proc_id.set_of_list (children_of me) };
+        }
+    | Gather_acks { waiting }, Ack when Proc_id.Set.mem from waiting ->
+      let waiting = Proc_id.Set.remove from waiting in
+      if not (Proc_id.Set.is_empty waiting) then { s with phase = Gather_acks { waiting } }
+      else if Proc_id.equal me root then
+        {
+          s with
+          outbox = Outbox.broadcast Outbox.empty (children_of me) Commit_msg;
+          phase = Done Decision.Commit;
+        }
+      else
+        let parent = Option.get (Tree.parent tree me) in
+        { s with outbox = [ (parent, Ack) ]; phase = Wait_commit }
+    | Wait_commit, Commit_msg ->
+      {
+        s with
+        outbox = Outbox.broadcast Outbox.empty (children_of me) Commit_msg;
+        phase = Done Decision.Commit;
+      }
+    | (Gather _ | Wait_bias | Gather_acks _ | Wait_commit | Done _), _ -> s
+
+  let current_bias s =
+    if s.committable then Termination_core.Committable else Termination_core.Noncommittable
+
+  let on_failure ~n ~me s q =
+    match s.phase with
+    | Gather { waiting; votes; failed_seen = _ } when Proc_id.Set.mem q waiting ->
+      (* a failed subtree: keep collecting from the rest; the failure
+         flag forces an abort bias, which every rule permits *)
+      let waiting = Proc_id.Set.remove q waiting in
+      if Proc_id.Set.is_empty waiting then `Continue (finish_gather ~n s me votes true)
+      else `Continue { s with phase = Gather { waiting; votes; failed_seen = true } }
+    | Gather _ | Wait_bias | Gather_acks _ | Wait_commit | Done _ -> `Join (current_bias s)
+
+  let on_term_msg ~n:_ ~me:_ s = `Join (current_bias s)
+  let term_translate (_ : nmsg) = `Ignore
+  let known_halted _ = []
+
+  let status s =
+    match s.phase with
+    | Done d when Outbox.is_empty s.outbox -> Status.decided d
+    | Done _ | Gather _ | Wait_bias | Gather_acks _ | Wait_commit -> Status.undecided
+
+  let compare_phase a b =
+    match (a, b) with
+    | Gather a, Gather b ->
+      let c = Proc_id.Set.compare a.waiting b.waiting in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.votes b.votes in
+        if c <> 0 then c else Bool.compare a.failed_seen b.failed_seen
+    | Gather_acks a, Gather_acks b -> Proc_id.Set.compare a.waiting b.waiting
+    | Wait_bias, Wait_bias | Wait_commit, Wait_commit -> 0
+    | Done a, Done b -> Decision.compare a b
+    | (Gather _ | Wait_bias | Gather_acks _ | Wait_commit | Done _), _ ->
+      let rank = function
+        | Gather _ -> 0 | Wait_bias -> 1 | Gather_acks _ -> 2 | Wait_commit -> 3 | Done _ -> 4
+      in
+      Int.compare (rank a) (rank b)
+
+  let compare_nstate a b =
+    let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in
+    if c <> 0 then c
+    else
+      let c = compare_phase a.phase b.phase in
+      if c <> 0 then c
+      else
+        let c = Bool.compare a.committable b.committable in
+        if c <> 0 then c else Bool.compare a.input b.input
+
+  let pp_nstate ppf s =
+    let pp_phase ppf = function
+      | Gather { waiting; failed_seen; _ } ->
+        Format.fprintf ppf "gather(wait=%a%s)" Proc_id.pp_set waiting
+          (if failed_seen then ",failure" else "")
+      | Wait_bias -> Format.pp_print_string ppf "wait-bias"
+      | Gather_acks { waiting } -> Format.fprintf ppf "gather-acks(wait=%a)" Proc_id.pp_set waiting
+      | Wait_commit -> Format.pp_print_string ppf "wait-commit"
+      | Done d -> Format.fprintf ppf "done(%a)" Decision.pp d
+    in
+    Format.fprintf ppf "%a%s" pp_phase s.phase
+      (if Outbox.is_empty s.outbox then ""
+       else Format.asprintf "+outbox%a" (Outbox.pp ~pp_msg:pp_nmsg) s.outbox)
+
+  let compare_nmsg = compare_nmsg
+  let pp_nmsg = pp_nmsg
+end
+
+let make ~rule ~name tree =
+  let module B = Make_base (struct
+    let tree = tree
+    let rule = rule
+    let name = name
+  end) in
+  let module P = Commit_glue.Make (B) in
+  (module P : Protocol.S)
+
+let threshold_star ~k n =
+  make ~rule:(Decision_rule.Threshold k)
+    ~name:(Printf.sprintf "voting-star-thr%d-%d" k n)
+    (Tree.star n)
+
+let subset_star ~quorum n =
+  make ~rule:(Decision_rule.Subset quorum)
+    ~name:(Printf.sprintf "voting-star-subset-%d" n)
+    (Tree.star n)

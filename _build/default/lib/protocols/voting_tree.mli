@@ -1,0 +1,24 @@
+(** Rule-parametric voting tree (WT-TC for any decision rule).
+
+    The Figure 1 protocol aggregates the AND of the inputs, which only
+    supports unanimity.  This variant aggregates *tallies* — how many
+    of the subtree's processors voted 1 — so the root can apply any of
+    Section 2's decision rules: unanimity, threshold-k, or set(S, v)
+    (the broadcast rule is the degenerate set {p}).  The two-phase
+    structure (bias down, acknowledgements up, decision down) and the
+    termination-protocol fallback are those of Figure 1, so the
+    protocol remains WT-TC.
+
+    With [Threshold k] the "no message to a 0-leaf" optimization is
+    unavailable (a 0 vote no longer determines the bias), so every
+    leaf always receives the bias. *)
+
+open Patterns_sim
+
+val make : rule:Decision_rule.t -> name:string -> Tree.t -> (module Protocol.S)
+
+val threshold_star : k:int -> int -> (module Protocol.S)
+(** Star topology on [n] processors deciding by threshold-[k]. *)
+
+val subset_star : quorum:Proc_id.t list -> int -> (module Protocol.S)
+(** Star topology deciding by set(S, 1) over the given quorum. *)

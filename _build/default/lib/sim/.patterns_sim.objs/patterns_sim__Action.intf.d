@@ -1,0 +1,1 @@
+lib/sim/action.mli: Format Proc_id

@@ -1,0 +1,1 @@
+lib/sim/decision.ml: Format

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Action Array Format Hashtbl Incoming Int List Listx Patterns_stdx Printf Prng Proc_id Protocol Result Set Status Stdlib Step_kind Trace Triple

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Action Decision Format Patterns_stdx Proc_id Protocol Status Trace Triple

@@ -1,0 +1,1 @@
+lib/sim/incoming.ml: Format Proc_id

@@ -1,0 +1,1 @@
+lib/sim/incoming.mli: Format Proc_id

@@ -1,0 +1,1 @@
+lib/sim/outbox.ml: Format List Proc_id

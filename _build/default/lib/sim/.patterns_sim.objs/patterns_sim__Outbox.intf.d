@@ -1,0 +1,1 @@
+lib/sim/outbox.mli: Format Proc_id

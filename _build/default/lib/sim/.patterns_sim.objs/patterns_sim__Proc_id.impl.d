@@ -1,0 +1,1 @@
+lib/sim/proc_id.ml: Format Fun Int List Map Printf Set

@@ -1,0 +1,1 @@
+lib/sim/proc_id.mli: Format Map Set

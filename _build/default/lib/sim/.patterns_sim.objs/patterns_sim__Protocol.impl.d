@@ -1,0 +1,1 @@
+lib/sim/protocol.ml: Format Incoming Proc_id Status Step_kind

@@ -1,0 +1,1 @@
+lib/sim/protocol.mli: Format Incoming Proc_id Status Step_kind

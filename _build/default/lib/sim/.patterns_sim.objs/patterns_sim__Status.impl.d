@@ -1,0 +1,1 @@
+lib/sim/status.ml: Decision Format Option

@@ -1,0 +1,1 @@
+lib/sim/status.mli: Decision Format

@@ -1,0 +1,1 @@
+lib/sim/step_kind.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Buffer Decision Format List Printf Proc_id String Triple

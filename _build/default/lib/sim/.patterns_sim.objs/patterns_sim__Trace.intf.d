@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Decision Format Proc_id Triple

@@ -1,0 +1,1 @@
+lib/sim/triple.ml: Format Int Map Printf Proc_id Set

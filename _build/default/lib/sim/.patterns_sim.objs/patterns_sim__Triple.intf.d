@@ -1,0 +1,1 @@
+lib/sim/triple.mli: Format Map Proc_id Set

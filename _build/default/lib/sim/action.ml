@@ -1,0 +1,22 @@
+type t =
+  | Send_step of Proc_id.t
+  | Deliver of { at : Proc_id.t; index : int }
+  | Fail of Proc_id.t
+
+let rank = function Send_step _ -> 0 | Deliver _ -> 1 | Fail _ -> 2
+
+let compare a b =
+  match (a, b) with
+  | Send_step p, Send_step q -> Proc_id.compare p q
+  | Deliver a, Deliver b ->
+    let c = Proc_id.compare a.at b.at in
+    if c <> 0 then c else Int.compare a.index b.index
+  | Fail p, Fail q -> Proc_id.compare p q
+  | (Send_step _ | Deliver _ | Fail _), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Send_step p -> Format.fprintf ppf "step(%a)" Proc_id.pp p
+  | Deliver { at; index } -> Format.fprintf ppf "deliver(%a,#%d)" Proc_id.pp at index
+  | Fail p -> Format.fprintf ppf "fail(%a)" Proc_id.pp p

@@ -1,0 +1,19 @@
+(** Scheduler-visible atomic steps.
+
+    These are the paper's events [(p, mu)]: a sending step
+    ([mu = empty]), the delivery of one buffered item to a receiving
+    processor ([mu] a message or failure notice), or a failure step
+    ([mu = f]). *)
+
+type t =
+  | Send_step of Proc_id.t
+      (** Let [p] take one sending step (emit at most one message). *)
+  | Deliver of { at : Proc_id.t; index : int }
+      (** Deliver the [index]-th item (0-based, arrival order) of
+          [at]'s buffer. *)
+  | Fail of Proc_id.t
+      (** Fail-stop [p]; failure notices are broadcast to all peers. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+type t = Commit | Abort
+
+let of_bool b = if b then Commit else Abort
+let to_bool = function Commit -> true | Abort -> false
+
+let compare a b =
+  match (a, b) with
+  | Commit, Commit | Abort, Abort -> 0
+  | Abort, Commit -> -1
+  | Commit, Abort -> 1
+
+let equal a b = compare a b = 0
+let to_string = function Commit -> "commit" | Abort -> "abort"
+let pp ppf d = Format.pp_print_string ppf (to_string d)

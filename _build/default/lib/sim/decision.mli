@@ -1,0 +1,15 @@
+(** Binary decision values.
+
+    [Commit] is the decision "1" of the paper, [Abort] is "0". *)
+
+type t = Commit | Abort
+
+val of_bool : bool -> t
+(** [of_bool true = Commit]. *)
+
+val to_bool : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,463 @@
+open Patterns_stdx
+
+module Make (P : Protocol.S) = struct
+  type entry =
+    | Note of Proc_id.t
+    | Data of { triple : Triple.t; payload : P.msg }
+
+  module Pair = struct
+    type t = Triple.t * Triple.t
+
+    let compare (a1, b1) (a2, b2) =
+      let c = Triple.compare a1 a2 in
+      if c <> 0 then c else Triple.compare b1 b2
+  end
+
+  module Pair_set = Set.Make (Pair)
+
+  type config = {
+    n : int;
+    inputs : bool array;
+    states : P.state array;
+    failed : bool array;
+    buffers : entry list array;
+    sent_count : int array;  (* flattened n*n: sender * n + receiver *)
+    knowledge : Triple.Set.t array;
+    edges : Pair_set.t;
+    trips : Triple.Set.t;
+  }
+
+  let init ~n ~inputs =
+    if not (P.valid_n n) then
+      invalid_arg (Printf.sprintf "Engine.init: protocol %s does not support n = %d" P.name n);
+    if List.length inputs <> n then
+      invalid_arg "Engine.init: inputs length must equal n";
+    let inputs = Array.of_list inputs in
+    let states = Array.init n (fun i -> P.initial ~n ~me:i ~input:inputs.(i)) in
+    Array.iteri
+      (fun i s ->
+        let st = P.status s in
+        if st.Status.decision <> None || st.Status.amnesic || st.Status.halted then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.init: protocol %s starts p%d outside the initial states z_0/z_1" P.name i))
+      states;
+    {
+      n;
+      inputs;
+      states;
+      failed = Array.make n false;
+      buffers = Array.make n [];
+      sent_count = Array.make (n * n) 0;
+      knowledge = Array.make n Triple.Set.empty;
+      edges = Pair_set.empty;
+      trips = Triple.Set.empty;
+    }
+
+  let n_of c = c.n
+  let inputs_of c = Array.copy c.inputs
+  let state_of c p = c.states.(p)
+  let states_of c = Array.copy c.states
+  let buffer_of c p = c.buffers.(p)
+  let is_failed c p = c.failed.(p)
+  let status_of c p = P.status c.states.(p)
+  let statuses c = Array.map P.status c.states
+
+  let decisions_of c =
+    List.filter_map
+      (fun p ->
+        match (P.status c.states.(p)).Status.decision with
+        | Some d -> Some (p, d)
+        | None -> None)
+      (Proc_id.all ~n:c.n)
+
+  let pattern_edges c = Pair_set.elements c.edges
+  let triples_of c = Triple.Set.elements c.trips
+
+  let compare_entry a b =
+    match (a, b) with
+    | Note p, Note q -> Proc_id.compare p q
+    | Note _, Data _ -> -1
+    | Data _, Note _ -> 1
+    | Data a, Data b ->
+      let c = Triple.compare a.triple b.triple in
+      if c <> 0 then c else P.compare_msg a.payload b.payload
+
+  let compare_buffer a b = List.compare compare_entry (List.sort compare_entry a) (List.sort compare_entry b)
+
+  let compare_arrays cmp a b =
+    let c = Int.compare (Array.length a) (Array.length b) in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i = Array.length a then 0
+        else
+          let c = cmp a.(i) b.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+  let compare_behavioral a b =
+    let c = Int.compare a.n b.n in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.inputs b.inputs in
+      if c <> 0 then c
+      else
+        let c = compare_arrays P.compare_state a.states b.states in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare a.failed b.failed in
+          if c <> 0 then c else compare_arrays compare_buffer a.buffers b.buffers
+
+  let compare_config a b =
+    let c = compare_behavioral a b in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.sent_count b.sent_count in
+      if c <> 0 then c
+      else
+        let c = compare_arrays Triple.Set.compare a.knowledge b.knowledge in
+        if c <> 0 then c
+        else
+          let c = Pair_set.compare a.edges b.edges in
+          if c <> 0 then c else Triple.Set.compare a.trips b.trips
+
+  let hash_config c =
+    let buf_key = Array.map (fun b -> List.map (fun e -> match e with Note p -> (-1, p, 0) | Data d -> (d.triple.Triple.sender, d.triple.Triple.receiver, d.triple.Triple.index)) (List.sort compare_entry b)) c.buffers in
+    Hashtbl.hash (c.inputs, c.failed, buf_key, c.sent_count, Pair_set.cardinal c.edges)
+
+  let pp_entry ppf = function
+    | Note p -> Format.fprintf ppf "failed(%a)" Proc_id.pp p
+    | Data { triple; payload } -> Format.fprintf ppf "%a:%a" Triple.pp triple P.pp_msg payload
+
+  let pp_config ppf c =
+    Format.fprintf ppf "@[<v>";
+    for p = 0 to c.n - 1 do
+      Format.fprintf ppf "%a%s: %a  [%a]  buf=[%a]@,"
+        Proc_id.pp p
+        (if c.failed.(p) then "(failed)" else "")
+        P.pp_state c.states.(p) Status.pp (P.status c.states.(p))
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+        c.buffers.(p)
+    done;
+    Format.fprintf ppf "@]"
+
+  (* ----- applicability ----- *)
+
+  let proc_actions ~fifo_notices c p =
+    if c.failed.(p) then []
+    else
+      match P.step_kind c.states.(p) with
+      | Step_kind.Quiescent -> []
+      | Step_kind.Sending -> [ Action.Send_step p ]
+      | Step_kind.Receiving ->
+        let buffer = c.buffers.(p) in
+        let data_from q =
+          List.exists
+            (function Data { triple; _ } -> Proc_id.equal triple.Triple.sender q | Note _ -> false)
+            buffer
+        in
+        List.concat
+          (List.mapi
+             (fun index e ->
+               match e with
+               | Data _ -> [ Action.Deliver { at = p; index } ]
+               | Note q ->
+                 if fifo_notices && data_from q then [] else [ Action.Deliver { at = p; index } ])
+             buffer)
+
+  let applicable ?(fifo_notices = false) c =
+    List.concat_map (proc_actions ~fifo_notices c) (Proc_id.all ~n:c.n)
+
+  let failure_actions c =
+    List.filter_map
+      (fun p -> if c.failed.(p) then None else Some (Action.Fail p))
+      (Proc_id.all ~n:c.n)
+
+  let quiescent c = applicable c = []
+
+  (* ----- transitions ----- *)
+
+  let status_events ~step p before after =
+    let evs = ref [] in
+    (match (before.Status.decision, after.Status.decision) with
+    | None, Some d when not before.Status.amnesic ->
+      evs := Trace.Decided { step; proc = p; decision = d } :: !evs
+    | _ -> ());
+    if (not before.Status.amnesic) && after.Status.amnesic then
+      evs := Trace.Became_amnesic { step; proc = p } :: !evs;
+    if (not before.Status.halted) && after.Status.halted then
+      evs := Trace.Halted { step; proc = p } :: !evs;
+    List.rev !evs
+
+  let check_transition p before after =
+    if Status.transition_ok before after then Ok ()
+    else
+      Error
+        (Format.asprintf "protocol %s violated a status invariant at %a: %a -> %a" P.name
+           Proc_id.pp p Status.pp before Status.pp after)
+
+  let ( let* ) = Result.bind
+
+  let apply_send ~step c p =
+    let before = P.status c.states.(p) in
+    let outgoing, state' = P.send ~n:c.n ~me:p c.states.(p) in
+    let after = P.status state' in
+    let* () = check_transition p before after in
+    let states = Array.copy c.states in
+    states.(p) <- state';
+    let flips = status_events ~step p before after in
+    match outgoing with
+    | None -> Ok ({ c with states }, Trace.Null_step { step; proc = p } :: flips)
+    | Some (dst, payload) ->
+      if Proc_id.equal dst p then
+        Error (Printf.sprintf "protocol %s: %s tried to send to itself" P.name (Proc_id.to_string p))
+      else if dst < 0 || dst >= c.n then
+        Error (Printf.sprintf "protocol %s: destination p%d out of range" P.name dst)
+      else begin
+        let idx = (p * c.n) + dst in
+        let sent_count = Array.copy c.sent_count in
+        sent_count.(idx) <- sent_count.(idx) + 1;
+        let triple = Triple.make ~sender:p ~receiver:dst ~index:sent_count.(idx) in
+        let causes = Triple.Set.elements c.knowledge.(p) in
+        let knowledge = Array.copy c.knowledge in
+        knowledge.(p) <- Triple.Set.add triple knowledge.(p);
+        let edges =
+          List.fold_left (fun acc m1 -> Pair_set.add (m1, triple) acc) c.edges causes
+        in
+        let buffers = Array.copy c.buffers in
+        buffers.(dst) <- buffers.(dst) @ [ Data { triple; payload } ];
+        let c' =
+          { c with states; sent_count; knowledge; edges; buffers;
+            trips = Triple.Set.add triple c.trips }
+        in
+        Ok (c', Trace.Sent { step; triple; payload; causes } :: flips)
+      end
+
+  let apply_deliver ~step c p index =
+    match List.nth_opt c.buffers.(p) index with
+    | None -> Error (Printf.sprintf "deliver: no buffer entry #%d at p%d" index p)
+    | Some entry ->
+      let incoming, delivered_event, knowledge =
+        match entry with
+        | Note about ->
+          ( Incoming.Failed about,
+            Trace.Delivered_note { step; at = p; about },
+            c.knowledge )
+        | Data { triple; payload } ->
+          let knowledge = Array.copy c.knowledge in
+          knowledge.(p) <- Triple.Set.add triple knowledge.(p);
+          ( Incoming.Msg { from = triple.Triple.sender; payload },
+            Trace.Delivered_msg { step; triple; payload },
+            knowledge )
+      in
+      let before = P.status c.states.(p) in
+      let state' = P.receive ~n:c.n ~me:p c.states.(p) incoming in
+      let after = P.status state' in
+      let* () = check_transition p before after in
+      let states = Array.copy c.states in
+      states.(p) <- state';
+      let buffers = Array.copy c.buffers in
+      buffers.(p) <- List.filteri (fun i _ -> i <> index) buffers.(p);
+      let flips = status_events ~step p before after in
+      Ok ({ c with states; buffers; knowledge }, delivered_event :: flips)
+
+  let apply_fail ~step c p =
+    if c.failed.(p) then Error (Printf.sprintf "fail: p%d has already failed" p)
+    else begin
+      let failed = Array.copy c.failed in
+      failed.(p) <- true;
+      let buffers = Array.copy c.buffers in
+      List.iter (fun q -> buffers.(q) <- buffers.(q) @ [ Note p ]) (Proc_id.others ~n:c.n p);
+      Ok ({ c with failed; buffers }, [ Trace.Failed_proc { step; proc = p } ])
+    end
+
+  let apply ~step c action =
+    match action with
+    | Action.Send_step p ->
+      if p < 0 || p >= c.n then Error "send: processor out of range"
+      else if c.failed.(p) then Error (Printf.sprintf "send: p%d has failed" p)
+      else if not (Step_kind.equal (P.step_kind c.states.(p)) Step_kind.Sending) then
+        Error (Printf.sprintf "send: p%d is not in a sending state" p)
+      else apply_send ~step c p
+    | Action.Deliver { at; index } ->
+      if at < 0 || at >= c.n then Error "deliver: processor out of range"
+      else if c.failed.(at) then Error (Printf.sprintf "deliver: p%d has failed" at)
+      else if not (Step_kind.equal (P.step_kind c.states.(at)) Step_kind.Receiving) then
+        Error (Printf.sprintf "deliver: p%d is not in a receiving state" at)
+      else apply_deliver ~step c at index
+    | Action.Fail p ->
+      if p < 0 || p >= c.n then Error "fail: processor out of range" else apply_fail ~step c p
+
+  let apply_exn ~step c action =
+    match apply ~step c action with
+    | Ok r -> r
+    | Error e -> failwith (Format.asprintf "Engine.apply %a: %s" Action.pp action e)
+
+  (* ----- schedulers ----- *)
+
+  type scheduler = step:int -> config -> Action.t list -> Action.t option
+
+  let fifo_scheduler ~step:_ _c = function [] -> None | a :: _ -> Some a
+
+  let round_robin_scheduler ~step c actions =
+    match actions with
+    | [] -> None
+    | _ ->
+      let start = step mod c.n in
+      let pid = function
+        | Action.Send_step p | Action.Deliver { at = p; _ } | Action.Fail p -> p
+      in
+      let rotated p = (p - start + c.n) mod c.n in
+      let best =
+        List.fold_left
+          (fun acc a ->
+            match acc with
+            | None -> Some a
+            | Some b -> if rotated (pid a) < rotated (pid b) then Some a else Some b)
+          None actions
+      in
+      best
+
+  let random_scheduler prng ~step:_ _c = function
+    | [] -> None
+    | actions -> Some (Prng.pick prng actions)
+
+  let notice_first_scheduler prng ~step:_ c actions =
+    match actions with
+    | [] -> None
+    | _ ->
+      let is_notice = function
+        | Action.Deliver { at; index } -> (
+          match List.nth_opt c.buffers.(at) index with
+          | Some (Note _) -> true
+          | Some (Data _) | None -> false)
+        | Action.Send_step _ | Action.Fail _ -> false
+      in
+      let notices = List.filter is_notice actions in
+      Some (Prng.pick prng (if notices = [] then actions else notices))
+
+  let lifo_scheduler ~step:_ _c actions =
+    match List.rev actions with [] -> None | a :: _ -> Some a
+
+  type run_result = {
+    final : config;
+    trace : P.msg Trace.t;
+    steps : int;
+    quiescent : bool;
+  }
+
+  let run ?(max_steps = 100_000) ?(failures = []) ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+    let rec loop c step rev_trace pending_failures =
+      if step >= max_steps then
+        { final = c; trace = List.rev rev_trace; steps = step; quiescent = false }
+      else
+        match
+          List.find_opt (fun (k, p) -> k <= step && not (is_failed c p)) pending_failures
+        with
+        | Some (_, p) ->
+          let c', evs = apply_exn ~step c (Action.Fail p) in
+          loop c' (step + 1) (List.rev_append evs rev_trace)
+            (List.filter (fun (_, q) -> q <> p) pending_failures)
+        | None -> (
+          let actions = applicable ~fifo_notices c in
+          match scheduler ~step c actions with
+          | None ->
+            { final = c; trace = List.rev rev_trace; steps = step; quiescent = actions = [] }
+          | Some a ->
+            let c', evs = apply_exn ~step c a in
+            loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures)
+    in
+    loop (init ~n ~inputs) 0 [] failures
+
+  (* ----- scripted replays ----- *)
+
+  type directive =
+    | Step_of of Proc_id.t
+    | Deliver_from of Proc_id.t * Proc_id.t
+    | Deliver_note of Proc_id.t * Proc_id.t
+    | Fail_now of Proc_id.t
+    | Drain of Proc_id.t
+    | Flush_fifo
+
+  let pp_directive ppf = function
+    | Step_of p -> Format.fprintf ppf "step %a" Proc_id.pp p
+    | Deliver_from (at, from) ->
+      Format.fprintf ppf "deliver to %a from %a" Proc_id.pp at Proc_id.pp from
+    | Deliver_note (at, about) ->
+      Format.fprintf ppf "deliver to %a the notice failed(%a)" Proc_id.pp at Proc_id.pp about
+    | Fail_now p -> Format.fprintf ppf "fail %a" Proc_id.pp p
+    | Drain p -> Format.fprintf ppf "drain %a" Proc_id.pp p
+    | Flush_fifo -> Format.fprintf ppf "flush (fifo to quiescence)"
+
+  let find_entry c at pred =
+    Listx.find_index pred c.buffers.(at)
+
+  let play c directives =
+    let flush_cap = 100_000 in
+    let rec exec c step rev_trace = function
+      | [] -> Ok (c, List.rev rev_trace)
+      | d :: rest -> (
+        let fail_d msg =
+          Error (Format.asprintf "directive [%a] failed: %s" pp_directive d msg)
+        in
+        match d with
+        | Step_of p -> (
+          match apply ~step c (Action.Send_step p) with
+          | Error e -> fail_d e
+          | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest)
+        | Deliver_from (at, from) -> (
+          let pred = function
+            | Data { triple; _ } -> Proc_id.equal triple.Triple.sender from
+            | Note _ -> false
+          in
+          match find_entry c at pred with
+          | None -> fail_d (Printf.sprintf "no message from p%d buffered at p%d" from at)
+          | Some index -> (
+            match apply ~step c (Action.Deliver { at; index }) with
+            | Error e -> fail_d e
+            | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest))
+        | Deliver_note (at, about) -> (
+          let pred = function Note q -> Proc_id.equal q about | Data _ -> false in
+          match find_entry c at pred with
+          | None -> fail_d (Printf.sprintf "no failure notice about p%d buffered at p%d" about at)
+          | Some index -> (
+            match apply ~step c (Action.Deliver { at; index }) with
+            | Error e -> fail_d e
+            | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest))
+        | Fail_now p -> (
+          match apply ~step c (Action.Fail p) with
+          | Error e -> fail_d e
+          | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest)
+        | Drain p ->
+          let rec drain c step rev_trace budget =
+            if budget = 0 then fail_d "drain did not terminate"
+            else if
+              (not (is_failed c p))
+              && Step_kind.equal (P.step_kind c.states.(p)) Step_kind.Sending
+            then
+              match apply ~step c (Action.Send_step p) with
+              | Error e -> fail_d e
+              | Ok (c', evs) -> drain c' (step + 1) (List.rev_append evs rev_trace) (budget - 1)
+            else exec c step rev_trace rest
+          in
+          drain c step rev_trace flush_cap
+        | Flush_fifo ->
+          let rec flush c step rev_trace budget =
+            if budget = 0 then fail_d "flush did not reach quiescence"
+            else
+              match applicable c with
+              | [] -> exec c step rev_trace rest
+              | a :: _ -> (
+                match apply ~step c a with
+                | Error e -> fail_d e
+                | Ok (c', evs) -> flush c' (step + 1) (List.rev_append evs rev_trace) (budget - 1))
+          in
+          flush c step rev_trace flush_cap)
+    in
+    exec c 0 [] directives
+
+  let play_exn c directives =
+    match play c directives with Ok r -> r | Error e -> failwith e
+end

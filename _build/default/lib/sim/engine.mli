@@ -1,0 +1,169 @@
+(** Execution engine: the paper's model of computation, executable.
+
+    [Make (P)] instantiates the asynchronous fail-stop message system
+    for protocol [P]: unordered per-processor buffers, events
+    [(p, mu)] applied to configurations, fail-stop failures with
+    broadcast failure notices, and schedulers ranging from fair
+    deterministic to seeded-random to scripted replays.
+
+    Configurations are persistent values, so exploration (branching
+    over all applicable events) needs no undo machinery; the engine
+    additionally threads the communication-pattern-so-far through each
+    configuration, which lets the scheme enumerator memoize on
+    configurations alone. *)
+
+module Make (P : Protocol.S) : sig
+  (** {1 Configurations} *)
+
+  type entry =
+    | Note of Proc_id.t  (** failure notice in a buffer *)
+    | Data of { triple : Triple.t; payload : P.msg }
+
+  type config
+  (** A configuration: all local states plus all buffer contents
+      (paper Section 3), extended with the bookkeeping needed for
+      patterns (per-pair send counts, per-processor knowledge sets,
+      accumulated pattern edges). *)
+
+  val init : n:int -> inputs:bool list -> config
+  (** Initial configuration: processor [i] starts in
+      [P.initial ~input:(nth inputs i)]; buffers empty.
+      @raise Invalid_argument if [length inputs <> n] or [P.valid_n n]
+      is false. *)
+
+  val n_of : config -> int
+  val inputs_of : config -> bool array
+  val state_of : config -> Proc_id.t -> P.state
+  val states_of : config -> P.state array
+  val buffer_of : config -> Proc_id.t -> entry list
+  (** Arrival order, oldest first. *)
+
+  val is_failed : config -> Proc_id.t -> bool
+  val status_of : config -> Proc_id.t -> Status.t
+  val statuses : config -> Status.t array
+  val decisions_of : config -> (Proc_id.t * Decision.t) list
+  (** Current decision states (amnesic processors excluded). *)
+
+  val pattern_edges : config -> (Triple.t * Triple.t) list
+  (** Direct happens-before pairs accumulated so far, sorted. *)
+
+  val triples_of : config -> Triple.t list
+  (** All message triples sent so far, sorted. *)
+
+  val compare_config : config -> config -> int
+  (** Structural order including pattern bookkeeping; two configs are
+      equal iff their futures (and final patterns) coincide. *)
+
+  val compare_behavioral : config -> config -> int
+  (** Ignores pattern bookkeeping (send counts, knowledge, edges):
+      equality of states, failure flags and buffer multisets only.
+      Suitable for local-state reachability analyses. *)
+
+  val hash_config : config -> int
+
+  val pp_config : Format.formatter -> config -> unit
+
+  (** {1 Stepping} *)
+
+  val applicable : ?fifo_notices:bool -> config -> Action.t list
+  (** All applicable non-failure events, deterministically ordered:
+      for each operational processor in id order, deliveries (buffer
+      order) or its sending step.
+
+      With [fifo_notices] (default false), the failure notice about
+      [q] is deliverable only once no message from [q] remains in the
+      buffer — the delivery discipline of fail-stop processors in the
+      style of Schneider's [S], where failure detection sits below the
+      (per-sender ordered) channel.  The paper's own model leaves
+      notices unordered with respect to messages; the distinction is
+      observable (see the Theorem 7 ablation in EXPERIMENTS.md). *)
+
+  val failure_actions : config -> Action.t list
+  (** [Fail p] for every processor that has not failed yet. *)
+
+  val quiescent : config -> bool
+  (** No applicable non-failure event: every operational processor is
+      quiescent or listening at an empty buffer. *)
+
+  val apply : step:int -> config -> Action.t -> (config * P.msg Trace.event list, string) result
+  (** Apply one event.  [Error] explains inapplicability or a protocol
+      invariant violation (e.g. revoking a decision). *)
+
+  val apply_exn : step:int -> config -> Action.t -> config * P.msg Trace.event list
+  (** @raise Failure on [Error]. *)
+
+  (** {1 Schedulers and runs} *)
+
+  type scheduler = step:int -> config -> Action.t list -> Action.t option
+  (** Chooses among the applicable non-failure events; [None] stops
+      the run early. *)
+
+  val fifo_scheduler : scheduler
+  (** Lowest processor first; oldest buffered item first.  Fair on
+      quiescing protocols. *)
+
+  val round_robin_scheduler : scheduler
+  (** Rotates the starting processor with the step counter; fair even
+      against non-quiescing protocols. *)
+
+  val random_scheduler : Patterns_stdx.Prng.t -> scheduler
+  (** Uniform among applicable events; fair with probability 1. *)
+
+  val notice_first_scheduler : Patterns_stdx.Prng.t -> scheduler
+  (** Adversarial flavour: whenever a failure notice is deliverable it
+      is preferred over data (the race that breaks the standalone
+      Appendix protocol); otherwise uniform random.  Fair. *)
+
+  val lifo_scheduler : scheduler
+  (** Deterministic adversarial flavour: newest buffered item first,
+      highest processor first — stresses protocols that implicitly
+      assume per-sender ordering.  Fair on quiescing protocols. *)
+
+  type run_result = {
+    final : config;
+    trace : P.msg Trace.t;
+    steps : int;
+    quiescent : bool;  (** ended by quiescence rather than the step cap *)
+  }
+
+  val run :
+    ?max_steps:int ->
+    ?failures:(int * Proc_id.t) list ->
+    ?fifo_notices:bool ->
+    scheduler:scheduler ->
+    n:int ->
+    inputs:bool list ->
+    unit ->
+    run_result
+  (** Run from the initial configuration.  [failures] is a failure
+      plan: [(k, p)] fail-stops [p] at global step [k] (failure steps
+      consume a step).  Default [max_steps] is 100_000. *)
+
+  (** {1 Scripted replays}
+
+      Indistinguishability scenarios (Theorems 8 and 13) need exact
+      control over delivery order; these directives express them
+      readably. *)
+
+  type directive =
+    | Step_of of Proc_id.t  (** one sending step of the processor *)
+    | Deliver_from of Proc_id.t * Proc_id.t
+        (** [Deliver_from (at, from)]: oldest buffered message from
+            [from] *)
+    | Deliver_note of Proc_id.t * Proc_id.t
+        (** [Deliver_note (at, about)]: the failure notice about
+            [about] *)
+    | Fail_now of Proc_id.t
+    | Drain of Proc_id.t
+        (** sending steps until the processor leaves its sending
+            states *)
+    | Flush_fifo  (** run the FIFO scheduler to quiescence *)
+
+  val pp_directive : Format.formatter -> directive -> unit
+
+  val play : config -> directive list -> (config * P.msg Trace.t, string) result
+  (** Interpret directives in order; fails fast with a description of
+      the directive that was inapplicable. *)
+
+  val play_exn : config -> directive list -> config * P.msg Trace.t
+end

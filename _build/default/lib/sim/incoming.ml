@@ -1,0 +1,16 @@
+type 'msg t =
+  | Msg of { from : Proc_id.t; payload : 'msg }
+  | Failed of Proc_id.t
+
+let compare ~cmp_msg a b =
+  match (a, b) with
+  | Failed p, Failed q -> Proc_id.compare p q
+  | Failed _, Msg _ -> -1
+  | Msg _, Failed _ -> 1
+  | Msg a, Msg b ->
+    let c = Proc_id.compare a.from b.from in
+    if c <> 0 then c else cmp_msg a.payload b.payload
+
+let pp ~pp_msg ppf = function
+  | Failed p -> Format.fprintf ppf "failed(%a)" Proc_id.pp p
+  | Msg { from; payload } -> Format.fprintf ppf "%a:%a" Proc_id.pp from pp_msg payload

@@ -1,0 +1,13 @@
+(** What a processor sees in a receiving step.
+
+    Either a normal protocol message, or the failure notice
+    [failed(q)] broadcast when processor [q] fail-stops (the [mu = f]
+    events of the paper's model are delivered to peers as these
+    notices). *)
+
+type 'msg t =
+  | Msg of { from : Proc_id.t; payload : 'msg }
+  | Failed of Proc_id.t  (** [Failed q]: notice that [q] has crashed *)
+
+val compare : cmp_msg:('msg -> 'msg -> int) -> 'msg t -> 'msg t -> int
+val pp : pp_msg:(Format.formatter -> 'msg -> unit) -> Format.formatter -> 'msg t -> unit

@@ -1,0 +1,27 @@
+type 'msg t = (Proc_id.t * 'msg) list
+
+let empty = []
+
+let is_empty t = t = []
+
+let push t dst msg = t @ [ (dst, msg) ]
+
+let broadcast t dsts msg = List.fold_left (fun acc dst -> push acc dst msg) t dsts
+
+let pop = function [] -> None | x :: tl -> Some (x, tl)
+
+let drop_to p t = List.filter (fun (q, _) -> not (Proc_id.equal p q)) t
+
+let compare ~cmp_msg a b =
+  List.compare
+    (fun (p1, m1) (p2, m2) ->
+      let c = Proc_id.compare p1 p2 in
+      if c <> 0 then c else cmp_msg m1 m2)
+    a b
+
+let pp ~pp_msg ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (p, m) -> Format.fprintf ppf "%a<-%a" Proc_id.pp p pp_msg m))
+    t

@@ -1,0 +1,30 @@
+(** Outgoing-message queues for protocol states.
+
+    The model sends at most one message per sending step, so a
+    "broadcast" is a run of sending states.  Protocols embed an
+    [Outbox.t] in their state and drain it one message per step; the
+    helpers here keep that boilerplate uniform across protocols. *)
+
+type 'msg t = (Proc_id.t * 'msg) list
+(** Oldest message first. *)
+
+val empty : 'msg t
+
+val is_empty : 'msg t -> bool
+
+val push : 'msg t -> Proc_id.t -> 'msg -> 'msg t
+(** Enqueue at the back. *)
+
+val broadcast : 'msg t -> Proc_id.t list -> 'msg -> 'msg t
+(** Enqueue the same payload to each destination, in list order —
+    the paper's [broadcast(message, set-of-processors)]. *)
+
+val pop : 'msg t -> ((Proc_id.t * 'msg) * 'msg t) option
+
+val drop_to : Proc_id.t -> 'msg t -> 'msg t
+(** Remove all queued messages addressed to the given processor (used
+    when a destination is learned to have failed). *)
+
+val compare : cmp_msg:('msg -> 'msg -> int) -> 'msg t -> 'msg t -> int
+
+val pp : pp_msg:(Format.formatter -> 'msg -> unit) -> Format.formatter -> 'msg t -> unit

@@ -1,0 +1,20 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf p = Format.fprintf ppf "p%d" p
+let to_string p = Printf.sprintf "p%d" p
+
+let all ~n = List.init n Fun.id
+
+let others ~n p = List.filter (fun q -> q <> p) (all ~n)
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list = Set.of_list
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
+    (Set.elements s)

@@ -1,0 +1,26 @@
+(** Processor identifiers.
+
+    Processors are named [p0 .. p(N-1)] as in the paper.  The type is
+    transparently [int] so identifiers can index arrays directly. *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints ["p3"]. *)
+
+val to_string : t -> string
+
+val all : n:int -> t list
+(** [p0; ...; p(n-1)]. *)
+
+val others : n:int -> t -> t list
+(** All processors except the given one, ascending — the paper's
+    [P - {p}]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

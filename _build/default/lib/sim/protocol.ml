@@ -1,0 +1,22 @@
+module type S = sig
+  type state
+  type msg
+
+  val name : string
+  val describe : string
+  val valid_n : int -> bool
+  val initial : n:int -> me:Proc_id.t -> input:bool -> state
+  val step_kind : state -> Step_kind.t
+  val send : n:int -> me:Proc_id.t -> state -> (Proc_id.t * msg) option * state
+  val receive : n:int -> me:Proc_id.t -> state -> msg Incoming.t -> state
+  val status : state -> Status.t
+  val compare_state : state -> state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val compare_msg : msg -> msg -> int
+  val pp_msg : Format.formatter -> msg -> unit
+end
+
+type 'msg packed_msg_ops = {
+  cmp : 'msg -> 'msg -> int;
+  pp : Format.formatter -> 'msg -> unit;
+}

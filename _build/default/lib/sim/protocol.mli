@@ -1,0 +1,52 @@
+(** The interface every consensus protocol implements.
+
+    A protocol is a deterministic automaton per processor, in the
+    paper's Section 3 model: its state set is partitioned into
+    receiving and sending states; in a sending step it emits at most
+    one message ([send]); in a receiving step it consumes one incoming
+    message or failure notice ([receive]).  The engine owns buffers,
+    failure injection and scheduling; the protocol owns only local
+    state (including its [UP] set, if it needs one). *)
+
+module type S = sig
+  type state
+  (** Local processor state.  Must be an immutable value. *)
+
+  type msg
+  (** The protocol's message vocabulary. *)
+
+  val name : string
+  (** Short identifier, e.g. ["tree-wt-tc"]. *)
+
+  val describe : string
+  (** One-line description for CLI listings. *)
+
+  val valid_n : int -> bool
+  (** Which system sizes the protocol supports. *)
+
+  val initial : n:int -> me:Proc_id.t -> input:bool -> state
+  (** The state [z_v] for initial bit [v]. *)
+
+  val step_kind : state -> Step_kind.t
+
+  val send : n:int -> me:Proc_id.t -> state -> (Proc_id.t * msg) option * state
+  (** Called only in [Sending] states: the message to emit (if any) and
+      the successor state.  A protocol must never address [me]. *)
+
+  val receive : n:int -> me:Proc_id.t -> state -> msg Incoming.t -> state
+  (** Called only in [Receiving] states. *)
+
+  val status : state -> Status.t
+
+  val compare_state : state -> state -> int
+  val pp_state : Format.formatter -> state -> unit
+  val compare_msg : msg -> msg -> int
+  val pp_msg : Format.formatter -> msg -> unit
+end
+
+type 'msg packed_msg_ops = {
+  cmp : 'msg -> 'msg -> int;
+  pp : Format.formatter -> 'msg -> unit;
+}
+(** First-class message operations, occasionally useful for generic
+    rendering code. *)

@@ -1,0 +1,30 @@
+type t = { decision : Decision.t option; amnesic : bool; halted : bool }
+
+let undecided = { decision = None; amnesic = false; halted = false }
+let decided d = { decision = Some d; amnesic = false; halted = false }
+let decided_halted d = { decision = Some d; amnesic = false; halted = true }
+let amnesic = { decision = None; amnesic = true; halted = false }
+let amnesic_halted = { decision = None; amnesic = true; halted = true }
+
+let equal a b =
+  Option.equal Decision.equal a.decision b.decision
+  && a.amnesic = b.amnesic && a.halted = b.halted
+
+let pp ppf t =
+  let d =
+    match t.decision with
+    | None -> if t.amnesic then "amnesic" else "undecided"
+    | Some d -> Decision.to_string d
+  in
+  Format.fprintf ppf "%s%s" d (if t.halted then "+halted" else "")
+
+let transition_ok before after =
+  let decision_ok =
+    match (before.decision, after.decision) with
+    | None, _ -> true
+    | Some d, Some d' -> Decision.equal d d'
+    | Some _, None -> after.amnesic (* forgetting is only allowed via amnesia *)
+  in
+  let amnesia_ok = (not before.amnesic) || after.amnesic in
+  let halt_ok = (not before.halted) || after.halted in
+  decision_ok && amnesia_ok && halt_ok

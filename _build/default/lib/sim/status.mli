@@ -1,0 +1,34 @@
+(** Observable status of a processor's local state.
+
+    This is the analysis-facing projection of a protocol state: whether
+    the processor occupies a decision state ([Y_0]/[Y_1]), the amnesic
+    state of strong termination, or a halted state.  The paper's
+    closure property — once in [Y_v], stay in [Y_v] (except for the
+    move to the amnesic state) — is enforced by the engine using this
+    projection. *)
+
+type t = {
+  decision : Decision.t option;
+      (** [Some d] iff the state is a decision state for [d].  [None]
+          for undecided *and* amnesic states (an amnesic processor has
+          forgotten its decision value). *)
+  amnesic : bool;  (** has taken the strong-termination amnesia step *)
+  halted : bool;
+      (** will neither send nor receive again; the engine checks this
+          agrees with the protocol's step classification *)
+}
+
+val undecided : t
+val decided : Decision.t -> t
+val decided_halted : Decision.t -> t
+val amnesic : t
+val amnesic_halted : t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val transition_ok : t -> t -> bool
+(** [transition_ok before after] checks the paper's state-set
+    invariants: decisions are irrevocable (a decided processor stays
+    decided with the same value, or becomes amnesic), amnesia is
+    permanent, and halting is permanent. *)

@@ -1,0 +1,11 @@
+type t = Receiving | Sending | Quiescent
+
+let equal a b =
+  match (a, b) with
+  | Receiving, Receiving | Sending, Sending | Quiescent, Quiescent -> true
+  | (Receiving | Sending | Quiescent), _ -> false
+
+let pp ppf = function
+  | Receiving -> Format.pp_print_string ppf "receiving"
+  | Sending -> Format.pp_print_string ppf "sending"
+  | Quiescent -> Format.pp_print_string ppf "quiescent"

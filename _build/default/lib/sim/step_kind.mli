@@ -1,0 +1,15 @@
+(** Classification of protocol states.
+
+    The paper partitions the operational states into receiving states
+    [Z_R] and sending states [Z_S]; we add [Quiescent] for states in
+    which a processor takes no further steps (the halted states of
+    halting termination, and the terminal listening loop of
+    weak-termination protocols once nothing remains to do). *)
+
+type t =
+  | Receiving  (** waits for a message or failure notice *)
+  | Sending    (** will emit at most one message when scheduled *)
+  | Quiescent  (** takes no further steps by itself *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

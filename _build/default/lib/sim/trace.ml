@@ -1,0 +1,106 @@
+type 'msg event =
+  | Sent of { step : int; triple : Triple.t; payload : 'msg; causes : Triple.t list }
+  | Null_step of { step : int; proc : Proc_id.t }
+  | Delivered_msg of { step : int; triple : Triple.t; payload : 'msg }
+  | Delivered_note of { step : int; at : Proc_id.t; about : Proc_id.t }
+  | Failed_proc of { step : int; proc : Proc_id.t }
+  | Decided of { step : int; proc : Proc_id.t; decision : Decision.t }
+  | Became_amnesic of { step : int; proc : Proc_id.t }
+  | Halted of { step : int; proc : Proc_id.t }
+
+type 'msg t = 'msg event list
+
+let step_of = function
+  | Sent { step; _ }
+  | Null_step { step; _ }
+  | Delivered_msg { step; _ }
+  | Delivered_note { step; _ }
+  | Failed_proc { step; _ }
+  | Decided { step; _ }
+  | Became_amnesic { step; _ }
+  | Halted { step; _ } -> step
+
+let proc_of = function
+  | Sent { triple; _ } -> triple.Triple.sender
+  | Null_step { proc; _ } -> proc
+  | Delivered_msg { triple; _ } -> triple.Triple.receiver
+  | Delivered_note { at; _ } -> at
+  | Failed_proc { proc; _ } -> proc
+  | Decided { proc; _ } -> proc
+  | Became_amnesic { proc; _ } -> proc
+  | Halted { proc; _ } -> proc
+
+let sends t =
+  List.filter_map
+    (function Sent { triple; payload; causes; _ } -> Some (triple, payload, causes) | _ -> None)
+    t
+
+let message_count t = List.length (sends t)
+
+let decisions t =
+  List.filter_map
+    (function Decided { proc; decision; _ } -> Some (proc, decision) | _ -> None)
+    t
+
+let failures t = List.filter_map (function Failed_proc { proc; _ } -> Some proc | _ -> None) t
+
+let steps_per_proc ~n t =
+  let counts = Array.make n 0 in
+  let bump p = counts.(p) <- counts.(p) + 1 in
+  List.iter
+    (function
+      | Sent { triple; _ } -> bump triple.Triple.sender
+      | Null_step { proc; _ } -> bump proc
+      | Delivered_msg { triple; _ } -> bump triple.Triple.receiver
+      | Delivered_note { at; _ } -> bump at
+      | Failed_proc _ | Decided _ | Became_amnesic _ | Halted _ -> ())
+    t;
+  counts
+
+let pp ~pp_msg ppf t =
+  let pp_event ppf = function
+    | Sent { step; triple; payload; _ } ->
+      Format.fprintf ppf "%4d  send %a %a" step Triple.pp triple pp_msg payload
+    | Null_step { step; proc } -> Format.fprintf ppf "%4d  step %a (no message)" step Proc_id.pp proc
+    | Delivered_msg { step; triple; payload } ->
+      Format.fprintf ppf "%4d  recv %a %a" step Triple.pp triple pp_msg payload
+    | Delivered_note { step; at; about } ->
+      Format.fprintf ppf "%4d  recv %a failed(%a)" step Proc_id.pp at Proc_id.pp about
+    | Failed_proc { step; proc } -> Format.fprintf ppf "%4d  FAIL %a" step Proc_id.pp proc
+    | Decided { step; proc; decision } ->
+      Format.fprintf ppf "%4d  %a decides %a" step Proc_id.pp proc Decision.pp decision
+    | Became_amnesic { step; proc } ->
+      Format.fprintf ppf "%4d  %a becomes amnesic" step Proc_id.pp proc
+    | Halted { step; proc } -> Format.fprintf ppf "%4d  %a halts" step Proc_id.pp proc
+  in
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_event ppf t
+
+let to_csv ~pp_msg t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "step,kind,proc,peer,index,payload\n";
+  let escape s = String.map (fun c -> if c = ',' || c = '\n' then ';' else c) s in
+  let row step kind proc peer index payload =
+    Buffer.add_string buf
+      (Printf.sprintf "%d,%s,%d,%s,%s,%s\n" step kind proc peer index (escape payload))
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Sent { step; triple; payload; _ } ->
+        row step "send" triple.Triple.sender
+          (string_of_int triple.Triple.receiver)
+          (string_of_int triple.Triple.index)
+          (Format.asprintf "%a" pp_msg payload)
+      | Null_step { step; proc } -> row step "null" proc "" "" ""
+      | Delivered_msg { step; triple; payload } ->
+        row step "recv" triple.Triple.receiver
+          (string_of_int triple.Triple.sender)
+          (string_of_int triple.Triple.index)
+          (Format.asprintf "%a" pp_msg payload)
+      | Delivered_note { step; at; about } -> row step "notice" at (string_of_int about) "" ""
+      | Failed_proc { step; proc } -> row step "crash" proc "" "" ""
+      | Decided { step; proc; decision } -> row step "decide" proc "" "" (Decision.to_string decision)
+      | Became_amnesic { step; proc } -> row step "forget" proc "" "" ""
+      | Halted { step; proc } -> row step "halt" proc "" "" "")
+    t;
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Execution traces.
+
+    The engine records one or more events per applied action.  Traces
+    are the raw material for everything downstream: communication
+    patterns are read off [Sent] events, consistency checkers fold
+    over [Decided]/[Failed_proc] events, and Theorem 7's step counts
+    come from counting events per processor. *)
+
+type 'msg event =
+  | Sent of {
+      step : int;
+      triple : Triple.t;
+      payload : 'msg;
+      causes : Triple.t list;
+          (** messages this one directly depends on under the paper's
+              rules (1)-(2): everything the sender had sent or received
+              when it sent this message, sorted *)
+    }
+  | Null_step of { step : int; proc : Proc_id.t }
+      (** a sending step that emitted no message *)
+  | Delivered_msg of { step : int; triple : Triple.t; payload : 'msg }
+  | Delivered_note of { step : int; at : Proc_id.t; about : Proc_id.t }
+  | Failed_proc of { step : int; proc : Proc_id.t }
+  | Decided of { step : int; proc : Proc_id.t; decision : Decision.t }
+  | Became_amnesic of { step : int; proc : Proc_id.t }
+  | Halted of { step : int; proc : Proc_id.t }
+
+type 'msg t = 'msg event list
+(** Chronological. *)
+
+val step_of : 'msg event -> int
+val proc_of : 'msg event -> Proc_id.t
+(** The processor that took the step ([Sent] events belong to the
+    sender, deliveries to the receiver). *)
+
+val sends : 'msg t -> (Triple.t * 'msg * Triple.t list) list
+(** All [Sent] events in order: (triple, payload, direct causes). *)
+
+val message_count : 'msg t -> int
+(** Number of protocol messages sent (failure notices excluded). *)
+
+val decisions : 'msg t -> (Proc_id.t * Decision.t) list
+(** Every decision event, in order (a processor appears at most once:
+    decisions are irrevocable). *)
+
+val failures : 'msg t -> Proc_id.t list
+
+val steps_per_proc : n:int -> 'msg t -> int array
+(** How many model steps (send or receive) each processor took —
+    the unit of Theorem 7's O(N^2) bound.  Failure steps and derived
+    events ([Decided] etc.) are not counted. *)
+
+val pp : pp_msg:(Format.formatter -> 'msg -> unit) -> Format.formatter -> 'msg t -> unit
+
+val to_csv : pp_msg:(Format.formatter -> 'msg -> unit) -> 'msg t -> string
+(** One row per event: [step,kind,proc,peer,index,payload].  For
+    offline analysis of recorded executions. *)

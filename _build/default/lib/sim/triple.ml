@@ -1,0 +1,29 @@
+type t = { sender : Proc_id.t; receiver : Proc_id.t; index : int }
+
+let make ~sender ~receiver ~index =
+  if Proc_id.equal sender receiver then
+    invalid_arg "Triple.make: processors cannot send messages to themselves";
+  if index < 1 then invalid_arg "Triple.make: message indices count from 1";
+  { sender; receiver; index }
+
+let compare a b =
+  let c = Proc_id.compare a.sender b.sender in
+  if c <> 0 then c
+  else
+    let c = Proc_id.compare a.receiver b.receiver in
+    if c <> 0 then c else Int.compare a.index b.index
+
+let equal a b = compare a b = 0
+
+let to_string t = Printf.sprintf "%s->%s#%d" (Proc_id.to_string t.sender) (Proc_id.to_string t.receiver) t.index
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

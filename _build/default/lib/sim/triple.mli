@@ -1,0 +1,21 @@
+(** Message identities.
+
+    Following Section 3 of the paper, a message is represented for
+    ordering purposes by the triple [(p, q, k)]: the [k]-th message
+    sent from [p] to [q] ([k] counts from 1).  Communication patterns
+    are partial orders over these triples. *)
+
+type t = { sender : Proc_id.t; receiver : Proc_id.t; index : int }
+
+val make : sender:Proc_id.t -> receiver:Proc_id.t -> index:int -> t
+(** @raise Invalid_argument if [sender = receiver] or [index < 1]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints ["p0->p1#2"]. *)
+
+val to_string : t -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

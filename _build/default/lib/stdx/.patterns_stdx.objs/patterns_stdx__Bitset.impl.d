@@ -1,0 +1,1 @@
+lib/stdx/bitset.ml: Array Format Hashtbl Int List Printf Stdlib Sys

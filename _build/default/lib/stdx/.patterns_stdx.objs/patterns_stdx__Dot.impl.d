@@ -1,0 +1,1 @@
+lib/stdx/dot.ml: Buffer Format Fun List Option Printf String

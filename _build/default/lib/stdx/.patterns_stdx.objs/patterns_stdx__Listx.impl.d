@@ -1,0 +1,1 @@
+lib/stdx/listx.ml: Array List

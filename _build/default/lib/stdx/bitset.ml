@@ -1,0 +1,98 @@
+type t = { capacity : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity = n; words = Array.make (max 1 (words_for n)) 0 }
+
+let capacity t = t.capacity
+
+let copy t = { t with words = Array.copy t.words }
+
+let check t i name =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0,%d)" name i t.capacity)
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i "remove";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i "mem";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec loop acc x = if x = 0 then acc else loop (acc + 1) (x land (x - 1)) in
+  loop 0 x
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_capacity a b name =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)" name a.capacity b.capacity)
+
+let union_into ~dst src =
+  same_capacity dst src "union_into";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into ~dst src =
+  same_capacity dst src "inter_into";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let diff_into ~dst src =
+  same_capacity dst src "diff_into";
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let subset a b =
+  same_capacity a b "subset";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let disjoint a b =
+  same_capacity a b "disjoint";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n elems =
+  let t = create n in
+  List.iter (add t) elems;
+  t
+
+let compare a b =
+  let c = Int.compare a.capacity b.capacity in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let hash t = Hashtbl.hash (t.capacity, t.words)
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,54 @@
+(** Fixed-capacity mutable bitsets over [0 .. capacity-1].
+
+    The workhorse of the partial-order library: relation rows are
+    bitsets, so transitive closure is word-parallel. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set with capacity [n] (all bits clear).
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] sets [dst := dst ∪ src].  Capacities must
+    match. *)
+
+val inter_into : dst:t -> t -> unit
+val diff_into : dst:t -> t -> unit
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is [a ⊆ b]. *)
+
+val disjoint : t -> t -> bool
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n elems] builds a capacity-[n] set. *)
+
+val compare : t -> t -> int
+(** Total order consistent with [equal] (lexicographic on words). *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [{0, 3, 5}]. *)

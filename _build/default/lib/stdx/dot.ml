@@ -1,0 +1,50 @@
+type node = { id : string; label : string; shape : string option }
+
+type edge = { src : string; dst : string; style : string option; elabel : string option }
+
+type graph = {
+  name : string;
+  directed : bool;
+  rankdir : string option;
+  nodes : node list;
+  edges : edge list;
+}
+
+let node ?shape ?label id = { id; label = Option.value label ~default:id; shape }
+
+let edge ?style ?label src dst = { src; dst; style; elabel = label }
+
+let digraph ?rankdir ~name nodes edges = { name; directed = true; rankdir; nodes; edges }
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c -> match c with '"' -> Buffer.add_string buf "\\\"" | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp ppf g =
+  let kw = if g.directed then "digraph" else "graph" in
+  let arrow = if g.directed then "->" else "--" in
+  Format.fprintf ppf "%s \"%s\" {@." kw (escape g.name);
+  Option.iter (fun rd -> Format.fprintf ppf "  rankdir=%s;@." rd) g.rankdir;
+  List.iter
+    (fun n ->
+      let shape = match n.shape with None -> "" | Some s -> Printf.sprintf ", shape=%s" s in
+      Format.fprintf ppf "  \"%s\" [label=\"%s\"%s];@." (escape n.id) (escape n.label) shape)
+    g.nodes;
+  List.iter
+    (fun e ->
+      let attrs =
+        List.filter_map Fun.id
+          [
+            Option.map (Printf.sprintf "style=%s") e.style;
+            Option.map (fun l -> Printf.sprintf "label=\"%s\"" (escape l)) e.elabel;
+          ]
+      in
+      let attrs = if attrs = [] then "" else " [" ^ String.concat ", " attrs ^ "]" in
+      Format.fprintf ppf "  \"%s\" %s \"%s\"%s;@." (escape e.src) arrow (escape e.dst) attrs)
+    g.edges;
+  Format.fprintf ppf "}@."
+
+let to_string g = Format.asprintf "%a" pp g

@@ -1,0 +1,28 @@
+(** Minimal Graphviz DOT emission.
+
+    Used to render communication patterns (Hasse diagrams of the
+    happens-before relation) for inspection. *)
+
+type node = { id : string; label : string; shape : string option }
+
+type edge = { src : string; dst : string; style : string option; elabel : string option }
+
+type graph = {
+  name : string;
+  directed : bool;
+  rankdir : string option;  (** e.g. ["LR"] or ["TB"] *)
+  nodes : node list;
+  edges : edge list;
+}
+
+val node : ?shape:string -> ?label:string -> string -> node
+(** [node id] with [label] defaulting to [id]. *)
+
+val edge : ?style:string -> ?label:string -> string -> string -> edge
+
+val digraph : ?rankdir:string -> name:string -> node list -> edge list -> graph
+
+val to_string : graph -> string
+(** Render as DOT source. *)
+
+val pp : Format.formatter -> graph -> unit

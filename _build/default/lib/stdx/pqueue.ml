@@ -1,0 +1,53 @@
+type 'a node =
+  | Leaf
+  | Node of { rank : int; v : 'a; left : 'a node; right : 'a node }
+
+type 'a t = { cmp : 'a -> 'a -> int; size : int; root : 'a node }
+
+let empty ~cmp = { cmp; size = 0; root = Leaf }
+
+let is_empty t = t.root = Leaf
+
+let size t = t.size
+
+let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+
+(* Leftist-heap merge: keep the shorter spine on the right, giving
+   O(log n) merge and hence push/pop. *)
+let rec merge cmp a b =
+  match a, b with
+  | Leaf, h | h, Leaf -> h
+  | Node na, Node nb ->
+    if cmp na.v nb.v <= 0 then make cmp na.v na.left (merge cmp na.right b)
+    else make cmp nb.v nb.left (merge cmp nb.right a)
+
+and make _cmp v l r =
+  if rank l >= rank r then Node { rank = rank r + 1; v; left = l; right = r }
+  else Node { rank = rank l + 1; v; left = r; right = l }
+
+let push t x =
+  let single = Node { rank = 1; v = x; left = Leaf; right = Leaf } in
+  { t with size = t.size + 1; root = merge t.cmp t.root single }
+
+let peek t = match t.root with Leaf -> None | Node { v; _ } -> Some v
+
+let pop t =
+  match t.root with
+  | Leaf -> None
+  | Node { v; left; right; _ } ->
+    Some (v, { t with size = t.size - 1; root = merge t.cmp left right })
+
+let of_list ~cmp l = List.fold_left push (empty ~cmp) l
+
+let to_sorted_list t =
+  let rec loop acc t =
+    match pop t with None -> List.rev acc | Some (x, t') -> loop (x :: acc) t'
+  in
+  loop [] t
+
+let mem t x =
+  let rec loop = function
+    | Leaf -> false
+    | Node { v; left; right; _ } -> t.cmp v x = 0 || loop left || loop right
+  in
+  loop t.root

@@ -1,0 +1,31 @@
+(** Persistent priority queue (leftist heap).
+
+    Used by the simulator's priority-queue buffers in the
+    total-communication transformation (Section 3 of the paper), where
+    indirectly-received messages must be processed in causal order. *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+(** Empty queue ordered by [cmp]; the minimum element pops first. *)
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Number of elements; O(1). *)
+
+val push : 'a t -> 'a -> 'a t
+
+val peek : 'a t -> 'a option
+(** Minimum element, if any. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Minimum element and remaining queue, if any. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** All elements, ascending. *)
+
+val mem : 'a t -> 'a -> bool
+(** Linear-time membership using the queue's comparator ([cmp x y = 0]). *)

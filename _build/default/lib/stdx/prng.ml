@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* SplitMix64 finalizer: a bijective avalanche of the incremented
+   counter.  See Steele, Lea & Flood, "Fast Splittable Pseudorandom
+   Number Generators" (OOPSLA 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let nonneg = Int64.to_int (Int64.logand (bits64 t) mask) in
+  nonneg mod bound
+
+let float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | l -> List.nth l (int t ~bound:(List.length l))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Prng.pick_array: empty array";
+  a.(int t ~bound:(Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let shuffle_list t l =
+  let a = Array.of_list l in
+  shuffle t a;
+  Array.to_list a

@@ -1,0 +1,61 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize = function
+  | [] -> invalid_arg "Stats.summarize: empty list"
+  | xs ->
+    let n = List.length xs in
+    let fn = float_of_int n in
+    let mean = List.fold_left ( +. ) 0.0 xs /. fn in
+    let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. fn in
+    {
+      count = n;
+      mean;
+      stddev = sqrt var;
+      min = List.fold_left Float.min infinity xs;
+      max = List.fold_left Float.max neg_infinity xs;
+    }
+
+let linear_fit pts =
+  if List.length pts < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let n = float_of_int (List.length pts) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 pts in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 pts in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: zero variance in x";
+  let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. n in
+  (slope, intercept)
+
+let power_fit pts =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then invalid_arg "Stats.power_fit: coordinates must be positive";
+        (log x, log y))
+      pts
+  in
+  let k, log_c = linear_fit logged in
+  (k, exp log_c)
+
+let r_squared pts ~f =
+  let n = float_of_int (List.length pts) in
+  let mean_y = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts /. n in
+  let ss_tot = List.fold_left (fun a (_, y) -> a +. ((y -. mean_y) ** 2.0)) 0.0 pts in
+  let ss_res = List.fold_left (fun a (x, y) -> a +. ((y -. f x) ** 2.0)) 0.0 pts in
+  if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot)
+
+let percentile xs ~p =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+  List.nth sorted (max 0 (min (n - 1) (rank - 1)))

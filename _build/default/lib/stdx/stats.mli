@@ -1,0 +1,32 @@
+(** Small statistics toolkit for the benchmark harness.
+
+    Provides summary statistics and the least-squares fits used to
+    check Theorem 7's O(N^2) step bound empirically: fitting
+    [steps = c * N^k] on log-log axes and reporting the exponent [k]. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;       (** population standard deviation *)
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit pts] is [(slope, intercept)] of the least-squares line
+    through [pts].  @raise Invalid_argument with fewer than two points
+    or zero variance in x. *)
+
+val power_fit : (float * float) list -> float * float
+(** [power_fit pts] fits [y = c * x^k] by linear regression in log-log
+    space, returning [(k, c)].  All coordinates must be positive. *)
+
+val r_squared : (float * float) list -> f:(float -> float) -> float
+(** Coefficient of determination of model [f] on the points. *)
+
+val percentile : float list -> p:float -> float
+(** [percentile xs ~p] with [p] in [\[0,100\]], nearest-rank method.
+    @raise Invalid_argument on the empty list or [p] out of range. *)

@@ -1,0 +1,55 @@
+type align = Left | Right
+
+type t = { headers : (string * align) list; mutable rows : string list list }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: expected %d cells, got %d" (List.length t.headers)
+         (List.length row));
+  t.rows <- t.rows @ [ row ]
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else match align with Left -> s ^ String.make gap ' ' | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let cols = List.length t.headers in
+  let widths = Array.make cols 0 in
+  List.iteri (fun i (h, _) -> widths.(i) <- String.length h) t.headers;
+  List.iter
+    (fun row -> List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    t.rows;
+  let buf = Buffer.create 256 in
+  let emit_row cells =
+    List.iteri
+      (fun i (cell, align) ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(i) cell))
+      cells;
+    (* trim trailing padding for diff-friendliness *)
+    let line = Buffer.contents buf in
+    Buffer.clear buf;
+    let trimmed =
+      let n = ref (String.length line) in
+      while !n > 0 && line.[!n - 1] = ' ' do decr n done;
+      String.sub line 0 !n
+    in
+    trimmed ^ "\n"
+  in
+  let header = emit_row (List.map (fun (h, a) -> (h, a)) t.headers) in
+  let rule =
+    String.concat "  " (List.mapi (fun i _ -> String.make widths.(i) '-') t.headers) ^ "\n"
+  in
+  let aligns = List.map snd t.headers in
+  let body =
+    List.map (fun row -> emit_row (List.combine row aligns)) t.rows |> String.concat ""
+  in
+  header ^ rule ^ body
+
+let pp ppf t = Format.pp_print_string ppf (render t)
+
+let print t = print_string (render t)

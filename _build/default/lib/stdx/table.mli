@@ -1,0 +1,24 @@
+(** Plain-text table rendering for the benchmark harness and CLI.
+
+    Columns are sized to their widest cell; headers are underlined.
+    Output is deterministic and diff-friendly so bench output can be
+    recorded in EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:(string * align) list -> t
+(** A table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header
+    width. *)
+
+val render : t -> string
+(** Full table including header rule, newline-terminated. *)
+
+val pp : Format.formatter -> t -> unit
+
+val print : t -> unit
+(** [render] to stdout. *)

@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Array Format Fun Gen Int List Option Patterns_order Patterns_stdx Poset Printf QCheck2 QCheck_alcotest Relation String Test

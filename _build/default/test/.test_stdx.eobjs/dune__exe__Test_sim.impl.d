@@ -1,0 +1,1 @@
+test/test_sim.ml: Action Alcotest Array Decision Engine Fmt Format Incoming List Outbox Patterns_sim Patterns_stdx Proc_id Status Step_kind String Trace Triple

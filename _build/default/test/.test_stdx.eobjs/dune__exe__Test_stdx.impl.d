@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Bitset Dot Gen Int List Listx Patterns_stdx Pqueue Printf Prng QCheck2 QCheck_alcotest Stats String Table Test

@@ -1,0 +1,4 @@
+  $ patterns-cli list | head -6
+  $ patterns-cli run fig3-chain -n 3 --inputs 111 | head -12
+  $ patterns-cli scheme fig3-chain -n 3 | head -2
+  $ patterns-cli reduce fig4-perverse-st fig4-perverse

@@ -1,0 +1,38 @@
+The protocol catalogue is stable:
+
+  $ patterns-cli list | head -6
+  name                      n  description
+  -----------------------  --  ------------------------------------------------------------------------------
+  2pc                      5+  classic two-phase commit, Appendix-protocol fallback (unanimity)
+  3pc-5                     5  three-phase commit: the tree protocol on a star topology
+  coop-2pc                 4+  2PC with cooperative termination ([S81]) — blocking (unanimity)
+  d2pc                     4+  decentralized commit: all-to-all votes (unanimity)
+
+A deterministic run of the chain protocol:
+
+  $ patterns-cli run fig3-chain -n 3 --inputs 111 | head -12
+     0  send p1->p0#1 bit(1)
+     1  recv p1->p0#1 bit(1)
+     2  send p2->p0#1 bit(1)
+     3  recv p2->p0#1 bit(1)
+     3  p0 decides commit
+     4  send p0->p1#1 decision(commit)
+     5  recv p0->p1#1 decision(commit)
+     5  p1 decides commit
+     6  send p1->p2#1 decision(commit)
+     7  recv p1->p2#1 decision(commit)
+     7  p2 decides commit
+  
+The chain's scheme is a single pattern:
+
+  $ patterns-cli scheme fig3-chain -n 3 | head -2
+  visited=104 terminal=8
+  1 pattern(s):
+
+Scheme comparison exhibits Theorem 13's separation:
+
+  $ patterns-cli reduce fig4-perverse-st fig4-perverse
+  fig4-perverse-st: 4 patterns; fig4-perverse: 4 patterns
+  incomparable schemes
+    a pattern only the left realizes: 19 msgs
+    a pattern only the right realizes: 20 msgs

@@ -1,0 +1,283 @@
+(* Tests for the partial-order library. *)
+
+open Patterns_order
+
+let edges_testable = Alcotest.(list (pair int int))
+
+(* a small random DAG generator: edges only go upward, so acyclic *)
+let dag_gen =
+  let open QCheck2.Gen in
+  let* n = int_range 1 7 in
+  let* edges =
+    list_size (int_bound 12)
+      (let* i = int_bound (n - 1) in
+       let* j = int_bound (n - 1) in
+       return (min i j, max i j))
+  in
+  let edges = List.filter (fun (i, j) -> i <> j) edges in
+  return (n, List.sort_uniq compare edges)
+
+let relation_of (n, edges) = Relation.of_edges n edges
+
+(* ----- Relation unit tests ----- *)
+
+let test_add_mem () =
+  let r = Relation.create 4 in
+  Relation.add r 0 2;
+  Alcotest.(check bool) "mem" true (Relation.mem r 0 2);
+  Alcotest.(check bool) "not mem" false (Relation.mem r 2 0);
+  Alcotest.(check int) "edge count" 1 (Relation.edge_count r);
+  Relation.remove r 0 2;
+  Alcotest.(check int) "removed" 0 (Relation.edge_count r)
+
+let test_irreflexive () =
+  let r = Relation.create 3 in
+  Alcotest.check_raises "no self loops" (Invalid_argument "Relation.add: relations are irreflexive")
+    (fun () -> Relation.add r 1 1)
+
+let test_closure_chain () =
+  let r = Relation.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Relation.transitive_closure r in
+  Alcotest.check edges_testable "full chain closure"
+    [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+    (Relation.edges c)
+
+let test_reduction_recovers_chain () =
+  let c = Relation.of_edges 4 [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  let red = Relation.transitive_reduction c in
+  Alcotest.check edges_testable "hasse covers" [ (0, 1); (1, 2); (2, 3) ] (Relation.edges red)
+
+let test_cycle_detection () =
+  let r = Relation.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check bool) "has cycle" true (Relation.has_cycle r);
+  let a = Relation.of_edges 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "acyclic" false (Relation.has_cycle a)
+
+let test_topo_sort () =
+  let r = Relation.of_edges 4 [ (2, 0); (0, 1); (3, 1) ] in
+  (match Relation.topo_sort r with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+    let pos x = Option.get (Patterns_stdx.Listx.find_index (Int.equal x) order) in
+    List.iter
+      (fun (i, j) ->
+        if pos i >= pos j then Alcotest.fail (Printf.sprintf "%d not before %d" i j))
+      (Relation.edges r));
+  let cyc = Relation.of_edges 2 [ (0, 1); (1, 0) ] in
+  Alcotest.(check bool) "cyclic has no topo sort" true (Relation.topo_sort cyc = None)
+
+let test_linear_extensions_antichain () =
+  let r = Relation.create 3 in
+  (* empty order: all 3! permutations *)
+  Alcotest.(check int) "3! extensions" 6 (List.length (Relation.linear_extensions r));
+  Alcotest.(check int) "count agrees" 6 (Relation.count_linear_extensions r)
+
+let test_linear_extensions_chain () =
+  let r = Relation.of_edges 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check (list (list int))) "single extension" [ [ 0; 1; 2 ] ]
+    (Relation.linear_extensions r)
+
+let test_minima_maxima () =
+  let r = Relation.of_edges 4 [ (0, 2); (1, 2); (2, 3) ] in
+  Alcotest.(check (list int)) "minima" [ 0; 1 ] (Relation.minima r);
+  Alcotest.(check (list int)) "maxima" [ 3 ] (Relation.maxima r)
+
+let test_longest_chain_and_antichain () =
+  (* two parallel chains of lengths 3 and 2 *)
+  let r = Relation.of_edges 5 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check int) "height 3" 3 (List.length (Relation.longest_chain r));
+  Alcotest.(check int) "width 2" 2 (List.length (Relation.max_antichain r))
+
+let test_down_set () =
+  let r = Relation.of_edges 4 [ (0, 1); (1, 2); (3, 2) ] in
+  Alcotest.(check (list int)) "down set of 2" [ 0; 1; 3 ]
+    (Patterns_stdx.Bitset.to_list (Relation.down_set r 2))
+
+(* ----- Relation properties ----- *)
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~count:200 ~name:"closure is transitive" dag_gen (fun g ->
+        Relation.is_transitive (Relation.transitive_closure (relation_of g)));
+    Test.make ~count:200 ~name:"closure contains original" dag_gen (fun g ->
+        let r = relation_of g in
+        Relation.is_subrelation r (Relation.transitive_closure r));
+    Test.make ~count:200 ~name:"closure is idempotent" dag_gen (fun g ->
+        let c = Relation.transitive_closure (relation_of g) in
+        Relation.equal c (Relation.transitive_closure c));
+    Test.make ~count:200 ~name:"reduction preserves closure" dag_gen (fun g ->
+        let r = relation_of g in
+        let red = Relation.transitive_reduction r in
+        Relation.equal (Relation.transitive_closure red) (Relation.transitive_closure r));
+    Test.make ~count:200 ~name:"reduction is minimal (removing any cover changes closure)" dag_gen
+      (fun g ->
+        let r = relation_of g in
+        let red = Relation.transitive_reduction r in
+        List.for_all
+          (fun (i, j) ->
+            let r' = Relation.copy red in
+            Relation.remove r' i j;
+            not
+              (Relation.equal (Relation.transitive_closure r') (Relation.transitive_closure red)))
+          (Relation.edges red));
+    Test.make ~count:200 ~name:"random upward DAGs are acyclic" dag_gen (fun g ->
+        not (Relation.has_cycle (relation_of g)));
+    Test.make ~count:100 ~name:"every linear extension respects the order" dag_gen (fun g ->
+        let r = relation_of g in
+        let exts = Relation.linear_extensions r in
+        let c = Relation.transitive_closure r in
+        List.for_all
+          (fun ext ->
+            let pos = Array.make (Relation.size r) 0 in
+            List.iteri (fun idx x -> pos.(x) <- idx) ext;
+            List.for_all (fun (i, j) -> pos.(i) < pos.(j)) (Relation.edges c))
+          exts);
+    Test.make ~count:100 ~name:"extension count matches enumeration" dag_gen (fun g ->
+        let r = relation_of g in
+        Relation.count_linear_extensions r = List.length (Relation.linear_extensions r));
+    Test.make ~count:200 ~name:"longest chain is a chain" dag_gen (fun g ->
+        let r = relation_of g in
+        let chain = Relation.longest_chain r in
+        let c = Relation.transitive_closure r in
+        let rec ok = function
+          | a :: (b :: _ as tl) -> Relation.mem c a b && ok tl
+          | _ -> true
+        in
+        ok chain);
+    Test.make ~count:200 ~name:"max antichain is an antichain" dag_gen (fun g ->
+        let r = relation_of g in
+        let anti = Relation.max_antichain r in
+        List.for_all
+          (fun i -> List.for_all (fun j -> i = j || not (Relation.comparable r i j)) anti)
+          anti);
+    Test.make ~count:200 ~name:"mirsky bound: height * width >= n" dag_gen (fun g ->
+        let r = relation_of g in
+        List.length (Relation.longest_chain r) * List.length (Relation.max_antichain r)
+        >= Relation.size r);
+  ]
+
+(* reference model: boolean matrices *)
+let matrix_of (n, edges) =
+  let m = Array.make_matrix n n false in
+  List.iter (fun (i, j) -> m.(i).(j) <- true) edges;
+  m
+
+let matrix_closure m =
+  let n = Array.length m in
+  let c = Array.map Array.copy m in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if c.(i).(k) && c.(k).(j) then c.(i).(j) <- true
+      done
+    done
+  done;
+  c
+
+let edges_of_matrix m =
+  let n = Array.length m in
+  List.concat
+    (List.map
+       (fun i ->
+         List.filter_map (fun j -> if m.(i).(j) && i <> j then Some (i, j) else None)
+           (Patterns_stdx.Listx.range 0 n))
+       (Patterns_stdx.Listx.range 0 n))
+
+let model_tests =
+  let open QCheck2 in
+  [
+    Test.make ~count:300 ~name:"closure agrees with the Floyd-Warshall reference" dag_gen
+      (fun g ->
+        let r = Relation.transitive_closure (relation_of g) in
+        Relation.edges r = edges_of_matrix (matrix_closure (matrix_of g)));
+    Test.make ~count:300 ~name:"cycle detection agrees with the reference"
+      Gen.(
+        let* n = int_range 1 6 in
+        let* edges =
+          list_size (int_bound 12)
+            (let* i = int_bound (n - 1) in
+             let* j = int_bound (n - 1) in
+             return (i, j))
+        in
+        return (n, List.filter (fun (i, j) -> i <> j) (List.sort_uniq compare edges)))
+      (fun g ->
+        let reference_cyclic =
+          let c = matrix_closure (matrix_of g) in
+          Array.exists Fun.id (Array.init (fst g) (fun i -> c.(i).(i)))
+        in
+        Relation.has_cycle (relation_of g) = reference_cyclic);
+  ]
+
+(* ----- Poset ----- *)
+
+module SP = Poset.Make (struct
+  type t = string
+
+  let compare = String.compare
+  let pp = Format.pp_print_string
+end)
+
+let test_poset_basics () =
+  let p = SP.of_order [ "a"; "b"; "c" ] [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check bool) "a < c by transitivity" true (SP.lt p "a" "c");
+  Alcotest.(check bool) "c not< a" false (SP.lt p "c" "a");
+  Alcotest.(check int) "cardinal" 3 (SP.cardinal p);
+  Alcotest.(check (list (pair string string))) "covers" [ ("a", "b"); ("b", "c") ] (SP.covers p)
+
+let test_poset_equality_canonical () =
+  (* same poset built with different element and pair orders *)
+  let p1 = SP.of_order [ "b"; "a" ] [ ("a", "b") ] in
+  let p2 = SP.of_order [ "a"; "b"; "a" ] [ ("a", "b") ] in
+  Alcotest.(check bool) "equal" true (SP.equal p1 p2)
+
+let test_poset_cycle_rejected () =
+  Alcotest.check_raises "cycle" (Invalid_argument "Poset.of_order: pairs induce a cycle")
+    (fun () -> ignore (SP.of_order [ "a"; "b" ] [ ("a", "b"); ("b", "a") ]))
+
+let test_poset_unknown_element () =
+  Alcotest.check_raises "unknown" (Invalid_argument "Poset: element not in carrier") (fun () ->
+      ignore (SP.of_order [ "a" ] [ ("a", "z") ]))
+
+let test_poset_subposet () =
+  let small = SP.of_order [ "a"; "b" ] [ ("a", "b") ] in
+  let big = SP.of_order [ "a"; "b"; "c" ] [ ("a", "b"); ("b", "c") ] in
+  Alcotest.(check bool) "sub" true (SP.is_subposet small big);
+  Alcotest.(check bool) "not super" false (SP.is_subposet big small)
+
+let test_poset_width_height () =
+  let p = SP.of_order [ "a"; "b"; "c"; "d" ] [ ("a", "b"); ("c", "d") ] in
+  Alcotest.(check int) "width" 2 (SP.width p);
+  Alcotest.(check int) "height" 2 (SP.height p);
+  Alcotest.(check (list string)) "minima" [ "a"; "c" ] (SP.minima p);
+  Alcotest.(check (list string)) "maxima" [ "b"; "d" ] (SP.maxima p)
+
+let () =
+  Alcotest.run "order"
+    [
+      ( "relation",
+        [
+          Alcotest.test_case "add/mem/remove" `Quick test_add_mem;
+          Alcotest.test_case "irreflexive" `Quick test_irreflexive;
+          Alcotest.test_case "closure of a chain" `Quick test_closure_chain;
+          Alcotest.test_case "reduction of a chain" `Quick test_reduction_recovers_chain;
+          Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+          Alcotest.test_case "topological sort" `Quick test_topo_sort;
+          Alcotest.test_case "linear extensions (antichain)" `Quick test_linear_extensions_antichain;
+          Alcotest.test_case "linear extensions (chain)" `Quick test_linear_extensions_chain;
+          Alcotest.test_case "minima/maxima" `Quick test_minima_maxima;
+          Alcotest.test_case "longest chain / max antichain" `Quick test_longest_chain_and_antichain;
+          Alcotest.test_case "down set" `Quick test_down_set;
+        ] );
+      ( "poset",
+        [
+          Alcotest.test_case "basics" `Quick test_poset_basics;
+          Alcotest.test_case "canonical equality" `Quick test_poset_equality_canonical;
+          Alcotest.test_case "cycle rejected" `Quick test_poset_cycle_rejected;
+          Alcotest.test_case "unknown element" `Quick test_poset_unknown_element;
+          Alcotest.test_case "subposet" `Quick test_poset_subposet;
+          Alcotest.test_case "width/height" `Quick test_poset_width_height;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("model", List.map QCheck_alcotest.to_alcotest model_tests);
+    ]

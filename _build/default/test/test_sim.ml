@@ -1,0 +1,380 @@
+(* Tests for the Section 3 model of computation. *)
+
+open Patterns_sim
+
+(* ----- a toy protocol: p0 pings every peer; peers pong back; p0
+   decides commit after all pongs; peers decide on the ping ----- *)
+
+module Ping_pong = struct
+  type msg = Ping | Pong
+
+  type state =
+    | Sender of { to_ping : Proc_id.t list; await : Proc_id.Set.t }
+    | Waiter
+    | Ponging of Proc_id.t
+    | Done_st of Decision.t
+
+  let name = "ping-pong"
+  let describe = "test protocol: star ping/pong"
+  let valid_n n = n >= 2
+
+  let initial ~n ~me ~input:_ =
+    if me = 0 then
+      Sender { to_ping = Proc_id.others ~n 0; await = Proc_id.set_of_list (Proc_id.others ~n 0) }
+    else Waiter
+
+  let step_kind = function
+    | Sender { to_ping = _ :: _; _ } | Ponging _ -> Step_kind.Sending
+    | Sender { to_ping = []; _ } | Waiter -> Step_kind.Receiving
+    | Done_st _ -> Step_kind.Quiescent
+
+  let send ~n:_ ~me:_ = function
+    | Sender { to_ping = q :: rest; await } -> (Some (q, Ping), Sender { to_ping = rest; await })
+    | Ponging q -> (Some (q, Pong), Done_st Decision.Commit)
+    | s -> (None, s)
+
+  let receive ~n:_ ~me:_ s incoming =
+    match (s, incoming) with
+    | Waiter, Incoming.Msg { from; payload = Ping } -> Ponging from
+    | Sender { to_ping = []; await }, Incoming.Msg { from; payload = Pong } ->
+      let await = Proc_id.Set.remove from await in
+      if Proc_id.Set.is_empty await then Done_st Decision.Commit
+      else Sender { to_ping = []; await }
+    | Sender { to_ping = []; await }, Incoming.Failed q ->
+      let await = Proc_id.Set.remove q await in
+      if Proc_id.Set.is_empty await then Done_st Decision.Abort
+      else Sender { to_ping = []; await }
+    | s, _ -> s
+
+  let status = function
+    | Done_st d -> Status.decided_halted d
+    | Sender _ | Waiter | Ponging _ -> Status.undecided
+
+  let compare_state a b =
+    match (a, b) with
+    | Sender a, Sender b ->
+      let c = List.compare Proc_id.compare a.to_ping b.to_ping in
+      if c <> 0 then c else Proc_id.Set.compare a.await b.await
+    | Waiter, Waiter -> 0
+    | Ponging a, Ponging b -> Proc_id.compare a b
+    | Done_st a, Done_st b -> Decision.compare a b
+    | Sender _, _ -> -1
+    | _, Sender _ -> 1
+    | Waiter, _ -> -1
+    | _, Waiter -> 1
+    | Ponging _, _ -> -1
+    | _, Ponging _ -> 1
+
+  let pp_state ppf = function
+    | Sender _ -> Format.pp_print_string ppf "sender"
+    | Waiter -> Format.pp_print_string ppf "waiter"
+    | Ponging _ -> Format.pp_print_string ppf "ponging"
+    | Done_st d -> Format.fprintf ppf "done(%a)" Decision.pp d
+
+  let compare_msg a b =
+    match (a, b) with
+    | Ping, Ping | Pong, Pong -> 0
+    | Ping, Pong -> -1
+    | Pong, Ping -> 1
+
+  let pp_msg ppf = function
+    | Ping -> Format.pp_print_string ppf "ping"
+    | Pong -> Format.pp_print_string ppf "pong"
+end
+
+module E = Engine.Make (Ping_pong)
+
+(* ----- primitive types ----- *)
+
+let test_proc_id () =
+  Alcotest.(check string) "pp" "p3" (Proc_id.to_string 3);
+  Alcotest.(check (list int)) "others" [ 0; 2; 3 ] (Proc_id.others ~n:4 1);
+  Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (Proc_id.all ~n:3)
+
+let test_decision () =
+  Alcotest.(check bool) "commit is 1" true (Decision.to_bool Decision.Commit);
+  Alcotest.(check bool) "roundtrip" true
+    (Decision.equal (Decision.of_bool false) Decision.Abort);
+  Alcotest.(check int) "order" (-1) (Decision.compare Decision.Abort Decision.Commit)
+
+let test_status_transitions () =
+  let open Status in
+  Alcotest.(check bool) "decide" true (transition_ok undecided (decided Decision.Commit));
+  Alcotest.(check bool) "stay decided" true
+    (transition_ok (decided Decision.Commit) (decided Decision.Commit));
+  Alcotest.(check bool) "flip decision forbidden" false
+    (transition_ok (decided Decision.Commit) (decided Decision.Abort));
+  Alcotest.(check bool) "forget via amnesia" true (transition_ok (decided Decision.Abort) amnesic);
+  Alcotest.(check bool) "forget without amnesia forbidden" false
+    (transition_ok (decided Decision.Abort) undecided);
+  Alcotest.(check bool) "unhalt forbidden" false
+    (transition_ok (decided_halted Decision.Commit) (decided Decision.Commit));
+  Alcotest.(check bool) "amnesia permanent" false (transition_ok amnesic undecided)
+
+let test_triple () =
+  Alcotest.check_raises "self send" (Invalid_argument "Triple.make: processors cannot send messages to themselves")
+    (fun () -> ignore (Triple.make ~sender:1 ~receiver:1 ~index:1));
+  Alcotest.check_raises "index from 1" (Invalid_argument "Triple.make: message indices count from 1")
+    (fun () -> ignore (Triple.make ~sender:0 ~receiver:1 ~index:0));
+  let t = Triple.make ~sender:0 ~receiver:2 ~index:3 in
+  Alcotest.(check string) "pp" "p0->p2#3" (Triple.to_string t)
+
+let test_outbox () =
+  let ob = Outbox.broadcast Outbox.empty [ 1; 2; 3 ] "x" in
+  Alcotest.(check int) "three queued" 3 (List.length ob);
+  let ob = Outbox.drop_to 2 ob in
+  Alcotest.(check int) "dropped" 2 (List.length ob);
+  match Outbox.pop ob with
+  | Some ((dst, "x"), rest) ->
+    Alcotest.(check int) "fifo head" 1 dst;
+    Alcotest.(check int) "rest" 1 (List.length rest)
+  | _ -> Alcotest.fail "pop"
+
+(* ----- engine basics ----- *)
+
+let inputs n = List.init n (fun _ -> true)
+
+let test_init_validation () =
+  Alcotest.(check bool) "bad arity raises" true
+    (try
+       ignore (E.init ~n:1 ~inputs:[ true ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "inputs length" true
+    (try
+       ignore (E.init ~n:3 ~inputs:[ true ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fifo_run_completes () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:4 ~inputs:(inputs 4) () in
+  Alcotest.(check bool) "quiescent" true r.E.quiescent;
+  Alcotest.(check int) "everyone decided" 4 (List.length (E.decisions_of r.E.final));
+  (* 3 pings + 3 pongs *)
+  Alcotest.(check int) "message count" 6 (Trace.message_count r.E.trace)
+
+let test_triple_numbering () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:3 ~inputs:(inputs 3) () in
+  let triples = List.map (fun (t, _, _) -> Triple.to_string t) (Trace.sends r.E.trace) in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected triples) then Alcotest.fail ("missing triple " ^ expected))
+    [ "p0->p1#1"; "p0->p2#1"; "p1->p0#1"; "p2->p0#1" ]
+
+let test_causality_edges () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:3 ~inputs:(inputs 3) () in
+  (* each pong must causally depend on the ping that triggered it *)
+  let sends = Trace.sends r.E.trace in
+  let pongs = List.filter (fun (_, m, _) -> m = Ping_pong.Pong) sends in
+  Alcotest.(check int) "two pongs" 2 (List.length pongs);
+  List.iter
+    (fun ((t : Triple.t), _, causes) ->
+      let expected = Triple.make ~sender:0 ~receiver:t.Triple.sender ~index:1 in
+      if not (List.exists (Triple.equal expected) causes) then
+        Alcotest.fail "pong lacks its ping cause")
+    pongs
+
+let test_failure_notices () =
+  (* p1 fails at step 0: p0 learns and eventually aborts *)
+  let r = E.run ~scheduler:E.fifo_scheduler ~failures:[ (0, 1) ] ~n:2 ~inputs:(inputs 2) () in
+  Alcotest.(check bool) "quiescent" true r.E.quiescent;
+  Alcotest.(check bool) "p0 aborted" true
+    (List.mem (0, Decision.Abort) (E.decisions_of r.E.final));
+  Alcotest.(check (list int)) "failure recorded" [ 1 ] (Trace.failures r.E.trace)
+
+let test_apply_errors () =
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  (match E.apply ~step:0 c (Action.Deliver { at = 1; index = 0 }) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "delivering from an empty buffer should fail");
+  (match E.apply ~step:0 c (Action.Send_step 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "p1 is receiving; send step should fail");
+  let c', _ = E.apply_exn ~step:0 c (Action.Fail 1) in
+  match E.apply ~step:1 c' (Action.Fail 1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "double failure should fail"
+
+let test_decided_events_emitted () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:3 ~inputs:(inputs 3) () in
+  let decided = Trace.decisions r.E.trace in
+  Alcotest.(check int) "three decision events" 3 (List.length decided);
+  let halts = List.filter (function Trace.Halted _ -> true | _ -> false) r.E.trace in
+  Alcotest.(check int) "three halt events" 3 (List.length halts)
+
+let test_schedulers_agree_on_outcome () =
+  let outcomes scheduler =
+    let r = E.run ~scheduler ~n:4 ~inputs:(inputs 4) () in
+    List.map snd (E.decisions_of r.E.final)
+  in
+  let fifo = outcomes E.fifo_scheduler in
+  let rr = outcomes E.round_robin_scheduler in
+  let rnd = outcomes (E.random_scheduler (Patterns_stdx.Prng.create ~seed:11)) in
+  Alcotest.(check int) "fifo count" 4 (List.length fifo);
+  Alcotest.(check bool) "all commit everywhere" true
+    (List.for_all (Decision.equal Decision.Commit) (fifo @ rr @ rnd))
+
+let test_random_scheduler_deterministic_per_seed () =
+  let run seed =
+    let r = E.run ~scheduler:(E.random_scheduler (Patterns_stdx.Prng.create ~seed)) ~n:4 ~inputs:(inputs 4) () in
+    List.length r.E.trace
+  in
+  Alcotest.(check int) "same seed same trace" (run 5) (run 5)
+
+let test_play_directives () =
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  match
+    E.play c
+      [ E.Step_of 0; E.Deliver_from (1, 0); E.Drain 1; E.Deliver_from (0, 1); E.Flush_fifo ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (final, trace) ->
+    Alcotest.(check int) "two messages" 2 (Trace.message_count trace);
+    Alcotest.(check int) "both decided" 2 (List.length (E.decisions_of final))
+
+let test_play_error_reporting () =
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  match E.play c [ E.Deliver_from (0, 1) ] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions the directive" true
+      (String.length msg > 0 && String.sub msg 0 9 = "directive")
+  | Ok _ -> Alcotest.fail "expected failure: nothing buffered"
+
+let test_behavioral_compare_collapses_order () =
+  (* deliver two independent pings in both orders: same behavioural config *)
+  let c = E.init ~n:3 ~inputs:(inputs 3) in
+  let c, _ = E.apply_exn ~step:0 c (Action.Send_step 0) in
+  let c, _ = E.apply_exn ~step:1 c (Action.Send_step 0) in
+  (* now p1 and p2 each hold a ping *)
+  let via_12 =
+    let c, _ = E.apply_exn ~step:2 c (Action.Deliver { at = 1; index = 0 }) in
+    let c, _ = E.apply_exn ~step:3 c (Action.Deliver { at = 2; index = 0 }) in
+    c
+  in
+  let via_21 =
+    let c, _ = E.apply_exn ~step:2 c (Action.Deliver { at = 2; index = 0 }) in
+    let c, _ = E.apply_exn ~step:3 c (Action.Deliver { at = 1; index = 0 }) in
+    c
+  in
+  Alcotest.(check int) "same behavioural configuration" 0 (E.compare_behavioral via_12 via_21)
+
+let test_steps_per_proc () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:3 ~inputs:(inputs 3) () in
+  let steps = Trace.steps_per_proc ~n:3 r.E.trace in
+  (* p0: 2 sends + 2 receives; p1/p2: 1 receive + 1 send *)
+  Alcotest.(check int) "p0 steps" 4 steps.(0);
+  Alcotest.(check int) "p1 steps" 2 steps.(1)
+
+let test_fifo_notices_discipline () =
+  (* p2 pongs p0 and then fails: under fifo notices, p0 can only
+     receive the notice about p2 after p2's pong *)
+  let c = E.init ~n:3 ~inputs:(inputs 3) in
+  let c, _ = E.apply_exn ~step:0 c (Action.Send_step 0) in
+  let c, _ = E.apply_exn ~step:1 c (Action.Send_step 0) in
+  let c, _ = E.apply_exn ~step:2 c (Action.Deliver { at = 2; index = 0 }) in
+  let c, _ = E.apply_exn ~step:3 c (Action.Send_step 2) in
+  let c, _ = E.apply_exn ~step:4 c (Action.Fail 2) in
+  (* p0's buffer now holds p2's pong followed by the notice about p2 *)
+  let note_deliverable c fifo =
+    List.exists
+      (fun a ->
+        match a with
+        | Action.Deliver { at = 0; index } -> (
+          match List.nth_opt (E.buffer_of c 0) index with
+          | Some (E.Note 2) -> true
+          | _ -> false)
+        | _ -> false)
+      (E.applicable ~fifo_notices:fifo c)
+  in
+  Alcotest.(check bool) "unordered: notice deliverable early" true (note_deliverable c false);
+  Alcotest.(check bool) "fifo: notice blocked by the pong" false (note_deliverable c true);
+  (* consume the pong: the notice unblocks *)
+  let pong_action =
+    List.find
+      (fun a ->
+        match a with
+        | Action.Deliver { at = 0; index } -> (
+          match List.nth_opt (E.buffer_of c 0) index with
+          | Some (E.Data _) -> true
+          | _ -> false)
+        | _ -> false)
+      (E.applicable ~fifo_notices:true c)
+  in
+  let c, _ = E.apply_exn ~step:5 c pong_action in
+  Alcotest.(check bool) "notice now deliverable" true (note_deliverable c true)
+
+let test_notice_first_scheduler () =
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  let c, _ = E.apply_exn ~step:0 c (Action.Send_step 0) in
+  let c, _ = E.apply_exn ~step:1 c (Action.Fail 0) in
+  let prng = Patterns_stdx.Prng.create ~seed:3 in
+  (match E.notice_first_scheduler prng ~step:0 c (E.applicable c) with
+  | Some (Action.Deliver { at = 1; index }) -> (
+    match List.nth_opt (E.buffer_of c 1) index with
+    | Some (E.Note 0) -> ()
+    | _ -> Alcotest.fail "expected the failure notice to be preferred")
+  | _ -> Alcotest.fail "expected a delivery")
+
+let test_lifo_scheduler () =
+  let c = E.init ~n:3 ~inputs:(inputs 3) in
+  (* p0 pings p1 then p2; LIFO picks the newest applicable action *)
+  let c, _ = E.apply_exn ~step:0 c (Action.Send_step 0) in
+  let c, _ = E.apply_exn ~step:1 c (Action.Send_step 0) in
+  match E.lifo_scheduler ~step:0 c (E.applicable c) with
+  | Some (Action.Deliver { at = 2; _ }) -> ()
+  | a ->
+    Alcotest.fail
+      (Format.asprintf "expected delivery at p2, got %a" (Fmt.option Action.pp) a)
+
+let test_trace_csv () =
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:2 ~inputs:(inputs 2) () in
+  let csv = Trace.to_csv ~pp_msg:Ping_pong.pp_msg r.E.trace in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check string) "header" "step,kind,proc,peer,index,payload" (List.hd lines);
+  (* 2 sends + 2 receives + 2 decides + 2 halts *)
+  Alcotest.(check int) "rows" 9 (List.length lines);
+  Alcotest.(check bool) "a send row present" true
+    (List.exists (fun l -> l = "0,send,0,1,1,ping") lines)
+
+let test_quiescent_detection () =
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  Alcotest.(check bool) "initially active" false (E.quiescent c);
+  let r = E.run ~scheduler:E.fifo_scheduler ~n:2 ~inputs:(inputs 2) () in
+  Alcotest.(check bool) "finally quiescent" true (E.quiescent r.E.final)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "proc ids" `Quick test_proc_id;
+          Alcotest.test_case "decisions" `Quick test_decision;
+          Alcotest.test_case "status transitions" `Quick test_status_transitions;
+          Alcotest.test_case "triples" `Quick test_triple;
+          Alcotest.test_case "outbox" `Quick test_outbox;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "init validation" `Quick test_init_validation;
+          Alcotest.test_case "fifo run completes" `Quick test_fifo_run_completes;
+          Alcotest.test_case "triple numbering" `Quick test_triple_numbering;
+          Alcotest.test_case "causality edges" `Quick test_causality_edges;
+          Alcotest.test_case "failure notices" `Quick test_failure_notices;
+          Alcotest.test_case "apply errors" `Quick test_apply_errors;
+          Alcotest.test_case "decision events" `Quick test_decided_events_emitted;
+          Alcotest.test_case "schedulers agree" `Quick test_schedulers_agree_on_outcome;
+          Alcotest.test_case "seeded determinism" `Quick test_random_scheduler_deterministic_per_seed;
+          Alcotest.test_case "steps per processor" `Quick test_steps_per_proc;
+          Alcotest.test_case "fifo notice discipline" `Quick test_fifo_notices_discipline;
+          Alcotest.test_case "notice-first scheduler" `Quick test_notice_first_scheduler;
+          Alcotest.test_case "lifo scheduler" `Quick test_lifo_scheduler;
+          Alcotest.test_case "trace csv" `Quick test_trace_csv;
+          Alcotest.test_case "quiescence" `Quick test_quiescent_detection;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "directives" `Quick test_play_directives;
+          Alcotest.test_case "error reporting" `Quick test_play_error_reporting;
+          Alcotest.test_case "behavioural compare" `Quick test_behavioral_compare_collapses_order;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Unit and property tests for the utility substrate. *)
+
+open Patterns_stdx
+
+let check = Alcotest.check
+
+let contains s fragment =
+  let ls = String.length s and lf = String.length fragment in
+  let rec go i = i + lf <= ls && (String.sub s i lf = fragment || go (i + 1)) in
+  lf = 0 || go 0
+
+(* ----- Prng ----- *)
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  let seq g = List.init 20 (fun _ -> Prng.bits64 g) in
+  check (Alcotest.list Alcotest.int64) "same seed, same stream" (seq a) (seq b);
+  let c = Prng.create ~seed:43 in
+  Alcotest.(check bool) "different seed differs" false (seq (Prng.create ~seed:42) = seq c)
+
+let test_prng_bounds () =
+  let g = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int g ~bound:13 in
+    if x < 0 || x >= 13 then Alcotest.fail "Prng.int out of bounds"
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float g in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "Prng.float out of bounds"
+  done
+
+let test_prng_split_independent () =
+  let g = Prng.create ~seed:1 in
+  let h = Prng.split g in
+  let xs = List.init 10 (fun _ -> Prng.bits64 g) in
+  let ys = List.init 10 (fun _ -> Prng.bits64 h) in
+  Alcotest.(check bool) "split streams differ" false (xs = ys)
+
+let test_prng_errors () =
+  let g = Prng.create ~seed:1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g ~bound:0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Prng.pick g []))
+
+let test_prng_shuffle_permutes () =
+  let g = Prng.create ~seed:5 in
+  let l = Listx.range 0 50 in
+  let s = Prng.shuffle_list g l in
+  check (Alcotest.list Alcotest.int) "same multiset" l (List.sort compare s)
+
+(* ----- Pqueue ----- *)
+
+let test_pqueue_sorts () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ 5; 3; 9; 1; 7; 3 ] in
+  check (Alcotest.list Alcotest.int) "sorted pop order" [ 1; 3; 3; 5; 7; 9 ]
+    (Pqueue.to_sorted_list q)
+
+let test_pqueue_empty () =
+  let q = Pqueue.empty ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check (option int)) "peek none" None (Pqueue.peek q);
+  Alcotest.(check bool) "pop none" true (Pqueue.pop q = None)
+
+let test_pqueue_size_and_mem () =
+  let q = Pqueue.of_list ~cmp:Int.compare [ 4; 2; 8 ] in
+  Alcotest.(check int) "size" 3 (Pqueue.size q);
+  Alcotest.(check bool) "mem 8" true (Pqueue.mem q 8);
+  Alcotest.(check bool) "mem 5" false (Pqueue.mem q 5)
+
+(* qcheck properties *)
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~count:300 ~name:"pqueue pops ascending" Gen.(list small_int) (fun l ->
+        let q = Pqueue.of_list ~cmp:Int.compare l in
+        Pqueue.to_sorted_list q = List.sort Int.compare l);
+    Test.make ~count:300 ~name:"pqueue push preserves size" Gen.(list small_int) (fun l ->
+        let q = Pqueue.of_list ~cmp:Int.compare l in
+        Pqueue.size q = List.length l);
+    Test.make ~count:300 ~name:"bitset to_list sorted and deduped"
+      Gen.(list (int_bound 63))
+      (fun l ->
+        let s = Bitset.of_list 64 l in
+        let expected = List.sort_uniq Int.compare l in
+        Bitset.to_list s = expected && Bitset.cardinal s = List.length expected);
+    Test.make ~count:300 ~name:"bitset union is commutative"
+      Gen.(pair (list (int_bound 63)) (list (int_bound 63)))
+      (fun (a, b) ->
+        let sa = Bitset.of_list 64 a and sb = Bitset.of_list 64 b in
+        let u1 = Bitset.copy sa in
+        Bitset.union_into ~dst:u1 sb;
+        let u2 = Bitset.copy sb in
+        Bitset.union_into ~dst:u2 sa;
+        Bitset.equal u1 u2);
+    Test.make ~count:300 ~name:"bitset diff disjoint from subtrahend"
+      Gen.(pair (list (int_bound 63)) (list (int_bound 63)))
+      (fun (a, b) ->
+        let sa = Bitset.of_list 64 a and sb = Bitset.of_list 64 b in
+        let d = Bitset.copy sa in
+        Bitset.diff_into ~dst:d sb;
+        Bitset.disjoint d sb);
+    Test.make ~count:300 ~name:"bitset subset of union"
+      Gen.(pair (list (int_bound 63)) (list (int_bound 63)))
+      (fun (a, b) ->
+        let sa = Bitset.of_list 64 a and sb = Bitset.of_list 64 b in
+        let u = Bitset.copy sa in
+        Bitset.union_into ~dst:u sb;
+        Bitset.subset sa u && Bitset.subset sb u);
+    Test.make ~count:200 ~name:"interleavings preserve subsequence order"
+      Gen.(pair (list_size (int_bound 3) small_int) (list_size (int_bound 3) small_int))
+      (fun (a, b) ->
+        let is_subsequence sub l =
+          let rec go sub l =
+            match (sub, l) with
+            | [], _ -> true
+            | _, [] -> false
+            | x :: sub', y :: l' -> if x = y then go sub' l' else go sub l'
+          in
+          go sub l
+        in
+        (* tag elements to make them distinct across the two lists *)
+        let a = List.map (fun x -> (0, x)) a and b = List.map (fun x -> (1, x)) b in
+        let shuffles = Listx.interleavings [ a; b ] in
+        List.for_all (fun s -> is_subsequence a s && is_subsequence b s) shuffles);
+    Test.make ~count:100 ~name:"interleavings count is binomial"
+      Gen.(pair (int_bound 4) (int_bound 4))
+      (fun (na, nb) ->
+        let a = List.init na (fun i -> (0, i)) and b = List.init nb (fun i -> (1, i)) in
+        let binom =
+          let rec fact k = if k <= 1 then 1 else k * fact (k - 1) in
+          fact (na + nb) / (fact na * fact nb)
+        in
+        List.length (Listx.interleavings [ a; b ]) = binom);
+    Test.make ~count:300 ~name:"dedup_sorted sorts and dedups" Gen.(list small_int) (fun l ->
+        Listx.dedup_sorted ~cmp:Int.compare l = List.sort_uniq Int.compare l);
+    Test.make ~count:300 ~name:"take @ drop = original"
+      Gen.(pair (int_bound 20) (list small_int))
+      (fun (n, l) -> Listx.take n l @ Listx.drop n l = l);
+  ]
+
+(* ----- Listx ----- *)
+
+let test_range () =
+  check (Alcotest.list Alcotest.int) "range 2 5" [ 2; 3; 4 ] (Listx.range 2 5);
+  check (Alcotest.list Alcotest.int) "empty range" [] (Listx.range 5 5)
+
+let test_all_bool_vectors () =
+  let vs = Listx.all_bool_vectors 3 in
+  Alcotest.(check int) "8 vectors" 8 (List.length vs);
+  Alcotest.(check int) "all length 3" 3
+    (List.fold_left (fun acc v -> min acc (List.length v)) 3 vs);
+  Alcotest.(check bool) "distinct" true (List.length (List.sort_uniq compare vs) = 8)
+
+let test_all_subsets () =
+  Alcotest.(check int) "2^4 subsets" 16 (List.length (Listx.all_subsets [ 1; 2; 3; 4 ]))
+
+let test_group_by () =
+  let groups =
+    Listx.group_by ~cmp:Int.compare ~key:(fun s -> String.length s)
+      [ "aa"; "b"; "cc"; "d"; "eee" ]
+  in
+  check
+    Alcotest.(list (pair int (list string)))
+    "grouped" [ (1, [ "b"; "d" ]); (2, [ "aa"; "cc" ]); (3, [ "eee" ]) ]
+    groups
+
+let test_permutations () =
+  Alcotest.(check int) "3! perms" 6 (List.length (Listx.permutations [ 1; 2; 3 ]));
+  Alcotest.(check bool) "all distinct" true
+    (List.length (List.sort_uniq compare (Listx.permutations [ 1; 2; 3 ])) = 6)
+
+(* ----- Stats ----- *)
+
+let test_summary () =
+  let s = Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check int) "count" 4 s.Stats.count
+
+let test_linear_fit () =
+  let slope, intercept = Stats.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check (float 1e-9)) "slope" 2.0 slope;
+  Alcotest.(check (float 1e-9)) "intercept" 1.0 intercept
+
+let test_power_fit () =
+  let pts = List.map (fun n -> (float_of_int n, 3.0 *. (float_of_int n ** 2.0))) [ 2; 3; 5; 8; 13 ] in
+  let k, c = Stats.power_fit pts in
+  Alcotest.(check (float 1e-6)) "exponent" 2.0 k;
+  Alcotest.(check (float 1e-6)) "constant" 3.0 c
+
+let test_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.(check (float 1e-9)) "median" 3.0 (Stats.percentile xs ~p:50.0);
+  Alcotest.(check (float 1e-9)) "p100" 5.0 (Stats.percentile xs ~p:100.0)
+
+let test_r_squared () =
+  let pts = [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ] in
+  Alcotest.(check (float 1e-9)) "perfect fit" 1.0 (Stats.r_squared pts ~f:(fun x -> 2.0 *. x))
+
+(* ----- Dot / Table ----- *)
+
+let test_dot_render () =
+  let g =
+    Dot.digraph ~rankdir:"LR" ~name:"g"
+      [ Dot.node "a"; Dot.node ~shape:"box" ~label:"B node" "b" ]
+      [ Dot.edge ~style:"dashed" "a" "b" ]
+  in
+  let s = Dot.to_string g in
+  List.iter
+    (fun fragment ->
+      if not (contains s fragment) then
+        Alcotest.fail (Printf.sprintf "missing %S in:\n%s" fragment s))
+    [ "digraph \"g\""; "rankdir=LR"; "\"b\" [label=\"B node\", shape=box]"; "\"a\" -> \"b\" [style=dashed]" ]
+
+let test_table_render () =
+  let t = Table.create ~headers:[ ("name", Table.Left); ("count", Table.Right) ] in
+  Table.add_row t [ "alpha"; "10" ];
+  Table.add_row t [ "b"; "7" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "header present" true (contains rendered "name");
+  Alcotest.(check bool) "right aligned" true (contains rendered "   10")
+
+let test_table_width_mismatch () =
+  let t = Table.create ~headers:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "row width" (Invalid_argument "Table.add_row: expected 1 cells, got 2")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let () =
+  Alcotest.run "stdx"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "determinism" `Quick test_prng_determinism;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "errors" `Quick test_prng_errors;
+          Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "sorts" `Quick test_pqueue_sorts;
+          Alcotest.test_case "empty" `Quick test_pqueue_empty;
+          Alcotest.test_case "size and mem" `Quick test_pqueue_size_and_mem;
+        ] );
+      ( "listx",
+        [
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "bool vectors" `Quick test_all_bool_vectors;
+          Alcotest.test_case "subsets" `Quick test_all_subsets;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "permutations" `Quick test_permutations;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "linear fit" `Quick test_linear_fit;
+          Alcotest.test_case "power fit" `Quick test_power_fit;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "r squared" `Quick test_r_squared;
+        ] );
+      ( "render",
+        [
+          Alcotest.test_case "dot" `Quick test_dot_render;
+          Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "table mismatch" `Quick test_table_width_mismatch;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
