@@ -11,6 +11,19 @@ open Patterns_pattern
 open Patterns_core
 open Patterns_stdx
 
+(* Worker domains for the parallel sweeps (scheme enumeration,
+   classification); --jobs on the command line, 0 = all cores. *)
+let jobs = ref 1
+
+(* --quick trims the Bechamel quota and sweep sizes for CI smoke. *)
+let quick = ref false
+
+let wall f =
+  let t0 = Monotonic_clock.now () in
+  let r = f () in
+  let t1 = Monotonic_clock.now () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e9)
+
 let section title =
   Format.printf "@.============================================================@.";
   Format.printf "== %s@." title;
@@ -18,7 +31,7 @@ let section title =
 
 let scheme_of (module P : Protocol.S) ~n =
   let module S = Scheme.Make (P) in
-  S.scheme ~n ()
+  S.scheme ~jobs:!jobs ~n ()
 
 let pattern_profile pats =
   Pattern.Set.elements pats
@@ -56,7 +69,7 @@ let fig1_section () =
 let fig2_section () =
   section "Figure 2: the HT-IC centralized protocol";
   let v =
-    Classify.classify ~max_failures:1 ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
+    Classify.classify ~jobs:!jobs ~max_failures:1 ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
       Patterns_protocols.Central_proto.fig2
   in
   Format.printf "exhaustive classification (n=3, one crash anywhere):@.%a@." Classify.pp v;
@@ -75,7 +88,7 @@ let fig3_section () =
       (Pattern.message_count p) (Pattern.height p)
   | _ -> ());
   let v =
-    Classify.classify ~max_failures:1 ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
+    Classify.classify ~jobs:!jobs ~max_failures:1 ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
       Patterns_protocols.Chain_proto.fig3
   in
   Format.printf "exhaustive classification (n=3, one crash anywhere):@.%a@." Classify.pp v;
@@ -129,7 +142,7 @@ let classification_section () =
   let yn b = if b then "yes" else "-" in
   List.iter
     (fun (name, p, rule) ->
-      let v = Classify.classify ~max_failures:1 ~rule ~n:3 p in
+      let v = Classify.classify ~jobs:!jobs ~max_failures:1 ~rule ~n:3 p in
       Table.add_row table
         [
           name; yn v.Classify.ic; yn v.Classify.tc; yn v.Classify.wt; yn v.Classify.st;
@@ -276,8 +289,7 @@ let latency_section () =
 
 (* ----- Bechamel timings ----- *)
 
-let bechamel_section () =
-  section "Bechamel timings of the machinery";
+let bechamel_estimates () =
   let open Bechamel in
   let run_protocol p n =
     Staged.stage (fun () ->
@@ -329,38 +341,196 @@ let bechamel_section () =
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true () in
-  List.iter
+  let quota = if !quick then 0.05 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:true () in
+  List.concat_map
     (fun test ->
       let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
       let ols =
         Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]) instance
           results
       in
-      Hashtbl.iter
-        (fun name result ->
+      Hashtbl.fold
+        (fun name result acc ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Format.printf "%-32s %12.1f ns/run@." name est
-          | _ -> Format.printf "%-32s (no estimate)@." name)
-        ols)
+          | Some [ est ] -> (name, Some est) :: acc
+          | _ -> (name, None) :: acc)
+        ols [])
     tests
 
+let bechamel_section () =
+  section "Bechamel timings of the machinery";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Format.printf "%-32s %12.1f ns/run@." name est
+      | None -> Format.printf "%-32s (no estimate)@." name)
+    (bechamel_estimates ())
+
+(* ----- parallel sweep timings and BENCH_patterns.json ----- *)
+
+(* Wall-clock the parallel sweeps at jobs=1 and jobs=J on the same
+   inputs.  Each sweep returns a size witness (configs, patterns or
+   runs) so the JSON records that the work, not just the time, was
+   identical across jobs values. *)
+let sweep_timings () =
+  let js = List.sort_uniq Int.compare [ 1; !jobs ] in
+  let scheme_sweep name p ~n j =
+    let (module P : Protocol.S) = p in
+    let module S = Scheme.Make (P) in
+    let (pats, stats), secs = wall (fun () -> S.scheme ~jobs:j ~n ()) in
+    (name, j, secs, Printf.sprintf "patterns=%d configs=%d" (Pattern.Set.cardinal pats) stats.Scheme.configs_visited)
+  in
+  let classify_sweep ?max_configs name p ~rule ~n j =
+    let v, secs =
+      wall (fun () -> Classify.classify ?max_configs ~jobs:j ~max_failures:1 ~rule ~n p)
+    in
+    (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs)
+  in
+  let hunt_sweep name p ~runs j =
+    let r, secs =
+      wall (fun () ->
+          Audit.hunt ~jobs:j ~max_failures:2 ~max_runs:runs ~property:Audit.Agreement
+            ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3 ~seed:7 p)
+    in
+    let witness = match r with Ok _ -> "violation" | Error k -> Printf.sprintf "runs=%d" k in
+    (name, j, secs, witness)
+  in
+  List.concat_map
+    (fun j ->
+      let common =
+        [
+          scheme_sweep "scheme: fig4 n=4 (16 vectors)" Patterns_protocols.Perverse_proto.fig4 ~n:4 j;
+          classify_sweep "classify: fig3-chain n=3, 1 crash"
+            Patterns_protocols.Chain_proto.fig3 ~rule:Patterns_protocols.Decision_rule.Unanimity
+            ~n:3 j;
+          hunt_sweep "hunt: 2pc agreement n=3"
+            Patterns_protocols.Two_phase_commit.default
+            ~runs:(if !quick then 300 else 3000)
+            j;
+        ]
+      in
+      if !quick then common
+      else
+        common
+        @ [
+            scheme_sweep "scheme: fig1 n=7 (128 vectors)" Patterns_protocols.Tree_proto.fig1
+              ~n:7 j;
+            classify_sweep "classify: 3pc n=3, 1 crash"
+              (Patterns_protocols.Tree_proto.three_phase_commit 3)
+              ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3 j;
+            classify_sweep "classify: fig3-chain n=4, 1 crash (capped 100k)"
+              ~max_configs:100_000 Patterns_protocols.Chain_proto.fig3
+              ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:4 j;
+          ])
+    js
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json ~path =
+  let bech = bechamel_estimates () in
+  let sweeps = sweep_timings () in
+  let seconds_at_1 name =
+    List.find_map (fun (n, j, s, _) -> if n = name && j = 1 then Some s else None) sweeps
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/1\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string b
+    (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain_pool.default_jobs ()));
+  Buffer.add_string b (Printf.sprintf "  \"quick\": %b,\n" !quick);
+  Buffer.add_string b "  \"bechamel_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string b
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+           (if i = List.length bech - 1 then "" else ",")))
+    bech;
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"sweeps\": [\n";
+  List.iteri
+    (fun i (name, j, secs, witness) ->
+      let speedup =
+        match seconds_at_1 name with
+        | Some s1 when j <> 1 && secs > 0.0 -> Printf.sprintf "%.3f" (s1 /. secs)
+        | _ -> "null"
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "    { \"name\": \"%s\", \"jobs\": %d, \"seconds\": %.6f, \"witness\": \"%s\", \
+            \"speedup_vs_jobs1\": %s }%s\n"
+           (json_escape name) j secs (json_escape witness) speedup
+           (if i = List.length sweeps - 1 then "" else ",")))
+    sweeps;
+  Buffer.add_string b "  ]\n";
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "wrote %s (%d bechamel estimates, %d sweep timings)@." path (List.length bech)
+    (List.length sweeps)
+
+(* ----- entry point ----- *)
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--jobs J] [--json] [--quick] [--out PATH]\n\
+    \  --jobs J   worker domains for the parallel sweeps (0 = all cores)\n\
+    \  --json     emit machine-readable timings to BENCH_patterns.json and exit\n\
+    \  --quick    smaller quotas and sweeps (CI smoke)\n\
+    \  --out P    destination for --json (default BENCH_patterns.json)";
+  exit 2
+
 let () =
-  Format.printf "Patterns of Communication in Consensus Protocols (Dwork & Skeen, PODC 1984)@.";
-  Format.printf "Reproduction harness — every figure, the classification table, Theorem 7,@.";
-  Format.printf "and the closing lattice, regenerated from the implementation.@.";
-  fig1_section ();
-  fig2_section ();
-  fig3_section ();
-  fig4_section ();
-  classification_section ();
-  theorem7_section ();
-  totalcomm_section ();
-  latency_section ();
-  complexity_section ();
-  let evidences = Theorems.all () in
-  lattice_section evidences;
-  bechamel_section ();
-  section "Summary";
-  let all_hold = List.for_all (fun e -> e.Theorems.holds) evidences in
-  Format.printf "all theorem witnesses reproduced: %b@." all_hold
+  let json = ref false in
+  let out = ref "BENCH_patterns.json" in
+  let rec parse = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with Some j -> jobs := j; parse rest | None -> usage ())
+    | "--json" :: rest ->
+      json := true;
+      parse rest
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--out" :: path :: rest ->
+      out := path;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !jobs <= 0 then jobs := Domain_pool.default_jobs ();
+  if !json then emit_json ~path:!out
+  else begin
+    Format.printf "Patterns of Communication in Consensus Protocols (Dwork & Skeen, PODC 1984)@.";
+    Format.printf "Reproduction harness — every figure, the classification table, Theorem 7,@.";
+    Format.printf "and the closing lattice, regenerated from the implementation.@.";
+    fig1_section ();
+    fig2_section ();
+    fig3_section ();
+    fig4_section ();
+    classification_section ();
+    theorem7_section ();
+    totalcomm_section ();
+    latency_section ();
+    complexity_section ();
+    let evidences = Theorems.all () in
+    lattice_section evidences;
+    bechamel_section ();
+    section "Summary";
+    let all_hold = List.for_all (fun e -> e.Theorems.holds) evidences in
+    Format.printf "all theorem witnesses reproduced: %b@." all_hold
+  end

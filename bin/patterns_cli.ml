@@ -83,6 +83,14 @@ let failures_arg =
   Arg.(value & opt_all (pair ~sep:':' int int) []
        & info [ "fail" ] ~docv:"STEP:PROC" ~doc:"Fail-stop processor PROC at global step STEP (repeatable).")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"J"
+         ~doc:"Worker domains for the sweep (0 = all cores). The result is identical \
+               for every value; only the wall clock changes.")
+
+let resolve_jobs j = if j <= 0 then Patterns_stdx.Domain_pool.default_jobs () else j
+
 let resolve_n entry n =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let n = Option.value n ~default:entry.Patterns_protocols.Registry.default_n in
@@ -145,16 +153,85 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n =
+  let run name n jobs =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
-    let pats, stats = S.scheme ~n () in
+    let pats, stats = S.scheme ~jobs:(resolve_jobs jobs) ~n () in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
       Patterns_pattern.Scheme.pp_scheme pats
   in
-  Cmd.v (Cmd.info "scheme" ~doc) Term.(const run $ protocol_arg $ n_arg)
+  Cmd.v (Cmd.info "scheme" ~doc) Term.(const run $ protocol_arg $ n_arg $ jobs_arg)
+
+(* ----- realize ----- *)
+
+let realize_cmd =
+  let doc =
+    "Synthesize a failure-free execution with a given communication pattern, or report \
+     that none exists (or that the search budget ran out first)."
+  in
+  let pattern_arg =
+    Arg.(value & opt int 1
+         & info [ "pattern" ] ~docv:"K"
+           ~doc:"1-based index into the target scheme's pattern listing (see $(b,scheme)).")
+  in
+  let target_of_arg =
+    Arg.(value & opt (some string) None
+         & info [ "target-of" ] ~docv:"PROTOCOL2"
+           ~doc:"Take the target pattern from this protocol's scheme instead — a foreign \
+                 pattern is how $(b,unrealizable) answers arise.")
+  in
+  let max_configs_arg =
+    Arg.(value & opt int 1_000_000
+         & info [ "max-configs" ] ~docv:"K"
+           ~doc:"Search budget; when hit, the answer is $(b,truncated), not unrealizable.")
+  in
+  let run name n inputs target_of k max_configs =
+    let entry = or_die (find_protocol name) in
+    let n = or_die (resolve_n entry n) in
+    let inputs = or_die (parse_inputs n inputs) in
+    let target_entry =
+      match target_of with None -> entry | Some name2 -> or_die (find_protocol name2)
+    in
+    let (module T : Protocol.S) = target_entry.Patterns_protocols.Registry.protocol in
+    let module ST = Patterns_pattern.Scheme.Make (T) in
+    let pats, _ = ST.patterns_for_inputs ~n ~inputs () in
+    let pats = Patterns_pattern.Pattern.Set.elements pats in
+    let target =
+      match if k < 1 then None else List.nth_opt pats (k - 1) with
+      | Some p -> p
+      | None ->
+        or_die
+          (Error
+             (Printf.sprintf "%s admits %d pattern(s) from these inputs; --pattern %d is out of range"
+                T.name (List.length pats) k))
+    in
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    let module S = Patterns_pattern.Scheme.Make (P) in
+    Format.printf "target: pattern %d/%d of %s (%d messages, height %d)@." k (List.length pats)
+      T.name
+      (Patterns_pattern.Pattern.message_count target)
+      (Patterns_pattern.Pattern.height target);
+    match S.realize ~max_configs ~n ~inputs ~target () with
+    | Patterns_pattern.Scheme.Realized actions ->
+      Format.printf "realized by %s in %d events:@." P.name (List.length actions);
+      List.iter (fun a -> Format.printf "  %a@." Action.pp a) actions
+    | Patterns_pattern.Scheme.Unrealizable ->
+      Format.printf "unrealizable: no failure-free execution of %s from these inputs has the \
+                     target pattern@."
+        P.name;
+      exit 1
+    | Patterns_pattern.Scheme.Truncated ->
+      Format.printf "truncated: the %d-configuration budget ran out before an answer \
+                     (raise --max-configs)@."
+        max_configs;
+      exit 2
+  in
+  Cmd.v (Cmd.info "realize" ~doc)
+    Term.(
+      const run $ protocol_arg $ n_arg $ inputs_arg $ target_of_arg $ pattern_arg
+      $ max_configs_arg)
 
 (* ----- dot ----- *)
 
@@ -204,20 +281,21 @@ let check_cmd =
   let max_configs_arg =
     Arg.(value & opt int 400_000 & info [ "max-configs" ] ~docv:"K" ~doc:"Exploration budget.")
   in
-  let run name n max_failures max_configs fifo_notices =
+  let run name n max_failures max_configs fifo_notices jobs =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let v =
-      Classify.classify ~max_failures ~max_configs ~fifo_notices ~rule ~n
-        entry.Patterns_protocols.Registry.protocol
+      Classify.classify ~max_failures ~max_configs ~fifo_notices ~jobs:(resolve_jobs jobs)
+        ~rule ~n entry.Patterns_protocols.Registry.protocol
     in
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(
-      const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg)
+      const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
+      $ jobs_arg)
 
 (* ----- reduce ----- *)
 
@@ -284,13 +362,14 @@ let hunt_cmd =
   let runs_arg =
     Arg.(value & opt int 5000 & info [ "runs" ] ~docv:"K" ~doc:"Run budget.")
   in
-  let run name n property crashes runs seed fifo_notices =
+  let run name n property crashes runs seed fifo_notices jobs =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
     match
-      Audit.hunt ~max_failures:crashes ~max_runs:runs ~fifo_notices ~property ~rule ~n ~seed
+      Audit.hunt ~max_failures:crashes ~max_runs:runs ~fifo_notices
+        ~jobs:(resolve_jobs jobs) ~property ~rule ~n ~seed
         entry.Patterns_protocols.Registry.protocol
     with
     | Ok report -> print_endline report
@@ -299,7 +378,7 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
-      $ fifo_notices_arg)
+      $ fifo_notices_arg $ jobs_arg)
 
 (* ----- lattice / theorems ----- *)
 
@@ -324,5 +403,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; scheme_cmd; dot_cmd; msc_cmd; check_cmd; reduce_cmd; latency_cmd;
-            hunt_cmd; lattice_cmd; theorems_cmd ]))
+          [ list_cmd; run_cmd; scheme_cmd; realize_cmd; dot_cmd; msc_cmd; check_cmd; reduce_cmd;
+            latency_cmd; hunt_cmd; lattice_cmd; theorems_cmd ]))

@@ -95,14 +95,15 @@ let pp ppf r =
 
 type property = TC | IC | Agreement | WT | Rule
 
-let hunt ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ~property ~rule ~n ~seed
-    (module P : Protocol.S) =
+let hunt ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ?(jobs = 1) ~property
+    ~rule ~n ~seed (module P : Protocol.S) =
   let module E = Engine.Make (P) in
-  let prng = Prng.create ~seed in
-  let result = ref None in
-  let run_index = ref 0 in
-  while !result = None && !run_index < max_runs do
-    incr run_index;
+  (* Each run draws from its own generator, seeded from (seed, run
+     index), so runs are independent of execution order and the hunt
+     can be sharded per run: the winner is the smallest violating run
+     index regardless of worker interleaving. *)
+  let one run_index =
+    let prng = Prng.create ~seed:(seed + (run_index * 1_000_003)) in
     let inputs = List.init n (fun _ -> Prng.bool prng) in
     let n_failures = Prng.int prng ~bound:(max_failures + 1) in
     let failures =
@@ -128,17 +129,30 @@ let hunt ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ~proper
           ~ever_decided:(Check.ever_decided ~n r.E.trace) ~failed
     in
     match verdict with
-    | Ok () -> ()
+    | Ok () -> None
     | Error msg ->
-      result :=
-        Some
-          (Format.asprintf
-             "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,%s@,@,%s@]"
-             !run_index seed
-             (String.concat "" (List.map (fun b -> if b then "1" else "0") inputs))
-             (String.concat ", "
-                (List.map (fun (k, p) -> Printf.sprintf "p%d@step%d" p k) failures))
-             msg
-             (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace))
-  done;
-  match !result with Some s -> Ok s | None -> Error max_runs
+      Some
+        (Format.asprintf
+           "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,%s@,@,%s@]"
+           run_index seed
+           (String.concat "" (List.map (fun b -> if b then "1" else "0") inputs))
+           (String.concat ", "
+              (List.map (fun (k, p) -> Printf.sprintf "p%d@step%d" p k) failures))
+           msg
+           (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace))
+  in
+  Domain_pool.with_pool ~jobs (fun pool ->
+      (* batched so a violation stops the search without running all
+         [max_runs] trials; the batch is scanned in run order *)
+      let batch = max 8 (Domain_pool.jobs pool * 4) in
+      let rec go next =
+        if next > max_runs then Error max_runs
+        else begin
+          let hi = min max_runs (next + batch - 1) in
+          let indices = List.init (hi - next + 1) (fun i -> next + i) in
+          match List.find_map Fun.id (Domain_pool.map pool one indices) with
+          | Some msg -> Ok msg
+          | None -> go (hi + 1)
+        end
+      in
+      go 1)

@@ -42,6 +42,7 @@ val hunt :
   ?max_failures:int ->
   ?max_runs:int ->
   ?fifo_notices:bool ->
+  ?jobs:int ->
   property:property ->
   rule:Decision_rule.t ->
   n:int ->
@@ -51,7 +52,10 @@ val hunt :
 (** Search seeded randomized executions for a violation of the given
     property.  [Ok report] renders the first violating run — inputs,
     crash plan, the violation, and a space-time diagram of the trace;
-    [Error k] means [k] runs were tried without finding one. *)
+    [Error k] means [k] runs were tried without finding one.  Each run
+    draws from a generator seeded by [(seed, run index)], so the
+    result is a deterministic function of [seed] for every [jobs]
+    value (default 1): the first violating run index wins. *)
 
 val clean : report -> bool
 (** No violations and every run quiesced with all nonfaulty decided. *)

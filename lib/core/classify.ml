@@ -17,8 +17,8 @@ type verdict = {
   details : string list;
 }
 
-let classify ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false) ~rule ~n
-    (module P : Protocol.S) =
+let classify ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false) ?(jobs = 1)
+    ~rule ~n (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let options =
@@ -27,6 +27,7 @@ let classify ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false) 
       max_configs = Option.value max_configs ~default:defaults.X.max_configs;
       inputs_choices = Option.value inputs_choices ~default:defaults.X.inputs_choices;
       fifo_notices;
+      jobs;
     }
   in
   let r = X.explore ~options ~rule ~n () in

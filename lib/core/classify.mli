@@ -32,6 +32,7 @@ val classify :
   ?max_configs:int ->
   ?inputs_choices:bool list list ->
   ?fifo_notices:bool ->
+  ?jobs:int ->
   rule:Decision_rule.t ->
   n:int ->
   (module Protocol.S) ->

@@ -9,6 +9,7 @@ module Make (P : Protocol.S) = struct
     max_configs : int;
     inputs_choices : bool list list;
     fifo_notices : bool;
+    jobs : int;
   }
 
   let default_options ~n =
@@ -17,6 +18,7 @@ module Make (P : Protocol.S) = struct
       max_configs = 400_000;
       inputs_choices = Listx.all_bool_vectors n;
       fifo_notices = false;
+      jobs = 1;
     }
 
   type state_info = {
@@ -82,17 +84,19 @@ module Make (P : Protocol.S) = struct
 
   (* exploration node: behavioural configuration plus each processor's
      first decision (amnesia may erase it from the state) *)
-  module Node_set = Set.Make (struct
+  module Node_tbl = Hashtbl.Make (struct
     type t = E.config * Decision.t option array
 
-    let compare (c1, d1) (c2, d2) =
-      let c = E.compare_behavioral c1 c2 in
-      if c <> 0 then c else Stdlib.compare d1 d2
+    let equal (c1, d1) (c2, d2) = E.compare_behavioral c1 c2 = 0 && Stdlib.compare d1 d2 = 0
+    let hash (c, d) = (E.hash_behavioral c * 31) + Hashtbl.hash d
   end)
 
-  let explore ?options ~rule ~n () =
-    let options = match options with Some o -> o | None -> default_options ~n in
-    let visited = ref Node_set.empty in
+  (* One shard of the sweep: exhaustive DFS from a single input vector.
+     Input vectors are part of every configuration (and compared by
+     [compare_behavioral]), so shards never share reachable nodes and
+     the per-shard visited sets partition the sequential one exactly. *)
+  let explore_one_vector ~options ~budget ~rule ~n inputs =
+    let visited = Node_tbl.create 1024 in
     let visited_count = ref 0 in
     let truncated = ref false in
     let terminal = ref 0 in
@@ -253,12 +257,7 @@ module Make (P : Protocol.S) = struct
       List.length (List.filter (fun p -> E.is_failed config p) (Proc_id.all ~n:(E.n_of config)))
     in
 
-    let stack = ref [] in
-    List.iter
-      (fun inputs ->
-        let c = E.init ~n ~inputs in
-        stack := (c, Array.make n None) :: !stack)
-      options.inputs_choices;
+    let stack = ref [ (E.init ~n ~inputs, Array.make n None) ] in
 
     let rec loop () =
       match !stack with
@@ -266,10 +265,10 @@ module Make (P : Protocol.S) = struct
       | (config, decided) :: rest ->
         stack := rest;
         let node = (config, decided) in
-        if Node_set.mem node !visited then loop ()
-        else if !visited_count >= options.max_configs then truncated := true
+        if Node_tbl.mem visited node then loop ()
+        else if !visited_count >= budget then truncated := true
         else begin
-          visited := Node_set.add node !visited;
+          Node_tbl.add visited node ();
           incr visited_count;
           observe_config config decided;
           let actions = E.applicable ~fifo_notices:options.fifo_notices config in
@@ -284,7 +283,7 @@ module Make (P : Protocol.S) = struct
               | Ok (config', events) ->
                 let decided' = observe_events config events decided in
                 let node' = (config', decided') in
-                if not (Node_set.mem node' !visited) then stack := node' :: !stack)
+                if not (Node_tbl.mem visited node') then stack := node' :: !stack)
             (actions @ fail_actions);
           loop ()
         end
@@ -304,6 +303,80 @@ module Make (P : Protocol.S) = struct
       protocol_errors = Listx.dedup_sorted ~cmp:String.compare !protocol_errors;
       states = List.map snd (State_map.bindings !states);
     }
+
+  (* ----- deterministic merge of per-vector shards ----- *)
+
+  let first_violation a b = match a with Some _ -> a | None -> b
+
+  (* Two shards can observe the same state under different input
+     vectors; the merged info is the same conjunction/disjunction the
+     sequential accumulation computes.  The [decision] field depends
+     only on the state itself, so either side's value is correct. *)
+  let merge_info a b =
+    {
+      a with
+      commit_cooccurs = a.commit_cooccurs || b.commit_cooccurs;
+      abort_cooccurs = a.abort_cooccurs || b.abort_cooccurs;
+      always_all_ones = a.always_all_ones && b.always_all_ones;
+      input_vectors =
+        a.input_vectors
+        @ List.filter (fun c -> not (List.mem c a.input_vectors)) b.input_vectors;
+      occurrences = a.occurrences + b.occurrences;
+    }
+
+  (* both lists sorted by [compare_state] (State_map binding order) *)
+  let rec merge_states xs ys =
+    match (xs, ys) with
+    | [], l | l, [] -> l
+    | x :: xs', y :: ys' ->
+      let c = P.compare_state x.state y.state in
+      if c < 0 then x :: merge_states xs' ys
+      else if c > 0 then y :: merge_states xs ys'
+      else merge_info x y :: merge_states xs' ys'
+
+  let merge_reports a b =
+    {
+      configs_visited = a.configs_visited + b.configs_visited;
+      terminal_configs = a.terminal_configs + b.terminal_configs;
+      truncated = a.truncated || b.truncated;
+      ic_violation = first_violation a.ic_violation b.ic_violation;
+      tc_violation = first_violation a.tc_violation b.tc_violation;
+      wt_violation = first_violation a.wt_violation b.wt_violation;
+      st_violation = first_violation a.st_violation b.st_violation;
+      ht_violation = first_violation a.ht_violation b.ht_violation;
+      rule_violation = first_violation a.rule_violation b.rule_violation;
+      validity_violation = first_violation a.validity_violation b.validity_violation;
+      protocol_errors =
+        Listx.dedup_sorted ~cmp:String.compare (a.protocol_errors @ b.protocol_errors);
+      states = merge_states a.states b.states;
+    }
+
+  let empty_report =
+    {
+      configs_visited = 0;
+      terminal_configs = 0;
+      truncated = false;
+      ic_violation = None;
+      tc_violation = None;
+      wt_violation = None;
+      st_violation = None;
+      ht_violation = None;
+      rule_violation = None;
+      validity_violation = None;
+      protocol_errors = [];
+      states = [];
+    }
+
+  let explore ?options ~rule ~n () =
+    let options = match options with Some o -> o | None -> default_options ~n in
+    let nvec = max 1 (List.length options.inputs_choices) in
+    (* even split of the total node budget, so the sharded sweep does
+       roughly the work of the old single-visited-set loop *)
+    let budget = (options.max_configs + nvec - 1) / nvec in
+    Domain_pool.with_pool ~jobs:options.jobs (fun pool ->
+        Domain_pool.fold pool
+          ~f:(fun inputs -> explore_one_vector ~options ~budget ~rule ~n inputs)
+          ~merge:merge_reports ~init:empty_report options.inputs_choices)
 
   let pp_report ppf r =
     let opt name = function

@@ -26,16 +26,23 @@ module Make (P : Protocol.S) : sig
   type options = {
     max_failures : int;
     max_configs : int;
+        (** total node budget; split evenly across the input vectors,
+            which shard the sweep (each vector's reachable set is
+            disjoint from every other's) *)
     inputs_choices : bool list list;
     fifo_notices : bool;
         (** deliver a failure notice only after all of the failed
             sender's messages (fail-stop-processor discipline); the
             paper's unordered default is [false] *)
+    jobs : int;
+        (** worker domains for the per-vector shards (default 1); any
+            value yields the same report, because shards are merged in
+            vector order *)
   }
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
-      unordered notices. *)
+      unordered notices, one worker. *)
 
   type state_info = {
     state : P.state;

@@ -11,17 +11,23 @@ let pp_stats ppf s =
   Format.fprintf ppf "visited=%d terminal=%d%s" s.configs_visited s.terminal_configs
     (if s.truncated then " (TRUNCATED)" else "")
 
+type realization =
+  | Realized of Action.t list
+  | Unrealizable
+  | Truncated
+
 module Make (P : Protocol.S) = struct
   module E = Engine.Make (P)
 
-  module Config_set = Set.Make (struct
+  module Config_tbl = Hashtbl.Make (struct
     type t = E.config
 
-    let compare = E.compare_config
+    let equal a b = E.compare_config a b = 0
+    let hash = E.hash_config
   end)
 
   let patterns_for_inputs ?(max_configs = 1_000_000) ~n ~inputs () =
-    let visited = ref Config_set.empty in
+    let visited = Config_tbl.create 1024 in
     let visited_count = ref 0 in
     let patterns = ref Pattern.Set.empty in
     let terminal = ref 0 in
@@ -32,10 +38,10 @@ module Make (P : Protocol.S) = struct
       | [] -> ()
       | c :: rest ->
         stack := rest;
-        if Config_set.mem c !visited then loop ()
+        if Config_tbl.mem visited c then loop ()
         else if !visited_count >= max_configs then truncated := true
         else begin
-          visited := Config_set.add c !visited;
+          Config_tbl.add visited c ();
           incr visited_count;
           (match E.applicable c with
           | [] ->
@@ -46,7 +52,7 @@ module Make (P : Protocol.S) = struct
             List.iter
               (fun a ->
                 let c', _ = E.apply_exn ~step:0 c a in
-                if not (Config_set.mem c' !visited) then stack := c' :: !stack)
+                if not (Config_tbl.mem visited c') then stack := c' :: !stack)
               actions);
           loop ()
         end
@@ -60,8 +66,9 @@ module Make (P : Protocol.S) = struct
       } )
 
   let realize ?(max_configs = 1_000_000) ~n ~inputs ~target () =
-    let visited = ref Config_set.empty in
+    let visited = Config_tbl.create 1024 in
     let visited_count = ref 0 in
+    let truncated = ref false in
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
@@ -70,9 +77,10 @@ module Make (P : Protocol.S) = struct
     in
     let exception Found of Action.t list in
     let rec dfs c path =
-      if Config_set.mem c !visited || !visited_count >= max_configs then ()
+      if Config_tbl.mem visited c then ()
+      else if !visited_count >= max_configs then truncated := true
       else begin
-        visited := Config_set.add c !visited;
+        Config_tbl.add visited c ();
         incr visited_count;
         match E.applicable c with
         | [] ->
@@ -82,26 +90,33 @@ module Make (P : Protocol.S) = struct
           List.iter
             (fun a ->
               let c', _ = E.apply_exn ~step:0 c a in
-              if (not (Config_set.mem c' !visited)) && prefix_ok c' then dfs c' (a :: path))
+              if (not (Config_tbl.mem visited c')) && prefix_ok c' then dfs c' (a :: path))
             actions
       end
     in
     match dfs (E.init ~n ~inputs) [] with
-    | () -> None
-    | exception Found path -> Some path
+    | () -> if !truncated then Truncated else Unrealizable
+    | exception Found path -> Realized path
 
-  let scheme ?max_configs ~n () =
-    List.fold_left
-      (fun (acc, st) inputs ->
-        let pats, st' = patterns_for_inputs ?max_configs ~n ~inputs () in
-        ( Pattern.Set.union acc pats,
-          {
-            configs_visited = st.configs_visited + st'.configs_visited;
-            terminal_configs = st.terminal_configs + st'.terminal_configs;
-            truncated = st.truncated || st'.truncated;
-          } ))
-      (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
-      (Listx.all_bool_vectors n)
+  let merge_stats a b =
+    {
+      configs_visited = a.configs_visited + b.configs_visited;
+      terminal_configs = a.terminal_configs + b.terminal_configs;
+      truncated = a.truncated || b.truncated;
+    }
+
+  (* Input vectors are part of every configuration, so no configuration
+     is reachable from two different vectors: sharding the outer loop
+     partitions the visited sets exactly, and the in-order merge below
+     is bit-identical to the sequential fold. *)
+  let scheme ?max_configs ?(jobs = 1) ~n () =
+    Domain_pool.with_pool ~jobs (fun pool ->
+        Domain_pool.fold pool
+          ~f:(fun inputs -> patterns_for_inputs ?max_configs ~n ~inputs ())
+          ~merge:(fun (acc, st) (pats, st') -> (Pattern.Set.union acc pats, merge_stats st st'))
+          ~init:
+            (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
+          (Listx.all_bool_vectors n))
 end
 
 let subscheme a b = Pattern.Set.subset a b

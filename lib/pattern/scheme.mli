@@ -18,6 +18,16 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+type realization =
+  | Realized of Action.t list
+      (** the event sequence, replayable with [E.apply] *)
+  | Unrealizable
+      (** the search space was exhausted: no execution from these
+          inputs has the target pattern *)
+  | Truncated
+      (** [max_configs] was hit first — the pattern may or may not be
+          realizable *)
+
 module Make (P : Protocol.S) : sig
   module E : module type of Engine.Make (P)
 
@@ -26,9 +36,13 @@ module Make (P : Protocol.S) : sig
   (** All patterns of failure-free executions from the given initial
       bits.  Default [max_configs] is 1_000_000. *)
 
-  val scheme : ?max_configs:int -> n:int -> unit -> Pattern.Set.t * stats
+  val scheme : ?max_configs:int -> ?jobs:int -> n:int -> unit -> Pattern.Set.t * stats
   (** Union over all [2^n] input vectors: the scheme proper.  Stats
-      are summed. *)
+      are summed.  With [jobs > 1] (default 1) the input vectors are
+      explored on a {!Patterns_stdx.Domain_pool}; the result is
+      bit-identical to the sequential run, because input vectors
+      partition the configuration space and shards are merged in
+      vector order. *)
 
   val realize :
     ?max_configs:int ->
@@ -36,12 +50,12 @@ module Make (P : Protocol.S) : sig
     inputs:bool list ->
     target:Pattern.t ->
     unit ->
-    Patterns_sim.Action.t list option
+    realization
   (** Synthesize a failure-free execution whose communication pattern
       is exactly [target]: a depth-first search over applicable events
-      pruned to pattern prefixes of the target.  Returns the event
-      sequence (replayable with {!E.apply}), or [None] if no
-      execution from these inputs realizes the pattern. *)
+      pruned to pattern prefixes of the target.  {!Truncated} is
+      distinct from {!Unrealizable}: an answer cut short by
+      [max_configs] is not evidence of unrealizability. *)
 end
 
 val subscheme : Pattern.Set.t -> Pattern.Set.t -> bool

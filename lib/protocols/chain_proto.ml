@@ -20,6 +20,15 @@ type phase =
 
 type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool }
 
+let hash_phase = function
+  | Collect { waiting; bits; failed_seen } ->
+    ((((Proc_id.set_hash waiting * 31) + Hashtbl.hash bits) * 2) + Bool.to_int failed_seen) * 4
+  | Wait_decision -> 1
+  | Done d -> (Hashtbl.hash d * 4) + 2
+
+let hash_nstate s =
+  (((Hashtbl.hash s.outbox * 31) + hash_phase s.phase) * 2) + Bool.to_int s.input
+
 let tallier : Proc_id.t = 0
 
 module Make_base (Cfg : sig
@@ -136,6 +145,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
     | Wait_decision, Collect _ -> 1
     | Wait_decision, Done _ -> -1
     | Done _, (Collect _ | Wait_decision) -> 1
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

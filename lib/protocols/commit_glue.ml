@@ -27,6 +27,7 @@ module type BASE = sig
   val known_halted : nstate -> Proc_id.t list
   val status : nstate -> Status.t
   val compare_nstate : nstate -> nstate -> int
+  val hash_nstate : nstate -> int
   val pp_nstate : Format.formatter -> nstate -> unit
   val compare_nmsg : nmsg -> nmsg -> int
   val pp_nmsg : Format.formatter -> nmsg -> unit
@@ -197,6 +198,15 @@ module Make (B : BASE) = struct
         if c <> 0 then c else Int.compare (amnesia_rank a.amnesia) (amnesia_rank b.amnesia)
     | Norm_mode _, Term_mode _ -> -1
     | Term_mode _, Norm_mode _ -> 1
+
+  let hash_state = function
+    | Norm_mode { norm; up; amnesia } ->
+      ((((B.hash_nstate norm * 31) + Proc_id.set_hash up) * 31) + amnesia_rank amnesia) * 2
+    | Term_mode { core; decided; amnesia } ->
+      (((((Termination_core.hash core * 31) + Hashtbl.hash decided) * 31)
+       + amnesia_rank amnesia)
+       * 2)
+      + 1
 
   let pp_state ppf = function
     | Norm_mode { norm; amnesia; _ } ->

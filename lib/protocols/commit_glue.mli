@@ -79,6 +79,11 @@ module type BASE = sig
   val status : nstate -> Status.t
 
   val compare_nstate : nstate -> nstate -> int
+
+  val hash_nstate : nstate -> int
+  (** Consistent with [compare_nstate]; see {!Protocol.S.hash_state}
+      for the canonical-hashing requirements on embedded sets. *)
+
   val pp_nstate : Format.formatter -> nstate -> unit
   val compare_nmsg : nmsg -> nmsg -> int
   val pp_nmsg : Format.formatter -> nmsg -> unit

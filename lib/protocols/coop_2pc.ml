@@ -40,6 +40,18 @@ type state = {
   pending : Proc_id.Set.t;  (** uncertain peers to answer if we ever learn *)
 }
 
+let hash_phase = function
+  | Collect vc -> Vote_collect.hash vc * 8
+  | Wait_decision -> 1
+  | Querying { waiting } -> (Proc_id.set_hash waiting * 8) + 2
+  | Blocked -> 3
+  | Done d -> (Hashtbl.hash d * 8) + 4
+
+let hash_state s =
+  let h = (Hashtbl.hash s.outbox * 31) + hash_phase s.phase in
+  let h = (((h * 2) + Bool.to_int s.input) * 2) + Bool.to_int s.coord in
+  (h * 31) + Proc_id.set_hash s.pending
+
 let coordinator : Proc_id.t = 0
 
 module Make (Cfg : sig
@@ -167,6 +179,8 @@ end) : Protocol.S = struct
         | Collect _ -> 0 | Wait_decision -> 1 | Querying _ -> 2 | Blocked -> 3 | Done _ -> 4
       in
       Int.compare (rank a) (rank b)
+
+  let hash_state = hash_state
 
   let compare_state a b =
     let c = Outbox.compare ~cmp_msg:compare_msg a.outbox b.outbox in

@@ -10,6 +10,13 @@ type phase = Collect of Vote_collect.t | Done of Decision.t
 
 type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool }
 
+let hash_phase = function
+  | Collect vc -> Vote_collect.hash vc * 2
+  | Done d -> (Hashtbl.hash d * 2) + 1
+
+let hash_nstate s =
+  (((Hashtbl.hash s.outbox * 31) + hash_phase s.phase) * 2) + Bool.to_int s.input
+
 module Make_base (Cfg : sig
   val rule : Decision_rule.t
   val name : string
@@ -74,6 +81,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
     | Done a, Done b -> Decision.compare a b
     | Collect _, Done _ -> -1
     | Done _, Collect _ -> 1
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

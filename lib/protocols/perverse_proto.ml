@@ -68,6 +68,23 @@ type nstate = {
   input : bool;
 }
 
+let hash_phase = function
+  | P0_collect vc -> Vote_collect.hash vc * 16
+  | P0_acks w -> (Proc_id.set_hash w * 16) + 1
+  | P0_race r -> (Hashtbl.hash r * 16) + 2
+  | P0_wait_m2 { sent_m1 } -> (Bool.to_int sent_m1 * 16) + 3
+  | P0_wait_m2_amnesic -> 4
+  | P0_listen -> 5
+  | Px_wait_bias -> 6
+  | Px_wait_dec -> 7
+  | P2_gather g -> (Hashtbl.hash g * 16) + 8
+  | Px_listen -> 9
+
+let hash_nstate s =
+  let h = (Hashtbl.hash s.outbox * 31) + hash_phase s.phase in
+  let h = (h * 31) + Hashtbl.hash s.decision in
+  (((h * 2) + Bool.to_int s.committable) * 2) + Bool.to_int s.input
+
 module Make_base (Cfg : sig
   val st : bool
   val name : string
@@ -228,6 +245,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
     | P0_wait_m2 { sent_m1 = x }, P0_wait_m2 { sent_m1 = y } -> Bool.compare x y
     | P2_gather x, P2_gather y -> Stdlib.compare x y
     | _ -> Int.compare (phase_key a) (phase_key b)
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

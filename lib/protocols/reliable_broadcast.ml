@@ -10,6 +10,9 @@ type phase = Wait_value | Done of Decision.t
 
 type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool; general : bool }
 
+(* no embedded sets: structural hashing is compare-consistent here *)
+let hash_nstate (s : nstate) = Hashtbl.hash s
+
 let general_id : Proc_id.t = 0
 
 module Base : Commit_glue.BASE with type nmsg = nmsg = struct
@@ -77,6 +80,8 @@ module Base : Commit_glue.BASE with type nmsg = nmsg = struct
     | Done a, Done b -> Decision.compare a b
     | Wait_value, Done _ -> -1
     | Done _, Wait_value -> 1
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

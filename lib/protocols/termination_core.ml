@@ -91,6 +91,19 @@ let compare a b =
                   if c <> 0 then c else Int.compare (bias_rank b1) (bias_rank b2))
               a.stash b.stash
 
+let hash_phase = function
+  | Broadcasting { round; pending } -> (((round * 31) + Hashtbl.hash pending) * 4) + 0
+  | Collecting { round; waiting } -> (((round * 31) + Proc_id.set_hash waiting) * 4) + 1
+  | Announce_amnesia { pending } -> (Hashtbl.hash pending * 4) + 2
+  | Finished d -> (Hashtbl.hash d * 4) + 3
+
+let hash t =
+  let h = ((t.n * 31) + t.me) * 31 in
+  let h = (h + Proc_id.set_hash t.up) * 31 in
+  let h = (h + bias_rank t.bias) * 31 in
+  let h = (h + hash_phase t.phase) * 31 in
+  h + Hashtbl.hash t.stash
+
 let decision_of_bias = function Committable -> Decision.Commit | Noncommittable -> Decision.Abort
 
 (* Move through phases that need no external event: an empty broadcast

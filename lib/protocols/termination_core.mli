@@ -70,4 +70,8 @@ val bias_of : t -> bias
 val up_of : t -> Proc_id.Set.t
 
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!compare}; hashes the embedded sets canonically. *)
+
 val pp : Format.formatter -> t -> unit

@@ -30,6 +30,7 @@ struct
     | None -> Status.undecided
 
   let compare_state = Termination_core.compare
+  let hash_state = Termination_core.hash
   let pp_state = Termination_core.pp
   let compare_msg = Termination_core.compare_msg
   let pp_msg = Termination_core.pp_msg

@@ -124,6 +124,16 @@ module Make (P : Protocol.S) : Protocol.S = struct
           let c = List.compare compare_mid a.processed b.processed in
           if c <> 0 then c else Int.compare a.clock b.clock
 
+  (* payloads are ignored: a coarser hash is still compare-consistent,
+     and [P.msg] values can only be hashed through [P.compare_msg] *)
+  let hash_copy c = (Hashtbl.hash c.id * 31) + c.clock
+
+  let hash_state s =
+    let h = (P.hash_state s.inner * 31) + Hashtbl.hash s.seqs in
+    let h = (h * 31) + List.fold_left (fun acc c -> (acc * 31) + hash_copy c) 0 s.known in
+    let h = (h * 31) + Hashtbl.hash s.processed in
+    (h * 31) + s.clock
+
   let pp_state ppf s =
     Format.fprintf ppf "tc{%a known=%d pending=%d clk=%d}" P.pp_state s.inner
       (List.length s.known) (List.length (pending s)) s.clock

@@ -20,6 +20,14 @@ type phase =
 
 type nstate = { outbox : nmsg Outbox.t; phase : phase; input : bool }
 
+let hash_phase = function
+  | Gather { waiting; bit } -> ((Proc_id.set_hash waiting * 2) + Bool.to_int bit) * 4
+  | Wait_decision -> 1
+  | Done d -> (Hashtbl.hash d * 4) + 2
+
+let hash_nstate s =
+  (((Hashtbl.hash s.outbox * 31) + hash_phase s.phase) * 2) + Bool.to_int s.input
+
 module Make_base (Cfg : sig
   val tree : Tree.t
   val name : string
@@ -121,6 +129,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
     | Wait_decision, Gather _ -> 1
     | Wait_decision, Done _ -> -1
     | Done _, (Gather _ | Wait_decision) -> 1
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

@@ -57,6 +57,18 @@ type nstate = {
   input : bool;
 }
 
+let hash_phase = function
+  | Gather { waiting; bit } -> ((Proc_id.set_hash waiting * 2) + Bool.to_int bit) * 8
+  | Wait_bias -> 1
+  | Gather_acks { waiting } -> (Proc_id.set_hash waiting * 8) + 2
+  | Wait_commit -> 3
+  | Done d -> (Hashtbl.hash d * 8) + 4
+
+let hash_nstate s =
+  let h = (Hashtbl.hash s.outbox * 31) + hash_phase s.phase in
+  let h = (h * 31) + Hashtbl.hash s.child_bits in
+  (((h * 2) + Bool.to_int s.committable) * 2) + Bool.to_int s.input
+
 module Make_base (Cfg : sig
   val tree : Tree.t
   val amnesic : bool
@@ -214,6 +226,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
     match s.phase with
     | Done d when Outbox.is_empty s.outbox -> Status.decided d
     | Done _ | Gather _ | Wait_bias | Gather_acks _ | Wait_commit -> Status.undecided
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

@@ -47,3 +47,7 @@ let compare a b =
 let pp ppf t =
   Format.fprintf ppf "collect(wait=%a%s)" Proc_id.pp_set t.waiting
     (if t.failed_seen then ",failure" else "")
+
+let hash t =
+  ((Proc_id.set_hash t.waiting * 31) + Hashtbl.hash t.bits) * 2
+  + Bool.to_int t.failed_seen

@@ -30,4 +30,8 @@ val decide : rule:Decision_rule.t -> n:int -> me:Proc_id.t -> own:bool -> t -> D
     vector. *)
 
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Consistent with {!compare}; hashes the waiting set canonically. *)
+
 val pp : Format.formatter -> t -> unit

@@ -41,6 +41,18 @@ type nstate = {
   input : bool;
 }
 
+let hash_phase = function
+  | Gather { waiting; votes; failed_seen } ->
+    ((((Proc_id.set_hash waiting * 31) + Hashtbl.hash votes) * 2) + Bool.to_int failed_seen) * 8
+  | Wait_bias -> 1
+  | Gather_acks { waiting } -> (Proc_id.set_hash waiting * 8) + 2
+  | Wait_commit -> 3
+  | Done d -> (Hashtbl.hash d * 8) + 4
+
+let hash_nstate s =
+  let h = (Hashtbl.hash s.outbox * 31) + hash_phase s.phase in
+  (((h * 2) + Bool.to_int s.committable) * 2) + Bool.to_int s.input
+
 module Make_base (Cfg : sig
   val tree : Tree.t
   val rule : Decision_rule.t
@@ -203,6 +215,8 @@ end) : Commit_glue.BASE with type nmsg = nmsg = struct
         | Gather _ -> 0 | Wait_bias -> 1 | Gather_acks _ -> 2 | Wait_commit -> 3 | Done _ -> 4
       in
       Int.compare (rank a) (rank b)
+
+  let hash_nstate = hash_nstate
 
   let compare_nstate a b =
     let c = Outbox.compare ~cmp_msg:compare_nmsg a.outbox b.outbox in

@@ -123,9 +123,33 @@ module Make (P : Protocol.S) = struct
           let c = Pair_set.compare a.edges b.edges in
           if c <> 0 then c else Triple.Set.compare a.trips b.trips
 
+  let hash_entry = function
+    | Note p -> (31 * p) + 7
+    | Data { triple; payload } -> (Triple.hash triple * 31) + Hashtbl.hash payload
+
+  (* Buffers are compared as multisets, so their hash must not depend
+     on arrival order: a commutative sum over entry hashes, with no
+     per-call sorting. *)
+  let hash_buffer b = List.fold_left (fun acc e -> acc + hash_entry e) 0 b
+
+  let hash_array h a = Array.fold_left (fun acc x -> (acc * 31) + h x) 0 a
+
+  let hash_behavioral c =
+    let h = ((c.n * 31) + Hashtbl.hash c.inputs) * 31 in
+    let h = (h + Hashtbl.hash c.failed) * 31 in
+    let h = (h + hash_array P.hash_state c.states) * 31 in
+    h + hash_array hash_buffer c.buffers
+
   let hash_config c =
-    let buf_key = Array.map (fun b -> List.map (fun e -> match e with Note p -> (-1, p, 0) | Data d -> (d.triple.Triple.sender, d.triple.Triple.receiver, d.triple.Triple.index)) (List.sort compare_entry b)) c.buffers in
-    Hashtbl.hash (c.inputs, c.failed, buf_key, c.sent_count, Pair_set.cardinal c.edges)
+    let h = (hash_behavioral c * 31) + Hashtbl.hash c.sent_count in
+    let h = (h * 31) + hash_array Triple.set_hash c.knowledge in
+    let h =
+      (h * 31)
+      + Pair_set.fold
+          (fun (a, b) acc -> (((acc * 31) + Triple.hash a) * 31) + Triple.hash b)
+          c.edges 0
+    in
+    (h * 31) + Triple.set_hash c.trips
 
   let pp_entry ppf = function
     | Note p -> Format.fprintf ppf "failed(%a)" Proc_id.pp p

@@ -60,6 +60,14 @@ module Make (P : Protocol.S) : sig
       Suitable for local-state reachability analyses. *)
 
   val hash_config : config -> int
+  (** Consistent with {!compare_config}: hashes every field the
+      compare looks at, canonically (buffer hashes are
+      order-insensitive, set hashes fold in element order).  Cheap —
+      no sorting, no intermediate structures. *)
+
+  val hash_behavioral : config -> int
+  (** Consistent with {!compare_behavioral}: ignores the pattern
+      bookkeeping exactly as the compare does. *)
 
   val pp_config : Format.formatter -> config -> unit
 

@@ -18,3 +18,5 @@ let pp_set ppf s =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp)
     (Set.elements s)
+
+let set_hash s = Set.fold (fun p acc -> (acc * 31) + p + 1) s 0

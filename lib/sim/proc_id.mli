@@ -24,3 +24,8 @@ module Map : Map.S with type key = t
 
 val set_of_list : t list -> Set.t
 val pp_set : Format.formatter -> Set.t -> unit
+
+val set_hash : Set.t -> int
+(** Canonical hash, consistent with [Set.compare]: computed from the
+    in-order elements, so equal sets hash equally regardless of the
+    internal tree shape. *)

@@ -11,6 +11,7 @@ module type S = sig
   val receive : n:int -> me:Proc_id.t -> state -> msg Incoming.t -> state
   val status : state -> Status.t
   val compare_state : state -> state -> int
+  val hash_state : state -> int
   val pp_state : Format.formatter -> state -> unit
   val compare_msg : msg -> msg -> int
   val pp_msg : Format.formatter -> msg -> unit

@@ -39,6 +39,17 @@ module type S = sig
   val status : state -> Status.t
 
   val compare_state : state -> state -> int
+
+  val hash_state : state -> int
+  (** Must be consistent with {!compare_state}: states that compare
+      equal hash equally.  Collisions only cost time (the hashed
+      visited sets fall back to [compare_state]), but an inconsistent
+      hash silently breaks deduplication.  States containing [Set.Make]
+      sets must hash them canonically (e.g. {!Proc_id.set_hash}) —
+      structurally equal trees of different shapes would otherwise hash
+      differently.  Plain variant/record states can use
+      [Hashtbl.hash]. *)
+
   val pp_state : Format.formatter -> state -> unit
   val compare_msg : msg -> msg -> int
   val pp_msg : Format.formatter -> msg -> unit

@@ -27,3 +27,7 @@ end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+
+let hash t = ((t.sender * 31) + t.receiver) * 31 + t.index
+
+let set_hash s = Set.fold (fun tr acc -> (acc * 31) + hash tr) s 0

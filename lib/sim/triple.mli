@@ -17,5 +17,12 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+val hash : t -> int
+(** Consistent with {!equal}. *)
+
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+val set_hash : Set.t -> int
+(** Canonical hash, consistent with [Set.compare]: folded over the
+    in-order elements, independent of the internal tree shape. *)

@@ -36,3 +36,21 @@ Scheme comparison exhibits Theorem 13's separation:
   incomparable schemes
     a pattern only the left realizes: 19 msgs
     a pattern only the right realizes: 20 msgs
+
+The sweeps are jobs-invariant -- --jobs only changes the wall clock:
+
+  $ patterns-cli scheme fig3-chain -n 3 --jobs 2 | head -2
+  visited=104 terminal=8
+  1 pattern(s):
+
+  $ patterns-cli check fig3-chain -n 3 --jobs 4 | head -3
+  fig3-chain (n=3, 22857 configs)
+    IC=yes TC=NO  WT=yes ST=NO HT=NO  rule=yes validity=yes safe-states=NO cor6=NO
+    strongest problem solved: WT-IC
+
+Realization distinguishes unrealizable from truncated:
+
+  $ patterns-cli realize fig3-chain -n 3 --target-of fig2-central
+  target: pattern 1/3 of fig2-central (6 messages, height 4)
+  unrealizable: no failure-free execution of fig3-chain from these inputs has the target pattern
+  [1]

@@ -1,0 +1,229 @@
+(* The parallel sweeps must be bit-identical to the sequential ones:
+   input vectors partition the reachable configuration space, shards
+   are merged in vector order, and the hunt's winner is the smallest
+   violating run index.  These tests pin that contract for every
+   protocol in the registry, and check the hashed visited sets against
+   the old balanced-tree membership on random walks. *)
+
+open Patterns_sim
+open Patterns_core
+open Patterns_stdx
+
+let jobs_values = [ 2; 4 ]
+
+(* Small n keeps the sweep fast; fixed-n protocols use their own n.
+   Budgets are capped — truncation is deterministic per shard, so
+   capped sweeps must still agree across jobs values. *)
+let pick_n (module P : Protocol.S) ~default_n = if P.valid_n 3 then 3 else default_n
+
+let rule_of entry =
+  let open Patterns_protocols in
+  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
+  else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
+  else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
+  else Decision_rule.Unanimity
+
+(* ----- Domain_pool ----- *)
+
+let test_pool_map_order () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int))
+        "map preserves order" (List.map (fun x -> x * x) xs)
+        (Domain_pool.map pool (fun x -> x * x) xs));
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check (list int)) "inline path" [ 2; 4 ] (Domain_pool.map pool (fun x -> 2 * x) [ 1; 2 ]))
+
+let test_pool_fold () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 50 (fun i -> i + 1) in
+      Alcotest.(check int) "fold merges in order" (50 * 51 / 2)
+        (Domain_pool.fold pool ~f:Fun.id ~merge:( + ) ~init:0 xs);
+      (* merge order matters for non-commutative merges *)
+      Alcotest.(check string) "left-to-right merge" "abcde"
+        (Domain_pool.fold pool ~f:(String.make 1) ~merge:( ^ ) ~init:""
+           [ 'a'; 'b'; 'c'; 'd'; 'e' ]))
+
+exception Boom of int
+
+let test_pool_exn () =
+  Domain_pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.check_raises "first error by input index" (Boom 2) (fun () ->
+          ignore
+            (Domain_pool.map pool
+               (fun x -> if x >= 2 then raise (Boom x) else x)
+               [ 0; 1; 2; 3; 4 ]));
+      (* the pool survives a failed batch *)
+      Alcotest.(check (list int)) "pool reusable after error" [ 1; 2; 3 ]
+        (Domain_pool.map pool Fun.id [ 1; 2; 3 ]))
+
+(* ----- scheme: jobs-invariance over the whole registry ----- *)
+
+let test_scheme_jobs_invariant () =
+  List.iter
+    (fun entry ->
+      let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+      let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
+      let module S = Patterns_pattern.Scheme.Make (P) in
+      let run jobs = S.scheme ~max_configs:2_000 ~jobs ~n () in
+      let pats1, stats1 = run 1 in
+      List.iter
+        (fun jobs ->
+          let pats, stats = run jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: scheme jobs=%d = jobs=1" P.name jobs)
+            true
+            (Patterns_pattern.Pattern.Set.equal pats1 pats);
+          Alcotest.(check int)
+            (Printf.sprintf "%s: visited jobs=%d" P.name jobs)
+            stats1.Patterns_pattern.Scheme.configs_visited
+            stats.Patterns_pattern.Scheme.configs_visited;
+          Alcotest.(check int)
+            (Printf.sprintf "%s: terminal jobs=%d" P.name jobs)
+            stats1.Patterns_pattern.Scheme.terminal_configs
+            stats.Patterns_pattern.Scheme.terminal_configs;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: truncated jobs=%d" P.name jobs)
+            stats1.Patterns_pattern.Scheme.truncated stats.Patterns_pattern.Scheme.truncated)
+        jobs_values)
+    Patterns_protocols.Registry.all
+
+(* ----- explore / classify: jobs-invariance over the whole registry ----- *)
+
+let test_classify_jobs_invariant () =
+  List.iter
+    (fun entry ->
+      let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+      let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
+      let rule = rule_of entry in
+      let run jobs =
+        Classify.classify ~max_failures:1 ~max_configs:20_000 ~jobs ~rule ~n
+          entry.Patterns_protocols.Registry.protocol
+      in
+      let v1 = run 1 in
+      List.iter
+        (fun jobs ->
+          let v = run jobs in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: verdict jobs=%d = jobs=1" P.name jobs)
+            true
+            (Stdlib.compare v1 v = 0))
+        jobs_values)
+    Patterns_protocols.Registry.all
+
+(* ----- hunt: the winner is the smallest violating run index ----- *)
+
+let test_hunt_jobs_invariant () =
+  let run jobs =
+    Audit.hunt ~max_failures:2 ~max_runs:2_000 ~jobs ~property:Audit.TC
+      ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3 ~seed:1984
+      Patterns_protocols.Two_phase_commit.default
+  in
+  let r1 = run 1 in
+  Alcotest.(check bool) "hunt finds the 2pc violation" true (Result.is_ok r1);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hunt jobs=%d identical" jobs)
+        true (run jobs = r1))
+    jobs_values;
+  (* a clean hunt reports the same run budget for every jobs value *)
+  let clean jobs =
+    Audit.hunt ~max_failures:1 ~max_runs:200 ~jobs ~property:Audit.Agreement
+      ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3 ~seed:7
+      Patterns_protocols.Two_phase_commit.default
+  in
+  Alcotest.(check bool) "clean hunt jobs=4 identical" true (clean 1 = clean 4)
+
+(* ----- qcheck: hashed visited set vs the old balanced tree ----- *)
+
+module P_chain = (val Patterns_protocols.Chain_proto.fig3 : Protocol.S)
+module E = Engine.Make (P_chain)
+
+module Cset = Set.Make (struct
+  type t = E.config
+
+  let compare = E.compare_config
+end)
+
+module Ctbl = Hashtbl.Make (struct
+  type t = E.config
+
+  let equal a b = E.compare_config a b = 0
+  let hash = E.hash_config
+end)
+
+(* A random walk through chain-protocol configurations, failure steps
+   included, collecting every configuration along the way. *)
+let walk ~seed ~n ~steps =
+  let prng = Prng.create ~seed in
+  let inputs = List.init n (fun _ -> Prng.bool prng) in
+  let rec go acc cfg k =
+    if k = 0 then acc
+    else
+      let acts =
+        E.applicable cfg @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions cfg else [])
+      in
+      match acts with
+      | [] -> acc
+      | acts ->
+        let a = List.nth acts (Prng.int prng ~bound:(List.length acts)) in
+        let cfg', _ = E.apply_exn ~step:(steps - k) cfg a in
+        go (cfg' :: acc) cfg' (k - 1)
+  in
+  let c0 = E.init ~n ~inputs in
+  go [ c0 ] c0 steps
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"hash_config is compare_config-consistent" ~count:60
+      Gen.(pair (int_bound 100_000) (int_bound 100_000))
+      (fun (s1, s2) ->
+        let pool = walk ~seed:s1 ~n:3 ~steps:30 @ walk ~seed:s2 ~n:3 ~steps:30 in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b -> E.compare_config a b <> 0 || E.hash_config a = E.hash_config b)
+              pool)
+          pool);
+    Test.make ~name:"hashtable visited set = Set.Make visited set" ~count:60
+      Gen.(pair (int_bound 100_000) (int_bound 100_000))
+      (fun (s1, s2) ->
+        let inserted = walk ~seed:s1 ~n:3 ~steps:40 in
+        let probes = walk ~seed:s2 ~n:3 ~steps:40 in
+        let set = Cset.of_list inserted in
+        let tbl = Ctbl.create 64 in
+        List.iter (fun c -> Ctbl.replace tbl c ()) inserted;
+        List.for_all (fun c -> Cset.mem c set = Ctbl.mem tbl c) (inserted @ probes));
+    Test.make ~name:"hash_behavioral is compare_behavioral-consistent" ~count:40
+      Gen.(int_bound 100_000)
+      (fun s ->
+        let pool = walk ~seed:s ~n:3 ~steps:40 in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                E.compare_behavioral a b <> 0 || E.hash_behavioral a = E.hash_behavioral b)
+              pool)
+          pool);
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "domain_pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "fold merge" `Quick test_pool_fold;
+          Alcotest.test_case "exceptions" `Quick test_pool_exn;
+        ] );
+      ( "jobs invariance",
+        [
+          Alcotest.test_case "scheme, whole registry" `Quick test_scheme_jobs_invariant;
+          Alcotest.test_case "classify, whole registry" `Slow test_classify_jobs_invariant;
+          Alcotest.test_case "hunt" `Quick test_hunt_jobs_invariant;
+        ] );
+      ("visited sets", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

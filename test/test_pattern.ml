@@ -66,6 +66,7 @@ module Relay = struct
 
   let status _ = Status.undecided
   let compare_state = Stdlib.compare
+  let hash_state = Hashtbl.hash
   let pp_state ppf _ = Format.pp_print_string ppf "-"
   let compare_msg _ _ = 0
   let pp_msg ppf _ = Format.pp_print_string ppf "token"
@@ -154,8 +155,9 @@ let test_realize_fig4_roundtrip () =
   Pattern.Set.iter
     (fun target ->
       match S.realize ~n:4 ~inputs ~target () with
-      | None -> Alcotest.fail "an enumerated pattern must be realizable"
-      | Some actions ->
+      | Scheme.Unrealizable -> Alcotest.fail "an enumerated pattern must be realizable"
+      | Scheme.Truncated -> Alcotest.fail "realize must not truncate at this scope"
+      | Scheme.Realized actions ->
         (* replay and re-extract *)
         let final =
           List.fold_left (fun c a -> fst (S.E.apply_exn ~step:0 c a)) (S.E.init ~n:4 ~inputs)
@@ -172,7 +174,8 @@ let test_realize_rejects_foreign_pattern () =
   (* a pattern the chain protocol never produces *)
   let foreign = Pattern.make [ tr ~s:3 ~r:2 ~k:1 ] [] in
   Alcotest.(check bool) "not realizable" true
-    (S.realize ~n:4 ~inputs:[ true; true; true; true ] ~target:foreign () = None)
+    (S.realize ~n:4 ~inputs:[ true; true; true; true ] ~target:foreign ()
+    = Scheme.Unrealizable)
 
 (* ----- latency ----- *)
 

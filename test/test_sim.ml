@@ -50,6 +50,12 @@ module Ping_pong = struct
     | Done_st d -> Status.decided_halted d
     | Sender _ | Waiter | Ponging _ -> Status.undecided
 
+  let hash_state = function
+    | Sender { to_ping; await } -> (Hashtbl.hash to_ping * 31) + Proc_id.set_hash await
+    | Waiter -> 1
+    | Ponging q -> (q * 4) + 2
+    | Done_st d -> (Hashtbl.hash d * 4) + 3
+
   let compare_state a b =
     match (a, b) with
     | Sender a, Sender b ->
