@@ -371,30 +371,39 @@ let bechamel_section () =
 
 (* Wall-clock the parallel sweeps at jobs=1 and jobs=J on the same
    inputs.  Each sweep returns a size witness (configs, patterns or
-   runs) so the JSON records that the work, not just the time, was
+   runs) plus the kernel's metrics, so the JSON records that the work
+   — counted by the search kernel, not just the wall clock — was
    identical across jobs values. *)
 let sweep_timings () =
   let js = List.sort_uniq Int.compare [ 1; !jobs ] in
   let scheme_sweep name p ~n j =
     let (module P : Protocol.S) = p in
     let module S = Scheme.Make (P) in
-    let (pats, stats), secs = wall (fun () -> S.scheme ~jobs:j ~n ()) in
-    (name, j, secs, Printf.sprintf "patterns=%d configs=%d" (Pattern.Set.cardinal pats) stats.Scheme.configs_visited)
+    let metrics = ref Patterns_search.Metrics.zero in
+    let (pats, stats), secs = wall (fun () -> S.scheme ~metrics ~jobs:j ~n ()) in
+    ( name, j, secs,
+      Printf.sprintf "patterns=%d configs=%d" (Pattern.Set.cardinal pats)
+        stats.Scheme.configs_visited,
+      !metrics )
   in
   let classify_sweep ?max_configs name p ~rule ~n j =
+    let metrics = ref Patterns_search.Metrics.zero in
     let v, secs =
-      wall (fun () -> Classify.classify ?max_configs ~jobs:j ~max_failures:1 ~rule ~n p)
+      wall (fun () ->
+          Classify.classify ~metrics ?max_configs ~jobs:j ~max_failures:1 ~rule ~n p)
     in
-    (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs)
+    (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs, !metrics)
   in
   let hunt_sweep name p ~runs j =
+    let metrics = ref Patterns_search.Metrics.zero in
     let r, secs =
       wall (fun () ->
-          Audit.hunt ~jobs:j ~max_failures:2 ~max_runs:runs ~property:Audit.Agreement
-            ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3 ~seed:7 p)
+          Audit.hunt ~metrics ~jobs:j ~max_failures:2 ~max_runs:runs
+            ~property:Audit.Agreement ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
+            ~seed:7 p)
     in
     let witness = match r with Ok _ -> "violation" | Error k -> Printf.sprintf "runs=%d" k in
-    (name, j, secs, witness)
+    (name, j, secs, witness, !metrics)
   in
   List.concat_map
     (fun j ->
@@ -441,7 +450,7 @@ let emit_json ~path =
   let bech = bechamel_estimates () in
   let sweeps = sweep_timings () in
   let seconds_at_1 name =
-    List.find_map (fun (n, j, s, _) -> if n = name && j = 1 then Some s else None) sweeps
+    List.find_map (fun (n, j, s, _, _) -> if n = name && j = 1 then Some s else None) sweeps
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
@@ -461,17 +470,27 @@ let emit_json ~path =
   Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"sweeps\": [\n";
   List.iteri
-    (fun i (name, j, secs, witness) ->
+    (fun i (name, j, secs, witness, metrics) ->
       let speedup =
         match seconds_at_1 name with
         | Some s1 when j <> 1 && secs > 0.0 -> Printf.sprintf "%.3f" (s1 /. secs)
         | _ -> "null"
       in
+      let kernel =
+        (* the kernel's deterministic counters: identical across jobs
+           values (hunt's expanded count may overshoot by one batch) *)
+        let open Patterns_search.Metrics in
+        Printf.sprintf
+          "\"kernel\": { \"outcome\": \"%s\", \"states_expanded\": %d, \"dedup_hits\": %d, \
+           \"frontier_peak\": %d, \"pruned\": %d }"
+          (outcome_string metrics.outcome)
+          metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    { \"name\": \"%s\", \"jobs\": %d, \"seconds\": %.6f, \"witness\": \"%s\", \
-            \"speedup_vs_jobs1\": %s }%s\n"
-           (json_escape name) j secs (json_escape witness) speedup
+            \"speedup_vs_jobs1\": %s, %s }%s\n"
+           (json_escape name) j secs (json_escape witness) speedup kernel
            (if i = List.length sweeps - 1 then "" else ",")))
     sweeps;
   Buffer.add_string b "  ]\n";

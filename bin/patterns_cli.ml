@@ -91,6 +91,24 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Patterns_stdx.Domain_pool.default_jobs () else j
 
+let metrics_json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-json" ] ~docv:"FILE"
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/1)) \
+               as JSON to $(docv); $(b,-) means stdout.")
+
+let emit_metrics dest (m : Patterns_search.Metrics.t) =
+  match dest with
+  | None -> ()
+  | Some "-" ->
+    print_string (Patterns_search.Metrics.to_json m);
+    print_newline ()
+  | Some file ->
+    let oc = open_out file in
+    output_string oc (Patterns_search.Metrics.to_json m);
+    output_char oc '\n';
+    close_out oc
+
 let resolve_n entry n =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let n = Option.value n ~default:entry.Patterns_protocols.Registry.default_n in
@@ -153,16 +171,20 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n jobs =
+  let run name n jobs metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
-    let pats, stats = S.scheme ~jobs:(resolve_jobs jobs) ~n () in
+    let metrics = ref Patterns_search.Metrics.zero in
+    let pats, stats = S.scheme ~metrics ~jobs:(resolve_jobs jobs) ~n () in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
-      Patterns_pattern.Scheme.pp_scheme pats
+      Patterns_pattern.Scheme.pp_scheme pats;
+    emit_metrics metrics_json !metrics;
+    if stats.Patterns_pattern.Scheme.truncated then exit 2
   in
-  Cmd.v (Cmd.info "scheme" ~doc) Term.(const run $ protocol_arg $ n_arg $ jobs_arg)
+  Cmd.v (Cmd.info "scheme" ~doc)
+    Term.(const run $ protocol_arg $ n_arg $ jobs_arg $ metrics_json_arg)
 
 (* ----- realize ----- *)
 
@@ -187,7 +209,7 @@ let realize_cmd =
          & info [ "max-configs" ] ~docv:"K"
            ~doc:"Search budget; when hit, the answer is $(b,truncated), not unrealizable.")
   in
-  let run name n inputs target_of k max_configs =
+  let run name n inputs target_of k max_configs metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let inputs = or_die (parse_inputs n inputs) in
@@ -213,25 +235,32 @@ let realize_cmd =
       T.name
       (Patterns_pattern.Pattern.message_count target)
       (Patterns_pattern.Pattern.height target);
-    match S.realize ~max_configs ~n ~inputs ~target () with
-    | Patterns_pattern.Scheme.Realized actions ->
-      Format.printf "realized by %s in %d events:@." P.name (List.length actions);
-      List.iter (fun a -> Format.printf "  %a@." Action.pp a) actions
-    | Patterns_pattern.Scheme.Unrealizable ->
-      Format.printf "unrealizable: no failure-free execution of %s from these inputs has the \
-                     target pattern@."
-        P.name;
-      exit 1
-    | Patterns_pattern.Scheme.Truncated ->
-      Format.printf "truncated: the %d-configuration budget ran out before an answer \
-                     (raise --max-configs)@."
-        max_configs;
-      exit 2
+    let metrics = ref Patterns_search.Metrics.zero in
+    let result = S.realize ~metrics ~max_configs ~n ~inputs ~target () in
+    let code =
+      match result with
+      | Patterns_pattern.Scheme.Realized actions ->
+        Format.printf "realized by %s in %d events:@." P.name (List.length actions);
+        List.iter (fun a -> Format.printf "  %a@." Action.pp a) actions;
+        0
+      | Patterns_pattern.Scheme.Unrealizable ->
+        Format.printf "unrealizable: no failure-free execution of %s from these inputs has \
+                       the target pattern@."
+          P.name;
+        1
+      | Patterns_pattern.Scheme.Truncated ->
+        Format.printf "truncated: the %d-configuration budget ran out before an answer \
+                       (raise --max-configs)@."
+          max_configs;
+        2
+    in
+    emit_metrics metrics_json !metrics;
+    exit code
   in
   Cmd.v (Cmd.info "realize" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ inputs_arg $ target_of_arg $ pattern_arg
-      $ max_configs_arg)
+      $ max_configs_arg $ metrics_json_arg)
 
 (* ----- dot ----- *)
 
@@ -273,29 +302,46 @@ let msc_cmd =
 
 (* ----- check ----- *)
 
-let check_cmd =
-  let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
+let classify_term =
   let max_failures_arg =
     Arg.(value & opt int 1 & info [ "max-failures" ] ~docv:"F" ~doc:"Failures injected per execution.")
   in
   let max_configs_arg =
-    Arg.(value & opt int 400_000 & info [ "max-configs" ] ~docv:"K" ~doc:"Exploration budget.")
+    Arg.(value & opt int 400_000
+         & info [ "max-configs" ] ~docv:"K"
+           ~doc:"Exploration budget; when hit, the verdict is marked $(b,truncated) and the \
+                 exit code is 2.")
   in
-  let run name n max_failures max_configs fifo_notices jobs =
+  let run name n max_failures max_configs fifo_notices jobs metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
+    let metrics = ref Patterns_search.Metrics.zero in
     let v =
-      Classify.classify ~max_failures ~max_configs ~fifo_notices ~jobs:(resolve_jobs jobs)
-        ~rule ~n entry.Patterns_protocols.Registry.protocol
+      Classify.classify ~metrics ~max_failures ~max_configs ~fifo_notices
+        ~jobs:(resolve_jobs jobs) ~rule ~n entry.Patterns_protocols.Registry.protocol
     in
     Format.printf "%a@." Classify.pp v;
-    List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details
+    List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
+    emit_metrics metrics_json !metrics;
+    if v.Classify.truncated then begin
+      Format.printf "truncated: the %d-configuration budget ran out; the verdict is a lower \
+                     bound (raise --max-configs)@."
+        max_configs;
+      exit 2
+    end
   in
-  Cmd.v (Cmd.info "check" ~doc)
-    Term.(
-      const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
-      $ jobs_arg)
+  Term.(
+    const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
+    $ jobs_arg $ metrics_json_arg)
+
+let check_cmd =
+  let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
+  Cmd.v (Cmd.info "check" ~doc) classify_term
+
+let classify_cmd =
+  let doc = "Alias of $(b,check): classify a protocol against the taxonomy." in
+  Cmd.v (Cmd.info "classify" ~doc) classify_term
 
 (* ----- reduce ----- *)
 
@@ -362,23 +408,36 @@ let hunt_cmd =
   let runs_arg =
     Arg.(value & opt int 5000 & info [ "runs" ] ~docv:"K" ~doc:"Run budget.")
   in
-  let run name n property crashes runs seed fifo_notices jobs =
+  let run name n property crashes runs seed fifo_notices jobs metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
-    match
-      Audit.hunt ~max_failures:crashes ~max_runs:runs ~fifo_notices
+    let metrics = ref Patterns_search.Metrics.zero in
+    let result =
+      Audit.hunt ~metrics ~max_failures:crashes ~max_runs:runs ~fifo_notices
         ~jobs:(resolve_jobs jobs) ~property ~rule ~n ~seed
         entry.Patterns_protocols.Registry.protocol
-    with
-    | Ok report -> print_endline report
-    | Error tried -> Printf.printf "no violation found in %d runs\n" tried
+    in
+    let code =
+      match result with
+      | Ok report ->
+        print_endline report;
+        0
+      | Error tried ->
+        (* a truncated search, not a proof of absence *)
+        Printf.printf "no violation found in %d runs (search truncated: run budget exhausted; \
+                       raise --runs)\n"
+          tried;
+        2
+    in
+    emit_metrics metrics_json !metrics;
+    exit code
   in
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
-      $ fifo_notices_arg $ jobs_arg)
+      $ fifo_notices_arg $ jobs_arg $ metrics_json_arg)
 
 (* ----- lattice / theorems ----- *)
 
@@ -403,5 +462,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; scheme_cmd; realize_cmd; dot_cmd; msc_cmd; check_cmd; reduce_cmd;
-            latency_cmd; hunt_cmd; lattice_cmd; theorems_cmd ]))
+          [ list_cmd; run_cmd; scheme_cmd; realize_cmd; dot_cmd; msc_cmd; check_cmd;
+            classify_cmd; reduce_cmd; latency_cmd; hunt_cmd; lattice_cmd; theorems_cmd ]))

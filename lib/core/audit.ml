@@ -95,8 +95,8 @@ let pp ppf r =
 
 type property = TC | IC | Agreement | WT | Rule
 
-let hunt ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ?(jobs = 1) ~property
-    ~rule ~n ~seed (module P : Protocol.S) =
+let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ?(jobs = 1)
+    ~property ~rule ~n ~seed (module P : Protocol.S) =
   let module E = Engine.Make (P) in
   (* Each run draws from its own generator, seeded from (seed, run
      index), so runs are independent of execution order and the hunt
@@ -141,18 +141,8 @@ let hunt ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ?(jobs 
            msg
            (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace))
   in
-  Domain_pool.with_pool ~jobs (fun pool ->
-      (* batched so a violation stops the search without running all
-         [max_runs] trials; the batch is scanned in run order *)
-      let batch = max 8 (Domain_pool.jobs pool * 4) in
-      let rec go next =
-        if next > max_runs then Error max_runs
-        else begin
-          let hi = min max_runs (next + batch - 1) in
-          let indices = List.init (hi - next + 1) (fun i -> next + i) in
-          match List.find_map Fun.id (Domain_pool.map pool one indices) with
-          | Some msg -> Ok msg
-          | None -> go (hi + 1)
-        end
-      in
-      go 1)
+  (* the kernel's batched goal search: a violation stops the search
+     without running all [max_runs] trials, batches are scanned in run
+     order, and exhausting the run budget is a Truncated outcome — a
+     hunt that finds nothing has not proven absence *)
+  Patterns_search.Search.find_first ?metrics ~jobs ~max_index:max_runs ~f:one ()

@@ -39,6 +39,7 @@ val random_audit :
 type property = TC | IC | Agreement | WT | Rule
 
 val hunt :
+  ?metrics:Patterns_search.Metrics.t ref ->
   ?max_failures:int ->
   ?max_runs:int ->
   ?fifo_notices:bool ->
@@ -50,12 +51,18 @@ val hunt :
   (module Protocol.S) ->
   (string, int) result
 (** Search seeded randomized executions for a violation of the given
-    property.  [Ok report] renders the first violating run — inputs,
-    crash plan, the violation, and a space-time diagram of the trace;
-    [Error k] means [k] runs were tried without finding one.  Each run
-    draws from a generator seeded by [(seed, run index)], so the
-    result is a deterministic function of [seed] for every [jobs]
-    value (default 1): the first violating run index wins. *)
+    property, on the kernel's batched goal search
+    ({!Patterns_search.Search.find_first}).  [Ok report] renders the
+    first violating run — inputs, crash plan, the violation, and a
+    space-time diagram of the trace; [Error k] means [k] runs were
+    tried without finding one — a {e truncated} search (the metrics
+    outcome says so): it does not prove absence.  Each run draws from
+    a generator seeded by [(seed, run index)], so the result is a
+    deterministic function of [seed] for every [jobs] value
+    (default 1): the first violating run index wins.  The metrics
+    sink accumulates the kernel's counters; the expanded count may
+    overshoot the winning index by up to one batch (speculative
+    parallelism), and is the only jobs-dependent field. *)
 
 val clean : report -> bool
 (** No violations and every run quiesced with all nonfaulty decided. *)

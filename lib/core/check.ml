@@ -6,27 +6,39 @@ type verdict = (unit, string) result
 let proc_count trace =
   List.fold_left (fun acc e -> max acc (Trace.proc_of e + 1)) 0 trace
 
-let total_consistency trace =
-  let rec scan first = function
-    | [] -> Ok ()
-    | Trace.Decided { proc; decision; step } :: tl -> (
-      match first with
-      | None -> scan (Some (proc, decision)) tl
+(* Every checker below is the search kernel's linear scan
+   (Patterns_search.Search.Scan) over the trace or over the
+   processors: positions are visited in order and the first [Error]
+   is the goal, so "which violation a checker reports" is defined by
+   the kernel's visitation order, not by a private recursion. *)
+
+let scan_events ?metrics trace check =
+  let events = Array.of_list trace in
+  Patterns_search.Search.Scan.first_error ?metrics ~len:(Array.length events)
+    ~check:(fun i -> check events.(i))
+    ()
+
+let total_consistency ?metrics trace =
+  let first = ref None in
+  scan_events ?metrics trace (function
+    | Trace.Decided { proc; decision; step } -> (
+      match !first with
+      | None ->
+        first := Some (proc, decision);
+        Ok ()
       | Some (p0, d0) ->
-        if Decision.equal d0 decision then scan first tl
+        if Decision.equal d0 decision then Ok ()
         else
           Error
             (Format.asprintf
                "total consistency violated: %a decided %a but %a decided %a (step %d)" Proc_id.pp
                p0 Decision.pp d0 Proc_id.pp proc Decision.pp decision step))
-    | _ :: tl -> scan first tl
-  in
-  scan None trace
+    | _ -> Ok ())
 
-let interactive_consistency trace =
+let interactive_consistency ?metrics trace =
   let n = proc_count trace in
-  let decisions = Array.make n None in
-  let failed = Array.make n false in
+  let decisions = Array.make (max n 1) None in
+  let failed = Array.make (max n 1) false in
   let check step =
     let conflict = ref (Ok ()) in
     for i = 0 to n - 1 do
@@ -44,63 +56,67 @@ let interactive_consistency trace =
     done;
     !conflict
   in
-  let rec scan = function
-    | [] -> Ok ()
-    | e :: tl -> (
+  scan_events ?metrics trace (fun e ->
       (match e with
       | Trace.Decided { proc; decision; _ } -> decisions.(proc) <- Some decision
       | Trace.Became_amnesic { proc; _ } -> decisions.(proc) <- None
       | Trace.Failed_proc { proc; _ } -> failed.(proc) <- true
       | Trace.Sent _ | Trace.Null_step _ | Trace.Delivered_msg _ | Trace.Delivered_note _
       | Trace.Halted _ -> ());
-      match check (Trace.step_of e) with Ok () -> scan tl | Error _ as err -> err)
-  in
-  scan trace
+      check (Trace.step_of e))
 
-let nonfaulty_agreement trace =
+let nonfaulty_agreement ?metrics trace =
   let failed = Trace.failures trace in
   let decisions =
-    List.filter (fun (p, _) -> not (List.mem p failed)) (Trace.decisions trace)
+    Array.of_list
+      (List.filter (fun (p, _) -> not (List.mem p failed)) (Trace.decisions trace))
   in
-  match decisions with
-  | [] -> Ok ()
-  | (p0, d0) :: rest -> (
-    match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
-    | None -> Ok ()
-    | Some (p, d) ->
-      Error
-        (Format.asprintf "nonfaulty processors disagree: %a decided %a but %a decided %a"
-           Proc_id.pp p0 Decision.pp d0 Proc_id.pp p Decision.pp d))
+  Patterns_search.Search.Scan.first_error ?metrics ~len:(Array.length decisions)
+    ~check:(fun i ->
+      if i = 0 then Ok ()
+      else begin
+        let p0, d0 = decisions.(0) in
+        let p, d = decisions.(i) in
+        if Decision.equal d d0 then Ok ()
+        else
+          Error
+            (Format.asprintf "nonfaulty processors disagree: %a decided %a but %a decided %a"
+               Proc_id.pp p0 Decision.pp d0 Proc_id.pp p Decision.pp d)
+      end)
+    ()
 
-let decision_rule rule ~inputs trace =
+let decision_rule ?metrics rule ~inputs trace =
   let inputs = Array.of_list inputs in
-  let rec scan failure_occurred = function
-    | [] -> Ok ()
-    | Trace.Failed_proc _ :: tl -> scan true tl
-    | Trace.Decided { proc; decision; step } :: tl ->
-      if Decision_rule.permits rule ~inputs ~failure_occurred decision then
-        scan failure_occurred tl
+  let failure_occurred = ref false in
+  scan_events ?metrics trace (function
+    | Trace.Failed_proc _ ->
+      failure_occurred := true;
+      Ok ()
+    | Trace.Decided { proc; decision; step } ->
+      if Decision_rule.permits rule ~inputs ~failure_occurred:!failure_occurred decision then
+        Ok ()
       else
         Error
           (Format.asprintf "decision rule %a forbids %a's %a at step %d" Decision_rule.pp rule
              Proc_id.pp proc Decision.pp decision step)
-    | _ :: tl -> scan failure_occurred tl
-  in
-  scan false trace
+    | _ -> Ok ())
 
-let validity rule ~inputs trace =
+let validity ?metrics rule ~inputs trace =
   if Trace.failures trace <> [] then
     Error "validity check applies to failure-free runs only"
   else begin
     let expected = Decision_rule.natural_decision rule (Array.of_list inputs) in
-    match
-      List.find_opt (fun (_, d) -> not (Decision.equal d expected)) (Trace.decisions trace)
-    with
-    | None -> Ok ()
-    | Some (p, d) ->
-      Error
-        (Format.asprintf "validity violated: failure-free run should decide %a but %a decided %a"
-           Decision.pp expected Proc_id.pp p Decision.pp d)
+    let decisions = Array.of_list (Trace.decisions trace) in
+    Patterns_search.Search.Scan.first_error ?metrics ~len:(Array.length decisions)
+      ~check:(fun i ->
+        let p, d = decisions.(i) in
+        if Decision.equal d expected then Ok ()
+        else
+          Error
+            (Format.asprintf
+               "validity violated: failure-free run should decide %a but %a decided %a"
+               Decision.pp expected Proc_id.pp p Decision.pp d))
+      ()
   end
 
 let ever_decided ~n trace =
@@ -114,10 +130,9 @@ let ever_decided ~n trace =
   first
 
 let for_each_nonfaulty ~failed f =
-  let n = Array.length failed in
-  let check p = if failed.(p) then Ok () else f p in
-  let rec go p = if p >= n then Ok () else match check p with Ok () -> go (p + 1) | e -> e in
-  go 0
+  Patterns_search.Search.Scan.first_error ~len:(Array.length failed)
+    ~check:(fun p -> if failed.(p) then Ok () else f p)
+    ()
 
 let weak_termination ~quiescent ~statuses:_ ~ever_decided ~failed =
   if not quiescent then Error "run did not reach quiescence"

@@ -17,8 +17,8 @@ type verdict = {
   details : string list;
 }
 
-let classify ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false) ?(jobs = 1)
-    ~rule ~n (module P : Protocol.S) =
+let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
+    ?(jobs = 1) ~rule ~n (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let options =
@@ -30,7 +30,7 @@ let classify ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false) 
       jobs;
     }
   in
-  let r = X.explore ~options ~rule ~n () in
+  let r = X.explore ?metrics ~options ~rule ~n () in
   let detail name = Option.map (fun v -> name ^ ": " ^ v) in
   {
     name = P.name;

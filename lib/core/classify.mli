@@ -28,6 +28,7 @@ type verdict = {
 }
 
 val classify :
+  ?metrics:Patterns_search.Metrics.t ref ->
   ?max_failures:int ->
   ?max_configs:int ->
   ?inputs_choices:bool list list ->

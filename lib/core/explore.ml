@@ -82,23 +82,14 @@ module Make (P : Protocol.S) = struct
     let compare = P.compare_state
   end)
 
-  (* exploration node: behavioural configuration plus each processor's
-     first decision (amnesia may erase it from the state) *)
-  module Node_tbl = Hashtbl.Make (struct
-    type t = E.config * Decision.t option array
-
-    let equal (c1, d1) (c2, d2) = E.compare_behavioral c1 c2 = 0 && Stdlib.compare d1 d2 = 0
-    let hash (c, d) = (E.hash_behavioral c * 31) + Hashtbl.hash d
-  end)
-
   (* One shard of the sweep: exhaustive DFS from a single input vector.
      Input vectors are part of every configuration (and compared by
      [compare_behavioral]), so shards never share reachable nodes and
-     the per-shard visited sets partition the sequential one exactly. *)
+     the per-shard visited sets partition the sequential one exactly.
+     The frontier, visited set and budget live in the search kernel;
+     this function only defines the node type and hangs the paper's
+     observations on the expansion closure. *)
   let explore_one_vector ~options ~budget ~rule ~n inputs =
-    let visited = Node_tbl.create 1024 in
-    let visited_count = ref 0 in
-    let truncated = ref false in
     let terminal = ref 0 in
     let ic_violation = ref None and tc_violation = ref None in
     let wt_violation = ref None and st_violation = ref None and ht_violation = ref None in
@@ -257,52 +248,59 @@ module Make (P : Protocol.S) = struct
       List.length (List.filter (fun p -> E.is_failed config p) (Proc_id.all ~n:(E.n_of config)))
     in
 
-    let stack = ref [ (E.init ~n ~inputs, Array.make n None) ] in
+    let module Node = struct
+      (* exploration node: behavioural configuration plus each
+         processor's first decision (amnesia may erase it from the
+         state) *)
+      type state = E.config * Decision.t option array
 
-    let rec loop () =
-      match !stack with
-      | [] -> ()
-      | (config, decided) :: rest ->
-        stack := rest;
-        let node = (config, decided) in
-        if Node_tbl.mem visited node then loop ()
-        else if !visited_count >= budget then truncated := true
-        else begin
-          Node_tbl.add visited node ();
-          incr visited_count;
-          observe_config config decided;
-          let actions = E.applicable ~fifo_notices:options.fifo_notices config in
-          if actions = [] then observe_terminal config decided;
-          let fail_actions =
-            if failures_in config < options.max_failures then E.failure_actions config else []
-          in
-          List.iter
+      let compare (c1, d1) (c2, d2) =
+        let c = E.compare_behavioral c1 c2 in
+        if c <> 0 then c else Stdlib.compare d1 d2
+
+      let hash (c, d) = (E.hash_behavioral c * 31) + Hashtbl.hash d
+
+      let expand (config, decided) =
+        observe_config config decided;
+        let actions = E.applicable ~fifo_notices:options.fifo_notices config in
+        if actions = [] then observe_terminal config decided;
+        let fail_actions =
+          if failures_in config < options.max_failures then E.failure_actions config else []
+        in
+        let succs =
+          List.filter_map
             (fun a ->
               match E.apply ~step:0 config a with
-              | Error e -> protocol_errors := e :: !protocol_errors
-              | Ok (config', events) ->
-                let decided' = observe_events config events decided in
-                let node' = (config', decided') in
-                if not (Node_tbl.mem visited node') then stack := node' :: !stack)
-            (actions @ fail_actions);
-          loop ()
-        end
+              | Error e ->
+                protocol_errors := e :: !protocol_errors;
+                None
+              | Ok (config', events) -> Some (config', observe_events config events decided))
+            (actions @ fail_actions)
+        in
+        (* reversed: the historical stack discipline explores the last
+           applicable action first; truncated counts are pinned to that
+           order by the jobs-invariance tests *)
+        List.rev succs
+    end in
+    let module K = Patterns_search.Search.Make (Node) in
+    let outcome, m =
+      K.run ~strategy:K.Dfs ~budget ~root:(E.init ~n ~inputs, Array.make n None) ()
     in
-    loop ();
-    {
-      configs_visited = !visited_count;
-      terminal_configs = !terminal;
-      truncated = !truncated;
-      ic_violation = !ic_violation;
-      tc_violation = !tc_violation;
-      wt_violation = !wt_violation;
-      st_violation = !st_violation;
-      ht_violation = !ht_violation;
-      rule_violation = !rule_violation;
-      validity_violation = !validity_violation;
-      protocol_errors = Listx.dedup_sorted ~cmp:String.compare !protocol_errors;
-      states = List.map snd (State_map.bindings !states);
-    }
+    ( {
+        configs_visited = m.Patterns_search.Metrics.states_expanded;
+        terminal_configs = !terminal;
+        truncated = Patterns_search.Search.truncated outcome;
+        ic_violation = !ic_violation;
+        tc_violation = !tc_violation;
+        wt_violation = !wt_violation;
+        st_violation = !st_violation;
+        ht_violation = !ht_violation;
+        rule_violation = !rule_violation;
+        validity_violation = !validity_violation;
+        protocol_errors = Listx.dedup_sorted ~cmp:String.compare !protocol_errors;
+        states = List.map snd (State_map.bindings !states);
+      },
+      m )
 
   (* ----- deterministic merge of per-vector shards ----- *)
 
@@ -367,16 +365,19 @@ module Make (P : Protocol.S) = struct
       states = [];
     }
 
-  let explore ?options ~rule ~n () =
+  let explore ?metrics ?options ~rule ~n () =
     let options = match options with Some o -> o | None -> default_options ~n in
     let nvec = max 1 (List.length options.inputs_choices) in
     (* even split of the total node budget, so the sharded sweep does
        roughly the work of the old single-visited-set loop *)
     let budget = (options.max_configs + nvec - 1) / nvec in
-    Domain_pool.with_pool ~jobs:options.jobs (fun pool ->
-        Domain_pool.fold pool
-          ~f:(fun inputs -> explore_one_vector ~options ~budget ~rule ~n inputs)
-          ~merge:merge_reports ~init:empty_report options.inputs_choices)
+    let report, m =
+      Patterns_search.Search.shard ~jobs:options.jobs
+        ~f:(fun inputs -> explore_one_vector ~options ~budget ~rule ~n inputs)
+        ~merge:merge_reports ~init:empty_report options.inputs_choices
+    in
+    Patterns_search.Search.merge_into metrics m;
+    report
 
   let pp_report ppf r =
     let opt name = function

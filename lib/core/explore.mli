@@ -98,7 +98,16 @@ module Make (P : Protocol.S) : sig
   (** Whenever a processor has decided, every operational processor
       shares its bias — equivalent to all states being safe. *)
 
-  val explore : ?options:options -> rule:Patterns_protocols.Decision_rule.t -> n:int -> unit -> report
+  val explore :
+    ?metrics:Patterns_search.Metrics.t ref ->
+    ?options:options ->
+    rule:Patterns_protocols.Decision_rule.t ->
+    n:int ->
+    unit ->
+    report
+  (** The sweep is sharded per input vector on the search kernel; the
+      optional sink accumulates the kernel's counters
+      ({!Patterns_search.Search.merge_into}). *)
 
   val pp_report : Format.formatter -> report -> unit
 end

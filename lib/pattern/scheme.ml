@@ -1,5 +1,5 @@
 open Patterns_sim
-open Patterns_stdx
+open Patterns_search
 
 type stats = {
   configs_visited : int;
@@ -19,84 +19,95 @@ type realization =
 module Make (P : Protocol.S) = struct
   module E = Engine.Make (P)
 
-  module Config_tbl = Hashtbl.Make (struct
-    type t = E.config
+  (* One root per input vector; all bookkeeping (frontier, visited
+     set, budget, counters) lives in the kernel — this layer only
+     says how a configuration expands and what to collect at
+     terminals. *)
 
-    let equal a b = E.compare_config a b = 0
-    let hash = E.hash_config
-  end)
-
-  let patterns_for_inputs ?(max_configs = 1_000_000) ~n ~inputs () =
-    let visited = Config_tbl.create 1024 in
-    let visited_count = ref 0 in
+  let patterns_for_inputs_m ?(max_configs = 1_000_000) ~n ~inputs () =
     let patterns = ref Pattern.Set.empty in
     let terminal = ref 0 in
-    let truncated = ref false in
-    let stack = ref [ E.init ~n ~inputs ] in
-    let rec loop () =
-      match !stack with
-      | [] -> ()
-      | c :: rest ->
-        stack := rest;
-        if Config_tbl.mem visited c then loop ()
-        else if !visited_count >= max_configs then truncated := true
-        else begin
-          Config_tbl.add visited c ();
-          incr visited_count;
-          (match E.applicable c with
-          | [] ->
-            incr terminal;
-            patterns :=
-              Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns
-          | actions ->
-            List.iter
-              (fun a ->
-                let c', _ = E.apply_exn ~step:0 c a in
-                if not (Config_tbl.mem visited c') then stack := c' :: !stack)
-              actions);
-          loop ()
-        end
-    in
-    loop ();
-    ( !patterns,
-      {
-        configs_visited = !visited_count;
-        terminal_configs = !terminal;
-        truncated = !truncated;
-      } )
+    let module Pr = struct
+      type state = E.config
 
-  let realize ?(max_configs = 1_000_000) ~n ~inputs ~target () =
-    let visited = Config_tbl.create 1024 in
-    let visited_count = ref 0 in
-    let truncated = ref false in
+      let compare = E.compare_config
+      let hash = E.hash_config
+
+      let expand c =
+        match E.applicable c with
+        | [] ->
+          incr terminal;
+          patterns :=
+            Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns;
+          []
+        | actions ->
+          (* reversed: the historical stack discipline explores the
+             last applicable action first, and truncated counts are
+             pinned to that order by the jobs-invariance tests *)
+          List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) actions
+    end in
+    let module K = Search.Make (Pr) in
+    let outcome, m = K.run ~strategy:K.Dfs ~budget:max_configs ~root:(E.init ~n ~inputs) () in
+    ( ( !patterns,
+        {
+          configs_visited = m.Metrics.states_expanded;
+          terminal_configs = !terminal;
+          truncated = Search.truncated outcome;
+        } ),
+      m )
+
+  let patterns_for_inputs ?metrics ?max_configs ~n ~inputs () =
+    let result, m = patterns_for_inputs_m ?max_configs ~n ~inputs () in
+    Search.merge_into metrics m;
+    result
+
+  let realize ?metrics ?(max_configs = 1_000_000) ~n ~inputs ~target () =
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
       let here = Pattern.make (E.triples_of c) (E.pattern_edges c) in
       Pattern.is_prefix_consistent here target
     in
-    let exception Found of Action.t list in
-    let rec dfs c path =
-      if Config_tbl.mem visited c then ()
-      else if !visited_count >= max_configs then truncated := true
-      else begin
-        Config_tbl.add visited c ();
-        incr visited_count;
-        match E.applicable c with
-        | [] ->
-          if Pattern.equal (Pattern.make (E.triples_of c) (E.pattern_edges c)) target then
-            raise (Found (List.rev path))
-        | actions ->
-          List.iter
-            (fun a ->
-              let c', _ = E.apply_exn ~step:0 c a in
-              if (not (Config_tbl.mem visited c')) && prefix_ok c' then dfs c' (a :: path))
-            actions
-      end
+    let module Pr = struct
+      (* a configuration plus the reversed event path that reached it;
+         dedup ignores the path, exactly like the old recursive DFS *)
+      type state = E.config * Action.t list
+
+      let compare (a, _) (b, _) = E.compare_config a b
+      let hash (c, _) = E.hash_config c
+
+      (* [applicable] is needed by both the goal test and the
+         expansion of the same visit; cache the last answer, keyed by
+         physical identity of the state the kernel passes to both *)
+      let cache = ref None
+
+      let applicable ((c, _) as s) =
+        match !cache with
+        | Some (s0, acts) when s0 == s -> acts
+        | _ ->
+          let acts = E.applicable c in
+          cache := Some (s, acts);
+          acts
+
+      let expand ((c, path) as s) =
+        List.map (fun a -> (fst (E.apply_exn ~step:0 c a), a :: path)) (applicable s)
+    end in
+    let module K = Search.Make (Pr) in
+    let is_goal ((c, _) as s) =
+      Pr.applicable s = []
+      && Pattern.equal (Pattern.make (E.triples_of c) (E.pattern_edges c)) target
     in
-    match dfs (E.init ~n ~inputs) [] with
-    | () -> if !truncated then Truncated else Unrealizable
-    | exception Found path -> Realized path
+    let prune (c, _) = not (prefix_ok c) in
+    let outcome, m =
+      K.run ~strategy:K.Dfs ~budget:max_configs ~is_goal ~prune
+        ~root:(E.init ~n ~inputs, [])
+        ()
+    in
+    Search.merge_into metrics m;
+    match outcome with
+    | Search.Goal_found (_, path) -> Realized (List.rev path)
+    | Search.Exhausted -> Unrealizable
+    | Search.Truncated _ -> Truncated
 
   let merge_stats a b =
     {
@@ -109,14 +120,17 @@ module Make (P : Protocol.S) = struct
      is reachable from two different vectors: sharding the outer loop
      partitions the visited sets exactly, and the in-order merge below
      is bit-identical to the sequential fold. *)
-  let scheme ?max_configs ?(jobs = 1) ~n () =
-    Domain_pool.with_pool ~jobs (fun pool ->
-        Domain_pool.fold pool
-          ~f:(fun inputs -> patterns_for_inputs ?max_configs ~n ~inputs ())
-          ~merge:(fun (acc, st) (pats, st') -> (Pattern.Set.union acc pats, merge_stats st st'))
-          ~init:
-            (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
-          (Listx.all_bool_vectors n))
+  let scheme ?metrics ?max_configs ?(jobs = 1) ~n () =
+    let result, m =
+      Search.shard ~jobs
+        ~f:(fun inputs -> patterns_for_inputs_m ?max_configs ~n ~inputs ())
+        ~merge:(fun (acc, st) (pats, st') -> (Pattern.Set.union acc pats, merge_stats st st'))
+        ~init:
+          (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
+        (Patterns_stdx.Listx.all_bool_vectors n)
+    in
+    Search.merge_into metrics m;
+    result
 end
 
 let subscheme a b = Pattern.Set.subset a b

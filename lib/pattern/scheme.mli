@@ -32,19 +32,33 @@ module Make (P : Protocol.S) : sig
   module E : module type of Engine.Make (P)
 
   val patterns_for_inputs :
-    ?max_configs:int -> n:int -> inputs:bool list -> unit -> Pattern.Set.t * stats
+    ?metrics:Patterns_search.Metrics.t ref ->
+    ?max_configs:int ->
+    n:int ->
+    inputs:bool list ->
+    unit ->
+    Pattern.Set.t * stats
   (** All patterns of failure-free executions from the given initial
-      bits.  Default [max_configs] is 1_000_000. *)
+      bits.  Default [max_configs] is 1_000_000.  Every [?metrics]
+      sink in this module accumulates the kernel's counters
+      ({!Patterns_search.Search.merge_into}). *)
 
-  val scheme : ?max_configs:int -> ?jobs:int -> n:int -> unit -> Pattern.Set.t * stats
+  val scheme :
+    ?metrics:Patterns_search.Metrics.t ref ->
+    ?max_configs:int ->
+    ?jobs:int ->
+    n:int ->
+    unit ->
+    Pattern.Set.t * stats
   (** Union over all [2^n] input vectors: the scheme proper.  Stats
       are summed.  With [jobs > 1] (default 1) the input vectors are
-      explored on a {!Patterns_stdx.Domain_pool}; the result is
-      bit-identical to the sequential run, because input vectors
-      partition the configuration space and shards are merged in
-      vector order. *)
+      sharded per root by the search kernel on a
+      {!Patterns_stdx.Domain_pool}; the result is bit-identical to
+      the sequential run, because input vectors partition the
+      configuration space and shards are merged in vector order. *)
 
   val realize :
+    ?metrics:Patterns_search.Metrics.t ref ->
     ?max_configs:int ->
     n:int ->
     inputs:bool list ->

@@ -1,0 +1,113 @@
+type outcome_kind = Exhausted | Goal_found | Truncated
+
+let outcome_string = function
+  | Exhausted -> "exhausted"
+  | Goal_found -> "goal_found"
+  | Truncated -> "truncated"
+
+(* Goal_found dominates (the search answered affirmatively before any
+   budget question arose for the answer); otherwise a truncated shard
+   taints the whole sweep. *)
+let merge_outcome a b =
+  match (a, b) with
+  | Goal_found, _ | _, Goal_found -> Goal_found
+  | Truncated, _ | _, Truncated -> Truncated
+  | Exhausted, Exhausted -> Exhausted
+
+type shard = {
+  root : int;
+  states_expanded : int;
+  dedup_hits : int;
+  frontier_peak : int;
+  pruned : int;
+  seconds : float;
+}
+
+type t = {
+  outcome : outcome_kind;
+  states_expanded : int;
+  dedup_hits : int;
+  frontier_peak : int;  (* max over shards, not a concurrent peak *)
+  pruned : int;
+  budget_consumed : int;
+  roots : int;
+  truncated_roots : int;
+  shards : shard list;
+}
+
+let zero =
+  {
+    outcome = Exhausted;
+    states_expanded = 0;
+    dedup_hits = 0;
+    frontier_peak = 0;
+    pruned = 0;
+    budget_consumed = 0;
+    roots = 0;
+    truncated_roots = 0;
+    shards = [];
+  }
+
+let of_shard outcome (s : shard) =
+  {
+    outcome;
+    states_expanded = s.states_expanded;
+    dedup_hits = s.dedup_hits;
+    frontier_peak = s.frontier_peak;
+    pruned = s.pruned;
+    budget_consumed = s.states_expanded;
+    roots = 1;
+    truncated_roots = (if outcome = Truncated then 1 else 0);
+    shards = [ s ];
+  }
+
+let with_root_index i m =
+  { m with shards = List.map (fun s -> { s with root = i }) m.shards }
+
+let merge a b =
+  {
+    outcome = merge_outcome a.outcome b.outcome;
+    states_expanded = a.states_expanded + b.states_expanded;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    frontier_peak = max a.frontier_peak b.frontier_peak;
+    pruned = a.pruned + b.pruned;
+    budget_consumed = a.budget_consumed + b.budget_consumed;
+    roots = a.roots + b.roots;
+    truncated_roots = a.truncated_roots + b.truncated_roots;
+    shards = a.shards @ b.shards;
+  }
+
+(* Hand-rolled rendering, like the bench harness: no JSON dependency.
+   Key order is part of the schema and pinned by the cram test. *)
+let to_json ?(shards = true) m =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/1\",\n";
+  Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
+  Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
+  Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
+  Buffer.add_string b (Printf.sprintf "  \"frontier_peak\": %d,\n" m.frontier_peak);
+  Buffer.add_string b (Printf.sprintf "  \"pruned\": %d,\n" m.pruned);
+  Buffer.add_string b (Printf.sprintf "  \"budget_consumed\": %d,\n" m.budget_consumed);
+  Buffer.add_string b (Printf.sprintf "  \"roots\": %d,\n" m.roots);
+  Buffer.add_string b (Printf.sprintf "  \"truncated_roots\": %d" m.truncated_roots);
+  if shards then begin
+    Buffer.add_string b ",\n  \"shards\": [\n";
+    List.iteri
+      (fun i s ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "    { \"root\": %d, \"states_expanded\": %d, \"dedup_hits\": %d, \
+              \"frontier_peak\": %d, \"pruned\": %d, \"seconds\": %.6f }%s\n"
+             s.root s.states_expanded s.dedup_hits s.frontier_peak s.pruned s.seconds
+             (if i = List.length m.shards - 1 then "" else ",")))
+      m.shards;
+    Buffer.add_string b "  ]\n"
+  end
+  else Buffer.add_string b "\n";
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let pp ppf m =
+  Format.fprintf ppf "expanded=%d dedup=%d peak=%d outcome=%s" m.states_expanded m.dedup_hits
+    m.frontier_peak (outcome_string m.outcome)

@@ -1,0 +1,62 @@
+(** First-class observability for the search kernel.
+
+    Every search — scheme enumeration, exhaustive checking,
+    realization, randomized hunting, trace scanning — returns one of
+    these records alongside its answer, so the cost of an answer is a
+    machine-comparable quantity, not a wall-clock anecdote.  Counters
+    are deterministic for a fixed strategy and input (per-shard
+    [seconds] are the only wall-clock field); sums and maxima are
+    taken in root order, so merged metrics are identical for every
+    [--jobs] value. *)
+
+type outcome_kind = Exhausted | Goal_found | Truncated
+
+val outcome_string : outcome_kind -> string
+(** ["exhausted"], ["goal_found"] or ["truncated"] — the schema's
+    vocabulary. *)
+
+type shard = {
+  root : int;  (** index of the shard's root in submission order *)
+  states_expanded : int;  (** nodes visited (each consumes one budget unit) *)
+  dedup_hits : int;  (** frontier pops and pushes answered by the visited set *)
+  frontier_peak : int;  (** largest frontier during this shard's search *)
+  pruned : int;  (** successors discarded by the prune predicate *)
+  seconds : float;  (** wall-clock for this shard (the only nondeterministic field) *)
+}
+
+type t = {
+  outcome : outcome_kind;
+      (** [Goal_found] if any shard found a goal, else [Truncated] if
+          any shard hit its budget, else [Exhausted]. *)
+  states_expanded : int;
+  dedup_hits : int;
+  frontier_peak : int;  (** max over shards (not a concurrent peak) *)
+  pruned : int;
+  budget_consumed : int;  (** total budget units spent = states expanded *)
+  roots : int;
+  truncated_roots : int;
+  shards : shard list;  (** in root order *)
+}
+
+val zero : t
+(** The identity of {!merge}; also the [Exhausted] metrics of a search
+    with no roots. *)
+
+val of_shard : outcome_kind -> shard -> t
+
+val with_root_index : int -> t -> t
+(** Retag the shard entries with their position in a sharded sweep. *)
+
+val merge : t -> t -> t
+(** Counters are summed, [frontier_peak] maxed, outcomes joined
+    ([Goal_found] > [Truncated] > [Exhausted]), shard lists
+    concatenated.  Associative; merged left-to-right in root order by
+    the sharding driver. *)
+
+val to_json : ?shards:bool -> t -> string
+(** Schema ["patterns-search-metrics/1"].  Key order is stable and
+    pinned by the cram test; [?shards:false] omits the per-shard
+    array (whose [seconds] are nondeterministic). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: [expanded=… dedup=… peak=… outcome=…]. *)

@@ -1,0 +1,218 @@
+open Patterns_stdx
+
+type reason = Budget_exhausted of { budget : int; consumed : int }
+
+let reason_string (Budget_exhausted { budget; consumed }) =
+  Printf.sprintf "budget exhausted after %d of %d states" consumed budget
+
+type 'a outcome = Exhausted | Goal_found of 'a | Truncated of reason
+
+let outcome_kind = function
+  | Exhausted -> Metrics.Exhausted
+  | Goal_found _ -> Metrics.Goal_found
+  | Truncated _ -> Metrics.Truncated
+
+let truncated = function Truncated _ -> true | _ -> false
+
+let merge_into sink m = Option.iter (fun r -> r := Metrics.merge !r m) sink
+
+module type Problem = sig
+  type state
+
+  val compare : state -> state -> int
+  val hash : state -> int
+  val expand : state -> state list
+end
+
+module Make (P : Problem) = struct
+  type strategy = Bfs | Dfs | Priority of (P.state -> P.state -> int)
+
+  module Tbl = Hashtbl.Make (struct
+    type t = P.state
+
+    let equal a b = P.compare a b = 0
+    let hash = P.hash
+  end)
+
+  let run ?(strategy = Dfs) ?(budget = max_int) ?is_goal ?prune ~root () =
+    let visited = Tbl.create 1024 in
+    let expanded = ref 0 and dedup = ref 0 and pruned = ref 0 in
+    let size = ref 0 and peak = ref 0 in
+    let push_batch, pop =
+      match strategy with
+      | Dfs ->
+        (* successors are explored in the order [expand] returns them:
+           the head of the batch sits on top of the stack *)
+        let stack = ref [] in
+        ( (fun succs -> stack := succs @ !stack),
+          fun () ->
+            match !stack with
+            | [] -> None
+            | s :: tl ->
+              stack := tl;
+              Some s )
+      | Bfs ->
+        let q = Queue.create () in
+        ( (fun succs -> List.iter (fun s -> Queue.add s q) succs),
+          fun () -> Queue.take_opt q )
+      | Priority cmp ->
+        let pq = ref (Pqueue.empty ~cmp) in
+        ( (fun succs -> List.iter (fun s -> pq := Pqueue.push !pq s) succs),
+          fun () ->
+            match Pqueue.pop !pq with
+            | None -> None
+            | Some (s, rest) ->
+              pq := rest;
+              Some s )
+    in
+    let push_batch succs =
+      push_batch succs;
+      size := !size + List.length succs;
+      if !size > !peak then peak := !size
+    in
+    let goal = match is_goal with Some g -> g | None -> fun _ -> false in
+    (* visited is checked before prune: pruning is usually the
+       expensive predicate (pattern-prefix tests), membership the
+       cheap one *)
+    let keep s =
+      if Tbl.mem visited s then begin
+        incr dedup;
+        false
+      end
+      else
+        match prune with
+        | Some p when p s ->
+          incr pruned;
+          false
+        | _ -> true
+    in
+    let rec loop () =
+      match pop () with
+      | None -> Exhausted
+      | Some s ->
+        decr size;
+        if Tbl.mem visited s then begin
+          incr dedup;
+          loop ()
+        end
+        else if !expanded >= budget then
+          Truncated (Budget_exhausted { budget; consumed = !expanded })
+        else begin
+          Tbl.add visited s ();
+          incr expanded;
+          if goal s then Goal_found s
+          else begin
+            push_batch (List.filter keep (P.expand s));
+            loop ()
+          end
+        end
+    in
+    let t0 = Unix.gettimeofday () in
+    push_batch [ root ];
+    let outcome = loop () in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let shard =
+      {
+        Metrics.root = 0;
+        states_expanded = !expanded;
+        dedup_hits = !dedup;
+        frontier_peak = !peak;
+        pruned = !pruned;
+        seconds;
+      }
+    in
+    (outcome, Metrics.of_shard (outcome_kind outcome) shard)
+end
+
+(* ----- deterministic sharding per root ----- *)
+
+let shard ~jobs ~f ~merge ~init roots =
+  Domain_pool.with_pool ~jobs (fun pool ->
+      let results = Domain_pool.map pool f roots in
+      let (acc, metrics), _ =
+        List.fold_left
+          (fun ((acc, ms), i) (a, m) ->
+            ((merge acc a, Metrics.merge ms (Metrics.with_root_index i m)), i + 1))
+          ((init, Metrics.zero), 0)
+          results
+      in
+      (acc, metrics))
+
+(* ----- batched goal search over an index space ----- *)
+
+let find_first ?metrics ~jobs ?batch ~max_index ~f () =
+  Domain_pool.with_pool ~jobs (fun pool ->
+      let batch =
+        match batch with Some b -> max 1 b | None -> max 8 (Domain_pool.jobs pool * 4)
+      in
+      let tried = ref 0 and peak = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      let rec go next =
+        if next > max_index then Error max_index
+        else begin
+          let hi = min max_index (next + batch - 1) in
+          let indices = List.init (hi - next + 1) (fun i -> next + i) in
+          tried := !tried + List.length indices;
+          if List.length indices > !peak then peak := List.length indices;
+          (* the batch is scanned in index order, so the winner is the
+             smallest goal index no matter how workers interleave *)
+          match List.find_map Fun.id (Domain_pool.map pool f indices) with
+          | Some found -> Ok found
+          | None -> go (hi + 1)
+        end
+      in
+      let result = go 1 in
+      let seconds = Unix.gettimeofday () -. t0 in
+      let kind =
+        match result with Ok _ -> Metrics.Goal_found | Error _ -> Metrics.Truncated
+      in
+      let m =
+        Metrics.of_shard kind
+          {
+            Metrics.root = 0;
+            states_expanded = !tried;
+            dedup_hits = 0;
+            frontier_peak = !peak;
+            pruned = 0;
+            seconds;
+          }
+      in
+      merge_into metrics m;
+      result)
+
+(* ----- instrumented linear scans ----- *)
+
+module Scan = struct
+  (* The kernel specialised to a chain: position [i] expands to
+     [i + 1] and nothing is ever revisited, so the visited table is
+     skipped — but the scan reports the same Metrics as any other
+     search, with the first error as the goal. *)
+  let first_error ?metrics ~len ~check () =
+    let t0 = Unix.gettimeofday () in
+    let checked = ref 0 in
+    let rec go i =
+      if i >= len then Ok ()
+      else begin
+        incr checked;
+        match check i with Ok () -> go (i + 1) | Error _ as e -> e
+      end
+    in
+    let result = go 0 in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let kind =
+      match result with Ok () -> Metrics.Exhausted | Error _ -> Metrics.Goal_found
+    in
+    let m =
+      Metrics.of_shard kind
+        {
+          Metrics.root = 0;
+          states_expanded = !checked;
+          dedup_hits = 0;
+          frontier_peak = (if len > 0 then 1 else 0);
+          pruned = 0;
+          seconds;
+        }
+    in
+    merge_into metrics m;
+    result
+end

@@ -1,0 +1,127 @@
+(** The one instrumented search kernel.
+
+    Every result in this repository is, operationally, a state-space
+    search: scheme enumeration, the consistency/termination checks,
+    realization, and the randomized hunts.  This module owns the
+    frontier, the visited set, the budget, and the counters, once —
+    the call-sites supply a {!Problem} (state type, hashing, expansion)
+    and fold their observations into [expand] closures, which the
+    kernel invokes exactly once per visited state, in visitation
+    order.  What an answer means therefore never depends on a private
+    reimplementation of how executions were enumerated or truncated.
+
+    Determinism: for a fixed strategy, problem and budget, the
+    visitation order — and hence every counter except the wall-clock
+    [seconds] — is a pure function of the root.  The sharding driver
+    {!shard} merges per-root results in root order on a
+    {!Patterns_stdx.Domain_pool}, so sharded sweeps are bit-identical
+    for every [jobs] value. *)
+
+type reason = Budget_exhausted of { budget : int; consumed : int }
+
+val reason_string : reason -> string
+
+type 'a outcome =
+  | Exhausted  (** the reachable space was fully enumerated *)
+  | Goal_found of 'a  (** the first goal state, in visitation order *)
+  | Truncated of reason
+      (** the budget ran out with states still pending — the
+          generalization of the scheme layer's
+          [Realized]/[Unrealizable]/[Truncated] triad *)
+
+val outcome_kind : 'a outcome -> Metrics.outcome_kind
+val truncated : 'a outcome -> bool
+
+val merge_into : Metrics.t ref option -> Metrics.t -> unit
+(** [merge_into sink m]: accumulate [m] into an optional metrics sink
+    (the convention used by every [?metrics] parameter downstream). *)
+
+module type Problem = sig
+  type state
+
+  val compare : state -> state -> int
+  (** Total order; [compare a b = 0] is the dedup equality. *)
+
+  val hash : state -> int
+  (** Must agree with [compare]: equal states hash equally. *)
+
+  val expand : state -> state list
+  (** Successors, called exactly once per visited state, in
+      visitation order — call-sites hang their observations
+      (pattern collection, violation recording) on this closure.
+      Successors are explored in the returned order under {!Make.Dfs}
+      and {!Make.Bfs}. *)
+end
+
+module Make (P : Problem) : sig
+  type strategy =
+    | Bfs  (** FIFO frontier *)
+    | Dfs  (** LIFO frontier; preorder in [expand]'s order (default) *)
+    | Priority of (P.state -> P.state -> int)
+        (** least state first, via {!Patterns_stdx.Pqueue} *)
+
+  val run :
+    ?strategy:strategy ->
+    ?budget:int ->
+    ?is_goal:(P.state -> bool) ->
+    ?prune:(P.state -> bool) ->
+    root:P.state ->
+    unit ->
+    P.state outcome * Metrics.t
+  (** Search from [root].  Each visited state consumes one unit of
+      [budget] (default unlimited); when a state is popped with the
+      budget spent, the search stops with {!Truncated}.  [is_goal] is
+      tested at visit time, before expansion.  Successors for which
+      [prune] returns [true] are discarded (counted in
+      {!Metrics.t.pruned}); already-visited successors are discarded
+      too (counted in [dedup_hits]).  The root is neither pruned nor
+      goal-exempt. *)
+end
+
+val shard :
+  jobs:int ->
+  f:('root -> 'a * Metrics.t) ->
+  merge:('acc -> 'a -> 'acc) ->
+  init:'acc ->
+  'root list ->
+  'acc * Metrics.t
+(** Run one independent search per root on a
+    {!Patterns_stdx.Domain_pool} and merge both payloads and metrics
+    in root order — the deterministic sweep used by scheme
+    enumeration and exhaustive exploration, where roots (input
+    vectors) partition the state space. *)
+
+val find_first :
+  ?metrics:Metrics.t ref ->
+  jobs:int ->
+  ?batch:int ->
+  max_index:int ->
+  f:(int -> 'a option) ->
+  unit ->
+  ('a, int) result
+(** Batched goal search over the index space [1..max_index]: evaluate
+    [f] on batches of indices in parallel (default batch:
+    [max 8 (4 * jobs)]), scanning each batch in index order, so the
+    winner is the smallest goal index for every [jobs] value.
+    [Error max_index] means no goal within the budget — a truncated
+    search (absence is not proven), and the metrics outcome says so.
+    The expanded count is the number of indices evaluated, which may
+    exceed the winner's index by up to one batch (speculative
+    parallelism) and therefore varies with [jobs] when a goal is
+    found; all other fields and the result itself are
+    jobs-invariant. *)
+
+module Scan : sig
+  val first_error :
+    ?metrics:Metrics.t ref ->
+    len:int ->
+    check:(int -> (unit, 'e) result) ->
+    unit ->
+    (unit, 'e) result
+  (** The kernel specialised to a chain: visit positions
+      [0 .. len - 1] in order until [check] reports an error (the
+      goal) or the chain is exhausted.  A chain revisits nothing, so
+      the visited table is skipped, but the same {!Metrics} are
+      reported — this is what the trace-level checkers are built
+      on. *)
+end

@@ -102,7 +102,7 @@ let map t f xs =
       Array.init len (fun i () ->
           match f input.(i) with
           | r -> results.(i) <- Some r
-          | exception e -> errors.(i) <- Some e)
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
     in
     let b =
       { tasks; next = Atomic.make 0; completed = Atomic.make 0; id = t.epoch + 1 }
@@ -124,8 +124,11 @@ let map t f xs =
     done;
     t.batch <- None;
     Mutex.unlock t.mutex;
-    (* deterministic error propagation: first failing index wins *)
-    Array.iter (function Some e -> raise e | None -> ()) errors;
+    (* deterministic error propagation: first failing index wins, with
+       the worker's backtrace reattached *)
+    Array.iter
+      (function Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
     Array.to_list (Array.map Option.get results)
 
 let fold t ~f ~merge ~init xs = List.fold_left merge init (map t f xs)

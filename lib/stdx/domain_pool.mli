@@ -34,9 +34,13 @@ val default_jobs : unit -> int
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map pool f xs]: apply [f] to every element, distributing
     elements over the workers; results are returned in input order.
-    The first exception raised by any [f] (in input order) is
-    re-raised after the batch drains.  Nested calls on the same pool
-    are not supported; calls from the pool-owning domain are. *)
+    [map pool f [] = []] without touching the workers, and a
+    single-element or [jobs = 1] map runs entirely on the calling
+    domain.  The first exception raised by any [f] (in input order) is
+    re-raised after the batch drains, with the raising worker's
+    backtrace reattached; the pool survives and can run further
+    batches.  Nested calls on the same pool are not supported; calls
+    from the pool-owning domain are. *)
 
 val fold : t -> f:('a -> 'b) -> merge:('acc -> 'b -> 'acc) -> init:'acc -> 'a list -> 'acc
 (** [fold pool ~f ~merge ~init xs]: parallel [f], then a sequential

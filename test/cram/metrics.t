@@ -1,0 +1,51 @@
+The search kernel's metrics are machine-readable and schema-stable.
+Per-shard wall-clock seconds are the only nondeterministic field;
+everything else is pinned, key order included:
+
+  $ patterns-cli scheme fig3-chain -n 3 --metrics-json - \
+  >   | sed -n '/^{$/,/^}$/p' | sed 's/"seconds": [0-9.]*/"seconds": _/'
+  {
+    "schema": "patterns-search-metrics/1",
+    "outcome": "exhausted",
+    "states_expanded": 104,
+    "dedup_hits": 32,
+    "frontier_peak": 4,
+    "pruned": 0,
+    "budget_consumed": 104,
+    "roots": 8,
+    "truncated_roots": 0,
+    "shards": [
+      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
+      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ }
+    ]
+  }
+
+The counters are identical for every --jobs value (--metrics-json FILE
+writes the same document to a file):
+
+  $ patterns-cli scheme fig3-chain -n 3 --metrics-json m1.json > /dev/null
+  $ patterns-cli scheme fig3-chain -n 3 --jobs 4 --metrics-json m4.json > /dev/null
+  $ sed 's/"seconds": [0-9.]*/"seconds": _/' m1.json > m1.norm
+  $ sed 's/"seconds": [0-9.]*/"seconds": _/' m4.json > m4.norm
+  $ cmp m1.norm m4.norm && echo jobs-invariant
+  jobs-invariant
+
+A hunt that exhausts its run budget is a truncated search, not a proof
+of absence -- exit code 2, outcome "truncated":
+
+  $ patterns-cli hunt fig3-chain -n 3 --runs 16 --metrics-json hunt.json
+  no violation found in 16 runs (search truncated: run budget exhausted; raise --runs)
+  [2]
+  $ sed -n '/"outcome"/p' hunt.json
+    "outcome": "truncated",
+
+An exhaustive classification cut short by its budget exits 2 as well:
+
+  $ patterns-cli check fig3-chain -n 3 --max-configs 50 > /dev/null
+  [2]

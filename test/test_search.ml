@@ -1,0 +1,210 @@
+(* Unit tests for the instrumented search kernel: strategies, budget
+   truncation, goals, pruning, dedup accounting, deterministic
+   sharding, batched goal search and the chain scan. *)
+
+open Patterns_search
+
+let check = Alcotest.check
+
+(* A tiny synthetic graph on ints: successors of [x] are given by a
+   table, so tests control branching, sharing and depth exactly. *)
+module Graph (G : sig
+  val succs : int -> int list
+end) =
+struct
+  include Search.Make (struct
+    type state = int
+
+    let compare = Int.compare
+    let hash = Hashtbl.hash
+    let expand = G.succs
+  end)
+end
+
+(* a diamond with a tail: 0 -> {1, 2}, 1 -> 3, 2 -> 3, 3 -> 4 *)
+module Diamond = Graph (struct
+  let succs = function
+    | 0 -> [ 1; 2 ]
+    | 1 -> [ 3 ]
+    | 2 -> [ 3 ]
+    | 3 -> [ 4 ]
+    | _ -> []
+end)
+
+let record_order strategy =
+  let seen = ref [] in
+  let module G = Graph (struct
+    let succs x =
+      seen := x :: !seen;
+      match x with 0 -> [ 1; 2 ] | 1 -> [ 3; 4 ] | 2 -> [ 5; 6 ] | _ -> []
+  end) in
+  let outcome, _ = G.run ~strategy:(match strategy with `Bfs -> G.Bfs | `Dfs -> G.Dfs) ~root:0 () in
+  (match outcome with Search.Exhausted -> () | _ -> Alcotest.fail "expected exhausted");
+  List.rev !seen
+
+let test_dfs_order () =
+  (* DFS is preorder in expand's order *)
+  check (Alcotest.list Alcotest.int) "dfs preorder" [ 0; 1; 3; 4; 2; 5; 6 ] (record_order `Dfs)
+
+let test_bfs_order () =
+  check (Alcotest.list Alcotest.int) "bfs levels" [ 0; 1; 2; 3; 4; 5; 6 ] (record_order `Bfs)
+
+let test_priority_order () =
+  let seen = ref [] in
+  let module G = Graph (struct
+    let succs x =
+      seen := x :: !seen;
+      match x with 0 -> [ 9; 2; 7 ] | _ -> []
+  end) in
+  let _ = G.run ~strategy:(G.Priority Int.compare) ~root:0 () in
+  check (Alcotest.list Alcotest.int) "least state first" [ 0; 2; 7; 9 ] (List.rev !seen)
+
+let test_dedup_hits () =
+  let outcome, m = Diamond.run ~root:0 () in
+  (match outcome with Search.Exhausted -> () | _ -> Alcotest.fail "expected exhausted");
+  check Alcotest.int "expanded each node once" 5 m.Metrics.states_expanded;
+  (* node 3 is reachable twice: one of the pushes is answered by the
+     visited set *)
+  check Alcotest.int "one dedup hit" 1 m.Metrics.dedup_hits;
+  check Alcotest.int "budget consumed = expanded" m.Metrics.states_expanded
+    m.Metrics.budget_consumed
+
+let test_goal_stops () =
+  let expanded_after_goal = ref false in
+  let module G = Graph (struct
+    let succs x =
+      if x = 3 then expanded_after_goal := true;
+      match x with 0 -> [ 1 ] | 1 -> [ 2 ] | 2 -> [ 3 ] | _ -> []
+  end) in
+  let outcome, m = G.run ~is_goal:(fun x -> x = 3) ~root:0 () in
+  (match outcome with
+  | Search.Goal_found 3 -> ()
+  | _ -> Alcotest.fail "expected Goal_found 3");
+  Alcotest.(check bool) "goal tested before expansion" false !expanded_after_goal;
+  check Alcotest.int "goal counted as visited" 4 m.Metrics.states_expanded;
+  Alcotest.(check string) "outcome kind" "goal_found"
+    (Metrics.outcome_string m.Metrics.outcome)
+
+let test_budget_truncates () =
+  let module G = Graph (struct
+    let succs x = [ (2 * x) + 1; (2 * x) + 2 ] (* infinite binary tree *)
+  end) in
+  let outcome, m = G.run ~budget:10 ~root:0 () in
+  (match outcome with
+  | Search.Truncated (Search.Budget_exhausted { budget = 10; consumed = 10 }) -> ()
+  | _ -> Alcotest.fail "expected Truncated at 10");
+  check Alcotest.int "expanded = budget" 10 m.Metrics.states_expanded;
+  check Alcotest.int "truncated root counted" 1 m.Metrics.truncated_roots;
+  Alcotest.(check bool) "truncated predicate" true (Search.truncated outcome)
+
+let test_prune () =
+  let module G = Graph (struct
+    let succs x = if x >= 4 then [] else [ x + 1; x + 10 ]
+  end) in
+  let outcome, m = G.run ~prune:(fun x -> x >= 10) ~root:0 () in
+  (match outcome with Search.Exhausted -> () | _ -> Alcotest.fail "expected exhausted");
+  (* visits 0..4; the four reachable x+10 successors are pruned *)
+  check Alcotest.int "expanded" 5 m.Metrics.states_expanded;
+  check Alcotest.int "pruned" 4 m.Metrics.pruned
+
+let test_shard_deterministic () =
+  let search root =
+    let module G = Graph (struct
+      let succs x = if x >= root + 3 then [] else [ x + 1 ]
+    end) in
+    let outcome, m = G.run ~root () in
+    ignore outcome;
+    ([ (root, m.Metrics.states_expanded) ], m)
+  in
+  let run jobs =
+    Search.shard ~jobs ~f:search ~merge:(fun acc r -> acc @ r) ~init:[] [ 10; 20; 30 ]
+  in
+  let r1, m1 = run 1 and r4, m4 = run 4 in
+  check
+    Alcotest.(list (pair int int))
+    "payload merged in root order" [ (10, 4); (20, 4); (30, 4) ]
+    r1;
+  Alcotest.(check bool) "payload jobs-invariant" true (r1 = r4);
+  check Alcotest.int "roots" 3 m1.Metrics.roots;
+  check Alcotest.int "expanded summed" 12 m1.Metrics.states_expanded;
+  check Alcotest.int "expanded jobs-invariant" m1.Metrics.states_expanded
+    m4.Metrics.states_expanded;
+  (* shard entries are retagged with their root index, in order *)
+  check
+    (Alcotest.list Alcotest.int)
+    "shard tags" [ 0; 1; 2 ]
+    (List.map (fun s -> s.Metrics.root) m1.Metrics.shards)
+
+let test_find_first_smallest () =
+  let f i = if i mod 7 = 0 then Some i else None in
+  List.iter
+    (fun jobs ->
+      match Search.find_first ~jobs ~max_index:100 ~f () with
+      | Ok 7 -> ()
+      | Ok k -> Alcotest.failf "jobs=%d found %d, wanted 7" jobs k
+      | Error _ -> Alcotest.failf "jobs=%d found nothing" jobs)
+    [ 1; 2; 4 ];
+  let metrics = ref Metrics.zero in
+  (match Search.find_first ~metrics ~jobs:4 ~max_index:50 ~f:(fun _ -> None) () with
+  | Error 50 -> ()
+  | _ -> Alcotest.fail "expected Error 50");
+  check Alcotest.int "all indices evaluated" 50 !metrics.Metrics.states_expanded;
+  Alcotest.(check string) "no goal is a truncated search" "truncated"
+    (Metrics.outcome_string !metrics.Metrics.outcome)
+
+let test_scan () =
+  let metrics = ref Metrics.zero in
+  (match
+     Search.Scan.first_error ~metrics ~len:10
+       ~check:(fun i -> if i = 6 then Error i else Ok ())
+       ()
+   with
+  | Error 6 -> ()
+  | _ -> Alcotest.fail "expected Error 6");
+  check Alcotest.int "stops at the error" 7 !metrics.Metrics.states_expanded;
+  let m2 = ref Metrics.zero in
+  (match Search.Scan.first_error ~metrics:m2 ~len:5 ~check:(fun _ -> Ok ()) () with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "expected Ok");
+  Alcotest.(check string) "clean scan is exhausted" "exhausted"
+    (Metrics.outcome_string !m2.Metrics.outcome)
+
+let test_metrics_merge_and_json () =
+  let _, m1 = Diamond.run ~root:0 () in
+  let m = Metrics.merge (Metrics.merge Metrics.zero m1) m1 in
+  check Alcotest.int "merge sums" (2 * m1.Metrics.states_expanded) m.Metrics.states_expanded;
+  check Alcotest.int "merge maxes peaks" m1.Metrics.frontier_peak m.Metrics.frontier_peak;
+  let json = Metrics.to_json ~shards:false m in
+  List.iter
+    (fun key ->
+      let needle = Printf.sprintf "\"%s\":" key in
+      let found =
+        let ls = String.length json and ln = String.length needle in
+        let rec go i = i + ln <= ls && (String.sub json i ln = needle || go (i + 1)) in
+        go 0
+      in
+      if not found then Alcotest.failf "missing %s in %s" key json)
+    [ "schema"; "outcome"; "states_expanded"; "dedup_hits"; "frontier_peak"; "pruned";
+      "budget_consumed"; "roots"; "truncated_roots" ]
+
+let () =
+  Alcotest.run "search"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "dfs order" `Quick test_dfs_order;
+          Alcotest.test_case "bfs order" `Quick test_bfs_order;
+          Alcotest.test_case "priority order" `Quick test_priority_order;
+          Alcotest.test_case "dedup hits" `Quick test_dedup_hits;
+          Alcotest.test_case "goal stops" `Quick test_goal_stops;
+          Alcotest.test_case "budget truncates" `Quick test_budget_truncates;
+          Alcotest.test_case "prune" `Quick test_prune;
+        ] );
+      ( "drivers",
+        [
+          Alcotest.test_case "shard deterministic" `Quick test_shard_deterministic;
+          Alcotest.test_case "find_first smallest" `Quick test_find_first_smallest;
+          Alcotest.test_case "scan" `Quick test_scan;
+          Alcotest.test_case "metrics merge and json" `Quick test_metrics_merge_and_json;
+        ] );
+    ]

@@ -139,6 +139,58 @@ let qcheck_tests =
       (fun (n, l) -> Listx.take n l @ Listx.drop n l = l);
   ]
 
+(* ----- Domain_pool ----- *)
+
+let test_pool_empty_and_singleton () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      check (Alcotest.list Alcotest.int) "empty input" [] (Domain_pool.map pool succ []);
+      check (Alcotest.list Alcotest.int) "singleton inline" [ 8 ]
+        (Domain_pool.map pool (fun x -> x * 2) [ 4 ]))
+
+let test_pool_jobs1_inline () =
+  (* jobs=1 spawns no domains: every task runs on the calling domain *)
+  Domain_pool.with_pool ~jobs:1 (fun pool ->
+      let self = Domain.self () in
+      let rans =
+        Domain_pool.map pool (fun _ -> Domain.self () = self) (Listx.range 0 10)
+      in
+      Alcotest.(check bool) "all on calling domain" true (List.for_all Fun.id rans))
+
+let test_pool_exception_then_reuse () =
+  Domain_pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.check_raises "first failing index wins" (Failure "boom 3") (fun () ->
+          ignore
+            (Domain_pool.map pool
+               (fun i -> if i >= 3 then failwith (Printf.sprintf "boom %d" i) else i)
+               (Listx.range 0 16)));
+      (* the pool survives a failed batch *)
+      check (Alcotest.list Alcotest.int) "reusable after failure" [ 0; 2; 4; 6 ]
+        (Domain_pool.map pool (fun x -> 2 * x) (Listx.range 0 4)))
+
+let test_pool_shutdown_rejects () =
+  let pool = Domain_pool.create ~jobs:2 in
+  Domain_pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Domain_pool.map: pool is shut down") (fun () ->
+      ignore (Domain_pool.map pool succ [ 1; 2; 3 ]))
+
+let pool_qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~count:50 ~name:"pool map = List.map"
+      Gen.(pair (int_range 1 6) (list small_int))
+      (fun (jobs, l) ->
+        Domain_pool.with_pool ~jobs (fun pool ->
+            Domain_pool.map pool (fun x -> (x * 7) mod 13) l
+            = List.map (fun x -> (x * 7) mod 13) l));
+    Test.make ~count:50 ~name:"pool fold = left fold (non-commutative merge)"
+      Gen.(pair (int_range 1 6) (list (string_size ~gen:printable (int_bound 4))))
+      (fun (jobs, l) ->
+        Domain_pool.with_pool ~jobs (fun pool ->
+            Domain_pool.fold pool ~f:String.uppercase_ascii ~merge:( ^ ) ~init:"" l
+            = List.fold_left (fun acc s -> acc ^ String.uppercase_ascii s) "" l));
+  ]
+
 (* ----- Listx ----- *)
 
 let test_range () =
@@ -244,6 +296,13 @@ let () =
           Alcotest.test_case "empty" `Quick test_pqueue_empty;
           Alcotest.test_case "size and mem" `Quick test_pqueue_size_and_mem;
         ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "empty and singleton" `Quick test_pool_empty_and_singleton;
+          Alcotest.test_case "jobs=1 inline" `Quick test_pool_jobs1_inline;
+          Alcotest.test_case "exception then reuse" `Quick test_pool_exception_then_reuse;
+          Alcotest.test_case "shutdown rejects" `Quick test_pool_shutdown_rejects;
+        ] );
       ( "listx",
         [
           Alcotest.test_case "range" `Quick test_range;
@@ -267,4 +326,5 @@ let () =
           Alcotest.test_case "table mismatch" `Quick test_table_width_mismatch;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("pool properties", List.map QCheck_alcotest.to_alcotest pool_qcheck_tests);
     ]
