@@ -454,7 +454,7 @@ let emit_json ~path =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/1\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/2\",\n");
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain_pool.default_jobs ()));
@@ -482,9 +482,11 @@ let emit_json ~path =
         let open Patterns_search.Metrics in
         Printf.sprintf
           "\"kernel\": { \"outcome\": \"%s\", \"states_expanded\": %d, \"dedup_hits\": %d, \
-           \"frontier_peak\": %d, \"pruned\": %d }"
+           \"frontier_peak\": %d, \"pruned\": %d, \"fingerprint_probes\": %d, \
+           \"collision_fallbacks\": %d, \"intern_bindings\": %d }"
           (outcome_string metrics.outcome)
           metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
+          metrics.fingerprint_probes metrics.collision_fallbacks metrics.intern_bindings
       in
       Buffer.add_string b
         (Printf.sprintf
@@ -501,20 +503,164 @@ let emit_json ~path =
   Format.printf "wrote %s (%d bechamel estimates, %d sweep timings)@." path (List.length bech)
     (List.length sweeps)
 
+(* ----- baseline drift check (--check) ----- *)
+
+(* The emitted JSON keeps each sweep row on one line, so the baseline
+   can be re-read with line-based field extraction — no JSON library
+   in the container, and none needed. *)
+
+let rec find_sub s needle i =
+  let ls = String.length s and ln = String.length needle in
+  if i + ln > ls then None
+  else if String.sub s i ln = needle then Some i
+  else find_sub s needle (i + 1)
+
+let str_field line key =
+  let needle = Printf.sprintf "\"%s\": \"" key in
+  match find_sub line needle 0 with
+  | None -> None
+  | Some i -> (
+    let start = i + String.length needle in
+    match String.index_from_opt line start '"' with
+    | None -> None
+    | Some stop -> Some (String.sub line start (stop - start)))
+
+let num_field line key =
+  let needle = Printf.sprintf "\"%s\": " key in
+  match find_sub line needle 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length needle in
+    let stop = ref start in
+    let ls = String.length line in
+    while
+      !stop < ls
+      && (match line.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    if !stop = start then None else float_of_string_opt (String.sub line start (!stop - start))
+
+type baseline_row = { b_name : string; b_jobs : int; b_seconds : float; b_line : string }
+
+let read_baseline path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  let rows =
+    List.filter_map
+      (fun l ->
+        match (str_field l "name", num_field l "jobs", num_field l "seconds") with
+        | Some name, Some j, Some s ->
+          Some { b_name = name; b_jobs = int_of_float j; b_seconds = s; b_line = l }
+        | _ -> None)
+      lines
+  in
+  (* the sweep configuration is part of the baseline: re-run with the
+     flags it was generated under, whatever the command line says *)
+  let top_jobs =
+    List.find_map
+      (fun l -> if str_field l "name" = None then num_field l "jobs" else None)
+      lines
+  in
+  let top_quick = List.exists (fun l -> find_sub l "\"quick\": true" 0 <> None) lines in
+  (rows, top_jobs, top_quick)
+
+let check_against ~baseline =
+  let rows, top_jobs, top_quick = read_baseline baseline in
+  if rows = [] then begin
+    Format.eprintf "bench --check: no sweep rows in %s@." baseline;
+    exit 1
+  end;
+  (match top_jobs with Some j -> jobs := int_of_float j | None -> ());
+  quick := top_quick;
+  Format.printf "bench --check: %d baseline rows from %s (jobs=%d quick=%b)@."
+    (List.length rows) baseline !jobs !quick;
+  let sweeps = sweep_timings () in
+  let failures = ref 0 in
+  let drift fmt =
+    Format.kasprintf
+      (fun msg ->
+        incr failures;
+        Format.printf "  DRIFT %s@." msg)
+      fmt
+  in
+  List.iter
+    (fun row ->
+      match
+        List.find_opt (fun (n, j, _, _, _) -> n = row.b_name && j = row.b_jobs) sweeps
+      with
+      | None -> drift "%s (jobs=%d): row missing from current run" row.b_name row.b_jobs
+      | Some (_, _, _, _, m) ->
+        let open Patterns_search.Metrics in
+        let expect key now =
+          (* a key absent from the baseline row (older schema) is not
+             checked — the baseline can only pin what it recorded *)
+          match num_field row.b_line key with
+          | Some want when int_of_float want <> now ->
+            drift "%s (jobs=%d): %s = %d, baseline %d" row.b_name row.b_jobs key now
+              (int_of_float want)
+          | _ -> ()
+        in
+        (match str_field row.b_line "outcome" with
+        | Some want when want <> outcome_string m.outcome ->
+          drift "%s (jobs=%d): outcome = %s, baseline %s" row.b_name row.b_jobs
+            (outcome_string m.outcome) want
+        | _ -> ());
+        (* a hunt that finds nothing evaluates a jobs-dependent number
+           of speculative batches on machines with different default
+           pools; every other row's expanded count is exact *)
+        if find_sub row.b_name "hunt" 0 = None then expect "states_expanded" m.states_expanded;
+        expect "dedup_hits" m.dedup_hits;
+        expect "frontier_peak" m.frontier_peak;
+        expect "pruned" m.pruned;
+        if find_sub row.b_name "hunt" 0 = None then
+          expect "fingerprint_probes" m.fingerprint_probes;
+        expect "collision_fallbacks" m.collision_fallbacks;
+        expect "intern_bindings" m.intern_bindings)
+    rows;
+  let total l = List.fold_left ( +. ) 0.0 l in
+  let base_secs = total (List.map (fun r -> r.b_seconds) rows) in
+  let now_secs = total (List.map (fun (_, _, s, _, _) -> s) sweeps) in
+  let ratio = if base_secs > 0.0 then now_secs /. base_secs else 1.0 in
+  Format.printf "wall-clock: %.3fs vs baseline %.3fs (%.2fx)@." now_secs base_secs ratio;
+  if ratio > 1.25 then begin
+    incr failures;
+    Format.printf "  DRIFT wall-clock regression beyond 25%% of baseline@."
+  end;
+  if !failures = 0 then begin
+    Format.printf "bench --check: OK (counters identical, wall-clock within budget)@.";
+    exit 0
+  end
+  else begin
+    Format.printf "bench --check: %d drift(s)@." !failures;
+    exit 1
+  end
+
 (* ----- entry point ----- *)
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs J] [--json] [--quick] [--out PATH]\n\
-    \  --jobs J   worker domains for the parallel sweeps (0 = all cores)\n\
-    \  --json     emit machine-readable timings to BENCH_patterns.json and exit\n\
-    \  --quick    smaller quotas and sweeps (CI smoke)\n\
-    \  --out P    destination for --json (default BENCH_patterns.json)";
+    "usage: main.exe [--jobs J] [--json] [--quick] [--out PATH] [--check] [--baseline PATH]\n\
+    \  --jobs J     worker domains for the parallel sweeps (0 = all cores)\n\
+    \  --json       emit machine-readable timings to BENCH_patterns.json and exit\n\
+    \  --quick      smaller quotas and sweeps (CI smoke)\n\
+    \  --out P      destination for --json (default BENCH_patterns.json)\n\
+    \  --check      re-run the sweeps and compare kernel counters and wall-clock\n\
+    \               against the committed baseline; exit 1 on drift\n\
+    \  --baseline P baseline for --check (default BENCH_patterns.json)";
   exit 2
 
 let () =
   let json = ref false in
+  let check = ref false in
   let out = ref "BENCH_patterns.json" in
+  let baseline = ref "BENCH_patterns.json" in
   let rec parse = function
     | [] -> ()
     | ("-j" | "--jobs") :: v :: rest -> (
@@ -528,11 +674,18 @@ let () =
     | "--out" :: path :: rest ->
       out := path;
       parse rest
+    | "--check" :: rest ->
+      check := true;
+      parse rest
+    | "--baseline" :: path :: rest ->
+      baseline := path;
+      parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   if !jobs <= 0 then jobs := Domain_pool.default_jobs ();
-  if !json then emit_json ~path:!out
+  if !check then check_against ~baseline:!baseline
+  else if !json then emit_json ~path:!out
   else begin
     Format.printf "Patterns of Communication in Consensus Protocols (Dwork & Skeen, PODC 1984)@.";
     Format.printf "Reproduction harness — every figure, the classification table, Theorem 7,@.";

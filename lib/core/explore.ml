@@ -258,7 +258,16 @@ module Make (P : Protocol.S) = struct
         let c = E.compare_behavioral c1 c2 in
         if c <> 0 then c else Stdlib.compare d1 d2
 
-      let hash (c, d) = (E.hash_behavioral c * 31) + Hashtbl.hash d
+      (* behavioural fingerprint of the configuration, extended with an
+         explicit full fold over the decision array — [Hashtbl.hash]
+         samples only a bounded prefix of arrays and would alias nodes
+         at larger [n] *)
+      let fingerprint (c, d) =
+        Array.fold_left
+          (fun h cell ->
+            Fingerprint.feed h
+              (match cell with None -> 0 | Some Decision.Commit -> 1 | Some Decision.Abort -> 2))
+          (E.behavioral_fingerprint c) d
 
       let expand (config, decided) =
         observe_config config decided;
@@ -283,9 +292,9 @@ module Make (P : Protocol.S) = struct
         List.rev succs
     end in
     let module K = Patterns_search.Search.Make (Node) in
-    let outcome, m =
-      K.run ~strategy:K.Dfs ~budget ~root:(E.init ~n ~inputs, Array.make n None) ()
-    in
+    let root_config = E.init ~n ~inputs in
+    let outcome, m = K.run ~strategy:K.Dfs ~budget ~root:(root_config, Array.make n None) () in
+    let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     ( {
         configs_visited = m.Patterns_search.Metrics.states_expanded;
         terminal_configs = !terminal;

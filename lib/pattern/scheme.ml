@@ -27,18 +27,30 @@ module Make (P : Protocol.S) = struct
   let patterns_for_inputs_m ?(max_configs = 1_000_000) ~n ~inputs () =
     let patterns = ref Pattern.Set.empty in
     let terminal = ref 0 in
+    (* terminal-pattern cache: distinct terminal configurations mostly
+       repeat a handful of patterns, and extraction ([Pattern.make])
+       is far more expensive than a fingerprint probe.  Keyed by
+       [E.pattern_fp]; a hit is only trusted when [E.same_pattern_rep]
+       confirms it on the interned representation, so a fingerprint
+       collision merely costs one redundant extraction. *)
+    let seen_pats : (int, E.config list) Hashtbl.t = Hashtbl.create 64 in
     let module Pr = struct
       type state = E.config
 
       let compare = E.compare_config
-      let hash = E.hash_config
+      let fingerprint = E.fingerprint
 
       let expand c =
         match E.applicable c with
         | [] ->
           incr terminal;
-          patterns :=
-            Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns;
+          let key = Patterns_stdx.Fingerprint.to_int (E.pattern_fp c) in
+          let bucket = Option.value (Hashtbl.find_opt seen_pats key) ~default:[] in
+          if not (List.exists (E.same_pattern_rep c) bucket) then begin
+            Hashtbl.replace seen_pats key (c :: bucket);
+            patterns :=
+              Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns
+          end;
           []
         | actions ->
           (* reversed: the historical stack discipline explores the
@@ -47,7 +59,9 @@ module Make (P : Protocol.S) = struct
           List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) actions
     end in
     let module K = Search.Make (Pr) in
-    let outcome, m = K.run ~strategy:K.Dfs ~budget:max_configs ~root:(E.init ~n ~inputs) () in
+    let root = E.init ~n ~inputs in
+    let outcome, m = K.run ~strategy:K.Dfs ~budget:max_configs ~root () in
+    let m = Metrics.with_intern_bindings (E.intern_bindings root) m in
     ( ( !patterns,
         {
           configs_visited = m.Metrics.states_expanded;
@@ -74,7 +88,7 @@ module Make (P : Protocol.S) = struct
       type state = E.config * Action.t list
 
       let compare (a, _) (b, _) = E.compare_config a b
-      let hash (c, _) = E.hash_config c
+      let fingerprint (c, _) = E.fingerprint c
 
       (* [applicable] is needed by both the goal test and the
          expansion of the same visit; cache the last answer, keyed by
@@ -98,11 +112,11 @@ module Make (P : Protocol.S) = struct
       && Pattern.equal (Pattern.make (E.triples_of c) (E.pattern_edges c)) target
     in
     let prune (c, _) = not (prefix_ok c) in
+    let root_config = E.init ~n ~inputs in
     let outcome, m =
-      K.run ~strategy:K.Dfs ~budget:max_configs ~is_goal ~prune
-        ~root:(E.init ~n ~inputs, [])
-        ()
+      K.run ~strategy:K.Dfs ~budget:max_configs ~is_goal ~prune ~root:(root_config, []) ()
     in
+    let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     Search.merge_into metrics m;
     match outcome with
     | Search.Goal_found (_, path) -> Realized (List.rev path)

@@ -20,6 +20,9 @@ type shard = {
   dedup_hits : int;
   frontier_peak : int;
   pruned : int;
+  fingerprint_probes : int;
+  collision_fallbacks : int;
+  intern_bindings : int;
   seconds : float;
 }
 
@@ -29,6 +32,9 @@ type t = {
   dedup_hits : int;
   frontier_peak : int;  (* max over shards, not a concurrent peak *)
   pruned : int;
+  fingerprint_probes : int;
+  collision_fallbacks : int;
+  intern_bindings : int;
   budget_consumed : int;
   roots : int;
   truncated_roots : int;
@@ -42,6 +48,9 @@ let zero =
     dedup_hits = 0;
     frontier_peak = 0;
     pruned = 0;
+    fingerprint_probes = 0;
+    collision_fallbacks = 0;
+    intern_bindings = 0;
     budget_consumed = 0;
     roots = 0;
     truncated_roots = 0;
@@ -55,6 +64,9 @@ let of_shard outcome (s : shard) =
     dedup_hits = s.dedup_hits;
     frontier_peak = s.frontier_peak;
     pruned = s.pruned;
+    fingerprint_probes = s.fingerprint_probes;
+    collision_fallbacks = s.collision_fallbacks;
+    intern_bindings = s.intern_bindings;
     budget_consumed = s.states_expanded;
     roots = 1;
     truncated_roots = (if outcome = Truncated then 1 else 0);
@@ -64,6 +76,15 @@ let of_shard outcome (s : shard) =
 let with_root_index i m =
   { m with shards = List.map (fun s -> { s with root = i }) m.shards }
 
+(* The kernel cannot see the client's intern tables, so single-shard
+   metrics are retagged after the run; sums stay in root order. *)
+let with_intern_bindings n m =
+  {
+    m with
+    intern_bindings = n;
+    shards = List.map (fun (s : shard) -> { s with intern_bindings = n }) m.shards;
+  }
+
 let merge a b =
   {
     outcome = merge_outcome a.outcome b.outcome;
@@ -71,6 +92,9 @@ let merge a b =
     dedup_hits = a.dedup_hits + b.dedup_hits;
     frontier_peak = max a.frontier_peak b.frontier_peak;
     pruned = a.pruned + b.pruned;
+    fingerprint_probes = a.fingerprint_probes + b.fingerprint_probes;
+    collision_fallbacks = a.collision_fallbacks + b.collision_fallbacks;
+    intern_bindings = a.intern_bindings + b.intern_bindings;
     budget_consumed = a.budget_consumed + b.budget_consumed;
     roots = a.roots + b.roots;
     truncated_roots = a.truncated_roots + b.truncated_roots;
@@ -78,16 +102,23 @@ let merge a b =
   }
 
 (* Hand-rolled rendering, like the bench harness: no JSON dependency.
-   Key order is part of the schema and pinned by the cram test. *)
+   Key order is part of the schema and pinned by the cram test.
+   Schema /2 appends the fingerprint-store counters after "pruned";
+   every /1 field is unchanged in name, meaning and order. *)
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/1\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/2\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
   Buffer.add_string b (Printf.sprintf "  \"frontier_peak\": %d,\n" m.frontier_peak);
   Buffer.add_string b (Printf.sprintf "  \"pruned\": %d,\n" m.pruned);
+  Buffer.add_string b
+    (Printf.sprintf "  \"fingerprint_probes\": %d,\n" m.fingerprint_probes);
+  Buffer.add_string b
+    (Printf.sprintf "  \"collision_fallbacks\": %d,\n" m.collision_fallbacks);
+  Buffer.add_string b (Printf.sprintf "  \"intern_bindings\": %d,\n" m.intern_bindings);
   Buffer.add_string b (Printf.sprintf "  \"budget_consumed\": %d,\n" m.budget_consumed);
   Buffer.add_string b (Printf.sprintf "  \"roots\": %d,\n" m.roots);
   Buffer.add_string b (Printf.sprintf "  \"truncated_roots\": %d" m.truncated_roots);
@@ -98,8 +129,10 @@ let to_json ?(shards = true) m =
         Buffer.add_string b
           (Printf.sprintf
              "    { \"root\": %d, \"states_expanded\": %d, \"dedup_hits\": %d, \
-              \"frontier_peak\": %d, \"pruned\": %d, \"seconds\": %.6f }%s\n"
-             s.root s.states_expanded s.dedup_hits s.frontier_peak s.pruned s.seconds
+              \"frontier_peak\": %d, \"pruned\": %d, \"fingerprint_probes\": %d, \
+              \"collision_fallbacks\": %d, \"intern_bindings\": %d, \"seconds\": %.6f }%s\n"
+             s.root s.states_expanded s.dedup_hits s.frontier_peak s.pruned
+             s.fingerprint_probes s.collision_fallbacks s.intern_bindings s.seconds
              (if i = List.length m.shards - 1 then "" else ",")))
       m.shards;
     Buffer.add_string b "  ]\n"

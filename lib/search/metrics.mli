@@ -21,6 +21,14 @@ type shard = {
   dedup_hits : int;  (** frontier pops and pushes answered by the visited set *)
   frontier_peak : int;  (** largest frontier during this shard's search *)
   pruned : int;  (** successors discarded by the prune predicate *)
+  fingerprint_probes : int;
+      (** visited-store lookups answered by the 64-bit fingerprint index *)
+  collision_fallbacks : int;
+      (** probes where a bucket held a fingerprint-equal but
+          structurally distinct state — true 64-bit collisions *)
+  intern_bindings : int;
+      (** distinct set values interned under this shard's root (0 for
+          searches whose states carry no intern table) *)
   seconds : float;  (** wall-clock for this shard (the only nondeterministic field) *)
 }
 
@@ -32,6 +40,9 @@ type t = {
   dedup_hits : int;
   frontier_peak : int;  (** max over shards (not a concurrent peak) *)
   pruned : int;
+  fingerprint_probes : int;
+  collision_fallbacks : int;
+  intern_bindings : int;
   budget_consumed : int;  (** total budget units spent = states expanded *)
   roots : int;
   truncated_roots : int;
@@ -47,6 +58,11 @@ val of_shard : outcome_kind -> shard -> t
 val with_root_index : int -> t -> t
 (** Retag the shard entries with their position in a sharded sweep. *)
 
+val with_intern_bindings : int -> t -> t
+(** Set [intern_bindings] on the aggregate and on every shard entry.
+    The kernel cannot see the client's intern tables, so per-root
+    metrics are retagged with the root's table size after the run. *)
+
 val merge : t -> t -> t
 (** Counters are summed, [frontier_peak] maxed, outcomes joined
     ([Goal_found] > [Truncated] > [Exhausted]), shard lists
@@ -54,9 +70,11 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/1"].  Key order is stable and
-    pinned by the cram test; [?shards:false] omits the per-shard
-    array (whose [seconds] are nondeterministic). *)
+(** Schema ["patterns-search-metrics/2"]: every /1 key is unchanged in
+    name, meaning and order; the fingerprint-store counters are
+    appended after ["pruned"].  Key order is stable and pinned by the
+    cram test; [?shards:false] omits the per-shard array (whose
+    [seconds] are nondeterministic). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: [expanded=… dedup=… peak=… outcome=…]. *)

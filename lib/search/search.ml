@@ -16,26 +16,78 @@ let truncated = function Truncated _ -> true | _ -> false
 
 let merge_into sink m = Option.iter (fun r -> r := Metrics.merge !r m) sink
 
+(* ----- fingerprint-indexed visited store ----- *)
+
+module Store = struct
+  module Fp_tbl = Hashtbl.Make (struct
+    type t = int
+
+    let equal = Int.equal
+    let hash = Fingerprint.to_int
+  end)
+
+  type 'a t = {
+    equal : 'a -> 'a -> bool;
+    fingerprint : 'a -> Fingerprint.t;
+    tbl : 'a list Fp_tbl.t;
+    mutable bindings : int;
+    mutable probes : int;
+    mutable collision_fallbacks : int;
+  }
+
+  let create ?(size = 1024) ~equal ~fingerprint () =
+    {
+      equal;
+      fingerprint;
+      tbl = Fp_tbl.create size;
+      bindings = 0;
+      probes = 0;
+      collision_fallbacks = 0;
+    }
+
+  (* A fingerprint match is never trusted on its own: a hit is
+     confirmed structurally, and a bucket member that fails the
+     structural test is a true fingerprint collision, counted so the
+     metrics can certify it (essentially) never happens. *)
+  let bucket_mem t x bucket =
+    if List.exists (fun y -> not (t.equal x y)) bucket then
+      t.collision_fallbacks <- t.collision_fallbacks + 1;
+    List.exists (t.equal x) bucket
+
+  let mem t x =
+    t.probes <- t.probes + 1;
+    match Fp_tbl.find_opt t.tbl (t.fingerprint x) with
+    | None -> false
+    | Some bucket -> bucket_mem t x bucket
+
+  let add t x =
+    let fp = t.fingerprint x in
+    let bucket = match Fp_tbl.find_opt t.tbl fp with Some b -> b | None -> [] in
+    if not (List.exists (t.equal x) bucket) then begin
+      Fp_tbl.replace t.tbl fp (x :: bucket);
+      t.bindings <- t.bindings + 1
+    end
+
+  let bindings t = t.bindings
+  let probes t = t.probes
+  let collision_fallbacks t = t.collision_fallbacks
+end
+
 module type Problem = sig
   type state
 
   val compare : state -> state -> int
-  val hash : state -> int
+  val fingerprint : state -> Fingerprint.t
   val expand : state -> state list
 end
 
 module Make (P : Problem) = struct
   type strategy = Bfs | Dfs | Priority of (P.state -> P.state -> int)
 
-  module Tbl = Hashtbl.Make (struct
-    type t = P.state
-
-    let equal a b = P.compare a b = 0
-    let hash = P.hash
-  end)
-
   let run ?(strategy = Dfs) ?(budget = max_int) ?is_goal ?prune ~root () =
-    let visited = Tbl.create 1024 in
+    let visited =
+      Store.create ~equal:(fun a b -> P.compare a b = 0) ~fingerprint:P.fingerprint ()
+    in
     let expanded = ref 0 and dedup = ref 0 and pruned = ref 0 in
     let size = ref 0 and peak = ref 0 in
     let push_batch, pop =
@@ -75,7 +127,7 @@ module Make (P : Problem) = struct
        expensive predicate (pattern-prefix tests), membership the
        cheap one *)
     let keep s =
-      if Tbl.mem visited s then begin
+      if Store.mem visited s then begin
         incr dedup;
         false
       end
@@ -91,14 +143,14 @@ module Make (P : Problem) = struct
       | None -> Exhausted
       | Some s ->
         decr size;
-        if Tbl.mem visited s then begin
+        if Store.mem visited s then begin
           incr dedup;
           loop ()
         end
         else if !expanded >= budget then
           Truncated (Budget_exhausted { budget; consumed = !expanded })
         else begin
-          Tbl.add visited s ();
+          Store.add visited s;
           incr expanded;
           if goal s then Goal_found s
           else begin
@@ -118,6 +170,9 @@ module Make (P : Problem) = struct
         dedup_hits = !dedup;
         frontier_peak = !peak;
         pruned = !pruned;
+        fingerprint_probes = Store.probes visited;
+        collision_fallbacks = Store.collision_fallbacks visited;
+        intern_bindings = 0;
         seconds;
       }
     in
@@ -174,6 +229,9 @@ let find_first ?metrics ~jobs ?batch ~max_index ~f () =
             dedup_hits = 0;
             frontier_peak = !peak;
             pruned = 0;
+            fingerprint_probes = 0;
+            collision_fallbacks = 0;
+            intern_bindings = 0;
             seconds;
           }
       in
@@ -210,6 +268,9 @@ module Scan = struct
           dedup_hits = 0;
           frontier_peak = (if len > 0 then 1 else 0);
           pruned = 0;
+          fingerprint_probes = 0;
+          collision_fallbacks = 0;
+          intern_bindings = 0;
           seconds;
         }
     in

@@ -3,12 +3,13 @@
     Every result in this repository is, operationally, a state-space
     search: scheme enumeration, the consistency/termination checks,
     realization, and the randomized hunts.  This module owns the
-    frontier, the visited set, the budget, and the counters, once —
-    the call-sites supply a {!Problem} (state type, hashing, expansion)
-    and fold their observations into [expand] closures, which the
-    kernel invokes exactly once per visited state, in visitation
-    order.  What an answer means therefore never depends on a private
-    reimplementation of how executions were enumerated or truncated.
+    frontier, the visited store, the budget, and the counters, once —
+    the call-sites supply a {!Problem} (state type, fingerprinting,
+    expansion) and fold their observations into [expand] closures,
+    which the kernel invokes exactly once per visited state, in
+    visitation order.  What an answer means therefore never depends on
+    a private reimplementation of how executions were enumerated or
+    truncated.
 
     Determinism: for a fixed strategy, problem and budget, the
     visitation order — and hence every counter except the wall-clock
@@ -36,14 +37,53 @@ val merge_into : Metrics.t ref option -> Metrics.t -> unit
 (** [merge_into sink m]: accumulate [m] into an optional metrics sink
     (the convention used by every [?metrics] parameter downstream). *)
 
+(** The visited store: membership keyed on a precomputed 64-bit
+    fingerprint, with structural comparison only as the
+    collision-resolution fallback.  States whose fingerprints are
+    maintained incrementally (engine configurations) therefore pay
+    O(1) to be hashed into the store instead of a structural fold, and
+    the store never trusts a 64-bit match alone — every fingerprint
+    hit is confirmed with [equal] before it counts as membership. *)
+module Store : sig
+  type 'a t
+
+  val create :
+    ?size:int ->
+    equal:('a -> 'a -> bool) ->
+    fingerprint:('a -> Patterns_stdx.Fingerprint.t) ->
+    unit ->
+    'a t
+  (** [equal] must agree with [fingerprint]: equal states must have
+      equal fingerprints (the converse may fail — that is the
+      collision the store resolves structurally). *)
+
+  val mem : 'a t -> 'a -> bool
+  val add : 'a t -> 'a -> unit
+
+  val bindings : 'a t -> int
+  (** Number of distinct states stored. *)
+
+  val probes : 'a t -> int
+  (** Number of {!mem} lookups served. *)
+
+  val collision_fallbacks : 'a t -> int
+  (** Probes that met a fingerprint-equal but structurally distinct
+      state — true 64-bit collisions.  Expected to be 0 on every
+      workload in this repository; surfaced in {!Metrics} so the
+      expectation is checked, not assumed. *)
+end
+
 module type Problem = sig
   type state
 
   val compare : state -> state -> int
   (** Total order; [compare a b = 0] is the dedup equality. *)
 
-  val hash : state -> int
-  (** Must agree with [compare]: equal states hash equally. *)
+  val fingerprint : state -> Patterns_stdx.Fingerprint.t
+  (** Must agree with [compare]: equal states have equal
+      fingerprints.  Called once per visited-store probe or insert, so
+      it should be O(1) — engine configurations carry theirs
+      incrementally. *)
 
   val expand : state -> state list
   (** Successors, called exactly once per visited state, in
@@ -75,7 +115,9 @@ module Make (P : Problem) : sig
       [prune] returns [true] are discarded (counted in
       {!Metrics.t.pruned}); already-visited successors are discarded
       too (counted in [dedup_hits]).  The root is neither pruned nor
-      goal-exempt. *)
+      goal-exempt.  The visited set is a {!Store} keyed on
+      [P.fingerprint]; its probe and collision counters are reported
+      in the metrics. *)
 end
 
 val shard :

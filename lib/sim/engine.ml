@@ -14,18 +14,111 @@ module Make (P : Protocol.S) = struct
   end
 
   module Pair_set = Set.Make (Pair)
+  module F = Fingerprint
+
+  (* Per-root mutable interning context: every knowledge/trips set
+     constructed under one [init] is routed through this table, so
+     structurally equal sets reached along different schedules are
+     pointer-shared and their fingerprints are computed once.  The
+     context is single-domain state — each search root calls [init]
+     inside its own worker, so shards never share a table. *)
+  type ctx = {
+    sets : Triple.Fset.t Intern.t;
+    states : P.state Intern.t;
+    edge_sets : Pair_set.t Intern.t;
+  }
 
   type config = {
     n : int;
     inputs : bool array;
     states : P.state array;
+    (* state_fps.(p) = fp_state_at p (P.hash_state states.(p)) — the
+       word [bfp] currently carries for p, cached so an update hashes
+       only the one state that changed *)
+    state_fps : F.t array;
     failed : bool array;
     buffers : entry list array;
     sent_count : int array;  (* flattened n*n: sender * n + receiver *)
-    knowledge : Triple.Set.t array;
+    knowledge : Triple.Fset.t array;
     edges : Pair_set.t;
-    trips : Triple.Set.t;
+    (* commutative fingerprint of [edges] alone: the intern key for the
+       edge set and the edge half of the terminal pattern identity *)
+    efp : F.t;
+    trips : Triple.Fset.t;
+    bfp : F.t;  (* behavioral fingerprint: n, inputs, states, failed, buffers *)
+    pfp : F.t;  (* pattern-bookkeeping fingerprint: sent counts, knowledge, edges, trips *)
+    ctx : ctx;
   }
+
+  (* ----- canonical fingerprints -----
+
+     The fingerprint of a configuration is a commutative
+     [Fingerprint.combine] (addition mod 2^64) of one contribution per
+     independent fact: "processor [i] is in state [s]", "the buffer at
+     [p] holds entry [e]", "the (sender, receiver) pair [idx] has sent
+     [c] messages", and so on.  Each contribution is tagged with its
+     field kind and key and passed through the SplitMix64 finalizer,
+     so the sum is canonical — equal configurations have equal
+     fingerprints however they were reached — and invertible, so
+     [apply_exn] maintains it in O(1) per delta by subtracting the old
+     contribution and adding the new one.  Contributions split into a
+     behavioral sum [bfp] and a pattern-bookkeeping sum [pfp]: the
+     former is the canonical hash for {!compare_behavioral}, their
+     combination for {!compare_config}. *)
+
+  let tag_n = 0x01
+  and tag_input = 0x02
+  and tag_state = 0x03
+  and tag_failed = 0x04
+  and tag_note = 0x05
+  and tag_data = 0x06
+  and tag_sent = 0x07
+  and tag_know = 0x08
+  and tag_edge = 0x09
+  and tag_trip = 0x0a
+
+  let fp_n n = F.feed (F.feed F.seed tag_n) n
+  let fp_input i b = F.feed_bool (F.feed (F.feed F.seed tag_input) i) b
+  let fp_state_at i h = F.feed (F.feed (F.feed F.seed tag_state) i) h
+  let fp_failed_at i = F.feed (F.feed F.seed tag_failed) i
+
+  let fp_entry p = function
+    | Note q -> F.feed (F.feed (F.feed F.seed tag_note) p) q
+    | Data { triple; payload } ->
+      F.feed (F.feed (F.feed (F.feed F.seed tag_data) p) (Triple.fp triple)) (Hashtbl.hash payload)
+
+  (* zero-count cells contribute nothing, so the n*n array is never
+     walked on an update *)
+  let fp_sent_at idx c = if c = 0 then F.zero else F.feed (F.feed (F.feed F.seed tag_sent) idx) c
+  let fp_know_at p tr = F.feed (F.feed (F.feed F.seed tag_know) p) (Triple.fp tr)
+  let fp_edge m1 m2 = F.feed (F.feed (F.feed F.seed tag_edge) (Triple.fp m1)) (Triple.fp m2)
+  let fp_trip tr = F.feed (F.feed F.seed tag_trip) (Triple.fp tr)
+
+  (* Full folds, used at [init] and by the consistency test suite;
+     the hot path never calls these.  Note the explicit element-wise
+     folds over [inputs], [failed] and [sent_count] — [Hashtbl.hash]
+     samples only a bounded prefix of a structure, so hashing large
+     arrays with it silently collides. *)
+  let scratch_bfp ~n ~inputs ~states ~failed ~buffers =
+    let acc = ref (fp_n n) in
+    Array.iteri (fun i b -> acc := F.combine !acc (fp_input i b)) inputs;
+    Array.iteri (fun i s -> acc := F.combine !acc (fp_state_at i (P.hash_state s))) states;
+    Array.iteri (fun i f -> if f then acc := F.combine !acc (fp_failed_at i)) failed;
+    Array.iteri
+      (fun p buf -> List.iter (fun e -> acc := F.combine !acc (fp_entry p e)) buf)
+      buffers;
+    !acc
+
+  let scratch_pfp ~sent_count ~knowledge ~edges ~trips =
+    let acc = ref F.zero in
+    Array.iteri (fun idx c -> acc := F.combine !acc (fp_sent_at idx c)) sent_count;
+    Array.iteri
+      (fun p ks ->
+        List.iter (fun tr -> acc := F.combine !acc (fp_know_at p tr)) (Triple.Fset.elements ks))
+      knowledge;
+    Pair_set.iter (fun (a, b) -> acc := F.combine !acc (fp_edge a b)) edges;
+    List.iter (fun tr -> acc := F.combine !acc (fp_trip tr)) (Triple.Fset.elements trips);
+    !acc
 
   let init ~n ~inputs =
     if not (P.valid_n n) then
@@ -42,16 +135,29 @@ module Make (P : Protocol.S) = struct
             (Printf.sprintf
                "Engine.init: protocol %s starts p%d outside the initial states z_0/z_1" P.name i))
       states;
+    let failed = Array.make n false in
+    let buffers = Array.make n [] in
+    let state_fps = Array.init n (fun i -> fp_state_at i (P.hash_state states.(i))) in
     {
       n;
       inputs;
       states;
-      failed = Array.make n false;
-      buffers = Array.make n [];
+      state_fps;
+      failed;
+      buffers;
       sent_count = Array.make (n * n) 0;
-      knowledge = Array.make n Triple.Set.empty;
+      knowledge = Array.make n Triple.Fset.empty;
       edges = Pair_set.empty;
-      trips = Triple.Set.empty;
+      efp = F.zero;
+      trips = Triple.Fset.empty;
+      bfp = scratch_bfp ~n ~inputs ~states ~failed ~buffers;
+      pfp = F.zero;
+      ctx =
+        {
+          sets = Intern.create ~equal:Triple.Fset.equal ();
+          states = Intern.create ~equal:(fun a b -> P.compare_state a b = 0) ();
+          edge_sets = Intern.create ~equal:Pair_set.equal ();
+        };
     }
 
   let n_of c = c.n
@@ -72,7 +178,15 @@ module Make (P : Protocol.S) = struct
       (Proc_id.all ~n:c.n)
 
   let pattern_edges c = Pair_set.elements c.edges
-  let triples_of c = Triple.Set.elements c.trips
+
+  (* pattern identity without extraction: the fingerprint covers the
+     triples and edges alone, and because both components are interned
+     per root, structurally equal pairs are physically equal — so a
+     caller can dedup terminal patterns before paying for
+     [Pattern.make] *)
+  let pattern_fp c = F.combine (Triple.Fset.fp c.trips) c.efp
+  let same_pattern_rep a b = a.trips == b.trips && a.edges == b.edges
+  let triples_of c = Triple.Fset.elements c.trips
 
   let compare_entry a b =
     match (a, b) with
@@ -83,8 +197,17 @@ module Make (P : Protocol.S) = struct
       let c = Triple.compare a.triple b.triple in
       if c <> 0 then c else P.compare_msg a.payload b.payload
 
-  let compare_buffer a b = List.compare compare_entry (List.sort compare_entry a) (List.sort compare_entry b)
+  (* order differences between structurally equal multisets are rare,
+     so try the raw order-sensitive comparison first and only pay for
+     the two sorts when it disagrees *)
+  let compare_buffer a b =
+    if a == b then 0
+    else if List.compare compare_entry a b = 0 then 0
+    else List.compare compare_entry (List.sort compare_entry a) (List.sort compare_entry b)
 
+  (* Sibling configurations share the array cells [apply_exn] did not
+     touch, so a physical-equality check per element short-circuits
+     most comparisons between related configurations. *)
   let compare_arrays cmp a b =
     let c = Int.compare (Array.length a) (Array.length b) in
     if c <> 0 then c
@@ -92,64 +215,82 @@ module Make (P : Protocol.S) = struct
       let rec loop i =
         if i = Array.length a then 0
         else
-          let c = cmp a.(i) b.(i) in
+          let x = a.(i) and y = b.(i) in
+          let c = if x == y then 0 else cmp x y in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+  (* Monomorphic scans: [Stdlib.compare] on arrays dispatches through
+     the polymorphic comparator word by word, which shows up in the
+     dedup-confirmation profile. *)
+  let compare_int_array (a : int array) (b : int array) =
+    let c = Int.compare (Array.length a) (Array.length b) in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i = Array.length a then 0
+        else
+          let c = Int.compare a.(i) b.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+
+  let compare_bool_array (a : bool array) (b : bool array) =
+    let c = Int.compare (Array.length a) (Array.length b) in
+    if c <> 0 then c
+    else
+      let rec loop i =
+        if i = Array.length a then 0
+        else
+          let c = Bool.compare a.(i) b.(i) in
           if c <> 0 then c else loop (i + 1)
       in
       loop 0
 
   let compare_behavioral a b =
-    let c = Int.compare a.n b.n in
-    if c <> 0 then c
+    if a == b then 0
     else
-      let c = Stdlib.compare a.inputs b.inputs in
+      let c = Int.compare a.n b.n in
       if c <> 0 then c
       else
-        let c = compare_arrays P.compare_state a.states b.states in
+        let c = compare_bool_array a.inputs b.inputs in
         if c <> 0 then c
         else
-          let c = Stdlib.compare a.failed b.failed in
-          if c <> 0 then c else compare_arrays compare_buffer a.buffers b.buffers
+          let c = compare_arrays P.compare_state a.states b.states in
+          if c <> 0 then c
+          else
+            let c = compare_bool_array a.failed b.failed in
+            if c <> 0 then c else compare_arrays compare_buffer a.buffers b.buffers
 
   let compare_config a b =
-    let c = compare_behavioral a b in
-    if c <> 0 then c
+    if a == b then 0
     else
-      let c = Stdlib.compare a.sent_count b.sent_count in
+      let c = compare_behavioral a b in
       if c <> 0 then c
       else
-        let c = compare_arrays Triple.Set.compare a.knowledge b.knowledge in
+        let c = compare_int_array a.sent_count b.sent_count in
         if c <> 0 then c
         else
-          let c = Pair_set.compare a.edges b.edges in
-          if c <> 0 then c else Triple.Set.compare a.trips b.trips
+          let c = compare_arrays Triple.Fset.compare a.knowledge b.knowledge in
+          if c <> 0 then c
+          else
+            let c = if a.edges == b.edges then 0 else Pair_set.compare a.edges b.edges in
+            if c <> 0 then c else Triple.Fset.compare a.trips b.trips
 
-  let hash_entry = function
-    | Note p -> (31 * p) + 7
-    | Data { triple; payload } -> (Triple.hash triple * 31) + Hashtbl.hash payload
+  let fingerprint c = F.combine c.bfp c.pfp
+  let behavioral_fingerprint c = c.bfp
 
-  (* Buffers are compared as multisets, so their hash must not depend
-     on arrival order: a commutative sum over entry hashes, with no
-     per-call sorting. *)
-  let hash_buffer b = List.fold_left (fun acc e -> acc + hash_entry e) 0 b
+  let fingerprint_from_scratch c =
+    F.combine
+      (scratch_bfp ~n:c.n ~inputs:c.inputs ~states:c.states ~failed:c.failed ~buffers:c.buffers)
+      (scratch_pfp ~sent_count:c.sent_count ~knowledge:c.knowledge ~edges:c.edges ~trips:c.trips)
 
-  let hash_array h a = Array.fold_left (fun acc x -> (acc * 31) + h x) 0 a
-
-  let hash_behavioral c =
-    let h = ((c.n * 31) + Hashtbl.hash c.inputs) * 31 in
-    let h = (h + Hashtbl.hash c.failed) * 31 in
-    let h = (h + hash_array P.hash_state c.states) * 31 in
-    h + hash_array hash_buffer c.buffers
-
-  let hash_config c =
-    let h = (hash_behavioral c * 31) + Hashtbl.hash c.sent_count in
-    let h = (h * 31) + hash_array Triple.set_hash c.knowledge in
-    let h =
-      (h * 31)
-      + Pair_set.fold
-          (fun (a, b) acc -> (((acc * 31) + Triple.hash a) * 31) + Triple.hash b)
-          c.edges 0
-    in
-    (h * 31) + Triple.set_hash c.trips
+  let intern_bindings c =
+    Intern.bindings c.ctx.sets + Intern.bindings c.ctx.states
+    + Intern.bindings c.ctx.edge_sets
+  let hash_behavioral c = F.to_int c.bfp
+  let hash_config c = F.to_int (fingerprint c)
 
   let pp_entry ppf = function
     | Note p -> Format.fprintf ppf "failed(%a)" Proc_id.pp p
@@ -224,16 +365,33 @@ module Make (P : Protocol.S) = struct
 
   let ( let* ) = Result.bind
 
+  (* route a freshly built set through the per-root intern table:
+     schedules that reassemble the same set share one physical copy *)
+  let interned c fs = Intern.intern c.ctx.sets ~fp:(Triple.Fset.fp fs) fs
+
+  (* hash-consed protocol states: schedules that drive a processor to
+     the same local state share one physical copy, so the
+     physical-equality fast path in [compare_arrays] settles almost
+     every dedup confirmation without calling [P.compare_state].  The
+     intern key reuses the [P.hash_state] word the fingerprint update
+     needs anyway. *)
+  let interned_state c ~h st = Intern.intern c.ctx.states ~fp:(F.of_int h) st
+
   let apply_send ~step c p =
     let before = P.status c.states.(p) in
     let outgoing, state' = P.send ~n:c.n ~me:p c.states.(p) in
     let after = P.status state' in
     let* () = check_transition p before after in
     let states = Array.copy c.states in
-    states.(p) <- state';
+    let state_fps = Array.copy c.state_fps in
+    let h' = P.hash_state state' in
+    let word = fp_state_at p h' in
+    let bfp = F.combine (F.remove c.bfp state_fps.(p)) word in
+    state_fps.(p) <- word;
+    states.(p) <- interned_state c ~h:h' state';
     let flips = status_events ~step p before after in
     match outgoing with
-    | None -> Ok ({ c with states }, Trace.Null_step { step; proc = p } :: flips)
+    | None -> Ok ({ c with states; state_fps; bfp }, Trace.Null_step { step; proc = p } :: flips)
     | Some (dst, payload) ->
       if Proc_id.equal dst p then
         Error (Printf.sprintf "protocol %s: %s tried to send to itself" P.name (Proc_id.to_string p))
@@ -242,19 +400,36 @@ module Make (P : Protocol.S) = struct
       else begin
         let idx = (p * c.n) + dst in
         let sent_count = Array.copy c.sent_count in
-        sent_count.(idx) <- sent_count.(idx) + 1;
+        let old_count = sent_count.(idx) in
+        sent_count.(idx) <- old_count + 1;
         let triple = Triple.make ~sender:p ~receiver:dst ~index:sent_count.(idx) in
-        let causes = Triple.Set.elements c.knowledge.(p) in
+        let causes = Triple.Fset.elements c.knowledge.(p) in
         let knowledge = Array.copy c.knowledge in
-        knowledge.(p) <- Triple.Set.add triple knowledge.(p);
+        (* the triple's index was just minted, so every add below is a
+           real insertion and contributes to the fingerprint exactly once *)
+        knowledge.(p) <- interned c (Triple.Fset.add_new triple knowledge.(p));
         let edges =
           List.fold_left (fun acc m1 -> Pair_set.add (m1, triple) acc) c.edges causes
         in
+        let efp =
+          List.fold_left (fun h m1 -> F.combine h (fp_edge m1 triple)) c.efp causes
+        in
+        let edges = Intern.intern c.ctx.edge_sets ~fp:efp edges in
+        let entry = Data { triple; payload } in
         let buffers = Array.copy c.buffers in
-        buffers.(dst) <- buffers.(dst) @ [ Data { triple; payload } ];
+        buffers.(dst) <- buffers.(dst) @ [ entry ];
+        let bfp = F.combine bfp (fp_entry dst entry) in
+        let pfp =
+          F.combine
+            (F.remove c.pfp (fp_sent_at idx old_count))
+            (fp_sent_at idx (old_count + 1))
+        in
+        let pfp = F.combine pfp (fp_know_at p triple) in
+        let pfp = F.combine pfp (F.remove efp c.efp) in
+        let pfp = F.combine pfp (fp_trip triple) in
         let c' =
-          { c with states; sent_count; knowledge; edges; buffers;
-            trips = Triple.Set.add triple c.trips }
+          { c with states; state_fps; sent_count; knowledge; edges; efp; buffers;
+            trips = interned c (Triple.Fset.add_new triple c.trips); bfp; pfp }
         in
         Ok (c', Trace.Sent { step; triple; payload; causes } :: flips)
       end
@@ -263,29 +438,41 @@ module Make (P : Protocol.S) = struct
     match List.nth_opt c.buffers.(p) index with
     | None -> Error (Printf.sprintf "deliver: no buffer entry #%d at p%d" index p)
     | Some entry ->
-      let incoming, delivered_event, knowledge =
+      let incoming, delivered_event, knowledge, know_delta =
         match entry with
         | Note about ->
           ( Incoming.Failed about,
             Trace.Delivered_note { step; at = p; about },
-            c.knowledge )
+            c.knowledge,
+            F.zero )
         | Data { triple; payload } ->
           let knowledge = Array.copy c.knowledge in
-          knowledge.(p) <- Triple.Set.add triple knowledge.(p);
+          (* the triple was sent to [p] exactly once and [p] is not its
+             sender, so this is a real insertion *)
+          knowledge.(p) <- interned c (Triple.Fset.add_new triple knowledge.(p));
           ( Incoming.Msg { from = triple.Triple.sender; payload },
             Trace.Delivered_msg { step; triple; payload },
-            knowledge )
+            knowledge,
+            fp_know_at p triple )
       in
       let before = P.status c.states.(p) in
       let state' = P.receive ~n:c.n ~me:p c.states.(p) incoming in
       let after = P.status state' in
       let* () = check_transition p before after in
       let states = Array.copy c.states in
-      states.(p) <- state';
+      let state_fps = Array.copy c.state_fps in
+      let h' = P.hash_state state' in
+      let word = fp_state_at p h' in
+      let bfp = F.combine (F.remove c.bfp state_fps.(p)) word in
+      state_fps.(p) <- word;
+      let bfp = F.remove bfp (fp_entry p entry) in
+      states.(p) <- interned_state c ~h:h' state';
       let buffers = Array.copy c.buffers in
       buffers.(p) <- List.filteri (fun i _ -> i <> index) buffers.(p);
       let flips = status_events ~step p before after in
-      Ok ({ c with states; buffers; knowledge }, delivered_event :: flips)
+      Ok
+        ( { c with states; state_fps; buffers; knowledge; bfp; pfp = F.combine c.pfp know_delta },
+          delivered_event :: flips )
 
   let apply_fail ~step c p =
     if c.failed.(p) then Error (Printf.sprintf "fail: p%d has already failed" p)
@@ -293,8 +480,15 @@ module Make (P : Protocol.S) = struct
       let failed = Array.copy c.failed in
       failed.(p) <- true;
       let buffers = Array.copy c.buffers in
-      List.iter (fun q -> buffers.(q) <- buffers.(q) @ [ Note p ]) (Proc_id.others ~n:c.n p);
-      Ok ({ c with failed; buffers }, [ Trace.Failed_proc { step; proc = p } ])
+      let bfp =
+        List.fold_left
+          (fun h q ->
+            buffers.(q) <- buffers.(q) @ [ Note p ];
+            F.combine h (fp_entry q (Note p)))
+          (F.combine c.bfp (fp_failed_at p))
+          (Proc_id.others ~n:c.n p)
+      in
+      Ok ({ c with failed; buffers; bfp }, [ Trace.Failed_proc { step; proc = p } ])
     end
 
   let apply ~step c action =

@@ -50,6 +50,17 @@ module Make (P : Protocol.S) : sig
   val triples_of : config -> Triple.t list
   (** All message triples sent so far, sorted. *)
 
+  val pattern_fp : config -> Patterns_stdx.Fingerprint.t
+  (** Canonical fingerprint of the accumulated pattern alone — the
+      triples and the happens-before edges, nothing else. *)
+
+  val same_pattern_rep : config -> config -> bool
+  (** Physical equality of the interned pattern components.  Within
+      one root this holds exactly when the accumulated patterns are
+      structurally equal, so a terminal-pattern cache can use
+      {!pattern_fp} as the key and this as the collision-proof
+      confirmation, skipping extraction for repeats. *)
+
   val compare_config : config -> config -> int
   (** Structural order including pattern bookkeeping; two configs are
       equal iff their futures (and final patterns) coincide. *)
@@ -59,15 +70,35 @@ module Make (P : Protocol.S) : sig
       equality of states, failure flags and buffer multisets only.
       Suitable for local-state reachability analyses. *)
 
+  val fingerprint : config -> Patterns_stdx.Fingerprint.t
+  (** Canonical 64-bit fingerprint, consistent with {!compare_config}:
+      equal configurations have equal fingerprints however they were
+      reached.  Carried in the configuration and maintained
+      incrementally by {!apply} — reading it is O(1). *)
+
+  val behavioral_fingerprint : config -> Patterns_stdx.Fingerprint.t
+  (** Canonical fingerprint of the behavioral projection, consistent
+      with {!compare_behavioral}; also O(1). *)
+
+  val fingerprint_from_scratch : config -> Patterns_stdx.Fingerprint.t
+  (** Recompute {!fingerprint} by full folds over every field, ignoring
+      the incrementally maintained value.  For the consistency test
+      suite: [fingerprint_from_scratch c = fingerprint c] is the
+      maintenance invariant. *)
+
+  val intern_bindings : config -> int
+  (** Distinct knowledge/trips sets interned under this
+      configuration's root ([init] creates a fresh table); a
+      deterministic measure of set-sharing, surfaced in search
+      metrics. *)
+
   val hash_config : config -> int
-  (** Consistent with {!compare_config}: hashes every field the
-      compare looks at, canonically (buffer hashes are
-      order-insensitive, set hashes fold in element order).  Cheap —
-      no sorting, no intermediate structures. *)
+  (** Consistent with {!compare_config}: the {!fingerprint} folded to
+      an [int].  O(1). *)
 
   val hash_behavioral : config -> int
-  (** Consistent with {!compare_behavioral}: ignores the pattern
-      bookkeeping exactly as the compare does. *)
+  (** Consistent with {!compare_behavioral}: the
+      {!behavioral_fingerprint} folded to an [int].  O(1). *)
 
   val pp_config : Format.formatter -> config -> unit
 

@@ -31,3 +31,36 @@ module Map = Map.Make (Ord)
 let hash t = ((t.sender * 31) + t.receiver) * 31 + t.index
 
 let set_hash s = Set.fold (fun tr acc -> (acc * 31) + hash tr) s 0
+
+let fp t =
+  let open Patterns_stdx.Fingerprint in
+  feed (feed (feed seed t.sender) t.receiver) t.index
+
+(* A [Set.t] carrying its canonical fingerprint: the commutative
+   combination of the member fingerprints, maintained on [add], so
+   hashing a set is O(1) however it was built.  [compare] starts with
+   physical equality — interned sets (see {!Patterns_stdx.Intern})
+   answer most comparisons without touching the trees. *)
+module Fset = struct
+  type nonrec t = { set : Set.t; fp : Patterns_stdx.Fingerprint.t }
+
+  let empty = { set = Set.empty; fp = Patterns_stdx.Fingerprint.zero }
+
+  let add tr t =
+    if Set.mem tr t.set then t
+    else { set = Set.add tr t.set; fp = Patterns_stdx.Fingerprint.combine t.fp (fp tr) }
+
+  (* for inserts the caller can prove fresh (a just-minted triple
+     index): skips the membership pre-check [add] needs to keep the
+     fingerprint a faithful multiset sum *)
+  let add_new tr t =
+    { set = Set.add tr t.set; fp = Patterns_stdx.Fingerprint.combine t.fp (fp tr) }
+
+  let mem tr t = Set.mem tr t.set
+  let elements t = Set.elements t.set
+  let cardinal t = Set.cardinal t.set
+  let set t = t.set
+  let fp t = t.fp
+  let compare a b = if a == b then 0 else Set.compare a.set b.set
+  let equal a b = compare a b = 0
+end

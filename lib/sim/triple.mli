@@ -26,3 +26,36 @@ module Map : Map.S with type key = t
 val set_hash : Set.t -> int
 (** Canonical hash, consistent with [Set.compare]: folded over the
     in-order elements, independent of the internal tree shape. *)
+
+val fp : t -> Patterns_stdx.Fingerprint.t
+(** 64-bit fingerprint, consistent with {!equal} and — unlike the
+    31-based {!hash}, which aliases [(p, q, k)] with [(p, q+1, k-31)]
+    — injective over every triple a bounded run can produce. *)
+
+(** Sets carrying their canonical 64-bit fingerprint, maintained
+    incrementally on {!Fset.add}: the commutative
+    {!Patterns_stdx.Fingerprint.combine} of the member fingerprints.
+    Equal sets have equal fingerprints however they were built, so a
+    configuration holding [Fset]s hashes its set components in O(1).
+    [compare] short-circuits on physical equality, which interning
+    makes the common case. *)
+module Fset : sig
+  type elt := t
+  type t
+
+  val empty : t
+  val add : elt -> t -> t
+
+  val add_new : elt -> t -> t
+  (** [add] without the membership pre-check, for inserts the caller
+      can prove fresh.  Inserting a present element would corrupt the
+      multiset fingerprint. *)
+
+  val mem : elt -> t -> bool
+  val elements : t -> elt list
+  val cardinal : t -> int
+  val set : t -> Set.t
+  val fp : t -> Patterns_stdx.Fingerprint.t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+end

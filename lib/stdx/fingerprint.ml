@@ -1,0 +1,47 @@
+type t = int
+
+let zero = 0
+
+(* FNV-1a 64-bit offset basis, truncated to the native word.  A fixed,
+   nonzero starting point for sequential absorption. *)
+let seed = 0x4bf29ce484222325
+
+(* SplitMix64 finalizer (Steele, Lea & Flood), on the 63-bit native
+   word: a full-avalanche mixer, bijective mod 2^63 (the constants
+   stay odd under truncation).  Every absorbed word passes through it,
+   so single-bit input differences flip about half the output bits —
+   which is what makes the commutative [combine] below
+   collision-resistant, unlike a plain sum of raw values.
+
+   The representation is a native [int] rather than an [int64] on
+   purpose: this runs in the innermost loop of [apply] (a dozen calls
+   per transition), and without flambda every [Int64] operation boxes
+   its result — measured at ~2x on whole engine runs.  Native-word
+   arithmetic never allocates. *)
+let mix x =
+  let x = x lxor (x lsr 30) in
+  let x = x * 0x3f58476d1ce4e5b9 in
+  let x = x lxor (x lsr 27) in
+  let x = x * 0x14d049bb133111eb in
+  x lxor (x lsr 31)
+
+(* FNV-1a prime; multiplying the accumulator before the xor makes the
+   absorption order-sensitive. *)
+let prime = 0x100000001b3
+
+let feed h x = mix ((h * prime) lxor x)
+let feed_bool h b = feed h (if b then 1 else 0)
+
+let combine = ( + )
+let remove = ( - )
+
+let equal : t -> t -> bool = Int.equal
+let compare : t -> t -> int = Int.compare
+
+(* Nonnegative projection for [Hashtbl]-style consumers: fold the high
+   bits down so they survive a small modulus. *)
+let to_int h = (h lxor (h lsr 32)) land max_int
+
+let of_int x = mix x
+
+let pp ppf h = Format.fprintf ppf "%016x" (h land max_int)

@@ -1,0 +1,37 @@
+module Fp_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Fingerprint.to_int
+end)
+
+type 'a t = {
+  equal : 'a -> 'a -> bool;
+  tbl : 'a list Fp_tbl.t;
+  mutable bindings : int;
+  mutable probes : int;
+  mutable hits : int;
+}
+
+let create ?(size = 256) ~equal () = { equal; tbl = Fp_tbl.create size; bindings = 0; probes = 0; hits = 0 }
+
+let intern t ~fp x =
+  t.probes <- t.probes + 1;
+  match Fp_tbl.find_opt t.tbl fp with
+  | None ->
+    Fp_tbl.add t.tbl fp [ x ];
+    t.bindings <- t.bindings + 1;
+    x
+  | Some bucket -> (
+    match List.find_opt (t.equal x) bucket with
+    | Some canonical ->
+      t.hits <- t.hits + 1;
+      canonical
+    | None ->
+      Fp_tbl.replace t.tbl fp (x :: bucket);
+      t.bindings <- t.bindings + 1;
+      x)
+
+let bindings t = t.bindings
+let probes t = t.probes
+let hits t = t.hits

@@ -1,0 +1,32 @@
+(** Fingerprint-keyed interning (hash-consing) tables.
+
+    [intern t ~fp x] returns the canonical physical representative of
+    [x]: the first structurally-equal value interned under the same
+    fingerprint, or [x] itself if it is new.  Callers that route every
+    constructed value through the table get pointer-shared values, so
+    downstream equality checks can start with [==] and memory for
+    repeated structures is paid once.
+
+    Tables are single-domain mutable state: create one per search
+    root (or per domain) rather than sharing across a
+    {!Domain_pool}. *)
+
+type 'a t
+
+val create : ?size:int -> equal:('a -> 'a -> bool) -> unit -> 'a t
+(** [equal] decides structural equality within a fingerprint bucket;
+    it runs only on fingerprint collisions or repeats. *)
+
+val intern : 'a t -> fp:Fingerprint.t -> 'a -> 'a
+(** Canonical representative of [x] under fingerprint [fp].  The
+    fingerprint must be consistent with [equal]: equal values must
+    carry equal fingerprints. *)
+
+val bindings : 'a t -> int
+(** Distinct values interned so far. *)
+
+val probes : 'a t -> int
+(** Total [intern] calls. *)
+
+val hits : 'a t -> int
+(** Calls that returned an already-interned representative. *)

@@ -5,24 +5,27 @@ everything else is pinned, key order included:
   $ patterns-cli scheme fig3-chain -n 3 --metrics-json - \
   >   | sed -n '/^{$/,/^}$/p' | sed 's/"seconds": [0-9.]*/"seconds": _/'
   {
-    "schema": "patterns-search-metrics/1",
+    "schema": "patterns-search-metrics/2",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
     "frontier_peak": 4,
     "pruned": 0,
+    "fingerprint_probes": 232,
+    "collision_fallbacks": 0,
+    "intern_bindings": 146,
     "budget_consumed": 104,
     "roots": 8,
     "truncated_roots": 0,
     "shards": [
-      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ },
-      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "seconds": _ }
+      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
+      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ }
     ]
   }
 

@@ -1,0 +1,88 @@
+(* Fingerprint consistency over the whole protocol registry.
+
+   Two invariants, qcheck'd on random walks (failure steps included)
+   through every registered protocol:
+
+   - canonicality: [compare_config a b = 0] implies
+     [fingerprint a = fingerprint b] (and likewise for the behavioral
+     projection) — equal configurations fingerprint equally however
+     they were reached;
+   - maintenance: after every [apply_exn], the incrementally carried
+     fingerprint equals [fingerprint_from_scratch] — the O(1) value
+     the search kernel keys its visited store on never drifts from
+     the full fold.
+
+   Each maintenance run checks every configuration along a 20-step
+   walk, so at 500 runs a protocol gets ~10k checked applications. *)
+
+open Patterns_sim
+open Patterns_stdx
+
+let pick_n (module P : Protocol.S) ~default_n = if P.valid_n 3 then 3 else default_n
+
+let tests_for entry =
+  let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+  let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
+  let module E = Engine.Make (P) in
+  let walk ~seed ~steps ~on_config =
+    let prng = Prng.create ~seed in
+    let inputs = List.init n (fun _ -> Prng.bool prng) in
+    let rec go acc cfg k =
+      if k = 0 then acc
+      else
+        let acts =
+          E.applicable cfg @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions cfg else [])
+        in
+        match acts with
+        | [] -> acc
+        | acts ->
+          let a = List.nth acts (Prng.int prng ~bound:(List.length acts)) in
+          let cfg', _ = E.apply_exn ~step:(steps - k) cfg a in
+          on_config cfg';
+          go (cfg' :: acc) cfg' (k - 1)
+    in
+    let c0 = E.init ~n ~inputs in
+    on_config c0;
+    go [ c0 ] c0 steps
+  in
+  let open QCheck2 in
+  [
+    Test.make
+      ~name:(Printf.sprintf "%s: incremental fingerprint = from-scratch" P.name)
+      ~count:500
+      Gen.(int_bound 1_000_000)
+      (fun seed ->
+        let ok = ref true in
+        let check c =
+          if E.fingerprint c <> E.fingerprint_from_scratch c then ok := false
+        in
+        ignore (walk ~seed ~steps:20 ~on_config:check);
+        !ok);
+    Test.make
+      ~name:(Printf.sprintf "%s: equal configs fingerprint equally" P.name)
+      ~count:40
+      Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+      (fun (s1, s2) ->
+        let pool =
+          walk ~seed:s1 ~steps:25 ~on_config:ignore
+          @ walk ~seed:s2 ~steps:25 ~on_config:ignore
+        in
+        List.for_all
+          (fun a ->
+            List.for_all
+              (fun b ->
+                (E.compare_config a b <> 0 || E.fingerprint a = E.fingerprint b)
+                && (E.compare_behavioral a b <> 0
+                   || E.behavioral_fingerprint a = E.behavioral_fingerprint b))
+              pool)
+          pool);
+  ]
+
+let () =
+  Alcotest.run "fingerprint"
+    [
+      ( "registry",
+        List.concat_map
+          (fun entry -> List.map QCheck_alcotest.to_alcotest (tests_for entry))
+          Patterns_protocols.Registry.all );
+    ]

@@ -16,7 +16,7 @@ struct
     type state = int
 
     let compare = Int.compare
-    let hash = Hashtbl.hash
+    let fingerprint = Patterns_stdx.Fingerprint.of_int
     let expand = G.succs
   end)
 end
@@ -185,7 +185,41 @@ let test_metrics_merge_and_json () =
       in
       if not found then Alcotest.failf "missing %s in %s" key json)
     [ "schema"; "outcome"; "states_expanded"; "dedup_hits"; "frontier_peak"; "pruned";
-      "budget_consumed"; "roots"; "truncated_roots" ]
+      "fingerprint_probes"; "collision_fallbacks"; "intern_bindings"; "budget_consumed";
+      "roots"; "truncated_roots" ]
+
+(* The visited store never trusts a 64-bit match alone: with a
+   deliberately colliding fingerprint, membership is still resolved by
+   structural equality, and the collisions are counted. *)
+let test_store_collisions () =
+  let store =
+    Search.Store.create ~equal:Int.equal
+      ~fingerprint:(fun _ -> Patterns_stdx.Fingerprint.of_int 42)
+      ()
+  in
+  Search.Store.add store 1;
+  Search.Store.add store 2;
+  Search.Store.add store 1;
+  check Alcotest.int "distinct states stored" 2 (Search.Store.bindings store);
+  Alcotest.(check bool) "member" true (Search.Store.mem store 1);
+  Alcotest.(check bool) "colliding non-member" false (Search.Store.mem store 3);
+  check Alcotest.int "probes counted" 2 (Search.Store.probes store);
+  Alcotest.(check bool) "collisions counted" true
+    (Search.Store.collision_fallbacks store > 0)
+
+let test_store_no_false_negatives () =
+  let store =
+    Search.Store.create ~equal:Int.equal ~fingerprint:Patterns_stdx.Fingerprint.of_int ()
+  in
+  for i = 0 to 999 do
+    Search.Store.add store i
+  done;
+  for i = 0 to 999 do
+    if not (Search.Store.mem store i) then Alcotest.failf "lost %d" i
+  done;
+  check Alcotest.int "bindings" 1000 (Search.Store.bindings store);
+  check Alcotest.int "no collisions on distinct ints" 0
+    (Search.Store.collision_fallbacks store)
 
 let () =
   Alcotest.run "search"
@@ -206,5 +240,10 @@ let () =
           Alcotest.test_case "find_first smallest" `Quick test_find_first_smallest;
           Alcotest.test_case "scan" `Quick test_scan;
           Alcotest.test_case "metrics merge and json" `Quick test_metrics_merge_and_json;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "collision fallbacks" `Quick test_store_collisions;
+          Alcotest.test_case "no false negatives" `Quick test_store_no_false_negatives;
         ] );
     ]
