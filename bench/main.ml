@@ -15,6 +15,10 @@ open Patterns_stdx
    classification); --jobs on the command line, 0 = all cores. *)
 let jobs = ref 1
 
+(* Frontier size at which a search layer goes parallel; None means the
+   kernel's automatic default. *)
+let par_threshold = ref None
+
 (* --quick trims the Bechamel quota and sweep sizes for CI smoke. *)
 let quick = ref false
 
@@ -375,12 +379,19 @@ let bechamel_section () =
    — counted by the search kernel, not just the wall clock — was
    identical across jobs values. *)
 let sweep_timings () =
-  let js = List.sort_uniq Int.compare [ 1; !jobs ] in
+  (* speedup-vs-jobs curve: powers of two up to --jobs, plus --jobs
+     itself — [1;2;4;8] at --jobs 8, [1] at the default *)
+  let js =
+    let rec powers acc p = if p >= !jobs then acc else powers (p :: acc) (2 * p) in
+    List.sort_uniq Int.compare (!jobs :: powers [ 1 ] 2)
+  in
   let scheme_sweep name p ~n j =
     let (module P : Protocol.S) = p in
     let module S = Scheme.Make (P) in
     let metrics = ref Patterns_search.Metrics.zero in
-    let (pats, stats), secs = wall (fun () -> S.scheme ~metrics ~jobs:j ~n ()) in
+    let (pats, stats), secs =
+      wall (fun () -> S.scheme ~metrics ~jobs:j ?par_threshold:!par_threshold ~n ())
+    in
     ( name, j, secs,
       Printf.sprintf "patterns=%d configs=%d" (Pattern.Set.cardinal pats)
         stats.Scheme.configs_visited,
@@ -390,7 +401,8 @@ let sweep_timings () =
     let metrics = ref Patterns_search.Metrics.zero in
     let v, secs =
       wall (fun () ->
-          Classify.classify ~metrics ?max_configs ~jobs:j ~max_failures:1 ~rule ~n p)
+          Classify.classify ~metrics ?max_configs ~jobs:j ?par_threshold:!par_threshold
+            ~max_failures:1 ~rule ~n p)
     in
     (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs, !metrics)
   in
@@ -478,15 +490,22 @@ let emit_json ~path =
       in
       let kernel =
         (* the kernel's deterministic counters: identical across jobs
-           values (hunt's expanded count may overshoot by one batch) *)
+           values (hunt's expanded count may overshoot by one batch).
+           The volatile /3 fields — lock_contention, expand_seconds,
+           parallel_efficiency — are deliberately absent: a baseline
+           must only pin what every rerun reproduces. *)
         let open Patterns_search.Metrics in
         Printf.sprintf
           "\"kernel\": { \"outcome\": \"%s\", \"states_expanded\": %d, \"dedup_hits\": %d, \
            \"frontier_peak\": %d, \"pruned\": %d, \"fingerprint_probes\": %d, \
-           \"collision_fallbacks\": %d, \"intern_bindings\": %d }"
+           \"collision_fallbacks\": %d, \"intern_bindings\": %d, \"layers\": %d, \
+           \"par_layers\": %d, \"shard_bits\": %d, \"shard_occupancy_max\": %d, \
+           \"shard_occupancy_total\": %d, \"frontier_peak_sum\": %d }"
           (outcome_string metrics.outcome)
           metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
           metrics.fingerprint_probes metrics.collision_fallbacks metrics.intern_bindings
+          metrics.layers metrics.par_layers metrics.shard_bits metrics.shard_occupancy_max
+          metrics.shard_occupancy_total metrics.frontier_peak_sum
       in
       Buffer.add_string b
         (Printf.sprintf
@@ -577,8 +596,12 @@ let check_against ~baseline =
     Format.eprintf "bench --check: no sweep rows in %s@." baseline;
     exit 1
   end;
+  (* --quick on the command line trims the rerun to the quick sweep
+     subset even against a full baseline (the CI smoke job); otherwise
+     the baseline's own configuration wins *)
+  let cli_quick = !quick in
   (match top_jobs with Some j -> jobs := int_of_float j | None -> ());
-  quick := top_quick;
+  quick := cli_quick || top_quick;
   Format.printf "bench --check: %d baseline rows from %s (jobs=%d quick=%b)@."
     (List.length rows) baseline !jobs !quick;
   let sweeps = sweep_timings () in
@@ -590,13 +613,19 @@ let check_against ~baseline =
         Format.printf "  DRIFT %s@." msg)
       fmt
   in
+  let compared = ref 0 in
   List.iter
     (fun row ->
       match
         List.find_opt (fun (n, j, _, _, _) -> n = row.b_name && j = row.b_jobs) sweeps
       with
-      | None -> drift "%s (jobs=%d): row missing from current run" row.b_name row.b_jobs
+      | None ->
+        (* under a trimmed rerun, baseline rows outside the subset are
+           expected to be absent *)
+        if not (cli_quick && not top_quick) then
+          drift "%s (jobs=%d): row missing from current run" row.b_name row.b_jobs
       | Some (_, _, _, _, m) ->
+        incr compared;
         let open Patterns_search.Metrics in
         let expect key now =
           (* a key absent from the baseline row (older schema) is not
@@ -622,19 +651,38 @@ let check_against ~baseline =
         if find_sub row.b_name "hunt" 0 = None then
           expect "fingerprint_probes" m.fingerprint_probes;
         expect "collision_fallbacks" m.collision_fallbacks;
-        expect "intern_bindings" m.intern_bindings)
+        expect "intern_bindings" m.intern_bindings;
+        expect "layers" m.layers;
+        expect "par_layers" m.par_layers;
+        expect "shard_bits" m.shard_bits;
+        expect "shard_occupancy_max" m.shard_occupancy_max;
+        expect "shard_occupancy_total" m.shard_occupancy_total;
+        expect "frontier_peak_sum" m.frontier_peak_sum)
     rows;
+  (* wall-clock comparison over the rows compared on both sides *)
+  let compared_names =
+    List.filter
+      (fun r ->
+        List.exists (fun (n, j, _, _, _) -> n = r.b_name && j = r.b_jobs) sweeps)
+      rows
+  in
   let total l = List.fold_left ( +. ) 0.0 l in
-  let base_secs = total (List.map (fun r -> r.b_seconds) rows) in
-  let now_secs = total (List.map (fun (_, _, s, _, _) -> s) sweeps) in
+  let base_secs = total (List.map (fun r -> r.b_seconds) compared_names) in
+  let now_secs =
+    total
+      (List.filter_map
+         (fun (n, j, s, _, _) ->
+           if List.exists (fun r -> r.b_name = n && r.b_jobs = j) rows then Some s else None)
+         sweeps)
+  in
   let ratio = if base_secs > 0.0 then now_secs /. base_secs else 1.0 in
   Format.printf "wall-clock: %.3fs vs baseline %.3fs (%.2fx)@." now_secs base_secs ratio;
-  if ratio > 1.25 then begin
-    incr failures;
-    Format.printf "  DRIFT wall-clock regression beyond 25%% of baseline@."
-  end;
+  (* counters are the contract — wall clock is machine- and
+     load-dependent, so it warns without failing the check *)
+  if ratio > 1.25 then
+    Format.printf "  ADVISORY wall-clock beyond 25%% of baseline (not counted as drift)@.";
   if !failures = 0 then begin
-    Format.printf "bench --check: OK (counters identical, wall-clock within budget)@.";
+    Format.printf "bench --check: OK (%d rows, counters identical)@." !compared;
     exit 0
   end
   else begin
@@ -646,13 +694,18 @@ let check_against ~baseline =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--jobs J] [--json] [--quick] [--out PATH] [--check] [--baseline PATH]\n\
+    "usage: main.exe [--jobs J] [--par-threshold K] [--json] [--quick] [--out PATH] [--check] \
+     [--baseline PATH]\n\
     \  --jobs J     worker domains for the parallel sweeps (0 = all cores)\n\
+    \  --par-threshold K  frontier size at which a search layer goes parallel\n\
+    \               (default: automatic; results are identical for every value)\n\
     \  --json       emit machine-readable timings to BENCH_patterns.json and exit\n\
-    \  --quick      smaller quotas and sweeps (CI smoke)\n\
+    \  --quick      smaller quotas and sweeps (CI smoke); with --check, compares\n\
+    \               only the quick sweep subset of the baseline\n\
     \  --out P      destination for --json (default BENCH_patterns.json)\n\
-    \  --check      re-run the sweeps and compare kernel counters and wall-clock\n\
-    \               against the committed baseline; exit 1 on drift\n\
+    \  --check      re-run the sweeps and compare the kernel's deterministic\n\
+    \               counters against the committed baseline; exit 1 on counter\n\
+    \               drift (wall-clock is advisory only)\n\
     \  --baseline P baseline for --check (default BENCH_patterns.json)";
   exit 2
 
@@ -665,6 +718,10 @@ let () =
     | [] -> ()
     | ("-j" | "--jobs") :: v :: rest -> (
       match int_of_string_opt v with Some j -> jobs := j; parse rest | None -> usage ())
+    | "--par-threshold" :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some k -> par_threshold := Some k; parse rest
+      | None -> usage ())
     | "--json" :: rest ->
       json := true;
       parse rest

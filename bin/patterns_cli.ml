@@ -91,10 +91,17 @@ let jobs_arg =
 
 let resolve_jobs j = if j <= 0 then Patterns_stdx.Domain_pool.default_jobs () else j
 
+let par_threshold_arg =
+  Arg.(value & opt (some int) None
+       & info [ "par-threshold" ] ~docv:"K"
+         ~doc:"Frontier size at which a search layer is expanded across the worker domains \
+               (default: automatic). The result is identical for every value; only the \
+               wall clock changes.")
+
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/1)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/3)) \
                as JSON to $(docv); $(b,-) means stdout.")
 
 let emit_metrics dest (m : Patterns_search.Metrics.t) =
@@ -171,20 +178,22 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n jobs metrics_json =
+  let run name n jobs par_threshold metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
     let metrics = ref Patterns_search.Metrics.zero in
-    let pats, stats = S.scheme ~metrics ~jobs:(resolve_jobs jobs) ~n () in
+    let pats, stats =
+      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ~n ()
+    in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
       Patterns_pattern.Scheme.pp_scheme pats;
     emit_metrics metrics_json !metrics;
     if stats.Patterns_pattern.Scheme.truncated then exit 2
   in
   Cmd.v (Cmd.info "scheme" ~doc)
-    Term.(const run $ protocol_arg $ n_arg $ jobs_arg $ metrics_json_arg)
+    Term.(const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
 
 (* ----- realize ----- *)
 
@@ -209,7 +218,7 @@ let realize_cmd =
          & info [ "max-configs" ] ~docv:"K"
            ~doc:"Search budget; when hit, the answer is $(b,truncated), not unrealizable.")
   in
-  let run name n inputs target_of k max_configs metrics_json =
+  let run name n inputs target_of k max_configs jobs par_threshold metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let inputs = or_die (parse_inputs n inputs) in
@@ -236,7 +245,10 @@ let realize_cmd =
       (Patterns_pattern.Pattern.message_count target)
       (Patterns_pattern.Pattern.height target);
     let metrics = ref Patterns_search.Metrics.zero in
-    let result = S.realize ~metrics ~max_configs ~n ~inputs ~target () in
+    let result =
+      S.realize ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ~max_configs ~n ~inputs
+        ~target ()
+    in
     let code =
       match result with
       | Patterns_pattern.Scheme.Realized actions ->
@@ -260,7 +272,7 @@ let realize_cmd =
   Cmd.v (Cmd.info "realize" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ inputs_arg $ target_of_arg $ pattern_arg
-      $ max_configs_arg $ metrics_json_arg)
+      $ max_configs_arg $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
 
 (* ----- dot ----- *)
 
@@ -312,14 +324,15 @@ let classify_term =
            ~doc:"Exploration budget; when hit, the verdict is marked $(b,truncated) and the \
                  exit code is 2.")
   in
-  let run name n max_failures max_configs fifo_notices jobs metrics_json =
+  let run name n max_failures max_configs fifo_notices jobs par_threshold metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
       Classify.classify ~metrics ~max_failures ~max_configs ~fifo_notices
-        ~jobs:(resolve_jobs jobs) ~rule ~n entry.Patterns_protocols.Registry.protocol
+        ~jobs:(resolve_jobs jobs) ?par_threshold ~rule ~n
+        entry.Patterns_protocols.Registry.protocol
     in
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
@@ -333,7 +346,7 @@ let classify_term =
   in
   Term.(
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
-    $ jobs_arg $ metrics_json_arg)
+    $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
 
 let check_cmd =
   let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in

@@ -18,7 +18,7 @@ type verdict = {
 }
 
 let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
-    ?(jobs = 1) ~rule ~n (module P : Protocol.S) =
+    ?(jobs = 1) ?par_threshold ~rule ~n (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let options =
@@ -28,6 +28,7 @@ let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices 
       inputs_choices = Option.value inputs_choices ~default:defaults.X.inputs_choices;
       fifo_notices;
       jobs;
+      par_threshold;
     }
   in
   let r = X.explore ?metrics ~options ~rule ~n () in

@@ -34,6 +34,7 @@ val classify :
   ?inputs_choices:bool list list ->
   ?fifo_notices:bool ->
   ?jobs:int ->
+  ?par_threshold:int ->
   rule:Decision_rule.t ->
   n:int ->
   (module Protocol.S) ->

@@ -10,6 +10,7 @@ module Make (P : Protocol.S) = struct
     inputs_choices : bool list list;
     fifo_notices : bool;
     jobs : int;
+    par_threshold : int option;
   }
 
   let default_options ~n =
@@ -19,6 +20,7 @@ module Make (P : Protocol.S) = struct
       inputs_choices = Listx.all_bool_vectors n;
       fifo_notices = false;
       jobs = 1;
+      par_threshold = None;
     }
 
   type state_info = {
@@ -82,23 +84,69 @@ module Make (P : Protocol.S) = struct
     let compare = P.compare_state
   end)
 
-  (* One shard of the sweep: exhaustive DFS from a single input vector.
-     Input vectors are part of every configuration (and compared by
-     [compare_behavioral]), so shards never share reachable nodes and
-     the per-shard visited sets partition the sequential one exactly.
-     The frontier, visited set and budget live in the search kernel;
-     this function only defines the node type and hangs the paper's
-     observations on the expansion closure. *)
-  let explore_one_vector ~options ~budget ~rule ~n inputs =
-    let terminal = ref 0 in
-    let ic_violation = ref None and tc_violation = ref None in
-    let wt_violation = ref None and st_violation = ref None and ht_violation = ref None in
-    let rule_violation = ref None and validity_violation = ref None in
-    let protocol_errors = ref [] in
-    let states = ref State_map.empty in
-    let record_first cell msg = if !cell = None then cell := Some msg in
+  let first_violation a b = match a with Some _ -> a | None -> b
 
-    let observe_config config decided =
+  (* Two accumulators can observe the same state under different
+     schedules or input vectors; the merged info is the same
+     conjunction/disjunction the sequential accumulation computes.
+     The [decision] field depends only on the state itself, so either
+     side's value is correct. *)
+  let merge_info a b =
+    {
+      a with
+      commit_cooccurs = a.commit_cooccurs || b.commit_cooccurs;
+      abort_cooccurs = a.abort_cooccurs || b.abort_cooccurs;
+      always_all_ones = a.always_all_ones && b.always_all_ones;
+      input_vectors =
+        a.input_vectors
+        @ List.filter (fun c -> not (List.mem c a.input_vectors)) b.input_vectors;
+      occurrences = a.occurrences + b.occurrences;
+    }
+
+  (* Observation accumulator for the layer-synchronous driver: one per
+     expansion task, merged left-to-right in frontier order, so
+     "first violation" means first in the deterministic visitation
+     order for every [jobs].  [cells] holds the seven violation
+     witnesses, indexed below. *)
+  let ic_cell = 0
+  and tc_cell = 1
+  and wt_cell = 2
+  and st_cell = 3
+  and ht_cell = 4
+  and rule_cell = 5
+  and validity_cell = 6
+
+  type vobs = {
+    mutable terminal : int;
+    cells : string option array;
+    mutable errors : string list;
+    mutable smap : state_info State_map.t;
+  }
+
+  let vobs_empty () =
+    { terminal = 0; cells = Array.make 7 None; errors = []; smap = State_map.empty }
+
+  let vobs_merge a b =
+    a.terminal <- a.terminal + b.terminal;
+    Array.iteri (fun i v -> a.cells.(i) <- first_violation a.cells.(i) v) b.cells;
+    a.errors <- a.errors @ b.errors;
+    a.smap <- State_map.union (fun _ x y -> Some (merge_info x y)) a.smap b.smap;
+    a
+
+  (* One root of the sweep: exhaustive layer-synchronous search from a
+     single input vector.  Input vectors are part of every
+     configuration (and compared by [compare_behavioral]), so roots
+     never share reachable nodes and the per-root visited sets
+     partition the whole space exactly.  The frontier, visited store
+     and budget live in the search kernel; this function only defines
+     the node type and hangs the paper's observations on the expansion
+     closure. *)
+  let explore_one_vector ~options ~pool ~budget ~rule ~n inputs =
+    let record_first o cell msg =
+      if o.cells.(cell) = None then o.cells.(cell) <- Some msg
+    in
+
+    let observe_config o config decided =
       (* "s implies the commit rule is satisfied": track whether every
          configuration containing a state permits commit on its inputs *)
       let commit_permitted =
@@ -117,7 +165,7 @@ module Make (P : Protocol.S) = struct
       | (p0, d0) :: rest -> (
         match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
         | Some (p1, d1) ->
-          record_first ic_violation
+          record_first o ic_cell
             (Format.asprintf "operational %a in %a while %a in %a" Proc_id.pp p0 Decision.pp d0
                Proc_id.pp p1 Decision.pp d1)
         | None -> ())
@@ -132,7 +180,7 @@ module Make (P : Protocol.S) = struct
       | (p0, d0) :: rest -> (
         match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
         | Some (p1, d1) ->
-          record_first tc_violation
+          record_first o tc_cell
             (Format.asprintf "%a decided %a but %a decided %a" Proc_id.pp p0 Decision.pp d0
                Proc_id.pp p1 Decision.pp d1)
         | None -> ())
@@ -160,7 +208,7 @@ module Make (P : Protocol.S) = struct
         (fun p ->
           let s = E.state_of config p in
           let prev =
-            match State_map.find_opt s !states with
+            match State_map.find_opt s o.smap with
             | Some i -> i
             | None ->
               {
@@ -186,34 +234,34 @@ module Make (P : Protocol.S) = struct
               occurrences = prev.occurrences + 1;
             }
           in
-          states := State_map.add s info !states)
+          o.smap <- State_map.add s info o.smap)
         ops
     in
 
-    let observe_terminal config decided =
-      incr terminal;
+    let observe_terminal o config decided =
+      o.terminal <- o.terminal + 1;
       let statuses = E.statuses config in
       List.iter
         (fun p ->
           if not (E.is_failed config p) then begin
             if decided.(p) = None then
-              record_first wt_violation
+              record_first o wt_cell
                 (Format.asprintf "terminal configuration with nonfaulty %a undecided:@,%a"
                    Proc_id.pp p E.pp_config config);
             (match decided.(p) with
             | Some _ when not (statuses.(p).Status.amnesic || statuses.(p).Status.halted) ->
-              record_first st_violation
+              record_first o st_cell
                 (Format.asprintf "nonfaulty %a decided but never forgot or halted" Proc_id.pp p)
             | _ -> ());
             if not statuses.(p).Status.halted then
-              record_first ht_violation
+              record_first o ht_cell
                 (Format.asprintf "nonfaulty %a never halted" Proc_id.pp p)
           end)
         (Proc_id.all ~n:(E.n_of config))
     in
 
     (* decision-time checks carried on the trace events of one edge *)
-    let observe_events pre_config events decided =
+    let observe_events o pre_config events decided =
       let inputs = E.inputs_of pre_config in
       let failure_before =
         Array.exists Fun.id
@@ -225,7 +273,7 @@ module Make (P : Protocol.S) = struct
           | Trace.Decided { proc; decision; _ } ->
             if not (Patterns_protocols.Decision_rule.permits rule ~inputs ~failure_occurred:failure_before decision)
             then
-              record_first rule_violation
+              record_first o rule_cell
                 (Format.asprintf "%a's %a not permitted by %a" Proc_id.pp proc Decision.pp
                    decision Patterns_protocols.Decision_rule.pp rule);
             if
@@ -234,7 +282,7 @@ module Make (P : Protocol.S) = struct
                    (Decision.equal decision
                       (Patterns_protocols.Decision_rule.natural_decision rule inputs))
             then
-              record_first validity_violation
+              record_first o validity_cell
                 (Format.asprintf "failure-free path: %a decided %a, natural decision differs"
                    Proc_id.pp proc Decision.pp decision);
             let decided = Array.copy decided in
@@ -269,67 +317,57 @@ module Make (P : Protocol.S) = struct
               (match cell with None -> 0 | Some Decision.Commit -> 1 | Some Decision.Abort -> 2))
           (E.behavioral_fingerprint c) d
 
-      let expand (config, decided) =
-        observe_config config decided;
-        let actions = E.applicable ~fifo_notices:options.fifo_notices config in
-        if actions = [] then observe_terminal config decided;
-        let fail_actions =
-          if failures_in config < options.max_failures then E.failure_actions config else []
-        in
-        let succs =
-          List.filter_map
-            (fun a ->
-              match E.apply ~step:0 config a with
-              | Error e ->
-                protocol_errors := e :: !protocol_errors;
-                None
-              | Ok (config', events) -> Some (config', observe_events config events decided))
-            (actions @ fail_actions)
-        in
-        (* reversed: the historical stack discipline explores the last
-           applicable action first; truncated counts are pinned to that
-           order by the jobs-invariance tests *)
-        List.rev succs
+      (* expansion goes through the layer-synchronous driver's
+         observation interface; the serial entry point is unused *)
+      let expand _ = invalid_arg "Explore.Node.expand: use run_par"
     end in
     let module K = Patterns_search.Search.Make (Node) in
+    let node_expand o (config, decided) =
+      observe_config o config decided;
+      let actions = E.applicable ~fifo_notices:options.fifo_notices config in
+      if actions = [] then observe_terminal o config decided;
+      let fail_actions =
+        if failures_in config < options.max_failures then E.failure_actions config else []
+      in
+      let succs =
+        List.filter_map
+          (fun a ->
+            match E.apply ~step:0 config a with
+            | Error e ->
+              o.errors <- e :: o.errors;
+              None
+            | Ok (config', events) -> Some (config', observe_events o config events decided))
+          (actions @ fail_actions)
+      in
+      (* reversed: the historical stack discipline explored the last
+         applicable action first; truncated counts are pinned to that
+         order by the jobs-invariance tests *)
+      List.rev succs
+    in
     let root_config = E.init ~n ~inputs in
-    let outcome, m = K.run ~strategy:K.Dfs ~budget ~root:(root_config, Array.make n None) () in
+    let outcome, o, m =
+      K.run_par ~pool ?par_threshold:options.par_threshold ~budget
+        ~expand:{ K.empty = vobs_empty; merge = vobs_merge; expand = node_expand }
+        ~root:(root_config, Array.make n None) ()
+    in
     let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     ( {
         configs_visited = m.Patterns_search.Metrics.states_expanded;
-        terminal_configs = !terminal;
+        terminal_configs = o.terminal;
         truncated = Patterns_search.Search.truncated outcome;
-        ic_violation = !ic_violation;
-        tc_violation = !tc_violation;
-        wt_violation = !wt_violation;
-        st_violation = !st_violation;
-        ht_violation = !ht_violation;
-        rule_violation = !rule_violation;
-        validity_violation = !validity_violation;
-        protocol_errors = Listx.dedup_sorted ~cmp:String.compare !protocol_errors;
-        states = List.map snd (State_map.bindings !states);
+        ic_violation = o.cells.(ic_cell);
+        tc_violation = o.cells.(tc_cell);
+        wt_violation = o.cells.(wt_cell);
+        st_violation = o.cells.(st_cell);
+        ht_violation = o.cells.(ht_cell);
+        rule_violation = o.cells.(rule_cell);
+        validity_violation = o.cells.(validity_cell);
+        protocol_errors = Listx.dedup_sorted ~cmp:String.compare o.errors;
+        states = List.map snd (State_map.bindings o.smap);
       },
       m )
 
-  (* ----- deterministic merge of per-vector shards ----- *)
-
-  let first_violation a b = match a with Some _ -> a | None -> b
-
-  (* Two shards can observe the same state under different input
-     vectors; the merged info is the same conjunction/disjunction the
-     sequential accumulation computes.  The [decision] field depends
-     only on the state itself, so either side's value is correct. *)
-  let merge_info a b =
-    {
-      a with
-      commit_cooccurs = a.commit_cooccurs || b.commit_cooccurs;
-      abort_cooccurs = a.abort_cooccurs || b.abort_cooccurs;
-      always_all_ones = a.always_all_ones && b.always_all_ones;
-      input_vectors =
-        a.input_vectors
-        @ List.filter (fun c -> not (List.mem c a.input_vectors)) b.input_vectors;
-      occurrences = a.occurrences + b.occurrences;
-    }
+  (* ----- deterministic merge of per-vector reports ----- *)
 
   (* both lists sorted by [compare_state] (State_map binding order) *)
   let rec merge_states xs ys =
@@ -380,10 +418,23 @@ module Make (P : Protocol.S) = struct
     (* even split of the total node budget, so the sharded sweep does
        roughly the work of the old single-visited-set loop *)
     let budget = (options.max_configs + nvec - 1) / nvec in
+    (* Input vectors are baked into every configuration, so the roots
+       partition the state space.  Since PR 4 the parallelism is
+       *intra*-root: the layer-synchronous driver fans each vector's
+       frontier layers across the pool, and the outer loop stays on
+       the pool-owning domain (nested pool maps are not supported),
+       merging reports and metrics in vector order — bit-identical
+       for every [jobs]. *)
     let report, m =
-      Patterns_search.Search.shard ~jobs:options.jobs
-        ~f:(fun inputs -> explore_one_vector ~options ~budget ~rule ~n inputs)
-        ~merge:merge_reports ~init:empty_report options.inputs_choices
+      Patterns_stdx.Domain_pool.with_pool ~jobs:options.jobs (fun pool ->
+          List.fold_left
+            (fun (acc, ms) (i, inputs) ->
+              let r, m = explore_one_vector ~options ~pool ~budget ~rule ~n inputs in
+              ( merge_reports acc r,
+                Patterns_search.Metrics.merge ms
+                  (Patterns_search.Metrics.with_root_index i m) ))
+            (empty_report, Patterns_search.Metrics.zero)
+            (List.mapi (fun i v -> (i, v)) options.inputs_choices))
     in
     Patterns_search.Search.merge_into metrics m;
     report

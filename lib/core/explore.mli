@@ -35,14 +35,19 @@ module Make (P : Protocol.S) : sig
             sender's messages (fail-stop-processor discipline); the
             paper's unordered default is [false] *)
     jobs : int;
-        (** worker domains for the per-vector shards (default 1); any
-            value yields the same report, because shards are merged in
-            vector order *)
+        (** worker domains (default 1); parallelism is intra-root —
+            each vector's frontier layers are fanned across the pool
+            by the layer-synchronous driver — and any value yields the
+            same report *)
+    par_threshold : int option;
+        (** frontier size at which a layer is expanded in parallel;
+            [None] means {!Patterns_search.Search.Make.default_par_threshold}.
+            Any value yields the same report. *)
   }
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
-      unordered notices, one worker. *)
+      unordered notices, one worker, automatic parallel threshold. *)
 
   type state_info = {
     state : P.state;
@@ -105,9 +110,10 @@ module Make (P : Protocol.S) : sig
     n:int ->
     unit ->
     report
-  (** The sweep is sharded per input vector on the search kernel; the
-      optional sink accumulates the kernel's counters
-      ({!Patterns_search.Search.merge_into}). *)
+  (** One layer-synchronous search per input vector, sequentially in
+      vector order; large frontier layers fan out across
+      [options.jobs] domains.  The optional sink accumulates the
+      kernel's counters ({!Patterns_search.Search.merge_into}). *)
 
   val pp_report : Format.formatter -> report -> unit
 end

@@ -24,102 +24,135 @@ module Make (P : Protocol.S) = struct
      says how a configuration expands and what to collect at
      terminals. *)
 
-  let patterns_for_inputs_m ?(max_configs = 1_000_000) ~n ~inputs () =
-    let patterns = ref Pattern.Set.empty in
-    let terminal = ref 0 in
-    (* terminal-pattern cache: distinct terminal configurations mostly
-       repeat a handful of patterns, and extraction ([Pattern.make])
-       is far more expensive than a fingerprint probe.  Keyed by
-       [E.pattern_fp]; a hit is only trusted when [E.same_pattern_rep]
-       confirms it on the interned representation, so a fingerprint
-       collision merely costs one redundant extraction. *)
-    let seen_pats : (int, E.config list) Hashtbl.t = Hashtbl.create 64 in
-    let module Pr = struct
-      type state = E.config
+  module Pr = struct
+    type state = E.config
 
-      let compare = E.compare_config
-      let fingerprint = E.fingerprint
+    let compare = E.compare_config
+    let fingerprint = E.fingerprint
 
-      let expand c =
-        match E.applicable c with
-        | [] ->
-          incr terminal;
-          let key = Patterns_stdx.Fingerprint.to_int (E.pattern_fp c) in
-          let bucket = Option.value (Hashtbl.find_opt seen_pats key) ~default:[] in
-          if not (List.exists (E.same_pattern_rep c) bucket) then begin
-            Hashtbl.replace seen_pats key (c :: bucket);
-            patterns :=
-              Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) !patterns
-          end;
-          []
-        | actions ->
-          (* reversed: the historical stack discipline explores the
-             last applicable action first, and truncated counts are
-             pinned to that order by the jobs-invariance tests *)
-          List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) actions
-    end in
-    let module K = Search.Make (Pr) in
+    (* expansion without observation, shared by every driver below:
+       reversed, because the historical stack discipline explored the
+       last applicable action first, and truncated counts are pinned
+       to that order by the jobs-invariance tests *)
+    let successors c actions = List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) actions
+    let expand c = successors c (E.applicable c)
+  end
+
+  module K = Search.Make (Pr)
+
+  (* Per-task observation accumulator for the layer-synchronous
+     driver.  [seen_pats] is the terminal-pattern cache: distinct
+     terminal configurations mostly repeat a handful of patterns, and
+     extraction ([Pattern.make]) is far more expensive than a
+     fingerprint probe.  Keyed by [E.pattern_fp]; a hit is only
+     trusted when [E.same_pattern_rep] confirms it on the interned
+     representation, so a fingerprint collision merely costs one
+     redundant extraction.  The cache is task-local (dropped at
+     merge), so it never leaks observations across accumulators —
+     [Pattern.Set.union] dedups structurally either way. *)
+  type obs = {
+    mutable pats : Pattern.Set.t;
+    mutable terminal : int;
+    seen_pats : (int, E.config list) Hashtbl.t;
+  }
+
+  let obs_expand =
+    {
+      K.empty =
+        (fun () ->
+          { pats = Pattern.Set.empty; terminal = 0; seen_pats = Hashtbl.create 16 });
+      merge =
+        (fun a b ->
+          a.pats <- Pattern.Set.union a.pats b.pats;
+          a.terminal <- a.terminal + b.terminal;
+          a);
+      expand =
+        (fun o c ->
+          match E.applicable c with
+          | [] ->
+            o.terminal <- o.terminal + 1;
+            let key = Patterns_stdx.Fingerprint.to_int (E.pattern_fp c) in
+            let bucket = Option.value (Hashtbl.find_opt o.seen_pats key) ~default:[] in
+            if not (List.exists (E.same_pattern_rep c) bucket) then begin
+              Hashtbl.replace o.seen_pats key (c :: bucket);
+              o.pats <-
+                Pattern.Set.add (Pattern.make (E.triples_of c) (E.pattern_edges c)) o.pats
+            end;
+            []
+          | actions -> Pr.successors c actions);
+    }
+
+  let patterns_for_inputs_m ?pool ?par_threshold ?(max_configs = 1_000_000) ~n ~inputs () =
     let root = E.init ~n ~inputs in
-    let outcome, m = K.run ~strategy:K.Dfs ~budget:max_configs ~root () in
+    let outcome, o, m =
+      K.run_par ?pool ?par_threshold ~budget:max_configs ~expand:obs_expand ~root ()
+    in
     let m = Metrics.with_intern_bindings (E.intern_bindings root) m in
-    ( ( !patterns,
+    ( ( o.pats,
         {
           configs_visited = m.Metrics.states_expanded;
-          terminal_configs = !terminal;
+          terminal_configs = o.terminal;
           truncated = Search.truncated outcome;
         } ),
       m )
 
-  let patterns_for_inputs ?metrics ?max_configs ~n ~inputs () =
-    let result, m = patterns_for_inputs_m ?max_configs ~n ~inputs () in
+  let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?max_configs ~n ~inputs () =
+    let result, m =
+      Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
+          patterns_for_inputs_m ~pool ?par_threshold ?max_configs ~n ~inputs ())
+    in
     Search.merge_into metrics m;
     result
 
-  let realize ?metrics ?(max_configs = 1_000_000) ~n ~inputs ~target () =
+  let realize ?metrics ?(jobs = 1) ?par_threshold ?(max_configs = 1_000_000) ~n ~inputs
+      ~target () =
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
       let here = Pattern.make (E.triples_of c) (E.pattern_edges c) in
       Pattern.is_prefix_consistent here target
     in
-    let module Pr = struct
-      (* a configuration plus the reversed event path that reached it;
-         dedup ignores the path, exactly like the old recursive DFS *)
-      type state = E.config * Action.t list
+    let module R = struct
+      (* A configuration plus the reversed event path that reached it;
+         dedup ignores the path, exactly like the old recursive DFS.
+         [acts] memoizes [E.applicable]: the goal test needs it on the
+         owning domain (during the sequential layer scan) before the
+         expansion task does, so by the time a worker reads it the
+         lazy is already forced — no concurrent forcing. *)
+      type state = { c : E.config; path : Action.t list; acts : Action.t list Lazy.t }
 
-      let compare (a, _) (b, _) = E.compare_config a b
-      let fingerprint (c, _) = E.fingerprint c
-
-      (* [applicable] is needed by both the goal test and the
-         expansion of the same visit; cache the last answer, keyed by
-         physical identity of the state the kernel passes to both *)
-      let cache = ref None
-
-      let applicable ((c, _) as s) =
-        match !cache with
-        | Some (s0, acts) when s0 == s -> acts
-        | _ ->
-          let acts = E.applicable c in
-          cache := Some (s, acts);
-          acts
-
-      let expand ((c, path) as s) =
-        List.map (fun a -> (fst (E.apply_exn ~step:0 c a), a :: path)) (applicable s)
+      let make c path = { c; path; acts = lazy (E.applicable c) }
+      let compare a b = E.compare_config a.c b.c
+      let fingerprint s = E.fingerprint s.c
+      let expand _ = assert false
     end in
-    let module K = Search.Make (Pr) in
-    let is_goal ((c, _) as s) =
-      Pr.applicable s = []
-      && Pattern.equal (Pattern.make (E.triples_of c) (E.pattern_edges c)) target
+    let module K = Search.Make (R) in
+    let expand =
+      {
+        K.empty = Fun.id;
+        merge = (fun () () -> ());
+        expand =
+          (fun () s ->
+            List.map
+              (fun a -> R.make (fst (E.apply_exn ~step:0 s.R.c a)) (a :: s.R.path))
+              (Lazy.force s.R.acts));
+      }
     in
-    let prune (c, _) = not (prefix_ok c) in
+    let is_goal s =
+      Lazy.force s.R.acts = []
+      && Pattern.equal (Pattern.make (E.triples_of s.R.c) (E.pattern_edges s.R.c)) target
+    in
+    let prune s = not (prefix_ok s.R.c) in
     let root_config = E.init ~n ~inputs in
-    let outcome, m =
-      K.run ~strategy:K.Dfs ~budget:max_configs ~is_goal ~prune ~root:(root_config, []) ()
+    let outcome, (), m =
+      Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
+          K.run_par ~pool ?par_threshold ~budget:max_configs ~is_goal ~prune ~expand
+            ~root:(R.make root_config []) ())
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     Search.merge_into metrics m;
     match outcome with
-    | Search.Goal_found (_, path) -> Realized (List.rev path)
+    | Search.Goal_found s -> Realized (List.rev s.R.path)
     | Search.Exhausted -> Unrealizable
     | Search.Truncated _ -> Truncated
 
@@ -131,17 +164,29 @@ module Make (P : Protocol.S) = struct
     }
 
   (* Input vectors are part of every configuration, so no configuration
-     is reachable from two different vectors: sharding the outer loop
-     partitions the visited sets exactly, and the in-order merge below
-     is bit-identical to the sequential fold. *)
-  let scheme ?metrics ?max_configs ?(jobs = 1) ~n () =
+     is reachable from two different vectors: the roots partition the
+     state space.  Since PR 4 the parallelism is *intra*-root — the
+     layer-synchronous driver fans each root's frontier layers out
+     across the pool — so the outer loop over vectors stays on the
+     pool-owning domain (nested pool maps are not supported) and
+     merges payloads and metrics in vector order, bit-identical for
+     every [jobs]. *)
+  let scheme ?metrics ?max_configs ?(jobs = 1) ?par_threshold ~n () =
     let result, m =
-      Search.shard ~jobs
-        ~f:(fun inputs -> patterns_for_inputs_m ?max_configs ~n ~inputs ())
-        ~merge:(fun (acc, st) (pats, st') -> (Pattern.Set.union acc pats, merge_stats st st'))
-        ~init:
-          (Pattern.Set.empty, { configs_visited = 0; terminal_configs = 0; truncated = false })
-        (Patterns_stdx.Listx.all_bool_vectors n)
+      Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
+          List.fold_left
+            (fun ((acc, st), ms) (i, inputs) ->
+              let (pats, st'), m =
+                patterns_for_inputs_m ~pool ?par_threshold ?max_configs ~n ~inputs ()
+              in
+              ( (Pattern.Set.union acc pats, merge_stats st st'),
+                Metrics.merge ms (Metrics.with_root_index i m) ))
+            ( ( Pattern.Set.empty,
+                { configs_visited = 0; terminal_configs = 0; truncated = false } ),
+              Metrics.zero )
+            (List.mapi
+               (fun i v -> (i, v))
+               (Patterns_stdx.Listx.all_bool_vectors n)))
     in
     Search.merge_into metrics m;
     result

@@ -33,32 +33,41 @@ module Make (P : Protocol.S) : sig
 
   val patterns_for_inputs :
     ?metrics:Patterns_search.Metrics.t ref ->
+    ?jobs:int ->
+    ?par_threshold:int ->
     ?max_configs:int ->
     n:int ->
     inputs:bool list ->
     unit ->
     Pattern.Set.t * stats
   (** All patterns of failure-free executions from the given initial
-      bits.  Default [max_configs] is 1_000_000.  Every [?metrics]
-      sink in this module accumulates the kernel's counters
-      ({!Patterns_search.Search.merge_into}). *)
+      bits, enumerated by the layer-synchronous parallel BFS driver
+      ({!Patterns_search.Search.Make.run_par}): frontier layers that
+      reach [par_threshold] states (default
+      {!Patterns_search.Search.Make.default_par_threshold}) are
+      expanded across [jobs] domains.  The result is bit-identical for
+      every [jobs] and [par_threshold].  Default [max_configs] is
+      1_000_000.  Every [?metrics] sink in this module accumulates the
+      kernel's counters ({!Patterns_search.Search.merge_into}). *)
 
   val scheme :
     ?metrics:Patterns_search.Metrics.t ref ->
     ?max_configs:int ->
     ?jobs:int ->
+    ?par_threshold:int ->
     n:int ->
     unit ->
     Pattern.Set.t * stats
   (** Union over all [2^n] input vectors: the scheme proper.  Stats
-      are summed.  With [jobs > 1] (default 1) the input vectors are
-      sharded per root by the search kernel on a
-      {!Patterns_stdx.Domain_pool}; the result is bit-identical to
-      the sequential run, because input vectors partition the
-      configuration space and shards are merged in vector order. *)
+      are summed in vector order.  Parallelism is intra-root: each
+      vector's frontier layers are fanned out across [jobs] domains by
+      the layer-synchronous driver; the result is bit-identical to the
+      sequential run for every [jobs] and [par_threshold]. *)
 
   val realize :
     ?metrics:Patterns_search.Metrics.t ref ->
+    ?jobs:int ->
+    ?par_threshold:int ->
     ?max_configs:int ->
     n:int ->
     inputs:bool list ->
@@ -66,10 +75,11 @@ module Make (P : Protocol.S) : sig
     unit ->
     realization
   (** Synthesize a failure-free execution whose communication pattern
-      is exactly [target]: a depth-first search over applicable events
-      pruned to pattern prefixes of the target.  {!Truncated} is
-      distinct from {!Unrealizable}: an answer cut short by
-      [max_configs] is not evidence of unrealizability. *)
+      is exactly [target]: a layer-synchronous search over applicable
+      events pruned to pattern prefixes of the target — the witness is
+      a shortest realization, identical for every [jobs].
+      {!Truncated} is distinct from {!Unrealizable}: an answer cut
+      short by [max_configs] is not evidence of unrealizability. *)
 end
 
 val subscheme : Pattern.Set.t -> Pattern.Set.t -> bool

@@ -38,6 +38,14 @@ type t = {
   budget_consumed : int;
   roots : int;
   truncated_roots : int;
+  layers : int;
+  par_layers : int;
+  shard_bits : int;
+  shard_occupancy_max : int;
+  shard_occupancy_total : int;
+  frontier_peak_sum : int;
+  lock_contention : int;
+  expand_seconds : float;
   shards : shard list;
 }
 
@@ -54,11 +62,20 @@ let zero =
     budget_consumed = 0;
     roots = 0;
     truncated_roots = 0;
+    layers = 0;
+    par_layers = 0;
+    shard_bits = 0;
+    shard_occupancy_max = 0;
+    shard_occupancy_total = 0;
+    frontier_peak_sum = 0;
+    lock_contention = 0;
+    expand_seconds = 0.;
     shards = [];
   }
 
 let of_shard outcome (s : shard) =
   {
+    zero with
     outcome;
     states_expanded = s.states_expanded;
     dedup_hits = s.dedup_hits;
@@ -70,7 +87,26 @@ let of_shard outcome (s : shard) =
     budget_consumed = s.states_expanded;
     roots = 1;
     truncated_roots = (if outcome = Truncated then 1 else 0);
+    frontier_peak_sum = s.frontier_peak;
     shards = [ s ];
+  }
+
+(* Retag a single-root metrics record with the layer-synchronous
+   driver's statistics.  Every field except [lock_contention] and
+   [expand_seconds] is deterministic: layer structure and shard
+   occupancy are functions of the reachable graph (and the constant
+   [shard_bits]), not of the worker count. *)
+let with_par ~layers ~par_layers ~shard_bits ~occupancy_max ~occupancy_total
+    ~lock_contention ~expand_seconds m =
+  {
+    m with
+    layers;
+    par_layers;
+    shard_bits;
+    shard_occupancy_max = occupancy_max;
+    shard_occupancy_total = occupancy_total;
+    lock_contention;
+    expand_seconds;
   }
 
 let with_root_index i m =
@@ -98,17 +134,39 @@ let merge a b =
     budget_consumed = a.budget_consumed + b.budget_consumed;
     roots = a.roots + b.roots;
     truncated_roots = a.truncated_roots + b.truncated_roots;
+    layers = a.layers + b.layers;
+    par_layers = a.par_layers + b.par_layers;
+    shard_bits = max a.shard_bits b.shard_bits;
+    shard_occupancy_max = max a.shard_occupancy_max b.shard_occupancy_max;
+    shard_occupancy_total = a.shard_occupancy_total + b.shard_occupancy_total;
+    frontier_peak_sum = a.frontier_peak_sum + b.frontier_peak_sum;
+    lock_contention = a.lock_contention + b.lock_contention;
+    expand_seconds = a.expand_seconds +. b.expand_seconds;
     shards = a.shards @ b.shards;
   }
 
 (* Hand-rolled rendering, like the bench harness: no JSON dependency.
    Key order is part of the schema and pinned by the cram test.
-   Schema /2 appends the fingerprint-store counters after "pruned";
-   every /1 field is unchanged in name, meaning and order. *)
+   Schema /2 appended the fingerprint-store counters after "pruned";
+   schema /3 appends the layer-synchronous driver fields after
+   "truncated_roots"; every /1 and /2 field is unchanged in name,
+   meaning and order.  "lock_contention", "expand_seconds" and
+   "parallel_efficiency" are the only nondeterministic top-level
+   fields (normalized away by the cram test, never compared by the
+   bench --check gate). *)
+let wall_seconds m = List.fold_left (fun acc (s : shard) -> acc +. s.seconds) 0. m.shards
+
+(* expand-time over wall-time: the fraction of the run spent inside
+   successor expansion, summed across workers — values above 1 mean
+   expansion actually overlapped across domains. *)
+let parallel_efficiency m =
+  let wall = wall_seconds m in
+  if wall > 0. then m.expand_seconds /. wall else 0.
+
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/2\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/3\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -121,7 +179,19 @@ let to_json ?(shards = true) m =
   Buffer.add_string b (Printf.sprintf "  \"intern_bindings\": %d,\n" m.intern_bindings);
   Buffer.add_string b (Printf.sprintf "  \"budget_consumed\": %d,\n" m.budget_consumed);
   Buffer.add_string b (Printf.sprintf "  \"roots\": %d,\n" m.roots);
-  Buffer.add_string b (Printf.sprintf "  \"truncated_roots\": %d" m.truncated_roots);
+  Buffer.add_string b (Printf.sprintf "  \"truncated_roots\": %d,\n" m.truncated_roots);
+  Buffer.add_string b (Printf.sprintf "  \"layers\": %d,\n" m.layers);
+  Buffer.add_string b (Printf.sprintf "  \"par_layers\": %d,\n" m.par_layers);
+  Buffer.add_string b (Printf.sprintf "  \"shard_bits\": %d,\n" m.shard_bits);
+  Buffer.add_string b
+    (Printf.sprintf "  \"shard_occupancy_max\": %d,\n" m.shard_occupancy_max);
+  Buffer.add_string b
+    (Printf.sprintf "  \"shard_occupancy_total\": %d,\n" m.shard_occupancy_total);
+  Buffer.add_string b (Printf.sprintf "  \"frontier_peak_sum\": %d,\n" m.frontier_peak_sum);
+  Buffer.add_string b (Printf.sprintf "  \"lock_contention\": %d,\n" m.lock_contention);
+  Buffer.add_string b (Printf.sprintf "  \"expand_seconds\": %.6f,\n" m.expand_seconds);
+  Buffer.add_string b
+    (Printf.sprintf "  \"parallel_efficiency\": %.3f" (parallel_efficiency m));
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

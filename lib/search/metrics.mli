@@ -46,6 +46,31 @@ type t = {
   budget_consumed : int;  (** total budget units spent = states expanded *)
   roots : int;
   truncated_roots : int;
+  layers : int;  (** BFS layers completed by the layer-synchronous driver *)
+  par_layers : int;
+      (** layers whose frontier met the parallel-dispatch threshold —
+          counted whether or not more than one worker existed, so the
+          value is identical for every [--jobs] *)
+  shard_bits : int;
+      (** log2 of the visited-store shard count (0 for the serial
+          driver); maxed on merge *)
+  shard_occupancy_max : int;
+      (** largest per-shard binding count in any sharded store; maxed
+          on merge *)
+  shard_occupancy_total : int;
+      (** total bindings across all shards of all sharded stores *)
+  frontier_peak_sum : int;
+      (** sum of per-root frontier peaks — the aggregate companion to
+          [frontier_peak], which reports the max-of-peaks (summing
+          peaks over-reports peak memory: the roots do not all peak at
+          once) *)
+  lock_contention : int;
+      (** shard-mutex acquisitions that found the lock held —
+          nondeterministic under [jobs > 1], never compared across
+          runs *)
+  expand_seconds : float;
+      (** wall-clock summed over expansion tasks across workers
+          (nondeterministic) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -63,6 +88,26 @@ val with_intern_bindings : int -> t -> t
     The kernel cannot see the client's intern tables, so per-root
     metrics are retagged with the root's table size after the run. *)
 
+val with_par :
+  layers:int ->
+  par_layers:int ->
+  shard_bits:int ->
+  occupancy_max:int ->
+  occupancy_total:int ->
+  lock_contention:int ->
+  expand_seconds:float ->
+  t ->
+  t
+(** Retag a single-root record with the layer-synchronous driver's
+    statistics.  All but [lock_contention] and [expand_seconds] are
+    deterministic functions of the reachable graph. *)
+
+val parallel_efficiency : t -> float
+(** [expand_seconds] over summed shard wall-clock: the fraction of the
+    run spent inside successor expansion, summed across workers.
+    Values above 1 mean expansion overlapped across domains.
+    Nondeterministic. *)
+
 val merge : t -> t -> t
 (** Counters are summed, [frontier_peak] maxed, outcomes joined
     ([Goal_found] > [Truncated] > [Exhausted]), shard lists
@@ -70,11 +115,11 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/2"]: every /1 key is unchanged in
-    name, meaning and order; the fingerprint-store counters are
-    appended after ["pruned"].  Key order is stable and pinned by the
-    cram test; [?shards:false] omits the per-shard array (whose
-    [seconds] are nondeterministic). *)
+(** Schema ["patterns-search-metrics/3"]: every /1 and /2 key is
+    unchanged in name, meaning and order; the layer-synchronous driver
+    fields are appended after ["truncated_roots"].  Key order is
+    stable and pinned by the cram test; [?shards:false] omits the
+    per-shard array (whose [seconds] are nondeterministic). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: [expanded=… dedup=… peak=… outcome=…]. *)

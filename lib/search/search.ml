@@ -84,6 +84,19 @@ end
 module Make (P : Problem) = struct
   type strategy = Bfs | Dfs | Priority of (P.state -> P.state -> int)
 
+  (* Observation interface for the layer-synchronous parallel driver.
+     Each expansion task works against a fresh accumulator from
+     [empty]; task accumulators are merged left-to-right in frontier
+     order, so for an associative [merge] the folded observation is
+     independent of how the layer was chunked — and the chunking
+     itself is a function of the layer size only, never of the worker
+     count. *)
+  type 'obs par_expand = {
+    empty : unit -> 'obs;
+    merge : 'obs -> 'obs -> 'obs;
+    expand : 'obs -> P.state -> P.state list;
+  }
+
   let run ?(strategy = Dfs) ?(budget = max_int) ?is_goal ?prune ~root () =
     let visited =
       Store.create ~equal:(fun a b -> P.compare a b = 0) ~fingerprint:P.fingerprint ()
@@ -177,6 +190,175 @@ module Make (P : Problem) = struct
       }
     in
     (outcome, Metrics.of_shard (outcome_kind outcome) shard)
+
+  (* ----- level-synchronous parallel BFS ----- *)
+
+  let default_par_threshold = 128
+
+  (* Chunk size is a function of the layer size alone — never of the
+     worker count — so accumulator boundaries (and hence the merge
+     tree) are reproducible for every [--jobs].  ~64 chunks per large
+     layer keeps the pool's work units coarse. *)
+  let chunk_frontier states len =
+    let size = max 16 ((len + 63) / 64) in
+    let rec go acc cur n = function
+      | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+      | s :: tl ->
+        if n = size then go (List.rev cur :: acc) [ s ] 1 tl
+        else go acc (s :: cur) (n + 1) tl
+    in
+    go [] [] 0 states
+
+  let run_par ?pool ?(par_threshold = default_par_threshold) ?shard_bits
+      ?(budget = max_int) ?is_goal ?prune ~expand:obs_iface ~root () =
+    let visited =
+      Sharded_store.create ?shard_bits
+        ~equal:(fun a b -> P.compare a b = 0)
+        ~fingerprint:P.fingerprint ()
+    in
+    let expanded = ref 0 and dedup = ref 0 and pruned = ref 0 in
+    let peak = ref 0 and layers = ref 0 and par_layers = ref 0 in
+    let expand_seconds = ref 0. in
+    let goal = match is_goal with Some g -> g | None -> fun _ -> false in
+    let nshards = Sharded_store.shards visited in
+    (* Work is dispatched through the pool only for layers that met
+       the threshold; the tasks themselves are identical either way,
+       so the threshold (like the worker count) cannot change any
+       result — only where the work runs. *)
+    let map_tasks par f tasks =
+      match pool with
+      | Some p when par && Domain_pool.jobs p > 1 -> Domain_pool.map p f tasks
+      | _ -> List.map f tasks
+    in
+    let obs = ref (obs_iface.empty ()) in
+    let t0 = Unix.gettimeofday () in
+    ignore (Sharded_store.add_if_absent visited root : bool);
+    let rec loop frontier =
+      match frontier with
+      | [] -> Exhausted
+      | _ ->
+        let len = List.length frontier in
+        incr layers;
+        if len > !peak then peak := len;
+        let par = len >= par_threshold in
+        if par then incr par_layers;
+        (* budget and goal are charged in frontier order before any
+           expansion, so a mid-layer stop is deterministic *)
+        let rec charge = function
+          | [] -> None
+          | s :: tl ->
+            if !expanded >= budget then
+              Some (Truncated (Budget_exhausted { budget; consumed = !expanded }))
+            else begin
+              incr expanded;
+              if goal s then Some (Goal_found s) else charge tl
+            end
+        in
+        (match charge frontier with
+        | Some outcome -> outcome
+        | None ->
+          (* phase A: expand chunks in parallel against the store,
+             which no task mutates — probes are read-only *)
+          let results =
+            map_tasks par
+              (fun chunk ->
+                let t0 = Unix.gettimeofday () in
+                let o = obs_iface.empty () in
+                let dd = ref 0 and pr = ref 0 in
+                let keep s =
+                  if Sharded_store.mem visited s then begin
+                    incr dd;
+                    false
+                  end
+                  else
+                    match prune with
+                    | Some p when p s ->
+                      incr pr;
+                      false
+                    | _ -> true
+                in
+                let succs =
+                  List.concat_map
+                    (fun s -> List.filter keep (obs_iface.expand o s))
+                    chunk
+                in
+                (o, succs, !dd, !pr, Unix.gettimeofday () -. t0))
+              (chunk_frontier frontier len)
+          in
+          (* merge in chunk order = frontier order *)
+          let candidates =
+            List.concat_map
+              (fun (o, succs, dd, pr, secs) ->
+                obs := obs_iface.merge !obs o;
+                dedup := !dedup + dd;
+                pruned := !pruned + pr;
+                expand_seconds := !expand_seconds +. secs;
+                succs)
+              results
+          in
+          (* phase B: partition candidates by shard, keeping frontier
+             order within each shard; one insertion task per shard, so
+             every shard sees a canonical insertion order and the
+             per-shard locks never collide with each other *)
+          let by_shard = Array.make nshards [] in
+          List.iter
+            (fun s ->
+              let i = Sharded_store.shard_of_state visited s in
+              by_shard.(i) <- s :: by_shard.(i))
+            candidates;
+          let fresh =
+            map_tasks par
+              (fun cands ->
+                let dups = ref 0 in
+                let kept =
+                  List.filter
+                    (fun c ->
+                      if Sharded_store.add_if_absent visited c then true
+                      else begin
+                        incr dups;
+                        false
+                      end)
+                    cands
+                in
+                (kept, !dups))
+              (List.init nshards (fun i -> List.rev by_shard.(i)))
+          in
+          (* next frontier: concatenation in (shard-index, insertion)
+             order — the canonical layer order *)
+          let next =
+            List.concat_map
+              (fun (kept, dups) ->
+                dedup := !dedup + dups;
+                kept)
+              fresh
+          in
+          loop next)
+    in
+    let outcome = loop [ root ] in
+    let seconds = Unix.gettimeofday () -. t0 in
+    let shard =
+      {
+        Metrics.root = 0;
+        states_expanded = !expanded;
+        dedup_hits = !dedup;
+        frontier_peak = !peak;
+        pruned = !pruned;
+        fingerprint_probes = Sharded_store.probes visited;
+        collision_fallbacks = Sharded_store.collision_fallbacks visited;
+        intern_bindings = 0;
+        seconds;
+      }
+    in
+    let m =
+      Metrics.of_shard (outcome_kind outcome) shard
+      |> Metrics.with_par ~layers:!layers ~par_layers:!par_layers
+           ~shard_bits:(Sharded_store.shard_bits visited)
+           ~occupancy_max:(Sharded_store.occupancy_max visited)
+           ~occupancy_total:(Sharded_store.bindings visited)
+           ~lock_contention:(Sharded_store.lock_contention visited)
+           ~expand_seconds:!expand_seconds
+    in
+    (outcome, !obs, m)
 end
 
 (* ----- deterministic sharding per root ----- *)

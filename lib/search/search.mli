@@ -118,6 +118,53 @@ module Make (P : Problem) : sig
       goal-exempt.  The visited set is a {!Store} keyed on
       [P.fingerprint]; its probe and collision counters are reported
       in the metrics. *)
+
+  (** Observation interface for {!run_par}.  Each expansion task works
+      against a fresh accumulator from [empty]; task accumulators are
+      merged left-to-right in frontier order.  [merge] must be
+      associative — then the folded observation equals the sequential
+      fold over the layer in frontier order, independent of how the
+      layer was chunked (and the chunking itself is a function of the
+      layer size only, never of the worker count). *)
+  type 'obs par_expand = {
+    empty : unit -> 'obs;
+    merge : 'obs -> 'obs -> 'obs;
+    expand : 'obs -> P.state -> P.state list;
+  }
+
+  val default_par_threshold : int
+  (** 128 — layers smaller than this run inline on the calling domain;
+      at or above it, chunks are dispatched to the pool.  Either path
+      performs the identical work in the identical order. *)
+
+  val run_par :
+    ?pool:Patterns_stdx.Domain_pool.t ->
+    ?par_threshold:int ->
+    ?shard_bits:int ->
+    ?budget:int ->
+    ?is_goal:(P.state -> bool) ->
+    ?prune:(P.state -> bool) ->
+    expand:'obs par_expand ->
+    root:P.state ->
+    unit ->
+    P.state outcome * 'obs * Metrics.t
+  (** Level-synchronous parallel BFS.  Each frontier layer is charged
+      against the budget and scanned for goals sequentially in frontier
+      order (so mid-layer stops are deterministic), then expanded in
+      chunks — in parallel across [pool] when the layer size reaches
+      [par_threshold] — against the {!Patterns_stdx.Sharded_store}
+      visited set, which no expansion task mutates.  Surviving
+      successors are partitioned by shard and inserted by one task per
+      shard, each in frontier order; the next frontier is their
+      concatenation in (shard-index, insertion) order.  Every result,
+      observation and deterministic counter is therefore bit-identical
+      for every pool size, threshold and dispatch path.  Calling from
+      the pool-owning domain is required (the pool forbids nested
+      [map]s).  Counter semantics match {!run}: [states_expanded]
+      counts budget-charged states, [dedup_hits] counts
+      visited/duplicate suppressions (probe-time and insert-time),
+      [pruned] counts prune rejections; [fingerprint_probes] counts
+      one probe per successor filter and one per insertion attempt. *)
 end
 
 val shard :

@@ -20,9 +20,23 @@ module Make (P : Protocol.S) = struct
      constructed under one [init] is routed through this table, so
      structurally equal sets reached along different schedules are
      pointer-shared and their fingerprints are computed once.  The
-     context is single-domain state — each search root calls [init]
-     inside its own worker, so shards never share a table. *)
+     tables are shared by every configuration descended from one
+     [init]; under the layer-synchronous parallel driver several
+     domains expand such siblings at once, so every table access takes
+     [lock].  Which physical representative wins a concurrent intern
+     race is timing-dependent, but representatives are only ever used
+     as a fast path for structural equality, so no observable result
+     depends on the winner.
+
+     [track = false] configurations ([init ~track_fingerprints:false],
+     the default for {!run}) skip fingerprint maintenance and
+     interning entirely: linear runs with no visited store attached —
+     the randomized audits, the hunts — pay nothing for dedup
+     machinery they never use.  Their fingerprints are computed by
+     full folds on first demand and memoized. *)
   type ctx = {
+    track : bool;
+    lock : Mutex.t;
     sets : Triple.Fset.t Intern.t;
     states : P.state Intern.t;
     edge_sets : Pair_set.t Intern.t;
@@ -45,8 +59,14 @@ module Make (P : Protocol.S) = struct
        edge set and the edge half of the terminal pattern identity *)
     efp : F.t;
     trips : Triple.Fset.t;
-    bfp : F.t;  (* behavioral fingerprint: n, inputs, states, failed, buffers *)
-    pfp : F.t;  (* pattern-bookkeeping fingerprint: sent counts, knowledge, edges, trips *)
+    (* behavioral fingerprint (n, inputs, states, failed, buffers) and
+       pattern-bookkeeping fingerprint (sent counts, knowledge, edges,
+       trips).  Maintained incrementally by [apply] under a tracking
+       [ctx]; otherwise stale until [ensure_fps] memoizes the full
+       folds on first demand ([fps_valid] says which). *)
+    mutable bfp : F.t;
+    mutable pfp : F.t;
+    mutable fps_valid : bool;
     ctx : ctx;
   }
 
@@ -120,7 +140,7 @@ module Make (P : Protocol.S) = struct
     List.iter (fun tr -> acc := F.combine !acc (fp_trip tr)) (Triple.Fset.elements trips);
     !acc
 
-  let init ~n ~inputs =
+  let init_with ~track_fingerprints ~n ~inputs =
     if not (P.valid_n n) then
       invalid_arg (Printf.sprintf "Engine.init: protocol %s does not support n = %d" P.name n);
     if List.length inputs <> n then
@@ -137,7 +157,11 @@ module Make (P : Protocol.S) = struct
       states;
     let failed = Array.make n false in
     let buffers = Array.make n [] in
-    let state_fps = Array.init n (fun i -> fp_state_at i (P.hash_state states.(i))) in
+    let state_fps =
+      if track_fingerprints then
+        Array.init n (fun i -> fp_state_at i (P.hash_state states.(i)))
+      else Array.make n F.zero
+    in
     {
       n;
       inputs;
@@ -150,15 +174,21 @@ module Make (P : Protocol.S) = struct
       edges = Pair_set.empty;
       efp = F.zero;
       trips = Triple.Fset.empty;
-      bfp = scratch_bfp ~n ~inputs ~states ~failed ~buffers;
+      bfp = (if track_fingerprints then scratch_bfp ~n ~inputs ~states ~failed ~buffers else F.zero);
       pfp = F.zero;
+      fps_valid = track_fingerprints;
       ctx =
         {
+          track = track_fingerprints;
+          lock = Mutex.create ();
           sets = Intern.create ~equal:Triple.Fset.equal ();
           states = Intern.create ~equal:(fun a b -> P.compare_state a b = 0) ();
           edge_sets = Intern.create ~equal:Pair_set.equal ();
         };
     }
+
+  let init ~n ~inputs = init_with ~track_fingerprints:true ~n ~inputs
+  let init_untracked ~n ~inputs = init_with ~track_fingerprints:false ~n ~inputs
 
   let n_of c = c.n
   let inputs_of c = Array.copy c.inputs
@@ -278,8 +308,29 @@ module Make (P : Protocol.S) = struct
             let c = if a.edges == b.edges then 0 else Pair_set.compare a.edges b.edges in
             if c <> 0 then c else Triple.Fset.compare a.trips b.trips
 
-  let fingerprint c = F.combine c.bfp c.pfp
-  let behavioral_fingerprint c = c.bfp
+  (* Lazy fallback for untracked configurations: the full folds run on
+     the first probe and the result is memoized in place.  Untracked
+     configurations live inside linear single-domain runs, so the
+     mutation is unshared; tracked configurations are always valid and
+     never mutated here. *)
+  let ensure_fps c =
+    if not c.fps_valid then begin
+      c.bfp <-
+        scratch_bfp ~n:c.n ~inputs:c.inputs ~states:c.states ~failed:c.failed
+          ~buffers:c.buffers;
+      c.pfp <-
+        scratch_pfp ~sent_count:c.sent_count ~knowledge:c.knowledge ~edges:c.edges
+          ~trips:c.trips;
+      c.fps_valid <- true
+    end
+
+  let fingerprint c =
+    ensure_fps c;
+    F.combine c.bfp c.pfp
+
+  let behavioral_fingerprint c =
+    ensure_fps c;
+    c.bfp
 
   let fingerprint_from_scratch c =
     F.combine
@@ -289,7 +340,7 @@ module Make (P : Protocol.S) = struct
   let intern_bindings c =
     Intern.bindings c.ctx.sets + Intern.bindings c.ctx.states
     + Intern.bindings c.ctx.edge_sets
-  let hash_behavioral c = F.to_int c.bfp
+  let hash_behavioral c = F.to_int (behavioral_fingerprint c)
   let hash_config c = F.to_int (fingerprint c)
 
   let pp_entry ppf = function
@@ -365,9 +416,15 @@ module Make (P : Protocol.S) = struct
 
   let ( let* ) = Result.bind
 
+  let locked c f =
+    Mutex.lock c.ctx.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock c.ctx.lock) f
+
   (* route a freshly built set through the per-root intern table:
      schedules that reassemble the same set share one physical copy *)
-  let interned c fs = Intern.intern c.ctx.sets ~fp:(Triple.Fset.fp fs) fs
+  let interned c fs =
+    if not c.ctx.track then fs
+    else locked c (fun () -> Intern.intern c.ctx.sets ~fp:(Triple.Fset.fp fs) fs)
 
   (* hash-consed protocol states: schedules that drive a processor to
      the same local state share one physical copy, so the
@@ -375,23 +432,37 @@ module Make (P : Protocol.S) = struct
      every dedup confirmation without calling [P.compare_state].  The
      intern key reuses the [P.hash_state] word the fingerprint update
      needs anyway. *)
-  let interned_state c ~h st = Intern.intern c.ctx.states ~fp:(F.of_int h) st
+  let interned_state c ~h st =
+    locked c (fun () -> Intern.intern c.ctx.states ~fp:(F.of_int h) st)
 
   let apply_send ~step c p =
     let before = P.status c.states.(p) in
     let outgoing, state' = P.send ~n:c.n ~me:p c.states.(p) in
     let after = P.status state' in
     let* () = check_transition p before after in
+    let track = c.ctx.track in
     let states = Array.copy c.states in
-    let state_fps = Array.copy c.state_fps in
-    let h' = P.hash_state state' in
-    let word = fp_state_at p h' in
-    let bfp = F.combine (F.remove c.bfp state_fps.(p)) word in
-    state_fps.(p) <- word;
-    states.(p) <- interned_state c ~h:h' state';
+    let state_fps = if track then Array.copy c.state_fps else c.state_fps in
+    let bfp =
+      if track then begin
+        let h' = P.hash_state state' in
+        let word = fp_state_at p h' in
+        let b = F.combine (F.remove c.bfp state_fps.(p)) word in
+        state_fps.(p) <- word;
+        states.(p) <- interned_state c ~h:h' state';
+        b
+      end
+      else begin
+        states.(p) <- state';
+        F.zero
+      end
+    in
     let flips = status_events ~step p before after in
     match outgoing with
-    | None -> Ok ({ c with states; state_fps; bfp }, Trace.Null_step { step; proc = p } :: flips)
+    | None ->
+      Ok
+        ( { c with states; state_fps; bfp; fps_valid = track },
+          Trace.Null_step { step; proc = p } :: flips )
     | Some (dst, payload) ->
       if Proc_id.equal dst p then
         Error (Printf.sprintf "protocol %s: %s tried to send to itself" P.name (Proc_id.to_string p))
@@ -411,25 +482,38 @@ module Make (P : Protocol.S) = struct
         let edges =
           List.fold_left (fun acc m1 -> Pair_set.add (m1, triple) acc) c.edges causes
         in
+        (* [efp] is maintained even untracked: it is the intern key and
+           the edge half of {!pattern_fp}, and the combines are cheap
+           next to the [Pair_set.add]s above *)
         let efp =
           List.fold_left (fun h m1 -> F.combine h (fp_edge m1 triple)) c.efp causes
         in
-        let edges = Intern.intern c.ctx.edge_sets ~fp:efp edges in
+        let edges =
+          if track then locked c (fun () -> Intern.intern c.ctx.edge_sets ~fp:efp edges)
+          else edges
+        in
         let entry = Data { triple; payload } in
         let buffers = Array.copy c.buffers in
         buffers.(dst) <- buffers.(dst) @ [ entry ];
-        let bfp = F.combine bfp (fp_entry dst entry) in
-        let pfp =
-          F.combine
-            (F.remove c.pfp (fp_sent_at idx old_count))
-            (fp_sent_at idx (old_count + 1))
+        let bfp, pfp =
+          if track then begin
+            let bfp = F.combine bfp (fp_entry dst entry) in
+            let pfp =
+              F.combine
+                (F.remove c.pfp (fp_sent_at idx old_count))
+                (fp_sent_at idx (old_count + 1))
+            in
+            let pfp = F.combine pfp (fp_know_at p triple) in
+            let pfp = F.combine pfp (F.remove efp c.efp) in
+            let pfp = F.combine pfp (fp_trip triple) in
+            (bfp, pfp)
+          end
+          else (F.zero, F.zero)
         in
-        let pfp = F.combine pfp (fp_know_at p triple) in
-        let pfp = F.combine pfp (F.remove efp c.efp) in
-        let pfp = F.combine pfp (fp_trip triple) in
         let c' =
           { c with states; state_fps; sent_count; knowledge; edges; efp; buffers;
-            trips = interned c (Triple.Fset.add_new triple c.trips); bfp; pfp }
+            trips = interned c (Triple.Fset.add_new triple c.trips); bfp; pfp;
+            fps_valid = track }
         in
         Ok (c', Trace.Sent { step; triple; payload; causes } :: flips)
       end
@@ -459,24 +543,35 @@ module Make (P : Protocol.S) = struct
       let state' = P.receive ~n:c.n ~me:p c.states.(p) incoming in
       let after = P.status state' in
       let* () = check_transition p before after in
+      let track = c.ctx.track in
       let states = Array.copy c.states in
-      let state_fps = Array.copy c.state_fps in
-      let h' = P.hash_state state' in
-      let word = fp_state_at p h' in
-      let bfp = F.combine (F.remove c.bfp state_fps.(p)) word in
-      state_fps.(p) <- word;
-      let bfp = F.remove bfp (fp_entry p entry) in
-      states.(p) <- interned_state c ~h:h' state';
+      let state_fps = if track then Array.copy c.state_fps else c.state_fps in
+      let bfp, pfp =
+        if track then begin
+          let h' = P.hash_state state' in
+          let word = fp_state_at p h' in
+          let bfp = F.combine (F.remove c.bfp state_fps.(p)) word in
+          state_fps.(p) <- word;
+          let bfp = F.remove bfp (fp_entry p entry) in
+          states.(p) <- interned_state c ~h:h' state';
+          (bfp, F.combine c.pfp know_delta)
+        end
+        else begin
+          states.(p) <- state';
+          (F.zero, F.zero)
+        end
+      in
       let buffers = Array.copy c.buffers in
       buffers.(p) <- List.filteri (fun i _ -> i <> index) buffers.(p);
       let flips = status_events ~step p before after in
       Ok
-        ( { c with states; state_fps; buffers; knowledge; bfp; pfp = F.combine c.pfp know_delta },
+        ( { c with states; state_fps; buffers; knowledge; bfp; pfp; fps_valid = track },
           delivered_event :: flips )
 
   let apply_fail ~step c p =
     if c.failed.(p) then Error (Printf.sprintf "fail: p%d has already failed" p)
     else begin
+      let track = c.ctx.track in
       let failed = Array.copy c.failed in
       failed.(p) <- true;
       let buffers = Array.copy c.buffers in
@@ -484,11 +579,13 @@ module Make (P : Protocol.S) = struct
         List.fold_left
           (fun h q ->
             buffers.(q) <- buffers.(q) @ [ Note p ];
-            F.combine h (fp_entry q (Note p)))
-          (F.combine c.bfp (fp_failed_at p))
+            if track then F.combine h (fp_entry q (Note p)) else h)
+          (if track then F.combine c.bfp (fp_failed_at p) else F.zero)
           (Proc_id.others ~n:c.n p)
       in
-      Ok ({ c with failed; buffers; bfp }, [ Trace.Failed_proc { step; proc = p } ])
+      Ok
+        ( { c with failed; buffers; bfp; fps_valid = track },
+          [ Trace.Failed_proc { step; proc = p } ] )
     end
 
   let apply ~step c action =
@@ -566,7 +663,12 @@ module Make (P : Protocol.S) = struct
     quiescent : bool;
   }
 
-  let run ?(max_steps = 100_000) ?(failures = []) ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+  (* Linear runs attach no visited store, so by default they carry
+     untracked configurations: no hashing, no fingerprint deltas, no
+     interning — the fingerprints are recomputed lazily in the
+     (unusual) case someone probes the final configuration. *)
+  let run ?(track_fingerprints = false) ?(max_steps = 100_000) ?(failures = [])
+      ?(fifo_notices = false) ~scheduler ~n ~inputs () =
     let rec loop c step rev_trace pending_failures =
       if step >= max_steps then
         { final = c; trace = List.rev rev_trace; steps = step; quiescent = false }
@@ -587,7 +689,7 @@ module Make (P : Protocol.S) = struct
             let c', evs = apply_exn ~step c a in
             loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures)
     in
-    loop (init ~n ~inputs) 0 [] failures
+    loop (init_with ~track_fingerprints ~n ~inputs) 0 [] failures
 
   (* ----- scripted replays ----- *)
 

@@ -27,9 +27,19 @@ module Make (P : Protocol.S) : sig
 
   val init : n:int -> inputs:bool list -> config
   (** Initial configuration: processor [i] starts in
-      [P.initial ~input:(nth inputs i)]; buffers empty.
+      [P.initial ~input:(nth inputs i)]; buffers empty.  Every
+      configuration descended from this one carries incrementally
+      maintained fingerprints and per-root interning — what a search
+      with a visited store wants.
       @raise Invalid_argument if [length inputs <> n] or [P.valid_n n]
       is false. *)
+
+  val init_untracked : n:int -> inputs:bool list -> config
+  (** Like {!init}, but {!apply} skips fingerprint maintenance and
+      interning on every descendant, and
+      {!fingerprint}/{!behavioral_fingerprint} fall back to a full
+      fold, computed on first demand and memoized — the right trade
+      for linear runs that never probe a visited store. *)
 
   val n_of : config -> int
   val inputs_of : config -> bool array
@@ -73,12 +83,14 @@ module Make (P : Protocol.S) : sig
   val fingerprint : config -> Patterns_stdx.Fingerprint.t
   (** Canonical 64-bit fingerprint, consistent with {!compare_config}:
       equal configurations have equal fingerprints however they were
-      reached.  Carried in the configuration and maintained
-      incrementally by {!apply} — reading it is O(1). *)
+      reached.  Under a tracking root (see {!init}) it is carried in
+      the configuration and maintained incrementally by {!apply} —
+      reading it is O(1); under [~track_fingerprints:false] the first
+      read pays a full fold, memoized per configuration. *)
 
   val behavioral_fingerprint : config -> Patterns_stdx.Fingerprint.t
   (** Canonical fingerprint of the behavioral projection, consistent
-      with {!compare_behavioral}; also O(1). *)
+      with {!compare_behavioral}; same laziness as {!fingerprint}. *)
 
   val fingerprint_from_scratch : config -> Patterns_stdx.Fingerprint.t
   (** Recompute {!fingerprint} by full folds over every field, ignoring
@@ -166,6 +178,7 @@ module Make (P : Protocol.S) : sig
   }
 
   val run :
+    ?track_fingerprints:bool ->
     ?max_steps:int ->
     ?failures:(int * Proc_id.t) list ->
     ?fifo_notices:bool ->
@@ -176,7 +189,13 @@ module Make (P : Protocol.S) : sig
     run_result
   (** Run from the initial configuration.  [failures] is a failure
       plan: [(k, p)] fail-stops [p] at global step [k] (failure steps
-      consume a step).  Default [max_steps] is 100_000. *)
+      consume a step).  Default [max_steps] is 100_000.
+
+      [track_fingerprints] defaults to [false] here, unlike {!init}: a
+      linear run attaches no visited store, so incremental fingerprint
+      maintenance would be pure overhead (measured ~2x on hunt-style
+      workloads).  Pass [true] if the final configuration's
+      fingerprint will be probed repeatedly. *)
 
   (** {1 Scripted replays}
 

@@ -1,0 +1,96 @@
+module Fp_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Fingerprint.to_int
+end)
+
+type 'a shard = {
+  lock : Mutex.t;
+  tbl : 'a list Fp_tbl.t;
+  mutable bindings : int;
+  mutable probes : int;
+  mutable collision_fallbacks : int;
+  mutable contention : int;
+}
+
+type 'a t = {
+  equal : 'a -> 'a -> bool;
+  fingerprint : 'a -> Fingerprint.t;
+  shard_bits : int;
+  shards : 'a shard array;
+}
+
+let default_shard_bits = 4
+
+let create ?(shard_bits = default_shard_bits) ?(size = 256) ~equal ~fingerprint () =
+  let shard_bits = max 0 (min 10 shard_bits) in
+  let shards =
+    Array.init (1 lsl shard_bits) (fun _ ->
+        {
+          lock = Mutex.create ();
+          tbl = Fp_tbl.create size;
+          bindings = 0;
+          probes = 0;
+          collision_fallbacks = 0;
+          contention = 0;
+        })
+  in
+  { equal; fingerprint; shard_bits; shards }
+
+let shards t = Array.length t.shards
+let shard_bits t = t.shard_bits
+
+(* [Fingerprint.to_int] is a 62-bit nonnegative projection; the top
+   [shard_bits] of it pick the shard.  Using the high bits keeps the
+   shard index independent of the low bits the per-shard hashtable
+   hashes on. *)
+let shard_of t fp = Fingerprint.to_int fp lsr (62 - t.shard_bits)
+let shard_of_state t x = shard_of t (t.fingerprint x)
+
+let with_lock sh f =
+  if Mutex.try_lock sh.lock then ()
+  else begin
+    sh.contention <- sh.contention + 1;
+    Mutex.lock sh.lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.lock) f
+
+(* Same collision discipline as the serial [Search.Store]: a
+   fingerprint hit is confirmed structurally, and a bucket member that
+   fails the structural test is a certified 64-bit collision. *)
+let bucket_mem t sh x bucket =
+  if List.exists (fun y -> not (t.equal x y)) bucket then
+    sh.collision_fallbacks <- sh.collision_fallbacks + 1;
+  List.exists (t.equal x) bucket
+
+let mem t x =
+  let fp = t.fingerprint x in
+  let sh = t.shards.(shard_of t fp) in
+  with_lock sh (fun () ->
+      sh.probes <- sh.probes + 1;
+      match Fp_tbl.find_opt sh.tbl fp with
+      | None -> false
+      | Some bucket -> bucket_mem t sh x bucket)
+
+let add_if_absent t x =
+  let fp = t.fingerprint x in
+  let sh = t.shards.(shard_of t fp) in
+  with_lock sh (fun () ->
+      sh.probes <- sh.probes + 1;
+      let bucket = match Fp_tbl.find_opt sh.tbl fp with Some b -> b | None -> [] in
+      if bucket_mem t sh x bucket then false
+      else begin
+        Fp_tbl.replace sh.tbl fp (x :: bucket);
+        sh.bindings <- sh.bindings + 1;
+        true
+      end)
+
+let sum f t = Array.fold_left (fun acc sh -> acc + f sh) 0 t.shards
+
+let bindings t = sum (fun sh -> sh.bindings) t
+let probes t = sum (fun sh -> sh.probes) t
+let collision_fallbacks t = sum (fun sh -> sh.collision_fallbacks) t
+let lock_contention t = sum (fun sh -> sh.contention) t
+let occupancy t = Array.map (fun sh -> sh.bindings) t.shards
+let occupancy_max t = Array.fold_left (fun acc sh -> max acc sh.bindings) 0 t.shards

@@ -1,0 +1,70 @@
+(** A fingerprint-keyed visited store split into [2^shard_bits]
+    shards, for concurrent insertion from worker domains.
+
+    The shard of a state is the high bits of its precomputed 64-bit
+    fingerprint, so the assignment is a pure function of the state —
+    every domain routes a given state to the same shard, and a
+    per-shard mutex is enough for linearizable insert/probe.  Like the
+    serial {!Patterns_search.Search.Store}, a fingerprint match is
+    never trusted on its own: membership is confirmed structurally,
+    and a bucket member that fails the structural test is counted as a
+    true 64-bit collision.
+
+    Determinism: the {e set} of states a shard holds is a pure
+    function of the inserts it received; the {e insertion order}
+    within a shard is deterministic only if at most one domain inserts
+    into that shard at a time.  The level-synchronous parallel BFS
+    driver exploits exactly this — it partitions each layer's
+    candidates by shard and hands each shard's candidates, in
+    canonical order, to a single task. *)
+
+type 'a t
+
+val create :
+  ?shard_bits:int ->
+  ?size:int ->
+  equal:('a -> 'a -> bool) ->
+  fingerprint:('a -> Fingerprint.t) ->
+  unit ->
+  'a t
+(** [2^shard_bits] shards (default {!default_shard_bits}, clamped to
+    [0..10]), each an initially [size]-bucket table.  [equal] must
+    agree with [fingerprint]: equal states have equal fingerprints. *)
+
+val default_shard_bits : int
+(** 4 — 16 shards.  A constant, not a function of the worker count,
+    so shard-indexed statistics are identical for every [--jobs]
+    value. *)
+
+val shards : 'a t -> int
+val shard_bits : 'a t -> int
+val shard_of : 'a t -> Fingerprint.t -> int
+(** Shard index from the high bits of the fingerprint. *)
+
+val shard_of_state : 'a t -> 'a -> int
+
+val mem : 'a t -> 'a -> bool
+(** Locking probe (counted in {!probes}). *)
+
+val add_if_absent : 'a t -> 'a -> bool
+(** Insert unless an equal state is present; [true] if inserted.  One
+    locked probe-and-insert (counted in {!probes}). *)
+
+val bindings : 'a t -> int
+(** Total distinct states stored, summed over shards in index order. *)
+
+val probes : 'a t -> int
+
+val collision_fallbacks : 'a t -> int
+(** Probes that met a fingerprint-equal but structurally distinct
+    state.  Expected 0 on every workload in this repository. *)
+
+val lock_contention : 'a t -> int
+(** Number of lock acquisitions that found the shard mutex already
+    held.  Nondeterministic under [jobs > 1] — an observability
+    counter, never compared across runs. *)
+
+val occupancy : 'a t -> int array
+(** Per-shard binding counts, in shard-index order. *)
+
+val occupancy_max : 'a t -> int

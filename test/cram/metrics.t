@@ -1,43 +1,76 @@
 The search kernel's metrics are machine-readable and schema-stable.
-Per-shard wall-clock seconds are the only nondeterministic field;
-everything else is pinned, key order included:
+Per-shard wall-clock seconds, the aggregate expand_seconds, the
+derived parallel_efficiency and the lock_contention counter are the
+only nondeterministic fields; everything else is pinned, key order
+included:
 
   $ patterns-cli scheme fig3-chain -n 3 --metrics-json - \
-  >   | sed -n '/^{$/,/^}$/p' | sed 's/"seconds": [0-9.]*/"seconds": _/'
+  >   | sed -n '/^{$/,/^}$/p' \
+  >   | sed -e 's/"seconds": [0-9.]*/"seconds": _/' \
+  >         -e 's/"expand_seconds": [0-9.]*/"expand_seconds": _/' \
+  >         -e 's/"parallel_efficiency": [0-9.]*/"parallel_efficiency": _/' \
+  >         -e 's/"lock_contention": [0-9]*/"lock_contention": _/'
   {
-    "schema": "patterns-search-metrics/2",
+    "schema": "patterns-search-metrics/3",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
-    "frontier_peak": 4,
+    "frontier_peak": 3,
     "pruned": 0,
-    "fingerprint_probes": 232,
+    "fingerprint_probes": 264,
     "collision_fallbacks": 0,
     "intern_bindings": 146,
     "budget_consumed": 104,
     "roots": 8,
     "truncated_roots": 0,
+    "layers": 72,
+    "par_layers": 0,
+    "shard_bits": 4,
+    "shard_occupancy_max": 4,
+    "shard_occupancy_total": 104,
+    "frontier_peak_sum": 24,
+    "lock_contention": _,
+    "expand_seconds": _,
+    "parallel_efficiency": _,
     "shards": [
-      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
-      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
-      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
-      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 4, "pruned": 0, "fingerprint_probes": 29, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ }
+      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
+      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 33, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ }
     ]
   }
 
-The counters are identical for every --jobs value (--metrics-json FILE
-writes the same document to a file):
+The deterministic counters are identical for every --jobs value
+(--metrics-json FILE writes the same document to a file):
 
+  $ norm () {
+  >   sed -e 's/"seconds": [0-9.]*/"seconds": _/' \
+  >       -e 's/"expand_seconds": [0-9.]*/"expand_seconds": _/' \
+  >       -e 's/"parallel_efficiency": [0-9.]*/"parallel_efficiency": _/' \
+  >       -e 's/"lock_contention": [0-9]*/"lock_contention": _/' "$1"
+  > }
   $ patterns-cli scheme fig3-chain -n 3 --metrics-json m1.json > /dev/null
   $ patterns-cli scheme fig3-chain -n 3 --jobs 4 --metrics-json m4.json > /dev/null
-  $ sed 's/"seconds": [0-9.]*/"seconds": _/' m1.json > m1.norm
-  $ sed 's/"seconds": [0-9.]*/"seconds": _/' m4.json > m4.norm
+  $ norm m1.json > m1.norm
+  $ norm m4.json > m4.norm
   $ cmp m1.norm m4.norm && echo jobs-invariant
   jobs-invariant
+
+Forcing every layer parallel (--par-threshold 1) changes par_layers --
+the count of layers that crossed the threshold, a property of the
+threshold, not of the worker count -- and nothing else deterministic:
+
+  $ patterns-cli scheme fig3-chain -n 3 --jobs 4 --par-threshold 1 --metrics-json m4p.json > /dev/null
+  $ sed -n '/"par_layers"/p' m4p.json
+    "par_layers": 72,
+  $ sed 's/"par_layers": [0-9]*/"par_layers": _/' m1.norm > m1.thr
+  $ norm m4p.json | sed 's/"par_layers": [0-9]*/"par_layers": _/' > m4p.thr
+  $ cmp m1.thr m4p.thr && echo par-threshold-invariant
+  par-threshold-invariant
 
 A hunt that exhausts its run budget is a truncated search, not a proof
 of absence -- exit code 2, outcome "truncated":

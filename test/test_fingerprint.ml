@@ -59,6 +59,43 @@ let tests_for entry =
         ignore (walk ~seed ~steps:20 ~on_config:check);
         !ok);
     Test.make
+      ~name:(Printf.sprintf "%s: untracked lazy fingerprint = tracked" P.name)
+      ~count:100
+      Gen.(int_bound 1_000_000)
+      (fun seed ->
+        (* replay the same walk from a tracked and an untracked root:
+           the untracked configuration's on-demand fingerprint must
+           equal the incrementally maintained one, and reading it
+           twice must agree (memoization) *)
+        let prng = Prng.create ~seed in
+        let inputs = List.init n (fun _ -> Prng.bool prng) in
+        let rec go ok tracked untracked k =
+          if k = 0 || not ok then ok
+          else
+            let acts =
+              E.applicable tracked
+              @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions tracked else [])
+            in
+            match acts with
+            | [] -> ok
+            | acts ->
+              let a = List.nth acts (Prng.int prng ~bound:(List.length acts)) in
+              let tracked', _ = E.apply_exn ~step:0 tracked a in
+              let untracked', _ = E.apply_exn ~step:0 untracked a in
+              let ok =
+                E.fingerprint untracked' = E.fingerprint tracked'
+                && E.fingerprint untracked' = E.fingerprint untracked'
+                && E.behavioral_fingerprint untracked'
+                   = E.behavioral_fingerprint tracked'
+              in
+              go ok tracked' untracked' (k - 1)
+        in
+        go
+          (E.fingerprint (E.init_untracked ~n ~inputs) = E.fingerprint (E.init ~n ~inputs))
+          (E.init ~n ~inputs)
+          (E.init_untracked ~n ~inputs)
+          15);
+    Test.make
       ~name:(Printf.sprintf "%s: equal configs fingerprint equally" P.name)
       ~count:40
       Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))

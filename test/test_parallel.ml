@@ -112,6 +112,136 @@ let test_classify_jobs_invariant () =
         jobs_values)
     Patterns_protocols.Registry.all
 
+(* ----- run_par: the layer-synchronous kernel driver itself ----- *)
+
+(* Failure-free expansion of a protocol's configurations, with the
+   expanded states' fingerprints collected in the observation
+   accumulator — for an exhausted search the multiset of expanded
+   fingerprints IS the visited set. *)
+let kernel_visited (module P : Protocol.S) ~n ~inputs ~jobs ~par_threshold ~budget =
+  let module E = Engine.Make (P) in
+  let module Pr = struct
+    type state = E.config
+
+    let compare = E.compare_config
+    let fingerprint = E.fingerprint
+    let expand c = List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) (E.applicable c)
+  end in
+  let module K = Patterns_search.Search.Make (Pr) in
+  let expand =
+    {
+      K.empty = (fun () -> ref []);
+      merge =
+        (fun a b ->
+          a := !b @ !a;
+          a);
+      expand =
+        (fun acc c ->
+          acc := E.fingerprint c :: !acc;
+          Pr.expand c);
+    }
+  in
+  Domain_pool.with_pool ~jobs (fun pool ->
+      let outcome, fps, m =
+        K.run_par ~pool ~par_threshold ~budget ~expand ~root:(E.init ~n ~inputs) ()
+      in
+      ( (match outcome with
+        | Patterns_search.Search.Exhausted -> "exhausted"
+        | Patterns_search.Search.Truncated (Budget_exhausted { consumed; _ }) ->
+          Printf.sprintf "truncated:%d" consumed
+        | Patterns_search.Search.Goal_found _ -> "goal"),
+        List.sort Int.compare !fps,
+        m ))
+
+(* Independent oracle: a plain worklist reachability fold with a
+   balanced-set visited store — no fingerprints, no sharding. *)
+let reference_visited (module P : Protocol.S) ~n ~inputs =
+  let module E = Engine.Make (P) in
+  let module S = Set.Make (struct
+    type t = E.config
+
+    let compare = E.compare_config
+  end) in
+  let expand c = List.rev_map (fun a -> fst (E.apply_exn ~step:0 c a)) (E.applicable c) in
+  let rec go visited = function
+    | [] -> visited
+    | c :: rest ->
+      let fresh = List.filter (fun s -> not (S.mem s visited)) (expand c) in
+      go (List.fold_left (fun v s -> S.add s v) visited fresh) (fresh @ rest)
+  in
+  let root = E.init ~n ~inputs in
+  let visited = go (S.add root S.empty) [ root ] in
+  (List.sort Int.compare (List.map E.fingerprint (S.elements visited)), S.cardinal visited)
+
+let test_run_par_matches_reference () =
+  (* whole registry, both sides of the crossover threshold, jobs up
+     to 8: the parallel driver visits exactly the serial reachable
+     set — same cardinality, same fingerprint multiset *)
+  List.iter
+    (fun entry ->
+      let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+      let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
+      let inputs = List.init n (fun i -> i mod 2 = 0) in
+      let ref_fps, ref_card = reference_visited (module P) ~n ~inputs in
+      List.iter
+        (fun (jobs, par_threshold) ->
+          let outcome, fps, m =
+            kernel_visited (module P) ~n ~inputs ~jobs ~par_threshold ~budget:max_int
+          in
+          let label fmt =
+            Printf.sprintf "%s jobs=%d thr=%d: %s" P.name jobs par_threshold fmt
+          in
+          Alcotest.(check string) (label "outcome") "exhausted" outcome;
+          Alcotest.(check int) (label "cardinality") ref_card (List.length fps);
+          Alcotest.(check (list int)) (label "fingerprint multiset") ref_fps fps;
+          Alcotest.(check int) (label "states_expanded") ref_card
+            m.Patterns_search.Metrics.states_expanded)
+        [ (1, 1); (1, max_int); (2, 1); (2, max_int); (4, 1); (4, max_int); (8, 1) ])
+    Patterns_protocols.Registry.all
+
+let test_run_par_truncation_invariant () =
+  (* a budget cut mid-search stops at the same deterministic prefix
+     for every jobs and threshold value *)
+  let run (jobs, par_threshold) =
+    kernel_visited Patterns_protocols.Chain_proto.fig3 ~n:3
+      ~inputs:[ true; true; true ] ~jobs ~par_threshold ~budget:7
+  in
+  let outcome1, fps1, m1 = run (1, 1) in
+  Alcotest.(check string) "budget consumed exactly" "truncated:7" outcome1;
+  List.iter
+    (fun (jobs, thr) ->
+      let outcome, fps, m = run (jobs, thr) in
+      let label fmt = Printf.sprintf "jobs=%d thr=%d: %s" jobs thr fmt in
+      Alcotest.(check string) (label "outcome") outcome1 outcome;
+      Alcotest.(check (list int)) (label "expanded prefix") fps1 fps;
+      Alcotest.(check int) (label "dedup_hits") m1.Patterns_search.Metrics.dedup_hits
+        m.Patterns_search.Metrics.dedup_hits;
+      Alcotest.(check int) (label "frontier_peak") m1.Patterns_search.Metrics.frontier_peak
+        m.Patterns_search.Metrics.frontier_peak;
+      Alcotest.(check int) (label "layers") m1.Patterns_search.Metrics.layers
+        m.Patterns_search.Metrics.layers)
+    [ (1, max_int); (2, 1); (4, 1); (4, max_int); (8, 1) ]
+
+let test_scheme_par_threshold_invariant () =
+  (* forcing every layer parallel and forcing none must not change a
+     single bit of the result *)
+  let (module P : Protocol.S) = Patterns_protocols.Perverse_proto.fig4 in
+  let module S = Patterns_pattern.Scheme.Make (P) in
+  let run ~jobs ~par_threshold = S.scheme ~jobs ~par_threshold ~n:4 () in
+  let pats1, stats1 = run ~jobs:1 ~par_threshold:1 in
+  List.iter
+    (fun (jobs, par_threshold) ->
+      let pats, stats = run ~jobs ~par_threshold in
+      Alcotest.(check bool)
+        (Printf.sprintf "fig4 scheme jobs=%d thr=%d" jobs par_threshold)
+        true
+        (Patterns_pattern.Pattern.Set.equal pats1 pats
+        && stats1.Patterns_pattern.Scheme.configs_visited
+           = stats.Patterns_pattern.Scheme.configs_visited
+        && stats1.Patterns_pattern.Scheme.terminal_configs
+           = stats.Patterns_pattern.Scheme.terminal_configs))
+    [ (1, max_int); (2, 1); (2, max_int); (4, 1); (8, 4) ]
+
 (* ----- hunt: the winner is the smallest violating run index ----- *)
 
 let test_hunt_jobs_invariant () =
@@ -178,6 +308,25 @@ let walk ~seed ~n ~steps =
 let qcheck_tests =
   let open QCheck2 in
   [
+    Test.make ~name:"run_par visits the serial visited set (registry)" ~count:40
+      Gen.(
+        tup4
+          (int_bound (List.length Patterns_protocols.Registry.all - 1))
+          (int_bound 1000)
+          (oneofl [ 1; 2; 4; 8 ])
+          (oneofl [ 1; 4; max_int ]))
+      (fun (idx, seed, jobs, par_threshold) ->
+        let entry = List.nth Patterns_protocols.Registry.all idx in
+        let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+        let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
+        let prng = Prng.create ~seed in
+        let inputs = List.init n (fun _ -> Prng.bool prng) in
+        let ref_fps, ref_card = reference_visited (module P) ~n ~inputs in
+        let outcome, fps, m =
+          kernel_visited (module P) ~n ~inputs ~jobs ~par_threshold ~budget:max_int
+        in
+        outcome = "exhausted" && List.length fps = ref_card && fps = ref_fps
+        && m.Patterns_search.Metrics.states_expanded = ref_card);
     Test.make ~name:"hash_config is compare_config-consistent" ~count:60
       Gen.(pair (int_bound 100_000) (int_bound 100_000))
       (fun (s1, s2) ->
@@ -224,6 +373,14 @@ let () =
           Alcotest.test_case "scheme, whole registry" `Quick test_scheme_jobs_invariant;
           Alcotest.test_case "classify, whole registry" `Slow test_classify_jobs_invariant;
           Alcotest.test_case "hunt" `Quick test_hunt_jobs_invariant;
+        ] );
+      ( "run_par",
+        [
+          Alcotest.test_case "matches reference, whole registry" `Quick
+            test_run_par_matches_reference;
+          Alcotest.test_case "truncation invariant" `Quick test_run_par_truncation_invariant;
+          Alcotest.test_case "scheme par-threshold invariant" `Quick
+            test_scheme_par_threshold_invariant;
         ] );
       ("visited sets", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]
