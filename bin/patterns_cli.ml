@@ -101,8 +101,21 @@ let par_threshold_arg =
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/3)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/4)) \
                as JSON to $(docv); $(b,-) means stdout.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECONDS"
+         ~doc:"Wall-clock budget for the search. Exceeding it truncates the answer \
+               gracefully (exit 2) instead of hanging; the metrics record the hit.")
+
+let max_states_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-states" ] ~docv:"K"
+         ~doc:"Live-state budget (visited + frontier) per search. Exceeding it truncates \
+               the answer gracefully (exit 2) instead of exhausting memory; deterministic \
+               for every --jobs value.")
 
 let emit_metrics dest (m : Patterns_search.Metrics.t) =
   match dest with
@@ -178,14 +191,15 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n jobs par_threshold metrics_json =
+  let run name n jobs par_threshold deadline max_states metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
     let metrics = ref Patterns_search.Metrics.zero in
     let pats, stats =
-      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ~n ()
+      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?deadline
+        ?max_live:max_states ~n ()
     in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
       Patterns_pattern.Scheme.pp_scheme pats;
@@ -193,7 +207,9 @@ let scheme_cmd =
     if stats.Patterns_pattern.Scheme.truncated then exit 2
   in
   Cmd.v (Cmd.info "scheme" ~doc)
-    Term.(const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
+    Term.(
+      const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ deadline_arg
+      $ max_states_arg $ metrics_json_arg)
 
 (* ----- realize ----- *)
 
@@ -324,29 +340,37 @@ let classify_term =
            ~doc:"Exploration budget; when hit, the verdict is marked $(b,truncated) and the \
                  exit code is 2.")
   in
-  let run name n max_failures max_configs fifo_notices jobs par_threshold metrics_json =
+  let run name n max_failures max_configs fifo_notices jobs par_threshold deadline
+      max_states metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
       Classify.classify ~metrics ~max_failures ~max_configs ~fifo_notices
-        ~jobs:(resolve_jobs jobs) ?par_threshold ~rule ~n
+        ~jobs:(resolve_jobs jobs) ?par_threshold ?deadline ?max_live:max_states ~rule ~n
         entry.Patterns_protocols.Registry.protocol
     in
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
     emit_metrics metrics_json !metrics;
     if v.Classify.truncated then begin
-      Format.printf "truncated: the %d-configuration budget ran out; the verdict is a lower \
-                     bound (raise --max-configs)@."
-        max_configs;
+      (if !metrics.Patterns_search.Metrics.deadline_hits > 0 then
+         Format.printf "truncated: the wall-clock deadline ran out; the verdict is a lower \
+                        bound (raise --deadline)@."
+       else if !metrics.Patterns_search.Metrics.live_limit_hits > 0 then
+         Format.printf "truncated: the live-state budget ran out; the verdict is a lower \
+                        bound (raise --max-states)@."
+       else
+         Format.printf "truncated: the %d-configuration budget ran out; the verdict is a \
+                        lower bound (raise --max-configs)@."
+           max_configs);
       exit 2
     end
   in
   Term.(
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
-    $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
+    $ jobs_arg $ par_threshold_arg $ deadline_arg $ max_states_arg $ metrics_json_arg)
 
 let check_cmd =
   let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
@@ -421,27 +445,72 @@ let hunt_cmd =
   let runs_arg =
     Arg.(value & opt int 5000 & info [ "runs" ] ~docv:"K" ~doc:"Run budget.")
   in
-  let run name n property crashes runs seed fifo_notices jobs metrics_json =
+  let mode_arg =
+    let mode_conv =
+      Arg.enum
+        [ ("random", Patterns_adversary.Hunt.Random);
+          ("systematic", Patterns_adversary.Hunt.Systematic) ]
+    in
+    Arg.(value & opt mode_conv Patterns_adversary.Hunt.Random
+         & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Adversary: $(b,random) samples seeded crash schedules; $(b,systematic) \
+                 sweeps the canonical fault-plan space in order (crash count ascending, \
+                 then schedule flavour, crash plan and inputs), so the first hit is a \
+                 smallest-crash-count witness.")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 60
+         & info [ "horizon" ] ~docv:"STEPS"
+           ~doc:"Crash-step range for the systematic plan space (the random adversary \
+                 always draws from 60).")
+  in
+  let cert_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cert" ] ~docv:"FILE"
+           ~doc:"Write a replayable violation certificate (schema \
+                 $(b,patterns-violation-cert/1)) as JSON to $(docv); $(b,-) means stdout. \
+                 Consume it with $(b,replay) and $(b,shrink).")
+  in
+  let run name n property crashes runs seed fifo_notices jobs mode horizon cert_out
+      deadline metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
-      Audit.hunt ~metrics ~max_failures:crashes ~max_runs:runs ~fifo_notices
-        ~jobs:(resolve_jobs jobs) ~property ~rule ~n ~seed
-        entry.Patterns_protocols.Registry.protocol
+      Patterns_adversary.Hunt.hunt ~metrics ~max_failures:crashes ~max_runs:runs
+        ~fifo_notices ~jobs:(resolve_jobs jobs) ?deadline ~horizon ~mode ~property ~rule
+        ~n ~seed entry
     in
     let code =
       match result with
-      | Ok report ->
-        print_endline report;
+      | Ok cert ->
+        print_endline cert.Patterns_adversary.Cert.message;
+        (match cert_out with
+        | None -> ()
+        | Some dest ->
+          let doc =
+            Patterns_stdx.Json.to_string (Patterns_adversary.Cert.to_json cert) ^ "\n"
+          in
+          if dest = "-" then print_string doc
+          else begin
+            let oc = open_out dest in
+            output_string oc doc;
+            close_out oc;
+            Printf.printf "certificate written to %s\n" dest
+          end);
         0
       | Error tried ->
         (* a truncated search, not a proof of absence *)
-        Printf.printf "no violation found in %d runs (search truncated: run budget exhausted; \
-                       raise --runs)\n"
-          tried;
+        if !metrics.Patterns_search.Metrics.deadline_hits > 0 then
+          Printf.printf "no violation found in %d runs (search truncated: deadline \
+                         exceeded; raise --deadline)\n"
+            tried
+        else
+          Printf.printf "no violation found in %d runs (search truncated: run budget exhausted; \
+                         raise --runs)\n"
+            tried;
         2
     in
     emit_metrics metrics_json !metrics;
@@ -450,7 +519,70 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
-      $ fifo_notices_arg $ jobs_arg $ metrics_json_arg)
+      $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ deadline_arg
+      $ metrics_json_arg)
+
+(* ----- replay / shrink ----- *)
+
+let read_cert path =
+  let contents =
+    try
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s
+    with Sys_error msg -> Error msg
+  in
+  Result.bind contents (fun s ->
+      Result.bind (Patterns_stdx.Json.of_string s) Patterns_adversary.Cert.of_json)
+
+let cert_pos_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"CERT" ~doc:"Violation certificate (JSON, from $(b,hunt --cert)).")
+
+let replay_cmd =
+  let doc =
+    "Re-execute a violation certificate and re-check its property. Exit 0: reproduced; \
+     1: not reproduced; 2: the certificate does not apply here."
+  in
+  let run path =
+    let cert = or_die (read_cert path) in
+    Format.printf "%a@." Patterns_adversary.Cert.pp cert;
+    let verdict = Patterns_adversary.Replay.replay cert in
+    Format.printf "%a@." Patterns_adversary.Replay.pp verdict;
+    exit (Patterns_adversary.Replay.exit_code verdict)
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ cert_pos_arg)
+
+let shrink_cmd =
+  let doc =
+    "Minimize a violation certificate (ddmin over the schedule, instance and input \
+     shrinking); every step is re-validated by replay, so the result still reproduces."
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+           ~doc:"Write the shrunk certificate to $(docv) (default: stdout).")
+  in
+  let run path out =
+    let cert = or_die (read_cert path) in
+    let report = or_die (Patterns_adversary.Shrink.shrink cert) in
+    Format.printf "%a@." Patterns_adversary.Shrink.pp_report report;
+    let doc =
+      Patterns_stdx.Json.to_string
+        (Patterns_adversary.Cert.to_json report.Patterns_adversary.Shrink.cert)
+      ^ "\n"
+    in
+    (match out with
+    | None -> print_string doc
+    | Some dest ->
+      let oc = open_out dest in
+      output_string oc doc;
+      close_out oc;
+      Printf.printf "shrunk certificate written to %s\n" dest)
+  in
+  Cmd.v (Cmd.info "shrink" ~doc) Term.(const run $ cert_pos_arg $ out_arg)
 
 (* ----- lattice / theorems ----- *)
 
@@ -476,4 +608,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; scheme_cmd; realize_cmd; dot_cmd; msc_cmd; check_cmd;
-            classify_cmd; reduce_cmd; latency_cmd; hunt_cmd; lattice_cmd; theorems_cmd ]))
+            classify_cmd; reduce_cmd; latency_cmd; hunt_cmd; replay_cmd; shrink_cmd;
+            lattice_cmd; theorems_cmd ]))

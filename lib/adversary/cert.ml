@@ -1,0 +1,109 @@
+open Patterns_sim
+open Patterns_stdx
+
+type t = {
+  protocol : string;
+  n : int;
+  inputs : bool list;
+  property : Patterns_core.Audit.property;
+  rule : Patterns_protocols.Decision_rule.t;
+  script : Script.directive list;
+  message : string;
+}
+
+let schema = "patterns-violation-cert/1"
+
+let property_string =
+  let open Patterns_core.Audit in
+  function TC -> "tc" | IC -> "ic" | Agreement -> "agreement" | WT -> "wt" | Rule -> "rule"
+
+let property_of_string =
+  let open Patterns_core.Audit in
+  function
+  | "tc" -> Ok TC
+  | "ic" -> Ok IC
+  | "agreement" -> Ok Agreement
+  | "wt" -> Ok WT
+  | "rule" -> Ok Rule
+  | s -> Error (Printf.sprintf "unknown property %S" s)
+
+let rule_string =
+  let open Patterns_protocols.Decision_rule in
+  function
+  | Unanimity -> "unanimity"
+  | Broadcast p -> "broadcast:" ^ string_of_int p
+  | Threshold k -> "threshold:" ^ string_of_int k
+  | Subset ps -> "subset:" ^ String.concat "," (List.map string_of_int ps)
+
+let rule_of_string s =
+  let open Patterns_protocols.Decision_rule in
+  let int_of what v =
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "rule %s: %S is not an integer" what v)
+  in
+  match String.split_on_char ':' s with
+  | [ "unanimity" ] -> Ok Unanimity
+  | [ "broadcast"; p ] -> Result.map (fun p -> Broadcast p) (int_of "broadcast" p)
+  | [ "threshold"; k ] -> Result.map (fun k -> Threshold k) (int_of "threshold" k)
+  | [ "subset"; ps ] ->
+    List.fold_right
+      (fun p acc ->
+        Result.bind acc (fun ps -> Result.map (fun p -> p :: ps) (int_of "subset" p)))
+      (String.split_on_char ',' ps)
+      (Ok [])
+    |> Result.map (fun ps -> Subset ps)
+  | _ -> Error (Printf.sprintf "unknown rule %S" s)
+
+let crashes c =
+  List.filter_map (function Script.Fail_now p -> Some p | _ -> None) c.script
+
+let bits inputs = String.concat "" (List.map (fun b -> if b then "1" else "0") inputs)
+
+let bits_of_string n s =
+  if String.length s <> n then
+    Error (Printf.sprintf "inputs %S: expected %d bits" s n)
+  else if not (String.for_all (fun ch -> ch = '0' || ch = '1') s) then
+    Error (Printf.sprintf "inputs %S: not a bit string" s)
+  else Ok (List.init n (fun i -> s.[i] = '1'))
+
+let to_json c =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("protocol", Json.String c.protocol);
+      ("n", Json.Int c.n);
+      ("inputs", Json.String (bits c.inputs));
+      ("property", Json.String (property_string c.property));
+      ("rule", Json.String (rule_string c.rule));
+      (* derived from the script's Fail_now directives; informational *)
+      ("crashes", Json.List (List.map (fun p -> Json.Int p) (crashes c)));
+      ("script", Json.List (List.map Script.to_json c.script));
+      ("message", Json.String c.message);
+    ]
+
+let ( let* ) = Result.bind
+
+let of_json j =
+  let str k = Result.bind (Json.field k j) Json.to_str in
+  let* s = str "schema" in
+  if s <> schema then Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+  else
+    let* protocol = str "protocol" in
+    let* n = Result.bind (Json.field "n" j) Json.to_int in
+    let* inputs = Result.bind (str "inputs") (bits_of_string n) in
+    let* property = Result.bind (str "property") property_of_string in
+    let* rule = Result.bind (str "rule") rule_of_string in
+    let* script_js = Result.bind (Json.field "script" j) Json.to_list in
+    let* script =
+      List.fold_right
+        (fun d acc -> Result.bind acc (fun ds -> Result.map (fun d -> d :: ds) (Script.of_json d)))
+        script_js (Ok [])
+    in
+    let* message = str "message" in
+    Ok { protocol; n; inputs; property; rule; script; message }
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>%s: %s violation, n=%d, inputs %s, %d crash(es), %d directive(s)@]"
+    c.protocol (property_string c.property) c.n (bits c.inputs)
+    (List.length (crashes c)) (List.length c.script)

@@ -1,0 +1,47 @@
+(** Replayable violation certificates.
+
+    A certificate is everything needed to re-execute a property
+    violation from scratch, away from the machine that found it: the
+    protocol (by registry name), the instance size and input vector,
+    the violated property and decision rule, and the full schedule as
+    a {!Patterns_sim.Script} — crashes included, as [Fail_now]
+    directives.  [patterns replay] consumes the JSON form (schema
+    [patterns-violation-cert/1]); [patterns hunt --cert] and
+    [patterns shrink] produce it. *)
+
+open Patterns_sim
+
+type t = {
+  protocol : string;  (** registry name, e.g. ["2pc"] *)
+  n : int;
+  inputs : bool list;  (** length [n] *)
+  property : Patterns_core.Audit.property;
+  rule : Patterns_protocols.Decision_rule.t;
+  script : Script.directive list;
+      (** the whole schedule, including [Fail_now] crash directives *)
+  message : string;  (** the violation report of the run that produced it *)
+}
+
+val schema : string
+(** ["patterns-violation-cert/1"]. *)
+
+val crashes : t -> Proc_id.t list
+(** The victims of the script's [Fail_now] directives, in script
+    order — derived, also embedded in the JSON for human readers. *)
+
+val property_string : Patterns_core.Audit.property -> string
+val property_of_string : string -> (Patterns_core.Audit.property, string) result
+
+val rule_string : Patterns_protocols.Decision_rule.t -> string
+(** ["unanimity"], ["broadcast:0"], ["threshold:3"], ["subset:0,1"]. *)
+
+val rule_of_string : string -> (Patterns_protocols.Decision_rule.t, string) result
+
+val to_json : t -> Patterns_stdx.Json.t
+val of_json : Patterns_stdx.Json.t -> (t, string) result
+(** [Error] names the offending field; the ["crashes"] field is
+    ignored on input (it is derived from the script). *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary (protocol, property, size, crash and directive
+    counts). *)

@@ -1,0 +1,108 @@
+open Patterns_sim
+open Patterns_stdx
+
+type mode = Random | Systematic
+
+let mode_string = function Random -> "random" | Systematic -> "systematic"
+
+let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false)
+    ?(jobs = 1) ?deadline ?(horizon = 60) ?(mode = Random) ~property ~rule ~n ~seed
+    (entry : Patterns_protocols.Registry.entry) =
+  let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+  let module E = Engine.Make (P) in
+  let verdict inputs (r : E.run_result) =
+    let open Patterns_core in
+    match (property : Audit.property) with
+    | Audit.TC -> Check.total_consistency r.E.trace
+    | Audit.IC -> Check.interactive_consistency r.E.trace
+    | Audit.Agreement -> Check.nonfaulty_agreement r.E.trace
+    | Audit.Rule -> Check.decision_rule rule ~inputs r.E.trace
+    | Audit.WT ->
+      let failed = Array.make n false in
+      List.iter (fun p -> failed.(p) <- true) (Trace.failures r.E.trace);
+      Check.weak_termination ~quiescent:r.E.quiescent ~statuses:(E.statuses r.E.final)
+        ~ever_decided:(Check.ever_decided ~n r.E.trace) ~failed
+  in
+  let cert inputs message (r : E.run_result) =
+    {
+      Cert.protocol = entry.Patterns_protocols.Registry.name;
+      n;
+      inputs;
+      property;
+      rule;
+      script = Script.of_trace r.E.trace;
+      message;
+    }
+  in
+  let bits inputs = String.concat "" (List.map (fun b -> if b then "1" else "0") inputs) in
+  let crash_plan failures =
+    String.concat ", " (List.map (fun (k, p) -> Printf.sprintf "p%d@step%d" p k) failures)
+  in
+  match mode with
+  | Random ->
+    (* The sampling adversary of {!Patterns_core.Audit.hunt},
+       reproduced draw for draw (same per-run generator seeding, same
+       draw order, same report) so the two entry points are
+       interchangeable; this one additionally reads the schedule back
+       off the winning trace into a replayable certificate. *)
+    let one run_index =
+      let prng = Prng.create ~seed:(seed + (run_index * 1_000_003)) in
+      let inputs = List.init n (fun _ -> Prng.bool prng) in
+      let n_failures = Prng.int prng ~bound:(max_failures + 1) in
+      let failures =
+        List.init n_failures (fun _ -> (Prng.int prng ~bound:60, Prng.int prng ~bound:n))
+      in
+      let scheduler =
+        match Prng.int prng ~bound:3 with
+        | 0 -> E.random_scheduler (Prng.split prng)
+        | 1 -> E.notice_first_scheduler (Prng.split prng)
+        | _ -> E.lifo_scheduler
+      in
+      let r = E.run ~failures ~fifo_notices ~scheduler ~n ~inputs () in
+      match verdict inputs r with
+      | Ok () -> None
+      | Error msg ->
+        let message =
+          Format.asprintf
+            "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,%s@,@,%s@]"
+            run_index seed (bits inputs) (crash_plan failures) msg
+            (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+        in
+        Some (cert inputs message r)
+    in
+    Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index:max_runs ~f:one ()
+  | Systematic ->
+    let total = Plan.count ~horizon ~n ~max_failures in
+    let max_index = min max_runs total in
+    let one run_index =
+      let plan = Plan.decode ~horizon ~n ~max_failures (run_index - 1) in
+      let scheduler =
+        match plan.Plan.flavour with
+        | Plan.Fifo -> E.fifo_scheduler
+        | Plan.Lifo -> E.lifo_scheduler
+        | Plan.Round_robin ->
+          fun ~step _config actions ->
+            (match actions with
+            | [] -> None
+            | _ -> List.nth_opt actions (step mod List.length actions))
+      in
+      let r =
+        E.run ~failures:plan.Plan.failures ~fifo_notices ~scheduler ~n
+          ~inputs:plan.Plan.inputs ()
+      in
+      match verdict plan.Plan.inputs r with
+      | Ok () -> None
+      | Error msg ->
+        let message =
+          Format.asprintf
+            "@[<v>violation at plan %d of %d (systematic, horizon %d)@,\
+             inputs: %s@,crash plan: %s@,schedule: %s@,%s@,@,%s@]"
+            run_index total horizon (bits plan.Plan.inputs)
+            (crash_plan plan.Plan.failures)
+            (Plan.flavour_string plan.Plan.flavour)
+            msg
+            (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+        in
+        Some (cert plan.Plan.inputs message r)
+    in
+    Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index ~f:one ()

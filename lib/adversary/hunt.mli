@@ -1,0 +1,48 @@
+(** Violation hunting with certificate output.
+
+    Two bounded adversaries over the same kernel goal search
+    ({!Patterns_search.Search.find_first}), both deterministic
+    functions of their parameters for every [jobs] value:
+
+    - {!Random}: the sampling adversary of
+      {!Patterns_core.Audit.hunt}, draw-for-draw identical (same
+      per-run generator seeding, same violation report), extended to
+      read the winning schedule back into a replayable {!Cert};
+    - {!Systematic}: an exhaustive sweep of the canonical {!Plan}
+      space — crash count ascending, so the first hit is a
+      smallest-crash-count witness; within a crash count, schedule
+      flavour then crash plan then inputs.
+
+    Either way [Ok cert] carries the violation report in
+    [cert.message] and a schedule script that {!Replay} reproduces;
+    [Error tried] is a truncated search — run budget or plan space or
+    wall-clock [deadline] exhausted after [tried] runs — and proves
+    nothing. *)
+
+type mode = Random | Systematic
+
+val mode_string : mode -> string
+
+val hunt :
+  ?metrics:Patterns_search.Metrics.t ref ->
+  ?max_failures:int ->
+  ?max_runs:int ->
+  ?fifo_notices:bool ->
+  ?jobs:int ->
+  ?deadline:float ->
+  ?horizon:int ->
+  ?mode:mode ->
+  property:Patterns_core.Audit.property ->
+  rule:Patterns_protocols.Decision_rule.t ->
+  n:int ->
+  seed:int ->
+  Patterns_protocols.Registry.entry ->
+  (Cert.t, int) result
+(** [horizon] (default 60, matching the random adversary's crash-step
+    range) bounds the systematic mode's crash steps; [seed] only
+    affects {!Random} mode.  The systematic index space is capped at
+    [max_runs] — the canonical order makes a truncated sweep a
+    well-defined prefix.  The metrics sink accumulates the kernel's
+    counters; as for every [find_first] search, the expanded count may
+    overshoot the winning index by up to one batch and is the only
+    jobs-dependent field. *)

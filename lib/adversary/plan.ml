@@ -1,0 +1,64 @@
+open Patterns_sim
+
+type flavour = Fifo | Lifo | Round_robin
+
+let flavours = [ Fifo; Lifo; Round_robin ]
+
+let flavour_string = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Round_robin -> "round-robin"
+
+type t = {
+  inputs : bool list;
+  failures : (int * Proc_id.t) list;
+  flavour : flavour;
+}
+
+let pp ppf p =
+  Format.fprintf ppf "@[inputs %s, crashes [%s], schedule %s@]"
+    (String.concat "" (List.map (fun b -> if b then "1" else "0") p.inputs))
+    (String.concat ", "
+       (List.map (fun (k, v) -> Printf.sprintf "p%d@step%d" v k) p.failures))
+    (flavour_string p.flavour)
+
+(* Saturating arithmetic: the plan space explodes in [max_failures],
+   and a saturated count still compares correctly against any finite
+   run budget. *)
+let mul_cap a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+let add_cap a b = if a > max_int - b then max_int else a + b
+
+let n_flavours = List.length flavours
+
+(* plans with exactly [k] crashes, for crash-plan base [bk] = base^k *)
+let block_size ~n bk = mul_cap n_flavours (mul_cap bk (1 lsl n))
+
+let count ~horizon ~n ~max_failures =
+  let base = horizon * n in
+  let rec go k bk acc =
+    if k > max_failures then acc
+    else go (k + 1) (mul_cap bk base) (add_cap acc (block_size ~n bk))
+  in
+  go 0 1 0
+
+let decode ~horizon ~n ~max_failures idx =
+  if idx < 0 || idx >= count ~horizon ~n ~max_failures then
+    invalid_arg (Printf.sprintf "Plan.decode: index %d out of range" idx);
+  let base = horizon * n in
+  let rec find_k k bk idx =
+    let block = block_size ~n bk in
+    if idx < block then (k, bk, idx) else find_k (k + 1) (mul_cap bk base) (idx - block)
+  in
+  let k, bk, r = find_k 0 1 idx in
+  let per_flavour = mul_cap bk (1 lsl n) in
+  let flavour = List.nth flavours (r / per_flavour) in
+  let r = r mod per_flavour in
+  let rank = r / (1 lsl n) in
+  let input_bits = r mod (1 lsl n) in
+  let inputs = List.init n (fun i -> (input_bits lsr i) land 1 = 1) in
+  (* crash digits, most significant first: the lexicographic rank *)
+  let rec digits j rank acc =
+    if j = 0 then acc else digits (j - 1) (rank / base) ((rank mod base) :: acc)
+  in
+  let failures = List.map (fun d -> (d / n, d mod n)) (digits k rank []) in
+  { inputs; failures; flavour }

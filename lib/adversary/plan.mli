@@ -1,0 +1,50 @@
+(** Systematic fault plans.
+
+    A fault plan is one bounded-adversary strategy: an input vector, a
+    crash plan (which processors fail, and at which global step), and
+    a deterministic schedule flavour.  The plans over a given horizon
+    form a finite space with a canonical total order, so a systematic
+    hunt can sweep it exactly — by crash count first (failure-free
+    runs before single crashes before double crashes), then schedule
+    flavour, then crash-plan rank, with input vectors varying fastest
+    — and every run index names the same plan on every machine and
+    for every [--jobs] value. *)
+
+open Patterns_sim
+
+type flavour =
+  | Fifo  (** the engine's deterministic FIFO scheduler *)
+  | Lifo  (** newest applicable action first *)
+  | Round_robin
+      (** applicable action at position [step mod length] — a rotating
+          pick that interleaves processors differently from both *)
+
+val flavours : flavour list
+(** In enumeration order: [Fifo; Lifo; Round_robin]. *)
+
+val flavour_string : flavour -> string
+
+type t = {
+  inputs : bool list;  (** length [n] *)
+  failures : (int * Proc_id.t) list;
+      (** crash plan: [(step, victim)], step in [0, horizon) *)
+  flavour : flavour;
+}
+
+val pp : Format.formatter -> t -> unit
+
+val count : horizon:int -> n:int -> max_failures:int -> int
+(** Size of the plan space: [sum over k = 0..max_failures of
+    3 * (horizon * n)^k * 2^n].  Saturates at [max_int] instead of
+    overflowing, so callers can always [min] it against a run
+    budget. *)
+
+val decode : horizon:int -> n:int -> max_failures:int -> int -> t
+(** [decode ~horizon ~n ~max_failures i] is the [i]-th plan
+    (0-based) in canonical order: crash count ascending; within a
+    crash count, flavour-major ({!flavours} order), then
+    lexicographic crash-plan rank (each crash is a digit in base
+    [horizon * n], encoded [step * n + victim]), with the input
+    vector (bit [i] = processor [i]'s initial bit) varying fastest.
+    Raises [Invalid_argument] when [i] is outside
+    [0, count ~horizon ~n ~max_failures). *)

@@ -1,0 +1,55 @@
+open Patterns_sim
+
+type verdict =
+  | Reproduced of string
+  | Not_reproduced
+  | Inapplicable of string
+
+let exit_code = function Reproduced _ -> 0 | Not_reproduced -> 1 | Inapplicable _ -> 2
+
+let pp ppf = function
+  | Reproduced msg -> Format.fprintf ppf "@[<v>reproduced:@,%s@]" msg
+  | Not_reproduced -> Format.pp_print_string ppf "not reproduced: the property holds on this replay"
+  | Inapplicable msg -> Format.fprintf ppf "inapplicable: %s" msg
+
+(* The property checkers are trace-polymorphic, so one function serves
+   every protocol once the engine has played the script. *)
+let check (type msg) property ~rule ~inputs ~n ~quiescent ~statuses
+    (trace : msg Trace.t) =
+  let open Patterns_core in
+  match (property : Audit.property) with
+  | Audit.TC -> Check.total_consistency trace
+  | Audit.IC -> Check.interactive_consistency trace
+  | Audit.Agreement -> Check.nonfaulty_agreement trace
+  | Audit.Rule -> Check.decision_rule rule ~inputs trace
+  | Audit.WT ->
+    let failed = Array.make n false in
+    List.iter (fun p -> failed.(p) <- true) (Trace.failures trace);
+    Check.weak_termination ~quiescent ~statuses
+      ~ever_decided:(Check.ever_decided ~n trace) ~failed
+
+let replay (cert : Cert.t) =
+  match Patterns_protocols.Registry.find cert.Cert.protocol with
+  | None -> Inapplicable (Printf.sprintf "unknown protocol %S" cert.Cert.protocol)
+  | Some entry ->
+    let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+    if not (P.valid_n cert.Cert.n) then
+      Inapplicable (Printf.sprintf "%s does not support n = %d" P.name cert.Cert.n)
+    else begin
+      let module E = Engine.Make (P) in
+      (* untracked: a replay is one linear execution; the incremental
+         fingerprint machinery would only slow it down *)
+      match
+        try E.play (E.init_untracked ~n:cert.Cert.n ~inputs:cert.Cert.inputs) cert.Cert.script
+        with e -> Error (Printexc.to_string e)
+      with
+      | Error msg -> Inapplicable ("script does not apply: " ^ msg)
+      | Ok (final, trace) -> (
+        match
+          check cert.Cert.property ~rule:cert.Cert.rule ~inputs:cert.Cert.inputs
+            ~n:cert.Cert.n ~quiescent:(E.quiescent final) ~statuses:(E.statuses final)
+            trace
+        with
+        | Error msg -> Reproduced msg
+        | Ok () -> Not_reproduced)
+    end

@@ -1,0 +1,27 @@
+(** Certificate replay.
+
+    Re-execute a violation certificate from its initial configuration
+    through {!Patterns_sim.Engine}'s directive player and re-check the
+    claimed property on the resulting trace.  Replay is deterministic
+    — a script admits exactly one execution — and protocol-independent
+    on this side: the certificate names its protocol and the registry
+    supplies the module. *)
+
+type verdict =
+  | Reproduced of string
+      (** the property is violated again; carries the checker's
+          description of the (re-observed) violation *)
+  | Not_reproduced
+      (** the script played to completion but the property held *)
+  | Inapplicable of string
+      (** the certificate does not name a runnable execution here:
+          unknown protocol, unsupported [n], or a directive that does
+          not apply (e.g. the protocol's code changed) *)
+
+val exit_code : verdict -> int
+(** [0] reproduced, [1] not reproduced, [2] inapplicable — the
+    [patterns replay] exit convention. *)
+
+val pp : Format.formatter -> verdict -> unit
+
+val replay : Cert.t -> verdict

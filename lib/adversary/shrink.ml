@@ -1,0 +1,170 @@
+open Patterns_sim
+
+type report = {
+  cert : Cert.t;
+  original_directives : int;
+  original_n : int;
+  replays : int;
+}
+
+(* Every candidate is validated the only way that counts: replayed
+   end-to-end and re-checked for the *same* property.  [violates]
+   returns the fresh violation message so the shrunk certificate's
+   report describes the shrunk run, not the original. *)
+let violates replays cert =
+  incr replays;
+  match Replay.replay cert with Replay.Reproduced msg -> Some msg | _ -> None
+
+(* Dropping a [Fail_now p] orphans any failure notice about [p]:
+   without the crash there is no notice to deliver, so the candidate
+   script would be rejected as inapplicable rather than tested on its
+   merits.  Closing the deletion keeps candidates meaningful. *)
+let close script =
+  let failed = List.filter_map (function Script.Fail_now p -> Some p | _ -> None) script in
+  List.filter
+    (function Script.Deliver_note (_, about) -> List.mem about failed | _ -> true)
+    script
+
+let split_chunks xs k =
+  let arr = Array.of_list xs in
+  let len = Array.length arr in
+  List.init k (fun i ->
+      let lo = i * len / k and hi = (i + 1) * len / k in
+      Array.to_list (Array.sub arr lo (hi - lo)))
+
+(* Zeller-Hildebrandt ddmin over the directive list: try removing
+   chunks at increasing granularity, restarting whenever a smaller
+   violating script is found.  [test] returns the new violation
+   message when the candidate still violates. *)
+let ddmin test xs =
+  let best_msg = ref None in
+  let rec go xs k =
+    let len = List.length xs in
+    if len <= 1 then xs
+    else
+      let chunks = split_chunks xs k in
+      let rec complements i =
+        if i >= k then None
+        else
+          let candidate = close (List.concat (List.filteri (fun j _ -> j <> i) chunks)) in
+          if List.length candidate >= len then complements (i + 1)
+          else
+            match test candidate with
+            | Some msg ->
+              best_msg := Some msg;
+              Some candidate
+            | None -> complements (i + 1)
+      in
+      match complements 0 with
+      | Some smaller -> go smaller (max (k - 1) 2)
+      | None -> if k < len then go xs (min len (2 * k)) else xs
+  in
+  let xs' = go xs (min 2 (max 1 (List.length xs))) in
+  (xs', !best_msg)
+
+(* Chronological truncation: a violation observed by step [t] does not
+   need the schedule after [t].  ddmin can find this too, but peeling
+   the suffix first is near-free and leaves ddmin a much smaller
+   list. *)
+let truncate_suffix test xs =
+  let best_msg = ref None in
+  let rec go xs =
+    match List.rev xs with
+    | [] -> xs
+    | _ :: shorter_rev -> (
+      let candidate = close (List.rev shorter_rev) in
+      match test candidate with
+      | Some msg ->
+        best_msg := Some msg;
+        go candidate
+      | None -> xs)
+  in
+  let xs' = go xs in
+  (xs', !best_msg)
+
+let max_proc_referenced script =
+  List.fold_left
+    (fun acc d ->
+      let ps =
+        match (d : Script.directive) with
+        | Script.Step_of p | Script.Fail_now p | Script.Drain p -> [ p ]
+        | Script.Deliver_from (a, b) | Script.Deliver_note (a, b) -> [ a; b ]
+        | Script.Deliver_msg { at; from; _ } -> [ at; from ]
+        | Script.Flush_fifo -> []
+      in
+      List.fold_left max acc ps)
+    (-1) script
+
+let take k xs = List.filteri (fun i _ -> i < k) xs
+
+let shrink (cert : Cert.t) =
+  match Patterns_protocols.Registry.find cert.Cert.protocol with
+  | None -> Error (Printf.sprintf "unknown protocol %S" cert.Cert.protocol)
+  | Some entry ->
+    let replays = ref 0 in
+    let test current script =
+      violates replays { current with Cert.script; message = current.Cert.message }
+    in
+    (match violates replays cert with
+    | None -> Error "certificate does not reproduce; nothing to shrink"
+    | Some msg0 ->
+      let cur = ref { cert with Cert.message = msg0 } in
+      let update script = function
+        | Some msg -> cur := { !cur with Cert.script; message = msg }
+        | None -> ()
+      in
+      (* 1. peel the suffix, then ddmin what remains *)
+      let script, msg = truncate_suffix (test !cur) !cur.Cert.script in
+      update script msg;
+      let script, msg = ddmin (test !cur) !cur.Cert.script in
+      update script msg;
+      (* 2. shrink the instance: drop the top processor while no
+         directive mentions it and the smaller instance still
+         violates *)
+      if not entry.Patterns_protocols.Registry.fixed_n then begin
+        let continue = ref true in
+        while !continue do
+          let n' = !cur.Cert.n - 1 in
+          if n' < 1 || max_proc_referenced !cur.Cert.script >= n' then continue := false
+          else
+            let candidate =
+              { !cur with Cert.n = n'; inputs = take n' !cur.Cert.inputs }
+            in
+            match violates replays candidate with
+            | Some msg -> cur := { candidate with Cert.message = msg }
+            | None -> continue := false
+        done
+      end;
+      (* 3. canonicalize the inputs: flip each 1-bit to 0 when the
+         violation survives *)
+      List.iteri
+        (fun i b ->
+          if b then begin
+            let inputs =
+              List.mapi (fun j b -> if j = i then false else b) !cur.Cert.inputs
+            in
+            let candidate = { !cur with Cert.inputs } in
+            match violates replays candidate with
+            | Some msg -> cur := { candidate with Cert.message = msg }
+            | None -> ()
+          end)
+        !cur.Cert.inputs;
+      (* 4. one more ddmin pass: the smaller instance may have made
+         more of the schedule redundant *)
+      let script, msg = ddmin (test !cur) !cur.Cert.script in
+      update script msg;
+      Ok
+        {
+          cert = !cur;
+          original_directives = List.length cert.Cert.script;
+          original_n = cert.Cert.n;
+          replays = !replays;
+        })
+
+let pp_report ppf r =
+  Format.fprintf ppf "shrunk: %d -> %d directive(s), n %d -> %d, inputs %s (%d replays)"
+    r.original_directives
+    (List.length r.cert.Cert.script)
+    r.original_n r.cert.Cert.n
+    (String.concat "" (List.map (fun b -> if b then "1" else "0") r.cert.Cert.inputs))
+    r.replays

@@ -1,0 +1,26 @@
+(** Counterexample shrinking.
+
+    Minimize a violation certificate while preserving the violation:
+    delta-debugging (ddmin) over the directive script with a
+    crash-closure (dropping a [Fail_now] also drops the now-orphaned
+    failure notices), chronological suffix truncation, instance-size
+    reduction (drop the top processor while nothing references it),
+    and input canonicalization (1-bits flipped to 0).  Every candidate
+    is re-validated by a full {!Replay} of the {e same} property — a
+    shrink step that stops reproducing the violation is discarded, so
+    the result is a certificate that still replays with exit 0. *)
+
+type report = {
+  cert : Cert.t;  (** the minimized certificate; still reproduces *)
+  original_directives : int;
+  original_n : int;
+  replays : int;  (** replays spent validating candidates *)
+}
+
+val shrink : Cert.t -> (report, string) result
+(** [Error] when the input certificate does not itself reproduce
+    (nothing to shrink) or names an unknown protocol.  The returned
+    certificate's [message] is the violation report of the {e shrunk}
+    run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -96,7 +96,7 @@ let pp ppf r =
 type property = TC | IC | Agreement | WT | Rule
 
 let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false) ?(jobs = 1)
-    ~property ~rule ~n ~seed (module P : Protocol.S) =
+    ?deadline ~property ~rule ~n ~seed (module P : Protocol.S) =
   let module E = Engine.Make (P) in
   (* Each run draws from its own generator, seeded from (seed, run
      index), so runs are independent of execution order and the hunt
@@ -143,6 +143,7 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
   in
   (* the kernel's batched goal search: a violation stops the search
      without running all [max_runs] trials, batches are scanned in run
-     order, and exhausting the run budget is a Truncated outcome — a
-     hunt that finds nothing has not proven absence *)
-  Patterns_search.Search.find_first ?metrics ~jobs ~max_index:max_runs ~f:one ()
+     order, and exhausting the run budget (or the optional wall-clock
+     deadline) is a Truncated outcome — a hunt that finds nothing has
+     not proven absence *)
+  Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index:max_runs ~f:one ()

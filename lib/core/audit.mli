@@ -44,6 +44,7 @@ val hunt :
   ?max_runs:int ->
   ?fifo_notices:bool ->
   ?jobs:int ->
+  ?deadline:float ->
   property:property ->
   rule:Decision_rule.t ->
   n:int ->
@@ -56,7 +57,9 @@ val hunt :
     first violating run — inputs, crash plan, the violation, and a
     space-time diagram of the trace; [Error k] means [k] runs were
     tried without finding one — a {e truncated} search (the metrics
-    outcome says so): it does not prove absence.  Each run draws from
+    outcome says so): it does not prove absence.  [deadline]
+    (wall-clock seconds) stops the hunt between batches when set; the
+    metrics record the hit in [deadline_hits].  Each run draws from
     a generator seeded by [(seed, run index)], so the result is a
     deterministic function of [seed] for every [jobs] value
     (default 1): the first violating run index wins.  The metrics

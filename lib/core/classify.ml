@@ -18,7 +18,7 @@ type verdict = {
 }
 
 let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
-    ?(jobs = 1) ?par_threshold ~rule ~n (module P : Protocol.S) =
+    ?(jobs = 1) ?par_threshold ?deadline ?max_live ~rule ~n (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let options =
@@ -29,6 +29,8 @@ let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices 
       fifo_notices;
       jobs;
       par_threshold;
+      deadline;
+      max_live;
     }
   in
   let r = X.explore ?metrics ~options ~rule ~n () in

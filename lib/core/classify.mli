@@ -35,6 +35,8 @@ val classify :
   ?fifo_notices:bool ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?deadline:float ->
+  ?max_live:int ->
   rule:Decision_rule.t ->
   n:int ->
   (module Protocol.S) ->

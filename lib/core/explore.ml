@@ -11,6 +11,8 @@ module Make (P : Protocol.S) = struct
     fifo_notices : bool;
     jobs : int;
     par_threshold : int option;
+    deadline : float option;
+    max_live : int option;
   }
 
   let default_options ~n =
@@ -21,6 +23,8 @@ module Make (P : Protocol.S) = struct
       fifo_notices = false;
       jobs = 1;
       par_threshold = None;
+      deadline = None;
+      max_live = None;
     }
 
   type state_info = {
@@ -141,7 +145,7 @@ module Make (P : Protocol.S) = struct
      and budget live in the search kernel; this function only defines
      the node type and hangs the paper's observations on the expansion
      closure. *)
-  let explore_one_vector ~options ~pool ~budget ~rule ~n inputs =
+  let explore_one_vector ?deadline ~options ~pool ~budget ~rule ~n inputs =
     let record_first o cell msg =
       if o.cells.(cell) = None then o.cells.(cell) <- Some msg
     in
@@ -346,7 +350,8 @@ module Make (P : Protocol.S) = struct
     in
     let root_config = E.init ~n ~inputs in
     let outcome, o, m =
-      K.run_par ~pool ?par_threshold:options.par_threshold ~budget
+      K.run_par ~pool ?par_threshold:options.par_threshold ~budget ?deadline
+        ?max_live:options.max_live
         ~expand:{ K.empty = vobs_empty; merge = vobs_merge; expand = node_expand }
         ~root:(root_config, Array.make n None) ()
     in
@@ -425,11 +430,22 @@ module Make (P : Protocol.S) = struct
        the pool-owning domain (nested pool maps are not supported),
        merging reports and metrics in vector order — bit-identical
        for every [jobs]. *)
+    (* the optional wall-clock deadline bounds the whole sweep: each
+       vector's search gets the time remaining at its turn *)
+    let t_end =
+      Option.map (fun d -> Patterns_search.Search.now () +. d) options.deadline
+    in
+    let remaining () =
+      Option.map (fun te -> Float.max 0. (te -. Patterns_search.Search.now ())) t_end
+    in
     let report, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs:options.jobs (fun pool ->
           List.fold_left
             (fun (acc, ms) (i, inputs) ->
-              let r, m = explore_one_vector ~options ~pool ~budget ~rule ~n inputs in
+              let r, m =
+                explore_one_vector ?deadline:(remaining ()) ~options ~pool ~budget ~rule ~n
+                  inputs
+              in
               ( merge_reports acc r,
                 Patterns_search.Metrics.merge ms
                   (Patterns_search.Metrics.with_root_index i m) ))

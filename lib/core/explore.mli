@@ -43,11 +43,21 @@ module Make (P : Protocol.S) : sig
         (** frontier size at which a layer is expanded in parallel;
             [None] means {!Patterns_search.Search.Make.default_par_threshold}.
             Any value yields the same report. *)
+    deadline : float option;
+        (** wall-clock budget (seconds) for the whole sweep: each
+            vector's search receives the time remaining at its turn,
+            and exceeding it truncates gracefully instead of
+            hanging *)
+    max_live : int option;
+        (** live-state budget (visited + frontier) per vector's
+            search; exceeding it truncates gracefully instead of
+            exhausting memory.  Deterministic and jobs-invariant. *)
   }
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
-      unordered notices, one worker, automatic parallel threshold. *)
+      unordered notices, one worker, automatic parallel threshold, no
+      deadline, no live-state limit. *)
 
   type state_info = {
     state : P.state;

@@ -82,10 +82,12 @@ module Make (P : Protocol.S) = struct
           | actions -> Pr.successors c actions);
     }
 
-  let patterns_for_inputs_m ?pool ?par_threshold ?(max_configs = 1_000_000) ~n ~inputs () =
+  let patterns_for_inputs_m ?pool ?par_threshold ?(max_configs = 1_000_000) ?deadline
+      ?max_live ~n ~inputs () =
     let root = E.init ~n ~inputs in
     let outcome, o, m =
-      K.run_par ?pool ?par_threshold ~budget:max_configs ~expand:obs_expand ~root ()
+      K.run_par ?pool ?par_threshold ~budget:max_configs ?deadline ?max_live
+        ~expand:obs_expand ~root ()
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root) m in
     ( ( o.pats,
@@ -96,16 +98,18 @@ module Make (P : Protocol.S) = struct
         } ),
       m )
 
-  let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?max_configs ~n ~inputs () =
+  let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?max_configs ?deadline
+      ?max_live ~n ~inputs () =
     let result, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
-          patterns_for_inputs_m ~pool ?par_threshold ?max_configs ~n ~inputs ())
+          patterns_for_inputs_m ~pool ?par_threshold ?max_configs ?deadline ?max_live ~n
+            ~inputs ())
     in
     Search.merge_into metrics m;
     result
 
-  let realize ?metrics ?(jobs = 1) ?par_threshold ?(max_configs = 1_000_000) ~n ~inputs
-      ~target () =
+  let realize ?metrics ?(jobs = 1) ?par_threshold ?(max_configs = 1_000_000) ?deadline
+      ?max_live ~n ~inputs ~target () =
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
@@ -146,8 +150,8 @@ module Make (P : Protocol.S) = struct
     let root_config = E.init ~n ~inputs in
     let outcome, (), m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
-          K.run_par ~pool ?par_threshold ~budget:max_configs ~is_goal ~prune ~expand
-            ~root:(R.make root_config []) ())
+          K.run_par ~pool ?par_threshold ~budget:max_configs ?deadline ?max_live ~is_goal
+            ~prune ~expand ~root:(R.make root_config []) ())
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     Search.merge_into metrics m;
@@ -171,13 +175,19 @@ module Make (P : Protocol.S) = struct
      pool-owning domain (nested pool maps are not supported) and
      merges payloads and metrics in vector order, bit-identical for
      every [jobs]. *)
-  let scheme ?metrics ?max_configs ?(jobs = 1) ?par_threshold ~n () =
+  let scheme ?metrics ?max_configs ?deadline ?max_live ?(jobs = 1) ?par_threshold ~n () =
+    (* [deadline] bounds the whole sweep, so each root receives the
+       time remaining when its turn comes; a root starting past the
+       deadline gets a zero allowance and truncates immediately *)
+    let t_end = Option.map (fun d -> Search.now () +. d) deadline in
+    let remaining () = Option.map (fun te -> Float.max 0. (te -. Search.now ())) t_end in
     let result, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
           List.fold_left
             (fun ((acc, st), ms) (i, inputs) ->
               let (pats, st'), m =
-                patterns_for_inputs_m ~pool ?par_threshold ?max_configs ~n ~inputs ()
+                patterns_for_inputs_m ~pool ?par_threshold ?max_configs
+                  ?deadline:(remaining ()) ?max_live ~n ~inputs ()
               in
               ( (Pattern.Set.union acc pats, merge_stats st st'),
                 Metrics.merge ms (Metrics.with_root_index i m) ))

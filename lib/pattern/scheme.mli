@@ -36,6 +36,8 @@ module Make (P : Protocol.S) : sig
     ?jobs:int ->
     ?par_threshold:int ->
     ?max_configs:int ->
+    ?deadline:float ->
+    ?max_live:int ->
     n:int ->
     inputs:bool list ->
     unit ->
@@ -47,12 +49,18 @@ module Make (P : Protocol.S) : sig
       {!Patterns_search.Search.Make.default_par_threshold}) are
       expanded across [jobs] domains.  The result is bit-identical for
       every [jobs] and [par_threshold].  Default [max_configs] is
-      1_000_000.  Every [?metrics] sink in this module accumulates the
-      kernel's counters ({!Patterns_search.Search.merge_into}). *)
+      1_000_000.  [deadline] (wall-clock seconds) and [max_live]
+      (visited + frontier states) degrade the search gracefully:
+      exceeding either truncates instead of hanging or exhausting
+      memory (checked once per frontier layer).  Every [?metrics] sink
+      in this module accumulates the kernel's counters
+      ({!Patterns_search.Search.merge_into}). *)
 
   val scheme :
     ?metrics:Patterns_search.Metrics.t ref ->
     ?max_configs:int ->
+    ?deadline:float ->
+    ?max_live:int ->
     ?jobs:int ->
     ?par_threshold:int ->
     n:int ->
@@ -62,13 +70,18 @@ module Make (P : Protocol.S) : sig
       are summed in vector order.  Parallelism is intra-root: each
       vector's frontier layers are fanned out across [jobs] domains by
       the layer-synchronous driver; the result is bit-identical to the
-      sequential run for every [jobs] and [par_threshold]. *)
+      sequential run for every [jobs] and [par_threshold].  [deadline]
+      bounds the whole sweep (each vector's search receives the time
+      remaining); [max_live] bounds each vector's search
+      separately. *)
 
   val realize :
     ?metrics:Patterns_search.Metrics.t ref ->
     ?jobs:int ->
     ?par_threshold:int ->
     ?max_configs:int ->
+    ?deadline:float ->
+    ?max_live:int ->
     n:int ->
     inputs:bool list ->
     target:Pattern.t ->

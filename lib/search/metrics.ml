@@ -44,6 +44,8 @@ type t = {
   shard_occupancy_max : int;
   shard_occupancy_total : int;
   frontier_peak_sum : int;
+  deadline_hits : int;
+  live_limit_hits : int;
   lock_contention : int;
   expand_seconds : float;
   shards : shard list;
@@ -68,6 +70,8 @@ let zero =
     shard_occupancy_max = 0;
     shard_occupancy_total = 0;
     frontier_peak_sum = 0;
+    deadline_hits = 0;
+    live_limit_hits = 0;
     lock_contention = 0;
     expand_seconds = 0.;
     shards = [];
@@ -140,6 +144,8 @@ let merge a b =
     shard_occupancy_max = max a.shard_occupancy_max b.shard_occupancy_max;
     shard_occupancy_total = a.shard_occupancy_total + b.shard_occupancy_total;
     frontier_peak_sum = a.frontier_peak_sum + b.frontier_peak_sum;
+    deadline_hits = a.deadline_hits + b.deadline_hits;
+    live_limit_hits = a.live_limit_hits + b.live_limit_hits;
     lock_contention = a.lock_contention + b.lock_contention;
     expand_seconds = a.expand_seconds +. b.expand_seconds;
     shards = a.shards @ b.shards;
@@ -148,12 +154,15 @@ let merge a b =
 (* Hand-rolled rendering, like the bench harness: no JSON dependency.
    Key order is part of the schema and pinned by the cram test.
    Schema /2 appended the fingerprint-store counters after "pruned";
-   schema /3 appends the layer-synchronous driver fields after
-   "truncated_roots"; every /1 and /2 field is unchanged in name,
+   schema /3 appended the layer-synchronous driver fields after
+   "truncated_roots"; schema /4 appends the graceful-degradation
+   counters "deadline_hits" and "live_limit_hits" after
+   "frontier_peak_sum"; every earlier field is unchanged in name,
    meaning and order.  "lock_contention", "expand_seconds" and
    "parallel_efficiency" are the only nondeterministic top-level
    fields (normalized away by the cram test, never compared by the
-   bench --check gate). *)
+   bench --check gate); "deadline_hits" is deterministically 0 when no
+   deadline was set, and wall-clock-dependent when one was. *)
 let wall_seconds m = List.fold_left (fun acc (s : shard) -> acc +. s.seconds) 0. m.shards
 
 (* expand-time over wall-time: the fraction of the run spent inside
@@ -166,7 +175,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/3\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/4\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -188,6 +197,8 @@ let to_json ?(shards = true) m =
   Buffer.add_string b
     (Printf.sprintf "  \"shard_occupancy_total\": %d,\n" m.shard_occupancy_total);
   Buffer.add_string b (Printf.sprintf "  \"frontier_peak_sum\": %d,\n" m.frontier_peak_sum);
+  Buffer.add_string b (Printf.sprintf "  \"deadline_hits\": %d,\n" m.deadline_hits);
+  Buffer.add_string b (Printf.sprintf "  \"live_limit_hits\": %d,\n" m.live_limit_hits);
   Buffer.add_string b (Printf.sprintf "  \"lock_contention\": %d,\n" m.lock_contention);
   Buffer.add_string b (Printf.sprintf "  \"expand_seconds\": %.6f,\n" m.expand_seconds);
   Buffer.add_string b

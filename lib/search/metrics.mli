@@ -64,6 +64,13 @@ type t = {
           [frontier_peak], which reports the max-of-peaks (summing
           peaks over-reports peak memory: the roots do not all peak at
           once) *)
+  deadline_hits : int;
+      (** searches stopped by a wall-clock deadline
+          ({!Search.Deadline_exceeded}); deterministically 0 when no
+          deadline was set, wall-clock-dependent when one was *)
+  live_limit_hits : int;
+      (** searches stopped by the live-state budget
+          ({!Search.Live_limit_exceeded}); deterministic *)
   lock_contention : int;
       (** shard-mutex acquisitions that found the lock held —
           nondeterministic under [jobs > 1], never compared across
@@ -115,9 +122,10 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/3"]: every /1 and /2 key is
-    unchanged in name, meaning and order; the layer-synchronous driver
-    fields are appended after ["truncated_roots"].  Key order is
+(** Schema ["patterns-search-metrics/4"]: every /1, /2 and /3 key is
+    unchanged in name, meaning and order; /4 appends the
+    graceful-degradation counters ["deadline_hits"] and
+    ["live_limit_hits"] after ["frontier_peak_sum"].  Key order is
     stable and pinned by the cram test; [?shards:false] omits the
     per-shard array (whose [seconds] are nondeterministic). *)
 

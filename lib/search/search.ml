@@ -1,9 +1,17 @@
 open Patterns_stdx
 
-type reason = Budget_exhausted of { budget : int; consumed : int }
+type reason =
+  | Budget_exhausted of { budget : int; consumed : int }
+  | Deadline_exceeded of { deadline : float; elapsed : float }
+  | Live_limit_exceeded of { limit : int; live : int }
 
-let reason_string (Budget_exhausted { budget; consumed }) =
-  Printf.sprintf "budget exhausted after %d of %d states" consumed budget
+let reason_string = function
+  | Budget_exhausted { budget; consumed } ->
+    Printf.sprintf "budget exhausted after %d of %d states" consumed budget
+  | Deadline_exceeded { deadline; elapsed } ->
+    Printf.sprintf "deadline exceeded after %.3f of %.3f seconds" elapsed deadline
+  | Live_limit_exceeded { limit; live } ->
+    Printf.sprintf "live-state limit exceeded: %d live states against a limit of %d" live limit
 
 type 'a outcome = Exhausted | Goal_found of 'a | Truncated of reason
 
@@ -12,9 +20,22 @@ let outcome_kind = function
   | Goal_found _ -> Metrics.Goal_found
   | Truncated _ -> Metrics.Truncated
 
+(* the graceful-degradation counters carried into the metrics record:
+   which of the overrun guards (if any) stopped this search *)
+let degradation_hits = function
+  | Truncated (Deadline_exceeded _) -> (1, 0)
+  | Truncated (Live_limit_exceeded _) -> (0, 1)
+  | _ -> (0, 0)
+
+let with_degradation outcome (m : Metrics.t) =
+  let deadline_hits, live_limit_hits = degradation_hits outcome in
+  { m with Metrics.deadline_hits; live_limit_hits }
+
 let truncated = function Truncated _ -> true | _ -> false
 
 let merge_into sink m = Option.iter (fun r -> r := Metrics.merge !r m) sink
+
+let now () = Unix.gettimeofday ()
 
 (* ----- fingerprint-indexed visited store ----- *)
 
@@ -97,7 +118,7 @@ module Make (P : Problem) = struct
     expand : 'obs -> P.state -> P.state list;
   }
 
-  let run ?(strategy = Dfs) ?(budget = max_int) ?is_goal ?prune ~root () =
+  let run ?(strategy = Dfs) ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ~root () =
     let visited =
       Store.create ~equal:(fun a b -> P.compare a b = 0) ~fingerprint:P.fingerprint ()
     in
@@ -151,6 +172,25 @@ module Make (P : Problem) = struct
           false
         | _ -> true
     in
+    let t0 = Unix.gettimeofday () in
+    (* overrun guards, checked at pop time like the budget: a deadline
+       or live-state limit turns an overrun into a Truncated outcome
+       instead of a hang or an OOM kill.  Live states = stored
+       bindings + frontier entries (counting the popped state), so the
+       total never exceeds the limit. *)
+    let over_deadline () =
+      match deadline with
+      | None -> None
+      | Some d ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed >= d then Some (Truncated (Deadline_exceeded { deadline = d; elapsed }))
+        else None
+    in
+    let over_live live =
+      match max_live with
+      | Some limit when live > limit -> Some (Truncated (Live_limit_exceeded { limit; live }))
+      | _ -> None
+    in
     let rec loop () =
       match pop () with
       | None -> Exhausted
@@ -163,16 +203,21 @@ module Make (P : Problem) = struct
         else if !expanded >= budget then
           Truncated (Budget_exhausted { budget; consumed = !expanded })
         else begin
-          Store.add visited s;
-          incr expanded;
-          if goal s then Goal_found s
-          else begin
-            push_batch (List.filter keep (P.expand s));
-            loop ()
-          end
+          match over_live (Store.bindings visited + !size + 1) with
+          | Some t -> t
+          | None -> (
+            match over_deadline () with
+            | Some t -> t
+            | None ->
+              Store.add visited s;
+              incr expanded;
+              if goal s then Goal_found s
+              else begin
+                push_batch (List.filter keep (P.expand s));
+                loop ()
+              end)
         end
     in
-    let t0 = Unix.gettimeofday () in
     push_batch [ root ];
     let outcome = loop () in
     let seconds = Unix.gettimeofday () -. t0 in
@@ -189,7 +234,7 @@ module Make (P : Problem) = struct
         seconds;
       }
     in
-    (outcome, Metrics.of_shard (outcome_kind outcome) shard)
+    (outcome, with_degradation outcome (Metrics.of_shard (outcome_kind outcome) shard))
 
   (* ----- level-synchronous parallel BFS ----- *)
 
@@ -210,7 +255,7 @@ module Make (P : Problem) = struct
     go [] [] 0 states
 
   let run_par ?pool ?(par_threshold = default_par_threshold) ?shard_bits
-      ?(budget = max_int) ?is_goal ?prune ~expand:obs_iface ~root () =
+      ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ~expand:obs_iface ~root () =
     let visited =
       Sharded_store.create ?shard_bits
         ~equal:(fun a b -> P.compare a b = 0)
@@ -232,12 +277,33 @@ module Make (P : Problem) = struct
     in
     let obs = ref (obs_iface.empty ()) in
     let t0 = Unix.gettimeofday () in
+    (* overrun guards, checked once per layer before the layer is
+       charged: overshoot is bounded by one layer, and the live-state
+       check sees the store plus the whole pending frontier *)
+    let over_run len =
+      match max_live with
+      | Some limit when Sharded_store.bindings visited + len > limit ->
+        Some
+          (Truncated
+             (Live_limit_exceeded { limit; live = Sharded_store.bindings visited + len }))
+      | _ -> (
+        match deadline with
+        | None -> None
+        | Some d ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          if elapsed >= d then
+            Some (Truncated (Deadline_exceeded { deadline = d; elapsed }))
+          else None)
+    in
     ignore (Sharded_store.add_if_absent visited root : bool);
     let rec loop frontier =
       match frontier with
       | [] -> Exhausted
       | _ ->
         let len = List.length frontier in
+        match over_run len with
+        | Some t -> t
+        | None ->
         incr layers;
         if len > !peak then peak := len;
         let par = len >= par_threshold in
@@ -358,7 +424,7 @@ module Make (P : Problem) = struct
            ~lock_contention:(Sharded_store.lock_contention visited)
            ~expand_seconds:!expand_seconds
     in
-    (outcome, !obs, m)
+    (outcome, !obs, with_degradation outcome m)
 end
 
 (* ----- deterministic sharding per root ----- *)
@@ -377,15 +443,28 @@ let shard ~jobs ~f ~merge ~init roots =
 
 (* ----- batched goal search over an index space ----- *)
 
-let find_first ?metrics ~jobs ?batch ~max_index ~f () =
+let find_first ?metrics ~jobs ?batch ?deadline ~max_index ~f () =
   Domain_pool.with_pool ~jobs (fun pool ->
       let batch =
         match batch with Some b -> max 1 b | None -> max 8 (Domain_pool.jobs pool * 4)
       in
       let tried = ref 0 and peak = ref 0 in
+      let deadline_hit = ref false in
       let t0 = Unix.gettimeofday () in
+      (* the deadline is checked between batches: a batch already
+         dispatched runs to completion, so overshoot is bounded by one
+         batch of [f] calls *)
+      let over_deadline () =
+        match deadline with
+        | None -> false
+        | Some d ->
+          let hit = Unix.gettimeofday () -. t0 >= d in
+          if hit then deadline_hit := true;
+          hit
+      in
       let rec go next =
-        if next > max_index then Error max_index
+        if next > max_index then Error !tried
+        else if over_deadline () then Error !tried
         else begin
           let hi = min max_index (next + batch - 1) in
           let indices = List.init (hi - next + 1) (fun i -> next + i) in
@@ -417,6 +496,7 @@ let find_first ?metrics ~jobs ?batch ~max_index ~f () =
             seconds;
           }
       in
+      let m = if !deadline_hit then { m with Metrics.deadline_hits = 1 } else m in
       merge_into metrics m;
       result)
 

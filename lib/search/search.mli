@@ -18,7 +18,18 @@
     {!Patterns_stdx.Domain_pool}, so sharded sweeps are bit-identical
     for every [jobs] value. *)
 
-type reason = Budget_exhausted of { budget : int; consumed : int }
+(** Why a search stopped short of exhausting its space.  All three are
+    graceful: the search returns its metrics and a [Truncated] outcome
+    instead of hanging ([Deadline_exceeded]) or growing without bound
+    ([Live_limit_exceeded]). *)
+type reason =
+  | Budget_exhausted of { budget : int; consumed : int }
+  | Deadline_exceeded of { deadline : float; elapsed : float }
+      (** the wall-clock deadline (seconds) passed; [elapsed] is the
+          time actually spent when the guard fired *)
+  | Live_limit_exceeded of { limit : int; live : int }
+      (** visited bindings + frontier size exceeded the live-state
+          budget; deterministic for a fixed strategy and input *)
 
 val reason_string : reason -> string
 
@@ -26,12 +37,22 @@ type 'a outcome =
   | Exhausted  (** the reachable space was fully enumerated *)
   | Goal_found of 'a  (** the first goal state, in visitation order *)
   | Truncated of reason
-      (** the budget ran out with states still pending — the
-          generalization of the scheme layer's
+      (** a budget, deadline or live-state limit ran out with states
+          still pending — the generalization of the scheme layer's
           [Realized]/[Unrealizable]/[Truncated] triad *)
 
 val outcome_kind : 'a outcome -> Metrics.outcome_kind
 val truncated : 'a outcome -> bool
+
+val with_degradation : 'a outcome -> Metrics.t -> Metrics.t
+(** Set {!Metrics.t.deadline_hits} / [live_limit_hits] from the
+    outcome's truncation reason (both 0 unless the matching guard
+    fired).  Applied by every driver in this module; exposed for
+    clients that synthesize metrics records of their own. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday], re-exported so deadline-aware callers can
+    compute remaining time without their own [unix] dependency. *)
 
 val merge_into : Metrics.t ref option -> Metrics.t -> unit
 (** [merge_into sink m]: accumulate [m] into an optional metrics sink
@@ -103,6 +124,8 @@ module Make (P : Problem) : sig
   val run :
     ?strategy:strategy ->
     ?budget:int ->
+    ?deadline:float ->
+    ?max_live:int ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
     root:P.state ->
@@ -110,14 +133,20 @@ module Make (P : Problem) : sig
     P.state outcome * Metrics.t
   (** Search from [root].  Each visited state consumes one unit of
       [budget] (default unlimited); when a state is popped with the
-      budget spent, the search stops with {!Truncated}.  [is_goal] is
-      tested at visit time, before expansion.  Successors for which
-      [prune] returns [true] are discarded (counted in
-      {!Metrics.t.pruned}); already-visited successors are discarded
-      too (counted in [dedup_hits]).  The root is neither pruned nor
-      goal-exempt.  The visited set is a {!Store} keyed on
-      [P.fingerprint]; its probe and collision counters are reported
-      in the metrics. *)
+      budget spent, the search stops with {!Truncated}.  [deadline]
+      (wall-clock seconds from the start of this call) and [max_live]
+      (visited bindings + frontier size) are the graceful-degradation
+      guards, checked at the same pop point: exceeding either stops
+      the search with {!Truncated} ({!Deadline_exceeded} /
+      {!Live_limit_exceeded}) instead of hanging or exhausting memory.
+      [max_live] truncation is deterministic; [deadline] truncation
+      points are wall-clock-dependent by nature.  [is_goal] is tested
+      at visit time, before expansion.  Successors for which [prune]
+      returns [true] are discarded (counted in {!Metrics.t.pruned});
+      already-visited successors are discarded too (counted in
+      [dedup_hits]).  The root is neither pruned nor goal-exempt.  The
+      visited set is a {!Store} keyed on [P.fingerprint]; its probe
+      and collision counters are reported in the metrics. *)
 
   (** Observation interface for {!run_par}.  Each expansion task works
       against a fresh accumulator from [empty]; task accumulators are
@@ -142,6 +171,8 @@ module Make (P : Problem) : sig
     ?par_threshold:int ->
     ?shard_bits:int ->
     ?budget:int ->
+    ?deadline:float ->
+    ?max_live:int ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
     expand:'obs par_expand ->
@@ -164,7 +195,11 @@ module Make (P : Problem) : sig
       counts budget-charged states, [dedup_hits] counts
       visited/duplicate suppressions (probe-time and insert-time),
       [pruned] counts prune rejections; [fingerprint_probes] counts
-      one probe per successor filter and one per insertion attempt. *)
+      one probe per successor filter and one per insertion attempt.
+      [deadline] and [max_live] are checked once per layer before the
+      layer is charged, so overshoot past either guard is bounded by
+      one layer; [max_live] truncation is deterministic and
+      jobs-invariant. *)
 end
 
 val shard :
@@ -184,6 +219,7 @@ val find_first :
   ?metrics:Metrics.t ref ->
   jobs:int ->
   ?batch:int ->
+  ?deadline:float ->
   max_index:int ->
   f:(int -> 'a option) ->
   unit ->
@@ -192,8 +228,11 @@ val find_first :
     [f] on batches of indices in parallel (default batch:
     [max 8 (4 * jobs)]), scanning each batch in index order, so the
     winner is the smallest goal index for every [jobs] value.
-    [Error max_index] means no goal within the budget — a truncated
-    search (absence is not proven), and the metrics outcome says so.
+    [Error tried] means no goal within the budget — a truncated
+    search (absence is not proven), and the metrics outcome says so;
+    [tried] is the number of indices evaluated ([= max_index] when the
+    space was swept, fewer when [deadline] — checked between batches —
+    fired first, in which case [deadline_hits] is set in the metrics).
     The expanded count is the number of indices evaluated, which may
     exceed the winner's index by up to one batch (speculative
     parallelism) and therefore varies with [jobs] when a goal is

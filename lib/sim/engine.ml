@@ -56,8 +56,14 @@ module Make (P : Protocol.S) = struct
     knowledge : Triple.Fset.t array;
     edges : Pair_set.t;
     (* commutative fingerprint of [edges] alone: the intern key for the
-       edge set and the edge half of the terminal pattern identity *)
-    efp : F.t;
+       edge set and the edge half of the terminal pattern identity.
+       Maintained eagerly under a tracking [ctx] (the intern table
+       needs it on every send); stale under an untracked one until
+       [ensure_efp] recomputes it by a full fold on first demand
+       ([efp_valid] says which) — linear runs that never ask for a
+       pattern identity pay nothing for it. *)
+    mutable efp : F.t;
+    mutable efp_valid : bool;
     trips : Triple.Fset.t;
     (* behavioral fingerprint (n, inputs, states, failed, buffers) and
        pattern-bookkeeping fingerprint (sent counts, knowledge, edges,
@@ -173,6 +179,7 @@ module Make (P : Protocol.S) = struct
       knowledge = Array.make n Triple.Fset.empty;
       edges = Pair_set.empty;
       efp = F.zero;
+      efp_valid = true;
       trips = Triple.Fset.empty;
       bfp = (if track_fingerprints then scratch_bfp ~n ~inputs ~states ~failed ~buffers else F.zero);
       pfp = F.zero;
@@ -209,12 +216,26 @@ module Make (P : Protocol.S) = struct
 
   let pattern_edges c = Pair_set.elements c.edges
 
+  (* Lazy fallback for untracked configurations, mirroring
+     [ensure_fps] below: the full fold over the edge set runs on first
+     demand and memoizes in place.  Tracked configurations always have
+     [efp_valid] (the intern table needs the key eagerly) and are
+     never mutated here, so sharing across domains is safe. *)
+  let ensure_efp c =
+    if not c.efp_valid then begin
+      let acc = ref F.zero in
+      Pair_set.iter (fun (a, b) -> acc := F.combine !acc (fp_edge a b)) c.edges;
+      c.efp <- !acc;
+      c.efp_valid <- true
+    end;
+    c.efp
+
   (* pattern identity without extraction: the fingerprint covers the
      triples and edges alone, and because both components are interned
      per root, structurally equal pairs are physically equal — so a
      caller can dedup terminal patterns before paying for
      [Pattern.make] *)
-  let pattern_fp c = F.combine (Triple.Fset.fp c.trips) c.efp
+  let pattern_fp c = F.combine (Triple.Fset.fp c.trips) (ensure_efp c)
   let same_pattern_rep a b = a.trips == b.trips && a.edges == b.edges
   let triples_of c = Triple.Fset.elements c.trips
 
@@ -482,11 +503,15 @@ module Make (P : Protocol.S) = struct
         let edges =
           List.fold_left (fun acc m1 -> Pair_set.add (m1, triple) acc) c.edges causes
         in
-        (* [efp] is maintained even untracked: it is the intern key and
-           the edge half of {!pattern_fp}, and the combines are cheap
-           next to the [Pair_set.add]s above *)
-        let efp =
-          List.fold_left (fun h m1 -> F.combine h (fp_edge m1 triple)) c.efp causes
+        (* [efp] is maintained eagerly only under tracking, where it is
+           the intern key and feeds the [pfp] delta; untracked
+           descendants mark it stale and [ensure_efp] recomputes on
+           demand — hunts that never read a pattern identity skip one
+           [fp_edge] per cause per send *)
+        let efp, efp_valid =
+          if track then
+            (List.fold_left (fun h m1 -> F.combine h (fp_edge m1 triple)) c.efp causes, true)
+          else (F.zero, false)
         in
         let edges =
           if track then locked c (fun () -> Intern.intern c.ctx.edge_sets ~fp:efp edges)
@@ -511,7 +536,7 @@ module Make (P : Protocol.S) = struct
           else (F.zero, F.zero)
         in
         let c' =
-          { c with states; state_fps; sent_count; knowledge; edges; efp; buffers;
+          { c with states; state_fps; sent_count; knowledge; edges; efp; efp_valid; buffers;
             trips = interned c (Triple.Fset.add_new triple c.trips); bfp; pfp;
             fps_valid = track }
         in
@@ -693,40 +718,39 @@ module Make (P : Protocol.S) = struct
 
   (* ----- scripted replays ----- *)
 
-  type directive =
+  type directive = Script.directive =
     | Step_of of Proc_id.t
     | Deliver_from of Proc_id.t * Proc_id.t
+    | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
     | Deliver_note of Proc_id.t * Proc_id.t
     | Fail_now of Proc_id.t
     | Drain of Proc_id.t
     | Flush_fifo
 
-  let pp_directive ppf = function
-    | Step_of p -> Format.fprintf ppf "step %a" Proc_id.pp p
-    | Deliver_from (at, from) ->
-      Format.fprintf ppf "deliver to %a from %a" Proc_id.pp at Proc_id.pp from
-    | Deliver_note (at, about) ->
-      Format.fprintf ppf "deliver to %a the notice failed(%a)" Proc_id.pp at Proc_id.pp about
-    | Fail_now p -> Format.fprintf ppf "fail %a" Proc_id.pp p
-    | Drain p -> Format.fprintf ppf "drain %a" Proc_id.pp p
-    | Flush_fifo -> Format.fprintf ppf "flush (fifo to quiescence)"
+  let pp_directive = Script.pp
 
   let find_entry c at pred =
     Listx.find_index pred c.buffers.(at)
 
   let play c directives =
     let flush_cap = 100_000 in
-    let rec exec c step rev_trace = function
+    (* [pos] is the directive's 1-based position in the script, so a
+       failure names exactly which line of a long certificate script
+       went wrong *)
+    let rec exec c step rev_trace pos = function
       | [] -> Ok (c, List.rev rev_trace)
       | d :: rest -> (
         let fail_d msg =
-          Error (Format.asprintf "directive [%a] failed: %s" pp_directive d msg)
+          Error (Format.asprintf "directive #%d [%a] failed: %s" pos pp_directive d msg)
+        in
+        let continue c' step evs rev_trace =
+          exec c' (step + 1) (List.rev_append evs rev_trace) (pos + 1) rest
         in
         match d with
         | Step_of p -> (
           match apply ~step c (Action.Send_step p) with
           | Error e -> fail_d e
-          | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest)
+          | Ok (c', evs) -> continue c' step evs rev_trace)
         | Deliver_from (at, from) -> (
           let pred = function
             | Data { triple; _ } -> Proc_id.equal triple.Triple.sender from
@@ -737,7 +761,20 @@ module Make (P : Protocol.S) = struct
           | Some index -> (
             match apply ~step c (Action.Deliver { at; index }) with
             | Error e -> fail_d e
-            | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest))
+            | Ok (c', evs) -> continue c' step evs rev_trace))
+        | Deliver_msg { at; from; index } -> (
+          let pred = function
+            | Data { triple; _ } ->
+              Proc_id.equal triple.Triple.sender from && triple.Triple.index = index
+            | Note _ -> false
+          in
+          match find_entry c at pred with
+          | None ->
+            fail_d (Printf.sprintf "no message p%d->p%d#%d buffered at p%d" from at index at)
+          | Some buffer_index -> (
+            match apply ~step c (Action.Deliver { at; index = buffer_index }) with
+            | Error e -> fail_d e
+            | Ok (c', evs) -> continue c' step evs rev_trace))
         | Deliver_note (at, about) -> (
           let pred = function Note q -> Proc_id.equal q about | Data _ -> false in
           match find_entry c at pred with
@@ -745,11 +782,11 @@ module Make (P : Protocol.S) = struct
           | Some index -> (
             match apply ~step c (Action.Deliver { at; index }) with
             | Error e -> fail_d e
-            | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest))
+            | Ok (c', evs) -> continue c' step evs rev_trace))
         | Fail_now p -> (
           match apply ~step c (Action.Fail p) with
           | Error e -> fail_d e
-          | Ok (c', evs) -> exec c' (step + 1) (List.rev_append evs rev_trace) rest)
+          | Ok (c', evs) -> continue c' step evs rev_trace)
         | Drain p ->
           let rec drain c step rev_trace budget =
             if budget = 0 then fail_d "drain did not terminate"
@@ -760,7 +797,7 @@ module Make (P : Protocol.S) = struct
               match apply ~step c (Action.Send_step p) with
               | Error e -> fail_d e
               | Ok (c', evs) -> drain c' (step + 1) (List.rev_append evs rev_trace) (budget - 1)
-            else exec c step rev_trace rest
+            else exec c step rev_trace (pos + 1) rest
           in
           drain c step rev_trace flush_cap
         | Flush_fifo ->
@@ -768,7 +805,7 @@ module Make (P : Protocol.S) = struct
             if budget = 0 then fail_d "flush did not reach quiescence"
             else
               match applicable c with
-              | [] -> exec c step rev_trace rest
+              | [] -> exec c step rev_trace (pos + 1) rest
               | a :: _ -> (
                 match apply ~step c a with
                 | Error e -> fail_d e
@@ -776,7 +813,7 @@ module Make (P : Protocol.S) = struct
           in
           flush c step rev_trace flush_cap)
     in
-    exec c 0 [] directives
+    exec c 0 [] 1 directives
 
   let play_exn c directives =
     match play c directives with Ok r -> r | Error e -> failwith e

@@ -199,15 +199,22 @@ module Make (P : Protocol.S) : sig
 
   (** {1 Scripted replays}
 
-      Indistinguishability scenarios (Theorems 8 and 13) need exact
-      control over delivery order; these directives express them
-      readably. *)
+      Indistinguishability scenarios (Theorems 8 and 13) and
+      certificate replays need exact control over delivery order;
+      {!Script.directive}s express them readably.  The type is
+      re-exported here so engine clients keep using the constructors
+      unqualified; serialization and trace extraction live in
+      {!Script}, outside the functor. *)
 
-  type directive =
+  type directive = Script.directive =
     | Step_of of Proc_id.t  (** one sending step of the processor *)
     | Deliver_from of Proc_id.t * Proc_id.t
         (** [Deliver_from (at, from)]: oldest buffered message from
             [from] *)
+    | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
+        (** the buffered message with triple [(from, at, index)]
+            exactly — expresses out-of-order delivery within one
+            sender, which {!Deliver_from} cannot *)
     | Deliver_note of Proc_id.t * Proc_id.t
         (** [Deliver_note (at, about)]: the failure notice about
             [about] *)
@@ -220,8 +227,9 @@ module Make (P : Protocol.S) : sig
   val pp_directive : Format.formatter -> directive -> unit
 
   val play : config -> directive list -> (config * P.msg Trace.t, string) result
-  (** Interpret directives in order; fails fast with a description of
-      the directive that was inapplicable. *)
+  (** Interpret directives in order; fails fast naming the offending
+      directive's 1-based position in the script and pretty-printing
+      it ([directive #3 [deliver to p1 from p0] failed: ...]). *)
 
   val play_exn : config -> directive list -> config * P.msg Trace.t
 end

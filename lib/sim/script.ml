@@ -1,0 +1,98 @@
+module Json = Patterns_stdx.Json
+
+type directive =
+  | Step_of of Proc_id.t
+  | Deliver_from of Proc_id.t * Proc_id.t
+  | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
+  | Deliver_note of Proc_id.t * Proc_id.t
+  | Fail_now of Proc_id.t
+  | Drain of Proc_id.t
+  | Flush_fifo
+
+let pp ppf = function
+  | Step_of p -> Format.fprintf ppf "step %a" Proc_id.pp p
+  | Deliver_from (at, from) ->
+    Format.fprintf ppf "deliver to %a from %a" Proc_id.pp at Proc_id.pp from
+  | Deliver_msg { at; from; index } ->
+    Format.fprintf ppf "deliver to %a message %a#%d" Proc_id.pp at Proc_id.pp from index
+  | Deliver_note (at, about) ->
+    Format.fprintf ppf "deliver to %a the notice failed(%a)" Proc_id.pp at Proc_id.pp about
+  | Fail_now p -> Format.fprintf ppf "fail %a" Proc_id.pp p
+  | Drain p -> Format.fprintf ppf "drain %a" Proc_id.pp p
+  | Flush_fifo -> Format.fprintf ppf "flush (fifo to quiescence)"
+
+let equal (a : directive) (b : directive) = a = b
+
+(* [Sent] belongs to the sender and [Delivered_msg] carries the exact
+   triple, so the schedule falls straight out of the event list;
+   derived events (decisions, status flips) consumed no scheduling
+   decision and are skipped. *)
+let of_trace trace =
+  List.filter_map
+    (fun (ev : _ Trace.event) ->
+      match ev with
+      | Trace.Sent { triple; _ } -> Some (Step_of triple.Triple.sender)
+      | Trace.Null_step { proc; _ } -> Some (Step_of proc)
+      | Trace.Delivered_msg { triple; _ } ->
+        Some
+          (Deliver_msg
+             {
+               at = triple.Triple.receiver;
+               from = triple.Triple.sender;
+               index = triple.Triple.index;
+             })
+      | Trace.Delivered_note { at; about; _ } -> Some (Deliver_note (at, about))
+      | Trace.Failed_proc { proc; _ } -> Some (Fail_now proc)
+      | Trace.Decided _ | Trace.Became_amnesic _ | Trace.Halted _ -> None)
+    trace
+
+let to_json = function
+  | Step_of p -> Json.Obj [ ("op", Json.String "step"); ("proc", Json.Int p) ]
+  | Deliver_from (at, from) ->
+    Json.Obj [ ("op", Json.String "deliver_from"); ("at", Json.Int at); ("from", Json.Int from) ]
+  | Deliver_msg { at; from; index } ->
+    Json.Obj
+      [
+        ("op", Json.String "deliver_msg");
+        ("at", Json.Int at);
+        ("from", Json.Int from);
+        ("index", Json.Int index);
+      ]
+  | Deliver_note (at, about) ->
+    Json.Obj
+      [ ("op", Json.String "deliver_note"); ("at", Json.Int at); ("about", Json.Int about) ]
+  | Fail_now p -> Json.Obj [ ("op", Json.String "fail"); ("proc", Json.Int p) ]
+  | Drain p -> Json.Obj [ ("op", Json.String "drain"); ("proc", Json.Int p) ]
+  | Flush_fifo -> Json.Obj [ ("op", Json.String "flush_fifo") ]
+
+let ( let* ) = Result.bind
+
+let int_field k v = Result.bind (Json.field k v) Json.to_int
+
+let of_json v =
+  let* op = Result.bind (Json.field "op" v) Json.to_str in
+  match op with
+  | "step" ->
+    let* p = int_field "proc" v in
+    Ok (Step_of p)
+  | "deliver_from" ->
+    let* at = int_field "at" v in
+    let* from = int_field "from" v in
+    Ok (Deliver_from (at, from))
+  | "deliver_msg" ->
+    let* at = int_field "at" v in
+    let* from = int_field "from" v in
+    let* index = int_field "index" v in
+    Ok (Deliver_msg { at; from; index })
+  | "deliver_note" ->
+    let* at = int_field "at" v in
+    let* about = int_field "about" v in
+    Ok (Deliver_note (at, about))
+  | "fail" ->
+    let* p = int_field "proc" v in
+    Ok (Fail_now p)
+  | "drain" ->
+    let* p = int_field "proc" v in
+    Ok (Drain p)
+  | "flush_fifo" -> Ok Flush_fifo
+  | op -> Error (Printf.sprintf "unknown directive op %S" op)

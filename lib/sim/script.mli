@@ -1,0 +1,52 @@
+(** Replay scripts: protocol-independent scheduling directives.
+
+    A directive names a scheduling decision without naming message
+    payloads, so a script is a pure function of processor ids and
+    per-pair message indices — serializable, protocol-independent, and
+    replayable against any engine whose processors make the same
+    decisions.  The violation certificates (see [Patterns_adversary])
+    store their schedules in this vocabulary; {!of_trace} reads a
+    script back off a recorded execution, giving exact deterministic
+    replays of randomly scheduled runs. *)
+
+type directive =
+  | Step_of of Proc_id.t  (** one sending step of the processor *)
+  | Deliver_from of Proc_id.t * Proc_id.t
+      (** [Deliver_from (at, from)]: oldest buffered message from
+          [from] *)
+  | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
+      (** the buffered message with triple [(from, at, index)] exactly
+          — unlike {!Deliver_from} this can express out-of-order
+          delivery within one sender, which is what a recorded random
+          schedule needs for exact replay *)
+  | Deliver_note of Proc_id.t * Proc_id.t
+      (** [Deliver_note (at, about)]: the failure notice about
+          [about] *)
+  | Fail_now of Proc_id.t
+  | Drain of Proc_id.t
+      (** sending steps until the processor leaves its sending
+          states *)
+  | Flush_fifo  (** run the FIFO scheduler to quiescence *)
+
+val pp : Format.formatter -> directive -> unit
+
+val equal : directive -> directive -> bool
+
+val of_trace : 'msg Trace.t -> directive list
+(** Read the schedule back off a recorded execution: [Sent] and
+    [Null_step] become {!Step_of} the sender, [Delivered_msg] becomes
+    the exact {!Deliver_msg} triple, [Delivered_note] and
+    [Failed_proc] map to their directives, and derived events
+    ([Decided], [Became_amnesic], [Halted]) are skipped.  Playing the
+    result from the same initial configuration reproduces the same
+    trace (modulo derived-event steps), for any scheduler that
+    produced it. *)
+
+val to_json : directive -> Patterns_stdx.Json.t
+(** One object per directive, tagged by an ["op"] field:
+    [{"op": "step", "proc": 0}], [{"op": "deliver_msg", "at": 1,
+    "from": 0, "index": 2}], and so on. *)
+
+val of_json : Patterns_stdx.Json.t -> (directive, string) result
+(** Inverse of {!to_json}; [Error] names the offending field or
+    unknown ["op"]. *)

@@ -1,0 +1,272 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let rec equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> Bool.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List xs, List ys -> List.equal equal xs ys
+  | Obj xs, Obj ys ->
+    List.equal (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) xs ys
+  | _ -> false
+
+(* ----- emit ----- *)
+
+let escape_into b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* floats print with enough digits to round-trip, but integral values
+   keep a trailing ".0" so they parse back as Float *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(indent = 2) v =
+  let b = Buffer.create 256 in
+  let pad depth = Buffer.add_string b (String.make (depth * indent) ' ') in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_str f)
+    | String s -> escape_into b s
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (depth + 1);
+          go (depth + 1) x)
+        xs;
+      Buffer.add_char b '\n';
+      pad depth;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (depth + 1);
+          escape_into b k;
+          Buffer.add_string b ": ";
+          go (depth + 1) x)
+        kvs;
+      Buffer.add_char b '\n';
+      pad depth;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+(* ----- parse ----- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let n = String.length word in
+    if !pos + n <= len && String.sub s !pos n = word then begin
+      pos := !pos + n;
+      v
+    end
+    else error (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= len then error "unterminated escape"
+           else
+             match s.[!pos] with
+             | '"' -> Buffer.add_char b '"'; advance ()
+             | '\\' -> Buffer.add_char b '\\'; advance ()
+             | '/' -> Buffer.add_char b '/'; advance ()
+             | 'n' -> Buffer.add_char b '\n'; advance ()
+             | 't' -> Buffer.add_char b '\t'; advance ()
+             | 'r' -> Buffer.add_char b '\r'; advance ()
+             | 'b' -> Buffer.add_char b '\b'; advance ()
+             | 'f' -> Buffer.add_char b '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > len then error "truncated \\u escape";
+               let hex = String.sub s !pos 4 in
+               let code =
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some c -> c
+                 | None -> error "bad \\u escape"
+               in
+               if code > 0x7f then error "non-ASCII \\u escape unsupported";
+               Buffer.add_char b (Char.chr code);
+               pos := !pos + 4
+             | c -> error (Printf.sprintf "bad escape \\%c" c));
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' -> true
+      | '.' | 'e' | 'E' ->
+        is_float := true;
+        true
+      | _ -> false
+    in
+    while !pos < len && num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> error (Printf.sprintf "bad number %S" lit)
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> error (Printf.sprintf "bad number %S" lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elems (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> error "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> error "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then error "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "at byte %d: %s" at msg)
+
+(* ----- accessors ----- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let kind_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Obj _ -> "object"
+
+let to_int = function Int i -> Ok i | v -> Error ("expected int, got " ^ kind_name v)
+let to_bool = function Bool b -> Ok b | v -> Error ("expected bool, got " ^ kind_name v)
+let to_str = function String s -> Ok s | v -> Error ("expected string, got " ^ kind_name v)
+let to_list = function List l -> Ok l | v -> Error ("expected list, got " ^ kind_name v)
+
+let field k v =
+  match member k v with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing field %S" k)

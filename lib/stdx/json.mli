@@ -1,0 +1,47 @@
+(** Minimal JSON values: emit and parse, no external dependency.
+
+    Enough JSON for the repository's machine-readable artifacts — the
+    violation certificates and any future structured output.  The
+    emitter preserves object key order (key order is part of every
+    schema in this repository, pinned by cram tests); the parser is a
+    plain recursive-descent reader of the full JSON grammar with two
+    deliberate simplifications: numbers without [.], [e] or [E] are
+    read as [Int], everything else as [Float], and unicode escapes
+    [\uXXXX] are passed through as their raw bytes only for the ASCII
+    range (the artifacts this repository writes are pure ASCII). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** key order preserved *)
+
+val equal : t -> t -> bool
+(** Structural, order-sensitive on [Obj] (two objects with the same
+    bindings in different orders are different documents here — key
+    order is part of the schemas). *)
+
+val to_string : ?indent:int -> t -> string
+(** Render with the given indentation step (default 2); objects and
+    lists break one element per line, scalars render inline.  Strings
+    are escaped per RFC 8259 (quote, backslash, control characters as
+    [\u00XX]). *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed).  [Error]
+    carries a byte offset and a description. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] on other
+    constructors. *)
+
+val to_int : t -> (int, string) result
+val to_bool : t -> (bool, string) result
+val to_str : t -> (string, string) result
+val to_list : t -> (t list, string) result
+
+val field : string -> t -> (t, string) result
+(** Like {!member} but an [Error] naming the missing key. *)

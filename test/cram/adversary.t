@@ -1,0 +1,73 @@
+The adversary pipeline, golden: a systematic hunt on the amnesic
+chain protocol finds a smallest-crash-count witness, emits a
+replayable certificate, the certificate reproduces (exit 0), and
+shrinking keeps it reproducing.
+
+  $ patterns-cli hunt fig3-chain-st --property agreement --mode systematic \
+  >   --runs 1000 --cert cert.json | head -4
+  violation at plan 400 of 2776368 (systematic, horizon 60)
+  inputs: 1111
+  crash plan: p1@step5
+  schedule: fifo
+
+  $ patterns-cli replay cert.json
+  fig3-chain-st: agreement violation, n=4, inputs 1111, 1 crash(es), 36 directive(s)
+  reproduced:
+  nonfaulty processors disagree: p0 decided commit but p2 decided abort
+
+  $ patterns-cli shrink cert.json --out small.json | head -1
+  shrunk: 36 -> 33 directive(s), n 4 -> 4, inputs 1111 (199 replays)
+
+  $ patterns-cli replay small.json
+  fig3-chain-st: agreement violation, n=4, inputs 1111, 1 crash(es), 33 directive(s)
+  reproduced:
+  nonfaulty processors disagree: p0 decided commit but p2 decided abort
+
+The certificate is versioned JSON; crashes are derived from the
+script's fail directives:
+
+  $ head -8 cert.json
+  {
+    "schema": "patterns-violation-cert/1",
+    "protocol": "fig3-chain-st",
+    "n": 4,
+    "inputs": "1111",
+    "property": "agreement",
+    "rule": "unanimity",
+    "crashes": [
+
+A certificate for a protocol this build does not know is
+inapplicable, exit 2:
+
+  $ sed 's/"protocol": "fig3-chain-st"/"protocol": "martian-commit"/' cert.json > alien.json
+  $ patterns-cli replay alien.json
+  martian-commit: agreement violation, n=4, inputs 1111, 1 crash(es), 36 directive(s)
+  inapplicable: unknown protocol "martian-commit"
+  [2]
+
+Tampering with the schedule so a delivery precedes its send is
+detected by the player, naming the failing directive:
+
+  $ sed 's/"index": 1$/"index": 7/' small.json > torn.json
+  $ patterns-cli replay torn.json
+  fig3-chain-st: agreement violation, n=4, inputs 1111, 1 crash(es), 33 directive(s)
+  inapplicable: script does not apply: directive #2 [deliver to p0 message p1#7] failed: no message p1->p0#7 buffered at p0
+  [2]
+
+Graceful degradation: a deadline of 10ms on a search that needs
+minutes truncates cleanly (exit 2) instead of hanging (the visited
+count depends on the wall clock, so only the exit code is pinned),
+
+  $ patterns-cli scheme termination -n 5 --deadline 0.01 > /dev/null
+  [2]
+
+and a live-state budget truncates the classification deterministically:
+
+  $ patterns-cli check fig3-chain -n 3 --max-states 40 | tail -1
+  truncated: the live-state budget ran out; the verdict is a lower bound (raise --max-states)
+
+A hunt against a wall clock of zero stops before the first batch:
+
+  $ patterns-cli hunt fig3-chain -n 3 --runs 1000000 --deadline 0
+  no violation found in 0 runs (search truncated: deadline exceeded; raise --deadline)
+  [2]

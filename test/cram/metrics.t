@@ -11,7 +11,7 @@ included:
   >         -e 's/"parallel_efficiency": [0-9.]*/"parallel_efficiency": _/' \
   >         -e 's/"lock_contention": [0-9]*/"lock_contention": _/'
   {
-    "schema": "patterns-search-metrics/3",
+    "schema": "patterns-search-metrics/4",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
@@ -29,6 +29,8 @@ included:
     "shard_occupancy_max": 4,
     "shard_occupancy_total": 104,
     "frontier_peak_sum": 24,
+    "deadline_hits": 0,
+    "live_limit_hits": 0,
     "lock_contention": _,
     "expand_seconds": _,
     "parallel_efficiency": _,

@@ -1,0 +1,259 @@
+(* The adversary subsystem end to end: systematic plan enumeration
+   (canonical order, bijective decoding), hunt -> certificate ->
+   replay -> shrink round trips, and qcheck'd shrink invariants over
+   the protocol registry — a shrunk certificate still violates the
+   same property under replay and is never larger than its input. *)
+
+open Patterns_adversary
+
+let check = Alcotest.check
+
+(* the CLI's protocol -> decision-rule mapping, for registry-wide
+   hunting *)
+let rule_of_registry entry =
+  let open Patterns_protocols in
+  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
+  else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
+  else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
+  else Decision_rule.Unanimity
+
+let entry_exn name =
+  match Patterns_protocols.Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "registry lost %s" name
+
+(* ----- plan enumeration ----- *)
+
+let test_plan_count_and_decode () =
+  (* horizon 2, n 2, up to 2 crashes: 3*4 + 3*4*4 + 3*16*4 = 252 *)
+  let horizon = 2 and n = 2 and max_failures = 2 in
+  let total = Plan.count ~horizon ~n ~max_failures in
+  check Alcotest.int "count" 252 total;
+  let plans = List.init total (Plan.decode ~horizon ~n ~max_failures) in
+  (* bijective: all plans distinct *)
+  check Alcotest.int "all distinct" total
+    (List.length (List.sort_uniq compare plans));
+  (* canonical: crash counts never decrease along the enumeration *)
+  let crash_counts = List.map (fun p -> List.length p.Plan.failures) plans in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "crash count ascending" true (sorted crash_counts);
+  (* the first block is failure-free, fifo-first, inputs fastest *)
+  let p0 = List.nth plans 0 in
+  Alcotest.(check bool) "plan 0: fifo, no crashes, inputs 00" true
+    (p0.Plan.flavour = Plan.Fifo && p0.Plan.failures = [] && p0.Plan.inputs = [ false; false ]);
+  let p4 = List.nth plans 4 in
+  Alcotest.(check bool) "plan 4: lifo (flavour-major within a crash count)" true
+    (p4.Plan.flavour = Plan.Lifo && p4.Plan.failures = []);
+  (* every crash step is inside the horizon, every victim inside n *)
+  Alcotest.(check bool) "crash digits in range" true
+    (List.for_all
+       (fun p ->
+         List.for_all (fun (k, v) -> k >= 0 && k < horizon && v >= 0 && v < n) p.Plan.failures)
+       plans);
+  (* out of range raises *)
+  (match Plan.decode ~horizon ~n ~max_failures total with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "decode past the end must raise");
+  (* saturation instead of overflow *)
+  check Alcotest.int "saturated count" max_int
+    (Plan.count ~horizon:1_000_000 ~n:7 ~max_failures:20)
+
+(* ----- certificate JSON ----- *)
+
+let test_cert_json_roundtrip () =
+  let cert =
+    {
+      Cert.protocol = "2pc";
+      n = 3;
+      inputs = [ true; false; true ];
+      property = Patterns_core.Audit.TC;
+      rule = Patterns_protocols.Decision_rule.Unanimity;
+      script =
+        [
+          Patterns_sim.Script.Step_of 0;
+          Patterns_sim.Script.Deliver_msg { at = 1; from = 0; index = 1 };
+          Patterns_sim.Script.Fail_now 2;
+          Patterns_sim.Script.Deliver_note (1, 2);
+        ];
+      message = "synthetic";
+    }
+  in
+  (match Cert.of_json (Cert.to_json cert) with
+  | Ok c -> Alcotest.(check bool) "round trip" true (c = cert)
+  | Error e -> Alcotest.fail e);
+  (* rule strings round-trip for every constructor *)
+  List.iter
+    (fun rule ->
+      match Cert.rule_of_string (Cert.rule_string rule) with
+      | Ok r -> Alcotest.(check bool) (Cert.rule_string rule) true (r = rule)
+      | Error e -> Alcotest.fail e)
+    Patterns_protocols.Decision_rule.
+      [ Unanimity; Broadcast 0; Threshold 3; Subset [ 0; 1 ] ];
+  (* a foreign schema is rejected with a useful error *)
+  match Cert.of_json (Patterns_stdx.Json.Obj [ ("schema", Patterns_stdx.Json.String "x") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+
+(* ----- hunt -> cert -> replay -> shrink ----- *)
+
+let roundtrip ~mode ~name ~n ~property ~seed ~runs () =
+  let entry = entry_exn name in
+  let rule = rule_of_registry entry in
+  match
+    Hunt.hunt ~max_failures:2 ~max_runs:runs ~mode ~property ~rule ~n ~seed entry
+  with
+  | Error tried -> Alcotest.failf "no violation for %s in %d runs" name tried
+  | Ok cert ->
+    (* the certificate replays to the same violation *)
+    (match Replay.replay cert with
+    | Replay.Reproduced _ -> ()
+    | v -> Alcotest.failf "fresh certificate did not reproduce: %d" (Replay.exit_code v));
+    (* shrinking preserves the violation and never grows anything *)
+    let r =
+      match Shrink.shrink cert with Ok r -> r | Error e -> Alcotest.fail e
+    in
+    let small = r.Shrink.cert in
+    Alcotest.(check bool) "directives not larger" true
+      (List.length small.Cert.script <= List.length cert.Cert.script);
+    Alcotest.(check bool) "n not larger" true (small.Cert.n <= cert.Cert.n);
+    Alcotest.(check bool) "crashes not larger" true
+      (List.length (Cert.crashes small) <= List.length (Cert.crashes cert));
+    Alcotest.(check bool) "same property" true
+      (small.Cert.property = cert.Cert.property);
+    (match Replay.replay small with
+    | Replay.Reproduced _ -> ()
+    | v -> Alcotest.failf "shrunk certificate did not reproduce: %d" (Replay.exit_code v))
+
+let test_random_roundtrip =
+  roundtrip ~mode:Hunt.Random ~name:"2pc" ~n:4 ~property:Patterns_core.Audit.TC
+    ~seed:1984 ~runs:5_000
+
+let test_systematic_roundtrip =
+  roundtrip ~mode:Hunt.Systematic ~name:"fig3-chain-st" ~n:4
+    ~property:Patterns_core.Audit.Agreement ~seed:0 ~runs:1_000
+
+let test_systematic_smallest_crash_count () =
+  (* the systematic order enumerates crash counts ascending, so the
+     winning plan of a protocol that violates with one crash carries
+     exactly one Fail_now — never the two the budget allows *)
+  let entry = entry_exn "fig3-chain-st" in
+  match
+    Hunt.hunt ~max_failures:2 ~max_runs:1_000 ~mode:Hunt.Systematic
+      ~property:Patterns_core.Audit.Agreement ~rule:(rule_of_registry entry) ~n:4 ~seed:0
+      entry
+  with
+  | Error tried -> Alcotest.failf "no violation in %d plans" tried
+  | Ok cert -> check Alcotest.int "one crash suffices" 1 (List.length (Cert.crashes cert))
+
+let test_hunt_jobs_invariant_cert () =
+  let entry = entry_exn "fig3-chain-st" in
+  let hunt jobs =
+    Hunt.hunt ~max_failures:2 ~max_runs:1_000 ~jobs ~mode:Hunt.Systematic
+      ~property:Patterns_core.Audit.Agreement ~rule:(rule_of_registry entry) ~n:4 ~seed:0
+      entry
+  in
+  match (hunt 1, hunt 4) with
+  | Ok c1, Ok c4 ->
+    Alcotest.(check bool) "identical certificate for every jobs" true (c1 = c4)
+  | _ -> Alcotest.fail "hunt lost the violation under parallelism"
+
+let test_replay_inapplicable () =
+  let entry = entry_exn "2pc" in
+  let cert =
+    match
+      Hunt.hunt ~max_failures:2 ~max_runs:5_000 ~property:Patterns_core.Audit.TC
+        ~rule:(rule_of_registry entry) ~n:4 ~seed:1984 entry
+    with
+    | Ok c -> c
+    | Error _ -> Alcotest.fail "setup hunt found nothing"
+  in
+  (match Replay.replay { cert with Cert.protocol = "no-such-protocol" } with
+  | Replay.Inapplicable _ -> ()
+  | v -> Alcotest.failf "unknown protocol must be inapplicable, got %d" (Replay.exit_code v));
+  (* delivering a message that was never sent cannot replay *)
+  (match
+     Replay.replay
+       {
+         cert with
+         Cert.script =
+           Patterns_sim.Script.Deliver_msg { at = 1; from = 0; index = 99 }
+           :: cert.Cert.script;
+       }
+   with
+  | Replay.Inapplicable _ -> ()
+  | v -> Alcotest.failf "impossible delivery must be inapplicable, got %d" (Replay.exit_code v));
+  (* a failure-free prefix of the schedule does not violate: the same
+     certificate with the trigger removed replays to Not_reproduced
+     (2pc without crashes is correct) *)
+  match
+    Replay.replay
+      {
+        cert with
+        Cert.script =
+          List.filter
+            (function
+              | Patterns_sim.Script.Fail_now _ | Patterns_sim.Script.Deliver_note _ ->
+                false
+              | _ -> true)
+            cert.Cert.script;
+      }
+  with
+  | Replay.Not_reproduced | Replay.Inapplicable _ -> ()
+  | Replay.Reproduced msg -> Alcotest.failf "crash-free 2pc cannot violate TC: %s" msg
+
+(* ----- registry-wide qcheck: shrink soundness ----- *)
+
+let registry_shrink_test =
+  let entries = Array.of_list Patterns_protocols.Registry.all in
+  (* QCheck2 has its own [Shrink]; keep it out of scope so [Shrink]
+     below stays the module under test *)
+  QCheck2.Test.make ~name:"registry: shrunk certificates still violate, never larger"
+    ~count:24
+    QCheck2.Gen.(pair (int_bound (Array.length entries - 1)) (int_bound 10_000))
+    (fun (i, seed) ->
+      let entry = entries.(i) in
+      let n = entry.Patterns_protocols.Registry.default_n in
+      let property =
+        if seed mod 2 = 0 then Patterns_core.Audit.TC else Patterns_core.Audit.Agreement
+      in
+      match
+        Hunt.hunt ~max_failures:2 ~max_runs:250 ~property ~rule:(rule_of_registry entry)
+          ~n ~seed entry
+      with
+      | Error _ -> true (* most protocols are correct: nothing to shrink *)
+      | Ok cert -> (
+        match Shrink.shrink cert with
+        | Error _ -> false
+        | Ok r ->
+          let small = r.Shrink.cert in
+          List.length small.Cert.script <= List.length cert.Cert.script
+          && small.Cert.n <= cert.Cert.n
+          && List.length (Cert.crashes small) <= List.length (Cert.crashes cert)
+          && (match Replay.replay small with Replay.Reproduced _ -> true | _ -> false)))
+
+let () =
+  Alcotest.run "adversary"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "count and canonical decode" `Quick test_plan_count_and_decode;
+        ] );
+      ( "cert",
+        [ Alcotest.test_case "json round trip" `Quick test_cert_json_roundtrip ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "random hunt round trip" `Slow test_random_roundtrip;
+          Alcotest.test_case "systematic hunt round trip" `Slow test_systematic_roundtrip;
+          Alcotest.test_case "systematic finds the smallest crash count" `Quick
+            test_systematic_smallest_crash_count;
+          Alcotest.test_case "certificates are jobs-invariant" `Quick
+            test_hunt_jobs_invariant_cert;
+          Alcotest.test_case "replay inapplicability" `Slow test_replay_inapplicable;
+        ] );
+      ( "registry",
+        [ QCheck_alcotest.to_alcotest registry_shrink_test ] );
+    ]

@@ -87,6 +87,12 @@ let tests_for entry =
                 && E.fingerprint untracked' = E.fingerprint untracked'
                 && E.behavioral_fingerprint untracked'
                    = E.behavioral_fingerprint tracked'
+                (* the edge component of the pattern fingerprint is
+                   lazy under untracked roots: recomputed on demand it
+                   must equal the eagerly maintained value, and a
+                   second read must hit the memo *)
+                && E.pattern_fp untracked' = E.pattern_fp tracked'
+                && E.pattern_fp untracked' = E.pattern_fp untracked'
               in
               go ok tracked' untracked' (k - 1)
         in

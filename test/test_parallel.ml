@@ -149,6 +149,8 @@ let kernel_visited (module P : Protocol.S) ~n ~inputs ~jobs ~par_threshold ~budg
         | Patterns_search.Search.Exhausted -> "exhausted"
         | Patterns_search.Search.Truncated (Budget_exhausted { consumed; _ }) ->
           Printf.sprintf "truncated:%d" consumed
+        | Patterns_search.Search.Truncated r ->
+          "truncated:" ^ Patterns_search.Search.reason_string r
         | Patterns_search.Search.Goal_found _ -> "goal"),
         List.sort Int.compare !fps,
         m ))

@@ -97,6 +97,51 @@ let test_budget_truncates () =
   check Alcotest.int "truncated root counted" 1 m.Metrics.truncated_roots;
   Alcotest.(check bool) "truncated predicate" true (Search.truncated outcome)
 
+let test_deadline_truncates () =
+  (* a zero deadline fires at the first pop: no hang on an infinite
+     graph, one metrics hit, the reason carries the elapsed time *)
+  let module G = Graph (struct
+    let succs x = [ (2 * x) + 1; (2 * x) + 2 ]
+  end) in
+  let outcome, m = G.run ~deadline:0.0 ~root:0 () in
+  (match outcome with
+  | Search.Truncated (Search.Deadline_exceeded { deadline; elapsed }) ->
+    Alcotest.(check (float 1e-9)) "deadline recorded" 0.0 deadline;
+    Alcotest.(check bool) "elapsed nonnegative" true (elapsed >= 0.0)
+  | _ -> Alcotest.fail "expected Truncated (Deadline_exceeded _)");
+  check Alcotest.int "deadline hit recorded" 1 m.Metrics.deadline_hits;
+  check Alcotest.int "nothing expanded" 0 m.Metrics.states_expanded
+
+let test_max_live_truncates () =
+  let module G = Graph (struct
+    let succs x = [ (2 * x) + 1; (2 * x) + 2 ]
+  end) in
+  let outcome, m = G.run ~max_live:5 ~root:0 () in
+  (match outcome with
+  | Search.Truncated (Search.Live_limit_exceeded { limit = 5; live }) ->
+    Alcotest.(check bool) "live over the limit" true (live > 5)
+  | _ -> Alcotest.fail "expected Truncated (Live_limit_exceeded _)");
+  check Alcotest.int "live-limit hit recorded" 1 m.Metrics.live_limit_hits;
+  (* a generous limit on a finite graph never fires *)
+  let outcome, m = Diamond.run ~max_live:1_000 ~root:0 () in
+  (match outcome with Search.Exhausted -> () | _ -> Alcotest.fail "expected exhausted");
+  check Alcotest.int "no hit on a finite graph" 0 m.Metrics.live_limit_hits
+
+let test_find_first_deadline () =
+  (* deadline 0 stops before any batch: Error 0 and the metrics say
+     both truncated and deadline-hit *)
+  let metrics = ref Metrics.zero in
+  (match
+     Search.find_first ~metrics ~jobs:2 ~deadline:0.0 ~max_index:1_000_000
+       ~f:(fun _ -> None) ()
+   with
+  | Error 0 -> ()
+  | Error k -> Alcotest.failf "expected Error 0, got Error %d" k
+  | Ok _ -> Alcotest.fail "expected no goal");
+  check Alcotest.int "deadline hit recorded" 1 !metrics.Metrics.deadline_hits;
+  Alcotest.(check string) "outcome is truncated" "truncated"
+    (Metrics.outcome_string !metrics.Metrics.outcome)
+
 let test_prune () =
   let module G = Graph (struct
     let succs x = if x >= 4 then [] else [ x + 1; x + 10 ]
@@ -232,6 +277,9 @@ let () =
           Alcotest.test_case "dedup hits" `Quick test_dedup_hits;
           Alcotest.test_case "goal stops" `Quick test_goal_stops;
           Alcotest.test_case "budget truncates" `Quick test_budget_truncates;
+          Alcotest.test_case "deadline truncates" `Quick test_deadline_truncates;
+          Alcotest.test_case "max-live truncates" `Quick test_max_live_truncates;
+          Alcotest.test_case "find_first deadline" `Quick test_find_first_deadline;
           Alcotest.test_case "prune" `Quick test_prune;
         ] );
       ( "drivers",

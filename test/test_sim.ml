@@ -238,13 +238,55 @@ let test_play_directives () =
     Alcotest.(check int) "two messages" 2 (Trace.message_count trace);
     Alcotest.(check int) "both decided" 2 (List.length (E.decisions_of final))
 
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
 let test_play_error_reporting () =
   let c = E.init ~n:2 ~inputs:(inputs 2) in
-  match E.play c [ E.Deliver_from (0, 1) ] with
+  (match E.play c [ E.Deliver_from (0, 1) ] with
   | Error msg ->
-    Alcotest.(check bool) "mentions the directive" true
-      (String.length msg > 0 && String.sub msg 0 9 = "directive")
-  | Ok _ -> Alcotest.fail "expected failure: nothing buffered"
+    Alcotest.(check bool)
+      ("names the 1-based position and the directive: " ^ msg)
+      true
+      (starts_with "directive #1 [deliver to p0 from p1]" msg)
+  | Ok _ -> Alcotest.fail "expected failure: nothing buffered");
+  (* the position counts from the start of the script, not from the
+     last success *)
+  match E.play c [ E.Step_of 0; E.Deliver_from (1, 0); E.Deliver_from (1, 0) ] with
+  | Error msg ->
+    Alcotest.(check bool)
+      ("position 3: " ^ msg)
+      true
+      (starts_with "directive #3 [deliver to p1 from p0]" msg)
+  | Ok _ -> Alcotest.fail "expected failure: second delivery has nothing buffered"
+
+let test_play_deliver_msg () =
+  (* exact-triple delivery replays an out-of-order schedule that
+     Deliver_from (oldest first) cannot express *)
+  let c = E.init ~n:2 ~inputs:(inputs 2) in
+  match
+    E.play c
+      [ E.Step_of 0; E.Step_of 0; E.Deliver_msg { at = 1; from = 0; index = 2 };
+        E.Deliver_msg { at = 1; from = 0; index = 1 } ]
+  with
+  | Ok (_, trace) ->
+    let delivered =
+      List.filter_map
+        (function
+          | Trace.Delivered_msg { triple; _ } -> Some triple.Triple.index | _ -> None)
+        trace
+    in
+    Alcotest.(check (list int)) "newest first" [ 2; 1 ] delivered
+  | Error msg -> (
+    (* some protocols send fewer than two messages p0->p1 from these
+       inputs; then the error must still name the missing triple *)
+    match E.play c [ E.Deliver_msg { at = 1; from = 0; index = 9 } ] with
+    | Error msg2 ->
+      Alcotest.(check bool)
+        ("names the missing message: " ^ msg ^ " / " ^ msg2)
+        true
+        (starts_with "directive #1 [deliver to p1 message p0#9]" msg2)
+    | Ok _ -> Alcotest.fail "message #9 cannot exist after no steps")
 
 let test_behavioral_compare_collapses_order () =
   (* deliver two independent pings in both orders: same behavioural config *)
@@ -381,6 +423,7 @@ let () =
         [
           Alcotest.test_case "directives" `Quick test_play_directives;
           Alcotest.test_case "error reporting" `Quick test_play_error_reporting;
+          Alcotest.test_case "exact-triple delivery" `Quick test_play_deliver_msg;
           Alcotest.test_case "behavioural compare" `Quick test_behavioral_compare_collapses_order;
         ] );
     ]
