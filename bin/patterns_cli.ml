@@ -94,14 +94,27 @@ let resolve_jobs j = if j <= 0 then Patterns_stdx.Domain_pool.default_jobs () el
 let par_threshold_arg =
   Arg.(value & opt (some int) None
        & info [ "par-threshold" ] ~docv:"K"
-         ~doc:"Frontier size at which a search layer is expanded across the worker domains \
-               (default: automatic). The result is identical for every value; only the \
-               wall clock changes.")
+         ~doc:"($(b,--par-mode layers) only) Frontier size at which a search layer is \
+               expanded across the worker domains (default: automatic). The result is \
+               identical for every value; only the wall clock changes.")
+
+let par_mode_arg =
+  Arg.(value
+       & opt (some (enum [ ("async", Patterns_search.Search.Async);
+                           ("layers", Patterns_search.Search.Layers) ])) None
+       & info [ "par-mode" ] ~docv:"MODE"
+         ~doc:"Parallel search driver: $(b,async) distributes work through per-worker \
+               stealing deques over a lock-free visited table; $(b,layers) is the \
+               layer-synchronous barrier driver. The default is $(b,async) everywhere \
+               except $(b,realize), whose shortest-witness guarantee needs $(b,layers). \
+               An exhaustive search produces identical answers and deterministic \
+               counters under both; a truncated one keeps its counts but visits a \
+               schedule-dependent subset under $(b,async).")
 
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/4)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/5)) \
                as JSON to $(docv); $(b,-) means stdout.")
 
 let deadline_arg =
@@ -191,14 +204,14 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n jobs par_threshold deadline max_states metrics_json =
+  let run name n jobs par_threshold par_mode deadline max_states metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
     let metrics = ref Patterns_search.Metrics.zero in
     let pats, stats =
-      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?deadline
+      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
         ?max_live:max_states ~n ()
     in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
@@ -208,8 +221,8 @@ let scheme_cmd =
   in
   Cmd.v (Cmd.info "scheme" ~doc)
     Term.(
-      const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ deadline_arg
-      $ max_states_arg $ metrics_json_arg)
+      const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ par_mode_arg
+      $ deadline_arg $ max_states_arg $ metrics_json_arg)
 
 (* ----- realize ----- *)
 
@@ -234,7 +247,7 @@ let realize_cmd =
          & info [ "max-configs" ] ~docv:"K"
            ~doc:"Search budget; when hit, the answer is $(b,truncated), not unrealizable.")
   in
-  let run name n inputs target_of k max_configs jobs par_threshold metrics_json =
+  let run name n inputs target_of k max_configs jobs par_threshold par_mode metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let inputs = or_die (parse_inputs n inputs) in
@@ -262,8 +275,8 @@ let realize_cmd =
       (Patterns_pattern.Pattern.height target);
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
-      S.realize ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ~max_configs ~n ~inputs
-        ~target ()
+      S.realize ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ~max_configs
+        ~n ~inputs ~target ()
     in
     let code =
       match result with
@@ -288,7 +301,7 @@ let realize_cmd =
   Cmd.v (Cmd.info "realize" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ inputs_arg $ target_of_arg $ pattern_arg
-      $ max_configs_arg $ jobs_arg $ par_threshold_arg $ metrics_json_arg)
+      $ max_configs_arg $ jobs_arg $ par_threshold_arg $ par_mode_arg $ metrics_json_arg)
 
 (* ----- dot ----- *)
 
@@ -340,16 +353,16 @@ let classify_term =
            ~doc:"Exploration budget; when hit, the verdict is marked $(b,truncated) and the \
                  exit code is 2.")
   in
-  let run name n max_failures max_configs fifo_notices jobs par_threshold deadline
-      max_states metrics_json =
+  let run name n max_failures max_configs fifo_notices jobs par_threshold par_mode
+      deadline max_states metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
       Classify.classify ~metrics ~max_failures ~max_configs ~fifo_notices
-        ~jobs:(resolve_jobs jobs) ?par_threshold ?deadline ?max_live:max_states ~rule ~n
-        entry.Patterns_protocols.Registry.protocol
+        ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline ?max_live:max_states
+        ~rule ~n entry.Patterns_protocols.Registry.protocol
     in
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
@@ -370,7 +383,8 @@ let classify_term =
   in
   Term.(
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
-    $ jobs_arg $ par_threshold_arg $ deadline_arg $ max_states_arg $ metrics_json_arg)
+    $ jobs_arg $ par_threshold_arg $ par_mode_arg $ deadline_arg $ max_states_arg
+    $ metrics_json_arg)
 
 let check_cmd =
   let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in

@@ -18,7 +18,8 @@ type verdict = {
 }
 
 let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
-    ?(jobs = 1) ?par_threshold ?deadline ?max_live ~rule ~n (module P : Protocol.S) =
+    ?(jobs = 1) ?par_threshold ?par_mode ?deadline ?max_live ~rule ~n
+    (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let options =
@@ -29,6 +30,7 @@ let classify ?metrics ?max_failures ?max_configs ?inputs_choices ?(fifo_notices 
       fifo_notices;
       jobs;
       par_threshold;
+      par_mode = Option.value par_mode ~default:defaults.X.par_mode;
       deadline;
       max_live;
     }

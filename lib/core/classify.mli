@@ -35,12 +35,17 @@ val classify :
   ?fifo_notices:bool ->
   ?jobs:int ->
   ?par_threshold:int ->
+  ?par_mode:Patterns_search.Search.par_mode ->
   ?deadline:float ->
   ?max_live:int ->
   rule:Decision_rule.t ->
   n:int ->
   (module Protocol.S) ->
   verdict
+(** [par_mode] selects the parallel driver (default
+    {!Patterns_search.Search.Async}); exhaustive sweeps give identical
+    verdicts for both modes and every [jobs], truncated ones should
+    pin [Layers] when comparing counts across [jobs]. *)
 
 val solves : verdict -> Taxonomy.t -> bool
 (** Interpret the verdict against a taxonomy point (the rule is

@@ -11,6 +11,7 @@ module Make (P : Protocol.S) = struct
     fifo_notices : bool;
     jobs : int;
     par_threshold : int option;
+    par_mode : Patterns_search.Search.par_mode;
     deadline : float option;
     max_live : int option;
   }
@@ -23,6 +24,7 @@ module Make (P : Protocol.S) = struct
       fifo_notices = false;
       jobs = 1;
       par_threshold = None;
+      par_mode = Patterns_search.Search.Async;
       deadline = None;
       max_live = None;
     }
@@ -107,11 +109,17 @@ module Make (P : Protocol.S) = struct
       occurrences = a.occurrences + b.occurrences;
     }
 
-  (* Observation accumulator for the layer-synchronous driver: one per
-     expansion task, merged left-to-right in frontier order, so
-     "first violation" means first in the deterministic visitation
-     order for every [jobs].  [cells] holds the seven violation
-     witnesses, indexed below. *)
+  (* Observation accumulator for the parallel drivers: one per
+     expansion task (layered) or per worker (async).  [cells] holds
+     the seven violation witnesses, indexed below, each tagged with
+     the fingerprint key of the node whose expansion observed it; the
+     canonical witness is the one at the {e smallest key}, which is a
+     property of the violation set alone — not of chunk boundaries,
+     worker schedules, or visitation order — so both drivers and
+     every [jobs] value report the same witness.  (A key tie between
+     two distinct violating nodes is a 62-bit fingerprint collision;
+     ties within one node's expansion resolve first-observed, which
+     is the node's deterministic internal order.) *)
   let ic_cell = 0
   and tc_cell = 1
   and wt_cell = 2
@@ -122,7 +130,7 @@ module Make (P : Protocol.S) = struct
 
   type vobs = {
     mutable terminal : int;
-    cells : string option array;
+    cells : (int * string) option array;
     mutable errors : string list;
     mutable smap : state_info State_map.t;
   }
@@ -130,9 +138,14 @@ module Make (P : Protocol.S) = struct
   let vobs_empty () =
     { terminal = 0; cells = Array.make 7 None; errors = []; smap = State_map.empty }
 
+  let min_violation a b =
+    match (a, b) with
+    | None, v | v, None -> v
+    | Some (ka, _), Some (kb, _) -> if kb < ka then b else a
+
   let vobs_merge a b =
     a.terminal <- a.terminal + b.terminal;
-    Array.iteri (fun i v -> a.cells.(i) <- first_violation a.cells.(i) v) b.cells;
+    Array.iteri (fun i v -> a.cells.(i) <- min_violation a.cells.(i) v) b.cells;
     a.errors <- a.errors @ b.errors;
     a.smap <- State_map.union (fun _ x y -> Some (merge_info x y)) a.smap b.smap;
     a
@@ -146,11 +159,16 @@ module Make (P : Protocol.S) = struct
      the node type and hangs the paper's observations on the expansion
      closure. *)
   let explore_one_vector ?deadline ~options ~pool ~budget ~rule ~n inputs =
-    let record_first o cell msg =
-      if o.cells.(cell) = None then o.cells.(cell) <- Some msg
+    (* [key] is the expanded node's fingerprint key: keep the witness
+       with the smallest key; within one node (equal keys) keep the
+       first observed *)
+    let record o key cell msg =
+      match o.cells.(cell) with
+      | Some (k, _) when k <= key -> ()
+      | _ -> o.cells.(cell) <- Some (key, msg)
     in
 
-    let observe_config o config decided =
+    let observe_config o key config decided =
       (* "s implies the commit rule is satisfied": track whether every
          configuration containing a state permits commit on its inputs *)
       let commit_permitted =
@@ -169,7 +187,7 @@ module Make (P : Protocol.S) = struct
       | (p0, d0) :: rest -> (
         match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
         | Some (p1, d1) ->
-          record_first o ic_cell
+          record o key ic_cell
             (Format.asprintf "operational %a in %a while %a in %a" Proc_id.pp p0 Decision.pp d0
                Proc_id.pp p1 Decision.pp d1)
         | None -> ())
@@ -184,7 +202,7 @@ module Make (P : Protocol.S) = struct
       | (p0, d0) :: rest -> (
         match List.find_opt (fun (_, d) -> not (Decision.equal d d0)) rest with
         | Some (p1, d1) ->
-          record_first o tc_cell
+          record o key tc_cell
             (Format.asprintf "%a decided %a but %a decided %a" Proc_id.pp p0 Decision.pp d0
                Proc_id.pp p1 Decision.pp d1)
         | None -> ())
@@ -242,30 +260,30 @@ module Make (P : Protocol.S) = struct
         ops
     in
 
-    let observe_terminal o config decided =
+    let observe_terminal o key config decided =
       o.terminal <- o.terminal + 1;
       let statuses = E.statuses config in
       List.iter
         (fun p ->
           if not (E.is_failed config p) then begin
             if decided.(p) = None then
-              record_first o wt_cell
+              record o key wt_cell
                 (Format.asprintf "terminal configuration with nonfaulty %a undecided:@,%a"
                    Proc_id.pp p E.pp_config config);
             (match decided.(p) with
             | Some _ when not (statuses.(p).Status.amnesic || statuses.(p).Status.halted) ->
-              record_first o st_cell
+              record o key st_cell
                 (Format.asprintf "nonfaulty %a decided but never forgot or halted" Proc_id.pp p)
             | _ -> ());
             if not statuses.(p).Status.halted then
-              record_first o ht_cell
+              record o key ht_cell
                 (Format.asprintf "nonfaulty %a never halted" Proc_id.pp p)
           end)
         (Proc_id.all ~n:(E.n_of config))
     in
 
     (* decision-time checks carried on the trace events of one edge *)
-    let observe_events o pre_config events decided =
+    let observe_events o key pre_config events decided =
       let inputs = E.inputs_of pre_config in
       let failure_before =
         Array.exists Fun.id
@@ -277,7 +295,7 @@ module Make (P : Protocol.S) = struct
           | Trace.Decided { proc; decision; _ } ->
             if not (Patterns_protocols.Decision_rule.permits rule ~inputs ~failure_occurred:failure_before decision)
             then
-              record_first o rule_cell
+              record o key rule_cell
                 (Format.asprintf "%a's %a not permitted by %a" Proc_id.pp proc Decision.pp
                    decision Patterns_protocols.Decision_rule.pp rule);
             if
@@ -286,7 +304,7 @@ module Make (P : Protocol.S) = struct
                    (Decision.equal decision
                       (Patterns_protocols.Decision_rule.natural_decision rule inputs))
             then
-              record_first o validity_cell
+              record o key validity_cell
                 (Format.asprintf "failure-free path: %a decided %a, natural decision differs"
                    Proc_id.pp proc Decision.pp decision);
             let decided = Array.copy decided in
@@ -326,10 +344,13 @@ module Make (P : Protocol.S) = struct
       let expand _ = invalid_arg "Explore.Node.expand: use run_par"
     end in
     let module K = Patterns_search.Search.Make (Node) in
-    let node_expand o (config, decided) =
-      observe_config o config decided;
+    let node_expand o ((config, decided) as node) =
+      (* every violation observed while expanding this node is tagged
+         with the node's fingerprint key — the canonical-witness order *)
+      let key = Fingerprint.to_int (Node.fingerprint node) in
+      observe_config o key config decided;
       let actions = E.applicable ~fifo_notices:options.fifo_notices config in
-      if actions = [] then observe_terminal o config decided;
+      if actions = [] then observe_terminal o key config decided;
       let fail_actions =
         if failures_in config < options.max_failures then E.failure_actions config else []
       in
@@ -340,7 +361,8 @@ module Make (P : Protocol.S) = struct
             | Error e ->
               o.errors <- e :: o.errors;
               None
-            | Ok (config', events) -> Some (config', observe_events o config events decided))
+            | Ok (config', events) ->
+              Some (config', observe_events o key config events decided))
           (actions @ fail_actions)
       in
       (* reversed: the historical stack discipline explored the last
@@ -350,23 +372,29 @@ module Make (P : Protocol.S) = struct
     in
     let root_config = E.init ~n ~inputs in
     let outcome, o, m =
-      K.run_par ~pool ?par_threshold:options.par_threshold ~budget ?deadline
-        ?max_live:options.max_live
-        ~expand:{ K.empty = vobs_empty; merge = vobs_merge; expand = node_expand }
-        ~root:(root_config, Array.make n None) ()
+      let expand = { K.empty = vobs_empty; merge = vobs_merge; expand = node_expand } in
+      let root = (root_config, Array.make n None) in
+      match options.par_mode with
+      | Patterns_search.Search.Layers ->
+        K.run_par ~pool ?par_threshold:options.par_threshold ~budget ?deadline
+          ?max_live:options.max_live ~expand ~root ()
+      | Patterns_search.Search.Async ->
+        K.run_par_async ~pool ~budget ?deadline ?max_live:options.max_live ~expand ~root
+          ()
     in
     let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
+    let cell i = Option.map snd o.cells.(i) in
     ( {
         configs_visited = m.Patterns_search.Metrics.states_expanded;
         terminal_configs = o.terminal;
         truncated = Patterns_search.Search.truncated outcome;
-        ic_violation = o.cells.(ic_cell);
-        tc_violation = o.cells.(tc_cell);
-        wt_violation = o.cells.(wt_cell);
-        st_violation = o.cells.(st_cell);
-        ht_violation = o.cells.(ht_cell);
-        rule_violation = o.cells.(rule_cell);
-        validity_violation = o.cells.(validity_cell);
+        ic_violation = cell ic_cell;
+        tc_violation = cell tc_cell;
+        wt_violation = cell wt_cell;
+        st_violation = cell st_cell;
+        ht_violation = cell ht_cell;
+        rule_violation = cell rule_cell;
+        validity_violation = cell validity_cell;
         protocol_errors = Listx.dedup_sorted ~cmp:String.compare o.errors;
         states = List.map snd (State_map.bindings o.smap);
       },

@@ -36,13 +36,23 @@ module Make (P : Protocol.S) : sig
             paper's unordered default is [false] *)
     jobs : int;
         (** worker domains (default 1); parallelism is intra-root —
-            each vector's frontier layers are fanned across the pool
-            by the layer-synchronous driver — and any value yields the
-            same report *)
+            each vector's search is fanned across the pool by the
+            driver selected by [par_mode] — and any value yields the
+            same report on an exhaustive sweep *)
     par_threshold : int option;
-        (** frontier size at which a layer is expanded in parallel;
-            [None] means {!Patterns_search.Search.Make.default_par_threshold}.
+        (** ([Layers] mode only) frontier size at which a layer is
+            expanded in parallel; [None] means
+            {!Patterns_search.Search.Make.default_par_threshold}.
             Any value yields the same report. *)
+    par_mode : Patterns_search.Search.par_mode;
+        (** parallel driver: [Async] (default) is the work-stealing
+            driver, [Layers] the layer-synchronous barrier driver.
+            Violation witnesses are canonicalized — each report cell
+            keeps the violation observed at the smallest expanded-node
+            fingerprint key — so exhaustive sweeps produce identical
+            reports for both modes and every [jobs]; truncated sweeps
+            visit a schedule-dependent subset under [Async], so
+            truncation-sensitive comparisons should pin [Layers]. *)
     deadline : float option;
         (** wall-clock budget (seconds) for the whole sweep: each
             vector's search receives the time remaining at its turn,
@@ -56,8 +66,8 @@ module Make (P : Protocol.S) : sig
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
-      unordered notices, one worker, automatic parallel threshold, no
-      deadline, no live-state limit. *)
+      unordered notices, one worker, automatic parallel threshold,
+      async driver, no deadline, no live-state limit. *)
 
   type state_info = {
     state : P.state;
@@ -120,10 +130,11 @@ module Make (P : Protocol.S) : sig
     n:int ->
     unit ->
     report
-  (** One layer-synchronous search per input vector, sequentially in
-      vector order; large frontier layers fan out across
-      [options.jobs] domains.  The optional sink accumulates the
-      kernel's counters ({!Patterns_search.Search.merge_into}). *)
+  (** One search per input vector, sequentially in vector order; each
+      vector's search fans out across [options.jobs] domains under the
+      driver selected by [options.par_mode].  The optional sink
+      accumulates the kernel's counters
+      ({!Patterns_search.Search.merge_into}). *)
 
   val pp_report : Format.formatter -> report -> unit
 end

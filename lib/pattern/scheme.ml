@@ -82,12 +82,21 @@ module Make (P : Protocol.S) = struct
           | actions -> Pr.successors c actions);
     }
 
-  let patterns_for_inputs_m ?pool ?par_threshold ?(max_configs = 1_000_000) ?deadline
-      ?max_live ~n ~inputs () =
+  (* [obs] merging is union/sum — commutative as well as associative —
+     so the async driver's worker-order fold collects the same pattern
+     set and terminal count as the layered driver's frontier-order
+     fold. *)
+  let patterns_for_inputs_m ?pool ?par_threshold ?(par_mode = Search.Async)
+      ?(max_configs = 1_000_000) ?deadline ?max_live ~n ~inputs () =
     let root = E.init ~n ~inputs in
     let outcome, o, m =
-      K.run_par ?pool ?par_threshold ~budget:max_configs ?deadline ?max_live
-        ~expand:obs_expand ~root ()
+      match par_mode with
+      | Search.Layers ->
+        K.run_par ?pool ?par_threshold ~budget:max_configs ?deadline ?max_live
+          ~expand:obs_expand ~root ()
+      | Search.Async ->
+        K.run_par_async ?pool ~budget:max_configs ?deadline ?max_live ~expand:obs_expand
+          ~root ()
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root) m in
     ( ( o.pats,
@@ -98,18 +107,24 @@ module Make (P : Protocol.S) = struct
         } ),
       m )
 
-  let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?max_configs ?deadline
-      ?max_live ~n ~inputs () =
+  let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?par_mode ?max_configs
+      ?deadline ?max_live ~n ~inputs () =
     let result, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
-          patterns_for_inputs_m ~pool ?par_threshold ?max_configs ?deadline ?max_live ~n
-            ~inputs ())
+          patterns_for_inputs_m ~pool ?par_threshold ?par_mode ?max_configs ?deadline
+            ?max_live ~n ~inputs ())
     in
     Search.merge_into metrics m;
     result
 
-  let realize ?metrics ?(jobs = 1) ?par_threshold ?(max_configs = 1_000_000) ?deadline
-      ?max_live ~n ~inputs ~target () =
+  (* [par_mode] defaults to [Layers], not [Async]: the documented
+     shortest-witness guarantee needs the layered driver's
+     deterministic frontier order, and realization is prune-heavy,
+     which the async driver pays for on every duplicate generation.
+     [Async] is still accepted for callers that only need *a*
+     witness. *)
+  let realize ?metrics ?(jobs = 1) ?par_threshold ?(par_mode = Search.Layers)
+      ?(max_configs = 1_000_000) ?deadline ?max_live ~n ~inputs ~target () =
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
@@ -150,8 +165,13 @@ module Make (P : Protocol.S) = struct
     let root_config = E.init ~n ~inputs in
     let outcome, (), m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
-          K.run_par ~pool ?par_threshold ~budget:max_configs ?deadline ?max_live ~is_goal
-            ~prune ~expand ~root:(R.make root_config []) ())
+          match par_mode with
+          | Search.Layers ->
+            K.run_par ~pool ?par_threshold ~budget:max_configs ?deadline ?max_live
+              ~is_goal ~prune ~expand ~root:(R.make root_config []) ()
+          | Search.Async ->
+            K.run_par_async ~pool ~budget:max_configs ?deadline ?max_live ~is_goal ~prune
+              ~expand ~root:(R.make root_config []) ())
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     Search.merge_into metrics m;
@@ -175,7 +195,8 @@ module Make (P : Protocol.S) = struct
      pool-owning domain (nested pool maps are not supported) and
      merges payloads and metrics in vector order, bit-identical for
      every [jobs]. *)
-  let scheme ?metrics ?max_configs ?deadline ?max_live ?(jobs = 1) ?par_threshold ~n () =
+  let scheme ?metrics ?max_configs ?deadline ?max_live ?(jobs = 1) ?par_threshold
+      ?par_mode ~n () =
     (* [deadline] bounds the whole sweep, so each root receives the
        time remaining when its turn comes; a root starting past the
        deadline gets a zero allowance and truncates immediately *)
@@ -186,7 +207,7 @@ module Make (P : Protocol.S) = struct
           List.fold_left
             (fun ((acc, st), ms) (i, inputs) ->
               let (pats, st'), m =
-                patterns_for_inputs_m ~pool ?par_threshold ?max_configs
+                patterns_for_inputs_m ~pool ?par_threshold ?par_mode ?max_configs
                   ?deadline:(remaining ()) ?max_live ~n ~inputs ()
               in
               ( (Pattern.Set.union acc pats, merge_stats st st'),

@@ -35,6 +35,7 @@ module Make (P : Protocol.S) : sig
     ?metrics:Patterns_search.Metrics.t ref ->
     ?jobs:int ->
     ?par_threshold:int ->
+    ?par_mode:Patterns_search.Search.par_mode ->
     ?max_configs:int ->
     ?deadline:float ->
     ?max_live:int ->
@@ -43,16 +44,21 @@ module Make (P : Protocol.S) : sig
     unit ->
     Pattern.Set.t * stats
   (** All patterns of failure-free executions from the given initial
-      bits, enumerated by the layer-synchronous parallel BFS driver
-      ({!Patterns_search.Search.Make.run_par}): frontier layers that
-      reach [par_threshold] states (default
-      {!Patterns_search.Search.Make.default_par_threshold}) are
-      expanded across [jobs] domains.  The result is bit-identical for
-      every [jobs] and [par_threshold].  Default [max_configs] is
-      1_000_000.  [deadline] (wall-clock seconds) and [max_live]
-      (visited + frontier states) degrade the search gracefully:
-      exceeding either truncates instead of hanging or exhausting
-      memory (checked once per frontier layer).  Every [?metrics] sink
+      bits, enumerated across [jobs] domains by the parallel driver
+      selected by [par_mode] (default
+      {!Patterns_search.Search.Async}, the work-stealing driver;
+      [Layers] is the layer-synchronous barrier driver, for which
+      frontier layers must reach [par_threshold] states — default
+      {!Patterns_search.Search.Make.default_par_threshold} — to be
+      dispatched).  On a search that runs to exhaustion both modes
+      produce the identical pattern set, stats and deterministic
+      counters for every [jobs]; a truncated async search keeps its
+      counts but visits a schedule-dependent subset, so
+      truncation-sensitive comparisons should pass
+      [~par_mode:Layers].  Default [max_configs] is 1_000_000.
+      [deadline] (wall-clock seconds) and [max_live] (live states)
+      degrade the search gracefully: exceeding either truncates
+      instead of hanging or exhausting memory.  Every [?metrics] sink
       in this module accumulates the kernel's counters
       ({!Patterns_search.Search.merge_into}). *)
 
@@ -63,22 +69,24 @@ module Make (P : Protocol.S) : sig
     ?max_live:int ->
     ?jobs:int ->
     ?par_threshold:int ->
+    ?par_mode:Patterns_search.Search.par_mode ->
     n:int ->
     unit ->
     Pattern.Set.t * stats
   (** Union over all [2^n] input vectors: the scheme proper.  Stats
       are summed in vector order.  Parallelism is intra-root: each
-      vector's frontier layers are fanned out across [jobs] domains by
-      the layer-synchronous driver; the result is bit-identical to the
-      sequential run for every [jobs] and [par_threshold].  [deadline]
-      bounds the whole sweep (each vector's search receives the time
-      remaining); [max_live] bounds each vector's search
-      separately. *)
+      vector's search is fanned out across [jobs] domains by the
+      driver selected by [par_mode] (default async); an exhaustive
+      sweep is bit-identical to the sequential run for every [jobs],
+      [par_threshold] and [par_mode].  [deadline] bounds the whole
+      sweep (each vector's search receives the time remaining);
+      [max_live] bounds each vector's search separately. *)
 
   val realize :
     ?metrics:Patterns_search.Metrics.t ref ->
     ?jobs:int ->
     ?par_threshold:int ->
+    ?par_mode:Patterns_search.Search.par_mode ->
     ?max_configs:int ->
     ?deadline:float ->
     ?max_live:int ->
@@ -88,11 +96,17 @@ module Make (P : Protocol.S) : sig
     unit ->
     realization
   (** Synthesize a failure-free execution whose communication pattern
-      is exactly [target]: a layer-synchronous search over applicable
-      events pruned to pattern prefixes of the target — the witness is
-      a shortest realization, identical for every [jobs].
-      {!Truncated} is distinct from {!Unrealizable}: an answer cut
-      short by [max_configs] is not evidence of unrealizability. *)
+      is exactly [target]: a search over applicable events pruned to
+      pattern prefixes of the target.  [par_mode] defaults to
+      [Layers], unlike the sweeps above: the layered driver's
+      deterministic frontier order is what makes the witness a
+      shortest realization, identical for every [jobs], and
+      realization is prune-heavy, which the async driver pays for on
+      every duplicate generation.  Under [~par_mode:Async] the answer
+      ({!Realized} / {!Unrealizable}) is unchanged but the witness is
+      schedule-dependent and need not be shortest.  {!Truncated} is
+      distinct from {!Unrealizable}: an answer cut short by
+      [max_configs] is not evidence of unrealizability. *)
 end
 
 val subscheme : Pattern.Set.t -> Pattern.Set.t -> bool

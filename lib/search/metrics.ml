@@ -48,6 +48,11 @@ type t = {
   live_limit_hits : int;
   lock_contention : int;
   expand_seconds : float;
+  steals : int;
+  steal_failures : int;
+  cas_retries : int;
+  table_occupancy : float;
+  idle_seconds : float;
   shards : shard list;
 }
 
@@ -74,6 +79,11 @@ let zero =
     live_limit_hits = 0;
     lock_contention = 0;
     expand_seconds = 0.;
+    steals = 0;
+    steal_failures = 0;
+    cas_retries = 0;
+    table_occupancy = 0.;
+    idle_seconds = 0.;
     shards = [];
   }
 
@@ -113,6 +123,29 @@ let with_par ~layers ~par_layers ~shard_bits ~occupancy_max ~occupancy_total
     expand_seconds;
   }
 
+(* Retag a single-root metrics record with the asynchronous driver's
+   statistics.  [shard_bits] is the table's presized capacity log2 (a
+   create-time constant) and [occupancy_total] the final binding count
+   — both deterministic; the work-stealing and CAS counters plus the
+   load factor and idle time are volatile, schedule-dependent
+   quantities and live in the schema's /5 section.  The layered
+   fields (layers, par_layers, shard_occupancy_max) stay 0: there are
+   no layers and no shards to report. *)
+let with_async ~shard_bits ~occupancy_total ~lock_contention ~expand_seconds ~steals
+    ~steal_failures ~cas_retries ~table_occupancy ~idle_seconds m =
+  {
+    m with
+    shard_bits;
+    shard_occupancy_total = occupancy_total;
+    lock_contention;
+    expand_seconds;
+    steals;
+    steal_failures;
+    cas_retries;
+    table_occupancy;
+    idle_seconds;
+  }
+
 let with_root_index i m =
   { m with shards = List.map (fun s -> { s with root = i }) m.shards }
 
@@ -148,6 +181,11 @@ let merge a b =
     live_limit_hits = a.live_limit_hits + b.live_limit_hits;
     lock_contention = a.lock_contention + b.lock_contention;
     expand_seconds = a.expand_seconds +. b.expand_seconds;
+    steals = a.steals + b.steals;
+    steal_failures = a.steal_failures + b.steal_failures;
+    cas_retries = a.cas_retries + b.cas_retries;
+    table_occupancy = Float.max a.table_occupancy b.table_occupancy;
+    idle_seconds = a.idle_seconds +. b.idle_seconds;
     shards = a.shards @ b.shards;
   }
 
@@ -157,11 +195,14 @@ let merge a b =
    schema /3 appended the layer-synchronous driver fields after
    "truncated_roots"; schema /4 appends the graceful-degradation
    counters "deadline_hits" and "live_limit_hits" after
-   "frontier_peak_sum"; every earlier field is unchanged in name,
-   meaning and order.  "lock_contention", "expand_seconds" and
-   "parallel_efficiency" are the only nondeterministic top-level
-   fields (normalized away by the cram test, never compared by the
-   bench --check gate); "deadline_hits" is deterministically 0 when no
+   "frontier_peak_sum"; schema /5 appends the asynchronous driver's
+   volatile section — "steals", "steal_failures", "cas_retries",
+   "table_occupancy", "idle_seconds" — after "parallel_efficiency";
+   every earlier field is unchanged in name, meaning and order.
+   "lock_contention", "expand_seconds", "parallel_efficiency" and the
+   whole /5 section are the nondeterministic top-level fields
+   (normalized away by the cram test, never compared by the bench
+   --check gate); "deadline_hits" is deterministically 0 when no
    deadline was set, and wall-clock-dependent when one was. *)
 let wall_seconds m = List.fold_left (fun acc (s : shard) -> acc +. s.seconds) 0. m.shards
 
@@ -175,7 +216,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/4\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/5\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -202,7 +243,12 @@ let to_json ?(shards = true) m =
   Buffer.add_string b (Printf.sprintf "  \"lock_contention\": %d,\n" m.lock_contention);
   Buffer.add_string b (Printf.sprintf "  \"expand_seconds\": %.6f,\n" m.expand_seconds);
   Buffer.add_string b
-    (Printf.sprintf "  \"parallel_efficiency\": %.3f" (parallel_efficiency m));
+    (Printf.sprintf "  \"parallel_efficiency\": %.3f,\n" (parallel_efficiency m));
+  Buffer.add_string b (Printf.sprintf "  \"steals\": %d,\n" m.steals);
+  Buffer.add_string b (Printf.sprintf "  \"steal_failures\": %d,\n" m.steal_failures);
+  Buffer.add_string b (Printf.sprintf "  \"cas_retries\": %d,\n" m.cas_retries);
+  Buffer.add_string b (Printf.sprintf "  \"table_occupancy\": %.3f,\n" m.table_occupancy);
+  Buffer.add_string b (Printf.sprintf "  \"idle_seconds\": %.6f" m.idle_seconds);
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

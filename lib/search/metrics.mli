@@ -78,6 +78,24 @@ type t = {
   expand_seconds : float;
       (** wall-clock summed over expansion tasks across workers
           (nondeterministic) *)
+  steals : int;
+      (** work items taken from another worker's deque by the
+          asynchronous driver — 0 under [--jobs 1] or the layered
+          driver, schedule-dependent otherwise (/5 volatile section) *)
+  steal_failures : int;
+      (** steal attempts that found a victim empty or lost the race —
+          schedule-dependent (/5 volatile section) *)
+  cas_retries : int;
+      (** visited-table slot claims lost to a racing worker —
+          schedule-dependent (/5 volatile section) *)
+  table_occupancy : float;
+      (** final load factor of the open-addressed visited table; maxed
+          on merge; volatile near a migration boundary (/5 volatile
+          section) *)
+  idle_seconds : float;
+      (** wall-clock workers spent between exhausting their own deque
+          and acquiring new work (or quiescence) — the async driver's
+          analogue of barrier wait time (/5 volatile section) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -109,6 +127,25 @@ val with_par :
     statistics.  All but [lock_contention] and [expand_seconds] are
     deterministic functions of the reachable graph. *)
 
+val with_async :
+  shard_bits:int ->
+  occupancy_total:int ->
+  lock_contention:int ->
+  expand_seconds:float ->
+  steals:int ->
+  steal_failures:int ->
+  cas_retries:int ->
+  table_occupancy:float ->
+  idle_seconds:float ->
+  t ->
+  t
+(** Retag a single-root record with the asynchronous driver's
+    statistics.  [shard_bits] is the visited table's presized capacity
+    log2 (a create-time constant) and [occupancy_total] its final
+    binding count — deterministic; the rest is the /5 volatile
+    section.  [layers], [par_layers] and [shard_occupancy_max] stay 0:
+    the async driver has no layers and no mutex shards. *)
+
 val parallel_efficiency : t -> float
 (** [expand_seconds] over summed shard wall-clock: the fraction of the
     run spent inside successor expansion, summed across workers.
@@ -122,10 +159,13 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/4"]: every /1, /2 and /3 key is
-    unchanged in name, meaning and order; /4 appends the
+(** Schema ["patterns-search-metrics/5"]: every /1, /2, /3 and /4 key
+    is unchanged in name, meaning and order; /4 appended the
     graceful-degradation counters ["deadline_hits"] and
-    ["live_limit_hits"] after ["frontier_peak_sum"].  Key order is
+    ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appends the
+    asynchronous driver's volatile section — ["steals"],
+    ["steal_failures"], ["cas_retries"], ["table_occupancy"],
+    ["idle_seconds"] — after ["parallel_efficiency"].  Key order is
     stable and pinned by the cram test; [?shards:false] omits the
     per-shard array (whose [seconds] are nondeterministic). *)
 

@@ -37,6 +37,18 @@ let merge_into sink m = Option.iter (fun r -> r := Metrics.merge !r m) sink
 
 let now () = Unix.gettimeofday ()
 
+(* Which parallel driver a client sweep runs on.  [Layers] is the
+   layer-synchronous barrier driver — bit-identical to the serial
+   reference in every respect, including truncation points.  [Async]
+   is the work-stealing driver over the lock-free fingerprint table —
+   same outcomes, pattern sets and deterministic counters on searches
+   it runs to exhaustion, but truncation points and goal witnesses are
+   schedule-dependent.  The flag exists so a suspected async
+   regression is one [--par-mode layers] away from bisectable. *)
+type par_mode = Layers | Async
+
+let par_mode_string = function Layers -> "layers" | Async -> "async"
+
 (* ----- fingerprint-indexed visited store ----- *)
 
 module Store = struct
@@ -425,6 +437,185 @@ module Make (P : Problem) = struct
            ~expand_seconds:!expand_seconds
     in
     (outcome, !obs, with_degradation outcome m)
+
+  (* ----- asynchronous work-stealing driver ----- *)
+
+  (* No layers, no barrier: each worker owns a Chase–Lev deque and
+     works depth-first on its own bottom end, hunting round-robin over
+     the other deques when its own runs dry.  The visited set is the
+     lock-free [Atomic_table]; a successor is claimed into it at
+     generation time (add_if_absent doubles as the membership test),
+     so a state enters exactly one deque and is processed exactly
+     once.
+
+     Quiescence: [in_flight] counts the root plus every claimed,
+     not-yet-retired state.  A worker increments it for each fresh
+     child before retiring the parent, so it can only reach 0 when no
+     state is queued or being expanded anywhere — the termination
+     barrier is one atomic read.
+
+     Determinism contract (pinned by test_parallel): on a search that
+     runs to exhaustion, the claimed set equals the serial visited
+     set, and states_expanded / dedup_hits / pruned /
+     fingerprint_probes all satisfy the same identities as the serial
+     driver (dedup = generated − pruned − fresh; probes = generated −
+     pruned + 1, one claim per non-pruned successor plus the root).
+     One deliberate divergence: successors are prune-tested {e
+     before} the visited test, where the serial keep tests membership
+     first.  The counts still agree — a prunable state is never
+     claimed, so its membership test is always false — but [prune]
+     must be pure, and prune-heavy goal searches (realization) should
+     prefer the layered driver, which also keeps the serial driver's
+     shortest-witness guarantee.  Budget exhaustion is not a halt:
+     workers keep draining their deques, dropping every state whose
+     budget ticket is out of range, so exactly [budget] tickets are
+     consumed and [states_expanded] is deterministic even for a
+     truncated search (the *set* expanded is schedule-dependent). *)
+  let run_par_async ?pool ?capacity ?(budget = max_int) ?deadline ?max_live ?is_goal
+      ?prune ~expand:obs_iface ~root () =
+    let workers = match pool with Some p -> Domain_pool.jobs p | None -> 1 in
+    let table =
+      Atomic_table.create ?capacity ~workers
+        ~equal:(fun a b -> P.compare a b = 0)
+        ~fingerprint:P.fingerprint ()
+    in
+    let goal = match is_goal with Some g -> g | None -> fun _ -> false in
+    let deques = Array.init workers (fun _ -> Ws_deque.create ()) in
+    let in_flight = Atomic.make 1 in
+    let tickets = Atomic.make 0 in
+    let halt = Atomic.make (None : P.state outcome option) in
+    let budget_hit = Atomic.make false in
+    let request_halt o = ignore (Atomic.compare_and_set halt None (Some o) : bool) in
+    (* per-worker tallies, merged in worker-index order at quiescence *)
+    let expanded = Array.make workers 0 and dedup = Array.make workers 0 in
+    let pruned = Array.make workers 0 in
+    let steals = Array.make workers 0 and steal_failures = Array.make workers 0 in
+    let idle = Array.make workers 0. and busy = Array.make workers 0. in
+    let obss = Array.init workers (fun _ -> obs_iface.empty ()) in
+    let t0 = now () in
+    ignore (Atomic_table.add_if_absent table ~worker:0 root : bool);
+    Ws_deque.push deques.(0) root;
+    let process wi s =
+      let ticket = Atomic.fetch_and_add tickets 1 in
+      if ticket >= budget then Atomic.set budget_hit true
+      else begin
+        (* overrun guards in the serial driver's order: live states,
+           then the deadline, then the goal test on the charged state *)
+        (match max_live with
+        | Some limit ->
+          let live = Atomic_table.bindings table in
+          if live > limit then
+            request_halt (Truncated (Live_limit_exceeded { limit; live }))
+        | None -> ());
+        (match deadline with
+        | Some d ->
+          let elapsed = now () -. t0 in
+          if elapsed >= d then
+            request_halt (Truncated (Deadline_exceeded { deadline = d; elapsed }))
+        | None -> ());
+        if Atomic.get halt = None then begin
+          expanded.(wi) <- expanded.(wi) + 1;
+          if goal s then request_halt (Goal_found s)
+          else
+            List.iter
+              (fun c ->
+                match prune with
+                | Some p when p c -> pruned.(wi) <- pruned.(wi) + 1
+                | _ ->
+                  if Atomic_table.add_if_absent table ~worker:wi c then begin
+                    Atomic.incr in_flight;
+                    Ws_deque.push deques.(wi) c
+                  end
+                  else dedup.(wi) <- dedup.(wi) + 1)
+              (obs_iface.expand obss.(wi) s)
+        end
+      end;
+      Atomic.decr in_flight
+    in
+    let worker wi =
+      let dq = deques.(wi) in
+      let tstart = now () in
+      (* round-robin hunt over the other deques; gives up only on
+         global quiescence or a halt *)
+      let rec hunt v =
+        if Atomic.get halt <> None || Atomic.get in_flight = 0 then None
+        else
+          let v = if v = wi then (v + 1) mod workers else v in
+          match Ws_deque.steal deques.(v) with
+          | Ws_deque.Stolen s ->
+            steals.(wi) <- steals.(wi) + 1;
+            Some s
+          | Ws_deque.Empty | Ws_deque.Retry ->
+            steal_failures.(wi) <- steal_failures.(wi) + 1;
+            Domain.cpu_relax ();
+            hunt ((v + 1) mod workers)
+      in
+      let rec loop () =
+        if Atomic.get halt <> None then ()
+        else
+          match Ws_deque.pop dq with
+          | Some s ->
+            process wi s;
+            loop ()
+          | None ->
+            (* a single worker with an empty deque is already
+               quiescent: every push happened on this deque *)
+            if workers = 1 || Atomic.get in_flight = 0 then ()
+            else begin
+              let ts = now () in
+              let stolen = hunt ((wi + 1) mod workers) in
+              idle.(wi) <- idle.(wi) +. (now () -. ts);
+              match stolen with
+              | Some s ->
+                process wi s;
+                loop ()
+              | None -> ()
+            end
+      in
+      loop ();
+      busy.(wi) <- busy.(wi) +. (now () -. tstart) -. idle.(wi)
+    in
+    (match pool with
+    | Some p when workers > 1 ->
+      ignore (Domain_pool.map p worker (List.init workers Fun.id) : unit list)
+    | _ -> worker 0);
+    let isum a = Array.fold_left ( + ) 0 a in
+    let fsum a = Array.fold_left ( +. ) 0. a in
+    let outcome =
+      match Atomic.get halt with
+      | Some o -> o
+      | None ->
+        if Atomic.get budget_hit then
+          Truncated (Budget_exhausted { budget; consumed = isum expanded })
+        else Exhausted
+    in
+    let obs = Array.fold_left obs_iface.merge (obs_iface.empty ()) obss in
+    let seconds = now () -. t0 in
+    let shard =
+      {
+        Metrics.root = 0;
+        states_expanded = isum expanded;
+        dedup_hits = isum dedup;
+        frontier_peak = 0;
+        pruned = isum pruned;
+        fingerprint_probes = Atomic_table.probes table;
+        collision_fallbacks = Atomic_table.collision_fallbacks table;
+        intern_bindings = 0;
+        seconds;
+      }
+    in
+    let m =
+      Metrics.of_shard (outcome_kind outcome) shard
+      |> Metrics.with_async
+           ~shard_bits:(Atomic_table.initial_bits table)
+           ~occupancy_total:(Atomic_table.bindings table)
+           ~lock_contention:(Atomic_table.lock_contention table)
+           ~expand_seconds:(fsum busy) ~steals:(isum steals)
+           ~steal_failures:(isum steal_failures)
+           ~cas_retries:(Atomic_table.cas_retries table)
+           ~table_occupancy:(Atomic_table.occupancy table) ~idle_seconds:(fsum idle)
+    in
+    (outcome, obs, with_degradation outcome m)
 end
 
 (* ----- deterministic sharding per root ----- *)
@@ -441,43 +632,77 @@ let shard ~jobs ~f ~merge ~init roots =
       in
       (acc, metrics))
 
-(* ----- batched goal search over an index space ----- *)
+(* ----- strided goal search over an index space ----- *)
 
-let find_first ?metrics ~jobs ?batch ?deadline ~max_index ~f () =
+(* One long-lived task per worker, zero shared mutable state beyond a
+   single CAS-min cell: worker [wi] owns the stride
+   [wi+1, wi+1+W, wi+1+2W, …] and scans it independently — no batch
+   dispatch, no per-batch barrier.  Hunt runs are independent
+   no-dedup simulations, so this is the whole parallel story for
+   them.
+
+   Winner determinism: [best] only decreases, and a worker abandons
+   its stride only once its next index exceeds the current [best] (or
+   it found its own stripe-local goal).  Every index smaller than the
+   final winner therefore got evaluated by its owning worker, so the
+   returned witness is the one at the globally smallest goal index —
+   identical for every [--jobs].  A clean sweep evaluates every index
+   exactly once ([Error max_index]); a deadline truncation stops
+   mid-stride and reports the wall-clock-dependent count tried. *)
+let find_first ?metrics ~jobs ?deadline ~max_index ~f () =
   Domain_pool.with_pool ~jobs (fun pool ->
-      let batch =
-        match batch with Some b -> max 1 b | None -> max 8 (Domain_pool.jobs pool * 4)
-      in
-      let tried = ref 0 and peak = ref 0 in
-      let deadline_hit = ref false in
+      let workers = Domain_pool.jobs pool in
+      let best = Atomic.make max_int in
+      let tried = Array.make workers 0 in
+      let deadline_hit = Atomic.make false in
       let t0 = Unix.gettimeofday () in
-      (* the deadline is checked between batches: a batch already
-         dispatched runs to completion, so overshoot is bounded by one
-         batch of [f] calls *)
-      let over_deadline () =
-        match deadline with
-        | None -> false
-        | Some d ->
-          let hit = Unix.gettimeofday () -. t0 >= d in
-          if hit then deadline_hit := true;
-          hit
+      let work wi =
+        let local = ref None in
+        let i = ref (wi + 1) in
+        let continue = ref true in
+        while !continue && !i <= max_index do
+          if !i > Atomic.get best then continue := false
+          else begin
+            (match deadline with
+            | Some d when Unix.gettimeofday () -. t0 >= d ->
+              Atomic.set deadline_hit true;
+              continue := false
+            | _ -> ());
+            if !continue then begin
+              tried.(wi) <- tried.(wi) + 1;
+              (match f !i with
+              | Some v ->
+                local := Some (!i, v);
+                let rec cas_min () =
+                  let b = Atomic.get best in
+                  if !i < b && not (Atomic.compare_and_set best b !i) then cas_min ()
+                in
+                cas_min ();
+                continue := false
+              | None -> ());
+              i := !i + workers
+            end
+          end
+        done;
+        !local
       in
-      let rec go next =
-        if next > max_index then Error !tried
-        else if over_deadline () then Error !tried
-        else begin
-          let hi = min max_index (next + batch - 1) in
-          let indices = List.init (hi - next + 1) (fun i -> next + i) in
-          tried := !tried + List.length indices;
-          if List.length indices > !peak then peak := List.length indices;
-          (* the batch is scanned in index order, so the winner is the
-             smallest goal index no matter how workers interleave *)
-          match List.find_map Fun.id (Domain_pool.map pool f indices) with
-          | Some found -> Ok found
-          | None -> go (hi + 1)
-        end
+      let locals =
+        if workers = 1 then [ work 0 ]
+        else Domain_pool.map pool work (List.init workers Fun.id)
       in
-      let result = go 1 in
+      let result =
+        match
+          List.fold_left
+            (fun acc l ->
+              match (acc, l) with
+              | Some (i, _), Some (j, _) when j < i -> l
+              | None, _ -> l
+              | _ -> acc)
+            None locals
+        with
+        | Some (_, v) -> Ok v
+        | None -> Error (Array.fold_left ( + ) 0 tried)
+      in
       let seconds = Unix.gettimeofday () -. t0 in
       let kind =
         match result with Ok _ -> Metrics.Goal_found | Error _ -> Metrics.Truncated
@@ -486,9 +711,9 @@ let find_first ?metrics ~jobs ?batch ?deadline ~max_index ~f () =
         Metrics.of_shard kind
           {
             Metrics.root = 0;
-            states_expanded = !tried;
+            states_expanded = Array.fold_left ( + ) 0 tried;
             dedup_hits = 0;
-            frontier_peak = !peak;
+            frontier_peak = workers;
             pruned = 0;
             fingerprint_probes = 0;
             collision_fallbacks = 0;
@@ -496,7 +721,7 @@ let find_first ?metrics ~jobs ?batch ?deadline ~max_index ~f () =
             seconds;
           }
       in
-      let m = if !deadline_hit then { m with Metrics.deadline_hits = 1 } else m in
+      let m = if Atomic.get deadline_hit then { m with Metrics.deadline_hits = 1 } else m in
       merge_into metrics m;
       result)
 

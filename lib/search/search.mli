@@ -54,6 +54,20 @@ val now : unit -> float
 (** [Unix.gettimeofday], re-exported so deadline-aware callers can
     compute remaining time without their own [unix] dependency. *)
 
+(** Which parallel driver a client sweep runs on.  [Layers] is the
+    layer-synchronous barrier driver ({!Make.run_par}) — bit-identical
+    to the serial reference in every respect, including truncation
+    points and goal witnesses.  [Async] is the work-stealing driver
+    over the lock-free fingerprint table ({!Make.run_par_async}) —
+    same outcomes, observations and deterministic counters on searches
+    it runs to exhaustion, but truncation sets and goal witnesses are
+    schedule-dependent.  Clients default to [Async]; the flag exists
+    so a suspected async regression is one [--par-mode layers] away
+    from bisectable. *)
+type par_mode = Layers | Async
+
+val par_mode_string : par_mode -> string
+
 val merge_into : Metrics.t ref option -> Metrics.t -> unit
 (** [merge_into sink m]: accumulate [m] into an optional metrics sink
     (the convention used by every [?metrics] parameter downstream). *)
@@ -200,6 +214,47 @@ module Make (P : Problem) : sig
       layer is charged, so overshoot past either guard is bounded by
       one layer; [max_live] truncation is deterministic and
       jobs-invariant. *)
+
+  val run_par_async :
+    ?pool:Patterns_stdx.Domain_pool.t ->
+    ?capacity:int ->
+    ?budget:int ->
+    ?deadline:float ->
+    ?max_live:int ->
+    ?is_goal:(P.state -> bool) ->
+    ?prune:(P.state -> bool) ->
+    expand:'obs par_expand ->
+    root:P.state ->
+    unit ->
+    P.state outcome * 'obs * Metrics.t
+  (** Asynchronous work-stealing search: one Chase–Lev deque per pool
+      worker, depth-first on the owner's end with round-robin stealing,
+      over a lock-free open-addressing visited table
+      ({!Patterns_stdx.Atomic_table}, presized to [capacity] slots)
+      whose insert doubles as the membership test — no barrier, no
+      mutex on the hot path.  Quiescence is detected by an atomic
+      in-flight counter; budget, deadline and live-state guards run
+      inside each worker.
+
+      Determinism contract, relative to the serial {!run} (and pinned
+      by the registry-wide tests): on a search that runs to
+      {!Exhausted}, the visited set, observations (for a commutative
+      associative [merge]), and the deterministic counters
+      [states_expanded], [dedup_hits], [pruned], [fingerprint_probes]
+      (one claim per non-pruned successor plus the root) all match.
+      [Truncated (Budget_exhausted _)] still consumes exactly [budget]
+      states (workers drain their deques dropping out-of-budget
+      tickets), but *which* states is schedule-dependent, as are
+      {!Goal_found} witnesses, [deadline] and [max_live] trigger
+      points, and every /5 metrics field — truncation-sensitive or
+      shortest-witness callers should use {!run_par}.  Unlike the
+      serial keep order, successors are prune-tested {e before} the
+      visited test ([prune] must be a pure predicate; the counts are
+      unaffected because a prunable state is never visited).  [merge]
+      folds per-worker accumulators in worker-index order, so it must
+      be commutative as well as associative for observations to be
+      jobs-invariant.  Calling from the pool-owning domain is
+      required. *)
 end
 
 val shard :
@@ -218,25 +273,27 @@ val shard :
 val find_first :
   ?metrics:Metrics.t ref ->
   jobs:int ->
-  ?batch:int ->
   ?deadline:float ->
   max_index:int ->
   f:(int -> 'a option) ->
   unit ->
   ('a, int) result
-(** Batched goal search over the index space [1..max_index]: evaluate
-    [f] on batches of indices in parallel (default batch:
-    [max 8 (4 * jobs)]), scanning each batch in index order, so the
-    winner is the smallest goal index for every [jobs] value.
-    [Error tried] means no goal within the budget — a truncated
+(** Strided goal search over the index space [1..max_index]: worker
+    [w] of [jobs] owns the stride [w+1, w+1+jobs, …] and scans it as
+    one long-lived task — zero shared mutable state beyond a CAS-min
+    cell holding the smallest goal index found, so independent
+    evaluations (hunt runs) never synchronize.  A worker abandons its
+    stride only once its next index exceeds the current minimum, so
+    every index below the final winner was evaluated and the returned
+    witness is the one at the globally smallest goal index — identical
+    for every [jobs] value.  [Error tried] means no goal — a truncated
     search (absence is not proven), and the metrics outcome says so;
-    [tried] is the number of indices evaluated ([= max_index] when the
-    space was swept, fewer when [deadline] — checked between batches —
-    fired first, in which case [deadline_hits] is set in the metrics).
-    The expanded count is the number of indices evaluated, which may
-    exceed the winner's index by up to one batch (speculative
-    parallelism) and therefore varies with [jobs] when a goal is
-    found; all other fields and the result itself are
+    [tried] is the number of indices evaluated ([= max_index] exactly
+    when the space was swept, fewer when [deadline] — checked before
+    each evaluation — fired first, in which case [deadline_hits] is
+    set in the metrics).  When a goal is found, the expanded count
+    includes speculative evaluations past the winner and therefore
+    varies with [jobs]; all other fields and the result itself are
     jobs-invariant. *)
 
 module Scan : sig

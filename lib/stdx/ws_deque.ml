@@ -1,0 +1,107 @@
+(* Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory
+   ordering after Lê et al., PPoPP 2013), on OCaml 5 atomics.
+
+   One domain owns the deque and works on the bottom end ([push],
+   [pop]); any other domain may [steal] from the top.  Cells and the
+   buffer pointer are [Atomic.t], so every cross-domain access is
+   sequentially consistent — the fences of the C11 formulation are
+   implicit and the only subtle part left is the index discipline:
+
+   - [top] only ever grows (a steal CASes it forward; the owner's
+     contended last-element pop does the same), so a successful CAS
+     from [t] proves nobody else consumed index [t];
+   - the owner keeps [bottom - top <= size], growing the buffer
+     before a push would wrap onto a live slot, so the cell a thief
+     read at logical index [t] is never overwritten while [top <= t]
+     — the grown copy writes a fresh buffer and leaves the old one
+     intact for any thief still holding it. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 256) () =
+  let cap = pow2 (max 2 capacity) 2 in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init cap (fun _ -> Atomic.make None));
+  }
+
+let mask a = Array.length a - 1
+
+(* owner only: double the buffer, copying the live window [t, b) at
+   the same logical indices.  The old buffer is not mutated, so a
+   thief that read it before the swap still sees valid cells. *)
+let grow q b t =
+  let a = Atomic.get q.buf in
+  let n = Array.length a in
+  let a' = Array.init (2 * n) (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set a'.(i land (2 * n - 1)) (Atomic.get a.(i land (n - 1)))
+  done;
+  Atomic.set q.buf a'
+
+let push q x =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  let a = Atomic.get q.buf in
+  let a =
+    if b - t >= Array.length a then begin
+      grow q b t;
+      Atomic.get q.buf
+    end
+    else a
+  in
+  Atomic.set a.(b land mask a) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let a = Atomic.get q.buf in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty shape bottom = top *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let cell = a.(b land mask a) in
+    let x = Atomic.get cell in
+    if b > t then begin
+      Atomic.set cell None;
+      x
+    end
+    else begin
+      (* last element: race thieves for index t on the top end *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        Atomic.set cell None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    let a = Atomic.get q.buf in
+    let x = Atomic.get a.(t land mask a) in
+    if Atomic.compare_and_set q.top t (t + 1) then
+      (* the CAS succeeded, so no consumer passed index t before us:
+         the cell held the live value when we read it *)
+      match x with Some v -> Stolen v | None -> Retry
+    else Retry
+  end
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)

@@ -1,0 +1,42 @@
+(** Chase–Lev work-stealing deque.
+
+    The distribution substrate of the asynchronous search driver: each
+    worker owns one deque, pushes and pops its own work LIFO at the
+    bottom (depth-first locality, no synchronization against itself
+    beyond the one contended-last-element CAS), while idle workers
+    steal FIFO from the top — oldest, typically largest-subtree items
+    — one CAS per steal.
+
+    Ownership discipline: [push] and [pop] must only be called from
+    the single owning domain; [steal] may be called from any domain.
+    All cross-domain state is held in [Atomic.t] cells, so the
+    implementation relies only on OCaml's sequentially consistent
+    atomics — no fences, no unsafe memory tricks. *)
+
+type 'a t
+
+type 'a steal_result =
+  | Stolen of 'a  (** the CAS on [top] won; the value is exclusively ours *)
+  | Empty  (** the deque looked empty at the time of the attempt *)
+  | Retry
+      (** lost a race (another thief or the owner took the item);
+          the deque may still be non-empty — try again or move on *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh empty deque.  [capacity] (default 256, rounded up to a
+    power of two) is only the initial buffer size; the owner grows the
+    buffer geometrically as needed, so capacity is never a limit. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add an item at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed remaining item, or
+    [None] if the deque is empty (including losing the last item to a
+    thief). *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain: try to take the oldest item. *)
+
+val size : 'a t -> int
+(** Approximate number of items — exact only in quiescence. *)

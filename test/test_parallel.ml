@@ -66,7 +66,13 @@ let test_scheme_jobs_invariant () =
       let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
       let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
       let module S = Patterns_pattern.Scheme.Make (P) in
-      let run jobs = S.scheme ~max_configs:2_000 ~jobs ~n () in
+      (* truncation-sensitive (the budget cuts most registry sweeps
+         short), so pin the layered driver: only its truncation prefix
+         is jobs-invariant.  The async driver's exhaustive-sweep
+         invariance is tested separately below. *)
+      let run jobs =
+        S.scheme ~max_configs:2_000 ~jobs ~par_mode:Patterns_search.Search.Layers ~n ()
+      in
       let pats1, stats1 = run 1 in
       List.iter
         (fun jobs ->
@@ -97,8 +103,11 @@ let test_classify_jobs_invariant () =
       let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
       let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
       let rule = rule_of entry in
+      (* truncation-sensitive budget: pin the layered driver (see
+         test_scheme_jobs_invariant) *)
       let run jobs =
-        Classify.classify ~max_failures:1 ~max_configs:20_000 ~jobs ~rule ~n
+        Classify.classify ~max_failures:1 ~max_configs:20_000 ~jobs
+          ~par_mode:Patterns_search.Search.Layers ~rule ~n
           entry.Patterns_protocols.Registry.protocol
       in
       let v1 = run 1 in
@@ -112,13 +121,62 @@ let test_classify_jobs_invariant () =
         jobs_values)
     Patterns_protocols.Registry.all
 
-(* ----- run_par: the layer-synchronous kernel driver itself ----- *)
+(* ----- async scheme / classify: exhaustive sweeps match layers ----- *)
+
+let test_scheme_async_invariant () =
+  (* an exhaustive sweep (budget never hit) must produce identical
+     pattern sets and deterministic counters under both drivers, for
+     every jobs value *)
+  let (module P : Protocol.S) = Patterns_protocols.Perverse_proto.fig4 in
+  let module S = Patterns_pattern.Scheme.Make (P) in
+  let run ~jobs ~par_mode = S.scheme ~jobs ~par_mode ~n:4 () in
+  let pats1, stats1 = run ~jobs:1 ~par_mode:Patterns_search.Search.Layers in
+  Alcotest.(check bool) "fig4 sweep is exhaustive" false
+    stats1.Patterns_pattern.Scheme.truncated;
+  List.iter
+    (fun jobs ->
+      let pats, stats = run ~jobs ~par_mode:Patterns_search.Search.Async in
+      Alcotest.(check bool)
+        (Printf.sprintf "fig4 scheme async jobs=%d = layers jobs=1" jobs)
+        true
+        (Patterns_pattern.Pattern.Set.equal pats1 pats);
+      Alcotest.(check int)
+        (Printf.sprintf "fig4 visited async jobs=%d" jobs)
+        stats1.Patterns_pattern.Scheme.configs_visited
+        stats.Patterns_pattern.Scheme.configs_visited;
+      Alcotest.(check int)
+        (Printf.sprintf "fig4 terminal async jobs=%d" jobs)
+        stats1.Patterns_pattern.Scheme.terminal_configs
+        stats.Patterns_pattern.Scheme.terminal_configs)
+    [ 1; 2; 4 ]
+
+let test_classify_async_invariant () =
+  (* fig3-chain at n=3 exhausts well inside the default budget, so the
+     async verdict must equal the layered one bit for bit *)
+  let run ~jobs ~par_mode =
+    Classify.classify ~max_failures:1 ~jobs ~par_mode
+      ~rule:Patterns_protocols.Decision_rule.Unanimity ~n:3
+      Patterns_protocols.Chain_proto.fig3
+  in
+  let v1 = run ~jobs:1 ~par_mode:Patterns_search.Search.Layers in
+  Alcotest.(check bool) "fig3 classify is exhaustive" false v1.Classify.truncated;
+  List.iter
+    (fun jobs ->
+      let v = run ~jobs ~par_mode:Patterns_search.Search.Async in
+      Alcotest.(check bool)
+        (Printf.sprintf "fig3 verdict async jobs=%d = layers jobs=1" jobs)
+        true
+        (Stdlib.compare v1 v = 0))
+    [ 1; 2; 4 ]
+
+(* ----- run_par / run_par_async: the kernel drivers themselves ----- *)
 
 (* Failure-free expansion of a protocol's configurations, with the
    expanded states' fingerprints collected in the observation
    accumulator — for an exhausted search the multiset of expanded
    fingerprints IS the visited set. *)
-let kernel_visited (module P : Protocol.S) ~n ~inputs ~jobs ~par_threshold ~budget =
+let kernel_visited ?(par_mode = Patterns_search.Search.Layers) (module P : Protocol.S) ~n
+    ~inputs ~jobs ~par_threshold ~budget =
   let module E = Engine.Make (P) in
   let module Pr = struct
     type state = E.config
@@ -143,7 +201,11 @@ let kernel_visited (module P : Protocol.S) ~n ~inputs ~jobs ~par_threshold ~budg
   in
   Domain_pool.with_pool ~jobs (fun pool ->
       let outcome, fps, m =
-        K.run_par ~pool ~par_threshold ~budget ~expand ~root:(E.init ~n ~inputs) ()
+        match par_mode with
+        | Patterns_search.Search.Layers ->
+          K.run_par ~pool ~par_threshold ~budget ~expand ~root:(E.init ~n ~inputs) ()
+        | Patterns_search.Search.Async ->
+          K.run_par_async ~pool ~budget ~expand ~root:(E.init ~n ~inputs) ()
       in
       ( (match outcome with
         | Patterns_search.Search.Exhausted -> "exhausted"
@@ -176,9 +238,10 @@ let reference_visited (module P : Protocol.S) ~n ~inputs =
   (List.sort Int.compare (List.map E.fingerprint (S.elements visited)), S.cardinal visited)
 
 let test_run_par_matches_reference () =
-  (* whole registry, both sides of the crossover threshold, jobs up
-     to 8: the parallel driver visits exactly the serial reachable
-     set — same cardinality, same fingerprint multiset *)
+  (* whole registry, both drivers, both sides of the crossover
+     threshold, jobs up to 8: each parallel driver visits exactly the
+     serial reachable set — same cardinality, same fingerprint
+     multiset *)
   List.iter
     (fun entry ->
       let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
@@ -186,19 +249,35 @@ let test_run_par_matches_reference () =
       let inputs = List.init n (fun i -> i mod 2 = 0) in
       let ref_fps, ref_card = reference_visited (module P) ~n ~inputs in
       List.iter
-        (fun (jobs, par_threshold) ->
+        (fun (par_mode, jobs, par_threshold) ->
           let outcome, fps, m =
-            kernel_visited (module P) ~n ~inputs ~jobs ~par_threshold ~budget:max_int
+            kernel_visited ~par_mode (module P) ~n ~inputs ~jobs ~par_threshold
+              ~budget:max_int
           in
           let label fmt =
-            Printf.sprintf "%s jobs=%d thr=%d: %s" P.name jobs par_threshold fmt
+            Printf.sprintf "%s %s jobs=%d thr=%d: %s" P.name
+              (Patterns_search.Search.par_mode_string par_mode)
+              jobs par_threshold fmt
           in
           Alcotest.(check string) (label "outcome") "exhausted" outcome;
           Alcotest.(check int) (label "cardinality") ref_card (List.length fps);
           Alcotest.(check (list int)) (label "fingerprint multiset") ref_fps fps;
           Alcotest.(check int) (label "states_expanded") ref_card
             m.Patterns_search.Metrics.states_expanded)
-        [ (1, 1); (1, max_int); (2, 1); (2, max_int); (4, 1); (4, max_int); (8, 1) ])
+        Patterns_search.Search.
+          [
+            (Layers, 1, 1);
+            (Layers, 1, max_int);
+            (Layers, 2, 1);
+            (Layers, 2, max_int);
+            (Layers, 4, 1);
+            (Layers, 4, max_int);
+            (Layers, 8, 1);
+            (Async, 1, 1);
+            (Async, 2, 1);
+            (Async, 4, 1);
+            (Async, 8, 1);
+          ])
     Patterns_protocols.Registry.all
 
 let test_run_par_truncation_invariant () =
@@ -222,7 +301,24 @@ let test_run_par_truncation_invariant () =
         m.Patterns_search.Metrics.frontier_peak;
       Alcotest.(check int) (label "layers") m1.Patterns_search.Metrics.layers
         m.Patterns_search.Metrics.layers)
-    [ (1, max_int); (2, 1); (4, 1); (4, max_int); (8, 1) ]
+    [ (1, max_int); (2, 1); (4, 1); (4, max_int); (8, 1) ];
+  (* the async driver consumes the budget exactly too — its ticket
+     drain is deterministic even though the visited subset is
+     schedule-dependent *)
+  List.iter
+    (fun jobs ->
+      let outcome, fps, _ =
+        kernel_visited ~par_mode:Patterns_search.Search.Async
+          Patterns_protocols.Chain_proto.fig3 ~n:3 ~inputs:[ true; true; true ] ~jobs
+          ~par_threshold:1 ~budget:7
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "async jobs=%d: budget consumed exactly" jobs)
+        "truncated:7" outcome;
+      Alcotest.(check int)
+        (Printf.sprintf "async jobs=%d: expanded = budget" jobs)
+        7 (List.length fps))
+    [ 1; 2; 4 ]
 
 let test_scheme_par_threshold_invariant () =
   (* forcing every layer parallel and forcing none must not change a
@@ -312,12 +408,13 @@ let qcheck_tests =
   [
     Test.make ~name:"run_par visits the serial visited set (registry)" ~count:40
       Gen.(
-        tup4
+        tup5
           (int_bound (List.length Patterns_protocols.Registry.all - 1))
           (int_bound 1000)
           (oneofl [ 1; 2; 4; 8 ])
-          (oneofl [ 1; 4; max_int ]))
-      (fun (idx, seed, jobs, par_threshold) ->
+          (oneofl [ 1; 4; max_int ])
+          (oneofl Patterns_search.Search.[ Layers; Async ]))
+      (fun (idx, seed, jobs, par_threshold, par_mode) ->
         let entry = List.nth Patterns_protocols.Registry.all idx in
         let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
         let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
@@ -325,7 +422,8 @@ let qcheck_tests =
         let inputs = List.init n (fun _ -> Prng.bool prng) in
         let ref_fps, ref_card = reference_visited (module P) ~n ~inputs in
         let outcome, fps, m =
-          kernel_visited (module P) ~n ~inputs ~jobs ~par_threshold ~budget:max_int
+          kernel_visited ~par_mode (module P) ~n ~inputs ~jobs ~par_threshold
+            ~budget:max_int
         in
         outcome = "exhausted" && List.length fps = ref_card && fps = ref_fps
         && m.Patterns_search.Metrics.states_expanded = ref_card);
@@ -374,6 +472,9 @@ let () =
         [
           Alcotest.test_case "scheme, whole registry" `Quick test_scheme_jobs_invariant;
           Alcotest.test_case "classify, whole registry" `Slow test_classify_jobs_invariant;
+          Alcotest.test_case "scheme, async exhaustive" `Quick test_scheme_async_invariant;
+          Alcotest.test_case "classify, async exhaustive" `Quick
+            test_classify_async_invariant;
           Alcotest.test_case "hunt" `Quick test_hunt_jobs_invariant;
         ] );
       ( "run_par",

@@ -263,6 +263,231 @@ let test_sharded_concurrent_inserts () =
   Alcotest.(check int) "occupancy total" (List.length distinct)
     (Array.fold_left ( + ) 0 (Sharded_store.occupancy s))
 
+(* ----- Ws_deque ----- *)
+
+let test_deque_owner_order () =
+  let d = Ws_deque.create ~capacity:2 () in
+  Alcotest.(check (option int)) "pop on empty" None (Ws_deque.pop d);
+  (match Ws_deque.steal d with
+  | Ws_deque.Empty -> ()
+  | _ -> Alcotest.fail "steal on empty");
+  (* five pushes through a capacity-2 buffer exercises growth *)
+  List.iter (Ws_deque.push d) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check int) "size" 5 (Ws_deque.size d);
+  Alcotest.(check (option int)) "pop is LIFO" (Some 5) (Ws_deque.pop d);
+  (match Ws_deque.steal d with
+  | Ws_deque.Stolen 1 -> ()
+  | _ -> Alcotest.fail "steal is FIFO");
+  Alcotest.(check (option int)) "pop again" (Some 4) (Ws_deque.pop d);
+  (match Ws_deque.steal d with
+  | Ws_deque.Stolen 2 -> ()
+  | _ -> Alcotest.fail "second steal");
+  Alcotest.(check (option int)) "last item" (Some 3) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "drained" None (Ws_deque.pop d);
+  match Ws_deque.steal d with
+  | Ws_deque.Empty -> ()
+  | _ -> Alcotest.fail "steal after drain"
+
+let test_deque_steal_storm () =
+  (* one owner pushes [n] items (popping a few along the way), three
+     thieves steal concurrently: every item must be taken exactly once
+     across all four domains — no loss, no duplication *)
+  let n = 20_000 in
+  let d = Ws_deque.create ~capacity:4 () in
+  let owner_done = Atomic.make false in
+  let thief () =
+    let rec go acc =
+      match Ws_deque.steal d with
+      | Ws_deque.Stolen v -> go (v :: acc)
+      | Ws_deque.Retry -> go acc
+      | Ws_deque.Empty -> if Atomic.get owner_done then acc else (Domain.cpu_relax (); go acc)
+    in
+    go []
+  in
+  let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+  let owner_got = ref [] in
+  for i = 0 to n - 1 do
+    Ws_deque.push d i;
+    if i mod 3 = 0 then
+      match Ws_deque.pop d with None -> () | Some v -> owner_got := v :: !owner_got
+  done;
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+      owner_got := v :: !owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set owner_done true;
+  let stolen = List.concat_map Domain.join thieves in
+  let all = List.sort Int.compare (stolen @ !owner_got) in
+  Alcotest.(check int) "every item taken exactly once" n (List.length all);
+  Alcotest.(check (list int)) "items are 0..n-1" (Listx.range 0 n) all
+
+(* Sequential qcheck oracle: the deque against a plain list model —
+   push appends at the bottom, pop takes from the bottom, steal from
+   the top.  Single-domain, so the model is exact. *)
+let deque_qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"deque matches list model (sequential)" ~count:200
+      Gen.(list (int_bound 2))
+      (fun ops ->
+        let d = Ws_deque.create ~capacity:2 () in
+        let model = ref [] in
+        let counter = ref 0 in
+        List.for_all
+          (fun op ->
+            match op with
+            | 0 ->
+              incr counter;
+              Ws_deque.push d !counter;
+              model := !model @ [ !counter ];
+              true
+            | 1 -> (
+              let expect =
+                match List.rev !model with
+                | [] -> None
+                | last :: rest_rev ->
+                  model := List.rev rest_rev;
+                  Some last
+              in
+              Ws_deque.pop d = expect
+              &&
+              match expect with
+              | None -> true
+              | Some _ -> true)
+            | _ -> (
+              match (Ws_deque.steal d, !model) with
+              | Ws_deque.Empty, [] -> true
+              | Ws_deque.Stolen v, first :: rest ->
+                model := rest;
+                v = first
+              | _ -> false))
+          ops
+        && List.length !model = Ws_deque.size d);
+  ]
+
+(* ----- Atomic_table ----- *)
+
+let int_table ?(capacity = 64) ~workers () =
+  Atomic_table.create ~capacity ~workers ~equal:Int.equal
+    ~fingerprint:(fun i -> Fingerprint.of_int (i * 0x9e3779b9))
+    ()
+
+let test_atomic_table_basics () =
+  let t = int_table ~workers:1 () in
+  Alcotest.(check int) "initial capacity" 64 (Atomic_table.capacity t);
+  Alcotest.(check int) "initial_bits" 6 (Atomic_table.initial_bits t);
+  Alcotest.(check bool) "first insert" true (Atomic_table.add_if_absent t ~worker:0 42);
+  Alcotest.(check bool) "duplicate" false (Atomic_table.add_if_absent t ~worker:0 42);
+  Alcotest.(check bool) "mem present" true (Atomic_table.mem t ~worker:0 42);
+  Alcotest.(check bool) "mem absent" false (Atomic_table.mem t ~worker:0 43);
+  Alcotest.(check int) "bindings" 1 (Atomic_table.bindings t);
+  Alcotest.(check int) "probes = calls" 4 (Atomic_table.probes t);
+  Alcotest.(check int) "no collisions" 0 (Atomic_table.collision_fallbacks t);
+  Alcotest.(check int) "lock-free path" 0 (Atomic_table.lock_contention t)
+
+let test_atomic_table_growth () =
+  (* 1000 distinct keys through a 64-slot table: several migrations,
+     nothing lost *)
+  let t = int_table ~workers:1 () in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "insert wins" true (Atomic_table.add_if_absent t ~worker:0 i))
+    (Listx.range 0 1000);
+  Alcotest.(check int) "bindings" 1000 (Atomic_table.bindings t);
+  Alcotest.(check bool) "grew" true (Atomic_table.capacity t >= 2048);
+  Alcotest.(check int) "initial_bits unchanged" 6 (Atomic_table.initial_bits t);
+  Alcotest.(check bool) "low load factor" true (Atomic_table.occupancy t <= 0.5);
+  Alcotest.(check bool) "every key present" true
+    (List.for_all (fun i -> Atomic_table.mem t ~worker:0 i) (Listx.range 0 1000))
+
+let test_atomic_table_collisions () =
+  (* a constant fingerprint forces every state onto one slot: the
+     table must distinguish them structurally via the fallback *)
+  let t =
+    Atomic_table.create ~capacity:64 ~workers:1 ~equal:Int.equal
+      ~fingerprint:(fun _ -> Fingerprint.of_int 42)
+      ()
+  in
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "all inserted" true (Atomic_table.add_if_absent t ~worker:0 i))
+    (Listx.range 0 10);
+  Alcotest.(check bool) "no duplicate wins" false
+    (Atomic_table.add_if_absent t ~worker:0 5);
+  Alcotest.(check int) "10 bindings despite equal fps" 10 (Atomic_table.bindings t);
+  Alcotest.(check bool) "each member found" true
+    (List.for_all (fun i -> Atomic_table.mem t ~worker:0 i) (Listx.range 0 10));
+  Alcotest.(check bool) "collisions counted" true
+    (Atomic_table.collision_fallbacks t > 0)
+
+let test_atomic_table_insert_storm () =
+  (* four domains insert overlapping ranges through a deliberately tiny
+     initial table, forcing concurrent migrations: add_if_absent must
+     return true exactly once per distinct value *)
+  let t = int_table ~capacity:64 ~workers:4 () in
+  let range d = Listx.range (d * 500) ((d * 500) + 1000) in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            List.fold_left
+              (fun acc i -> if Atomic_table.add_if_absent t ~worker:d i then acc + 1 else acc)
+              0 (range d)))
+  in
+  let inserted = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+  let distinct = List.sort_uniq Int.compare (List.concat_map range (Listx.range 0 4)) in
+  Alcotest.(check int) "insert wins are the distinct values" (List.length distinct)
+    inserted;
+  Alcotest.(check int) "bindings" (List.length distinct) (Atomic_table.bindings t);
+  Alcotest.(check int) "probes = calls" (4 * 1000) (Atomic_table.probes t);
+  Alcotest.(check bool) "every value present" true
+    (List.for_all (fun i -> Atomic_table.mem t ~worker:0 i) distinct);
+  Alcotest.(check int) "no collisions for distinct fps" 0
+    (Atomic_table.collision_fallbacks t)
+
+(* qcheck: the table against a Set model, random operation sequences *)
+let atomic_table_qcheck_tests =
+  let open QCheck2 in
+  let module IS = Set.Make (Int) in
+  [
+    Test.make ~name:"atomic table matches Set model (sequential)" ~count:200
+      Gen.(list (int_bound 200))
+      (fun keys ->
+        let t = int_table ~capacity:64 ~workers:1 () in
+        let model = ref IS.empty in
+        List.for_all
+          (fun k ->
+            let fresh = not (IS.mem k !model) in
+            model := IS.add k !model;
+            Atomic_table.add_if_absent t ~worker:0 k = fresh)
+          keys
+        && Atomic_table.bindings t = IS.cardinal !model
+        && IS.for_all (fun k -> Atomic_table.mem t ~worker:0 k) !model);
+    Test.make ~name:"concurrent insert storm loses nothing" ~count:20
+      Gen.(int_bound 1000)
+      (fun seed ->
+        let t = int_table ~capacity:64 ~workers:3 () in
+        let range d = Listx.range (seed + (d * 100)) (seed + (d * 100) + 300) in
+        let domains =
+          List.init 3 (fun d ->
+              Domain.spawn (fun () ->
+                  List.fold_left
+                    (fun acc i ->
+                      if Atomic_table.add_if_absent t ~worker:d i then acc + 1 else acc)
+                    0 (range d)))
+        in
+        let wins = List.fold_left (fun acc d -> acc + Domain.join d) 0 domains in
+        let distinct =
+          List.sort_uniq Int.compare (List.concat_map range (Listx.range 0 3))
+        in
+        wins = List.length distinct
+        && Atomic_table.bindings t = List.length distinct
+        && List.for_all (fun i -> Atomic_table.mem t ~worker:0 i) distinct);
+  ]
+
 (* ----- Listx ----- *)
 
 let test_range () =
@@ -383,6 +608,20 @@ let () =
           Alcotest.test_case "collisions confirmed" `Quick test_sharded_collisions_confirmed;
           Alcotest.test_case "concurrent inserts" `Quick test_sharded_concurrent_inserts;
         ] );
+      ( "ws_deque",
+        [
+          Alcotest.test_case "owner order" `Quick test_deque_owner_order;
+          Alcotest.test_case "steal storm" `Quick test_deque_steal_storm;
+        ] );
+      ( "atomic_table",
+        [
+          Alcotest.test_case "basics" `Quick test_atomic_table_basics;
+          Alcotest.test_case "growth" `Quick test_atomic_table_growth;
+          Alcotest.test_case "collisions confirmed" `Quick test_atomic_table_collisions;
+          Alcotest.test_case "insert storm" `Quick test_atomic_table_insert_storm;
+        ] );
+      ("deque properties", List.map QCheck_alcotest.to_alcotest deque_qcheck_tests);
+      ("table properties", List.map QCheck_alcotest.to_alcotest atomic_table_qcheck_tests);
       ( "listx",
         [
           Alcotest.test_case "range" `Quick test_range;
