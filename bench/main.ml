@@ -249,6 +249,65 @@ let complexity_section () =
      the termination protocol; 4(n-1) for 3PC; ~3(n-1)+(n-1)(n-2) for Figure 2's\n\
      rebroadcasts — the price of each rung of the lattice, in messages."
 
+(* ----- the execution database: replay from the index ----- *)
+
+let execution_db_section () =
+  section "Execution database: replay from the index vs. replay by search";
+  let module Hunt = Patterns_adversary.Hunt in
+  let module Replay = Patterns_adversary.Replay in
+  let module Metrics = Patterns_search.Metrics in
+  let module Db = Patterns_db.Db in
+  let entry =
+    match Patterns_protocols.Registry.find "fig3-chain-st" with
+    | Some e -> e
+    | None -> failwith "registry lost fig3-chain-st"
+  in
+  Format.printf
+    "One recording replay fills the edge log; after that the replay walk is one@.\
+     point query of the SEO index per directive plus a fact-store verdict lookup@.\
+     — zero engine plays (states_expanded = 0, pinned in test/cram/query.t).@.\
+     Live replay cost grows with the configuration size; the indexed walk only@.\
+     with the script length, so the index wins once the instance is non-toy.@.@.";
+  let reps = if !quick then 20 else 200 in
+  let table =
+    Table.create
+      ~headers:
+        [ ("instance", Table.Left); ("directives", Table.Right);
+          ("replays", Table.Right); ("live us/replay", Table.Right);
+          ("db us/replay", Table.Right); ("db/live", Table.Right);
+          ("engine plays (db)", Table.Right) ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      match
+        Hunt.hunt ~max_failures:2 ~max_runs:5_000 ~mode:Hunt.Systematic
+          ~property:Patterns_core.Audit.Agreement
+          ~rule:Patterns_protocols.Decision_rule.Unanimity ~n ~seed:0 entry
+      with
+      | Error tried -> Format.kasprintf failwith "no violation in %d runs" tried
+      | Ok cert ->
+        let steps = List.length cert.Patterns_adversary.Cert.script in
+        let db = Db.create () in
+        let baseline = Replay.replay ~db cert in
+        let (), live_s =
+          wall (fun () -> for _ = 1 to reps do ignore (Replay.replay cert) done)
+        in
+        let (), db_s =
+          wall (fun () -> for _ = 1 to reps do ignore (Replay.replay ~db cert) done)
+        in
+        let v, m = Replay.replay_metrics ~db cert in
+        ok := !ok && v = baseline && m.Metrics.states_expanded = 0;
+        let us secs = Format.asprintf "%.1f" (secs /. float_of_int reps *. 1e6) in
+        Table.add_row table
+          [ Format.asprintf "fig3-chain-st n=%d" n; string_of_int steps;
+            string_of_int reps; us live_s; us db_s;
+            Format.asprintf "%.2fx" (db_s /. live_s);
+            string_of_int m.Metrics.states_expanded ])
+    [ 4; 6 ];
+  Table.print table;
+  Format.printf "@.db verdicts identical to live, zero engine plays: %b@." !ok
+
 (* ----- latency: the lattice in wall-clock terms ----- *)
 
 let latency_section () =
@@ -816,6 +875,7 @@ let () =
     totalcomm_section ();
     latency_section ();
     complexity_section ();
+    execution_db_section ();
     let evidences = Theorems.all () in
     lattice_section evidences;
     bechamel_section ();

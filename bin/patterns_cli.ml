@@ -114,8 +114,16 @@ let par_mode_arg =
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/5)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/6)) \
                as JSON to $(docv); $(b,-) means stdout.")
+
+let db_arg =
+  Arg.(value & opt (some string) None
+       & info [ "db" ] ~docv:"FILE"
+         ~doc:"Execution database (schema $(b,patterns-edge-db/1)): consult the recorded \
+               edge log before searching, record every fresh expansion into it, and \
+               write it back to $(docv) on exit.  A missing file starts empty.  Inspect \
+               it with $(b,query).")
 
 let deadline_arg =
   Arg.(value & opt (some float) None
@@ -153,6 +161,16 @@ let or_die = function
   | Error msg ->
     prerr_endline ("error: " ^ msg);
     exit 1
+
+let load_db = function
+  | None -> None
+  | Some path ->
+    (match Patterns_db.Db.load path with
+    | Ok db -> Some (db, path)
+    | Error msg -> or_die (Error msg))
+
+let db_handle = Option.map fst
+let save_db = function None -> () | Some (db, path) -> Patterns_db.Db.save db path
 
 (* ----- run ----- *)
 
@@ -354,16 +372,18 @@ let classify_term =
                  exit code is 2.")
   in
   let run name n max_failures max_configs fifo_notices jobs par_threshold par_mode
-      deadline max_states metrics_json =
+      deadline max_states db_file metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
+    let db = load_db db_file in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
-      Classify.classify ~metrics ~max_failures ~max_configs ~fifo_notices
-        ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline ?max_live:max_states
-        ~rule ~n entry.Patterns_protocols.Registry.protocol
+      Classify.classify ~metrics ?db:(db_handle db) ~max_failures ~max_configs
+        ~fifo_notices ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
+        ?max_live:max_states ~rule ~n entry.Patterns_protocols.Registry.protocol
     in
+    save_db db;
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
     emit_metrics metrics_json !metrics;
@@ -384,7 +404,7 @@ let classify_term =
   Term.(
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
     $ jobs_arg $ par_threshold_arg $ par_mode_arg $ deadline_arg $ max_states_arg
-    $ metrics_json_arg)
+    $ db_arg $ metrics_json_arg)
 
 let check_cmd =
   let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
@@ -442,6 +462,37 @@ let latency_cmd =
 
 (* ----- hunt ----- *)
 
+(* Certificate facts are keyed by a fingerprint of the rendered
+   certificate, so re-hunting the same violation overwrites rather
+   than duplicates.  The stored value wraps the certificate with its
+   derived crash schedule, which is what [query --certs-touching]
+   filters on. *)
+let cert_fact_key cert =
+  let doc = Patterns_stdx.Json.to_string (Patterns_adversary.Cert.to_json cert) in
+  let fp =
+    String.fold_left
+      (fun acc c -> Patterns_stdx.Fingerprint.feed acc (Char.code c))
+      Patterns_stdx.Fingerprint.seed doc
+  in
+  Printf.sprintf "%s|%016x" cert.Patterns_adversary.Cert.protocol
+    (Patterns_stdx.Fingerprint.to_int fp)
+
+let record_cert db cert =
+  (* replay over the database records the execution's edges and its
+     verdict fact; the certificate fact makes it queryable *)
+  let (_ : Patterns_adversary.Replay.verdict) =
+    Patterns_adversary.Replay.replay ~db cert
+  in
+  let crashes =
+    List.map (fun p -> Patterns_stdx.Json.Int p) (Patterns_adversary.Cert.crashes cert)
+  in
+  Patterns_db.Db.put_fact db ~kind:"cert" ~key:(cert_fact_key cert)
+    (Patterns_stdx.Json.Obj
+       [
+         ("crashes", Patterns_stdx.Json.List crashes);
+         ("cert", Patterns_adversary.Cert.to_json cert);
+       ])
+
 let hunt_cmd =
   let doc = "Search randomized crash schedules for a property violation." in
   let property_arg =
@@ -486,11 +537,12 @@ let hunt_cmd =
                  Consume it with $(b,replay) and $(b,shrink).")
   in
   let run name n property crashes runs seed fifo_notices jobs mode horizon cert_out
-      deadline metrics_json =
+      deadline db_file metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
+    let db = load_db db_file in
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
       Patterns_adversary.Hunt.hunt ~metrics ~max_failures:crashes ~max_runs:runs
@@ -514,6 +566,7 @@ let hunt_cmd =
             close_out oc;
             Printf.printf "certificate written to %s\n" dest
           end);
+        Option.iter (fun (db, _) -> record_cert db cert) db;
         0
       | Error tried ->
         (* a truncated search, not a proof of absence *)
@@ -527,6 +580,7 @@ let hunt_cmd =
             tried;
         2
     in
+    save_db db;
     emit_metrics metrics_json !metrics;
     exit code
   in
@@ -534,7 +588,7 @@ let hunt_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
       $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ deadline_arg
-      $ metrics_json_arg)
+      $ db_arg $ metrics_json_arg)
 
 (* ----- replay / shrink ----- *)
 
@@ -560,14 +614,19 @@ let replay_cmd =
     "Re-execute a violation certificate and re-check its property. Exit 0: reproduced; \
      1: not reproduced; 2: the certificate does not apply here."
   in
-  let run path =
+  let run path db_file metrics_json =
     let cert = or_die (read_cert path) in
+    let db = load_db db_file in
     Format.printf "%a@." Patterns_adversary.Cert.pp cert;
-    let verdict = Patterns_adversary.Replay.replay cert in
+    let verdict, metrics =
+      Patterns_adversary.Replay.replay_metrics ?db:(db_handle db) cert
+    in
     Format.printf "%a@." Patterns_adversary.Replay.pp verdict;
+    save_db db;
+    emit_metrics metrics_json metrics;
     exit (Patterns_adversary.Replay.exit_code verdict)
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ cert_pos_arg)
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ cert_pos_arg $ db_arg $ metrics_json_arg)
 
 let shrink_cmd =
   let doc =
@@ -579,9 +638,11 @@ let shrink_cmd =
          & info [ "out" ] ~docv:"FILE"
            ~doc:"Write the shrunk certificate to $(docv) (default: stdout).")
   in
-  let run path out =
+  let run path out db_file =
     let cert = or_die (read_cert path) in
-    let report = or_die (Patterns_adversary.Shrink.shrink cert) in
+    let db = load_db db_file in
+    let report = or_die (Patterns_adversary.Shrink.shrink ?db:(db_handle db) cert) in
+    save_db db;
     Format.printf "%a@." Patterns_adversary.Shrink.pp_report report;
     let doc =
       Patterns_stdx.Json.to_string
@@ -596,7 +657,117 @@ let shrink_cmd =
       close_out oc;
       Printf.printf "shrunk certificate written to %s\n" dest)
   in
-  Cmd.v (Cmd.info "shrink" ~doc) Term.(const run $ cert_pos_arg $ out_arg)
+  Cmd.v (Cmd.info "shrink" ~doc) Term.(const run $ cert_pos_arg $ out_arg $ db_arg)
+
+(* ----- query ----- *)
+
+let query_cmd =
+  let doc =
+    "Query a recorded execution database (JSON output). Exit 0: at least one result; \
+     1: no results; 2: error."
+  in
+  let db_pos_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"DB"
+           ~doc:"Execution database file (written by $(b,--db) on hunt, replay, shrink, \
+                 check and classify).  A missing file is an empty database.")
+  in
+  let src_arg =
+    Arg.(value & opt (some int) None
+         & info [ "src" ] ~docv:"FP" ~doc:"Bind the source config fingerprint of the edge pattern.")
+  in
+  let event_arg =
+    Arg.(value & opt (some string) None
+         & info [ "event" ] ~docv:"DESC" ~doc:"Bind the event descriptor of the edge pattern.")
+  in
+  let dst_arg =
+    Arg.(value & opt (some int) None
+         & info [ "dst" ] ~docv:"FP"
+           ~doc:"Bind the destination config fingerprint of the edge pattern.")
+  in
+  let path_arg =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "path" ] ~docv:"SRC:DST"
+           ~doc:"Shortest recorded path between two config fingerprints (canonical \
+                 breadth-first witness).")
+  in
+  let reachable_arg =
+    Arg.(value & opt (some int) None
+         & info [ "reachable" ] ~docv:"FP"
+           ~doc:"Every config fingerprint reachable from $(docv) over recorded edges.")
+  in
+  let certs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "certs-touching" ] ~docv:"PROC"
+           ~doc:"Stored violation certificates whose crash schedule touches processor \
+                 $(docv).")
+  in
+  let run db_path src event dst path reachable certs =
+    let die msg =
+      prerr_endline ("error: " ^ msg);
+      exit 2
+    in
+    let db =
+      match Patterns_db.Db.load db_path with Ok db -> db | Error msg -> die msg
+    in
+    let module Q = Patterns_db.Query in
+    let module J = Patterns_stdx.Json in
+    let modes =
+      List.length (List.filter Fun.id
+           [ path <> None; reachable <> None; certs <> None ])
+    in
+    if modes > 1 then die "at most one of --path, --reachable, --certs-touching";
+    let doc, count =
+      match (path, reachable, certs) with
+      | Some (s, d), _, _ -> (
+        match Q.path db ~src:s ~dst:d with
+        | None -> (J.Obj [ ("query", J.String "path"); ("found", J.Bool false) ], 0)
+        | Some edges ->
+          ( J.Obj
+              [
+                ("query", J.String "path");
+                ("found", J.Bool true);
+                ("length", J.Int (List.length edges));
+                ("path", Q.edges_to_json edges);
+              ],
+            1 ))
+      | _, Some fp, _ ->
+        let cs = Q.reachable db fp in
+        ( J.Obj
+            [
+              ("query", J.String "reachable");
+              ("count", J.Int (List.length cs));
+              ("configs", J.List (List.map (fun c -> J.Int c) cs));
+            ],
+          List.length cs )
+      | _, _, Some p ->
+        let cs = Q.certs_touching db p in
+        ( J.Obj
+            [
+              ("query", J.String "certs-touching");
+              ("count", J.Int (List.length cs));
+              ("certs",
+               J.List
+                 (List.map (fun (k, v) -> J.Obj [ ("key", J.String k); ("fact", v) ]) cs));
+            ],
+          List.length cs )
+      | None, None, None ->
+        let es = Q.edges db ?src ?event ?dst () in
+        ( J.Obj
+            [
+              ("query", J.String "edges");
+              ("count", J.Int (List.length es));
+              ("edges", Q.edges_to_json es);
+            ],
+          List.length es )
+    in
+    print_endline (J.to_string doc);
+    exit (if count > 0 then 0 else 1)
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run $ db_pos_arg $ src_arg $ event_arg $ dst_arg $ path_arg $ reachable_arg
+      $ certs_arg)
 
 (* ----- lattice / theorems ----- *)
 
@@ -623,4 +794,4 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; scheme_cmd; realize_cmd; dot_cmd; msc_cmd; check_cmd;
             classify_cmd; reduce_cmd; latency_cmd; hunt_cmd; replay_cmd; shrink_cmd;
-            lattice_cmd; theorems_cmd ]))
+            query_cmd; lattice_cmd; theorems_cmd ]))

@@ -10,10 +10,14 @@ type report = {
 (* Every candidate is validated the only way that counts: replayed
    end-to-end and re-checked for the *same* property.  [violates]
    returns the fresh violation message so the shrunk certificate's
-   report describes the shrunk run, not the original. *)
-let violates replays cert =
+   report describes the shrunk run, not the original.  With a database
+   attached, candidates whose execution is already recorded are
+   answered from the index (ddmin retries the same complement at
+   several granularities, so the memoization is genuine); misses
+   replay live and are recorded for the next pass. *)
+let violates ?db replays cert =
   incr replays;
-  match Replay.replay cert with Replay.Reproduced msg -> Some msg | _ -> None
+  match Replay.replay ?db cert with Replay.Reproduced msg -> Some msg | _ -> None
 
 (* Dropping a [Fail_now p] orphans any failure notice about [p]:
    without the crash there is no notice to deliver, so the candidate
@@ -97,11 +101,12 @@ let max_proc_referenced script =
 
 let take k xs = List.filteri (fun i _ -> i < k) xs
 
-let shrink (cert : Cert.t) =
+let shrink ?db (cert : Cert.t) =
   match Patterns_protocols.Registry.find cert.Cert.protocol with
   | None -> Error (Printf.sprintf "unknown protocol %S" cert.Cert.protocol)
   | Some entry ->
     let replays = ref 0 in
+    let violates replays cert = violates ?db replays cert in
     let test current script =
       violates replays { current with Cert.script; message = current.Cert.message }
     in

@@ -17,10 +17,15 @@ type report = {
   replays : int;  (** replays spent validating candidates *)
 }
 
-val shrink : Cert.t -> (report, string) result
+val shrink : ?db:Patterns_db.Db.t -> Cert.t -> (report, string) result
 (** [Error] when the input certificate does not itself reproduce
     (nothing to shrink) or names an unknown protocol.  The returned
     certificate's [message] is the violation report of the {e shrunk}
-    run. *)
+    run.  [?db] threads an execution database into every candidate
+    replay (see {!Replay.replay}): already-recorded candidates are
+    re-verified from the index with zero engine plays, fresh ones are
+    recorded.  [replays] counts candidate validations either way, so
+    the shrink trajectory — and the resulting certificate — is
+    identical with and without a database. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -29,6 +29,7 @@ type verdict = {
 
 val classify :
   ?metrics:Patterns_search.Metrics.t ref ->
+  ?db:Patterns_db.Db.t ->
   ?max_failures:int ->
   ?max_configs:int ->
   ?inputs_choices:bool list list ->
@@ -45,7 +46,17 @@ val classify :
 (** [par_mode] selects the parallel driver (default
     {!Patterns_search.Search.Async}); exhaustive sweeps give identical
     verdicts for both modes and every [jobs], truncated ones should
-    pin [Layers] when comparing counts across [jobs]. *)
+    pin [Layers] when comparing counts across [jobs].
+
+    [db] attaches an execution database: if a verdict fact for the
+    same (protocol, n, rule, budget, fault-bound, input-set) sweep is
+    stored, it is returned with {e zero} kernel expansions (only the
+    database counters move in [?metrics]); otherwise the sweep runs
+    live with every kernel expansion recorded as an edge, and — when
+    no wall-clock deadline bounds it — its verdict is stored as a
+    fact for the next call.  The parallel knobs are deliberately
+    absent from the fact key: the sweep is jobs- and mode-invariant,
+    which is what makes its verdict cacheable. *)
 
 val solves : verdict -> Taxonomy.t -> bool
 (** Interpret the verdict against a taxonomy point (the rule is

@@ -14,6 +14,7 @@ module Make (P : Protocol.S) = struct
     par_mode : Patterns_search.Search.par_mode;
     deadline : float option;
     max_live : int option;
+    edge_sink : (src:int -> event:string -> dst:int -> unit) option;
   }
 
   let default_options ~n =
@@ -27,6 +28,7 @@ module Make (P : Protocol.S) = struct
       par_mode = Patterns_search.Search.Async;
       deadline = None;
       max_live = None;
+      edge_sink = None;
     }
 
   type state_info = {
@@ -371,16 +373,29 @@ module Make (P : Protocol.S) = struct
       List.rev succs
     in
     let root_config = E.init ~n ~inputs in
+    (* kernel edge sink: node fingerprints as src/dst, the successor
+       ordinal (stringified) as the event descriptor — anonymous
+       expansion edges, as opposed to the replay recorder's rendered
+       directives *)
+    let edges =
+      Option.map
+        (fun sink ~src ~event ~dst ->
+          sink
+            ~src:(Fingerprint.to_int (Node.fingerprint src))
+            ~event:("#" ^ string_of_int event)
+            ~dst:(Fingerprint.to_int (Node.fingerprint dst)))
+        options.edge_sink
+    in
     let outcome, o, m =
       let expand = { K.empty = vobs_empty; merge = vobs_merge; expand = node_expand } in
       let root = (root_config, Array.make n None) in
       match options.par_mode with
       | Patterns_search.Search.Layers ->
         K.run_par ~pool ?par_threshold:options.par_threshold ~budget ?deadline
-          ?max_live:options.max_live ~expand ~root ()
+          ?max_live:options.max_live ?edges ~expand ~root ()
       | Patterns_search.Search.Async ->
-        K.run_par_async ~pool ~budget ?deadline ?max_live:options.max_live ~expand ~root
-          ()
+        K.run_par_async ~pool ~budget ?deadline ?max_live:options.max_live ?edges ~expand
+          ~root ()
     in
     let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     let cell i = Option.map snd o.cells.(i) in

@@ -62,12 +62,20 @@ module Make (P : Protocol.S) : sig
         (** live-state budget (visited + frontier) per vector's
             search; exceeding it truncates gracefully instead of
             exhausting memory.  Deterministic and jobs-invariant. *)
+    edge_sink : (src:int -> event:string -> dst:int -> unit) option;
+        (** execution-database recorder: invoked once per expansion
+            edge with the node fingerprints as [src]/[dst] and the
+            successor ordinal (rendered ["#k"]) as the event
+            descriptor.  Called concurrently from worker domains —
+            thread safety is the callee's obligation (the execution
+            database locks internally).  [None] (the default) records
+            nothing and costs nothing. *)
   }
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
       unordered notices, one worker, automatic parallel threshold,
-      async driver, no deadline, no live-state limit. *)
+      async driver, no deadline, no live-state limit, no edge sink. *)
 
   type state_info = {
     state : P.state;

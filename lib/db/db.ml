@@ -1,0 +1,251 @@
+module Dict = Patterns_stdx.Dict
+module Lru = Patterns_stdx.Lru
+module Json = Patterns_stdx.Json
+module Sset = Set.Make (String)
+
+type stats = { edges : int; index_scans : int; cache_hits : int; cache_misses : int }
+
+type t = {
+  mutex : Mutex.t;
+  configs : int Dict.t; (* fingerprint -> dense id *)
+  events : string Dict.t; (* descriptor -> dense id *)
+  mutable seo : Sset.t;
+  mutable eos : Sset.t;
+  mutable ose : Sset.t;
+  mutable n_edges : int;
+  mutable index_scans : int;
+  cache : (string, (int * string * int) list) Lru.t;
+  facts : (string * string, Json.t) Hashtbl.t;
+}
+
+let schema = "patterns-edge-db/1"
+
+let create ?(cache_capacity = 128) () =
+  {
+    mutex = Mutex.create ();
+    configs = Dict.create ();
+    events = Dict.create ();
+    seo = Sset.empty;
+    eos = Sset.empty;
+    ose = Sset.empty;
+    n_edges = 0;
+    index_scans = 0;
+    cache = Lru.create ~capacity:cache_capacity ();
+    facts = Hashtbl.create 64;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ----- edges ----- *)
+
+let add_edge_unlocked t ~src ~event ~dst =
+  let s = Dict.intern t.configs src in
+  let e = Dict.intern t.events event in
+  let o = Dict.intern t.configs dst in
+  let k_seo = Index.key Index.Seo ~src:s ~event:e ~dst:o in
+  if not (Sset.mem k_seo t.seo) then begin
+    t.seo <- Sset.add k_seo t.seo;
+    t.eos <- Sset.add (Index.key Index.Eos ~src:s ~event:e ~dst:o) t.eos;
+    t.ose <- Sset.add (Index.key Index.Ose ~src:s ~event:e ~dst:o) t.ose;
+    t.n_edges <- t.n_edges + 1;
+    Lru.clear t.cache
+  end
+
+let add_edge t ~src ~event ~dst = locked t (fun () -> add_edge_unlocked t ~src ~event ~dst)
+
+let index_of t = function
+  | Index.Seo -> t.seo
+  | Index.Eos -> t.eos
+  | Index.Ose -> t.ose
+
+(* prefix scan: every key extending [p] sorts at or after [p] itself *)
+let scan t ord p =
+  t.index_scans <- t.index_scans + 1;
+  let set = index_of t ord in
+  let seq = if p = "" then Sset.to_seq set else Sset.to_seq_from p set in
+  Seq.take_while (fun k -> String.starts_with ~prefix:p k) seq
+  |> Seq.fold_left (fun acc k -> Index.decode ord k :: acc) []
+  |> List.rev
+
+let compare_triple (s1, e1, o1) (s2, e2, o2) =
+  match compare (s1 : int) s2 with
+  | 0 -> ( match String.compare e1 e2 with 0 -> compare (o1 : int) o2 | c -> c)
+  | c -> c
+
+let edges t ?src ?event ?dst () =
+  locked t (fun () ->
+      let ckey =
+        Printf.sprintf "e|%s|%s|%s"
+          (match src with Some fp -> string_of_int fp | None -> "*")
+          (match event with Some d -> d | None -> "*")
+          (match dst with Some fp -> string_of_int fp | None -> "*")
+      in
+      match Lru.find t.cache ckey with
+      | Some r -> r
+      | None ->
+        let bound_config = function
+          | None -> Some None
+          | Some fp -> (
+            match Dict.find t.configs fp with Some id -> Some (Some id) | None -> None)
+        in
+        let bound_event = function
+          | None -> Some None
+          | Some d -> ( match Dict.find t.events d with Some id -> Some (Some id) | None -> None)
+        in
+        let result =
+          match (bound_config src, bound_event event, bound_config dst) with
+          | Some s, Some e, Some o ->
+            let ord =
+              Index.select ~src:(s <> None) ~event:(e <> None) ~dst:(o <> None)
+            in
+            let p = Index.prefix ord ?src:s ?event:e ?dst:o () in
+            scan t ord p
+            |> List.filter_map (fun (s, e, o) ->
+                   match (Dict.value t.configs s, Dict.value t.events e, Dict.value t.configs o) with
+                   | Some sfp, Some d, Some ofp -> Some (sfp, d, ofp)
+                   | _ -> None)
+            |> List.sort compare_triple
+          | _ -> [] (* a bound component was never interned: no matches *)
+        in
+        Lru.add t.cache ckey result;
+        result)
+
+let mem_config t fp = locked t (fun () -> Dict.find t.configs fp <> None)
+
+let stats t =
+  locked t (fun () ->
+      {
+        edges = t.n_edges;
+        index_scans = t.index_scans;
+        cache_hits = Lru.hits t.cache;
+        cache_misses = Lru.misses t.cache;
+      })
+
+(* ----- facts ----- *)
+
+let put_fact t ~kind ~key v =
+  locked t (fun () ->
+      Hashtbl.replace t.facts (kind, key) v;
+      Lru.clear t.cache)
+
+let get_fact t ~kind ~key = locked t (fun () -> Hashtbl.find_opt t.facts (kind, key))
+
+let facts t ~kind =
+  locked t (fun () ->
+      Hashtbl.fold (fun (k, key) v acc -> if String.equal k kind then (key, v) :: acc else acc) t.facts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+(* ----- persistence ----- *)
+
+let to_json t =
+  locked t (fun () ->
+      let configs = ref [] in
+      Dict.iter (fun _ fp -> configs := Json.Int fp :: !configs) t.configs;
+      let events = ref [] in
+      Dict.iter (fun _ d -> events := Json.String d :: !events) t.events;
+      let edges =
+        Sset.fold
+          (fun k acc ->
+            let s, e, o = Index.decode Index.Seo k in
+            Json.List [ Json.Int s; Json.Int e; Json.Int o ] :: acc)
+          t.seo []
+        |> List.rev
+      in
+      let facts =
+        Hashtbl.fold (fun (kind, key) v acc -> (kind, key, v) :: acc) t.facts []
+        |> List.sort (fun (k1, key1, _) (k2, key2, _) ->
+               match String.compare k1 k2 with 0 -> String.compare key1 key2 | c -> c)
+        |> List.map (fun (kind, key, v) ->
+               Json.Obj [ ("kind", Json.String kind); ("key", Json.String key); ("value", v) ])
+      in
+      Json.Obj
+        [
+          ("schema", Json.String schema);
+          ("configs", Json.List (List.rev !configs));
+          ("events", Json.List (List.rev !events));
+          ("edges", Json.List edges);
+          ("facts", Json.List facts);
+        ])
+
+let of_json j =
+  let ( let* ) = Result.bind in
+  let* s = Result.bind (Json.field "schema" j) Json.to_str in
+  if not (String.equal s schema) then Error (Printf.sprintf "unsupported db schema %S" s)
+  else
+    let* configs = Result.bind (Json.field "configs" j) Json.to_list in
+    let* events = Result.bind (Json.field "events" j) Json.to_list in
+    let* edges = Result.bind (Json.field "edges" j) Json.to_list in
+    let* facts = Result.bind (Json.field "facts" j) Json.to_list in
+    let t = create () in
+    let* () =
+      List.fold_left
+        (fun acc c ->
+          let* () = acc in
+          let* fp = Json.to_int c in
+          ignore (Dict.intern t.configs fp);
+          Ok ())
+        (Ok ()) configs
+    in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          let* d = Json.to_str e in
+          ignore (Dict.intern t.events d);
+          Ok ())
+        (Ok ()) events
+    in
+    let* () =
+      List.fold_left
+        (fun acc e ->
+          let* () = acc in
+          let* triple = Json.to_list e in
+          match triple with
+          | [ s; ev; o ] ->
+            let* s = Json.to_int s in
+            let* ev = Json.to_int ev in
+            let* o = Json.to_int o in
+            (match (Dict.value t.configs s, Dict.value t.events ev, Dict.value t.configs o) with
+            | Some sfp, Some d, Some ofp ->
+              add_edge_unlocked t ~src:sfp ~event:d ~dst:ofp;
+              Ok ()
+            | _ -> Error "edge references an id outside the dictionaries")
+          | _ -> Error "edge is not a 3-element list")
+        (Ok ()) edges
+    in
+    let* () =
+      List.fold_left
+        (fun acc f ->
+          let* () = acc in
+          let* kind = Result.bind (Json.field "kind" f) Json.to_str in
+          let* key = Result.bind (Json.field "key" f) Json.to_str in
+          let* v = Json.field "value" f in
+          Hashtbl.replace t.facts (kind, key) v;
+          Ok ())
+        (Ok ()) facts
+    in
+    Ok t
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json t));
+      output_char oc '\n')
+
+let load path =
+  if not (Sys.file_exists path) then Ok (create ())
+  else
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> (
+      match of_json j with Error e -> Error (Printf.sprintf "%s: %s" path e) | Ok t -> Ok t)

@@ -1,0 +1,90 @@
+(** The execution database: a triple-encoded edge log with covering
+    indexes, a fact store, and a query-result cache.
+
+    Every recorded kernel expansion is one [(src, event, dst)] triple:
+    [src]/[dst] are canonical config fingerprints
+    ({!Patterns_stdx.Fingerprint.to_int}) and [event] is a descriptor
+    string (a rendered {!Patterns_sim.Script.directive}, or a
+    successor ordinal for anonymous kernel expansions).  Fingerprints
+    and descriptors are interned into global dictionaries
+    ({!Patterns_stdx.Dict}); the dense ids form 24-byte big-endian
+    keys stored in the three covering indexes of {!Index}, so every
+    bound/variable access pattern is a prefix scan of exactly one
+    index.  Query results are memoised in an LRU cache invalidated
+    wholesale on every write.
+
+    Alongside edges the database stores generic {e facts} — JSON
+    values keyed by [(kind, key)] — used by the consumers for
+    violation certificates ([kind = "cert"]), replay verdicts
+    ([kind = "verdict"]) and classification sweeps
+    ([kind = "classify"]).  The database itself knows nothing about
+    those schemas, which keeps [Patterns_db] dependent on
+    [Patterns_stdx] only.
+
+    All operations are thread-safe (one internal mutex): the
+    asynchronous search driver's workers may record edges
+    concurrently. *)
+
+type t
+
+type stats = {
+  edges : int;  (** distinct triples stored *)
+  index_scans : int;  (** prefix scans actually performed *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val schema : string
+(** ["patterns-edge-db/1"] — the persisted JSON schema. *)
+
+val create : ?cache_capacity:int -> unit -> t
+(** Fresh empty database; [cache_capacity] bounds the query-result
+    cache (default 128 entries). *)
+
+(** {1 Edges} *)
+
+val add_edge : t -> src:int -> event:string -> dst:int -> unit
+(** Record one triple (idempotent — the indexes are sets).  [src] and
+    [dst] are config fingerprints, [event] a descriptor string.
+    Invalidates the query cache. *)
+
+val edges : t -> ?src:int -> ?event:string -> ?dst:int -> unit -> (int * string * int) list
+(** All stored triples matching the bound components, via a prefix
+    scan of the index chosen by {!Index.select} (memoised in the
+    cache).  Results are sorted by [(src, event, dst)] — fingerprint,
+    then descriptor, then fingerprint — so they are independent of
+    insertion order and hence of [--jobs]/[--par-mode]. *)
+
+val mem_config : t -> int -> bool
+(** Whether a config fingerprint appears in the dictionary (i.e. some
+    recorded edge touches it). *)
+
+val stats : t -> stats
+
+(** {1 Facts} *)
+
+val put_fact : t -> kind:string -> key:string -> Patterns_stdx.Json.t -> unit
+(** Insert or replace the fact [(kind, key)].  Invalidates the query
+    cache. *)
+
+val get_fact : t -> kind:string -> key:string -> Patterns_stdx.Json.t option
+
+val facts : t -> kind:string -> (string * Patterns_stdx.Json.t) list
+(** All facts of a kind, sorted by key. *)
+
+(** {1 Persistence} *)
+
+val to_json : t -> Patterns_stdx.Json.t
+(** Stable JSON: dictionaries in id order, edges in SEO key order,
+    facts sorted by [(kind, key)]. *)
+
+val of_json : Patterns_stdx.Json.t -> (t, string) result
+(** Rebuild a database (dictionaries re-interned in id order, all
+    three indexes reconstructed). *)
+
+val save : t -> string -> unit
+(** Write {!to_json} to a file (trailing newline). *)
+
+val load : string -> (t, string) result
+(** Read a database from a file.  A missing file is an empty database
+    (so [--db FILE] works on first use); a malformed one is [Error]. *)

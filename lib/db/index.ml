@@ -1,0 +1,59 @@
+module Dict = Patterns_stdx.Dict
+
+type ordering = Seo | Eos | Ose
+
+let ordering_name = function Seo -> "seo" | Eos -> "eos" | Ose -> "ose"
+let width = 3 * Dict.encoded_width
+
+(* components of a triple in the order this ordering stores them *)
+let components ord ~src ~event ~dst =
+  match ord with
+  | Seo -> (src, event, dst)
+  | Eos -> (event, dst, src)
+  | Ose -> (dst, src, event)
+
+let key ord ~src ~event ~dst =
+  let a, b, c = components ord ~src ~event ~dst in
+  let buf = Bytes.create width in
+  Dict.encode_into buf 0 a;
+  Dict.encode_into buf Dict.encoded_width b;
+  Dict.encode_into buf (2 * Dict.encoded_width) c;
+  Bytes.unsafe_to_string buf
+
+let decode ord k =
+  if String.length k <> width then invalid_arg "Index.decode: bad key width";
+  let a = Dict.decode k 0 in
+  let b = Dict.decode k Dict.encoded_width in
+  let c = Dict.decode k (2 * Dict.encoded_width) in
+  match ord with
+  | Seo -> (a, b, c)
+  | Eos -> (c, a, b)
+  | Ose -> (b, c, a)
+
+let select ~src ~event ~dst =
+  match (src, event, dst) with
+  | true, true, true -> Seo (* point lookup *)
+  | true, true, false -> Seo
+  | true, false, false -> Seo
+  | false, false, false -> Seo (* full scan *)
+  | false, true, true -> Eos
+  | false, true, false -> Eos
+  | true, false, true -> Ose
+  | false, false, true -> Ose
+
+let prefix ord ?src ?event ?dst () =
+  let comps =
+    match ord with
+    | Seo -> [ src; event; dst ]
+    | Eos -> [ event; dst; src ]
+    | Ose -> [ dst; src; event ]
+  in
+  let b = Buffer.create width in
+  let rec go = function
+    | Some id :: rest ->
+      Buffer.add_string b (Dict.encode id);
+      go rest
+    | _ -> ()
+  in
+  go comps;
+  Buffer.contents b

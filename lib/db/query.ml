@@ -1,0 +1,75 @@
+module Json = Patterns_stdx.Json
+
+type edge = { src : int; event : string; dst : int }
+
+let edges db ?src ?event ?dst () =
+  Db.edges db ?src ?event ?dst () |> List.map (fun (src, event, dst) -> { src; event; dst })
+
+let successors db fp = Db.edges db ~src:fp () |> List.map (fun (_, e, o) -> (e, o))
+let predecessors db fp = Db.edges db ~dst:fp () |> List.map (fun (s, e, _) -> (s, e))
+
+module Iset = Set.Make (Int)
+
+let reachable db fp =
+  if not (Db.mem_config db fp) then []
+  else begin
+    let seen = ref (Iset.singleton fp) in
+    let q = Queue.create () in
+    Queue.add fp q;
+    while not (Queue.is_empty q) do
+      let cur = Queue.pop q in
+      List.iter
+        (fun (_, dst) ->
+          if not (Iset.mem dst !seen) then begin
+            seen := Iset.add dst !seen;
+            Queue.add dst q
+          end)
+        (successors db cur)
+    done;
+    Iset.elements !seen
+  end
+
+let path db ~src ~dst =
+  if not (Db.mem_config db src) then None
+  else if src = dst then Some []
+  else begin
+    (* breadth-first, successors in sorted order: first parent found is
+       the canonical one *)
+    let parent = Hashtbl.create 64 in
+    let q = Queue.create () in
+    Hashtbl.replace parent src None;
+    Queue.add src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let cur = Queue.pop q in
+      List.iter
+        (fun (event, next) ->
+          if not (Hashtbl.mem parent next) then begin
+            Hashtbl.replace parent next (Some (cur, event));
+            if next = dst then found := true else Queue.add next q
+          end)
+        (successors db cur)
+    done;
+    if not !found then None
+    else begin
+      let rec build acc node =
+        match Hashtbl.find parent node with
+        | None -> acc
+        | Some (prev, event) -> build ({ src = prev; event; dst = node } :: acc) prev
+      in
+      Some (build [] dst)
+    end
+  end
+
+let certs_touching db proc =
+  Db.facts db ~kind:"cert"
+  |> List.filter (fun (_, v) ->
+         match Json.member "crashes" v with
+         | Some (Json.List ps) ->
+           List.exists (function Json.Int p -> p = proc | _ -> false) ps
+         | _ -> false)
+
+let edge_to_json { src; event; dst } =
+  Json.Obj [ ("src", Json.Int src); ("event", Json.String event); ("dst", Json.Int dst) ]
+
+let edges_to_json es = Json.List (List.map edge_to_json es)

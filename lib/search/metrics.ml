@@ -53,6 +53,10 @@ type t = {
   cas_retries : int;
   table_occupancy : float;
   idle_seconds : float;
+  db_edges : int;
+  db_index_scans : int;
+  db_cache_hits : int;
+  db_cache_misses : int;
   shards : shard list;
 }
 
@@ -84,6 +88,10 @@ let zero =
     cas_retries = 0;
     table_occupancy = 0.;
     idle_seconds = 0.;
+    db_edges = 0;
+    db_index_scans = 0;
+    db_cache_hits = 0;
+    db_cache_misses = 0;
     shards = [];
   }
 
@@ -146,6 +154,20 @@ let with_async ~shard_bits ~occupancy_total ~lock_contention ~expand_seconds ~st
     idle_seconds;
   }
 
+(* Retag a metrics record with an execution-database snapshot.  All
+   four counters are deterministic for a given recorded edge set and
+   query sequence: the edge count is a set cardinality and the
+   scan/cache counters are functions of the queries issued, not of
+   worker interleaving. *)
+let with_db ~edges ~index_scans ~cache_hits ~cache_misses m =
+  {
+    m with
+    db_edges = edges;
+    db_index_scans = index_scans;
+    db_cache_hits = cache_hits;
+    db_cache_misses = cache_misses;
+  }
+
 let with_root_index i m =
   { m with shards = List.map (fun s -> { s with root = i }) m.shards }
 
@@ -186,6 +208,10 @@ let merge a b =
     cas_retries = a.cas_retries + b.cas_retries;
     table_occupancy = Float.max a.table_occupancy b.table_occupancy;
     idle_seconds = a.idle_seconds +. b.idle_seconds;
+    db_edges = a.db_edges + b.db_edges;
+    db_index_scans = a.db_index_scans + b.db_index_scans;
+    db_cache_hits = a.db_cache_hits + b.db_cache_hits;
+    db_cache_misses = a.db_cache_misses + b.db_cache_misses;
     shards = a.shards @ b.shards;
   }
 
@@ -198,6 +224,9 @@ let merge a b =
    "frontier_peak_sum"; schema /5 appends the asynchronous driver's
    volatile section — "steals", "steal_failures", "cas_retries",
    "table_occupancy", "idle_seconds" — after "parallel_efficiency";
+   schema /6 appends the execution-database counters "db_edges",
+   "db_index_scans", "db_cache_hits", "db_cache_misses" (deterministic,
+   all 0 unless a --db was attached) after "idle_seconds";
    every earlier field is unchanged in name, meaning and order.
    "lock_contention", "expand_seconds", "parallel_efficiency" and the
    whole /5 section are the nondeterministic top-level fields
@@ -216,7 +245,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/5\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/6\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -248,7 +277,11 @@ let to_json ?(shards = true) m =
   Buffer.add_string b (Printf.sprintf "  \"steal_failures\": %d,\n" m.steal_failures);
   Buffer.add_string b (Printf.sprintf "  \"cas_retries\": %d,\n" m.cas_retries);
   Buffer.add_string b (Printf.sprintf "  \"table_occupancy\": %.3f,\n" m.table_occupancy);
-  Buffer.add_string b (Printf.sprintf "  \"idle_seconds\": %.6f" m.idle_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"idle_seconds\": %.6f,\n" m.idle_seconds);
+  Buffer.add_string b (Printf.sprintf "  \"db_edges\": %d,\n" m.db_edges);
+  Buffer.add_string b (Printf.sprintf "  \"db_index_scans\": %d,\n" m.db_index_scans);
+  Buffer.add_string b (Printf.sprintf "  \"db_cache_hits\": %d,\n" m.db_cache_hits);
+  Buffer.add_string b (Printf.sprintf "  \"db_cache_misses\": %d" m.db_cache_misses);
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

@@ -96,6 +96,17 @@ type t = {
       (** wall-clock workers spent between exhausting their own deque
           and acquiring new work (or quiescence) — the async driver's
           analogue of barrier wait time (/5 volatile section) *)
+  db_edges : int;
+      (** distinct (src, event, dst) triples in the attached execution
+          database after the run — deterministic for a given recorded
+          edge set; 0 when no [--db] is attached (/6 section) *)
+  db_index_scans : int;
+      (** covering-index prefix scans performed by database queries
+          (cache hits perform none); deterministic (/6 section) *)
+  db_cache_hits : int;
+      (** query-result cache hits (/6 section) *)
+  db_cache_misses : int;
+      (** query-result cache misses (/6 section) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -146,6 +157,12 @@ val with_async :
     section.  [layers], [par_layers] and [shard_occupancy_max] stay 0:
     the async driver has no layers and no mutex shards. *)
 
+val with_db :
+  edges:int -> index_scans:int -> cache_hits:int -> cache_misses:int -> t -> t
+(** Retag a record with an execution-database snapshot (the /6
+    section).  All four counters are deterministic for a given
+    recorded edge set and query sequence. *)
+
 val parallel_efficiency : t -> float
 (** [expand_seconds] over summed shard wall-clock: the fraction of the
     run spent inside successor expansion, summed across workers.
@@ -159,14 +176,17 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/5"]: every /1, /2, /3 and /4 key
-    is unchanged in name, meaning and order; /4 appended the
+(** Schema ["patterns-search-metrics/6"]: every /1, /2, /3, /4 and /5
+    key is unchanged in name, meaning and order; /4 appended the
     graceful-degradation counters ["deadline_hits"] and
-    ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appends the
+    ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appended the
     asynchronous driver's volatile section — ["steals"],
     ["steal_failures"], ["cas_retries"], ["table_occupancy"],
-    ["idle_seconds"] — after ["parallel_efficiency"].  Key order is
-    stable and pinned by the cram test; [?shards:false] omits the
+    ["idle_seconds"] — after ["parallel_efficiency"]; /6 appends the
+    deterministic execution-database counters — ["db_edges"],
+    ["db_index_scans"], ["db_cache_hits"], ["db_cache_misses"] — after
+    ["idle_seconds"] (all 0 unless a [--db] is attached).  Key order
+    is stable and pinned by the cram test; [?shards:false] omits the
     per-shard array (whose [seconds] are nondeterministic). *)
 
 val pp : Format.formatter -> t -> unit

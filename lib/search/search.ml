@@ -130,7 +130,30 @@ module Make (P : Problem) = struct
     expand : 'obs -> P.state -> P.state list;
   }
 
-  let run ?(strategy = Dfs) ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ~root () =
+  (* Optional execution-database sink: every expansion emits its
+     (src, successor-ordinal, dst) triples, before visited/prune
+     filtering — the database records the raw expansion relation.
+     Ordinals are assigned in fingerprint order of the successors,
+     not list position: equal states reached along different paths
+     can carry their internal collections in different orders, and
+     which representative wins the visited race is a property of the
+     driver and the schedule.  Sorting by the canonical fingerprint
+     makes the emitted triples a function of the state alone, so the
+     recorded edge set is identical across drivers and worker counts.
+     The callback is invoked from worker domains by the parallel
+     drivers; thread safety is the callee's obligation (the execution
+     database locks internally). *)
+  let emit_edges edges src succs =
+    match edges with
+    | None -> ()
+    | Some f ->
+      List.stable_sort
+        (fun a b -> Fingerprint.compare (P.fingerprint a) (P.fingerprint b))
+        succs
+      |> List.iteri (fun i dst -> f ~src ~event:i ~dst)
+
+  let run ?(strategy = Dfs) ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ?edges
+      ~root () =
     let visited =
       Store.create ~equal:(fun a b -> P.compare a b = 0) ~fingerprint:P.fingerprint ()
     in
@@ -225,7 +248,9 @@ module Make (P : Problem) = struct
               incr expanded;
               if goal s then Goal_found s
               else begin
-                push_batch (List.filter keep (P.expand s));
+                let succs = P.expand s in
+                emit_edges edges s succs;
+                push_batch (List.filter keep succs);
                 loop ()
               end)
         end
@@ -267,7 +292,8 @@ module Make (P : Problem) = struct
     go [] [] 0 states
 
   let run_par ?pool ?(par_threshold = default_par_threshold) ?shard_bits
-      ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ~expand:obs_iface ~root () =
+      ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ?edges ~expand:obs_iface
+      ~root () =
     let visited =
       Sharded_store.create ?shard_bits
         ~equal:(fun a b -> P.compare a b = 0)
@@ -357,7 +383,10 @@ module Make (P : Problem) = struct
                 in
                 let succs =
                   List.concat_map
-                    (fun s -> List.filter keep (obs_iface.expand o s))
+                    (fun s ->
+                      let succs = obs_iface.expand o s in
+                      emit_edges edges s succs;
+                      List.filter keep succs)
                     chunk
                 in
                 (o, succs, !dd, !pr, Unix.gettimeofday () -. t0))
@@ -472,7 +501,7 @@ module Make (P : Problem) = struct
      consumed and [states_expanded] is deterministic even for a
      truncated search (the *set* expanded is schedule-dependent). *)
   let run_par_async ?pool ?capacity ?(budget = max_int) ?deadline ?max_live ?is_goal
-      ?prune ~expand:obs_iface ~root () =
+      ?prune ?edges ~expand:obs_iface ~root () =
     let workers = match pool with Some p -> Domain_pool.jobs p | None -> 1 in
     let table =
       Atomic_table.create ?capacity ~workers
@@ -516,7 +545,9 @@ module Make (P : Problem) = struct
         if Atomic.get halt = None then begin
           expanded.(wi) <- expanded.(wi) + 1;
           if goal s then request_halt (Goal_found s)
-          else
+          else begin
+            let succs = obs_iface.expand obss.(wi) s in
+            emit_edges edges s succs;
             List.iter
               (fun c ->
                 match prune with
@@ -527,7 +558,8 @@ module Make (P : Problem) = struct
                     Ws_deque.push deques.(wi) c
                   end
                   else dedup.(wi) <- dedup.(wi) + 1)
-              (obs_iface.expand obss.(wi) s)
+              succs
+          end
         end
       end;
       Atomic.decr in_flight

@@ -142,6 +142,7 @@ module Make (P : Problem) : sig
     ?max_live:int ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
+    ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
     root:P.state ->
     unit ->
     P.state outcome * Metrics.t
@@ -160,7 +161,16 @@ module Make (P : Problem) : sig
       already-visited successors are discarded too (counted in
       [dedup_hits]).  The root is neither pruned nor goal-exempt.  The
       visited set is a {!Store} keyed on [P.fingerprint]; its probe
-      and collision counters are reported in the metrics. *)
+      and collision counters are reported in the metrics.
+
+      [edges] is the optional execution-database sink, shared by all
+      three drivers: each expansion of [src] invokes it once per
+      successor — before visited/prune filtering, so the database
+      records the raw expansion relation — with [event] the
+      successor's ordinal in [expand]'s return list (deterministic for
+      a deterministic [expand]).  The parallel drivers invoke it from
+      worker domains concurrently; thread safety is the callee's
+      obligation. *)
 
   (** Observation interface for {!run_par}.  Each expansion task works
       against a fresh accumulator from [empty]; task accumulators are
@@ -189,6 +199,7 @@ module Make (P : Problem) : sig
     ?max_live:int ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
+    ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
     expand:'obs par_expand ->
     root:P.state ->
     unit ->
@@ -223,6 +234,7 @@ module Make (P : Problem) : sig
     ?max_live:int ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
+    ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
     expand:'obs par_expand ->
     root:P.state ->
     unit ->

@@ -134,16 +134,33 @@ let of_string s =
              | 'f' -> Buffer.add_char b '\012'; advance ()
              | 'u' ->
                advance ();
-               if !pos + 4 > len then error "truncated \\u escape";
-               let hex = String.sub s !pos 4 in
-               let code =
-                 match int_of_string_opt ("0x" ^ hex) with
-                 | Some c -> c
+               let read4 () =
+                 if !pos + 4 > len then error "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 let ok = String.for_all (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false) hex in
+                 match (if ok then int_of_string_opt ("0x" ^ hex) else None) with
+                 | Some c ->
+                   pos := !pos + 4;
+                   c
                  | None -> error "bad \\u escape"
                in
-               if code > 0x7f then error "non-ASCII \\u escape unsupported";
-               Buffer.add_char b (Char.chr code);
-               pos := !pos + 4
+               let code = read4 () in
+               let scalar =
+                 if code >= 0xd800 && code <= 0xdbff then begin
+                   (* high surrogate: must pair with \uDC00-\uDFFF *)
+                   if !pos + 2 > len || s.[!pos] <> '\\' || s.[!pos + 1] <> 'u' then
+                     error "unpaired high surrogate in \\u escape";
+                   pos := !pos + 2;
+                   let low = read4 () in
+                   if low < 0xdc00 || low > 0xdfff then
+                     error "unpaired high surrogate in \\u escape";
+                   0x10000 + ((code - 0xd800) lsl 10) + (low - 0xdc00)
+                 end
+                 else if code >= 0xdc00 && code <= 0xdfff then
+                   error "lone low surrogate in \\u escape"
+                 else code
+               in
+               Buffer.add_utf_8_uchar b (Uchar.of_int scalar)
              | c -> error (Printf.sprintf "bad escape \\%c" c));
           go ()
         | c ->

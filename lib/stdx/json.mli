@@ -4,11 +4,15 @@
     violation certificates and any future structured output.  The
     emitter preserves object key order (key order is part of every
     schema in this repository, pinned by cram tests); the parser is a
-    plain recursive-descent reader of the full JSON grammar with two
-    deliberate simplifications: numbers without [.], [e] or [E] are
-    read as [Int], everything else as [Float], and unicode escapes
-    [\uXXXX] are passed through as their raw bytes only for the ASCII
-    range (the artifacts this repository writes are pure ASCII). *)
+    plain recursive-descent reader of the full JSON grammar with one
+    deliberate simplification: numbers without [.], [e] or [E] are
+    read as [Int], everything else as [Float].  Unicode escapes
+    [\uXXXX] decode to UTF-8: BMP escapes become their UTF-8 byte
+    sequence, surrogate pairs ([\uD800]-[\uDBFF] followed by
+    [\uDC00]-[\uDFFF]) combine into one astral code point, and lone
+    surrogates are rejected — so strings containing non-ASCII query
+    output round-trip through {!to_string}/{!of_string} (the emitter
+    passes UTF-8 bytes through unescaped). *)
 
 type t =
   | Null

@@ -1,0 +1,74 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option; (* towards most-recent *)
+  mutable next : ('k, 'v) node option; (* towards least-recent *)
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option; (* most-recent *)
+  mutable last : ('k, 'v) node option; (* least-recent *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { cap = capacity; tbl = Hashtbl.create capacity; first = None; last = None; hits = 0; misses = 0 }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    (match t.first with
+    | Some f when f == n -> ()
+    | _ ->
+      unlink t n;
+      push_front t n);
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+    n.value <- v;
+    (match t.first with
+    | Some f when f == n -> ()
+    | _ ->
+      unlink t n;
+      push_front t n)
+  | None ->
+    if Hashtbl.length t.tbl >= t.cap then (
+      match t.last with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.tbl victim.key
+      | None -> ());
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.add t.tbl k n;
+    push_front t n
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,33 @@
+(** Bounded LRU cache with hit/miss counters.
+
+    A capacity-bounded map evicting the least-recently-used binding on
+    overflow.  {!find} refreshes recency and counts a hit or a miss;
+    {!add} inserts at most-recent position.  Used as the query-result
+    cache of the execution database (invalidated wholesale on every
+    write — recorded runs are append-only, so between writes cached
+    results are exact).
+
+    Not thread-safe: callers serialise access externally. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** Fresh empty cache holding at most [capacity] bindings
+    ([capacity <= 0] raises [Invalid_argument]). *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; on a hit the binding becomes most-recent and the hit
+    counter increments, on a miss the miss counter increments. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace at most-recent position, evicting the
+    least-recent binding if the capacity would be exceeded. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all bindings (counters are preserved). *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int

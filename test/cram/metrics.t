@@ -4,7 +4,9 @@ derived parallel_efficiency, lock_contention, and the /5 volatile
 section (steals, steal_failures, cas_retries, table_occupancy,
 idle_seconds) are the only nondeterministic fields — plus
 intern_bindings when the async driver runs several workers; everything
-else is pinned, key order included.  This document runs at the default
+else is pinned, key order included.  The /6 database counters
+(db_edges, db_index_scans, db_cache_hits, db_cache_misses) are
+deterministic and stay zero without --db.  This document runs at the default
 --jobs 1, where intern_bindings is deterministic and stays pinned.
 The default driver is the asynchronous
 work-stealing one, whose layer/frontier gauges are structurally zero:
@@ -21,7 +23,7 @@ work-stealing one, whose layer/frontier gauges are structurally zero:
   >         -e 's/"table_occupancy": [0-9.]*/"table_occupancy": _/' \
   >         -e 's/"idle_seconds": [0-9.]*/"idle_seconds": _/'
   {
-    "schema": "patterns-search-metrics/5",
+    "schema": "patterns-search-metrics/6",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
@@ -49,6 +51,10 @@ work-stealing one, whose layer/frontier gauges are structurally zero:
     "cas_retries": _,
     "table_occupancy": _,
     "idle_seconds": _,
+    "db_edges": 0,
+    "db_index_scans": 0,
+    "db_cache_hits": 0,
+    "db_cache_misses": 0,
     "shards": [
       { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
       { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },

@@ -1,0 +1,82 @@
+The execution database end to end: hunt --db records the violating
+run (every replayed transition as a (src, event, dst) triple plus the
+certificate and verdict facts), query inspects it through the
+covering indexes, and replay --db answers from the index with zero
+kernel expansions.
+
+  $ patterns-cli hunt fig3-chain-st --property agreement --mode systematic \
+  >   --runs 1000 --cert cert.json --db db.json > /dev/null
+
+Replaying the certificate against the recorded run never touches the
+engine: the walk is 36 point queries (one per directive), each a
+prefix scan of the SEO index, and the verdict comes from the fact
+store.  states_expanded — live directive applications — is zero:
+
+  $ patterns-cli replay cert.json --db db.json --metrics-json m.json
+  fig3-chain-st: agreement violation, n=4, inputs 1111, 1 crash(es), 36 directive(s)
+  reproduced:
+  nonfaulty processors disagree: p0 decided commit but p2 decided abort
+  $ sed -n '/"schema"/p;/"states_expanded"/p;/"budget_consumed"/p;/"db_/p' m.json
+    "schema": "patterns-search-metrics/6",
+    "states_expanded": 0,
+    "budget_consumed": 0,
+    "db_edges": 36,
+    "db_index_scans": 36,
+    "db_cache_hits": 0,
+    "db_cache_misses": 36,
+
+The unbound pattern is a full scan of the edge log — one recorded
+triple per directive of the hunt's winning run:
+
+  $ patterns-cli query db.json | sed -n '/"query"/p;/"count"/p'
+    "query": "edges",
+    "count": 36,
+
+Binding the event descriptor routes the query to the EOS index; the
+crash transition appears exactly once:
+
+  $ patterns-cli query db.json --event 'fail p1' | sed -n '/"count"/p'
+    "count": 1,
+
+Binding src too makes it a point lookup (SEO), and the triple's own
+endpoints bound a one-edge canonical path:
+
+  $ src=$(patterns-cli query db.json --event 'fail p1' | sed -n 's/.*"src": \([0-9]*\),.*/\1/p')
+  $ dst=$(patterns-cli query db.json --event 'fail p1' | sed -n 's/.*"dst": \([0-9]*\).*/\1/p')
+  $ patterns-cli query db.json --src "$src" --event 'fail p1' | sed -n '/"count"/p'
+    "count": 1,
+  $ patterns-cli query db.json --path "$src:$dst" | sed -n '/"found"/p;/"length"/p'
+    "found": true,
+    "length": 1,
+
+The crash schedule of the stored certificate touches p1 and nobody
+else:
+
+  $ patterns-cli query db.json --certs-touching 1 | sed -n '/"count"/p'
+    "count": 1,
+  $ patterns-cli query db.json --certs-touching 3
+  {
+    "query": "certs-touching",
+    "count": 0,
+    "certs": []
+  }
+  [1]
+
+Exit codes: 0 with results, 1 without, 2 on error.  A missing
+database file is an empty database; conflicting modes and malformed
+files are errors:
+
+  $ patterns-cli query missing.json
+  {
+    "query": "edges",
+    "count": 0,
+    "edges": []
+  }
+  [1]
+  $ patterns-cli query db.json --path 1:2 --reachable 3
+  error: at most one of --path, --reachable, --certs-touching
+  [2]
+  $ echo '{"schema": "nope"}' > bad.json
+  $ patterns-cli query bad.json
+  error: bad.json: unsupported db schema "nope"
+  [2]

@@ -331,6 +331,50 @@ let test_deque_steal_storm () =
 let deque_qcheck_tests =
   let open QCheck2 in
   [
+    (* A tiny initial buffer forces grow-by-copy every few pushes while
+       three thieves steal concurrently: the copy must not lose, drop
+       or duplicate an element regardless of how pops interleave.  The
+       seed randomizes the owner's pop pattern, so each run races the
+       growth against steals at different points. *)
+    Test.make ~name:"grow-by-copy races concurrent steals (storm)" ~count:12
+      Gen.(int_bound 10_000)
+      (fun seed ->
+        let n = 2_000 in
+        let d = Ws_deque.create ~capacity:2 () in
+        let owner_done = Atomic.make false in
+        let thief () =
+          let rec go acc =
+            match Ws_deque.steal d with
+            | Ws_deque.Stolen v -> go (v :: acc)
+            | Ws_deque.Retry -> go acc
+            | Ws_deque.Empty ->
+              if Atomic.get owner_done then acc
+              else begin
+                Domain.cpu_relax ();
+                go acc
+              end
+          in
+          go []
+        in
+        let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+        let prng = Prng.create ~seed in
+        let owner_got = ref [] in
+        for i = 0 to n - 1 do
+          Ws_deque.push d i;
+          if Prng.int prng ~bound:4 = 0 then
+            match Ws_deque.pop d with None -> () | Some v -> owner_got := v :: !owner_got
+        done;
+        let rec drain () =
+          match Ws_deque.pop d with
+          | Some v ->
+            owner_got := v :: !owner_got;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        Atomic.set owner_done true;
+        let stolen = List.concat_map Domain.join thieves in
+        List.sort Int.compare (stolen @ !owner_got) = Listx.range 0 n);
     Test.make ~name:"deque matches list model (sequential)" ~count:200
       Gen.(list (int_bound 2))
       (fun ops ->
@@ -548,6 +592,56 @@ let test_r_squared () =
   let pts = [ (1.0, 2.0); (2.0, 4.0); (3.0, 6.0) ] in
   Alcotest.(check (float 1e-9)) "perfect fit" 1.0 (Stats.r_squared pts ~f:(fun x -> 2.0 *. x))
 
+(* ----- Json ----- *)
+
+let json_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let json_err name s =
+  match Json.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: %S must be rejected" name s
+
+let test_json_unicode_escapes () =
+  (* ASCII and BMP escapes decode to their UTF-8 byte sequences *)
+  check Alcotest.string "ascii" "A"
+    (match json_ok {|"A"|} with Json.String s -> s | _ -> Alcotest.fail "not a string");
+  check Alcotest.string "latin-1" "\xc3\xa9" (* é *)
+    (match json_ok {|"\u00e9"|} with Json.String s -> s | _ -> Alcotest.fail "not a string");
+  check Alcotest.string "3-byte BMP" "\xe2\x82\xac" (* € *)
+    (match json_ok {|"\u20ac"|} with Json.String s -> s | _ -> Alcotest.fail "not a string");
+  check Alcotest.string "uppercase hex" "\xe2\x82\xac"
+    (match json_ok {|"\u20AC"|} with Json.String s -> s | _ -> Alcotest.fail "not a string");
+  (* a surrogate pair combines into one astral code point *)
+  check Alcotest.string "astral pair" "\xf0\x9f\x98\x80" (* U+1F600 *)
+    (match json_ok {|"\ud83d\ude00"|} with
+    | Json.String s -> s
+    | _ -> Alcotest.fail "not a string")
+
+let test_json_lone_surrogates_rejected () =
+  json_err "lone high surrogate" {|"\ud800"|};
+  json_err "lone high at end of escapes" {|"\ud83d x"|};
+  json_err "lone low surrogate" {|"\udc00"|};
+  json_err "high followed by non-surrogate escape" {|"\ud83dA"|};
+  json_err "truncated hex" {|"\u12g4"|};
+  json_err "short hex" {|"\u12"|}
+
+let test_json_unicode_roundtrip () =
+  (* the emitter passes UTF-8 bytes through unescaped, so decoded
+     escapes survive to_string/of_string *)
+  List.iter
+    (fun s ->
+      let doc = Json.Obj [ ("k", Json.String s) ] in
+      match Json.of_string (Json.to_string doc) with
+      | Ok doc' -> check Alcotest.bool s true (Json.equal doc doc')
+      | Error e -> Alcotest.failf "round-trip %S: %s" s e)
+    [ "plain"; "\xc3\xa9"; "\xe2\x82\xac"; "\xf0\x9f\x98\x80"; "mixed \xc3\xa9 end" ];
+  (* escaped input and raw UTF-8 input denote the same document *)
+  check Alcotest.bool "escape = raw bytes" true
+    (Json.equal (json_ok {|"\u20ac"|}) (json_ok "\"\xe2\x82\xac\""))
+
 (* ----- Dot / Table ----- *)
 
 let test_dot_render () =
@@ -637,6 +731,14 @@ let () =
           Alcotest.test_case "power fit" `Quick test_power_fit;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "r squared" `Quick test_r_squared;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "unicode escapes decode to UTF-8" `Quick
+            test_json_unicode_escapes;
+          Alcotest.test_case "lone surrogates rejected" `Quick
+            test_json_lone_surrogates_rejected;
+          Alcotest.test_case "unicode round-trip" `Quick test_json_unicode_roundtrip;
         ] );
       ( "render",
         [
