@@ -470,6 +470,21 @@ let sweep_timings () =
     in
     (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs, !metrics)
   in
+  (* same classify sweep through the disk-backed store: the verdict
+     and the deterministic counters must match the in-memory row, and
+     the spill counters record the disk traffic the budget forced *)
+  let classify_spill_sweep ?max_configs name p ~rule ~n ~mem_budget j =
+    let dir = "BENCH_spill.tmp" in
+    let metrics = ref Patterns_search.Metrics.zero in
+    let v, secs =
+      wall (fun () ->
+          Classify.classify ~metrics ?max_configs ~jobs:j ?par_threshold:!par_threshold
+            ?par_mode:!par_mode ~max_failures:1
+            ~spill:{ Patterns_search.Search.dir; mem_budget } ~rule ~n p)
+    in
+    (try Sys.rmdir dir with Sys_error _ -> ());
+    (name, j, secs, Printf.sprintf "configs=%d" v.Classify.configs, !metrics)
+  in
   let hunt_sweep name p ~runs j =
     let metrics = ref Patterns_search.Metrics.zero in
     let r, secs =
@@ -489,6 +504,9 @@ let sweep_timings () =
           classify_sweep "classify: fig3-chain n=3, 1 crash"
             Patterns_protocols.Chain_proto.fig3 ~rule:Patterns_protocols.Decision_rule.Unanimity
             ~n:3 j;
+          classify_spill_sweep "classify: fig3-chain n=3, 1 crash, spill budget=2k"
+            Patterns_protocols.Chain_proto.fig3 ~rule:Patterns_protocols.Decision_rule.Unanimity
+            ~n:3 ~mem_budget:2_000 j;
           hunt_sweep "hunt: 2pc agreement n=3"
             Patterns_protocols.Two_phase_commit.default
             ~runs:(if !quick then 300 else 3000)
@@ -530,7 +548,7 @@ let emit_json ~path =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/2\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/3\",\n");
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"par_mode\": \"%s\",\n"
@@ -575,12 +593,16 @@ let emit_json ~path =
            \"frontier_peak\": %d, \"pruned\": %d, \"fingerprint_probes\": %d, \
            \"collision_fallbacks\": %d, \"intern_bindings\": %d, \"layers\": %d, \
            \"par_layers\": %d, \"shard_bits\": %d, \"shard_occupancy_max\": %d, \
-           \"shard_occupancy_total\": %d, \"frontier_peak_sum\": %d }"
+           \"shard_occupancy_total\": %d, \"frontier_peak_sum\": %d, \"spill_runs\": %d, \
+           \"spill_evictions\": %d, \"spill_probes\": %d, \"spill_read_bytes\": %d, \
+           \"spill_write_bytes\": %d }"
           (outcome_string metrics.outcome)
           metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
           metrics.fingerprint_probes metrics.collision_fallbacks metrics.intern_bindings
           metrics.layers metrics.par_layers metrics.shard_bits metrics.shard_occupancy_max
-          metrics.shard_occupancy_total metrics.frontier_peak_sum
+          metrics.shard_occupancy_total metrics.frontier_peak_sum metrics.spill_runs
+          metrics.spill_evictions metrics.spill_probes metrics.spill_read_bytes
+          metrics.spill_write_bytes
       in
       Buffer.add_string b
         (Printf.sprintf
@@ -731,7 +753,6 @@ let check_against ~baseline =
            pools; every other row's expanded count is exact *)
         if find_sub row.b_name "hunt" 0 = None then expect "states_expanded" m.states_expanded;
         expect "dedup_hits" m.dedup_hits;
-        expect "frontier_peak" m.frontier_peak;
         expect "pruned" m.pruned;
         if find_sub row.b_name "hunt" 0 = None then
           expect "fingerprint_probes" m.fingerprint_probes;
@@ -741,20 +762,31 @@ let check_against ~baseline =
            the way depend on which dedup racer reaches each config
            first, so under the async driver with more than one worker
            the binding count is schedule-dependent.  Compare it only
-           where it is deterministic (layers, or a single worker). *)
+           where it is deterministic (layers, or a single worker).
+           The frontier gauges — the async queue's high-water mark —
+           and the spill counters — eviction timing — are
+           schedule-dependent under the same conditions and get the
+           same gate. *)
         let async_mode =
           match !par_mode with
           | Some Patterns_search.Search.Layers -> false
           | Some Patterns_search.Search.Async | None -> true
         in
-        if (not async_mode) || row.b_jobs = 1 then
+        if (not async_mode) || row.b_jobs = 1 then begin
           expect "intern_bindings" m.intern_bindings;
+          expect "frontier_peak" m.frontier_peak;
+          expect "frontier_peak_sum" m.frontier_peak_sum;
+          expect "spill_runs" m.spill_runs;
+          expect "spill_evictions" m.spill_evictions;
+          expect "spill_probes" m.spill_probes;
+          expect "spill_read_bytes" m.spill_read_bytes;
+          expect "spill_write_bytes" m.spill_write_bytes
+        end;
         expect "layers" m.layers;
         expect "par_layers" m.par_layers;
         expect "shard_bits" m.shard_bits;
         expect "shard_occupancy_max" m.shard_occupancy_max;
-        expect "shard_occupancy_total" m.shard_occupancy_total;
-        expect "frontier_peak_sum" m.frontier_peak_sum)
+        expect "shard_occupancy_total" m.shard_occupancy_total)
     rows;
   (* wall-clock comparison over the rows compared on both sides.
      Advisory rows — speedup measured with more domains than the

@@ -114,13 +114,14 @@ let par_mode_arg =
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/6)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/7)) \
                as JSON to $(docv); $(b,-) means stdout.")
 
 let db_arg =
   Arg.(value & opt (some string) None
        & info [ "db" ] ~docv:"FILE"
-         ~doc:"Execution database (schema $(b,patterns-edge-db/1)): consult the recorded \
+         ~doc:"Execution database (schema $(b,patterns-edge-db/2), streamed JSONL; /1 \
+               documents are still read): consult the recorded \
                edge log before searching, record every fresh expansion into it, and \
                write it back to $(docv) on exit.  A missing file starts empty.  Inspect \
                it with $(b,query).")
@@ -137,6 +138,66 @@ let max_states_arg =
          ~doc:"Live-state budget (visited + frontier) per search. Exceeding it truncates \
                the answer gracefully (exit 2) instead of exhausting memory; deterministic \
                for every --jobs value.")
+
+let spill_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "spill-dir" ] ~docv:"DIR"
+         ~doc:"Disk-backed visited storage: evict cold fingerprint shards to sorted run \
+               files under $(docv) whenever the resident store reaches $(b,--mem-budget) \
+               bindings.  Answers and deterministic counters are bit-identical with and \
+               without spilling; the metrics /7 section records the disk traffic.  Run \
+               files are deleted when each search returns.  ($(b,hunt) keeps no visited \
+               store, so there the flag is accepted and inert.)")
+
+let mem_budget_arg =
+  Arg.(value & opt int 1_000_000
+       & info [ "mem-budget" ] ~docv:"K"
+         ~doc:"($(b,--spill-dir) only) Resident-binding high-water mark per search: \
+               reaching it evicts whole shards, largest first, until half the budget is \
+               free.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+         ~doc:"Record each completed root (input vector, hunt index chunk) into $(docv) \
+               (schema $(b,patterns-checkpoint/1)), atomically rewritten on every record; \
+               a killed run picks up with $(b,--resume). Deadline-truncated roots are \
+               never recorded.")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ] ~docv:"FILE"
+         ~doc:"Resume from a checkpoint written by $(b,--checkpoint): recorded roots are \
+               replayed from $(docv), only the rest are recomputed, and the outcome — \
+               answer, counters, exit code — is identical to an uninterrupted run.  A \
+               missing file is a fresh start; a checkpoint whose recorded parameters \
+               differ is refused.")
+
+let kill_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "checkpoint-kill-after" ] ~docv:"K"
+         ~doc:"Test hook: exit 99 after $(docv) fresh checkpoint records, leaving the \
+               file for $(b,--resume).")
+
+let spill_of dir mem_budget =
+  Option.map (fun dir -> { Patterns_search.Search.dir; mem_budget }) dir
+
+let checkpoint_spec checkpoint resume kill_after =
+  match (checkpoint, resume) with
+  | Some _, Some _ -> Error "at most one of --checkpoint and --resume"
+  | Some file, None ->
+    Ok (Some { Patterns_search.Checkpoint.file; resume = false; kill_after })
+  | None, Some file ->
+    Ok (Some { Patterns_search.Checkpoint.file; resume = true; kill_after })
+  | None, None -> Ok None
+
+(* Checkpoint header mismatches (and other refusals below the library
+   surface) raise [Failure]; surface them as CLI errors, not
+   backtraces. *)
+let catch_failures f =
+  try f () with Failure msg ->
+    prerr_endline ("error: " ^ msg);
+    exit 1
 
 let emit_metrics dest (m : Patterns_search.Metrics.t) =
   match dest with
@@ -222,15 +283,19 @@ let run_cmd =
 
 let scheme_cmd =
   let doc = "Enumerate a protocol's scheme (all failure-free communication patterns)." in
-  let run name n jobs par_threshold par_mode deadline max_states metrics_json =
+  let run name n jobs par_threshold par_mode deadline max_states spill_dir mem_budget
+      checkpoint resume kill_after metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
+    let spill = spill_of spill_dir mem_budget in
+    let ckpt = or_die (checkpoint_spec checkpoint resume kill_after) in
     let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
     let module S = Patterns_pattern.Scheme.Make (P) in
     let metrics = ref Patterns_search.Metrics.zero in
     let pats, stats =
-      S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
-        ?max_live:max_states ~n ()
+      catch_failures (fun () ->
+          S.scheme ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
+            ?max_live:max_states ?spill ?checkpoint:ckpt ~n ())
     in
     Format.printf "%a@.%a@." Patterns_pattern.Scheme.pp_stats stats
       Patterns_pattern.Scheme.pp_scheme pats;
@@ -240,7 +305,8 @@ let scheme_cmd =
   Cmd.v (Cmd.info "scheme" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ jobs_arg $ par_threshold_arg $ par_mode_arg
-      $ deadline_arg $ max_states_arg $ metrics_json_arg)
+      $ deadline_arg $ max_states_arg $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg
+      $ resume_arg $ kill_after_arg $ metrics_json_arg)
 
 (* ----- realize ----- *)
 
@@ -265,10 +331,13 @@ let realize_cmd =
          & info [ "max-configs" ] ~docv:"K"
            ~doc:"Search budget; when hit, the answer is $(b,truncated), not unrealizable.")
   in
-  let run name n inputs target_of k max_configs jobs par_threshold par_mode metrics_json =
+  let run name n inputs target_of k max_configs jobs par_threshold par_mode spill_dir
+      mem_budget checkpoint resume kill_after metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let inputs = or_die (parse_inputs n inputs) in
+    let spill = spill_of spill_dir mem_budget in
+    let ckpt = or_die (checkpoint_spec checkpoint resume kill_after) in
     let target_entry =
       match target_of with None -> entry | Some name2 -> or_die (find_protocol name2)
     in
@@ -293,8 +362,9 @@ let realize_cmd =
       (Patterns_pattern.Pattern.height target);
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
-      S.realize ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ~max_configs
-        ~n ~inputs ~target ()
+      catch_failures (fun () ->
+          S.realize ~metrics ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode
+            ~max_configs ?spill ?checkpoint:ckpt ~n ~inputs ~target ())
     in
     let code =
       match result with
@@ -319,7 +389,8 @@ let realize_cmd =
   Cmd.v (Cmd.info "realize" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ inputs_arg $ target_of_arg $ pattern_arg
-      $ max_configs_arg $ jobs_arg $ par_threshold_arg $ par_mode_arg $ metrics_json_arg)
+      $ max_configs_arg $ jobs_arg $ par_threshold_arg $ par_mode_arg $ spill_dir_arg
+      $ mem_budget_arg $ checkpoint_arg $ resume_arg $ kill_after_arg $ metrics_json_arg)
 
 (* ----- dot ----- *)
 
@@ -372,16 +443,21 @@ let classify_term =
                  exit code is 2.")
   in
   let run name n max_failures max_configs fifo_notices jobs par_threshold par_mode
-      deadline max_states db_file metrics_json =
+      deadline max_states spill_dir mem_budget checkpoint resume kill_after db_file
+      metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
+    let spill = spill_of spill_dir mem_budget in
+    let ckpt = or_die (checkpoint_spec checkpoint resume kill_after) in
     let db = load_db db_file in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
-      Classify.classify ~metrics ?db:(db_handle db) ~max_failures ~max_configs
-        ~fifo_notices ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
-        ?max_live:max_states ~rule ~n entry.Patterns_protocols.Registry.protocol
+      catch_failures (fun () ->
+          Classify.classify ~metrics ?db:(db_handle db) ~max_failures ~max_configs
+            ~fifo_notices ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
+            ?max_live:max_states ?spill ?checkpoint:ckpt ~rule ~n
+            entry.Patterns_protocols.Registry.protocol)
     in
     save_db db;
     Format.printf "%a@." Classify.pp v;
@@ -404,6 +480,7 @@ let classify_term =
   Term.(
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
     $ jobs_arg $ par_threshold_arg $ par_mode_arg $ deadline_arg $ max_states_arg
+    $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
     $ db_arg $ metrics_json_arg)
 
 let check_cmd =
@@ -537,17 +614,22 @@ let hunt_cmd =
                  Consume it with $(b,replay) and $(b,shrink).")
   in
   let run name n property crashes runs seed fifo_notices jobs mode horizon cert_out
-      deadline db_file metrics_json =
+      deadline spill_dir mem_budget checkpoint resume kill_after db_file metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
+    (* a hunt keeps no visited store: --spill-dir is accepted for
+       interface uniformity but has nothing to spill *)
+    let (_ : Patterns_search.Search.spill option) = spill_of spill_dir mem_budget in
+    let ckpt = or_die (checkpoint_spec checkpoint resume kill_after) in
     let db = load_db db_file in
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
-      Patterns_adversary.Hunt.hunt ~metrics ~max_failures:crashes ~max_runs:runs
-        ~fifo_notices ~jobs:(resolve_jobs jobs) ?deadline ~horizon ~mode ~property ~rule
-        ~n ~seed entry
+      catch_failures (fun () ->
+          Patterns_adversary.Hunt.hunt ~metrics ~max_failures:crashes ~max_runs:runs
+            ~fifo_notices ~jobs:(resolve_jobs jobs) ?deadline ?checkpoint:ckpt ~horizon
+            ~mode ~property ~rule ~n ~seed entry)
     in
     let code =
       match result with
@@ -588,6 +670,7 @@ let hunt_cmd =
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
       $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ deadline_arg
+      $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
       $ db_arg $ metrics_json_arg)
 
 (* ----- replay / shrink ----- *)

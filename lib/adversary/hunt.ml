@@ -5,9 +5,25 @@ type mode = Random | Systematic
 
 let mode_string = function Random -> "random" | Systematic -> "systematic"
 
+let property_string : Patterns_core.Audit.property -> string = function
+  | Patterns_core.Audit.TC -> "tc"
+  | Patterns_core.Audit.IC -> "ic"
+  | Patterns_core.Audit.Agreement -> "agreement"
+  | Patterns_core.Audit.WT -> "wt"
+  | Patterns_core.Audit.Rule -> "rule"
+
+(* Checkpoint granularity for hunts: the run-index space is cut into
+   fixed chunks, each fully swept chunk recorded under its upper bound
+   with the cumulative kernel metrics as payload.  Both modes are
+   per-index deterministic — Random seeds a fresh generator from the
+   run index, Systematic decodes the plan from it — so a contiguous
+   cleared prefix plus its metrics is exactly the state a resume
+   needs. *)
+let chunk_size = 4_096
+
 let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false)
-    ?(jobs = 1) ?deadline ?(horizon = 60) ?(mode = Random) ~property ~rule ~n ~seed
-    (entry : Patterns_protocols.Registry.entry) =
+    ?(jobs = 1) ?deadline ?checkpoint ?(horizon = 60) ?(mode = Random) ~property ~rule
+    ~n ~seed (entry : Patterns_protocols.Registry.entry) =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let module E = Engine.Make (P) in
   let verdict inputs (r : E.run_result) =
@@ -37,6 +53,69 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
   let bits inputs = String.concat "" (List.map (fun b -> if b then "1" else "0") inputs) in
   let crash_plan failures =
     String.concat ", " (List.map (fun (k, p) -> Printf.sprintf "p%d@step%d" p k) failures)
+  in
+  (* Single entry point for both modes: without a checkpoint the hunt
+     is the kernel's one-shot goal search, unchanged; with one, the
+     index space is swept chunk by chunk, each completed chunk
+     recorded, and a resume replays the recorded prefix from the file
+     (chunk upper bounds are deterministic, so the prefix is found by
+     walking them).  The chunked sweep tries the same indices in the
+     same order and returns the same winner and tried count as the
+     one-shot search; the metrics differ only in shape (one root per
+     chunk rather than one per hunt). *)
+  let drive one ~max_index =
+    match checkpoint with
+    | None ->
+      Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index ~f:one ()
+    | Some spec ->
+      let header =
+        Printf.sprintf "hunt/1|%s|prop=%s|rule=%s|n=%d|seed=%d|mode=%s|mf=%d|mi=%d|h=%d|fifo=%b"
+          entry.Patterns_protocols.Registry.name (property_string property)
+          (Format.asprintf "%a" Patterns_protocols.Decision_rule.pp rule)
+          n seed (mode_string mode) max_failures max_index horizon fifo_notices
+      in
+      let t =
+        match Patterns_search.Checkpoint.create spec ~header with
+        | Ok t -> t
+        | Error msg -> failwith msg
+      in
+      let rec restore cleared m =
+        if cleared >= max_index then (cleared, m)
+        else
+          let hi = min max_index (cleared + chunk_size) in
+          match Patterns_search.Checkpoint.find t hi with
+          | Some m' -> restore hi m'
+          | None -> (cleared, m)
+      in
+      let cleared0, m0 = restore 0 Patterns_search.Metrics.zero in
+      let local = ref m0 in
+      let t0 = Unix.gettimeofday () in
+      let remaining () =
+        Option.map (fun d -> d -. (Unix.gettimeofday () -. t0)) deadline
+      in
+      let finish result =
+        Patterns_search.Search.merge_into metrics !local;
+        result
+      in
+      let rec go cleared tried_acc =
+        if cleared >= max_index then finish (Error tried_acc)
+        else
+          let hi = min max_index (cleared + chunk_size) in
+          match
+            Patterns_search.Search.find_first ~metrics:local ~jobs
+              ?deadline:(remaining ()) ~start:(cleared + 1) ~max_index:hi ~f:one ()
+          with
+          | Ok cert -> finish (Ok cert)
+          | Error tried when tried < hi - cleared ->
+            (* the wall clock fired mid-chunk: an incomplete chunk is
+               never recorded (its truncation point is wall-clock
+               dependent), and there is nothing left to try now *)
+            finish (Error (tried_acc + tried))
+          | Error tried ->
+            Patterns_search.Checkpoint.record t hi !local;
+            go hi (tried_acc + tried)
+      in
+      go cleared0 cleared0
   in
   match mode with
   | Random ->
@@ -70,7 +149,7 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
         in
         Some (cert inputs message r)
     in
-    Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index:max_runs ~f:one ()
+    drive one ~max_index:max_runs
   | Systematic ->
     let total = Plan.count ~horizon ~n ~max_failures in
     let max_index = min max_runs total in
@@ -105,4 +184,4 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
         in
         Some (cert plan.Plan.inputs message r)
     in
-    Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index ~f:one ()
+    drive one ~max_index

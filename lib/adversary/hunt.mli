@@ -30,6 +30,7 @@ val hunt :
   ?fifo_notices:bool ->
   ?jobs:int ->
   ?deadline:float ->
+  ?checkpoint:Patterns_search.Checkpoint.spec ->
   ?horizon:int ->
   ?mode:mode ->
   property:Patterns_core.Audit.property ->
@@ -45,4 +46,16 @@ val hunt :
     well-defined prefix.  The metrics sink accumulates the kernel's
     counters; as for every [find_first] search, the expanded count may
     overshoot the winning index by up to one batch and is the only
-    jobs-dependent field. *)
+    jobs-dependent field.
+
+    [checkpoint] cuts the run-index space into fixed chunks (4096),
+    records every fully swept chunk — its upper bound plus the
+    cumulative kernel metrics — and resumes a killed hunt from the
+    recorded prefix, which is valid because both modes are per-index
+    deterministic (the random mode seeds a fresh generator from each
+    run index).  The chunked sweep tries the same indices in the same
+    order as the one-shot search and returns the same winner and tried
+    count; the metrics differ only in shape (one root per chunk).
+    Deadline-interrupted chunks are never recorded.  Raises [Failure]
+    when resuming against a file whose header (protocol, property,
+    rule, n, seed, mode, budgets) differs. *)

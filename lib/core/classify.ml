@@ -105,7 +105,7 @@ let verdict_of_fact j =
     }
 
 let classify ?metrics ?db ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
-    ?(jobs = 1) ?par_threshold ?par_mode ?deadline ?max_live ~rule ~n
+    ?(jobs = 1) ?par_threshold ?par_mode ?deadline ?max_live ?spill ?checkpoint ~rule ~n
     (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
@@ -155,6 +155,8 @@ let classify ?metrics ?db ?max_failures ?max_configs ?inputs_choices ?(fifo_noti
         deadline;
         max_live;
         edge_sink;
+        spill;
+        checkpoint;
       }
     in
     let r = X.explore ?metrics ~options ~rule ~n () in

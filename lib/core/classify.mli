@@ -39,11 +39,19 @@ val classify :
   ?par_mode:Patterns_search.Search.par_mode ->
   ?deadline:float ->
   ?max_live:int ->
+  ?spill:Patterns_search.Search.spill ->
+  ?checkpoint:Patterns_search.Checkpoint.spec ->
   rule:Decision_rule.t ->
   n:int ->
   (module Protocol.S) ->
   verdict
-(** [par_mode] selects the parallel driver (default
+(** [spill] bounds the sweep's resident visited stores by spilling to
+    disk (bit-identical verdicts; {!Patterns_search.Search.spill});
+    [checkpoint] records each completed input vector so a killed sweep
+    resumes instead of restarting ({!Explore.Make.options}).  Neither
+    affects the verdict or the fact key.
+
+    [par_mode] selects the parallel driver (default
     {!Patterns_search.Search.Async}); exhaustive sweeps give identical
     verdicts for both modes and every [jobs], truncated ones should
     pin [Layers] when comparing counts across [jobs].

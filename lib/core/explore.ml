@@ -15,6 +15,8 @@ module Make (P : Protocol.S) = struct
     deadline : float option;
     max_live : int option;
     edge_sink : (src:int -> event:string -> dst:int -> unit) option;
+    spill : Patterns_search.Search.spill option;
+    checkpoint : Patterns_search.Checkpoint.spec option;
   }
 
   let default_options ~n =
@@ -29,6 +31,8 @@ module Make (P : Protocol.S) = struct
       deadline = None;
       max_live = None;
       edge_sink = None;
+      spill = None;
+      checkpoint = None;
     }
 
   type state_info = {
@@ -392,10 +396,10 @@ module Make (P : Protocol.S) = struct
       match options.par_mode with
       | Patterns_search.Search.Layers ->
         K.run_par ~pool ?par_threshold:options.par_threshold ~budget ?deadline
-          ?max_live:options.max_live ?edges ~expand ~root ()
+          ?max_live:options.max_live ?spill:options.spill ?edges ~expand ~root ()
       | Patterns_search.Search.Async ->
-        K.run_par_async ~pool ~budget ?deadline ?max_live:options.max_live ?edges ~expand
-          ~root ()
+        K.run_par_async ~pool ~budget ?deadline ?max_live:options.max_live
+          ?spill:options.spill ?edges ~expand ~root ()
     in
     let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
     let cell i = Option.map snd o.cells.(i) in
@@ -481,13 +485,52 @@ module Make (P : Protocol.S) = struct
     let remaining () =
       Option.map (fun te -> Float.max 0. (te -. Patterns_search.Search.now ())) t_end
     in
+    (* Checkpoint granularity is the input vector, the sweep's natural
+       unit of deterministic work.  The header pins everything a
+       per-vector (report, metrics) payload depends on; [jobs] and
+       [deadline] are absent because jobs never changes a payload and
+       deadline-truncated vectors are never recorded. *)
+    let ckpt =
+      Option.map
+        (fun spec ->
+          let opt = function None -> "-" | Some i -> string_of_int i in
+          let header =
+            Printf.sprintf "explore/1|%s|rule=%s|n=%d|mf=%d|mc=%d|fifo=%b|ml=%s|mode=%s|spill=%s|iv=%s"
+              P.name
+              (Format.asprintf "%a" Patterns_protocols.Decision_rule.pp rule)
+              n options.max_failures options.max_configs options.fifo_notices
+              (opt options.max_live)
+              (Patterns_search.Search.par_mode_string options.par_mode)
+              (opt
+                 (Option.map
+                    (fun s -> s.Patterns_search.Search.mem_budget)
+                    options.spill))
+              (Digest.to_hex (Digest.string (Marshal.to_string options.inputs_choices [])))
+          in
+          match Patterns_search.Checkpoint.create spec ~header with
+          | Ok t -> t
+          | Error e -> failwith e)
+        options.checkpoint
+    in
     let report, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs:options.jobs (fun pool ->
           List.fold_left
             (fun (acc, ms) (i, inputs) ->
               let r, m =
-                explore_one_vector ?deadline:(remaining ()) ~options ~pool ~budget ~rule ~n
-                  inputs
+                match
+                  Option.bind ckpt (fun t -> Patterns_search.Checkpoint.find t i)
+                with
+                | Some payload -> payload
+                | None ->
+                  let (_, m) as fresh =
+                    explore_one_vector ?deadline:(remaining ()) ~options ~pool ~budget
+                      ~rule ~n inputs
+                  in
+                  if m.Patterns_search.Metrics.deadline_hits = 0 then
+                    Option.iter
+                      (fun t -> Patterns_search.Checkpoint.record t i fresh)
+                      ckpt;
+                  fresh
               in
               ( merge_reports acc r,
                 Patterns_search.Metrics.merge ms

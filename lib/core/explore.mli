@@ -70,12 +70,28 @@ module Make (P : Protocol.S) : sig
             thread safety is the callee's obligation (the execution
             database locks internally).  [None] (the default) records
             nothing and costs nothing. *)
+    spill : Patterns_search.Search.spill option;
+        (** disk-backed visited storage for every vector's search —
+            bit-identical reports and /1–/6 metrics, bounded resident
+            store ({!Patterns_search.Search.spill}) *)
+    checkpoint : Patterns_search.Checkpoint.spec option;
+        (** record each completed input vector's (report, metrics)
+            payload; a resumed sweep replays recorded vectors and
+            recomputes only the rest, yielding the identical report
+            and metrics as an uninterrupted run.  Deadline-truncated
+            vectors are never recorded.  Replayed vectors do not
+            re-invoke [edge_sink] (their payload carries no edges), so
+            an execution database populated across a resume covers
+            only the resumed vectors.  Raises [Failure] on a header
+            mismatch (protocol, rule, n, budgets, driver family, spill
+            budget, input vectors). *)
   }
 
   val default_options : n:int -> options
   (** All [2^n] input vectors, one failure, 400_000 configurations,
       unordered notices, one worker, automatic parallel threshold,
-      async driver, no deadline, no live-state limit, no edge sink. *)
+      async driver, no deadline, no live-state limit, no edge sink,
+      no spilling, no checkpoint. *)
 
   type state_info = {
     state : P.state;

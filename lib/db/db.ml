@@ -18,7 +18,11 @@ type t = {
   facts : (string * string, Json.t) Hashtbl.t;
 }
 
-let schema = "patterns-edge-db/1"
+(* /2 is the JSONL stream [save] writes; /1 is the original monolithic
+   JSON document, still read by [load] (and still what [to_json] /
+   [of_json] speak, for clients that want one value). *)
+let schema = "patterns-edge-db/2"
+let schema_v1 = "patterns-edge-db/1"
 
 let create ?(cache_capacity = 128) () =
   {
@@ -162,7 +166,7 @@ let to_json t =
       in
       Json.Obj
         [
-          ("schema", Json.String schema);
+          ("schema", Json.String schema_v1);
           ("configs", Json.List (List.rev !configs));
           ("events", Json.List (List.rev !events));
           ("edges", Json.List edges);
@@ -172,7 +176,7 @@ let to_json t =
 let of_json j =
   let ( let* ) = Result.bind in
   let* s = Result.bind (Json.field "schema" j) Json.to_str in
-  if not (String.equal s schema) then Error (Printf.sprintf "unsupported db schema %S" s)
+  if not (String.equal s schema_v1) then Error (Printf.sprintf "unsupported db schema %S" s)
   else
     let* configs = Result.bind (Json.field "configs" j) Json.to_list in
     let* events = Result.bind (Json.field "events" j) Json.to_list in
@@ -228,24 +232,168 @@ let of_json j =
     in
     Ok t
 
+(* ----- streaming JSONL (/2) ----- *)
+
+(* One-line rendering for the /2 records: {!Json.to_string} breaks
+   objects one element per line by design, so the stream writes its
+   own compact form (same RFC 8259 escaping, no layout). *)
+let escape_to b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec compact_to b (j : Json.t) =
+  match j with
+  | Json.Null -> Buffer.add_string b "null"
+  | Json.Bool x -> Buffer.add_string b (string_of_bool x)
+  | Json.Int i -> Buffer.add_string b (string_of_int i)
+  | Json.Float f -> Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Json.String s -> escape_to b s
+  | Json.List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        compact_to b x)
+      xs;
+    Buffer.add_char b ']'
+  | Json.Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        escape_to b k;
+        Buffer.add_char b ':';
+        compact_to b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let output_record oc j =
+  let b = Buffer.create 64 in
+  compact_to b j;
+  Buffer.add_char b '\n';
+  Buffer.output_buffer oc b
+
+(* The /2 stream: a schema marker line, then one record per line —
+   ["c"] config fingerprints in id order, ["e"] event descriptors in
+   id order, ["t"] edge id-triples in SEO key order, ["f"] facts
+   sorted by (kind, key).  Each record is rendered and written
+   individually, so saving never materialises the whole database as
+   one string (the /1 document did, doubling peak memory on large
+   edge logs). *)
 let save t path =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (Json.to_string (to_json t));
-      output_char oc '\n')
+      locked t (fun () ->
+          output_record oc (Json.Obj [ ("schema", Json.String schema) ]);
+          Dict.iter (fun _ fp -> output_record oc (Json.Obj [ ("c", Json.Int fp) ])) t.configs;
+          Dict.iter
+            (fun _ d -> output_record oc (Json.Obj [ ("e", Json.String d) ]))
+            t.events;
+          Sset.iter
+            (fun k ->
+              let s, e, o = Index.decode Index.Seo k in
+              output_record oc
+                (Json.Obj [ ("t", Json.List [ Json.Int s; Json.Int e; Json.Int o ]) ]))
+            t.seo;
+          Hashtbl.fold (fun (kind, key) v acc -> (kind, key, v) :: acc) t.facts []
+          |> List.sort (fun (k1, key1, _) (k2, key2, _) ->
+                 match String.compare k1 k2 with 0 -> String.compare key1 key2 | c -> c)
+          |> List.iter (fun (kind, key, v) ->
+                 output_record oc
+                   (Json.Obj
+                      [
+                        ( "f",
+                          Json.Obj
+                            [
+                              ("kind", Json.String kind);
+                              ("key", Json.String key);
+                              ("value", v);
+                            ] );
+                      ]))))
 
+let apply_record t j =
+  let ( let* ) = Result.bind in
+  match j with
+  | Json.Obj [ ("c", fp) ] ->
+    let* fp = Json.to_int fp in
+    ignore (Dict.intern t.configs fp);
+    Ok ()
+  | Json.Obj [ ("e", d) ] ->
+    let* d = Json.to_str d in
+    ignore (Dict.intern t.events d);
+    Ok ()
+  | Json.Obj [ ("t", triple) ] -> (
+    let* triple = Json.to_list triple in
+    match triple with
+    | [ s; ev; o ] -> (
+      let* s = Json.to_int s in
+      let* ev = Json.to_int ev in
+      let* o = Json.to_int o in
+      match (Dict.value t.configs s, Dict.value t.events ev, Dict.value t.configs o) with
+      | Some sfp, Some d, Some ofp ->
+        add_edge_unlocked t ~src:sfp ~event:d ~dst:ofp;
+        Ok ()
+      | _ -> Error "edge references an id outside the dictionaries")
+    | _ -> Error "edge is not a 3-element list")
+  | Json.Obj [ ("f", f) ] ->
+    let* kind = Result.bind (Json.field "kind" f) Json.to_str in
+    let* key = Result.bind (Json.field "key" f) Json.to_str in
+    let* v = Json.field "value" f in
+    Hashtbl.replace t.facts (kind, key) v;
+    Ok ()
+  | _ -> Error "unrecognised record"
+
+(* A /2 file is recognised by its first line (the schema marker
+   object) and streamed line by line; anything else — including a /1
+   document, whose first line is the opening brace — is read whole
+   and handed to the /1 parser, which reports unsupported schemas. *)
 let load path =
   if not (Sys.file_exists path) then Ok (create ())
   else
     let ic = open_in_bin path in
-    let contents =
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match Json.of_string contents with
-    | Error e -> Error (Printf.sprintf "%s: %s" path e)
-    | Ok j -> (
-      match of_json j with Error e -> Error (Printf.sprintf "%s: %s" path e) | Ok t -> Ok t)
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let first = match input_line ic with exception End_of_file -> "" | l -> l in
+        let is_v2 =
+          match Json.of_string first with
+          | Ok (Json.Obj [ ("schema", Json.String s) ]) -> String.equal s schema
+          | _ -> false
+        in
+        if is_v2 then begin
+          let t = create () in
+          let rec go lineno =
+            match input_line ic with
+            | exception End_of_file -> Ok t
+            | "" -> go (lineno + 1)
+            | line -> (
+              match Result.bind (Json.of_string line) (apply_record t) with
+              | Ok () -> go (lineno + 1)
+              | Error e -> Error (Printf.sprintf "%s: line %d: %s" path lineno e))
+          in
+          go 2
+        end
+        else
+          let rest =
+            let n = in_channel_length ic - pos_in ic in
+            if n <= 0 then "" else really_input_string ic n
+          in
+          match
+            Result.bind (Json.of_string (first ^ "\n" ^ rest)) of_json
+          with
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)
+          | Ok t -> Ok t)

@@ -35,7 +35,12 @@ type stats = {
 }
 
 val schema : string
-(** ["patterns-edge-db/1"] — the persisted JSON schema. *)
+(** ["patterns-edge-db/2"] — the persisted JSONL schema written by
+    {!save}: a schema marker line, then one compact record per line
+    (["c"] config fingerprints in id order, ["e"] event descriptors in
+    id order, ["t"] edge id-triples in SEO key order, ["f"] facts
+    sorted by (kind, key)).  {!load} also reads the original
+    monolithic /1 JSON document. *)
 
 val create : ?cache_capacity:int -> unit -> t
 (** Fresh empty database; [cache_capacity] bounds the query-result
@@ -75,16 +80,23 @@ val facts : t -> kind:string -> (string * Patterns_stdx.Json.t) list
 (** {1 Persistence} *)
 
 val to_json : t -> Patterns_stdx.Json.t
-(** Stable JSON: dictionaries in id order, edges in SEO key order,
-    facts sorted by [(kind, key)]. *)
+(** Stable /1 JSON document: dictionaries in id order, edges in SEO
+    key order, facts sorted by [(kind, key)] — one value, for clients
+    that want the whole database in memory. *)
 
 val of_json : Patterns_stdx.Json.t -> (t, string) result
-(** Rebuild a database (dictionaries re-interned in id order, all
-    three indexes reconstructed). *)
+(** Rebuild a database from a /1 document (dictionaries re-interned
+    in id order, all three indexes reconstructed). *)
 
 val save : t -> string -> unit
-(** Write {!to_json} to a file (trailing newline). *)
+(** Stream the database to a file in the /2 JSONL form, one record
+    rendered and written at a time — saving never materialises the
+    whole database as a string, so [--db] does not double peak memory
+    on large edge logs. *)
 
 val load : string -> (t, string) result
-(** Read a database from a file.  A missing file is an empty database
-    (so [--db FILE] works on first use); a malformed one is [Error]. *)
+(** Read a database from a file: a /2 stream (recognised by its first
+    line) is applied record by record, anything else is parsed as a
+    /1 document.  A missing file is an empty database (so [--db FILE]
+    works on first use); a malformed one is [Error] naming the
+    offending line. *)

@@ -87,16 +87,16 @@ module Make (P : Protocol.S) = struct
      set and terminal count as the layered driver's frontier-order
      fold. *)
   let patterns_for_inputs_m ?pool ?par_threshold ?(par_mode = Search.Async)
-      ?(max_configs = 1_000_000) ?deadline ?max_live ~n ~inputs () =
+      ?(max_configs = 1_000_000) ?deadline ?max_live ?spill ~n ~inputs () =
     let root = E.init ~n ~inputs in
     let outcome, o, m =
       match par_mode with
       | Search.Layers ->
-        K.run_par ?pool ?par_threshold ~budget:max_configs ?deadline ?max_live
+        K.run_par ?pool ?par_threshold ~budget:max_configs ?deadline ?max_live ?spill
           ~expand:obs_expand ~root ()
       | Search.Async ->
-        K.run_par_async ?pool ~budget:max_configs ?deadline ?max_live ~expand:obs_expand
-          ~root ()
+        K.run_par_async ?pool ~budget:max_configs ?deadline ?max_live ?spill
+          ~expand:obs_expand ~root ()
     in
     let m = Metrics.with_intern_bindings (E.intern_bindings root) m in
     ( ( o.pats,
@@ -108,14 +108,38 @@ module Make (P : Protocol.S) = struct
       m )
 
   let patterns_for_inputs ?metrics ?(jobs = 1) ?par_threshold ?par_mode ?max_configs
-      ?deadline ?max_live ~n ~inputs () =
+      ?deadline ?max_live ?spill ~n ~inputs () =
     let result, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
           patterns_for_inputs_m ~pool ?par_threshold ?par_mode ?max_configs ?deadline
-            ?max_live ~n ~inputs ())
+            ?max_live ?spill ~n ~inputs ())
     in
     Search.merge_into metrics m;
     result
+
+  (* The checkpoint header encodes everything a per-root payload
+     depends on: protocol, n, the per-root budget knobs, the driver
+     family, the spill budget (which shifts the /7 counters inside
+     recorded metrics) and any extra client key (realization targets).
+     [jobs] and [deadline] are deliberately absent — jobs never
+     changes a payload, and deadline-truncated roots are never
+     recorded. *)
+  let checkpoint_header ~kind ?max_configs ?max_live ?par_mode ?spill ?(extra = "") ~n ()
+      =
+    let opt = function None -> "-" | Some i -> string_of_int i in
+    Printf.sprintf "%s/1|%s|n=%d|mc=%s|ml=%s|mode=%s|spill=%s%s" kind P.name n
+      (opt max_configs) (opt max_live)
+      (Search.par_mode_string (Option.value par_mode ~default:Search.Async))
+      (opt (Option.map (fun s -> s.Search.mem_budget) spill))
+      (if extra = "" then "" else "|" ^ extra)
+
+  let open_checkpoint spec ~header =
+    Option.map
+      (fun spec ->
+        match Checkpoint.create spec ~header with
+        | Ok t -> t
+        | Error e -> failwith e)
+      spec
 
   (* [par_mode] defaults to [Layers], not [Async]: the documented
      shortest-witness guarantee needs the layered driver's
@@ -124,7 +148,8 @@ module Make (P : Protocol.S) = struct
      [Async] is still accepted for callers that only need *a*
      witness. *)
   let realize ?metrics ?(jobs = 1) ?par_threshold ?(par_mode = Search.Layers)
-      ?(max_configs = 1_000_000) ?deadline ?max_live ~n ~inputs ~target () =
+      ?(max_configs = 1_000_000) ?deadline ?max_live ?spill ?checkpoint ~n ~inputs
+      ~target () =
     (* the accumulated pattern must be a prefix of the target: its
        triples a subset, and the orders in agreement *)
     let prefix_ok c =
@@ -162,23 +187,45 @@ module Make (P : Protocol.S) = struct
       && Pattern.equal (Pattern.make (E.triples_of s.R.c) (E.pattern_edges s.R.c)) target
     in
     let prune s = not (prefix_ok s.R.c) in
-    let root_config = E.init ~n ~inputs in
-    let outcome, (), m =
-      Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
-          match par_mode with
-          | Search.Layers ->
-            K.run_par ~pool ?par_threshold ~budget:max_configs ?deadline ?max_live
-              ~is_goal ~prune ~expand ~root:(R.make root_config []) ()
-          | Search.Async ->
-            K.run_par_async ~pool ~budget:max_configs ?deadline ?max_live ~is_goal ~prune
-              ~expand ~root:(R.make root_config []) ())
+    (* the target (and input vector) are part of what the recorded
+       answer depends on; a structural digest keys them into the
+       header *)
+    let header =
+      checkpoint_header ~kind:"realize" ~max_configs:max_configs ?max_live ~par_mode
+        ?spill
+        ~extra:
+          (Printf.sprintf "key=%s"
+             (Digest.to_hex (Digest.string (Marshal.to_string (inputs, target) []))))
+        ~n ()
     in
-    let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
-    Search.merge_into metrics m;
-    match outcome with
-    | Search.Goal_found s -> Realized (List.rev s.R.path)
-    | Search.Exhausted -> Unrealizable
-    | Search.Truncated _ -> Truncated
+    let ckpt = open_checkpoint checkpoint ~header in
+    match Option.bind ckpt (fun t -> Checkpoint.find t 0) with
+    | Some (r, m) ->
+      Search.merge_into metrics m;
+      r
+    | None ->
+      let root_config = E.init ~n ~inputs in
+      let outcome, (), m =
+        Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
+            match par_mode with
+            | Search.Layers ->
+              K.run_par ~pool ?par_threshold ~budget:max_configs ?deadline ?max_live
+                ?spill ~is_goal ~prune ~expand ~root:(R.make root_config []) ()
+            | Search.Async ->
+              K.run_par_async ~pool ~budget:max_configs ?deadline ?max_live ?spill
+                ~is_goal ~prune ~expand ~root:(R.make root_config []) ())
+      in
+      let m = Metrics.with_intern_bindings (E.intern_bindings root_config) m in
+      Search.merge_into metrics m;
+      let r =
+        match outcome with
+        | Search.Goal_found s -> Realized (List.rev s.R.path)
+        | Search.Exhausted -> Unrealizable
+        | Search.Truncated _ -> Truncated
+      in
+      if m.Metrics.deadline_hits = 0 then
+        Option.iter (fun t -> Checkpoint.record t 0 (r, m)) ckpt;
+      r
 
   let merge_stats a b =
     {
@@ -196,19 +243,32 @@ module Make (P : Protocol.S) = struct
      merges payloads and metrics in vector order, bit-identical for
      every [jobs]. *)
   let scheme ?metrics ?max_configs ?deadline ?max_live ?(jobs = 1) ?par_threshold
-      ?par_mode ~n () =
+      ?par_mode ?spill ?checkpoint ~n () =
     (* [deadline] bounds the whole sweep, so each root receives the
        time remaining when its turn comes; a root starting past the
        deadline gets a zero allowance and truncates immediately *)
     let t_end = Option.map (fun d -> Search.now () +. d) deadline in
     let remaining () = Option.map (fun te -> Float.max 0. (te -. Search.now ())) t_end in
+    let header = checkpoint_header ~kind:"scheme" ?max_configs ?max_live ?par_mode ?spill ~n () in
+    let ckpt = open_checkpoint checkpoint ~header in
     let result, m =
       Patterns_stdx.Domain_pool.with_pool ~jobs (fun pool ->
           List.fold_left
             (fun ((acc, st), ms) (i, inputs) ->
               let (pats, st'), m =
-                patterns_for_inputs_m ~pool ?par_threshold ?par_mode ?max_configs
-                  ?deadline:(remaining ()) ?max_live ~n ~inputs ()
+                match Option.bind ckpt (fun t -> Checkpoint.find t i) with
+                | Some payload -> payload
+                | None ->
+                  let ((_, _), m) as fresh =
+                    patterns_for_inputs_m ~pool ?par_threshold ?par_mode ?max_configs
+                      ?deadline:(remaining ()) ?max_live ?spill ~n ~inputs ()
+                  in
+                  (* deadline truncation is wall-clock-dependent;
+                     recording it would bake nondeterminism into a
+                     resumed sweep, so such roots re-run instead *)
+                  if m.Metrics.deadline_hits = 0 then
+                    Option.iter (fun t -> Checkpoint.record t i fresh) ckpt;
+                  fresh
               in
               ( (Pattern.Set.union acc pats, merge_stats st st'),
                 Metrics.merge ms (Metrics.with_root_index i m) ))

@@ -39,6 +39,7 @@ module Make (P : Protocol.S) : sig
     ?max_configs:int ->
     ?deadline:float ->
     ?max_live:int ->
+    ?spill:Patterns_search.Search.spill ->
     n:int ->
     inputs:bool list ->
     unit ->
@@ -70,6 +71,8 @@ module Make (P : Protocol.S) : sig
     ?jobs:int ->
     ?par_threshold:int ->
     ?par_mode:Patterns_search.Search.par_mode ->
+    ?spill:Patterns_search.Search.spill ->
+    ?checkpoint:Patterns_search.Checkpoint.spec ->
     n:int ->
     unit ->
     Pattern.Set.t * stats
@@ -80,7 +83,18 @@ module Make (P : Protocol.S) : sig
       sweep is bit-identical to the sequential run for every [jobs],
       [par_threshold] and [par_mode].  [deadline] bounds the whole
       sweep (each vector's search receives the time remaining);
-      [max_live] bounds each vector's search separately. *)
+      [max_live] bounds each vector's search separately.  [spill]
+      swaps each root's visited store for the disk-backed spill store
+      (bit-identical results; see {!Patterns_search.Search.spill}).
+      [checkpoint] records each completed input vector's payload at
+      vector-index granularity; a resumed sweep replays recorded
+      vectors from the file and recomputes only the rest, yielding
+      the identical scheme, stats and metrics as an uninterrupted run
+      (deadline-truncated vectors are never recorded — resuming them
+      would bake a wall-clock-dependent result into a deterministic
+      sweep).  Raises [Failure] when resuming against a file whose
+      header (protocol, n, budgets, driver family, spill budget)
+      differs. *)
 
   val realize :
     ?metrics:Patterns_search.Metrics.t ref ->
@@ -90,6 +104,8 @@ module Make (P : Protocol.S) : sig
     ?max_configs:int ->
     ?deadline:float ->
     ?max_live:int ->
+    ?spill:Patterns_search.Search.spill ->
+    ?checkpoint:Patterns_search.Checkpoint.spec ->
     n:int ->
     inputs:bool list ->
     target:Pattern.t ->
@@ -106,7 +122,10 @@ module Make (P : Protocol.S) : sig
       ({!Realized} / {!Unrealizable}) is unchanged but the witness is
       schedule-dependent and need not be shortest.  {!Truncated} is
       distinct from {!Unrealizable}: an answer cut short by
-      [max_configs] is not evidence of unrealizability. *)
+      [max_configs] is not evidence of unrealizability.  [spill] and
+      [checkpoint] behave as in {!scheme} (a realization is a single
+      root, recorded at index 0; the target and inputs key the
+      checkpoint header). *)
 end
 
 val subscheme : Pattern.Set.t -> Pattern.Set.t -> bool

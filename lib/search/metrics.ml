@@ -57,6 +57,11 @@ type t = {
   db_index_scans : int;
   db_cache_hits : int;
   db_cache_misses : int;
+  spill_runs : int;
+  spill_evictions : int;
+  spill_probes : int;
+  spill_read_bytes : int;
+  spill_write_bytes : int;
   shards : shard list;
 }
 
@@ -92,6 +97,11 @@ let zero =
     db_index_scans = 0;
     db_cache_hits = 0;
     db_cache_misses = 0;
+    spill_runs = 0;
+    spill_evictions = 0;
+    spill_probes = 0;
+    spill_read_bytes = 0;
+    spill_write_bytes = 0;
     shards = [];
   }
 
@@ -168,6 +178,23 @@ let with_db ~edges ~index_scans ~cache_hits ~cache_misses m =
     db_cache_misses = cache_misses;
   }
 
+(* Retag a metrics record with a spill-store snapshot.  All five
+   counters are deterministic under the serial and layer-synchronous
+   drivers (eviction happens at schedule-independent points there) and
+   schedule-dependent under the asynchronous driver at jobs > 1 — the
+   same caveat as [intern_bindings], and gated the same way by the
+   bench --check harness.  All five are 0 unless a --spill-dir was
+   given. *)
+let with_spill ~runs ~evictions ~probes ~read_bytes ~write_bytes m =
+  {
+    m with
+    spill_runs = runs;
+    spill_evictions = evictions;
+    spill_probes = probes;
+    spill_read_bytes = read_bytes;
+    spill_write_bytes = write_bytes;
+  }
+
 let with_root_index i m =
   { m with shards = List.map (fun s -> { s with root = i }) m.shards }
 
@@ -212,6 +239,11 @@ let merge a b =
     db_index_scans = a.db_index_scans + b.db_index_scans;
     db_cache_hits = a.db_cache_hits + b.db_cache_hits;
     db_cache_misses = a.db_cache_misses + b.db_cache_misses;
+    spill_runs = a.spill_runs + b.spill_runs;
+    spill_evictions = a.spill_evictions + b.spill_evictions;
+    spill_probes = a.spill_probes + b.spill_probes;
+    spill_read_bytes = a.spill_read_bytes + b.spill_read_bytes;
+    spill_write_bytes = a.spill_write_bytes + b.spill_write_bytes;
     shards = a.shards @ b.shards;
   }
 
@@ -227,6 +259,11 @@ let merge a b =
    schema /6 appends the execution-database counters "db_edges",
    "db_index_scans", "db_cache_hits", "db_cache_misses" (deterministic,
    all 0 unless a --db was attached) after "idle_seconds";
+   schema /7 appends the spill-store counters "spill_runs",
+   "spill_evictions", "spill_probes", "spill_read_bytes",
+   "spill_write_bytes" (all 0 unless a --spill-dir was given;
+   deterministic except under the asynchronous driver at jobs > 1,
+   like "intern_bindings") after "db_cache_misses";
    every earlier field is unchanged in name, meaning and order.
    "lock_contention", "expand_seconds", "parallel_efficiency" and the
    whole /5 section are the nondeterministic top-level fields
@@ -245,7 +282,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/6\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/7\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -281,7 +318,12 @@ let to_json ?(shards = true) m =
   Buffer.add_string b (Printf.sprintf "  \"db_edges\": %d,\n" m.db_edges);
   Buffer.add_string b (Printf.sprintf "  \"db_index_scans\": %d,\n" m.db_index_scans);
   Buffer.add_string b (Printf.sprintf "  \"db_cache_hits\": %d,\n" m.db_cache_hits);
-  Buffer.add_string b (Printf.sprintf "  \"db_cache_misses\": %d" m.db_cache_misses);
+  Buffer.add_string b (Printf.sprintf "  \"db_cache_misses\": %d,\n" m.db_cache_misses);
+  Buffer.add_string b (Printf.sprintf "  \"spill_runs\": %d,\n" m.spill_runs);
+  Buffer.add_string b (Printf.sprintf "  \"spill_evictions\": %d,\n" m.spill_evictions);
+  Buffer.add_string b (Printf.sprintf "  \"spill_probes\": %d,\n" m.spill_probes);
+  Buffer.add_string b (Printf.sprintf "  \"spill_read_bytes\": %d,\n" m.spill_read_bytes);
+  Buffer.add_string b (Printf.sprintf "  \"spill_write_bytes\": %d" m.spill_write_bytes);
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

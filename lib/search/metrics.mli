@@ -107,6 +107,19 @@ type t = {
       (** query-result cache hits (/6 section) *)
   db_cache_misses : int;
       (** query-result cache misses (/6 section) *)
+  spill_runs : int;
+      (** sorted runs written by the disk-backed visited store — 0
+          unless [--spill-dir] is given; deterministic except under the
+          async driver at [jobs > 1] (/7 section) *)
+  spill_evictions : int;
+      (** in-memory shards flushed to disk (several per run) (/7
+          section) *)
+  spill_probes : int;
+      (** visited probes that consulted the on-disk runs (/7 section) *)
+  spill_read_bytes : int;
+      (** bytes read from run files by probes (/7 section) *)
+  spill_write_bytes : int;
+      (** bytes written to run files by evictions (/7 section) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -163,6 +176,13 @@ val with_db :
     section).  All four counters are deterministic for a given
     recorded edge set and query sequence. *)
 
+val with_spill :
+  runs:int -> evictions:int -> probes:int -> read_bytes:int -> write_bytes:int -> t -> t
+(** Retag a record with a spill-store snapshot (the /7 section).
+    Deterministic under the serial and layer-synchronous drivers;
+    schedule-dependent under the async driver at [jobs > 1] (like
+    [intern_bindings]).  All 0 unless a [--spill-dir] was given. *)
+
 val parallel_efficiency : t -> float
 (** [expand_seconds] over summed shard wall-clock: the fraction of the
     run spent inside successor expansion, summed across workers.
@@ -176,18 +196,22 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/6"]: every /1, /2, /3, /4 and /5
-    key is unchanged in name, meaning and order; /4 appended the
+(** Schema ["patterns-search-metrics/7"]: every /1 … /6 key is
+    unchanged in name, meaning and order; /4 appended the
     graceful-degradation counters ["deadline_hits"] and
     ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appended the
     asynchronous driver's volatile section — ["steals"],
     ["steal_failures"], ["cas_retries"], ["table_occupancy"],
-    ["idle_seconds"] — after ["parallel_efficiency"]; /6 appends the
+    ["idle_seconds"] — after ["parallel_efficiency"]; /6 appended the
     deterministic execution-database counters — ["db_edges"],
     ["db_index_scans"], ["db_cache_hits"], ["db_cache_misses"] — after
-    ["idle_seconds"] (all 0 unless a [--db] is attached).  Key order
-    is stable and pinned by the cram test; [?shards:false] omits the
-    per-shard array (whose [seconds] are nondeterministic). *)
+    ["idle_seconds"] (all 0 unless a [--db] is attached); /7 appends
+    the spill-store counters — ["spill_runs"], ["spill_evictions"],
+    ["spill_probes"], ["spill_read_bytes"], ["spill_write_bytes"] —
+    after ["db_cache_misses"] (all 0 unless a [--spill-dir] is given).
+    Key order is stable and pinned by the cram test; [?shards:false]
+    omits the per-shard array (whose [seconds] are
+    nondeterministic). *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line summary: [expanded=… dedup=… peak=… outcome=…]. *)

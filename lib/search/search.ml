@@ -49,6 +49,18 @@ type par_mode = Layers | Async
 
 let par_mode_string = function Layers -> "layers" | Async -> "async"
 
+(* Disk-backed visited storage: when set, every driver swaps its
+   in-memory visited store for a {!Patterns_stdx.Spill_store} rooted
+   at [dir] and bounded to [mem_budget] resident bindings.  Probe
+   counting, cumulative binding counts and the insertion discipline
+   are identical to the in-memory stores, and eviction happens only at
+   deterministic driver-chosen points, so outcomes, pattern sets and
+   the /1–/6 metrics are bit-identical with or without spilling.  The
+   one semantic shift: the [max_live] guard counts {e resident}
+   bindings plus frontier, not cumulative bindings — spilling exists
+   precisely to take evicted states out of the live-memory budget. *)
+type spill = { dir : string; mem_budget : int }
+
 (* ----- fingerprint-indexed visited store ----- *)
 
 module Store = struct
@@ -152,11 +164,65 @@ module Make (P : Problem) = struct
         succs
       |> List.iteri (fun i dst -> f ~src ~event:i ~dst)
 
-  let run ?(strategy = Dfs) ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ?edges
-      ~root () =
-    let visited =
-      Store.create ~equal:(fun a b -> P.compare a b = 0) ~fingerprint:P.fingerprint ()
-    in
+  (* The serial driver's visited interface, spill-agnostic: [sv_add]
+     runs the spill store's eviction check after each insert (the
+     serial deterministic eviction point), [sv_live] is what the
+     [max_live] guard sees (cumulative bindings in memory, resident
+     bindings when spilling), and [sv_finish] retags the metrics with
+     the /7 section and disposes of the run files. *)
+  type serial_store = {
+    sv_mem : P.state -> bool;
+    sv_add : P.state -> unit;
+    sv_live : unit -> int;
+    sv_probes : unit -> int;
+    sv_collision_fallbacks : unit -> int;
+    sv_finish : Metrics.t -> Metrics.t;
+  }
+
+  let serial_store spill =
+    let equal a b = P.compare a b = 0 in
+    match spill with
+    | None ->
+      let visited = Store.create ~equal ~fingerprint:P.fingerprint () in
+      {
+        sv_mem = (fun s -> Store.mem visited s);
+        sv_add = (fun s -> Store.add visited s);
+        sv_live = (fun () -> Store.bindings visited);
+        sv_probes = (fun () -> Store.probes visited);
+        sv_collision_fallbacks = (fun () -> Store.collision_fallbacks visited);
+        sv_finish = Fun.id;
+      }
+    | Some { dir; mem_budget } ->
+      let visited =
+        Spill_store.create ~equal ~fingerprint:P.fingerprint ~dir ~mem_budget ()
+      in
+      {
+        sv_mem = (fun s -> Spill_store.mem visited s);
+        sv_add =
+          (fun s ->
+            Spill_store.add visited s;
+            Spill_store.maybe_evict visited);
+        sv_live = (fun () -> Spill_store.resident visited);
+        sv_probes = (fun () -> Spill_store.probes visited);
+        sv_collision_fallbacks = (fun () -> Spill_store.collision_fallbacks visited);
+        sv_finish =
+          (fun m ->
+            let m =
+              Metrics.with_spill
+                ~runs:(Spill_store.spill_runs visited)
+                ~evictions:(Spill_store.spill_evictions visited)
+                ~probes:(Spill_store.spill_probes visited)
+                ~read_bytes:(Spill_store.spill_read_bytes visited)
+                ~write_bytes:(Spill_store.spill_write_bytes visited)
+                m
+            in
+            Spill_store.dispose visited;
+            m);
+      }
+
+  let run ?(strategy = Dfs) ?(budget = max_int) ?deadline ?max_live ?spill ?is_goal ?prune
+      ?edges ~root () =
+    let visited = serial_store spill in
     let expanded = ref 0 and dedup = ref 0 and pruned = ref 0 in
     let size = ref 0 and peak = ref 0 in
     let push_batch, pop =
@@ -196,7 +262,7 @@ module Make (P : Problem) = struct
        expensive predicate (pattern-prefix tests), membership the
        cheap one *)
     let keep s =
-      if Store.mem visited s then begin
+      if visited.sv_mem s then begin
         incr dedup;
         false
       end
@@ -231,20 +297,20 @@ module Make (P : Problem) = struct
       | None -> Exhausted
       | Some s ->
         decr size;
-        if Store.mem visited s then begin
+        if visited.sv_mem s then begin
           incr dedup;
           loop ()
         end
         else if !expanded >= budget then
           Truncated (Budget_exhausted { budget; consumed = !expanded })
         else begin
-          match over_live (Store.bindings visited + !size + 1) with
+          match over_live (visited.sv_live () + !size + 1) with
           | Some t -> t
           | None -> (
             match over_deadline () with
             | Some t -> t
             | None ->
-              Store.add visited s;
+              visited.sv_add s;
               incr expanded;
               if goal s then Goal_found s
               else begin
@@ -265,13 +331,15 @@ module Make (P : Problem) = struct
         dedup_hits = !dedup;
         frontier_peak = !peak;
         pruned = !pruned;
-        fingerprint_probes = Store.probes visited;
-        collision_fallbacks = Store.collision_fallbacks visited;
+        fingerprint_probes = visited.sv_probes ();
+        collision_fallbacks = visited.sv_collision_fallbacks ();
         intern_bindings = 0;
         seconds;
       }
     in
-    (outcome, with_degradation outcome (Metrics.of_shard (outcome_kind outcome) shard))
+    ( outcome,
+      visited.sv_finish
+        (with_degradation outcome (Metrics.of_shard (outcome_kind outcome) shard)) )
 
   (* ----- level-synchronous parallel BFS ----- *)
 
@@ -291,19 +359,87 @@ module Make (P : Problem) = struct
     in
     go [] [] 0 states
 
+  (* The layered driver's visited interface.  [lv_layer_end] is the
+     spill store's deterministic eviction point (between layers, after
+     phase B — a function of the reachable graph's layer structure,
+     never of the worker count); [lv_live] feeds the [max_live] guard. *)
+  type layer_store = {
+    lv_mem : P.state -> bool;
+    lv_add_if_absent : P.state -> bool;
+    lv_shard_of_state : P.state -> int;
+    lv_nshards : int;
+    lv_shard_bits : int;
+    lv_live : unit -> int;
+    lv_bindings : unit -> int;
+    lv_probes : unit -> int;
+    lv_collision_fallbacks : unit -> int;
+    lv_lock_contention : unit -> int;
+    lv_occupancy_max : unit -> int;
+    lv_layer_end : unit -> unit;
+    lv_finish : Metrics.t -> Metrics.t;
+  }
+
+  let layer_store ?shard_bits spill =
+    let equal a b = P.compare a b = 0 in
+    match spill with
+    | None ->
+      let visited = Sharded_store.create ?shard_bits ~equal ~fingerprint:P.fingerprint () in
+      {
+        lv_mem = (fun s -> Sharded_store.mem visited s);
+        lv_add_if_absent = (fun s -> Sharded_store.add_if_absent visited s);
+        lv_shard_of_state = (fun s -> Sharded_store.shard_of_state visited s);
+        lv_nshards = Sharded_store.shards visited;
+        lv_shard_bits = Sharded_store.shard_bits visited;
+        lv_live = (fun () -> Sharded_store.bindings visited);
+        lv_bindings = (fun () -> Sharded_store.bindings visited);
+        lv_probes = (fun () -> Sharded_store.probes visited);
+        lv_collision_fallbacks = (fun () -> Sharded_store.collision_fallbacks visited);
+        lv_lock_contention = (fun () -> Sharded_store.lock_contention visited);
+        lv_occupancy_max = (fun () -> Sharded_store.occupancy_max visited);
+        lv_layer_end = ignore;
+        lv_finish = Fun.id;
+      }
+    | Some { dir; mem_budget } ->
+      let visited =
+        Spill_store.create ?shard_bits ~equal ~fingerprint:P.fingerprint ~dir ~mem_budget ()
+      in
+      {
+        lv_mem = (fun s -> Spill_store.mem visited s);
+        lv_add_if_absent = (fun s -> Spill_store.add_if_absent visited s);
+        lv_shard_of_state = (fun s -> Spill_store.shard_of_state visited s);
+        lv_nshards = Spill_store.shards visited;
+        lv_shard_bits = Spill_store.shard_bits visited;
+        lv_live = (fun () -> Spill_store.resident visited);
+        lv_bindings = (fun () -> Spill_store.bindings visited);
+        lv_probes = (fun () -> Spill_store.probes visited);
+        lv_collision_fallbacks = (fun () -> Spill_store.collision_fallbacks visited);
+        lv_lock_contention = (fun () -> Spill_store.lock_contention visited);
+        lv_occupancy_max = (fun () -> Spill_store.occupancy_max visited);
+        lv_layer_end = (fun () -> Spill_store.maybe_evict visited);
+        lv_finish =
+          (fun m ->
+            let m =
+              Metrics.with_spill
+                ~runs:(Spill_store.spill_runs visited)
+                ~evictions:(Spill_store.spill_evictions visited)
+                ~probes:(Spill_store.spill_probes visited)
+                ~read_bytes:(Spill_store.spill_read_bytes visited)
+                ~write_bytes:(Spill_store.spill_write_bytes visited)
+                m
+            in
+            Spill_store.dispose visited;
+            m);
+      }
+
   let run_par ?pool ?(par_threshold = default_par_threshold) ?shard_bits
-      ?(budget = max_int) ?deadline ?max_live ?is_goal ?prune ?edges ~expand:obs_iface
-      ~root () =
-    let visited =
-      Sharded_store.create ?shard_bits
-        ~equal:(fun a b -> P.compare a b = 0)
-        ~fingerprint:P.fingerprint ()
-    in
+      ?(budget = max_int) ?deadline ?max_live ?spill ?is_goal ?prune ?edges
+      ~expand:obs_iface ~root () =
+    let visited = layer_store ?shard_bits spill in
     let expanded = ref 0 and dedup = ref 0 and pruned = ref 0 in
     let peak = ref 0 and layers = ref 0 and par_layers = ref 0 in
     let expand_seconds = ref 0. in
     let goal = match is_goal with Some g -> g | None -> fun _ -> false in
-    let nshards = Sharded_store.shards visited in
+    let nshards = visited.lv_nshards in
     (* Work is dispatched through the pool only for layers that met
        the threshold; the tasks themselves are identical either way,
        so the threshold (like the worker count) cannot change any
@@ -320,10 +456,8 @@ module Make (P : Problem) = struct
        check sees the store plus the whole pending frontier *)
     let over_run len =
       match max_live with
-      | Some limit when Sharded_store.bindings visited + len > limit ->
-        Some
-          (Truncated
-             (Live_limit_exceeded { limit; live = Sharded_store.bindings visited + len }))
+      | Some limit when visited.lv_live () + len > limit ->
+        Some (Truncated (Live_limit_exceeded { limit; live = visited.lv_live () + len }))
       | _ -> (
         match deadline with
         | None -> None
@@ -333,7 +467,7 @@ module Make (P : Problem) = struct
             Some (Truncated (Deadline_exceeded { deadline = d; elapsed }))
           else None)
     in
-    ignore (Sharded_store.add_if_absent visited root : bool);
+    ignore (visited.lv_add_if_absent root : bool);
     let rec loop frontier =
       match frontier with
       | [] -> Exhausted
@@ -370,7 +504,7 @@ module Make (P : Problem) = struct
                 let o = obs_iface.empty () in
                 let dd = ref 0 and pr = ref 0 in
                 let keep s =
-                  if Sharded_store.mem visited s then begin
+                  if visited.lv_mem s then begin
                     incr dd;
                     false
                   end
@@ -410,7 +544,7 @@ module Make (P : Problem) = struct
           let by_shard = Array.make nshards [] in
           List.iter
             (fun s ->
-              let i = Sharded_store.shard_of_state visited s in
+              let i = visited.lv_shard_of_state s in
               by_shard.(i) <- s :: by_shard.(i))
             candidates;
           let fresh =
@@ -420,7 +554,7 @@ module Make (P : Problem) = struct
                 let kept =
                   List.filter
                     (fun c ->
-                      if Sharded_store.add_if_absent visited c then true
+                      if visited.lv_add_if_absent c then true
                       else begin
                         incr dups;
                         false
@@ -439,6 +573,9 @@ module Make (P : Problem) = struct
                 kept)
               fresh
           in
+          (* the between-layer eviction point: schedule-independent,
+             so spilling cannot move a truncation or change a count *)
+          visited.lv_layer_end ();
           loop next)
     in
     let outcome = loop [ root ] in
@@ -450,8 +587,8 @@ module Make (P : Problem) = struct
         dedup_hits = !dedup;
         frontier_peak = !peak;
         pruned = !pruned;
-        fingerprint_probes = Sharded_store.probes visited;
-        collision_fallbacks = Sharded_store.collision_fallbacks visited;
+        fingerprint_probes = visited.lv_probes ();
+        collision_fallbacks = visited.lv_collision_fallbacks ();
         intern_bindings = 0;
         seconds;
       }
@@ -459,13 +596,13 @@ module Make (P : Problem) = struct
     let m =
       Metrics.of_shard (outcome_kind outcome) shard
       |> Metrics.with_par ~layers:!layers ~par_layers:!par_layers
-           ~shard_bits:(Sharded_store.shard_bits visited)
-           ~occupancy_max:(Sharded_store.occupancy_max visited)
-           ~occupancy_total:(Sharded_store.bindings visited)
-           ~lock_contention:(Sharded_store.lock_contention visited)
+           ~shard_bits:visited.lv_shard_bits
+           ~occupancy_max:(visited.lv_occupancy_max ())
+           ~occupancy_total:(visited.lv_bindings ())
+           ~lock_contention:(visited.lv_lock_contention ())
            ~expand_seconds:!expand_seconds
     in
-    (outcome, !obs, with_degradation outcome m)
+    (outcome, !obs, visited.lv_finish (with_degradation outcome m))
 
   (* ----- asynchronous work-stealing driver ----- *)
 
@@ -500,14 +637,76 @@ module Make (P : Problem) = struct
      budget ticket is out of range, so exactly [budget] tickets are
      consumed and [states_expanded] is deterministic even for a
      truncated search (the *set* expanded is schedule-dependent). *)
-  let run_par_async ?pool ?capacity ?(budget = max_int) ?deadline ?max_live ?is_goal
+  (* The async driver's visited interface.  With a spill store the
+     lock-free table is replaced by the mutex-sharded spill cache
+     (add_if_absent ignores the worker hint); [av_tick] is the
+     eviction check, run once per processed state — deterministic at
+     [--jobs 1], schedule-dependent above it, which is why the /7
+     counters carry the same jobs>1 caveat as [intern_bindings]. *)
+  type async_store = {
+    av_add_if_absent : worker:int -> P.state -> bool;
+    av_live : unit -> int;
+    av_bindings : unit -> int;
+    av_probes : unit -> int;
+    av_collision_fallbacks : unit -> int;
+    av_lock_contention : unit -> int;
+    av_cas_retries : unit -> int;
+    av_occupancy : unit -> float;
+    av_bits : int;
+    av_tick : unit -> unit;
+    av_finish : Metrics.t -> Metrics.t;
+  }
+
+  let async_store ?capacity ~workers spill =
+    let equal a b = P.compare a b = 0 in
+    match spill with
+    | None ->
+      let table = Atomic_table.create ?capacity ~workers ~equal ~fingerprint:P.fingerprint () in
+      {
+        av_add_if_absent = (fun ~worker s -> Atomic_table.add_if_absent table ~worker s);
+        av_live = (fun () -> Atomic_table.bindings table);
+        av_bindings = (fun () -> Atomic_table.bindings table);
+        av_probes = (fun () -> Atomic_table.probes table);
+        av_collision_fallbacks = (fun () -> Atomic_table.collision_fallbacks table);
+        av_lock_contention = (fun () -> Atomic_table.lock_contention table);
+        av_cas_retries = (fun () -> Atomic_table.cas_retries table);
+        av_occupancy = (fun () -> Atomic_table.occupancy table);
+        av_bits = Atomic_table.initial_bits table;
+        av_tick = ignore;
+        av_finish = Fun.id;
+      }
+    | Some { dir; mem_budget } ->
+      let visited = Spill_store.create ~equal ~fingerprint:P.fingerprint ~dir ~mem_budget () in
+      {
+        av_add_if_absent = (fun ~worker:_ s -> Spill_store.add_if_absent visited s);
+        av_live = (fun () -> Spill_store.resident visited);
+        av_bindings = (fun () -> Spill_store.bindings visited);
+        av_probes = (fun () -> Spill_store.probes visited);
+        av_collision_fallbacks = (fun () -> Spill_store.collision_fallbacks visited);
+        av_lock_contention = (fun () -> Spill_store.lock_contention visited);
+        av_cas_retries = (fun () -> 0);
+        av_occupancy = (fun () -> 0.);
+        av_bits = Spill_store.shard_bits visited;
+        av_tick = (fun () -> Spill_store.maybe_evict visited);
+        av_finish =
+          (fun m ->
+            let m =
+              Metrics.with_spill
+                ~runs:(Spill_store.spill_runs visited)
+                ~evictions:(Spill_store.spill_evictions visited)
+                ~probes:(Spill_store.spill_probes visited)
+                ~read_bytes:(Spill_store.spill_read_bytes visited)
+                ~write_bytes:(Spill_store.spill_write_bytes visited)
+                m
+            in
+            Spill_store.dispose visited;
+            m);
+      }
+
+  let run_par_async ?pool ?capacity ?(budget = max_int) ?deadline ?max_live ?spill ?is_goal
       ?prune ?edges ~expand:obs_iface ~root () =
     let workers = match pool with Some p -> Domain_pool.jobs p | None -> 1 in
-    let table =
-      Atomic_table.create ?capacity ~workers
-        ~equal:(fun a b -> P.compare a b = 0)
-        ~fingerprint:P.fingerprint ()
-    in
+    let table = async_store ?capacity ~workers spill in
     let goal = match is_goal with Some g -> g | None -> fun _ -> false in
     let deques = Array.init workers (fun _ -> Ws_deque.create ()) in
     let in_flight = Atomic.make 1 in
@@ -521,9 +720,25 @@ module Make (P : Problem) = struct
     let steals = Array.make workers 0 and steal_failures = Array.make workers 0 in
     let idle = Array.make workers 0. and busy = Array.make workers 0. in
     let obss = Array.init workers (fun _ -> obs_iface.empty ()) in
+    (* queued = claimed states sitting in some deque (the async
+       frontier); its high-water mark is the driver's frontier_peak.
+       Deterministic at one worker (pushes and pops interleave in
+       program order); a schedule-dependent lower bound on the true
+       concurrent peak above that, same caveat as the /5 section. *)
+    let queued = Atomic.make 0 in
+    let qpeak = Atomic.make 0 in
+    let note_push () =
+      let q = Atomic.fetch_and_add queued 1 + 1 in
+      let rec bump () =
+        let p = Atomic.get qpeak in
+        if q > p && not (Atomic.compare_and_set qpeak p q) then bump ()
+      in
+      bump ()
+    in
     let t0 = now () in
-    ignore (Atomic_table.add_if_absent table ~worker:0 root : bool);
+    ignore (table.av_add_if_absent ~worker:0 root : bool);
     Ws_deque.push deques.(0) root;
+    note_push ();
     let process wi s =
       let ticket = Atomic.fetch_and_add tickets 1 in
       if ticket >= budget then Atomic.set budget_hit true
@@ -532,7 +747,7 @@ module Make (P : Problem) = struct
            then the deadline, then the goal test on the charged state *)
         (match max_live with
         | Some limit ->
-          let live = Atomic_table.bindings table in
+          let live = table.av_live () in
           if live > limit then
             request_halt (Truncated (Live_limit_exceeded { limit; live }))
         | None -> ());
@@ -553,12 +768,14 @@ module Make (P : Problem) = struct
                 match prune with
                 | Some p when p c -> pruned.(wi) <- pruned.(wi) + 1
                 | _ ->
-                  if Atomic_table.add_if_absent table ~worker:wi c then begin
+                  if table.av_add_if_absent ~worker:wi c then begin
                     Atomic.incr in_flight;
-                    Ws_deque.push deques.(wi) c
+                    Ws_deque.push deques.(wi) c;
+                    note_push ()
                   end
                   else dedup.(wi) <- dedup.(wi) + 1)
-              succs
+              succs;
+            table.av_tick ()
           end
         end
       end;
@@ -576,6 +793,7 @@ module Make (P : Problem) = struct
           match Ws_deque.steal deques.(v) with
           | Ws_deque.Stolen s ->
             steals.(wi) <- steals.(wi) + 1;
+            Atomic.decr queued;
             Some s
           | Ws_deque.Empty | Ws_deque.Retry ->
             steal_failures.(wi) <- steal_failures.(wi) + 1;
@@ -587,6 +805,7 @@ module Make (P : Problem) = struct
         else
           match Ws_deque.pop dq with
           | Some s ->
+            Atomic.decr queued;
             process wi s;
             loop ()
           | None ->
@@ -628,26 +847,24 @@ module Make (P : Problem) = struct
         Metrics.root = 0;
         states_expanded = isum expanded;
         dedup_hits = isum dedup;
-        frontier_peak = 0;
+        frontier_peak = Atomic.get qpeak;
         pruned = isum pruned;
-        fingerprint_probes = Atomic_table.probes table;
-        collision_fallbacks = Atomic_table.collision_fallbacks table;
+        fingerprint_probes = table.av_probes ();
+        collision_fallbacks = table.av_collision_fallbacks ();
         intern_bindings = 0;
         seconds;
       }
     in
     let m =
       Metrics.of_shard (outcome_kind outcome) shard
-      |> Metrics.with_async
-           ~shard_bits:(Atomic_table.initial_bits table)
-           ~occupancy_total:(Atomic_table.bindings table)
-           ~lock_contention:(Atomic_table.lock_contention table)
+      |> Metrics.with_async ~shard_bits:table.av_bits
+           ~occupancy_total:(table.av_bindings ())
+           ~lock_contention:(table.av_lock_contention ())
            ~expand_seconds:(fsum busy) ~steals:(isum steals)
-           ~steal_failures:(isum steal_failures)
-           ~cas_retries:(Atomic_table.cas_retries table)
-           ~table_occupancy:(Atomic_table.occupancy table) ~idle_seconds:(fsum idle)
+           ~steal_failures:(isum steal_failures) ~cas_retries:(table.av_cas_retries ())
+           ~table_occupancy:(table.av_occupancy ()) ~idle_seconds:(fsum idle)
     in
-    (outcome, obs, with_degradation outcome m)
+    (outcome, obs, table.av_finish (with_degradation outcome m))
 end
 
 (* ----- deterministic sharding per root ----- *)
@@ -680,8 +897,14 @@ let shard ~jobs ~f ~merge ~init roots =
    returned witness is the one at the globally smallest goal index —
    identical for every [--jobs].  A clean sweep evaluates every index
    exactly once ([Error max_index]); a deadline truncation stops
-   mid-stride and reports the wall-clock-dependent count tried. *)
-let find_first ?metrics ~jobs ?deadline ~max_index ~f () =
+   mid-stride and reports the wall-clock-dependent count tried.
+
+   [?start] (default 1) begins the scan at a later index — the hook
+   checkpoint resume uses to skip indices a previous process already
+   cleared; [start..max_index] is scanned with the same stride
+   discipline, so (winner, tried count) over a window is identical to
+   the same window of a full scan. *)
+let find_first ?metrics ~jobs ?deadline ?(start = 1) ~max_index ~f () =
   Domain_pool.with_pool ~jobs (fun pool ->
       let workers = Domain_pool.jobs pool in
       let best = Atomic.make max_int in
@@ -690,7 +913,7 @@ let find_first ?metrics ~jobs ?deadline ~max_index ~f () =
       let t0 = Unix.gettimeofday () in
       let work wi =
         let local = ref None in
-        let i = ref (wi + 1) in
+        let i = ref (start + wi) in
         let continue = ref true in
         while !continue && !i <= max_index do
           if !i > Atomic.get best then continue := false

@@ -68,6 +68,24 @@ type par_mode = Layers | Async
 
 val par_mode_string : par_mode -> string
 
+(** Disk-backed visited storage.  When passed to a driver, the
+    in-memory visited store is replaced by a
+    {!Patterns_stdx.Spill_store} rooted at [dir]: at most [mem_budget]
+    visited bindings stay resident, the rest live in sorted on-disk
+    runs probed by fingerprint.  Probe counting, cumulative binding
+    counts and the insertion discipline are identical to the in-memory
+    stores, and eviction happens only at deterministic driver-chosen
+    points (serial: per insert; layers: between layers; async: per
+    processed state), so outcomes, observations and the /1–/6 metrics
+    fields are bit-identical with or without spilling — the /7 spill
+    counters themselves are deterministic except under the async
+    driver at [jobs > 1].  One semantic shift: the [max_live] guard
+    counts {e resident} bindings plus frontier rather than cumulative
+    bindings — spilling exists precisely to move cold states out of
+    the live-memory budget.  Run files are deleted when the driver
+    returns. *)
+type spill = { dir : string; mem_budget : int }
+
 val merge_into : Metrics.t ref option -> Metrics.t -> unit
 (** [merge_into sink m]: accumulate [m] into an optional metrics sink
     (the convention used by every [?metrics] parameter downstream). *)
@@ -140,6 +158,7 @@ module Make (P : Problem) : sig
     ?budget:int ->
     ?deadline:float ->
     ?max_live:int ->
+    ?spill:spill ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
     ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
@@ -197,6 +216,7 @@ module Make (P : Problem) : sig
     ?budget:int ->
     ?deadline:float ->
     ?max_live:int ->
+    ?spill:spill ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
     ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
@@ -232,6 +252,7 @@ module Make (P : Problem) : sig
     ?budget:int ->
     ?deadline:float ->
     ?max_live:int ->
+    ?spill:spill ->
     ?is_goal:(P.state -> bool) ->
     ?prune:(P.state -> bool) ->
     ?edges:(src:P.state -> event:int -> dst:P.state -> unit) ->
@@ -258,7 +279,10 @@ module Make (P : Problem) : sig
       states (workers drain their deques dropping out-of-budget
       tickets), but *which* states is schedule-dependent, as are
       {!Goal_found} witnesses, [deadline] and [max_live] trigger
-      points, and every /5 metrics field — truncation-sensitive or
+      points, and every /5 metrics field.  [frontier_peak] reports the
+      high-water mark of claimed-but-unprocessed states across all
+      deques — deterministic at one worker, a schedule-dependent lower
+      bound on the true concurrent peak above that — truncation-sensitive or
       shortest-witness callers should use {!run_par}.  Unlike the
       serial keep order, successors are prune-tested {e before} the
       visited test ([prune] must be a pure predicate; the counts are
@@ -286,13 +310,17 @@ val find_first :
   ?metrics:Metrics.t ref ->
   jobs:int ->
   ?deadline:float ->
+  ?start:int ->
   max_index:int ->
   f:(int -> 'a option) ->
   unit ->
   ('a, int) result
-(** Strided goal search over the index space [1..max_index]: worker
-    [w] of [jobs] owns the stride [w+1, w+1+jobs, …] and scans it as
-    one long-lived task — zero shared mutable state beyond a CAS-min
+(** Strided goal search over the index space [start..max_index]
+    ([start] defaults to 1; checkpoint resume uses it to skip indices
+    a previous process already cleared — the (winner, tried) result
+    over a window is identical to the same window of a full scan):
+    worker [w] of [jobs] owns the stride [start+w, start+w+jobs, …]
+    and scans it as one long-lived task — zero shared mutable state beyond a CAS-min
     cell holding the smallest goal index found, so independent
     evaluations (hunt runs) never synchronize.  A worker abandons its
     stride only once its next index exceeds the current minimum, so

@@ -1,0 +1,89 @@
+(** Disk-backed spillable visited store: a {!Sharded_store}-shaped
+    in-memory cache bounded by a memory budget, evicting whole shards
+    to sorted {!Block_file} runs when the budget's high-water mark is
+    hit.
+
+    States are dictionary-encoded on insertion to dense ids (the
+    {!Dict} discipline); a spilled binding survives on disk only as
+    its 8-byte order-preserving fingerprint key plus that id, so disk
+    membership is decided by fingerprint alone — the same
+    collision-freeness assumption the in-memory stores certify with
+    their [collision_fallbacks] counter (≈ 0 on every workload in this
+    repo).  Eviction points are chosen by the drivers, not by [add],
+    so search outcomes are bit-identical with or without spilling.
+
+    Counting discipline matches {!Sharded_store}: {!mem} and
+    {!add_if_absent} each count one probe; {!add} is the serial
+    driver's uncounted insert after a counted {!mem}.  [bindings] and
+    [occupancy_max] report {e cumulative} distinct bindings (memory +
+    disk), so live-set accounting reads the same as the purely
+    in-memory stores. *)
+
+type 'a t
+
+val key_of_fingerprint : Fingerprint.t -> string
+(** Order-preserving 8-byte big-endian image of the full 63-bit
+    fingerprint: byte order = numeric order ({!Block_file}'s probe
+    contract). *)
+
+val default_shard_bits : int
+
+val create :
+  ?shard_bits:int ->
+  ?size:int ->
+  equal:('a -> 'a -> bool) ->
+  fingerprint:('a -> Fingerprint.t) ->
+  dir:string ->
+  mem_budget:int ->
+  unit ->
+  'a t
+(** A fresh store spilling into a private subdirectory of [dir]
+    (created if missing).  [mem_budget] is the high-water resident
+    binding count (clamped to ≥ 1); eviction drains residency to at
+    most half of it.  [shard_bits] is clamped to 0..10. *)
+
+val shards : 'a t -> int
+val shard_bits : 'a t -> int
+val shard_of : 'a t -> Fingerprint.t -> int
+val shard_of_state : 'a t -> 'a -> int
+
+val mem : 'a t -> 'a -> bool
+(** Membership in memory or on disk; counts one probe (plus one
+    spill probe if the disk is consulted). *)
+
+val add : 'a t -> 'a -> unit
+(** Uncounted insert; re-checks only the in-memory bucket (the
+    caller's preceding {!mem} covered the disk). *)
+
+val add_if_absent : 'a t -> 'a -> bool
+(** Atomic probe-and-insert; counts one probe; [true] iff inserted. *)
+
+val maybe_evict : 'a t -> unit
+(** Spill if resident bindings have reached the memory budget: the
+    drivers call this at deterministic points (serial: after each
+    insert; layers: between layers; async: per processed state).
+    Takes every shard lock; callers must hold none. *)
+
+val bindings : 'a t -> int
+(** Cumulative distinct bindings, in memory and on disk. *)
+
+val resident : 'a t -> int
+(** Bindings currently in memory. *)
+
+val probes : 'a t -> int
+val collision_fallbacks : 'a t -> int
+val lock_contention : 'a t -> int
+
+val occupancy_max : 'a t -> int
+(** Max per-shard cumulative bindings. *)
+
+val spill_runs : 'a t -> int
+val spill_evictions : 'a t -> int
+(** Shard flushes (several per run). *)
+
+val spill_probes : 'a t -> int
+val spill_read_bytes : 'a t -> int
+val spill_write_bytes : 'a t -> int
+
+val dispose : 'a t -> unit
+(** Delete the run files and the private subdirectory. *)

@@ -3,13 +3,16 @@ Per-shard wall-clock seconds, the aggregate expand_seconds, the
 derived parallel_efficiency, lock_contention, and the /5 volatile
 section (steals, steal_failures, cas_retries, table_occupancy,
 idle_seconds) are the only nondeterministic fields — plus
-intern_bindings when the async driver runs several workers; everything
-else is pinned, key order included.  The /6 database counters
-(db_edges, db_index_scans, db_cache_hits, db_cache_misses) are
-deterministic and stay zero without --db.  This document runs at the default
---jobs 1, where intern_bindings is deterministic and stays pinned.
-The default driver is the asynchronous
-work-stealing one, whose layer/frontier gauges are structurally zero:
+intern_bindings and the frontier gauges when the async driver runs
+several workers; everything else is pinned, key order included.  The
+/6 database counters (db_edges, db_index_scans, db_cache_hits,
+db_cache_misses) are deterministic and stay zero without --db, and the
+/7 spill counters (spill_runs, spill_evictions, spill_probes,
+spill_read_bytes, spill_write_bytes) stay zero without --spill-dir.
+This document runs at the default --jobs 1, where intern_bindings is
+deterministic and stays pinned.  The default driver is the
+asynchronous work-stealing one; its layer gauges are structurally zero
+and its frontier_peak is the high-water mark of the work queue:
 
   $ patterns-cli scheme fig3-chain -n 3 --metrics-json - \
   >   | sed -n '/^{$/,/^}$/p' \
@@ -23,11 +26,11 @@ work-stealing one, whose layer/frontier gauges are structurally zero:
   >         -e 's/"table_occupancy": [0-9.]*/"table_occupancy": _/' \
   >         -e 's/"idle_seconds": [0-9.]*/"idle_seconds": _/'
   {
-    "schema": "patterns-search-metrics/6",
+    "schema": "patterns-search-metrics/7",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
-    "frontier_peak": 0,
+    "frontier_peak": 3,
     "pruned": 0,
     "fingerprint_probes": 136,
     "collision_fallbacks": 0,
@@ -40,7 +43,7 @@ work-stealing one, whose layer/frontier gauges are structurally zero:
     "shard_bits": 12,
     "shard_occupancy_max": 0,
     "shard_occupancy_total": 104,
-    "frontier_peak_sum": 0,
+    "frontier_peak_sum": 24,
     "deadline_hits": 0,
     "live_limit_hits": 0,
     "lock_contention": _,
@@ -55,15 +58,20 @@ work-stealing one, whose layer/frontier gauges are structurally zero:
     "db_index_scans": 0,
     "db_cache_hits": 0,
     "db_cache_misses": 0,
+    "spill_runs": 0,
+    "spill_evictions": 0,
+    "spill_probes": 0,
+    "spill_read_bytes": 0,
+    "spill_write_bytes": 0,
     "shards": [
-      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
-      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
-      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
-      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
-      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 0, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ }
+      { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
+      { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 2, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 3, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 4, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 5, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 19, "seconds": _ },
+      { "root": 6, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },
+      { "root": 7, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ }
     ]
   }
 
@@ -71,8 +79,10 @@ The deterministic counters are identical for every --jobs value
 (--metrics-json FILE writes the same document to a file).
 intern_bindings is masked here too: it is a hash-cons cache gauge, and
 under the async driver with several workers the intermediate sets
-interned depend on which dedup racer reaches each config first (the
-layers section below re-pins it, where it is deterministic):
+interned depend on which dedup racer reaches each config first.  The
+frontier gauges are masked for the same reason: the async queue's
+high-water mark depends on how fast the workers drain it (the layers
+section below re-pins both, where they are deterministic):
 
   $ norm () {
   >   sed -e 's/"seconds": [0-9.]*/"seconds": _/' \
@@ -84,7 +94,9 @@ layers section below re-pins it, where it is deterministic):
   >       -e 's/"cas_retries": [0-9]*/"cas_retries": _/' \
   >       -e 's/"table_occupancy": [0-9.]*/"table_occupancy": _/' \
   >       -e 's/"idle_seconds": [0-9.]*/"idle_seconds": _/' \
-  >       -e 's/"intern_bindings": [0-9]*/"intern_bindings": _/' "$1"
+  >       -e 's/"intern_bindings": [0-9]*/"intern_bindings": _/' \
+  >       -e 's/"frontier_peak": [0-9]*/"frontier_peak": _/' \
+  >       -e 's/"frontier_peak_sum": [0-9]*/"frontier_peak_sum": _/' "$1"
   > }
   $ patterns-cli scheme fig3-chain -n 3 --metrics-json m1.json > /dev/null
   $ patterns-cli scheme fig3-chain -n 3 --jobs 4 --metrics-json m4.json > /dev/null

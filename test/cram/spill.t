@@ -1,0 +1,79 @@
+The disk-backed state store and checkpoint/resume, end to end.
+
+--spill-dir bounds the resident visited set: cold shards are evicted
+to sorted runs under DIR and membership probes fall back to disk.
+Spilling is answer-invisible — the verdict is identical with and
+without it:
+
+  $ patterns-cli check fig3-chain -n 3 > plain.out
+  $ patterns-cli check fig3-chain -n 3 --spill-dir spill.d --mem-budget 500 > spill.out
+  $ cmp plain.out spill.out && echo spill-invisible
+  spill-invisible
+
+The /7 spill counters account for the disk traffic; a run record is 16
+bytes, so spill_write_bytes = 16 * spilled records.  At the default
+--jobs 1 they are deterministic (at higher job counts eviction timing
+depends on the schedule):
+
+  $ patterns-cli check fig3-chain -n 3 --spill-dir spill.d --mem-budget 500 \
+  >   --metrics-json ms.json > /dev/null
+  $ sed -n '/"spill_/p' ms.json
+    "spill_runs": 73,
+    "spill_evictions": 446,
+    "spill_probes": 21321,
+    "spill_read_bytes": 357520464,
+    "spill_write_bytes": 316464,
+
+The spill directory is cleaned up on completion:
+
+  $ ls spill.d 2>/dev/null | wc -l
+  0
+
+--checkpoint records each completed root so a killed sweep can be
+resumed.  The --checkpoint-kill-after test hook exits 99 after K fresh
+records, simulating a mid-search crash; --resume then replays the
+recorded roots and finishes the rest, with output and metrics
+bit-identical to an uninterrupted run:
+
+  $ patterns-cli check fig3-chain -n 3 > full.out
+  $ patterns-cli check fig3-chain -n 3 --checkpoint ck2 --checkpoint-kill-after 3 > /dev/null
+  checkpoint: killed after 3 fresh records (test hook)
+  [99]
+  $ patterns-cli check fig3-chain -n 3 --resume ck2 > resumed.out
+  $ cmp full.out resumed.out && echo resume-identical
+  resume-identical
+
+Resuming against a checkpoint written for different parameters is
+refused — the versioned header pins the protocol, n, and every budget
+that shapes the search:
+
+  $ patterns-cli check fig3-chain -n 2 --resume ck2
+  error: ck2: checkpoint header mismatch
+    file:     patterns-checkpoint/1 explore/1|fig3-chain|rule=unanimity|n=3|mf=1|mc=400000|fifo=false|ml=-|mode=async|spill=-|iv=d4b20d8c389116275063d49845d793a3
+    expected: patterns-checkpoint/1 explore/1|fig3-chain|rule=unanimity|n=2|mf=1|mc=400000|fifo=false|ml=-|mode=async|spill=-|iv=f86f8f919a20efcddbf742316c856be1
+  [1]
+
+A hunt checkpoints completed index chunks; the resumed hunt reports
+the same verdict:
+
+  $ patterns-cli hunt fig3-chain -n 3 --runs 16 --checkpoint hck
+  no violation found in 16 runs (search truncated: run budget exhausted; raise --runs)
+  [2]
+  $ patterns-cli hunt fig3-chain -n 3 --runs 16 --resume hck
+  no violation found in 16 runs (search truncated: run budget exhausted; raise --runs)
+  [2]
+
+--checkpoint and --resume are mutually exclusive:
+
+  $ patterns-cli check fig3-chain -n 3 --checkpoint a --resume b
+  error: at most one of --checkpoint and --resume
+  [1]
+
+The execution database is persisted as a streamed JSONL /2 file — a
+schema marker line, then one record per line:
+
+  $ patterns-cli hunt fig3-chain-st --property agreement --mode systematic \
+  >   --runs 1000 --db db.jsonl > /dev/null
+  $ head -2 db.jsonl
+  {"schema":"patterns-edge-db/2"}
+  {"c":554017527594899650}
