@@ -443,10 +443,19 @@ let bechamel_section () =
    identical across jobs values. *)
 let sweep_timings () =
   (* speedup-vs-jobs curve: powers of two up to --jobs, plus --jobs
-     itself — [1;2;4;8] at --jobs 8, [1] at the default *)
+     itself — [1;2;4;8] at --jobs 8, [1] at the default.  Under
+     --quick, jobs values beyond the runner's core count are skipped
+     outright: those rows would be flagged advisory (time-slicing
+     noise, never gated on) anyway, so the smoke run stops paying for
+     them *)
   let js =
     let rec powers acc p = if p >= !jobs then acc else powers (p :: acc) (2 * p) in
-    List.sort_uniq Int.compare (!jobs :: powers [ 1 ] 2)
+    let all = List.sort_uniq Int.compare (!jobs :: powers [ 1 ] 2) in
+    if !quick then
+      match List.filter (fun j -> j <= Domain_pool.default_jobs ()) all with
+      | [] -> [ 1 ]
+      | kept -> kept
+    else all
   in
   let scheme_sweep name p ~n j =
     let (module P : Protocol.S) = p in
@@ -496,10 +505,74 @@ let sweep_timings () =
     let witness = match r with Ok _ -> "violation" | Error k -> Printf.sprintf "runs=%d" k in
     (name, j, secs, witness, !metrics)
   in
+  (* incremental rows: the same query cold and through the reuse
+     machinery — classify against a base database (wholesale fact
+     reuse at the same fault bound, semi-naive widening at bound + 1)
+     and the systematic hunt with and without shared failure-free
+     prefixes.  Always jobs=1, so the rows are never advisory: the
+     honest lever on a small runner is work reduction (fewer states
+     expanded for the same answer), not parallel speedup.  The base
+     databases are seeded outside the timed region — the pair
+     measures the Nth query, not the first. *)
+  let incremental_rows () =
+    let p = Patterns_protocols.Chain_proto.fig3 in
+    let rule = Patterns_protocols.Decision_rule.Unanimity in
+    let n = 3 in
+    let classify_row name ?base ~max_failures () =
+      let metrics = ref Patterns_search.Metrics.zero in
+      let v, secs =
+        wall (fun () ->
+            Classify.classify ~metrics ?base ~jobs:1 ?par_threshold:!par_threshold
+              ?par_mode:!par_mode ~max_failures ~rule ~n p)
+      in
+      (name, 1, secs, Printf.sprintf "configs=%d" v.Classify.configs, !metrics)
+    in
+    let seeded mf =
+      let base = Patterns_db.Db.create () in
+      let _ : Classify.verdict =
+        Classify.classify ~base ~jobs:1 ?par_threshold:!par_threshold ?par_mode:!par_mode
+          ~max_failures:mf ~rule ~n p
+      in
+      base
+    in
+    let hunt_row name ~memo ~runs =
+      let entry =
+        match Patterns_protocols.Registry.find "fig3-chain" with
+        | Some e -> e
+        | None -> failwith "registry lost fig3-chain"
+      in
+      let metrics = ref Patterns_search.Metrics.zero in
+      let r, secs =
+        wall (fun () ->
+            Patterns_adversary.Hunt.hunt ~metrics ~memo ~max_failures:2 ~max_runs:runs
+              ~jobs:1 ~mode:Patterns_adversary.Hunt.Systematic ~property:Audit.IC ~rule ~n
+              ~seed:0 entry)
+      in
+      let witness =
+        match r with Ok _ -> "violation" | Error k -> Printf.sprintf "runs=%d" k
+      in
+      (name, 1, secs, witness, !metrics)
+    in
+    (* fixed run budget: the memo counters are deterministic per run
+       count, and --check --quick reruns these rows against a
+       full-mode baseline, so the count must not depend on !quick *)
+    let runs = 1_000 in
+    [
+      classify_row "incremental: classify fig3-chain n=3 mf=2 from-scratch"
+        ~max_failures:2 ();
+      classify_row "incremental: classify fig3-chain n=3 mf=2 reused" ~base:(seeded 2)
+        ~max_failures:2 ();
+      classify_row "incremental: classify fig3-chain n=3 mf 1->2 widened"
+        ~base:(seeded 1) ~max_failures:2 ();
+      hunt_row "incremental: hunt systematic fig3-chain n=3 IC replay" ~memo:false ~runs;
+      hunt_row "incremental: hunt systematic fig3-chain n=3 IC memoized" ~memo:true ~runs;
+    ]
+  in
   List.concat_map
     (fun j ->
       let common =
-        [
+        (if j = 1 then incremental_rows () else [])
+        @ [
           scheme_sweep "scheme: fig4 n=4 (16 vectors)" Patterns_protocols.Perverse_proto.fig4 ~n:4 j;
           classify_sweep "classify: fig3-chain n=3, 1 crash"
             Patterns_protocols.Chain_proto.fig3 ~rule:Patterns_protocols.Decision_rule.Unanimity
@@ -548,7 +621,7 @@ let emit_json ~path =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/3\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/4\",\n");
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"par_mode\": \"%s\",\n"
@@ -586,7 +659,14 @@ let emit_json ~path =
            values (hunt's expanded count may overshoot by one batch).
            The volatile /3 fields — lock_contention, expand_seconds,
            parallel_efficiency — are deliberately absent: a baseline
-           must only pin what every rerun reproduces. *)
+           must only pin what every rerun reproduces.  The /8
+           incremental section rides along: prefix_hits and
+           prefix_states_saved (shared failure-free prefixes in the
+           systematic hunt), delta_seeds and delta_reused_edges
+           (base-database reuse in classify) are deterministic on the
+           full sweeps benched here; spill_fd_reopens is
+           eviction-order-volatile and gated like the other spill
+           counters. *)
         let open Patterns_search.Metrics in
         Printf.sprintf
           "\"kernel\": { \"outcome\": \"%s\", \"states_expanded\": %d, \"dedup_hits\": %d, \
@@ -595,14 +675,16 @@ let emit_json ~path =
            \"par_layers\": %d, \"shard_bits\": %d, \"shard_occupancy_max\": %d, \
            \"shard_occupancy_total\": %d, \"frontier_peak_sum\": %d, \"spill_runs\": %d, \
            \"spill_evictions\": %d, \"spill_probes\": %d, \"spill_read_bytes\": %d, \
-           \"spill_write_bytes\": %d }"
+           \"spill_write_bytes\": %d, \"spill_fd_reopens\": %d, \"prefix_hits\": %d, \
+           \"prefix_states_saved\": %d, \"delta_seeds\": %d, \"delta_reused_edges\": %d }"
           (outcome_string metrics.outcome)
           metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
           metrics.fingerprint_probes metrics.collision_fallbacks metrics.intern_bindings
           metrics.layers metrics.par_layers metrics.shard_bits metrics.shard_occupancy_max
           metrics.shard_occupancy_total metrics.frontier_peak_sum metrics.spill_runs
           metrics.spill_evictions metrics.spill_probes metrics.spill_read_bytes
-          metrics.spill_write_bytes
+          metrics.spill_write_bytes metrics.spill_fd_reopens metrics.prefix_hits
+          metrics.prefix_states_saved metrics.delta_seeds metrics.delta_reused_edges
       in
       Buffer.add_string b
         (Printf.sprintf
@@ -757,6 +839,16 @@ let check_against ~baseline =
         if find_sub row.b_name "hunt" 0 = None then
           expect "fingerprint_probes" m.fingerprint_probes;
         expect "collision_fallbacks" m.collision_fallbacks;
+        (* the /8 incremental counters: exact on classify/scheme rows
+           and on full-sweep hunts; a goal-found hunt's prefix tallies
+           overshoot with the worker count like its expanded count, so
+           hunt rows gate them on jobs=1 *)
+        if find_sub row.b_name "hunt" 0 = None || row.b_jobs = 1 then begin
+          expect "prefix_hits" m.prefix_hits;
+          expect "prefix_states_saved" m.prefix_states_saved
+        end;
+        expect "delta_seeds" m.delta_seeds;
+        expect "delta_reused_edges" m.delta_reused_edges;
         (* intern_bindings is a hash-cons cache gauge, not a semantic
            counter: the intermediate edge/knowledge sets interned along
            the way depend on which dedup racer reaches each config
@@ -780,7 +872,8 @@ let check_against ~baseline =
           expect "spill_evictions" m.spill_evictions;
           expect "spill_probes" m.spill_probes;
           expect "spill_read_bytes" m.spill_read_bytes;
-          expect "spill_write_bytes" m.spill_write_bytes
+          expect "spill_write_bytes" m.spill_write_bytes;
+          expect "spill_fd_reopens" m.spill_fd_reopens
         end;
         expect "layers" m.layers;
         expect "par_layers" m.par_layers;

@@ -114,7 +114,7 @@ let par_mode_arg =
 let metrics_json_arg =
   Arg.(value & opt (some string) None
        & info [ "metrics-json" ] ~docv:"FILE"
-         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/7)) \
+         ~doc:"Write the search kernel's metrics (schema $(b,patterns-search-metrics/8)) \
                as JSON to $(docv); $(b,-) means stdout.")
 
 let db_arg =
@@ -125,6 +125,18 @@ let db_arg =
                edge log before searching, record every fresh expansion into it, and \
                write it back to $(docv) on exit.  A missing file starts empty.  Inspect \
                it with $(b,query).")
+
+let base_db_arg =
+  Arg.(value & opt (some string) None
+       & info [ "base-db" ] ~docv:"FILE"
+         ~doc:"Incremental base for $(b,check)/$(b,classify): reuse the per-vector \
+               $(b,classify_vec) facts an earlier run recorded into $(docv) — wholesale \
+               when $(b,--max-failures) matches, semi-naively widened (only the crash \
+               successors of the stored boundary are explored) when it grew by one — and \
+               record freshly completed vectors back on exit.  Verdicts are bit-identical \
+               to a from-scratch run; the metrics /8 section ($(b,delta_seeds), \
+               $(b,delta_reused_edges)) counts the reuse.  Ignored while $(b,--deadline) \
+               or $(b,--max-states) is set.  May name the same file as $(b,--db).")
 
 let deadline_arg =
   Arg.(value & opt (some float) None
@@ -444,22 +456,29 @@ let classify_term =
   in
   let run name n max_failures max_configs fifo_notices jobs par_threshold par_mode
       deadline max_states spill_dir mem_budget checkpoint resume kill_after db_file
-      metrics_json =
+      base_db_file metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let spill = spill_of spill_dir mem_budget in
     let ckpt = or_die (checkpoint_spec checkpoint resume kill_after) in
     let db = load_db db_file in
+    (* --base-db may name the same file as --db: share the handle so
+       neither save clobbers the other's writes *)
+    let shared =
+      match (db_file, base_db_file) with Some a, Some b -> a = b | _ -> false
+    in
+    let base = if shared then db else load_db base_db_file in
     let metrics = ref Patterns_search.Metrics.zero in
     let v =
       catch_failures (fun () ->
-          Classify.classify ~metrics ?db:(db_handle db) ~max_failures ~max_configs
-            ~fifo_notices ~jobs:(resolve_jobs jobs) ?par_threshold ?par_mode ?deadline
-            ?max_live:max_states ?spill ?checkpoint:ckpt ~rule ~n
-            entry.Patterns_protocols.Registry.protocol)
+          Classify.classify ~metrics ?db:(db_handle db) ?base:(db_handle base)
+            ~max_failures ~max_configs ~fifo_notices ~jobs:(resolve_jobs jobs)
+            ?par_threshold ?par_mode ?deadline ?max_live:max_states ?spill
+            ?checkpoint:ckpt ~rule ~n entry.Patterns_protocols.Registry.protocol)
     in
     save_db db;
+    if not shared then save_db base;
     Format.printf "%a@." Classify.pp v;
     List.iter (fun d -> Format.printf "  %s@." d) v.Classify.details;
     emit_metrics metrics_json !metrics;
@@ -481,7 +500,7 @@ let classify_term =
     const run $ protocol_arg $ n_arg $ max_failures_arg $ max_configs_arg $ fifo_notices_arg
     $ jobs_arg $ par_threshold_arg $ par_mode_arg $ deadline_arg $ max_states_arg
     $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
-    $ db_arg $ metrics_json_arg)
+    $ db_arg $ base_db_arg $ metrics_json_arg)
 
 let check_cmd =
   let doc = "Classify a protocol against the taxonomy by exhaustive exploration." in
@@ -613,8 +632,19 @@ let hunt_cmd =
                  $(b,patterns-violation-cert/1)) as JSON to $(docv); $(b,-) means stdout. \
                  Consume it with $(b,replay) and $(b,shrink).")
   in
+  let no_memo_arg =
+    Arg.(value & flag
+         & info [ "no-memo" ]
+           ~doc:"Disable the systematic adversary's shared failure-free prefix \
+                 memoization and replay every fault plan from the initial \
+                 configuration.  Certificates, messages and exit codes are \
+                 bit-identical either way; only the $(b,prefix_hits)/\
+                 $(b,prefix_states_saved) counters and the wall clock change.  \
+                 Random mode never uses the memo.")
+  in
   let run name n property crashes runs seed fifo_notices jobs mode horizon cert_out
-      deadline spill_dir mem_budget checkpoint resume kill_after db_file metrics_json =
+      no_memo deadline spill_dir mem_budget checkpoint resume kill_after db_file
+      metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
@@ -627,9 +657,10 @@ let hunt_cmd =
     let metrics = ref Patterns_search.Metrics.zero in
     let result =
       catch_failures (fun () ->
-          Patterns_adversary.Hunt.hunt ~metrics ~max_failures:crashes ~max_runs:runs
-            ~fifo_notices ~jobs:(resolve_jobs jobs) ?deadline ?checkpoint:ckpt ~horizon
-            ~mode ~property ~rule ~n ~seed entry)
+          Patterns_adversary.Hunt.hunt ~metrics ~memo:(not no_memo)
+            ~max_failures:crashes ~max_runs:runs ~fifo_notices
+            ~jobs:(resolve_jobs jobs) ?deadline ?checkpoint:ckpt ~horizon ~mode
+            ~property ~rule ~n ~seed entry)
     in
     let code =
       match result with
@@ -669,9 +700,9 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
       const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
-      $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ deadline_arg
-      $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg $ kill_after_arg
-      $ db_arg $ metrics_json_arg)
+      $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ no_memo_arg
+      $ deadline_arg $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg
+      $ kill_after_arg $ db_arg $ metrics_json_arg)
 
 (* ----- replay / shrink ----- *)
 
@@ -785,7 +816,16 @@ let query_cmd =
            ~doc:"Stored violation certificates whose crash schedule touches processor \
                  $(docv).")
   in
-  let run db_path src event dst path reachable certs =
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+           ~doc:"Page the edge, reachable and certs-touching result sets: return at most \
+                 $(docv) results.  $(b,count) still reports the total number of matches \
+                 and an extra $(b,truncated) field says whether the list was cut; the \
+                 exit code keeps following the total (0: at least one match; 1: none; \
+                 2: error).")
+  in
+  let run db_path src event dst path reachable certs limit =
     let die msg =
       prerr_endline ("error: " ^ msg);
       exit 2
@@ -800,6 +840,22 @@ let query_cmd =
            [ path <> None; reachable <> None; certs <> None ])
     in
     if modes > 1 then die "at most one of --path, --reachable, --certs-touching";
+    (match limit with
+    | Some k when k < 0 -> die "--limit must be nonnegative"
+    | _ -> ());
+    (* paging: the list is cut to the first N results (the sorted,
+       insertion-order-independent query order), the count stays the
+       total, and a [truncated] field — present only when --limit is
+       given, so unpaged output is unchanged — says whether anything
+       was dropped *)
+    let page l =
+      match limit with
+      | None -> (l, [])
+      | Some k ->
+        let rec take n = function x :: tl when n > 0 -> x :: take (n - 1) tl | _ -> [] in
+        let cut = List.length l > k in
+        ((if cut then take k l else l), [ ("truncated", J.Bool cut) ])
+    in
     let doc, count =
       match (path, reachable, certs) with
       | Some (s, d), _, _ -> (
@@ -816,32 +872,33 @@ let query_cmd =
             1 ))
       | _, Some fp, _ ->
         let cs = Q.reachable db fp in
+        let shown, trunc = page cs in
         ( J.Obj
-            [
-              ("query", J.String "reachable");
-              ("count", J.Int (List.length cs));
-              ("configs", J.List (List.map (fun c -> J.Int c) cs));
-            ],
+            ([ ("query", J.String "reachable"); ("count", J.Int (List.length cs)) ]
+            @ trunc
+            @ [ ("configs", J.List (List.map (fun c -> J.Int c) shown)) ]),
           List.length cs )
       | _, _, Some p ->
         let cs = Q.certs_touching db p in
+        let shown, trunc = page cs in
         ( J.Obj
-            [
-              ("query", J.String "certs-touching");
-              ("count", J.Int (List.length cs));
-              ("certs",
-               J.List
-                 (List.map (fun (k, v) -> J.Obj [ ("key", J.String k); ("fact", v) ]) cs));
-            ],
+            ([ ("query", J.String "certs-touching"); ("count", J.Int (List.length cs)) ]
+            @ trunc
+            @ [
+                ( "certs",
+                  J.List
+                    (List.map
+                       (fun (k, v) -> J.Obj [ ("key", J.String k); ("fact", v) ])
+                       shown) );
+              ]),
           List.length cs )
       | None, None, None ->
         let es = Q.edges db ?src ?event ?dst () in
+        let shown, trunc = page es in
         ( J.Obj
-            [
-              ("query", J.String "edges");
-              ("count", J.Int (List.length es));
-              ("edges", Q.edges_to_json es);
-            ],
+            ([ ("query", J.String "edges"); ("count", J.Int (List.length es)) ]
+            @ trunc
+            @ [ ("edges", Q.edges_to_json shown) ]),
           List.length es )
     in
     print_endline (J.to_string doc);
@@ -850,7 +907,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ db_pos_arg $ src_arg $ event_arg $ dst_arg $ path_arg $ reachable_arg
-      $ certs_arg)
+      $ certs_arg $ limit_arg)
 
 (* ----- lattice / theorems ----- *)
 

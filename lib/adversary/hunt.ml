@@ -22,8 +22,8 @@ let property_string : Patterns_core.Audit.property -> string = function
 let chunk_size = 4_096
 
 let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false)
-    ?(jobs = 1) ?deadline ?checkpoint ?(horizon = 60) ?(mode = Random) ~property ~rule
-    ~n ~seed (entry : Patterns_protocols.Registry.entry) =
+    ?(jobs = 1) ?deadline ?checkpoint ?(horizon = 60) ?(mode = Random) ?(memo = true)
+    ~property ~rule ~n ~seed (entry : Patterns_protocols.Registry.entry) =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let module E = Engine.Make (P) in
   let verdict inputs (r : E.run_result) =
@@ -63,10 +63,20 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
      same order and returns the same winner and tried count as the
      one-shot search; the metrics differ only in shape (one root per
      chunk rather than one per hunt). *)
-  let drive one ~max_index =
+  (* [flush] folds counters the runs accumulate outside the kernel
+     (the systematic mode's prefix-memoization tallies) into a metrics
+     record; it is applied to the cumulative record before every
+     checkpoint write — so a resumed hunt restores them — and once at
+     the end for the caller's sink.  Called only between [find_first]
+     rounds, after their workers have joined. *)
+  let drive ?(flush = Fun.id) one ~max_index =
     match checkpoint with
     | None ->
-      Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index ~f:one ()
+      let result =
+        Patterns_search.Search.find_first ?metrics ~jobs ?deadline ~max_index ~f:one ()
+      in
+      Patterns_search.Search.merge_into metrics (flush Patterns_search.Metrics.zero);
+      result
     | Some spec ->
       let header =
         Printf.sprintf "hunt/1|%s|prop=%s|rule=%s|n=%d|seed=%d|mode=%s|mf=%d|mi=%d|h=%d|fifo=%b"
@@ -94,6 +104,7 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
         Option.map (fun d -> d -. (Unix.gettimeofday () -. t0)) deadline
       in
       let finish result =
+        local := flush !local;
         Patterns_search.Search.merge_into metrics !local;
         result
       in
@@ -112,6 +123,7 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
                dependent), and there is nothing left to try now *)
             finish (Error (tried_acc + tried))
           | Error tried ->
+            local := flush !local;
             Patterns_search.Checkpoint.record t hi !local;
             go hi (tried_acc + tried)
       in
@@ -153,6 +165,48 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
   | Systematic ->
     let total = Plan.count ~horizon ~n ~max_failures in
     let max_index = min max_runs total in
+    (* Shared-prefix memoization: a plan's run equals the failure-free
+       run of its (flavour, inputs) up to the plan's earliest crash
+       step, and the plan space has only [3 * 2^n] such failure-free
+       runs against millions of plans — so each is computed once (with
+       per-step snapshots) and every plan resumes from its earliest
+       crash boundary instead of replaying from the initial
+       configuration.  The schedulers are pure functions of
+       (step, config, actions), which is exactly the property
+       {!E.resume}'s bit-identity rests on.  The table is tiny, so
+       computing under the lock is cheaper than racing duplicate
+       failure-free runs.  Per-index hits and saved steps are
+       deterministic, so on a full sweep the tallies are
+       jobs-invariant; a goal-found hunt overshoots the winner by a
+       jobs-dependent set of speculative indices, the same caveat as
+       [find_first]'s expanded count. *)
+    let memo_tbl : (Plan.flavour * bool list, E.prefix) Hashtbl.t = Hashtbl.create 24 in
+    let memo_lock = Mutex.create () in
+    let prefix_of flavour scheduler inputs =
+      Mutex.lock memo_lock;
+      let p =
+        match Hashtbl.find_opt memo_tbl (flavour, inputs) with
+        | Some p -> p
+        | None ->
+          let p = E.run_prefix ~fifo_notices ~scheduler ~n ~inputs () in
+          Hashtbl.add memo_tbl (flavour, inputs) p;
+          p
+      in
+      Mutex.unlock memo_lock;
+      p
+    in
+    let hits = Atomic.make 0 and saved_steps = Atomic.make 0 in
+    let folded_hits = ref 0 and folded_saved = ref 0 in
+    let flush m =
+      let h = Atomic.get hits and s = Atomic.get saved_steps in
+      let m =
+        Patterns_search.Metrics.with_incremental ~prefix_hits:(h - !folded_hits)
+          ~prefix_states_saved:(s - !folded_saved) m
+      in
+      folded_hits := h;
+      folded_saved := s;
+      m
+    in
     let one run_index =
       let plan = Plan.decode ~horizon ~n ~max_failures (run_index - 1) in
       let scheduler =
@@ -166,8 +220,20 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
             | _ -> List.nth_opt actions (step mod List.length actions))
       in
       let r =
-        E.run ~failures:plan.Plan.failures ~fifo_notices ~scheduler ~n
-          ~inputs:plan.Plan.inputs ()
+        if memo then begin
+          let prefix = prefix_of plan.Plan.flavour scheduler plan.Plan.inputs in
+          let r, saved =
+            E.resume ~fifo_notices ~scheduler ~failures:plan.Plan.failures ~prefix ()
+          in
+          if saved > 0 then begin
+            Atomic.incr hits;
+            ignore (Atomic.fetch_and_add saved_steps saved : int)
+          end;
+          r
+        end
+        else
+          E.run ~failures:plan.Plan.failures ~fifo_notices ~scheduler ~n
+            ~inputs:plan.Plan.inputs ()
       in
       match verdict plan.Plan.inputs r with
       | Ok () -> None
@@ -184,4 +250,4 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
         in
         Some (cert plan.Plan.inputs message r)
     in
-    drive one ~max_index
+    drive ~flush one ~max_index

@@ -33,6 +33,7 @@ val hunt :
   ?checkpoint:Patterns_search.Checkpoint.spec ->
   ?horizon:int ->
   ?mode:mode ->
+  ?memo:bool ->
   property:Patterns_core.Audit.property ->
   rule:Patterns_protocols.Decision_rule.t ->
   n:int ->
@@ -58,4 +59,17 @@ val hunt :
     count; the metrics differ only in shape (one root per chunk).
     Deadline-interrupted chunks are never recorded.  Raises [Failure]
     when resuming against a file whose header (protocol, property,
-    rule, n, seed, mode, budgets) differs. *)
+    rule, n, seed, mode, budgets) differs.
+
+    [memo] (default true, systematic mode only) shares failure-free
+    prefixes across plans: the [3 * 2^n] failure-free runs of the plan
+    space are computed once with per-step snapshots
+    ({!Patterns_sim.Engine.Make.run_prefix}) and every plan resumes
+    from its earliest crash step instead of replaying from the initial
+    configuration.  Results are bit-identical to [~memo:false] —
+    certificates included — because the systematic schedulers are pure
+    functions of [(step, config, actions)]; the metrics additionally
+    carry [prefix_hits] and [prefix_states_saved] (the /8 section),
+    jobs-invariant on full sweeps and overshooting with [jobs] on
+    goal-found hunts exactly like the expanded count.  Random mode
+    ignores [memo] and keeps its PRNG stream draw-for-draw. *)

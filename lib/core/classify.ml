@@ -104,9 +104,9 @@ let verdict_of_fact j =
       details;
     }
 
-let classify ?metrics ?db ?max_failures ?max_configs ?inputs_choices ?(fifo_notices = false)
-    ?(jobs = 1) ?par_threshold ?par_mode ?deadline ?max_live ?spill ?checkpoint ~rule ~n
-    (module P : Protocol.S) =
+let classify ?metrics ?db ?base ?max_failures ?max_configs ?inputs_choices
+    ?(fifo_notices = false) ?(jobs = 1) ?par_threshold ?par_mode ?deadline ?max_live ?spill
+    ?checkpoint ~rule ~n (module P : Protocol.S) =
   let module X = Explore.Make (P) in
   let defaults = X.default_options ~n in
   let max_failures = Option.value max_failures ~default:defaults.X.max_failures in
@@ -157,6 +157,7 @@ let classify ?metrics ?db ?max_failures ?max_configs ?inputs_choices ?(fifo_noti
         edge_sink;
         spill;
         checkpoint;
+        base;
       }
     in
     let r = X.explore ?metrics ~options ~rule ~n () in

@@ -30,6 +30,7 @@ type verdict = {
 val classify :
   ?metrics:Patterns_search.Metrics.t ref ->
   ?db:Patterns_db.Db.t ->
+  ?base:Patterns_db.Db.t ->
   ?max_failures:int ->
   ?max_configs:int ->
   ?inputs_choices:bool list list ->
@@ -50,6 +51,17 @@ val classify :
     [checkpoint] records each completed input vector so a killed sweep
     resumes instead of restarting ({!Explore.Make.options}).  Neither
     affects the verdict or the fact key.
+
+    [base] enables incremental re-classification
+    ({!Explore.Make.options}[.base]): per-vector ["classify_vec"]
+    facts from an earlier sweep are reused wholesale when
+    [max_failures] matches and semi-naively widened when it grew by
+    one, with verdicts bit-identical to a from-scratch sweep under the
+    layered driver's deterministic visit order (and under any driver
+    for protocols whose counts are visit-order-insensitive — see
+    {!Explore.Make.options}[.base]); fresh vectors store new facts
+    into it.  [base] may be the same database as [db].  Ignored while
+    [deadline] or [max_live] is set.
 
     [par_mode] selects the parallel driver (default
     {!Patterns_search.Search.Async}); exhaustive sweeps give identical

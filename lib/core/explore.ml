@@ -1,5 +1,6 @@
 open Patterns_sim
 open Patterns_stdx
+module Db = Patterns_db.Db
 
 module Make (P : Protocol.S) = struct
   module E = Engine.Make (P)
@@ -17,6 +18,7 @@ module Make (P : Protocol.S) = struct
     edge_sink : (src:int -> event:string -> dst:int -> unit) option;
     spill : Patterns_search.Search.spill option;
     checkpoint : Patterns_search.Checkpoint.spec option;
+    base : Db.t option;
   }
 
   let default_options ~n =
@@ -33,6 +35,7 @@ module Make (P : Protocol.S) = struct
       edge_sink = None;
       spill = None;
       checkpoint = None;
+      base = None;
     }
 
   type state_info = {
@@ -139,10 +142,25 @@ module Make (P : Protocol.S) = struct
     cells : (int * string) option array;
     mutable errors : string list;
     mutable smap : state_info State_map.t;
+    mutable boundary : (E.config * Decision.t option array) list;
+        (* nodes with exactly [max_failures] failures, collected only
+           when a base database is in play — the frontier a later
+           [max_failures + 1] sweep seeds its delta region from *)
+    mutable edges_gen : int;
+        (* successor derivations performed (summed [List.length succs]
+           over expansions) — an exact count, unlike the kernel's
+           driver-dependent frontier statistics *)
   }
 
   let vobs_empty () =
-    { terminal = 0; cells = Array.make 7 None; errors = []; smap = State_map.empty }
+    {
+      terminal = 0;
+      cells = Array.make 7 None;
+      errors = [];
+      smap = State_map.empty;
+      boundary = [];
+      edges_gen = 0;
+    }
 
   let min_violation a b =
     match (a, b) with
@@ -154,27 +172,19 @@ module Make (P : Protocol.S) = struct
     Array.iteri (fun i v -> a.cells.(i) <- min_violation a.cells.(i) v) b.cells;
     a.errors <- a.errors @ b.errors;
     a.smap <- State_map.union (fun _ x y -> Some (merge_info x y)) a.smap b.smap;
+    a.boundary <- List.rev_append b.boundary a.boundary;
+    a.edges_gen <- a.edges_gen + b.edges_gen;
     a
 
-  (* One root of the sweep: exhaustive layer-synchronous search from a
-     single input vector.  Input vectors are part of every
-     configuration (and compared by [compare_behavioral]), so roots
-     never share reachable nodes and the per-root visited sets
-     partition the whole space exactly.  The frontier, visited store
-     and budget live in the search kernel; this function only defines
-     the node type and hangs the paper's observations on the expansion
-     closure. *)
-  let explore_one_vector ?deadline ~options ~pool ~budget ~rule ~n inputs =
-    (* [key] is the expanded node's fingerprint key: keep the witness
-       with the smallest key; within one node (equal keys) keep the
-       first observed *)
-    let record o key cell msg =
-      match o.cells.(cell) with
-      | Some (k, _) when k <= key -> ()
-      | _ -> o.cells.(cell) <- Some (key, msg)
-    in
+  (* [key] is the expanded node's fingerprint key: keep the witness
+     with the smallest key; within one node (equal keys) keep the
+     first observed *)
+  let record o key cell msg =
+    match o.cells.(cell) with
+    | Some (k, _) when k <= key -> ()
+    | _ -> o.cells.(cell) <- Some (key, msg)
 
-    let observe_config o key config decided =
+  let observe_config ~rule o key config decided =
       (* "s implies the commit rule is satisfied": track whether every
          configuration containing a state permits commit on its inputs *)
       let commit_permitted =
@@ -264,9 +274,8 @@ module Make (P : Protocol.S) = struct
           in
           o.smap <- State_map.add s info o.smap)
         ops
-    in
 
-    let observe_terminal o key config decided =
+  let observe_terminal o key config decided =
       o.terminal <- o.terminal + 1;
       let statuses = E.statuses config in
       List.iter
@@ -286,10 +295,9 @@ module Make (P : Protocol.S) = struct
                 (Format.asprintf "nonfaulty %a never halted" Proc_id.pp p)
           end)
         (Proc_id.all ~n:(E.n_of config))
-    in
 
-    (* decision-time checks carried on the trace events of one edge *)
-    let observe_events o key pre_config events decided =
+  (* decision-time checks carried on the trace events of one edge *)
+  let observe_events ~rule o key pre_config events decided =
       let inputs = E.inputs_of pre_config in
       let failure_before =
         Array.exists Fun.id
@@ -318,13 +326,11 @@ module Make (P : Protocol.S) = struct
             decided
           | _ -> decided)
         decided events
-    in
 
-    let failures_in config =
-      List.length (List.filter (fun p -> E.is_failed config p) (Proc_id.all ~n:(E.n_of config)))
-    in
+  let failures_in config =
+    List.length (List.filter (fun p -> E.is_failed config p) (Proc_id.all ~n:(E.n_of config)))
 
-    let module Node = struct
+  module Node = struct
       (* exploration node: behavioural configuration plus each
          processor's first decision (amnesia may erase it from the
          state) *)
@@ -348,50 +354,68 @@ module Make (P : Protocol.S) = struct
       (* expansion goes through the layer-synchronous driver's
          observation interface; the serial entry point is unused *)
       let expand _ = invalid_arg "Explore.Node.expand: use run_par"
-    end in
-    let module K = Patterns_search.Search.Make (Node) in
-    let node_expand o ((config, decided) as node) =
-      (* every violation observed while expanding this node is tagged
-         with the node's fingerprint key — the canonical-witness order *)
-      let key = Fingerprint.to_int (Node.fingerprint node) in
-      observe_config o key config decided;
-      let actions = E.applicable ~fifo_notices:options.fifo_notices config in
-      if actions = [] then observe_terminal o key config decided;
-      let fail_actions =
-        if failures_in config < options.max_failures then E.failure_actions config else []
-      in
-      let succs =
-        List.filter_map
-          (fun a ->
-            match E.apply ~step:0 config a with
-            | Error e ->
-              o.errors <- e :: o.errors;
-              None
-            | Ok (config', events) ->
-              Some (config', observe_events o key config events decided))
-          (actions @ fail_actions)
-      in
-      (* reversed: the historical stack discipline explored the last
-         applicable action first; truncated counts are pinned to that
-         order by the jobs-invariance tests *)
-      List.rev succs
+    end
+
+  module K = Patterns_search.Search.Make (Node)
+
+  let node_expand ~fifo_notices ~max_failures ~rule ~capture o
+      ((config, decided) as node : Node.state) =
+    (* every violation observed while expanding this node is tagged
+       with the node's fingerprint key — the canonical-witness order *)
+    let key = Fingerprint.to_int (Node.fingerprint node) in
+    observe_config ~rule o key config decided;
+    let actions = E.applicable ~fifo_notices config in
+    if actions = [] then observe_terminal o key config decided;
+    let nf = failures_in config in
+    if capture && nf = max_failures then o.boundary <- node :: o.boundary;
+    let fail_actions = if nf < max_failures then E.failure_actions config else [] in
+    let succs =
+      List.filter_map
+        (fun a ->
+          match E.apply ~step:0 config a with
+          | Error e ->
+            o.errors <- e :: o.errors;
+            None
+          | Ok (config', events) ->
+            Some (config', observe_events ~rule o key config events decided))
+        (actions @ fail_actions)
     in
+    o.edges_gen <- o.edges_gen + List.length succs;
+    (* reversed: the historical stack discipline explored the last
+       applicable action first; truncated counts are pinned to that
+       order by the jobs-invariance tests *)
+    List.rev succs
+
+  (* kernel edge sink: node fingerprints as src/dst, the successor
+     ordinal (stringified) as the event descriptor — anonymous
+     expansion edges, as opposed to the replay recorder's rendered
+     directives *)
+  let edge_adapter sink ~src ~event ~dst =
+    sink
+      ~src:(Fingerprint.to_int (Node.fingerprint src))
+      ~event:("#" ^ string_of_int event)
+      ~dst:(Fingerprint.to_int (Node.fingerprint dst))
+
+  (* One root of the sweep: exhaustive search from a single input
+     vector.  Input vectors are part of every configuration (and
+     compared by [compare_behavioral]), so roots never share reachable
+     nodes and the per-root visited sets partition the whole space
+     exactly.  The frontier, visited store and budget live in the
+     search kernel; this function only hangs the paper's observations
+     on the expansion closure. *)
+  let explore_one_vector ?deadline ~options ~pool ~budget ~rule ~n ~capture inputs =
     let root_config = E.init ~n ~inputs in
-    (* kernel edge sink: node fingerprints as src/dst, the successor
-       ordinal (stringified) as the event descriptor — anonymous
-       expansion edges, as opposed to the replay recorder's rendered
-       directives *)
-    let edges =
-      Option.map
-        (fun sink ~src ~event ~dst ->
-          sink
-            ~src:(Fingerprint.to_int (Node.fingerprint src))
-            ~event:("#" ^ string_of_int event)
-            ~dst:(Fingerprint.to_int (Node.fingerprint dst)))
-        options.edge_sink
-    in
+    let edges = Option.map edge_adapter options.edge_sink in
     let outcome, o, m =
-      let expand = { K.empty = vobs_empty; merge = vobs_merge; expand = node_expand } in
+      let expand =
+        {
+          K.empty = vobs_empty;
+          merge = vobs_merge;
+          expand =
+            node_expand ~fifo_notices:options.fifo_notices
+              ~max_failures:options.max_failures ~rule ~capture;
+        }
+      in
       let root = (root_config, Array.make n None) in
       match options.par_mode with
       | Patterns_search.Search.Layers ->
@@ -402,22 +426,249 @@ module Make (P : Protocol.S) = struct
           ?spill:options.spill ?edges ~expand ~root ()
     in
     let m = Patterns_search.Metrics.with_intern_bindings (E.intern_bindings root_config) m in
+    (o, Patterns_search.Search.truncated outcome, m)
+
+  let report_of ~configs ~truncated o =
     let cell i = Option.map snd o.cells.(i) in
-    ( {
-        configs_visited = m.Patterns_search.Metrics.states_expanded;
-        terminal_configs = o.terminal;
-        truncated = Patterns_search.Search.truncated outcome;
-        ic_violation = cell ic_cell;
-        tc_violation = cell tc_cell;
-        wt_violation = cell wt_cell;
-        st_violation = cell st_cell;
-        ht_violation = cell ht_cell;
-        rule_violation = cell rule_cell;
-        validity_violation = cell validity_cell;
-        protocol_errors = Listx.dedup_sorted ~cmp:String.compare o.errors;
-        states = List.map snd (State_map.bindings o.smap);
-      },
-      m )
+    {
+      configs_visited = configs;
+      terminal_configs = o.terminal;
+      truncated;
+      ic_violation = cell ic_cell;
+      tc_violation = cell tc_cell;
+      wt_violation = cell wt_cell;
+      st_violation = cell st_cell;
+      ht_violation = cell ht_cell;
+      rule_violation = cell rule_cell;
+      validity_violation = cell validity_cell;
+      protocol_errors = Listx.dedup_sorted ~cmp:String.compare o.errors;
+      states = List.map snd (State_map.bindings o.smap);
+    }
+
+  (* ----- per-vector base facts: the EDB for delta re-exploration -----
+
+     One fact per fully explored input vector, kind ["classify_vec"],
+     carrying everything a later sweep needs to either reuse the
+     vector wholesale (same [max_failures]) or semi-naively widen it
+     ([max_failures + 1]): the observation accumulator, the exact
+     derivation count, and the frozen boundary — the nodes with
+     exactly [max_failures] failures, whose crash successors are the
+     only new sources the widened space adds.  The key pins the
+     answer-relevant parameters (protocol, n, rule, max_failures,
+     fifo, vector) and deliberately excludes budgets, parallelism
+     knobs and deadlines: reuse re-checks the budget against the
+     stored size, and deadline-bounded runs never store or consume
+     facts. *)
+
+  let bits_of inputs =
+    String.concat "" (List.map (fun b -> if b then "1" else "0") inputs)
+
+  let vec_fact_key ~rule ~n ~max_failures ~fifo_notices inputs =
+    Printf.sprintf "%s|%d|%s|mf=%d|fifo=%b|vec=%s" P.name n
+      (Format.asprintf "%a" Patterns_protocols.Decision_rule.pp rule)
+      max_failures fifo_notices (bits_of inputs)
+
+  (* binary payloads (state infos, frozen boundary) travel as hex of
+     [Marshal] — the db is line-oriented JSON.  Marshal bytes are
+     compared by nobody: facts are decoded before use, so the
+     insertion-order-dependent sharing in the byte string is
+     harmless. *)
+  let vec_fact_of ~configs ~boundary o =
+    let cells =
+      List.filter_map
+        (fun i ->
+          Option.map
+            (fun (k, msg) ->
+              Json.Obj [ ("cell", Json.Int i); ("key", Json.Int k); ("msg", Json.String msg) ])
+            o.cells.(i))
+        [ 0; 1; 2; 3; 4; 5; 6 ]
+    in
+    let infos = Array.of_list (List.map snd (State_map.bindings o.smap)) in
+    let frozen_boundary =
+      List.stable_sort
+        (fun a b -> Fingerprint.compare (Node.fingerprint a) (Node.fingerprint b))
+        boundary
+      |> List.map (fun (c, d) -> (E.freeze c, d))
+      |> Array.of_list
+    in
+    Json.Obj
+      [
+        ("configs", Json.Int configs);
+        ("terminal", Json.Int o.terminal);
+        ("edges_gen", Json.Int o.edges_gen);
+        ("cells", Json.List cells);
+        ( "errors",
+          Json.List
+            (List.map
+               (fun e -> Json.String e)
+               (Listx.dedup_sorted ~cmp:String.compare o.errors)) );
+        ("smap", Json.String (Hex.encode (Marshal.to_string infos [])));
+        ("boundary", Json.String (Hex.encode (Marshal.to_string frozen_boundary [])));
+      ]
+
+  (* [with_boundary:false] skips decoding the frozen boundary — the
+     expensive half of a fact, and dead weight for wholesale reuse,
+     which answers from the observations alone.  Only the widening
+     rung pays for the thaw. *)
+  let vobs_of_fact ~with_boundary j =
+    let exception Bad in
+    let get k = match Json.member k j with Some v -> v | None -> raise Bad in
+    let int k = match Json.to_int (get k) with Ok i -> i | Error _ -> raise Bad in
+    let str k = match Json.to_str (get k) with Ok s -> s | Error _ -> raise Bad in
+    let lst k = match Json.to_list (get k) with Ok l -> l | Error _ -> raise Bad in
+    try
+      let configs = int "configs" in
+      let o = vobs_empty () in
+      o.terminal <- int "terminal";
+      o.edges_gen <- int "edges_gen";
+      List.iter
+        (fun cj ->
+          let m k = match Json.member k cj with Some v -> v | None -> raise Bad in
+          match (Json.to_int (m "cell"), Json.to_int (m "key"), Json.to_str (m "msg")) with
+          | Ok cell, Ok key, Ok msg when cell >= 0 && cell < 7 ->
+            o.cells.(cell) <- Some (key, msg)
+          | _ -> raise Bad)
+        (lst "cells");
+      o.errors <-
+        List.map (fun e -> match Json.to_str e with Ok s -> s | Error _ -> raise Bad)
+          (lst "errors");
+      let infos : state_info array = Marshal.from_string (Hex.decode (str "smap")) 0 in
+      Array.iter (fun info -> o.smap <- State_map.add info.state info o.smap) infos;
+      if with_boundary then begin
+        let frozen : (E.frozen * Decision.t option array) array =
+          Marshal.from_string (Hex.decode (str "boundary")) 0
+        in
+        o.boundary <- Array.to_list (Array.map (fun (fz, d) -> (E.thaw fz, d)) frozen)
+      end;
+      Some (configs, o)
+    with Bad | Invalid_argument _ | Failure _ -> None
+
+  (* One vector of the sweep, with the base database consulted when it
+     is sound to do so.  Three rungs, first applicable wins:
+
+     - {e exact}: a fact at this [max_failures] whose size fits the
+       per-vector budget — the stored observations are the answer, no
+       search at all ([delta_reused_edges] counts the derivations
+       skipped wholesale);
+     - {e widen}: a fact at [max_failures - 1] — thaw its boundary,
+       derive only the crash successors (the semi-naive delta seeds:
+       every configuration the widened space adds is reachable from
+       one of them, and from none of the old nodes, because failure
+       counts only grow along edges and are part of the behavioural
+       identity), and close just that region with {!K.run_delta}
+       under the leftover budget.  Exhaustion of the delta within
+       [budget - base] is equivalent to exhaustion of the full space
+       within [budget], so the stitched report is bit-identical to
+       from-scratch; any truncation falls through to a fresh run,
+       which then reproduces the from-scratch truncation exactly;
+     - {e fresh}: the ordinary exhaustive run, storing a new fact when
+       it completed untruncated.
+
+     Base consultation is disabled under a wall-clock deadline or a
+     live-state cap: both make completeness run-dependent, and the
+     facts only speak for completed regions. *)
+  let vector_result ?deadline ~options ~pool ~budget ~rule ~n inputs =
+    let base =
+      match options.base with
+      | Some db when options.deadline = None && options.max_live = None -> Some db
+      | _ -> None
+    in
+    let capture = base <> None in
+    let key = vec_fact_key ~rule ~n ~fifo_notices:options.fifo_notices in
+    let fresh () =
+      let o, truncated, m =
+        explore_one_vector ?deadline ~options ~pool ~budget ~rule ~n ~capture inputs
+      in
+      let configs = m.Patterns_search.Metrics.states_expanded in
+      (match base with
+      | Some db when (not truncated) && m.Patterns_search.Metrics.deadline_hits = 0 ->
+        Db.put_fact db ~kind:"classify_vec"
+          ~key:(key ~max_failures:options.max_failures inputs)
+          (vec_fact_of ~configs ~boundary:o.boundary o)
+      | _ -> ());
+      (report_of ~configs ~truncated o, m)
+    in
+    let widen db configs0 o0 =
+      let base_edges = o0.edges_gen in
+      let seeds = ref [] in
+      List.iter
+        (fun ((config, decided) as node) ->
+          let nkey = Fingerprint.to_int (Node.fingerprint node) in
+          let succs =
+            List.filter_map
+              (fun a ->
+                match E.apply ~step:0 config a with
+                | Error e ->
+                  o0.errors <- e :: o0.errors;
+                  None
+                | Ok (c', events) ->
+                  Some (c', observe_events ~rule o0 nkey config events decided))
+              (E.failure_actions config)
+          in
+          o0.edges_gen <- o0.edges_gen + List.length succs;
+          (match options.edge_sink with
+          | Some sink ->
+            List.iteri
+              (fun i s ->
+                sink ~src:nkey ~event:("#" ^ string_of_int i)
+                  ~dst:(Fingerprint.to_int (Node.fingerprint s)))
+              succs
+          | None -> ());
+          seeds := List.rev_append succs !seeds)
+        (List.stable_sort
+           (fun a b -> Fingerprint.compare (Node.fingerprint a) (Node.fingerprint b))
+           o0.boundary);
+      let expand =
+        {
+          K.empty = vobs_empty;
+          merge = vobs_merge;
+          expand =
+            node_expand ~fifo_notices:options.fifo_notices
+              ~max_failures:options.max_failures ~rule ~capture:true;
+        }
+      in
+      let edges = Option.map edge_adapter options.edge_sink in
+      let outcome, od, m =
+        K.run_delta ~budget:(budget - configs0) ?spill:options.spill ?edges ~expand
+          ~seeds:(List.rev !seeds) ()
+      in
+      match outcome with
+      | Patterns_search.Search.Exhausted ->
+        let delta_boundary = od.boundary in
+        let o = vobs_merge o0 od in
+        let configs = configs0 + m.Patterns_search.Metrics.states_expanded in
+        let m = Patterns_search.Metrics.with_incremental ~delta_reused_edges:base_edges m in
+        Db.put_fact db ~kind:"classify_vec"
+          ~key:(key ~max_failures:options.max_failures inputs)
+          (vec_fact_of ~configs ~boundary:delta_boundary o);
+        Some (report_of ~configs ~truncated:false o, m)
+      | _ -> None
+    in
+    match base with
+    | None -> fresh ()
+    | Some db -> (
+      let lookup ~with_boundary mf =
+        Option.bind
+          (Db.get_fact db ~kind:"classify_vec" ~key:(key ~max_failures:mf inputs))
+          (vobs_of_fact ~with_boundary)
+      in
+      match lookup ~with_boundary:false options.max_failures with
+      | Some (configs, o) when configs <= budget ->
+        let m =
+          Patterns_search.Metrics.with_incremental ~delta_reused_edges:o.edges_gen
+            Patterns_search.Metrics.zero
+        in
+        (report_of ~configs ~truncated:false o, m)
+      | _ -> (
+        let prior =
+          if options.max_failures > 0 then
+            lookup ~with_boundary:true (options.max_failures - 1)
+          else None
+        in
+        match prior with
+        | Some (configs0, o0) when configs0 <= budget -> (
+          match widen db configs0 o0 with Some r -> r | None -> fresh ())
+        | _ -> fresh ()))
 
   (* ----- deterministic merge of per-vector reports ----- *)
 
@@ -523,7 +774,7 @@ module Make (P : Protocol.S) = struct
                 | Some payload -> payload
                 | None ->
                   let (_, m) as fresh =
-                    explore_one_vector ?deadline:(remaining ()) ~options ~pool ~budget
+                    vector_result ?deadline:(remaining ()) ~options ~pool ~budget
                       ~rule ~n inputs
                   in
                   if m.Patterns_search.Metrics.deadline_hits = 0 then

@@ -85,6 +85,32 @@ module Make (P : Protocol.S) : sig
             only the resumed vectors.  Raises [Failure] on a header
             mismatch (protocol, rule, n, budgets, driver family, spill
             budget, input vectors). *)
+    base : Patterns_db.Db.t option;
+        (** incremental base: an execution database whose
+            ["classify_vec"] facts persist each fully explored input
+            vector (observations, derivation counts, and the frozen
+            max-failure boundary).  With a base, every vector first
+            tries wholesale reuse (a fact at this [max_failures] that
+            fits the per-vector budget), then semi-naive widening (a
+            fact at [max_failures - 1]: only the crash successors of
+            its boundary are derived and closed with
+            {!Patterns_search.Search.Make.run_delta}), and only then
+            falls back to a fresh search — which stores a new fact on
+            untruncated completion.  Reused and widened answers are
+            bit-identical to from-scratch under the layer-synchronous
+            driver's visit order (the delta closure is a FIFO sweep,
+            which reproduces it); on protocols whose behavioural
+            spaces have no convergence points between pattern-distinct
+            paths — every protocol whose counts already agree between
+            the two parallel drivers — that is bit-identity to
+            from-scratch under any driver.  The metrics additionally
+            carry [delta_seeds] and [delta_reused_edges].  Ignored
+            (with no facts stored) while [deadline] or [max_live] is
+            set — both make completeness run-dependent.  [edge_sink]
+            composes, with two caveats: wholesale-reused vectors emit
+            no edges (like checkpoint-replayed ones), and widened
+            vectors emit delta edges whose successor ordinals can
+            differ from a from-scratch recording. *)
   }
 
   val default_options : n:int -> options

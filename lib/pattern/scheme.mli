@@ -40,6 +40,7 @@ module Make (P : Protocol.S) : sig
     ?deadline:float ->
     ?max_live:int ->
     ?spill:Patterns_search.Search.spill ->
+    ?base:Patterns_db.Db.t ->
     n:int ->
     inputs:bool list ->
     unit ->
@@ -61,7 +62,15 @@ module Make (P : Protocol.S) : sig
       degrade the search gracefully: exceeding either truncates
       instead of hanging or exhausting memory.  Every [?metrics] sink
       in this module accumulates the kernel's counters
-      ({!Patterns_search.Search.merge_into}). *)
+      ({!Patterns_search.Search.merge_into}).
+
+      [base] memoizes fully enumerated vectors as ["scheme_vec"] facts
+      keyed by (protocol, n, vector): a later call with a budget at
+      least as large reuses the stored pattern set and stats
+      wholesale — bit-identical to recomputing, with the skipped
+      derivation count reported in the metrics' [delta_reused_edges] —
+      and a fresh enumeration that completes untruncated stores a new
+      fact.  Ignored while [deadline] or [max_live] is set. *)
 
   val scheme :
     ?metrics:Patterns_search.Metrics.t ref ->

@@ -62,6 +62,11 @@ type t = {
   spill_probes : int;
   spill_read_bytes : int;
   spill_write_bytes : int;
+  spill_fd_reopens : int;
+  prefix_hits : int;
+  prefix_states_saved : int;
+  delta_seeds : int;
+  delta_reused_edges : int;
   shards : shard list;
 }
 
@@ -102,6 +107,11 @@ let zero =
     spill_probes = 0;
     spill_read_bytes = 0;
     spill_write_bytes = 0;
+    spill_fd_reopens = 0;
+    prefix_hits = 0;
+    prefix_states_saved = 0;
+    delta_seeds = 0;
+    delta_reused_edges = 0;
     shards = [];
   }
 
@@ -178,14 +188,16 @@ let with_db ~edges ~index_scans ~cache_hits ~cache_misses m =
     db_cache_misses = cache_misses;
   }
 
-(* Retag a metrics record with a spill-store snapshot.  All five
+(* Retag a metrics record with a spill-store snapshot.  All six
    counters are deterministic under the serial and layer-synchronous
    drivers (eviction happens at schedule-independent points there) and
    schedule-dependent under the asynchronous driver at jobs > 1 — the
    same caveat as [intern_bindings], and gated the same way by the
-   bench --check harness.  All five are 0 unless a --spill-dir was
-   given. *)
-let with_spill ~runs ~evictions ~probes ~read_bytes ~write_bytes m =
+   bench --check harness.  All six are 0 unless a --spill-dir was
+   given.  [fd_reopens] additionally depends on the process-wide
+   descriptor cache (see {!Patterns_stdx.Block_file}), so it is only
+   deterministic when one spilling search runs at a time. *)
+let with_spill ~runs ~evictions ~probes ~read_bytes ~write_bytes ~fd_reopens m =
   {
     m with
     spill_runs = runs;
@@ -193,6 +205,23 @@ let with_spill ~runs ~evictions ~probes ~read_bytes ~write_bytes m =
     spill_probes = probes;
     spill_read_bytes = read_bytes;
     spill_write_bytes = write_bytes;
+    spill_fd_reopens = fd_reopens;
+  }
+
+(* Retag a metrics record with the incremental-derivation counters.
+   All four are deterministic: prefix hits/saved-steps are functions of
+   the evaluated plan-index set (each plan either shares a failure-free
+   prefix or does not, independent of which worker materialized the
+   memo), and the delta counters are functions of the base facts and
+   the change description, not of scheduling. *)
+let with_incremental ?(prefix_hits = 0) ?(prefix_states_saved = 0) ?(delta_seeds = 0)
+    ?(delta_reused_edges = 0) m =
+  {
+    m with
+    prefix_hits = m.prefix_hits + prefix_hits;
+    prefix_states_saved = m.prefix_states_saved + prefix_states_saved;
+    delta_seeds = m.delta_seeds + delta_seeds;
+    delta_reused_edges = m.delta_reused_edges + delta_reused_edges;
   }
 
 let with_root_index i m =
@@ -244,6 +273,11 @@ let merge a b =
     spill_probes = a.spill_probes + b.spill_probes;
     spill_read_bytes = a.spill_read_bytes + b.spill_read_bytes;
     spill_write_bytes = a.spill_write_bytes + b.spill_write_bytes;
+    spill_fd_reopens = a.spill_fd_reopens + b.spill_fd_reopens;
+    prefix_hits = a.prefix_hits + b.prefix_hits;
+    prefix_states_saved = a.prefix_states_saved + b.prefix_states_saved;
+    delta_seeds = a.delta_seeds + b.delta_seeds;
+    delta_reused_edges = a.delta_reused_edges + b.delta_reused_edges;
     shards = a.shards @ b.shards;
   }
 
@@ -264,6 +298,12 @@ let merge a b =
    "spill_write_bytes" (all 0 unless a --spill-dir was given;
    deterministic except under the asynchronous driver at jobs > 1,
    like "intern_bindings") after "db_cache_misses";
+   schema /8 appends "spill_fd_reopens" (descriptor-cache misses for
+   runs already opened once; same gating as the other spill counters)
+   after "spill_write_bytes", then the incremental-derivation counters
+   "prefix_hits", "prefix_states_saved", "delta_seeds",
+   "delta_reused_edges" (deterministic; all 0 unless a memoized
+   systematic hunt or a --base-db widening ran);
    every earlier field is unchanged in name, meaning and order.
    "lock_contention", "expand_seconds", "parallel_efficiency" and the
    whole /5 section are the nondeterministic top-level fields
@@ -282,7 +322,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/7\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/8\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -323,7 +363,13 @@ let to_json ?(shards = true) m =
   Buffer.add_string b (Printf.sprintf "  \"spill_evictions\": %d,\n" m.spill_evictions);
   Buffer.add_string b (Printf.sprintf "  \"spill_probes\": %d,\n" m.spill_probes);
   Buffer.add_string b (Printf.sprintf "  \"spill_read_bytes\": %d,\n" m.spill_read_bytes);
-  Buffer.add_string b (Printf.sprintf "  \"spill_write_bytes\": %d" m.spill_write_bytes);
+  Buffer.add_string b (Printf.sprintf "  \"spill_write_bytes\": %d,\n" m.spill_write_bytes);
+  Buffer.add_string b (Printf.sprintf "  \"spill_fd_reopens\": %d,\n" m.spill_fd_reopens);
+  Buffer.add_string b (Printf.sprintf "  \"prefix_hits\": %d,\n" m.prefix_hits);
+  Buffer.add_string b
+    (Printf.sprintf "  \"prefix_states_saved\": %d,\n" m.prefix_states_saved);
+  Buffer.add_string b (Printf.sprintf "  \"delta_seeds\": %d,\n" m.delta_seeds);
+  Buffer.add_string b (Printf.sprintf "  \"delta_reused_edges\": %d" m.delta_reused_edges);
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

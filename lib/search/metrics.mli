@@ -120,6 +120,25 @@ type t = {
       (** bytes read from run files by probes (/7 section) *)
   spill_write_bytes : int;
       (** bytes written to run files by evictions (/7 section) *)
+  spill_fd_reopens : int;
+      (** run files re-opened after eviction from the bounded
+          descriptor cache — 0 when every run's descriptor stayed
+          cached; same gating as the other spill counters (/8
+          section) *)
+  prefix_hits : int;
+      (** systematic hunt runs that resumed from a memoized
+          failure-free prefix instead of replaying from the initial
+          configuration — a function of the evaluated plan-index set
+          (/8 section) *)
+  prefix_states_saved : int;
+      (** engine steps skipped by prefix resumption, summed over
+          prefix hits (/8 section) *)
+  delta_seeds : int;
+      (** frontier states seeded into {!Search.Make.run_delta} from a
+          base exploration's boundary (/8 section) *)
+  delta_reused_edges : int;
+      (** successor derivations answered wholesale from base facts
+          instead of being re-derived (/8 section) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -177,11 +196,32 @@ val with_db :
     recorded edge set and query sequence. *)
 
 val with_spill :
-  runs:int -> evictions:int -> probes:int -> read_bytes:int -> write_bytes:int -> t -> t
-(** Retag a record with a spill-store snapshot (the /7 section).
-    Deterministic under the serial and layer-synchronous drivers;
-    schedule-dependent under the async driver at [jobs > 1] (like
-    [intern_bindings]).  All 0 unless a [--spill-dir] was given. *)
+  runs:int ->
+  evictions:int ->
+  probes:int ->
+  read_bytes:int ->
+  write_bytes:int ->
+  fd_reopens:int ->
+  t ->
+  t
+(** Retag a record with a spill-store snapshot (the /7 section plus
+    /8's [spill_fd_reopens]).  Deterministic under the serial and
+    layer-synchronous drivers; schedule-dependent under the async
+    driver at [jobs > 1] (like [intern_bindings]).  All 0 unless a
+    [--spill-dir] was given. *)
+
+val with_incremental :
+  ?prefix_hits:int ->
+  ?prefix_states_saved:int ->
+  ?delta_seeds:int ->
+  ?delta_reused_edges:int ->
+  t ->
+  t
+(** Add to the incremental-derivation counters (the /8 section;
+    omitted arguments default to 0, so existing values are kept).
+    All four are deterministic: prefix hits and saved steps depend
+    only on which plan indices were evaluated, and the delta counters
+    only on the base facts and the change description. *)
 
 val parallel_efficiency : t -> float
 (** [expand_seconds] over summed shard wall-clock: the fraction of the
@@ -196,7 +236,7 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/7"]: every /1 … /6 key is
+(** Schema ["patterns-search-metrics/8"]: every /1 … /7 key is
     unchanged in name, meaning and order; /4 appended the
     graceful-degradation counters ["deadline_hits"] and
     ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appended the
@@ -205,10 +245,14 @@ val to_json : ?shards:bool -> t -> string
     ["idle_seconds"] — after ["parallel_efficiency"]; /6 appended the
     deterministic execution-database counters — ["db_edges"],
     ["db_index_scans"], ["db_cache_hits"], ["db_cache_misses"] — after
-    ["idle_seconds"] (all 0 unless a [--db] is attached); /7 appends
+    ["idle_seconds"] (all 0 unless a [--db] is attached); /7 appended
     the spill-store counters — ["spill_runs"], ["spill_evictions"],
     ["spill_probes"], ["spill_read_bytes"], ["spill_write_bytes"] —
-    after ["db_cache_misses"] (all 0 unless a [--spill-dir] is given).
+    after ["db_cache_misses"] (all 0 unless a [--spill-dir] is given);
+    /8 appends ["spill_fd_reopens"] after ["spill_write_bytes"] and
+    the deterministic incremental-derivation counters —
+    ["prefix_hits"], ["prefix_states_saved"], ["delta_seeds"],
+    ["delta_reused_edges"].
     Key order is stable and pinned by the cram test; [?shards:false]
     omits the per-shard array (whose [seconds] are
     nondeterministic). *)

@@ -688,13 +688,17 @@ module Make (P : Protocol.S) = struct
     quiescent : bool;
   }
 
-  (* Linear runs attach no visited store, so by default they carry
-     untracked configurations: no hashing, no fingerprint deltas, no
-     interning — the fingerprints are recomputed lazily in the
-     (unusual) case someone probes the final configuration. *)
-  let run ?(track_fingerprints = false) ?(max_steps = 100_000) ?(failures = [])
-      ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+  (* The one run loop, shared by {!run}, {!run_prefix} and {!resume}:
+     the order of the three guards (step cap, pending failure, the
+     scheduler) is the observable semantics, so factoring it out is
+     what makes a resumed run provably identical to a fresh one.
+     [snap] is invoked once per loop entry with the configuration and
+     reversed trace {e before} the step is taken — successive reversed
+     traces share their tails, so recording every boundary is O(steps)
+     extra memory, not O(steps^2). *)
+  let run_loop ~max_steps ~fifo_notices ~scheduler ~snap c0 step0 rev_trace0 failures0 =
     let rec loop c step rev_trace pending_failures =
+      (match snap with Some f -> f c rev_trace | None -> ());
       if step >= max_steps then
         { final = c; trace = List.rev rev_trace; steps = step; quiescent = false }
       else
@@ -714,7 +718,131 @@ module Make (P : Protocol.S) = struct
             let c', evs = apply_exn ~step c a in
             loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures)
     in
-    loop (init_with ~track_fingerprints ~n ~inputs) 0 [] failures
+    loop c0 step0 rev_trace0 failures0
+
+  (* Linear runs attach no visited store, so by default they carry
+     untracked configurations: no hashing, no fingerprint deltas, no
+     interning — the fingerprints are recomputed lazily in the
+     (unusual) case someone probes the final configuration. *)
+  let run ?(track_fingerprints = false) ?(max_steps = 100_000) ?(failures = [])
+      ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+    run_loop ~max_steps ~fifo_notices ~scheduler ~snap:None
+      (init_with ~track_fingerprints ~n ~inputs)
+      0 [] failures
+
+  (* ----- memoized failure-free prefixes -----
+
+     A systematic fault plan's run equals the failure-free run of the
+     same (scheduler, inputs) up to the plan's earliest crash step:
+     the run loop fires no failure while every pending (k, p) has
+     k > step, and the schedulers used by the systematic adversary are
+     pure functions of (step, config, actions).  So the failure-free
+     run can be computed once per (scheduler, inputs), its per-step
+     configurations recorded, and every plan resumed from the snapshot
+     at its earliest crash step — or answered outright when all its
+     crashes land past the failure-free run's end (a run that stopped
+     at step q with no failure at k <= q never fires one at k > q). *)
+
+  type prefix = {
+    (* snapshots.(s) = (configuration entering step s, reversed trace
+       so far); length [ff.steps + 1], index [ff.steps] is the final
+       state *)
+    snapshots : (config * P.msg Trace.event list) array;
+    ff : run_result;  (* the failure-free run itself *)
+  }
+
+  let run_prefix ?(max_steps = 100_000) ?(fifo_notices = false) ~scheduler ~n ~inputs ()
+      =
+    let snaps = ref [] in
+    let snap c rev_trace = snaps := (c, rev_trace) :: !snaps in
+    let ff =
+      run_loop ~max_steps ~fifo_notices ~scheduler ~snap:(Some snap)
+        (init_with ~track_fingerprints:false ~n ~inputs)
+        0 [] []
+    in
+    { snapshots = Array.of_list (List.rev !snaps); ff }
+
+  let prefix_result prefix = prefix.ff
+
+  (* [resume] must be given the same [max_steps], [fifo_notices] and
+     [scheduler] the prefix was recorded under; the result is then
+     bit-identical to [run ~failures] (pinned by the adversary's
+     memo-vs-replay tests).  The returned number is the resume step —
+     engine steps answered from the memo instead of re-executed. *)
+  let resume ?(max_steps = 100_000) ?(fifo_notices = false) ~scheduler ~failures ~prefix
+      () =
+    let q = prefix.ff.steps in
+    let min_k = List.fold_left (fun acc (k, _) -> min acc k) max_int failures in
+    if min_k > q then (prefix.ff, q)
+    else
+      let c, rev_trace = prefix.snapshots.(min_k) in
+      (run_loop ~max_steps ~fifo_notices ~scheduler ~snap:None c min_k rev_trace failures,
+       min_k)
+
+  (* ----- frozen configurations -----
+
+     A [config] carries its per-root interning context, and the
+     context holds a [Mutex.t] — so configurations cannot be
+     marshalled as they are.  A [frozen] is the context-free part:
+     everything structural, nothing cached.  Thawing rebuilds a fresh
+     untracked context and leaves every fingerprint stale, to be
+     recomputed canonically on first demand — so a thawed
+     configuration fingerprints and compares exactly like the
+     original, at lazy-fold prices.  This is what lets a base
+     exploration persist its boundary configurations as facts and a
+     later widened sweep reseed from them. *)
+
+  type frozen = {
+    z_n : int;
+    z_inputs : bool array;
+    z_states : P.state array;
+    z_failed : bool array;
+    z_buffers : entry list array;
+    z_sent : int array;
+    z_knowledge : Triple.Fset.t array;
+    z_edges : Pair_set.t;
+    z_trips : Triple.Fset.t;
+  }
+
+  let freeze c =
+    {
+      z_n = c.n;
+      z_inputs = c.inputs;
+      z_states = c.states;
+      z_failed = c.failed;
+      z_buffers = c.buffers;
+      z_sent = c.sent_count;
+      z_knowledge = c.knowledge;
+      z_edges = c.edges;
+      z_trips = c.trips;
+    }
+
+  let thaw z =
+    {
+      n = z.z_n;
+      inputs = z.z_inputs;
+      states = z.z_states;
+      state_fps = Array.make z.z_n F.zero;
+      failed = z.z_failed;
+      buffers = z.z_buffers;
+      sent_count = z.z_sent;
+      knowledge = z.z_knowledge;
+      edges = z.z_edges;
+      efp = F.zero;
+      efp_valid = false;
+      trips = z.z_trips;
+      bfp = F.zero;
+      pfp = F.zero;
+      fps_valid = false;
+      ctx =
+        {
+          track = false;
+          lock = Mutex.create ();
+          sets = Intern.create ~equal:Triple.Fset.equal ();
+          states = Intern.create ~equal:(fun a b -> P.compare_state a b = 0) ();
+          edge_sets = Intern.create ~equal:Pair_set.equal ();
+        };
+    }
 
   (* ----- scripted replays ----- *)
 

@@ -197,6 +197,70 @@ module Make (P : Protocol.S) : sig
       workloads).  Pass [true] if the final configuration's
       fingerprint will be probed repeatedly. *)
 
+  (** {1 Memoized failure-free prefixes}
+
+      A fault plan's run equals the failure-free run of the same
+      (scheduler, inputs) up to the plan's earliest crash step: the
+      run loop fires no failure while every pending [(k, p)] has
+      [k > step].  For a deterministic scheduler — a pure function of
+      [(step, config, actions)], like {!fifo_scheduler},
+      {!lifo_scheduler} and {!round_robin_scheduler} — the
+      failure-free run can therefore be computed once and every plan
+      resumed from its recorded step boundary.  This is the engine
+      half of the adversary's shared-prefix memoization. *)
+
+  type prefix
+  (** One failure-free run with a configuration snapshot at every step
+      boundary.  Snapshots are untracked configurations sharing
+      structure with their successors; recording them is O(steps)
+      extra memory. *)
+
+  val run_prefix :
+    ?max_steps:int ->
+    ?fifo_notices:bool ->
+    scheduler:scheduler ->
+    n:int ->
+    inputs:bool list ->
+    unit ->
+    prefix
+
+  val prefix_result : prefix -> run_result
+  (** The failure-free run itself — what {!resume} returns verbatim
+      for an empty failure plan. *)
+
+  val resume :
+    ?max_steps:int ->
+    ?fifo_notices:bool ->
+    scheduler:scheduler ->
+    failures:(int * Proc_id.t) list ->
+    prefix:prefix ->
+    unit ->
+    run_result * int
+  (** Resume the recorded run with [failures] pending, from the
+      snapshot at the earliest crash step (or answer with the whole
+      failure-free result when every crash lands past its end).  Given
+      the same [scheduler], [max_steps] and [fifo_notices] the prefix
+      was recorded under, the result is bit-identical to
+      [run ~failures]; the returned integer is the number of engine
+      steps answered from the memo instead of re-executed. *)
+
+  (** {1 Frozen configurations} *)
+
+  type frozen
+  (** The context-free part of a configuration: marshallable (no
+      mutex, no intern tables, no cached fingerprints).  The vehicle
+      for persisting a base exploration's boundary configurations as
+      facts. *)
+
+  val freeze : config -> frozen
+
+  val thaw : frozen -> config
+  (** Rebuild a live configuration under a fresh untracked context.
+      Fingerprints and comparisons are canonical, so a thawed
+      configuration dedups against freshly explored ones exactly like
+      the original; the first fingerprint probe pays a full fold
+      (memoized per configuration), as under {!init_untracked}. *)
+
   (** {1 Scripted replays}
 
       Indistinguishability scenarios (Theorems 8 and 13) and

@@ -11,11 +11,15 @@
     one block, reads that block, and binary-searches the records in
     it.  One probe therefore costs at most one 4 KiB read.
 
-    Runs are immutable after {!create} and hold no file descriptor
-    between probes: each probe opens the file, reads one block and
-    closes it again, so a store that has spilled thousands of small
-    runs still uses O(1) descriptors.  Concurrent probes from several
-    domains are therefore free to overlap; only the counters are
+    Runs are immutable after {!create}.  Between probes a run's file
+    descriptor lives at most in a small process-global LRU cache (64
+    entries), so a store that has spilled thousands of small runs
+    still uses O(1) descriptors while the hot runs avoid an
+    open/close syscall pair per probe.  The cache hands out channels
+    by {e claim}: a probe removes the channel, seeks and reads with
+    exclusive ownership, and re-inserts it, so concurrent probes from
+    several domains are free to overlap (the loser of a claim race
+    opens a transient extra descriptor); only the counters are
     guarded by an internal mutex. *)
 
 val record_width : int
@@ -63,11 +67,20 @@ val probes : t -> int
 val read_bytes : t -> int
 (** Bytes read from disk by probes so far. *)
 
+val reopens : t -> int
+(** Opens after the first — probes that missed the descriptor cache
+    because this run's channel had been evicted (or claimed by a
+    concurrent probe).  0 when the descriptor stayed cached for the
+    run's whole life.  Deterministic for a deterministic probe
+    sequence against a single store; schedule-dependent when several
+    stores (or domains) share the cache. *)
+
 val path : t -> string
 
 val close : t -> unit
-(** No-op, kept for call-site symmetry: probes hold no persistent
-    descriptor. *)
+(** Release this run's cached descriptor, if any.  Probing again
+    reopens the file. *)
 
 val delete : t -> unit
-(** Remove the file (best-effort). *)
+(** Release the cached descriptor and remove the file
+    (best-effort). *)

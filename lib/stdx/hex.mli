@@ -1,0 +1,10 @@
+(** Lowercase hexadecimal codec for binary blobs.
+
+    The persistence layer is line-oriented JSON, which cannot carry
+    raw [Marshal] bytes (newlines, control characters); hex doubles
+    the size but keeps every fact a single printable line.  [encode]
+    is total; [decode] raises [Invalid_argument] on odd length or a
+    non-hex digit (uppercase digits are accepted). *)
+
+val encode : string -> string
+val decode : string -> string

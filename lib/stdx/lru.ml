@@ -8,15 +8,24 @@ type ('k, 'v) node = {
 type ('k, 'v) t = {
   cap : int;
   tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  on_evict : 'k -> 'v -> unit;
   mutable first : ('k, 'v) node option; (* most-recent *)
   mutable last : ('k, 'v) node option; (* least-recent *)
   mutable hits : int;
   mutable misses : int;
 }
 
-let create ~capacity () =
+let create ?(on_evict = fun _ _ -> ()) ~capacity () =
   if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
-  { cap = capacity; tbl = Hashtbl.create capacity; first = None; last = None; hits = 0; misses = 0 }
+  {
+    cap = capacity;
+    tbl = Hashtbl.create capacity;
+    on_evict;
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+  }
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
@@ -57,11 +66,20 @@ let add t k v =
       match t.last with
       | Some victim ->
         unlink t victim;
-        Hashtbl.remove t.tbl victim.key
+        Hashtbl.remove t.tbl victim.key;
+        t.on_evict victim.key victim.value
       | None -> ());
     let n = { key = k; value = v; prev = None; next = None } in
     Hashtbl.add t.tbl k n;
     push_front t n
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl k;
+    Some n.value
 
 let clear t =
   Hashtbl.reset t.tbl;

@@ -185,6 +185,7 @@ let spill_runs t = t.runs_written
 let spill_evictions t = t.shards_evicted
 let spill_write_bytes t = t.spilled_write_bytes
 let spill_read_bytes t = List.fold_left (fun acc r -> acc + Block_file.read_bytes r) 0 t.runs
+let spill_fd_reopens t = List.fold_left (fun acc r -> acc + Block_file.reopens r) 0 t.runs
 
 let lock_all t = Array.iter (fun sh -> Mutex.lock sh.lock) t.shards
 let unlock_all t = Array.iter (fun sh -> Mutex.unlock sh.lock) t.shards

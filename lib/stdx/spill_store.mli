@@ -85,5 +85,13 @@ val spill_probes : 'a t -> int
 val spill_read_bytes : 'a t -> int
 val spill_write_bytes : 'a t -> int
 
+val spill_fd_reopens : 'a t -> int
+(** Run-file opens beyond each run's first, summed over runs — probes
+    that missed {!Block_file}'s bounded descriptor cache.  0 when
+    every run's descriptor stayed cached.  Deterministic when this
+    store is the only one probing (the serial and layered drivers at
+    [jobs = 1]); the cache is process-global, so concurrent stores or
+    domains evict each other's descriptors schedule-dependently. *)
+
 val dispose : 'a t -> unit
 (** Delete the run files and the private subdirectory. *)

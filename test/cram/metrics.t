@@ -26,7 +26,7 @@ and its frontier_peak is the high-water mark of the work queue:
   >         -e 's/"table_occupancy": [0-9.]*/"table_occupancy": _/' \
   >         -e 's/"idle_seconds": [0-9.]*/"idle_seconds": _/'
   {
-    "schema": "patterns-search-metrics/7",
+    "schema": "patterns-search-metrics/8",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
@@ -63,6 +63,11 @@ and its frontier_peak is the high-water mark of the work queue:
     "spill_probes": 0,
     "spill_read_bytes": 0,
     "spill_write_bytes": 0,
+    "spill_fd_reopens": 0,
+    "prefix_hits": 0,
+    "prefix_states_saved": 0,
+    "delta_seeds": 0,
+    "delta_reused_edges": 0,
     "shards": [
       { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
       { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },

@@ -17,7 +17,7 @@ store.  states_expanded — live directive applications — is zero:
   reproduced:
   nonfaulty processors disagree: p0 decided commit but p2 decided abort
   $ sed -n '/"schema"/p;/"states_expanded"/p;/"budget_consumed"/p;/"db_/p' m.json
-    "schema": "patterns-search-metrics/7",
+    "schema": "patterns-search-metrics/8",
     "states_expanded": 0,
     "budget_consumed": 0,
     "db_edges": 36,
@@ -61,6 +61,31 @@ else:
     "certs": []
   }
   [1]
+
+--limit pages the result list without changing the count (which stays
+the total, and keeps steering the exit code): a truncated page says
+so, a page big enough for everything does not, and the unpaged output
+above carries no "truncated" field at all:
+
+  $ patterns-cli query db.json --limit 2 | sed -n '/"count"/p;/"truncated"/p;/"src"/p'
+    "count": 36,
+    "truncated": true,
+        "src": 161761752403083297,
+        "src": 246789330492915020,
+  $ patterns-cli query db.json --limit 100 | sed -n '/"count"/p;/"truncated"/p'
+    "count": 36,
+    "truncated": false,
+
+The exit code still reports the total, not the page — an empty result
+paged to nothing is still exit 1, and a nonempty result cut to
+nothing is still exit 0:
+
+  $ patterns-cli query db.json --certs-touching 3 --limit 5 > /dev/null
+  [1]
+  $ patterns-cli query db.json --limit 0 > /dev/null
+  $ patterns-cli query db.json --limit=-1
+  error: --limit must be nonnegative
+  [2]
 
 Exit codes: 0 with results, 1 without, 2 on error.  A missing
 database file is an empty database; conflicting modes and malformed

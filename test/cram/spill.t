@@ -23,6 +23,7 @@ depends on the schedule):
     "spill_probes": 21321,
     "spill_read_bytes": 357520464,
     "spill_write_bytes": 316464,
+    "spill_fd_reopens": 0,
 
 The spill directory is cleaned up on completion:
 

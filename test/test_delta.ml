@@ -1,0 +1,331 @@
+(* The incremental layer's single contract: answers computed through a
+   base database — wholesale per-vector reuse, semi-naive widening of
+   [max_failures], memoized failure-free prefixes in the systematic
+   hunt — are bit-identical to the from-scratch answers, across the
+   whole protocol registry, every jobs value and both parallel
+   drivers.  These tests pin that contract, plus the determinism of
+   the /8 counters and the inertness of [memo] on the random
+   adversary's PRNG stream. *)
+
+open Patterns_stdx
+open Patterns_core
+module Db = Patterns_db.Db
+
+let check = Alcotest.check
+
+(* the CLI's protocol -> decision-rule mapping, for registry-wide
+   sweeps *)
+let rule_of_registry entry =
+  let open Patterns_protocols in
+  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
+  else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
+  else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
+  else Decision_rule.Unanimity
+
+let entry_exn name =
+  match Patterns_protocols.Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "registry lost %s" name
+
+(* verdicts are scalar records (bools, ints, strings): structural
+   equality is the bit-identity the contract promises *)
+let check_verdict name (a : Classify.verdict) (b : Classify.verdict) =
+  Alcotest.(check bool) name true (a = b)
+
+(* ----- registry-wide widening oracle -----
+
+   For every protocol: classify at max_failures 0 storing per-vector
+   facts into a fresh base, then at max_failures 1 through the same
+   base (semi-naive widening wherever the 0-failure vector completed
+   untruncated, fresh fallback elsewhere), and compare both verdicts
+   against from-scratch runs.  The budget cap keeps the big fixed-n
+   protocols bounded; truncated vectors exercise the fallback path of
+   the same oracle.
+
+   The comparisons pin [~par_mode:Layers]: on protocols whose
+   behavioural state space has convergence points between
+   pattern-distinct paths (coop-2pc at one crash, for instance), the
+   count statistics depend on which path's configuration becomes the
+   behavioural-dedup representative — a visit-order property the two
+   parallel drivers already disagreed on before the incremental layer
+   existed.  The delta driver's FIFO closure reproduces the layered
+   order, which is the deterministic, jobs-invariant one. *)
+
+let test_registry_widening () =
+  List.iter
+    (fun entry ->
+      let (module P : Patterns_sim.Protocol.S) =
+        entry.Patterns_protocols.Registry.protocol
+      in
+      let n =
+        if entry.Patterns_protocols.Registry.fixed_n then
+          entry.Patterns_protocols.Registry.default_n
+        else min entry.Patterns_protocols.Registry.default_n 3
+      in
+      let rule = rule_of_registry entry in
+      let max_configs = 20_000 in
+      let par_mode = Patterns_search.Search.Layers in
+      let scratch mf =
+        Classify.classify ~max_failures:mf ~max_configs ~par_mode ~rule ~n
+          entry.Patterns_protocols.Registry.protocol
+      in
+      let s0 = scratch 0 and s1 = scratch 1 in
+      let base = Db.create () in
+      let incr mf =
+        Classify.classify ~base ~max_failures:mf ~max_configs ~par_mode ~rule ~n
+          entry.Patterns_protocols.Registry.protocol
+      in
+      check_verdict (P.name ^ " mf=0 through base") s0 (incr 0);
+      check_verdict (P.name ^ " mf=1 widened") s1 (incr 1);
+      (* a second query at mf=1 reuses the widened facts wholesale *)
+      let metrics = ref Patterns_search.Metrics.zero in
+      let v1' =
+        Classify.classify ~metrics ~base ~max_failures:1 ~max_configs ~par_mode ~rule ~n
+          entry.Patterns_protocols.Registry.protocol
+      in
+      check_verdict (P.name ^ " mf=1 wholesale") s1 v1')
+    Patterns_protocols.Registry.all
+
+(* ----- added input vectors -----
+
+   Facts are per-vector, so growing the vector set reuses the old
+   vectors wholesale and explores only the new ones. *)
+
+let test_added_inputs () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  let n = 3 in
+  let all = Listx.all_bool_vectors n in
+  let half = List.filteri (fun i _ -> i < List.length all / 2) all in
+  let scratch =
+    Classify.classify ~max_failures:1 ~inputs_choices:all ~rule ~n
+      entry.Patterns_protocols.Registry.protocol
+  in
+  let base = Db.create () in
+  let _seed : Classify.verdict =
+    Classify.classify ~base ~max_failures:1 ~inputs_choices:half ~rule ~n
+      entry.Patterns_protocols.Registry.protocol
+  in
+  let metrics = ref Patterns_search.Metrics.zero in
+  let widened =
+    Classify.classify ~metrics ~base ~max_failures:1 ~inputs_choices:all ~rule ~n
+      entry.Patterns_protocols.Registry.protocol
+  in
+  check_verdict "half-then-all ≡ from-scratch" scratch widened;
+  Alcotest.(check bool)
+    "old vectors were reused" true
+    (!metrics.Patterns_search.Metrics.delta_reused_edges > 0)
+
+(* ----- budget gate -----
+
+   A stored fact larger than the current per-vector budget must not be
+   reused: the incremental run falls back to a fresh (truncating)
+   search and reproduces the from-scratch truncated verdict.  The
+   layered driver pins the truncation order. *)
+
+let test_budget_gate () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  let n = 3 in
+  let base = Db.create () in
+  let _big : Classify.verdict =
+    Classify.classify ~base ~max_failures:1 ~rule ~n
+      entry.Patterns_protocols.Registry.protocol
+  in
+  let small mf_opts =
+    Classify.classify ?base:mf_opts ~max_failures:1 ~max_configs:8_000
+      ~par_mode:Patterns_search.Search.Layers ~rule ~n
+      entry.Patterns_protocols.Registry.protocol
+  in
+  let scratch = small None and through_base = small (Some base) in
+  Alcotest.(check bool) "small budget truncates" true scratch.Classify.truncated;
+  check_verdict "oversized facts are not reused" scratch through_base
+
+(* ----- jobs and par-mode invariance of the widened path ----- *)
+
+let test_matrix_invariance () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  let n = 3 in
+  let scratch =
+    Classify.classify ~max_failures:2 ~rule ~n entry.Patterns_protocols.Registry.protocol
+  in
+  let combos =
+    [
+      (1, Patterns_search.Search.Async);
+      (4, Patterns_search.Search.Async);
+      (1, Patterns_search.Search.Layers);
+      (4, Patterns_search.Search.Layers);
+    ]
+  in
+  let counters =
+    List.map
+      (fun (jobs, par_mode) ->
+        let base = Db.create () in
+        let _seed : Classify.verdict =
+          Classify.classify ~base ~max_failures:1 ~jobs ~par_mode ~rule ~n
+            entry.Patterns_protocols.Registry.protocol
+        in
+        let metrics = ref Patterns_search.Metrics.zero in
+        let widened =
+          Classify.classify ~metrics ~base ~max_failures:2 ~jobs ~par_mode ~rule ~n
+            entry.Patterns_protocols.Registry.protocol
+        in
+        check_verdict
+          (Printf.sprintf "widened ≡ scratch (jobs=%d mode=%s)" jobs
+             (Patterns_search.Search.par_mode_string par_mode))
+          scratch widened;
+        ( !metrics.Patterns_search.Metrics.delta_seeds,
+          !metrics.Patterns_search.Metrics.delta_reused_edges ))
+      combos
+  in
+  match counters with
+  | [] -> assert false
+  | c0 :: rest ->
+    let seeds, reused = c0 in
+    Alcotest.(check bool) "delta_seeds > 0" true (seeds > 0);
+    Alcotest.(check bool) "delta_reused_edges > 0" true (reused > 0);
+    List.iter
+      (fun c -> Alcotest.(check bool) "delta counters invariant" true (c = c0))
+      rest
+
+(* ----- systematic hunt: memoized prefixes ≡ full replays ----- *)
+
+let test_hunt_memo_oracle () =
+  List.iter
+    (fun entry ->
+      let rule = rule_of_registry entry in
+      let n =
+        if entry.Patterns_protocols.Registry.fixed_n then
+          entry.Patterns_protocols.Registry.default_n
+        else min entry.Patterns_protocols.Registry.default_n 3
+      in
+      let hunt memo =
+        Patterns_adversary.Hunt.hunt ~memo ~max_failures:2 ~max_runs:1_200
+          ~mode:Patterns_adversary.Hunt.Systematic ~property:Audit.TC ~rule ~n ~seed:0
+          entry
+      in
+      let a = hunt true and b = hunt false in
+      Alcotest.(check bool)
+        (entry.Patterns_protocols.Registry.name ^ ": memoized ≡ replayed")
+        true (a = b))
+    Patterns_protocols.Registry.all
+
+let test_hunt_counters_jobs_invariant () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  (* interactive consistency holds for fig3-chain, so the sweep runs to
+     its cap — a full sweep, on which the prefix tallies are
+     jobs-invariant *)
+  let run jobs =
+    let metrics = ref Patterns_search.Metrics.zero in
+    let r =
+      Patterns_adversary.Hunt.hunt ~metrics ~max_failures:2 ~max_runs:2_000 ~jobs
+        ~mode:Patterns_adversary.Hunt.Systematic ~property:Audit.IC ~rule ~n:3 ~seed:0
+        entry
+    in
+    (match r with
+    | Error tried -> check Alcotest.int "full sweep" 2_000 tried
+    | Ok _ -> Alcotest.fail "unexpected IC violation");
+    ( !metrics.Patterns_search.Metrics.prefix_hits,
+      !metrics.Patterns_search.Metrics.prefix_states_saved )
+  in
+  let h1, s1 = run 1 and h4, s4 = run 4 in
+  Alcotest.(check bool) "prefix_hits > 0" true (h1 > 0);
+  Alcotest.(check bool) "prefix_states_saved > 0" true (s1 > 0);
+  check Alcotest.int "hits jobs-invariant" h1 h4;
+  check Alcotest.int "saved jobs-invariant" s1 s4
+
+let test_random_mode_stream_untouched () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  let hunt memo =
+    Patterns_adversary.Hunt.hunt ~memo ~max_failures:2 ~max_runs:3_000
+      ~mode:Patterns_adversary.Hunt.Random ~property:Audit.TC ~rule ~n:3 ~seed:42 entry
+  in
+  (* [memo] must be inert in random mode: same draws, same winner, same
+     certificate text *)
+  Alcotest.(check bool) "random stream draw-for-draw" true (hunt true = hunt false)
+
+(* ----- scheme memoization ----- *)
+
+let test_scheme_base () =
+  let entry = entry_exn "fig3-chain" in
+  let (module P : Patterns_sim.Protocol.S) = entry.Patterns_protocols.Registry.protocol in
+  let module S = Patterns_pattern.Scheme.Make (P) in
+  let n = 3 in
+  let inputs = [ true; true; false ] in
+  let scratch = S.patterns_for_inputs ~n ~inputs () in
+  let base = Db.create () in
+  let first = S.patterns_for_inputs ~base ~n ~inputs () in
+  let metrics = ref Patterns_search.Metrics.zero in
+  let second = S.patterns_for_inputs ~metrics ~base ~n ~inputs () in
+  let eq (pa, sa) (pb, sb) = Patterns_pattern.Pattern.Set.equal pa pb && sa = sb in
+  Alcotest.(check bool) "first run through base ≡ scratch" true (eq scratch first);
+  Alcotest.(check bool) "memoized ≡ scratch" true (eq scratch second);
+  Alcotest.(check int) "no expansions on reuse" 0
+    !metrics.Patterns_search.Metrics.states_expanded;
+  Alcotest.(check bool) "reused derivations counted" true
+    (!metrics.Patterns_search.Metrics.delta_reused_edges > 0);
+  (* a smaller budget than the stored size must recompute *)
+  let tiny = S.patterns_for_inputs ~base ~max_configs:3 ~n ~inputs () in
+  Alcotest.(check bool) "undersized budget recomputes (truncated)" true
+    (snd tiny).Patterns_pattern.Scheme.truncated
+
+(* ----- descriptor cache: bounded fds, counted reopens ----- *)
+
+let test_fd_reopens () =
+  let d = Filename.temp_file "patterns-fd" ".d" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Sys.rmdir d)
+    (fun () ->
+      let fp_of i = Fingerprint.feed Fingerprint.seed i in
+      let entries i =
+        [| (Spill_store.key_of_fingerprint (fp_of i), i land max_int) |]
+      in
+      (* 70 one-record runs against the 64-slot global descriptor
+         cache: probing them all once evicts the first few, so probing
+         run 0 again must transparently reopen it — and count it *)
+      let runs =
+        Array.init 70 (fun i ->
+            let r =
+              Block_file.create
+                ~path:(Filename.concat d (Printf.sprintf "r%02d.blk" i))
+                (entries i)
+            in
+            ignore
+              (Block_file.probe r (Spill_store.key_of_fingerprint (fp_of i))
+                : int option);
+            r)
+      in
+      Alcotest.(check int) "no reopen on first probe" 0 (Block_file.reopens runs.(69));
+      ignore (Block_file.probe runs.(0) (Spill_store.key_of_fingerprint (fp_of 0)) : int option);
+      Alcotest.(check int) "evicted run reopened once" 1 (Block_file.reopens runs.(0));
+      Array.iter Block_file.close runs)
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "classify",
+        [
+          Alcotest.test_case "registry widening oracle" `Slow test_registry_widening;
+          Alcotest.test_case "added input vectors" `Quick test_added_inputs;
+          Alcotest.test_case "budget gate" `Quick test_budget_gate;
+          Alcotest.test_case "jobs x par-mode matrix" `Slow test_matrix_invariance;
+        ] );
+      ( "hunt",
+        [
+          Alcotest.test_case "memo oracle (registry)" `Slow test_hunt_memo_oracle;
+          Alcotest.test_case "counters jobs-invariant" `Quick
+            test_hunt_counters_jobs_invariant;
+          Alcotest.test_case "random stream untouched" `Quick
+            test_random_mode_stream_untouched;
+        ] );
+      ( "scheme", [ Alcotest.test_case "base memo" `Quick test_scheme_base ] );
+      ( "fd_cache", [ Alcotest.test_case "reopens counted" `Quick test_fd_reopens ] );
+    ]
