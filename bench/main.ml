@@ -535,7 +535,8 @@ let sweep_timings () =
       in
       base
     in
-    let hunt_row name ~memo ~runs =
+    let hunt_row ?(space = Patterns_adversary.Plan.Crash_only) ?(property = Audit.IC)
+        ?(max_failures = 2) name ~memo ~runs =
       let entry =
         match Patterns_protocols.Registry.find "fig3-chain" with
         | Some e -> e
@@ -544,8 +545,8 @@ let sweep_timings () =
       let metrics = ref Patterns_search.Metrics.zero in
       let r, secs =
         wall (fun () ->
-            Patterns_adversary.Hunt.hunt ~metrics ~memo ~max_failures:2 ~max_runs:runs
-              ~jobs:1 ~mode:Patterns_adversary.Hunt.Systematic ~property:Audit.IC ~rule ~n
+            Patterns_adversary.Hunt.hunt ~metrics ~memo ~space ~max_failures ~max_runs:runs
+              ~jobs:1 ~mode:Patterns_adversary.Hunt.Systematic ~property ~rule ~n
               ~seed:0 entry)
       in
       let witness =
@@ -566,6 +567,21 @@ let sweep_timings () =
         ~base:(seeded 1) ~max_failures:2 ();
       hunt_row "incremental: hunt systematic fig3-chain n=3 IC replay" ~memo:false ~runs;
       hunt_row "incremental: hunt systematic fig3-chain n=3 IC memoized" ~memo:true ~runs;
+      (* the widened adversary: the same systematic sweep through the
+         omission and mobile fault spaces.  fig3-chain is WT-clean
+         under crashes, so the crash row exhausts its budget while the
+         omission rows stop at the first drop witness — the drops /
+         omission-plan counters below are the deterministic record of
+         the widening, gated by --check like the prefix counters *)
+      hunt_row "omission: hunt systematic fig3-chain n=3 WT crash-only"
+        ~space:Patterns_adversary.Plan.Crash_only ~property:Audit.WT ~max_failures:1
+        ~memo:true ~runs;
+      hunt_row "omission: hunt systematic fig3-chain n=3 WT omission"
+        ~space:Patterns_adversary.Plan.Omission ~property:Audit.WT ~max_failures:1
+        ~memo:true ~runs;
+      hunt_row "omission: hunt systematic fig3-chain n=3 WT mobile"
+        ~space:Patterns_adversary.Plan.Mobile ~property:Audit.WT ~max_failures:2
+        ~memo:true ~runs;
     ]
   in
   List.concat_map
@@ -621,7 +637,7 @@ let emit_json ~path =
   in
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/4\",\n");
+  Buffer.add_string b (Printf.sprintf "  \"schema\": \"patterns-bench/5\",\n");
   Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
   Buffer.add_string b
     (Printf.sprintf "  \"par_mode\": \"%s\",\n"
@@ -666,7 +682,10 @@ let emit_json ~path =
            (base-database reuse in classify) are deterministic on the
            full sweeps benched here; spill_fd_reopens is
            eviction-order-volatile and gated like the other spill
-           counters. *)
+           counters.  The /9 fault section (drops_injected,
+           omission_plans, mobile_faults) is deterministic on the
+           jobs=1 systematic hunts benched here and zero everywhere
+           else. *)
         let open Patterns_search.Metrics in
         Printf.sprintf
           "\"kernel\": { \"outcome\": \"%s\", \"states_expanded\": %d, \"dedup_hits\": %d, \
@@ -676,7 +695,8 @@ let emit_json ~path =
            \"shard_occupancy_total\": %d, \"frontier_peak_sum\": %d, \"spill_runs\": %d, \
            \"spill_evictions\": %d, \"spill_probes\": %d, \"spill_read_bytes\": %d, \
            \"spill_write_bytes\": %d, \"spill_fd_reopens\": %d, \"prefix_hits\": %d, \
-           \"prefix_states_saved\": %d, \"delta_seeds\": %d, \"delta_reused_edges\": %d }"
+           \"prefix_states_saved\": %d, \"delta_seeds\": %d, \"delta_reused_edges\": %d, \
+           \"drops_injected\": %d, \"omission_plans\": %d, \"mobile_faults\": %d }"
           (outcome_string metrics.outcome)
           metrics.states_expanded metrics.dedup_hits metrics.frontier_peak metrics.pruned
           metrics.fingerprint_probes metrics.collision_fallbacks metrics.intern_bindings
@@ -685,6 +705,7 @@ let emit_json ~path =
           metrics.spill_evictions metrics.spill_probes metrics.spill_read_bytes
           metrics.spill_write_bytes metrics.spill_fd_reopens metrics.prefix_hits
           metrics.prefix_states_saved metrics.delta_seeds metrics.delta_reused_edges
+          metrics.drops_injected metrics.omission_plans metrics.mobile_faults
       in
       Buffer.add_string b
         (Printf.sprintf
@@ -845,7 +866,13 @@ let check_against ~baseline =
            hunt rows gate them on jobs=1 *)
         if find_sub row.b_name "hunt" 0 = None || row.b_jobs = 1 then begin
           expect "prefix_hits" m.prefix_hits;
-          expect "prefix_states_saved" m.prefix_states_saved
+          expect "prefix_states_saved" m.prefix_states_saved;
+          (* the /9 fault counters get the same gate: a goal-found
+             hunt's fault tallies overshoot with the worker count
+             exactly like its expanded count *)
+          expect "drops_injected" m.drops_injected;
+          expect "omission_plans" m.omission_plans;
+          expect "mobile_faults" m.mobile_faults
         end;
         expect "delta_seeds" m.delta_seeds;
         expect "delta_reused_edges" m.delta_reused_edges;

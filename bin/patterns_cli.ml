@@ -26,7 +26,8 @@ let rule_of_registry entry =
      termination protocol computes threshold-1; everything else is
      unanimity *)
   let open Patterns_protocols in
-  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  if entry.Registry.name = "ben-or" then Decision_rule.Any_input
+  else if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
   else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
   else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
   else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
@@ -590,7 +591,10 @@ let record_cert db cert =
        ])
 
 let hunt_cmd =
-  let doc = "Search randomized crash schedules for a property violation." in
+  let doc =
+    "Search fault schedules (crashes, and with --faults also message omissions) for a \
+     property violation."
+  in
   let property_arg =
     let prop_conv =
       Arg.enum
@@ -603,6 +607,26 @@ let hunt_cmd =
   let crashes_arg =
     Arg.(value & opt int 2 & info [ "crashes" ] ~docv:"F" ~doc:"Crashes per run.")
   in
+  let faults_arg =
+    let space_conv =
+      Arg.enum
+        [ ("crash", Patterns_adversary.Plan.Crash_only);
+          ("omission", Patterns_adversary.Plan.Omission);
+          ("mobile", Patterns_adversary.Plan.Mobile) ]
+    in
+    Arg.(value & opt space_conv Patterns_adversary.Plan.Crash_only
+         & info [ "faults" ] ~docv:"SPACE"
+           ~doc:"Fault model: $(b,crash) is the fail-stop adversary (the default, \
+                 bit-identical to what it always was); $(b,omission) adds receive-drop \
+                 and send-omission faults of one static victim per plan; $(b,mobile) \
+                 lets every fault pick its kind and victim independently.")
+  in
+  let fault_budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fault-budget" ] ~docv:"B"
+           ~doc:"Total fault budget per run — crashes and omissions together. \
+                 Defaults to $(b,--crashes).")
+  in
   let runs_arg =
     Arg.(value & opt int 5000 & info [ "runs" ] ~docv:"K" ~doc:"Run budget.")
   in
@@ -614,10 +638,10 @@ let hunt_cmd =
     in
     Arg.(value & opt mode_conv Patterns_adversary.Hunt.Random
          & info [ "mode" ] ~docv:"MODE"
-           ~doc:"Adversary: $(b,random) samples seeded crash schedules; $(b,systematic) \
-                 sweeps the canonical fault-plan space in order (crash count ascending, \
-                 then schedule flavour, crash plan and inputs), so the first hit is a \
-                 smallest-crash-count witness.")
+           ~doc:"Adversary: $(b,random) samples seeded fault schedules; $(b,systematic) \
+                 sweeps the canonical fault-plan space in order (fault count ascending, \
+                 then schedule flavour, fault plan and inputs), so the first hit is a \
+                 smallest-fault-count witness.")
   in
   let horizon_arg =
     Arg.(value & opt int 60
@@ -629,7 +653,8 @@ let hunt_cmd =
     Arg.(value & opt (some string) None
          & info [ "cert" ] ~docv:"FILE"
            ~doc:"Write a replayable violation certificate (schema \
-                 $(b,patterns-violation-cert/1)) as JSON to $(docv); $(b,-) means stdout. \
+                 $(b,patterns-violation-cert/1), or $(b,/2) when the script carries \
+                 omission directives) as JSON to $(docv); $(b,-) means stdout. \
                  Consume it with $(b,replay) and $(b,shrink).")
   in
   let no_memo_arg =
@@ -642,13 +667,14 @@ let hunt_cmd =
                  $(b,prefix_states_saved) counters and the wall clock change.  \
                  Random mode never uses the memo.")
   in
-  let run name n property crashes runs seed fifo_notices jobs mode horizon cert_out
-      no_memo deadline spill_dir mem_budget checkpoint resume kill_after db_file
-      metrics_json =
+  let run name n property crashes space fault_budget runs seed fifo_notices jobs mode
+      horizon cert_out no_memo deadline spill_dir mem_budget checkpoint resume kill_after
+      db_file metrics_json =
     let entry = or_die (find_protocol name) in
     let n = or_die (resolve_n entry n) in
     let rule = rule_of_registry entry in
     let seed = Option.value seed ~default:1984 in
+    let budget = Option.value fault_budget ~default:crashes in
     (* a hunt keeps no visited store: --spill-dir is accepted for
        interface uniformity but has nothing to spill *)
     let (_ : Patterns_search.Search.spill option) = spill_of spill_dir mem_budget in
@@ -658,9 +684,9 @@ let hunt_cmd =
     let result =
       catch_failures (fun () ->
           Patterns_adversary.Hunt.hunt ~metrics ~memo:(not no_memo)
-            ~max_failures:crashes ~max_runs:runs ~fifo_notices
+            ~max_failures:budget ~max_runs:runs ~fifo_notices
             ~jobs:(resolve_jobs jobs) ?deadline ?checkpoint:ckpt ~horizon ~mode
-            ~property ~rule ~n ~seed entry)
+            ~space ~property ~rule ~n ~seed entry)
     in
     let code =
       match result with
@@ -699,7 +725,8 @@ let hunt_cmd =
   in
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(
-      const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ runs_arg $ seed_arg
+      const run $ protocol_arg $ n_arg $ property_arg $ crashes_arg $ faults_arg
+      $ fault_budget_arg $ runs_arg $ seed_arg
       $ fifo_notices_arg $ jobs_arg $ mode_arg $ horizon_arg $ cert_arg $ no_memo_arg
       $ deadline_arg $ spill_dir_arg $ mem_budget_arg $ checkpoint_arg $ resume_arg
       $ kill_after_arg $ db_arg $ metrics_json_arg)

@@ -11,7 +11,13 @@ type t = {
   message : string;
 }
 
-let schema = "patterns-violation-cert/1"
+(* Schema /2 extends /1 with omission directives in the script and an
+   informational "drops" list.  The writer stays on /1 for pure
+   fail-stop certificates — byte-identical to every certificate this
+   tool has ever emitted — and bumps to /2 exactly when the script
+   carries a drop; the reader accepts both. *)
+let schema_v1 = "patterns-violation-cert/1"
+let schema_v2 = "patterns-violation-cert/2"
 
 let property_string =
   let open Patterns_core.Audit in
@@ -34,6 +40,7 @@ let rule_string =
   | Broadcast p -> "broadcast:" ^ string_of_int p
   | Threshold k -> "threshold:" ^ string_of_int k
   | Subset ps -> "subset:" ^ String.concat "," (List.map string_of_int ps)
+  | Any_input -> "any-input"
 
 let rule_of_string s =
   let open Patterns_protocols.Decision_rule in
@@ -44,6 +51,7 @@ let rule_of_string s =
   in
   match String.split_on_char ':' s with
   | [ "unanimity" ] -> Ok Unanimity
+  | [ "any-input" ] -> Ok Any_input
   | [ "broadcast"; p ] -> Result.map (fun p -> Broadcast p) (int_of "broadcast" p)
   | [ "threshold"; k ] -> Result.map (fun k -> Threshold k) (int_of "threshold" k)
   | [ "subset"; ps ] ->
@@ -58,6 +66,11 @@ let rule_of_string s =
 let crashes c =
   List.filter_map (function Script.Fail_now p -> Some p | _ -> None) c.script
 
+let drops c =
+  List.filter_map
+    (function Script.Drop_msg { at; from; index } -> Some (at, from, index) | _ -> None)
+    c.script
+
 let bits inputs = String.concat "" (List.map (fun b -> if b then "1" else "0") inputs)
 
 let bits_of_string n s =
@@ -68,26 +81,46 @@ let bits_of_string n s =
   else Ok (List.init n (fun i -> s.[i] = '1'))
 
 let to_json c =
+  let ds = drops c in
+  let drops_field =
+    match ds with
+    | [] -> []
+    | _ ->
+      (* derived from the script's Drop_msg directives; informational *)
+      [
+        ( "drops",
+          Json.List
+            (List.map
+               (fun (at, from, index) ->
+                 Json.Obj
+                   [ ("at", Json.Int at); ("from", Json.Int from); ("index", Json.Int index) ])
+               ds) );
+      ]
+  in
   Json.Obj
-    [
-      ("schema", Json.String schema);
-      ("protocol", Json.String c.protocol);
-      ("n", Json.Int c.n);
-      ("inputs", Json.String (bits c.inputs));
-      ("property", Json.String (property_string c.property));
-      ("rule", Json.String (rule_string c.rule));
-      (* derived from the script's Fail_now directives; informational *)
-      ("crashes", Json.List (List.map (fun p -> Json.Int p) (crashes c)));
-      ("script", Json.List (List.map Script.to_json c.script));
-      ("message", Json.String c.message);
-    ]
+    ([
+       ("schema", Json.String (if ds = [] then schema_v1 else schema_v2));
+       ("protocol", Json.String c.protocol);
+       ("n", Json.Int c.n);
+       ("inputs", Json.String (bits c.inputs));
+       ("property", Json.String (property_string c.property));
+       ("rule", Json.String (rule_string c.rule));
+       (* derived from the script's Fail_now directives; informational *)
+       ("crashes", Json.List (List.map (fun p -> Json.Int p) (crashes c)));
+     ]
+    @ drops_field
+    @ [
+        ("script", Json.List (List.map Script.to_json c.script));
+        ("message", Json.String c.message);
+      ])
 
 let ( let* ) = Result.bind
 
 let of_json j =
   let str k = Result.bind (Json.field k j) Json.to_str in
   let* s = str "schema" in
-  if s <> schema then Error (Printf.sprintf "unsupported schema %S (want %S)" s schema)
+  if s <> schema_v1 && s <> schema_v2 then
+    Error (Printf.sprintf "unsupported schema %S (want %S or %S)" s schema_v1 schema_v2)
   else
     let* protocol = str "protocol" in
     let* n = Result.bind (Json.field "n" j) Json.to_int in
@@ -104,6 +137,13 @@ let of_json j =
     Ok { protocol; n; inputs; property; rule; script; message }
 
 let pp ppf c =
-  Format.fprintf ppf "@[<v>%s: %s violation, n=%d, inputs %s, %d crash(es), %d directive(s)@]"
-    c.protocol (property_string c.property) c.n (bits c.inputs)
-    (List.length (crashes c)) (List.length c.script)
+  match drops c with
+  | [] ->
+    Format.fprintf ppf "@[<v>%s: %s violation, n=%d, inputs %s, %d crash(es), %d directive(s)@]"
+      c.protocol (property_string c.property) c.n (bits c.inputs)
+      (List.length (crashes c)) (List.length c.script)
+  | ds ->
+    Format.fprintf ppf
+      "@[<v>%s: %s violation, n=%d, inputs %s, %d crash(es), %d drop(s), %d directive(s)@]"
+      c.protocol (property_string c.property) c.n (bits c.inputs)
+      (List.length (crashes c)) (List.length ds) (List.length c.script)

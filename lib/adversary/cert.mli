@@ -5,9 +5,16 @@
     protocol (by registry name), the instance size and input vector,
     the violated property and decision rule, and the full schedule as
     a {!Patterns_sim.Script} — crashes included, as [Fail_now]
-    directives.  [patterns replay] consumes the JSON form (schema
-    [patterns-violation-cert/1]); [patterns hunt --cert] and
-    [patterns shrink] produce it. *)
+    directives, and omission faults as [Drop_msg] directives.
+    [patterns replay] consumes the JSON form; [patterns hunt --cert]
+    and [patterns shrink] produce it.
+
+    Two schemas: [patterns-violation-cert/1] is the historical
+    fail-stop form and is still what the writer emits for drop-free
+    scripts (byte-identical to every certificate ever produced);
+    [patterns-violation-cert/2] is emitted exactly when the script
+    carries omission directives and adds an informational ["drops"]
+    list.  The reader accepts both. *)
 
 open Patterns_sim
 
@@ -18,16 +25,25 @@ type t = {
   property : Patterns_core.Audit.property;
   rule : Patterns_protocols.Decision_rule.t;
   script : Script.directive list;
-      (** the whole schedule, including [Fail_now] crash directives *)
+      (** the whole schedule, including [Fail_now] crash directives
+          and [Drop_msg] omission directives *)
   message : string;  (** the violation report of the run that produced it *)
 }
 
-val schema : string
-(** ["patterns-violation-cert/1"]. *)
+val schema_v1 : string
+(** ["patterns-violation-cert/1"] — emitted for drop-free scripts. *)
+
+val schema_v2 : string
+(** ["patterns-violation-cert/2"] — emitted when the script carries
+    omission directives. *)
 
 val crashes : t -> Proc_id.t list
 (** The victims of the script's [Fail_now] directives, in script
     order — derived, also embedded in the JSON for human readers. *)
+
+val drops : t -> (Proc_id.t * Proc_id.t * int) list
+(** The [(at, from, index)] triples of the script's [Drop_msg]
+    directives, in script order — derived, embedded in /2 JSON. *)
 
 val property_string : Patterns_core.Audit.property -> string
 val property_of_string : string -> (Patterns_core.Audit.property, string) result
@@ -39,9 +55,9 @@ val rule_of_string : string -> (Patterns_protocols.Decision_rule.t, string) resu
 
 val to_json : t -> Patterns_stdx.Json.t
 val of_json : Patterns_stdx.Json.t -> (t, string) result
-(** [Error] names the offending field; the ["crashes"] field is
-    ignored on input (it is derived from the script). *)
+(** [Error] names the offending field; the ["crashes"] and ["drops"]
+    fields are ignored on input (they are derived from the script). *)
 
 val pp : Format.formatter -> t -> unit
-(** One-line summary (protocol, property, size, crash and directive
-    counts). *)
+(** One-line summary (protocol, property, size, crash, drop and
+    directive counts; the drop count appears only when non-zero). *)

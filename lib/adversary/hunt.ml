@@ -23,7 +23,8 @@ let chunk_size = 4_096
 
 let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false)
     ?(jobs = 1) ?deadline ?checkpoint ?(horizon = 60) ?(mode = Random) ?(memo = true)
-    ~property ~rule ~n ~seed (entry : Patterns_protocols.Registry.entry) =
+    ?(space = Plan.Crash_only) ~property ~rule ~n ~seed
+    (entry : Patterns_protocols.Registry.entry) =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let module E = Engine.Make (P) in
   let verdict inputs (r : E.run_result) =
@@ -54,6 +55,46 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
   let crash_plan failures =
     String.concat ", " (List.map (fun (k, p) -> Printf.sprintf "p%d@step%d" p k) failures)
   in
+  let fault_plan faults =
+    String.concat ", " (List.map (fun f -> Format.asprintf "%a" Fault.pp f) faults)
+  in
+  let mobile_faults = function
+    | [] | [ _ ] -> false
+    | (f : Fault.t) :: rest ->
+      List.exists (fun (g : Fault.t) -> not (Proc_id.equal g.Fault.victim f.Fault.victim)) rest
+  in
+  (* Fault-injection tallies (the metrics /9 section), accumulated
+     outside the kernel exactly like the systematic mode's prefix
+     tallies and folded by the same [flush] mechanism.  All three stay
+     0 under the crash-only space, so fail-stop metrics are unchanged
+     field for field. *)
+  let drops_tally = Atomic.make 0 in
+  let om_plans_tally = Atomic.make 0 in
+  let mobile_tally = Atomic.make 0 in
+  let folded_drops = ref 0 and folded_om = ref 0 and folded_mobile = ref 0 in
+  let fault_flush m =
+    let d = Atomic.get drops_tally in
+    let o = Atomic.get om_plans_tally in
+    let mb = Atomic.get mobile_tally in
+    let m =
+      Patterns_search.Metrics.with_faults ~drops_injected:(d - !folded_drops)
+        ~omission_plans:(o - !folded_om) ~mobile_faults:(mb - !folded_mobile) m
+    in
+    folded_drops := d;
+    folded_om := o;
+    folded_mobile := mb;
+    m
+  in
+  let tally faults (r : E.run_result) =
+    let d = Trace.drop_count r.E.trace in
+    if d > 0 then ignore (Atomic.fetch_and_add drops_tally d : int);
+    match faults with
+    | [] -> ()
+    | fs ->
+      Atomic.incr om_plans_tally;
+      if mobile_faults fs then
+        ignore (Atomic.fetch_and_add mobile_tally (List.length fs) : int)
+  in
   (* Single entry point for both modes: without a checkpoint the hunt
      is the kernel's one-shot goal search, unchanged; with one, the
      index space is swept chunk by chunk, each completed chunk
@@ -79,10 +120,12 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
       result
     | Some spec ->
       let header =
-        Printf.sprintf "hunt/1|%s|prop=%s|rule=%s|n=%d|seed=%d|mode=%s|mf=%d|mi=%d|h=%d|fifo=%b"
+        Printf.sprintf
+          "hunt/2|%s|prop=%s|rule=%s|n=%d|seed=%d|mode=%s|faults=%s|mf=%d|mi=%d|h=%d|fifo=%b"
           entry.Patterns_protocols.Registry.name (property_string property)
           (Format.asprintf "%a" Patterns_protocols.Decision_rule.pp rule)
-          n seed (mode_string mode) max_failures max_index horizon fifo_notices
+          n seed (mode_string mode) (Plan.space_string space) max_failures max_index horizon
+          fifo_notices
       in
       let t =
         match Patterns_search.Checkpoint.create spec ~header with
@@ -143,27 +186,57 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
       let failures =
         List.init n_failures (fun _ -> (Prng.int prng ~bound:60, Prng.int prng ~bound:n))
       in
+      (* Omission draws come after the historical crash draws, so the
+         crash-only stream is untouched draw for draw.  The remaining
+         fault budget goes to omission faults; the [Omission] space
+         additionally pins them all to one drawn victim. *)
+      let faults =
+        match space with
+        | Plan.Crash_only -> []
+        | Plan.Omission | Plan.Mobile ->
+          let budget = max_failures - n_failures in
+          let n_om = if budget <= 0 then 0 else Prng.int prng ~bound:(budget + 1) in
+          let static_victim = Prng.int prng ~bound:n in
+          List.init n_om (fun _ ->
+              let step = Prng.int prng ~bound:60 in
+              let kind = if Prng.bool prng then Fault.Drop else Fault.Send_omit in
+              let victim =
+                match space with
+                | Plan.Mobile -> Prng.int prng ~bound:n
+                | Plan.Omission | Plan.Crash_only -> static_victim
+              in
+              { Fault.step; victim; kind })
+      in
       let scheduler =
         match Prng.int prng ~bound:3 with
         | 0 -> E.random_scheduler (Prng.split prng)
         | 1 -> E.notice_first_scheduler (Prng.split prng)
         | _ -> E.lifo_scheduler
       in
-      let r = E.run ~failures ~fifo_notices ~scheduler ~n ~inputs () in
+      let r = E.run ~failures ~faults ~fifo_notices ~scheduler ~n ~inputs () in
+      tally faults r;
       match verdict inputs r with
       | Ok () -> None
       | Error msg ->
         let message =
-          Format.asprintf
-            "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,%s@,@,%s@]"
-            run_index seed (bits inputs) (crash_plan failures) msg
-            (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+          match faults with
+          | [] ->
+            Format.asprintf
+              "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,%s@,@,%s@]"
+              run_index seed (bits inputs) (crash_plan failures) msg
+              (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+          | fs ->
+            Format.asprintf
+              "@[<v>violation after %d run(s) (seed %d)@,inputs: %s@,crash plan: %s@,\
+               fault plan: %s@,%s@,@,%s@]"
+              run_index seed (bits inputs) (crash_plan failures) (fault_plan fs) msg
+              (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
         in
         Some (cert inputs message r)
     in
-    drive one ~max_index:max_runs
+    drive ~flush:fault_flush one ~max_index:max_runs
   | Systematic ->
-    let total = Plan.count ~horizon ~n ~max_failures in
+    let total = Plan.count ~space ~horizon ~n ~max_faults:max_failures () in
     let max_index = min max_runs total in
     (* Shared-prefix memoization: a plan's run equals the failure-free
        run of its (flavour, inputs) up to the plan's earliest crash
@@ -205,10 +278,19 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
       in
       folded_hits := h;
       folded_saved := s;
-      m
+      fault_flush m
     in
     let one run_index =
-      let plan = Plan.decode ~horizon ~n ~max_failures (run_index - 1) in
+      let plan =
+        match Plan.decode ~space ~horizon ~n ~max_faults:max_failures (run_index - 1) with
+        | Ok plan -> plan
+        | Error e ->
+          (* [Budget_exceeded] replaces the old silent saturation:
+             indices past the exactly representable boundary are
+             refused loudly rather than decoded into a wrong plan *)
+          failwith
+            (Printf.sprintf "hunt: systematic plan %d: %s" run_index (Plan.error_string e))
+      in
       let scheduler =
         match plan.Plan.flavour with
         | Plan.Fifo -> E.fifo_scheduler
@@ -219,11 +301,13 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
             | [] -> None
             | _ -> List.nth_opt actions (step mod List.length actions))
       in
+      let failures = Plan.crashes plan in
+      let omissions = Plan.omissions plan in
       let r =
         if memo then begin
           let prefix = prefix_of plan.Plan.flavour scheduler plan.Plan.inputs in
           let r, saved =
-            E.resume ~fifo_notices ~scheduler ~failures:plan.Plan.failures ~prefix ()
+            E.resume ~fifo_notices ~scheduler ~failures ~faults:omissions ~prefix ()
           in
           if saved > 0 then begin
             Atomic.incr hits;
@@ -232,21 +316,32 @@ let hunt ?metrics ?(max_failures = 2) ?(max_runs = 5_000) ?(fifo_notices = false
           r
         end
         else
-          E.run ~failures:plan.Plan.failures ~fifo_notices ~scheduler ~n
+          E.run ~failures ~faults:omissions ~fifo_notices ~scheduler ~n
             ~inputs:plan.Plan.inputs ()
       in
+      tally omissions r;
       match verdict plan.Plan.inputs r with
       | Ok () -> None
       | Error msg ->
         let message =
-          Format.asprintf
-            "@[<v>violation at plan %d of %d (systematic, horizon %d)@,\
-             inputs: %s@,crash plan: %s@,schedule: %s@,%s@,@,%s@]"
-            run_index total horizon (bits plan.Plan.inputs)
-            (crash_plan plan.Plan.failures)
-            (Plan.flavour_string plan.Plan.flavour)
-            msg
-            (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+          match omissions with
+          | [] ->
+            Format.asprintf
+              "@[<v>violation at plan %d of %d (systematic, horizon %d)@,\
+               inputs: %s@,crash plan: %s@,schedule: %s@,%s@,@,%s@]"
+              run_index total horizon (bits plan.Plan.inputs) (crash_plan failures)
+              (Plan.flavour_string plan.Plan.flavour)
+              msg
+              (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
+          | _ ->
+            Format.asprintf
+              "@[<v>violation at plan %d of %d (systematic, horizon %d)@,\
+               inputs: %s@,fault plan: %s@,schedule: %s@,%s@,@,%s@]"
+              run_index total horizon (bits plan.Plan.inputs)
+              (fault_plan plan.Plan.faults)
+              (Plan.flavour_string plan.Plan.flavour)
+              msg
+              (Patterns_pattern.Render.lanes ~pp_msg:P.pp_msg ~n r.E.trace)
         in
         Some (cert plan.Plan.inputs message r)
     in

@@ -9,9 +9,17 @@
       per-run generator seeding, same violation report), extended to
       read the winning schedule back into a replayable {!Cert};
     - {!Systematic}: an exhaustive sweep of the canonical {!Plan}
-      space — crash count ascending, so the first hit is a
-      smallest-crash-count witness; within a crash count, schedule
-      flavour then crash plan then inputs.
+      space — fault count ascending, so the first hit is a
+      smallest-fault-count witness; within a fault count, schedule
+      flavour then fault plan then inputs.
+
+    [space] (default {!Plan.Crash_only}) widens the adversary along
+    the fault-model lattice: {!Plan.Omission} adds receive-drop and
+    send-omission faults of one static victim per plan,
+    {!Plan.Mobile} lets every fault pick its kind and victim
+    independently.  The crash-only behaviour of both modes is
+    bit-identical to what it always was — same draws, same plan
+    indices, same certificates, same metrics values.
 
     Either way [Ok cert] carries the violation report in
     [cert.message] and a schedule script that {!Replay} reproduces;
@@ -34,6 +42,7 @@ val hunt :
   ?horizon:int ->
   ?mode:mode ->
   ?memo:bool ->
+  ?space:Plan.space ->
   property:Patterns_core.Audit.property ->
   rule:Patterns_protocols.Decision_rule.t ->
   n:int ->
@@ -41,8 +50,14 @@ val hunt :
   Patterns_protocols.Registry.entry ->
   (Cert.t, int) result
 (** [horizon] (default 60, matching the random adversary's crash-step
-    range) bounds the systematic mode's crash steps; [seed] only
-    affects {!Random} mode.  The systematic index space is capped at
+    range) bounds the systematic mode's fault steps; [seed] only
+    affects {!Random} mode.  [max_failures] is the total fault budget
+    — crashes and omissions together.  In {!Random} mode the omission
+    draws come after the historical crash draws, so the crash-only
+    stream is untouched draw for draw; in {!Systematic} mode an index
+    past the exactly representable plan space raises [Failure] with
+    {!Plan.Budget_exceeded}'s message instead of silently decoding a
+    wrong plan.  The systematic index space is capped at
     [max_runs] — the canonical order makes a truncated sweep a
     well-defined prefix.  The metrics sink accumulates the kernel's
     counters; as for every [find_first] search, the expanded count may

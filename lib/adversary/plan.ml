@@ -9,56 +9,331 @@ let flavour_string = function
   | Lifo -> "lifo"
   | Round_robin -> "round-robin"
 
+type space = Crash_only | Omission | Mobile
+
+let spaces = [ Crash_only; Omission; Mobile ]
+
+let space_string = function
+  | Crash_only -> "crash"
+  | Omission -> "omission"
+  | Mobile -> "mobile"
+
+let space_of_string = function
+  | "crash" -> Some Crash_only
+  | "omission" -> Some Omission
+  | "mobile" -> Some Mobile
+  | _ -> None
+
 type t = {
   inputs : bool list;
-  failures : (int * Proc_id.t) list;
+  faults : Fault.t list;
   flavour : flavour;
 }
 
+type error = Out_of_range | Budget_exceeded
+
+let error_string = function
+  | Out_of_range -> "out of range"
+  | Budget_exceeded -> "plan space exceeds the exactly representable budget"
+
+let crashes p =
+  List.filter_map
+    (fun (f : Fault.t) ->
+      match f.Fault.kind with
+      | Fault.Crash -> Some (f.Fault.step, f.Fault.victim)
+      | Fault.Drop | Fault.Send_omit -> None)
+    p.faults
+
+let omissions p = List.filter Fault.is_omission p.faults
+
+let fault_count p = List.length p.faults
+
+let is_mobile p =
+  match omissions p with
+  | [] | [ _ ] -> false
+  | f :: rest -> List.exists (fun (g : Fault.t) -> not (Proc_id.equal g.Fault.victim f.Fault.victim)) rest
+
 let pp ppf p =
-  Format.fprintf ppf "@[inputs %s, crashes [%s], schedule %s@]"
+  Format.fprintf ppf "@[inputs %s, faults [%s], schedule %s@]"
     (String.concat "" (List.map (fun b -> if b then "1" else "0") p.inputs))
-    (String.concat ", "
-       (List.map (fun (k, v) -> Printf.sprintf "p%d@step%d" v k) p.failures))
+    (String.concat ", " (List.map (fun f -> Format.asprintf "%a" Fault.pp f) p.faults))
     (flavour_string p.flavour)
 
-(* Saturating arithmetic: the plan space explodes in [max_failures],
-   and a saturated count still compares correctly against any finite
-   run budget. *)
-let mul_cap a b = if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+(* ----- arithmetic -----
+
+   Two flavours on purpose.  [count] saturates at [max_int]: a
+   saturated count still compares correctly against any finite run
+   budget, which is all callers do with it.  [decode]/[rank] use exact
+   checked arithmetic and surface [Budget_exceeded] the moment a block
+   size stops being exactly representable — the silent-saturation
+   alternative decodes a plausible-looking but wrong plan for every
+   index past the boundary. *)
+
 let add_cap a b = if a > max_int - b then max_int else a + b
+
+let ( let* ) = Option.bind
+
+let mul_exact a b =
+  if a = 0 || b = 0 then Some 0 else if a > max_int / b then None else Some (a * b)
+
+let add_exact a b = if a > max_int - b then None else Some (a + b)
+
+let rec pow_exact b k = if k = 0 then Some 1 else Option.bind (pow_exact b (k - 1)) (mul_exact b)
+
+(* unchecked power, used only for quantities already bounded by an
+   exactly representable block size *)
+let rec pow b k = if k = 0 then 1 else b * pow b (k - 1)
 
 let n_flavours = List.length flavours
 
-(* plans with exactly [k] crashes, for crash-plan base [bk] = base^k *)
-let block_size ~n bk = mul_cap n_flavours (mul_cap bk (1 lsl n))
+(* ----- digit vocabularies -----
 
-let count ~horizon ~n ~max_failures =
-  let base = horizon * n in
-  let rec go k bk acc =
-    if k > max_failures then acc
-    else go (k + 1) (mul_cap bk base) (add_cap acc (block_size ~n bk))
-  in
-  go 0 1 0
+   Every space enumerates exactly-[k]-fault blocks as length-[k]
+   digit strings, most significant first.
 
-let decode ~horizon ~n ~max_failures idx =
-  if idx < 0 || idx >= count ~horizon ~n ~max_failures then
-    invalid_arg (Printf.sprintf "Plan.decode: index %d out of range" idx);
-  let base = horizon * n in
-  let rec find_k k bk idx =
-    let block = block_size ~n bk in
-    if idx < block then (k, bk, idx) else find_k (k + 1) (mul_cap bk base) (idx - block)
+   Crash_only: digit base [cn = horizon * n], digit
+   [step * n + victim] — unchanged from the crash-plan enumeration,
+   so crash sweeps are index-for-index what they always were.
+
+   Mobile: digit base [3 * cn], digit
+   [kind * cn + step * n + victim] with kinds in {!Fault.kind_rank}
+   order — any fault kind at any victim at any position, the
+   omission-faulty processor free to move between faults.
+
+   Omission: the static-victim middle rung.  One shared omission
+   victim [v] per plan; crash digits range over [cn] as above, and an
+   omission digit [cn + kind2 * horizon + step] (kind2 0 = drop,
+   1 = send-omit) names a fault of [v].  The exactly-[k] block counts
+   [cn^k] pure-crash strings once, plus for each of the [n] choices of
+   [v] the [(cn + 2h)^k - cn^k] strings with at least one omission
+   digit. *)
+
+let seqs_exact ~space ~horizon ~n k =
+  let cn = horizon * n in
+  match space with
+  | Crash_only -> pow_exact cn k
+  | Mobile -> Option.bind (mul_exact 3 cn) (fun b -> pow_exact b k)
+  | Omission ->
+    let b = cn + (2 * horizon) in
+    let* bk = pow_exact b k in
+    let* ck = pow_exact cn k in
+    let* mixed = mul_exact n (bk - ck) in
+    add_exact ck mixed
+
+let block_exact ~space ~horizon ~n k =
+  let* sk = seqs_exact ~space ~horizon ~n k in
+  let* per_flavour = mul_exact sk (1 lsl n) in
+  mul_exact n_flavours per_flavour
+
+let count ?(space = Crash_only) ~horizon ~n ~max_faults () =
+  let rec go k acc =
+    if k > max_faults then acc
+    else
+      let block =
+        match block_exact ~space ~horizon ~n k with Some b -> b | None -> max_int
+      in
+      go (k + 1) (add_cap acc block)
   in
-  let k, bk, r = find_k 0 1 idx in
-  let per_flavour = mul_cap bk (1 lsl n) in
-  let flavour = List.nth flavours (r / per_flavour) in
-  let r = r mod per_flavour in
-  let rank = r / (1 lsl n) in
-  let input_bits = r mod (1 lsl n) in
-  let inputs = List.init n (fun i -> (input_bits lsr i) land 1 = 1) in
-  (* crash digits, most significant first: the lexicographic rank *)
-  let rec digits j rank acc =
-    if j = 0 then acc else digits (j - 1) (rank / base) ((rank mod base) :: acc)
+  go 0 0
+
+(* ----- decode ----- *)
+
+let crash_of_digit ~n d : Fault.t =
+  { Fault.step = d / n; victim = d mod n; kind = Fault.Crash }
+
+let mobile_of_digit ~horizon ~n d : Fault.t =
+  let cn = horizon * n in
+  let kind = match d / cn with 0 -> Fault.Crash | 1 -> Fault.Drop | _ -> Fault.Send_omit in
+  let e = d mod cn in
+  { Fault.step = e / n; victim = e mod n; kind }
+
+let omission_of_digit ~horizon ~n ~victim d : Fault.t =
+  let cn = horizon * n in
+  if d < cn then crash_of_digit ~n d
+  else
+    let e = d - cn in
+    let kind = if e / horizon = 0 then Fault.Drop else Fault.Send_omit in
+    { Fault.step = e mod horizon; victim; kind }
+
+(* plain positional decoding: [rank] as [k] digits of base [base],
+   most significant first *)
+let digits ~base k rank =
+  let rec go j rank acc = if j = 0 then acc else go (j - 1) (rank / base) ((rank mod base) :: acc) in
+  go k rank []
+
+(* the [s]-th (lexicographic) length-[k] base-[b] string containing at
+   least one digit >= [cn], by digit-by-digit unranking: before the
+   first omission digit a crash digit [d] has [b^rem - cn^rem]
+   completions (the remainder must still place an omission), an
+   omission digit the full [b^rem]; after it, every digit has
+   [b^rem].  All powers are bounded by the block size, which the
+   caller proved exact. *)
+let unrank_mixed ~cn ~b k s =
+  let rec go j s have_om acc =
+    if j = k then List.rev acc
+    else
+      let rem = k - j - 1 in
+      let brem = pow b rem in
+      let crem = pow cn rem in
+      let d, s, have_om =
+        if have_om then (s / brem, s mod brem, true)
+        else
+          let low = brem - crem in
+          if low > 0 && s < cn * low then (s / low, s mod low, false)
+          else
+            let s = s - (cn * low) in
+            (cn + (s / brem), s mod brem, true)
+      in
+      go (j + 1) s have_om (d :: acc)
   in
-  let failures = List.map (fun d -> (d / n, d mod n)) (digits k rank []) in
-  { inputs; failures; flavour }
+  go 0 s false []
+
+let decode_seq ~space ~horizon ~n k seq_rank =
+  let cn = horizon * n in
+  match space with
+  | Crash_only -> List.map (crash_of_digit ~n) (digits ~base:cn k seq_rank)
+  | Mobile -> List.map (mobile_of_digit ~horizon ~n) (digits ~base:(3 * cn) k seq_rank)
+  | Omission ->
+    let ck = pow cn k in
+    if seq_rank < ck then List.map (crash_of_digit ~n) (digits ~base:cn k seq_rank)
+    else
+      let b = cn + (2 * horizon) in
+      let m = pow b k - ck in
+      let r = seq_rank - ck in
+      let victim = r / m in
+      let s = r mod m in
+      List.map (omission_of_digit ~horizon ~n ~victim) (unrank_mixed ~cn ~b k s)
+
+let decode ?(space = Crash_only) ~horizon ~n ~max_faults idx =
+  if idx < 0 then Error Out_of_range
+  else
+    let rec find_k k idx =
+      if k > max_faults then Error Out_of_range
+      else
+        match block_exact ~space ~horizon ~n k with
+        | None -> Error Budget_exceeded
+        | Some block ->
+          if idx < block then begin
+            let per_flavour = block / n_flavours in
+            let flavour = List.nth flavours (idx / per_flavour) in
+            let r = idx mod per_flavour in
+            let seq_rank = r / (1 lsl n) in
+            let input_bits = r mod (1 lsl n) in
+            let inputs = List.init n (fun i -> (input_bits lsr i) land 1 = 1) in
+            Ok { inputs; faults = decode_seq ~space ~horizon ~n k seq_rank; flavour }
+          end
+          else find_k (k + 1) (idx - block)
+    in
+    find_k 0 idx
+
+(* ----- rank (the inverse) ----- *)
+
+let flavour_index fl =
+  let rec go i = function
+    | [] -> assert false
+    | f :: rest -> if f = fl then i else go (i + 1) rest
+  in
+  go 0 flavours
+
+let valid_fault ~horizon ~n (f : Fault.t) =
+  f.Fault.step >= 0 && f.Fault.step < horizon && f.Fault.victim >= 0 && f.Fault.victim < n
+
+let crash_digit ~n (f : Fault.t) = (f.Fault.step * n) + f.Fault.victim
+
+(* seq rank within the exactly-[k] block, or None when the fault list
+   does not belong to [space] *)
+let rank_seq ~space ~horizon ~n faults =
+  let cn = horizon * n in
+  let k = List.length faults in
+  match space with
+  | Crash_only ->
+    if List.for_all (fun (f : Fault.t) -> f.Fault.kind = Fault.Crash) faults then
+      Some (List.fold_left (fun acc f -> (acc * cn) + crash_digit ~n f) 0 faults)
+    else None
+  | Mobile ->
+    Some
+      (List.fold_left
+         (fun acc (f : Fault.t) ->
+           (acc * 3 * cn) + (Fault.kind_rank f.Fault.kind * cn) + crash_digit ~n f)
+         0 faults)
+  | Omission -> (
+    match List.filter Fault.is_omission faults with
+    | [] -> Some (List.fold_left (fun acc f -> (acc * cn) + crash_digit ~n f) 0 faults)
+    | om :: rest ->
+      let victim = om.Fault.victim in
+      if List.exists (fun (g : Fault.t) -> not (Proc_id.equal g.Fault.victim victim)) rest
+      then None
+      else begin
+        let b = cn + (2 * horizon) in
+        let digit (f : Fault.t) =
+          match f.Fault.kind with
+          | Fault.Crash -> crash_digit ~n f
+          | Fault.Drop -> cn + f.Fault.step
+          | Fault.Send_omit -> cn + horizon + f.Fault.step
+        in
+        (* rank of the digit string among length-k mixed strings *)
+        let s =
+          let rec go j have_om acc = function
+            | [] -> acc
+            | f :: rest ->
+              let rem = k - j - 1 in
+              let brem = pow b rem in
+              let crem = pow cn rem in
+              let d = digit f in
+              let before =
+                if have_om then d * brem
+                else
+                  let low = brem - crem in
+                  (min d cn * low) + (max 0 (d - cn) * brem)
+              in
+              go (j + 1) (have_om || d >= cn) (acc + before) rest
+          in
+          go 0 false 0 faults
+        in
+        let ck = pow cn k in
+        let m = pow b k - ck in
+        Some (ck + (victim * m) + s)
+      end)
+
+let rank ?(space = Crash_only) ~horizon ~n ~max_faults plan =
+  let k = List.length plan.faults in
+  if
+    k > max_faults
+    || List.length plan.inputs <> n
+    || not (List.for_all (valid_fault ~horizon ~n) plan.faults)
+  then Error Out_of_range
+  else
+    (* the prefix: every block below k must be exactly representable *)
+    let rec prefix j acc =
+      if j = k then Ok acc
+      else
+        match block_exact ~space ~horizon ~n j with
+        | None -> Error Budget_exceeded
+        | Some block -> (
+          match add_exact acc block with
+          | None -> Error Budget_exceeded
+          | Some acc -> prefix (j + 1) acc)
+    in
+    match prefix 0 0 with
+    | Error e -> Error e
+    | Ok before -> (
+      match block_exact ~space ~horizon ~n k with
+      | None -> Error Budget_exceeded
+      | Some block -> (
+        match rank_seq ~space ~horizon ~n plan.faults with
+        | None -> Error Out_of_range
+        | Some seq_rank ->
+          let per_flavour = block / n_flavours in
+          let input_bits =
+            fst
+              (List.fold_left
+                 (fun (acc, i) b -> ((if b then acc lor (1 lsl i) else acc), i + 1))
+                 (0, 0) plan.inputs)
+          in
+          let r =
+            (flavour_index plan.flavour * per_flavour)
+            + (seq_rank * (1 lsl n))
+            + input_bits
+          in
+          (* r < block and before + block is exact, so this add is too *)
+          Ok (before + r)))

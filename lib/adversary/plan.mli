@@ -1,14 +1,26 @@
-(** Systematic fault plans.
+(** Systematic fault plans over a layered fault model.
 
     A fault plan is one bounded-adversary strategy: an input vector, a
-    crash plan (which processors fail, and at which global step), and
-    a deterministic schedule flavour.  The plans over a given horizon
-    form a finite space with a canonical total order, so a systematic
-    hunt can sweep it exactly — by crash count first (failure-free
-    runs before single crashes before double crashes), then schedule
-    flavour, then crash-plan rank, with input vectors varying fastest
-    — and every run index names the same plan on every machine and
-    for every [--jobs] value. *)
+    bounded budget of [(step, victim, kind)] fault triples
+    ({!Patterns_sim.Fault.t}), and a deterministic schedule flavour.
+    The plans over a given horizon form a finite space with a
+    canonical total order, so a systematic hunt can sweep it exactly —
+    by fault count first (failure-free runs before single faults
+    before double faults, so the first hit is a minimum-fault
+    witness), then schedule flavour, then fault-plan rank, with input
+    vectors varying fastest — and every run index names the same plan
+    on every machine and for every [--jobs] value.
+
+    Three nested spaces, matching the fault-model lattice:
+
+    - {!Crash_only} — the paper's fail-stop adversary.  Index-for-index
+      identical to the historical crash-plan enumeration.
+    - {!Omission} — crashes plus message-omission faults (receive
+      drops and send omissions) of one {e static} omission-faulty
+      processor per plan.
+    - {!Mobile} — every fault independently picks its kind and victim,
+      so the omission-faulty processor may change between faults
+      (Godard & Peters' mobile omission adversary, bounded). *)
 
 open Patterns_sim
 
@@ -24,27 +36,76 @@ val flavours : flavour list
 
 val flavour_string : flavour -> string
 
+type space = Crash_only | Omission | Mobile
+
+val spaces : space list
+(** In lattice order: [Crash_only; Omission; Mobile]. *)
+
+val space_string : space -> string
+(** ["crash"], ["omission"], ["mobile"] — the CLI's [--faults]
+    vocabulary. *)
+
+val space_of_string : string -> space option
+
 type t = {
   inputs : bool list;  (** length [n] *)
-  failures : (int * Proc_id.t) list;
-      (** crash plan: [(step, victim)], step in [0, horizon) *)
+  faults : Fault.t list;
+      (** fault plan, in digit order; steps in [0, horizon) *)
   flavour : flavour;
 }
 
+val crashes : t -> (int * Proc_id.t) list
+(** The crash faults as the engine's [(step, victim)] failure plan. *)
+
+val omissions : t -> Fault.t list
+(** The drop and send-omit faults, in plan order. *)
+
+val fault_count : t -> int
+
+val is_mobile : t -> bool
+(** At least two omission faults with distinct victims — a plan only
+    the {!Mobile} space enumerates. *)
+
 val pp : Format.formatter -> t -> unit
 
-val count : horizon:int -> n:int -> max_failures:int -> int
-(** Size of the plan space: [sum over k = 0..max_failures of
-    3 * (horizon * n)^k * 2^n].  Saturates at [max_int] instead of
-    overflowing, so callers can always [min] it against a run
-    budget. *)
+type error =
+  | Out_of_range
+      (** the index (or plan) is not in the enumerated space *)
+  | Budget_exceeded
+      (** the space is too large for exact indexing: some
+          exactly-[k]-fault block size exceeds [max_int], so decoding
+          would silently saturate — shrink the horizon or the fault
+          budget *)
 
-val decode : horizon:int -> n:int -> max_failures:int -> int -> t
-(** [decode ~horizon ~n ~max_failures i] is the [i]-th plan
-    (0-based) in canonical order: crash count ascending; within a
-    crash count, flavour-major ({!flavours} order), then
-    lexicographic crash-plan rank (each crash is a digit in base
-    [horizon * n], encoded [step * n + victim]), with the input
-    vector (bit [i] = processor [i]'s initial bit) varying fastest.
-    Raises [Invalid_argument] when [i] is outside
-    [0, count ~horizon ~n ~max_failures). *)
+val error_string : error -> string
+
+val count : ?space:space -> horizon:int -> n:int -> max_faults:int -> unit -> int
+(** Size of the plan space, saturating at [max_int] (a saturated count
+    still compares correctly against any finite run budget; only
+    {!decode}/{!rank} need exactness and they report
+    {!Budget_exceeded} themselves).  Per exactly-[k] block:
+    [3 * 2^n * S_k] where [S_k] is [cn^k] for {!Crash_only}
+    ([cn = horizon * n]), [(3 cn)^k] for {!Mobile}, and
+    [cn^k + n ((cn + 2 horizon)^k - cn^k)] for {!Omission}. *)
+
+val decode :
+  ?space:space -> horizon:int -> n:int -> max_faults:int -> int -> (t, error) result
+(** [decode ~space ~horizon ~n ~max_faults i] is the [i]-th plan
+    (0-based) in canonical order: fault count ascending; within a
+    fault count, flavour-major ({!flavours} order), then lexicographic
+    fault-sequence rank, with the input vector (bit [i] = processor
+    [i]'s initial bit) varying fastest.  For {!Crash_only} this is the
+    historical crash enumeration digit for digit.  [Error
+    Budget_exceeded] replaces the old silent saturation: indices past
+    the exactly-representable boundary are refused rather than decoded
+    wrongly. *)
+
+val rank :
+  ?space:space -> horizon:int -> n:int -> max_faults:int -> t -> (int, error) result
+(** Inverse of {!decode}: the canonical index of a plan, or
+    [Out_of_range] when the plan does not belong to the space (too
+    many faults, fields outside [horizon]/[n], a fault kind the space
+    does not enumerate, or distinct omission victims under
+    {!Omission}).  [rank (decode i) = Ok i] and [decode (rank p) = Ok
+    p] on the exactly representable space — pinned by the qcheck
+    bijection suite. *)

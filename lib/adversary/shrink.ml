@@ -86,6 +86,30 @@ let truncate_suffix test xs =
   let xs' = go xs in
   (xs', !best_msg)
 
+(* Omission elimination: try converting each drop back into the
+   delivery it suppressed.  A conversion that still violates means the
+   omission was not load-bearing; what survives is a minimal set of
+   drops, which is the quantity an omission-fault witness is about.
+   Runs before the deletion passes — a converted drop becomes an
+   ordinary delivery that truncation and ddmin can then remove
+   outright, whereas deleting the drop directive directly would leave
+   the message buffered and often perturb every later index. *)
+let eliminate_drops test script =
+  let best_msg = ref None in
+  let arr = Array.of_list script in
+  Array.iteri
+    (fun i d ->
+      match (d : Script.directive) with
+      | Script.Drop_msg { at; from; index } ->
+        let saved = arr.(i) in
+        arr.(i) <- Script.Deliver_msg { at; from; index };
+        (match test (Array.to_list arr) with
+        | Some msg -> best_msg := Some msg
+        | None -> arr.(i) <- saved)
+      | _ -> ())
+    arr;
+  (Array.to_list arr, !best_msg)
+
 let max_proc_referenced script =
   List.fold_left
     (fun acc d ->
@@ -93,7 +117,8 @@ let max_proc_referenced script =
         match (d : Script.directive) with
         | Script.Step_of p | Script.Fail_now p | Script.Drain p -> [ p ]
         | Script.Deliver_from (a, b) | Script.Deliver_note (a, b) -> [ a; b ]
-        | Script.Deliver_msg { at; from; _ } -> [ at; from ]
+        | Script.Deliver_msg { at; from; _ } | Script.Drop_msg { at; from; _ } ->
+          [ at; from ]
         | Script.Flush_fifo -> []
       in
       List.fold_left max acc ps)
@@ -118,6 +143,9 @@ let shrink ?db (cert : Cert.t) =
         | Some msg -> cur := { !cur with Cert.script; message = msg }
         | None -> ()
       in
+      (* 0. convert non-load-bearing drops back into deliveries *)
+      let script, msg = eliminate_drops (test !cur) !cur.Cert.script in
+      update script msg;
       (* 1. peel the suffix, then ddmin what remains *)
       let script, msg = truncate_suffix (test !cur) !cur.Cert.script in
       update script msg;

@@ -62,7 +62,7 @@ let interactive_consistency ?metrics trace =
       | Trace.Became_amnesic { proc; _ } -> decisions.(proc) <- None
       | Trace.Failed_proc { proc; _ } -> failed.(proc) <- true
       | Trace.Sent _ | Trace.Null_step _ | Trace.Delivered_msg _ | Trace.Delivered_note _
-      | Trace.Halted _ -> ());
+      | Trace.Dropped_msg _ | Trace.Halted _ -> ());
       check (Trace.step_of e))
 
 let nonfaulty_agreement ?metrics trace =

@@ -45,6 +45,11 @@ let propagate ?(step_cost = 1.0) ~seed ~model ~n trace =
         let sent = Option.value (Hashtbl.find_opt sent_at (key triple)) ~default:0.0 in
         msg_times := (triple, sent, t) :: !msg_times
       | Trace.Delivered_note { at; _ } -> proc_time.(at) <- proc_time.(at) +. step_cost
+      (* an omitted message costs nobody any time: the receiver never
+         takes a step for it, so only the bookkeeping is discarded *)
+      | Trace.Dropped_msg { triple; _ } ->
+        Hashtbl.remove sent_at (key triple);
+        Hashtbl.remove arrival (key triple)
       | Trace.Failed_proc _ -> ()
       | Trace.Decided { proc; _ } -> decisions := (proc, proc_time.(proc)) :: !decisions
       | Trace.Became_amnesic _ | Trace.Halted _ -> ())

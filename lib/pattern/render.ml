@@ -42,6 +42,9 @@ let lanes ?(width = 16) ~pp_msg ~n trace =
           (Format.asprintf "<=%a:%a" Proc_id.pp triple.Triple.sender pp_msg payload)
       | Trace.Delivered_note { at; about; _ } ->
         cell at (Format.asprintf "<=failed(%a)" Proc_id.pp about)
+      | Trace.Dropped_msg { triple; _ } ->
+        cell triple.Triple.receiver
+          (Format.asprintf "xx%a#%d" Proc_id.pp triple.Triple.sender triple.Triple.index)
       | Trace.Failed_proc { proc; _ } -> cell proc "CRASH"
       | Trace.Decided { proc; decision; _ } ->
         cell proc (Format.asprintf "#%a#" Decision.pp decision)

@@ -1,0 +1,254 @@
+open Patterns_sim
+
+(* Ben-Or's randomized binary consensus (Ben-Or, PODC 1983; Aspnes'
+   survey), bounded to a fixed round cap so runs stay finite.  The
+   protocol tolerates [t = (n - 1) / 2] crash faults without ever
+   using failure notices: progress comes from counting [n - t]
+   messages per phase, never from learning who failed — which is what
+   makes it the natural companion to the omission adversary, whose
+   faults are exactly the silent message losses fail-stop notices
+   cannot describe.
+
+   The coin is a deterministic, adversary-visible common coin: round
+   [r]'s flip is the parity of a SplitMix-style hash of [(seed, r)],
+   a pure function of public data.  Hunts therefore stay per-index
+   deterministic and certificates replay bit for bit — randomized
+   consensus with the randomness moved into the adversary's field of
+   view, which is the strongest adversary model for Ben-Or anyway. *)
+
+type msg =
+  | Report of { round : int; value : bool }
+  | Propose of { round : int; value : bool option }
+      (** [None] is the "no majority seen" placeholder proposal *)
+
+let compare_msg a b =
+  match (a, b) with
+  | Report a, Report b ->
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else Bool.compare a.value b.value
+  | Propose a, Propose b ->
+    let c = Int.compare a.round b.round in
+    if c <> 0 then c else Option.compare Bool.compare a.value b.value
+  | Report _, Propose _ -> -1
+  | Propose _, Report _ -> 1
+
+let pp_msg ppf = function
+  | Report { round; value } ->
+    Format.fprintf ppf "report(r%d,%d)" round (if value then 1 else 0)
+  | Propose { round; value } ->
+    Format.fprintf ppf "propose(r%d,%s)"
+      round
+      (match value with None -> "-" | Some v -> if v then "1" else "0")
+
+(* SplitMix-style avalanche on the 63-bit native int; bit 17 of the
+   final product is the coin (the low bit would be [x]'s own parity,
+   the odd multiplier notwithstanding). *)
+let coin ~seed round =
+  let x = seed + (round * 0x9E3779B9) in
+  let x = x lxor (x lsr 21) in
+  let x = x lxor (x lsl 17) in
+  let x = x lxor (x lsr 4) in
+  (x * 0x2545F4914F6CDD1D) lsr 17 land 1 = 1
+
+(* per-round message tallies; [bots] counts [Propose None] *)
+type tally = { zeros : int; ones : int; bots : int }
+
+let tally_zero = { zeros = 0; ones = 0; bots = 0 }
+
+let compare_tally a b =
+  let c = Int.compare a.zeros b.zeros in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.ones b.ones in
+    if c <> 0 then c else Int.compare a.bots b.bots
+
+let bump value t =
+  match value with
+  | Some true -> { t with ones = t.ones + 1 }
+  | Some false -> { t with zeros = t.zeros + 1 }
+  | None -> { t with bots = t.bots + 1 }
+
+(* sorted assoc round -> tally, so structural state comparison is
+   order-insensitive in arrival order *)
+let rec record round value = function
+  | [] -> [ (round, bump value tally_zero) ]
+  | (r, t) :: rest ->
+    if r = round then (r, bump value t) :: rest
+    else if r > round then (round, bump value tally_zero) :: (r, t) :: rest
+    else (r, t) :: record round value rest
+
+let tally_of round tallies =
+  match List.assoc_opt round tallies with Some t -> t | None -> tally_zero
+
+let compare_tallies a b =
+  List.compare
+    (fun (ra, ta) (rb, tb) ->
+      let c = Int.compare ra rb in
+      if c <> 0 then c else compare_tally ta tb)
+    a b
+
+type wait = Reports | Proposals
+
+type state = {
+  outbox : msg Outbox.t;
+  round : int;
+  wait : wait;
+  est : bool;  (** current estimate, reported at each round start *)
+  decision : Decision.t option;
+  halted : bool;
+  reports : (int * tally) list;
+  props : (int * tally) list;
+}
+
+let max_round = 3
+
+let make ~name ~seed =
+  let module P = struct
+    type nonrec state = state
+    type nonrec msg = msg
+
+    let name = name
+
+    let describe =
+      Printf.sprintf
+        "Ben-Or randomized binary consensus, t = (n-1)/2, deterministic common coin \
+         (seed %d), %d-round cap"
+        seed max_round
+
+    let valid_n n = n >= 3
+
+    let start_round ~n ~me round est s =
+      {
+        s with
+        round;
+        wait = Reports;
+        est;
+        outbox =
+          Outbox.broadcast s.outbox (Proc_id.others ~n me) (Report { round; value = est });
+        reports = record round (Some est) s.reports;
+      }
+
+    let initial ~n ~me ~input =
+      start_round ~n ~me 1 input
+        {
+          outbox = Outbox.empty;
+          round = 0;
+          wait = Reports;
+          est = input;
+          decision = None;
+          halted = false;
+          reports = [];
+          props = [];
+        }
+
+    (* Drive every threshold that already holds: counting the [n - t]-th
+       message of a phase may enable the next phase immediately when
+       later-round messages arrived early, so the advance loops until a
+       phase is genuinely short of messages. *)
+    let rec progress ~n ~me s =
+      if s.halted then s
+      else
+        let t = (n - 1) / 2 in
+        let need = n - t in
+        match s.wait with
+        | Reports ->
+          let tl = tally_of s.round s.reports in
+          if tl.zeros + tl.ones < need then s
+          else
+            let value =
+              if 2 * tl.ones > n + t then Some true
+              else if 2 * tl.zeros > n + t then Some false
+              else None
+            in
+            progress ~n ~me
+              {
+                s with
+                wait = Proposals;
+                outbox =
+                  Outbox.broadcast s.outbox (Proc_id.others ~n me)
+                    (Propose { round = s.round; value });
+                props = record s.round value s.props;
+              }
+        | Proposals ->
+          let tl = tally_of s.round s.props in
+          if tl.zeros + tl.ones + tl.bots < need then s
+          else
+            let decision, est =
+              if tl.ones >= t + 1 then (Some (Decision.of_bool true), true)
+              else if tl.zeros >= t + 1 then (Some (Decision.of_bool false), false)
+              else if tl.ones > 0 then (None, true)
+              else if tl.zeros > 0 then (None, false)
+              else (None, coin ~seed s.round)
+            in
+            (* the first decision is final: later rounds only relay *)
+            let decision =
+              match s.decision with Some _ as d -> d | None -> decision
+            in
+            if s.round >= max_round then { s with decision; est; halted = true }
+            else progress ~n ~me (start_round ~n ~me (s.round + 1) est { s with decision })
+
+    let step_kind s =
+      if not (Outbox.is_empty s.outbox) then Step_kind.Sending
+      else if s.halted then Step_kind.Quiescent
+      else Step_kind.Receiving
+
+    let send ~n:_ ~me:_ s =
+      match Outbox.pop s.outbox with
+      | None -> (None, s)
+      | Some (out, rest) -> (Some out, { s with outbox = rest })
+
+    let receive ~n ~me s incoming =
+      if s.halted then s
+      else
+        match incoming with
+        (* notices are deliberately unused: Ben-Or's resilience comes
+           from counting n - t messages, never from failure detection *)
+        | Incoming.Failed _ -> s
+        | Incoming.Msg { payload = Report { round; value }; _ } ->
+          progress ~n ~me { s with reports = record round (Some value) s.reports }
+        | Incoming.Msg { payload = Propose { round; value }; _ } ->
+          progress ~n ~me { s with props = record round value s.props }
+
+    let status s =
+      match (s.decision, s.halted) with
+      | Some d, true when Outbox.is_empty s.outbox -> Status.decided_halted d
+      | Some d, _ -> Status.decided d
+      | None, true when Outbox.is_empty s.outbox ->
+        { Status.decision = None; amnesic = false; halted = true }
+      | None, _ -> Status.undecided
+
+    let compare_state a b =
+      let c = Int.compare a.round b.round in
+      if c <> 0 then c
+      else
+        let c = compare (a.wait, a.est, a.halted) (b.wait, b.est, b.halted) in
+        if c <> 0 then c
+        else
+          let c = Option.compare Decision.compare a.decision b.decision in
+          if c <> 0 then c
+          else
+            let c = compare_tallies a.reports b.reports in
+            if c <> 0 then c
+            else
+              let c = compare_tallies a.props b.props in
+              if c <> 0 then c else Outbox.compare ~cmp_msg:compare_msg a.outbox b.outbox
+
+    let hash_state (s : state) = Hashtbl.hash s
+
+    let pp_state ppf s =
+      let tl = tally_of s.round (match s.wait with Reports -> s.reports | Proposals -> s.props) in
+      Format.fprintf ppf "r%d/%s est=%d%s%s [%d/%d/%d]" s.round
+        (match s.wait with Reports -> "rep" | Proposals -> "prop")
+        (if s.est then 1 else 0)
+        (match s.decision with
+        | None -> ""
+        | Some d -> Format.asprintf " dec=%a" Decision.pp d)
+        (if s.halted then " halted" else "")
+        tl.zeros tl.ones tl.bots
+
+    let compare_msg = compare_msg
+    let pp_msg = pp_msg
+  end in
+  (module P : Protocol.S)
+
+let default = make ~name:"ben-or" ~seed:0

@@ -1,0 +1,35 @@
+(** Ben-Or's randomized binary consensus, derandomized for hunting.
+
+    The classic two-phase round structure (Ben-Or, PODC 1983):
+    every round each processor reports its estimate, waits for
+    [n - t] reports ([t = (n - 1) / 2]), proposes the strict-majority
+    value or the placeholder, waits for [n - t] proposals, then
+    decides a value proposed [t + 1] times, adopts any proposed
+    value, or falls back to the coin.  Rounds are capped (the cap is
+    in [describe]); a processor that reaches the cap halts, decided
+    or not.
+
+    Failure notices are deliberately ignored — progress rests on
+    counting messages, never on failure detection — so the protocol
+    behaves identically under fail-stop and omission adversaries,
+    which is exactly the comparison the widened fault model is for.
+
+    The coin is a deterministic {e common} coin: round [r]'s flip is
+    the parity of a SplitMix-style hash of [(seed, r)] — a pure
+    function of public data, visible to the adversary.  Hunts over
+    this protocol are therefore per-index deterministic and
+    certificates replay bit for bit. *)
+
+open Patterns_sim
+
+type msg
+
+val make : name:string -> seed:int -> (module Protocol.S)
+(** [seed] parameterizes the common coin. *)
+
+val default : (module Protocol.S)
+(** ["ben-or"], coin seed 0. *)
+
+val coin : seed:int -> int -> bool
+(** The public coin: [coin ~seed round].  Exposed so tests and docs
+    can show the adversary exactly what the protocol will flip. *)

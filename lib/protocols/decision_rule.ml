@@ -5,6 +5,7 @@ type t =
   | Broadcast of Proc_id.t
   | Threshold of int
   | Subset of Proc_id.t list
+  | Any_input
 
 let count_ones inputs = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 inputs
 
@@ -14,6 +15,7 @@ let commit_permitted rule inputs =
   | Broadcast p -> inputs.(p)
   | Threshold k -> count_ones inputs >= k
   | Subset s -> List.for_all (fun p -> inputs.(p)) s
+  | Any_input -> Array.exists Fun.id inputs
 
 let natural_decision rule inputs =
   if commit_permitted rule inputs then Decision.Commit else Decision.Abort
@@ -29,12 +31,14 @@ let permits rule ~inputs ~failure_occurred decision =
     | Unanimity -> failure_occurred || not (Array.for_all Fun.id inputs)
     | Broadcast p -> failure_occurred || not inputs.(p)
     | Threshold k -> failure_occurred || count_ones inputs < k
-    | Subset s -> failure_occurred || not (List.for_all (fun p -> inputs.(p)) s))
+    | Subset s -> failure_occurred || not (List.for_all (fun p -> inputs.(p)) s)
+    | Any_input -> failure_occurred || not (Array.for_all Fun.id inputs))
 
 let to_string = function
   | Unanimity -> "unanimity"
   | Broadcast p -> Printf.sprintf "broadcast(%s)" (Proc_id.to_string p)
   | Threshold k -> Printf.sprintf "threshold(%d)" k
   | Subset s -> Printf.sprintf "set{%s}" (String.concat "," (List.map Proc_id.to_string s))
+  | Any_input -> "any-input"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -19,6 +19,11 @@ type t =
   | Subset of Proc_id.t list
       (** set(S, v): decide [v] only if every processor in [S] has
           initial bit [v] *)
+  | Any_input
+      (** decide [v] only if some processor's initial bit is [v] — the
+          validity condition of randomized consensus (Ben-Or): on mixed
+          inputs either decision is legitimate, on unanimous inputs
+          only the common value is *)
 
 val natural_decision : t -> bool array -> Decision.t
 (** The decision a correct failure-free run should reach: the

@@ -16,6 +16,7 @@ let all =
   List.sort
     (fun a b -> String.compare a.name b.name)
     [
+      entry ~default_n:4 Ben_or.default;
       entry ~default_n:7 ~fixed_n:true Tree_proto.fig1;
       entry ~default_n:7 ~fixed_n:true Tree_proto.fig1_amnesic;
       entry ~default_n:4 Central_proto.fig2;

@@ -67,6 +67,9 @@ type t = {
   prefix_states_saved : int;
   delta_seeds : int;
   delta_reused_edges : int;
+  drops_injected : int;
+  omission_plans : int;
+  mobile_faults : int;
   shards : shard list;
 }
 
@@ -112,6 +115,9 @@ let zero =
     prefix_states_saved = 0;
     delta_seeds = 0;
     delta_reused_edges = 0;
+    drops_injected = 0;
+    omission_plans = 0;
+    mobile_faults = 0;
     shards = [];
   }
 
@@ -224,6 +230,19 @@ let with_incremental ?(prefix_hits = 0) ?(prefix_states_saved = 0) ?(delta_seeds
     delta_reused_edges = m.delta_reused_edges + delta_reused_edges;
   }
 
+(* Retag a metrics record with the fault-injection counters.  All
+   three are deterministic and jobs-invariant on full sweeps:
+   drops are trace events of decoded plans, and the plan counters are
+   functions of the evaluated plan-index set — with the same
+   goal-found overshoot caveat as [prefix_hits]. *)
+let with_faults ?(drops_injected = 0) ?(omission_plans = 0) ?(mobile_faults = 0) m =
+  {
+    m with
+    drops_injected = m.drops_injected + drops_injected;
+    omission_plans = m.omission_plans + omission_plans;
+    mobile_faults = m.mobile_faults + mobile_faults;
+  }
+
 let with_root_index i m =
   { m with shards = List.map (fun s -> { s with root = i }) m.shards }
 
@@ -278,6 +297,9 @@ let merge a b =
     prefix_states_saved = a.prefix_states_saved + b.prefix_states_saved;
     delta_seeds = a.delta_seeds + b.delta_seeds;
     delta_reused_edges = a.delta_reused_edges + b.delta_reused_edges;
+    drops_injected = a.drops_injected + b.drops_injected;
+    omission_plans = a.omission_plans + b.omission_plans;
+    mobile_faults = a.mobile_faults + b.mobile_faults;
     shards = a.shards @ b.shards;
   }
 
@@ -304,6 +326,11 @@ let merge a b =
    "prefix_hits", "prefix_states_saved", "delta_seeds",
    "delta_reused_edges" (deterministic; all 0 unless a memoized
    systematic hunt or a --base-db widening ran);
+   schema /9 appends the fault-injection counters "drops_injected",
+   "omission_plans", "mobile_faults" (deterministic and jobs-invariant
+   on full sweeps, overshooting with [jobs] on goal-found hunts like
+   "prefix_hits"; all 0 unless a hunt widened the adversary past
+   fail-stop) after "delta_reused_edges";
    every earlier field is unchanged in name, meaning and order.
    "lock_contention", "expand_seconds", "parallel_efficiency" and the
    whole /5 section are the nondeterministic top-level fields
@@ -322,7 +349,7 @@ let parallel_efficiency m =
 let to_json ?(shards = true) m =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/8\",\n";
+  Buffer.add_string b "  \"schema\": \"patterns-search-metrics/9\",\n";
   Buffer.add_string b (Printf.sprintf "  \"outcome\": \"%s\",\n" (outcome_string m.outcome));
   Buffer.add_string b (Printf.sprintf "  \"states_expanded\": %d,\n" m.states_expanded);
   Buffer.add_string b (Printf.sprintf "  \"dedup_hits\": %d,\n" m.dedup_hits);
@@ -369,7 +396,10 @@ let to_json ?(shards = true) m =
   Buffer.add_string b
     (Printf.sprintf "  \"prefix_states_saved\": %d,\n" m.prefix_states_saved);
   Buffer.add_string b (Printf.sprintf "  \"delta_seeds\": %d,\n" m.delta_seeds);
-  Buffer.add_string b (Printf.sprintf "  \"delta_reused_edges\": %d" m.delta_reused_edges);
+  Buffer.add_string b (Printf.sprintf "  \"delta_reused_edges\": %d,\n" m.delta_reused_edges);
+  Buffer.add_string b (Printf.sprintf "  \"drops_injected\": %d,\n" m.drops_injected);
+  Buffer.add_string b (Printf.sprintf "  \"omission_plans\": %d,\n" m.omission_plans);
+  Buffer.add_string b (Printf.sprintf "  \"mobile_faults\": %d" m.mobile_faults);
   if shards then begin
     Buffer.add_string b ",\n  \"shards\": [\n";
     List.iteri

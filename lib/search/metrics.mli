@@ -139,6 +139,17 @@ type t = {
   delta_reused_edges : int;
       (** successor derivations answered wholesale from base facts
           instead of being re-derived (/8 section) *)
+  drops_injected : int;
+      (** messages silently discarded by injected omission faults
+          (receive drops and send omissions), summed over evaluated
+          runs — 0 for a fail-stop adversary (/9 section) *)
+  omission_plans : int;
+      (** evaluated fault plans carrying at least one omission fault
+          (/9 section) *)
+  mobile_faults : int;
+      (** omission faults belonging to mobile plans — plans whose
+          omission faults name at least two distinct victims; 0 unless
+          the mobile space was swept (/9 section) *)
   shards : shard list;  (** in root order *)
 }
 
@@ -223,6 +234,13 @@ val with_incremental :
     only on which plan indices were evaluated, and the delta counters
     only on the base facts and the change description. *)
 
+val with_faults :
+  ?drops_injected:int -> ?omission_plans:int -> ?mobile_faults:int -> t -> t
+(** Add to the fault-injection counters (the /9 section; omitted
+    arguments default to 0).  Deterministic and jobs-invariant on full
+    sweeps — functions of the evaluated plan-index set — with the same
+    goal-found overshoot caveat as [prefix_hits]. *)
+
 val parallel_efficiency : t -> float
 (** [expand_seconds] over summed shard wall-clock: the fraction of the
     run spent inside successor expansion, summed across workers.
@@ -236,7 +254,7 @@ val merge : t -> t -> t
     the sharding driver. *)
 
 val to_json : ?shards:bool -> t -> string
-(** Schema ["patterns-search-metrics/8"]: every /1 … /7 key is
+(** Schema ["patterns-search-metrics/9"]: every /1 … /8 key is
     unchanged in name, meaning and order; /4 appended the
     graceful-degradation counters ["deadline_hits"] and
     ["live_limit_hits"] after ["frontier_peak_sum"]; /5 appended the
@@ -252,7 +270,10 @@ val to_json : ?shards:bool -> t -> string
     /8 appends ["spill_fd_reopens"] after ["spill_write_bytes"] and
     the deterministic incremental-derivation counters —
     ["prefix_hits"], ["prefix_states_saved"], ["delta_seeds"],
-    ["delta_reused_edges"].
+    ["delta_reused_edges"]; /9 appends the fault-injection counters —
+    ["drops_injected"], ["omission_plans"], ["mobile_faults"] — after
+    ["delta_reused_edges"] (all 0 unless a hunt widened the adversary
+    past fail-stop).
     Key order is stable and pinned by the cram test; [?shards:false]
     omits the per-shard array (whose [seconds] are
     nondeterministic). *)

@@ -2,8 +2,9 @@ type t =
   | Send_step of Proc_id.t
   | Deliver of { at : Proc_id.t; index : int }
   | Fail of Proc_id.t
+  | Drop of { at : Proc_id.t; index : int }
 
-let rank = function Send_step _ -> 0 | Deliver _ -> 1 | Fail _ -> 2
+let rank = function Send_step _ -> 0 | Deliver _ -> 1 | Fail _ -> 2 | Drop _ -> 3
 
 let compare a b =
   match (a, b) with
@@ -12,7 +13,10 @@ let compare a b =
     let c = Proc_id.compare a.at b.at in
     if c <> 0 then c else Int.compare a.index b.index
   | Fail p, Fail q -> Proc_id.compare p q
-  | (Send_step _ | Deliver _ | Fail _), _ -> Int.compare (rank a) (rank b)
+  | Drop a, Drop b ->
+    let c = Proc_id.compare a.at b.at in
+    if c <> 0 then c else Int.compare a.index b.index
+  | (Send_step _ | Deliver _ | Fail _ | Drop _), _ -> Int.compare (rank a) (rank b)
 
 let equal a b = compare a b = 0
 
@@ -20,3 +24,4 @@ let pp ppf = function
   | Send_step p -> Format.fprintf ppf "step(%a)" Proc_id.pp p
   | Deliver { at; index } -> Format.fprintf ppf "deliver(%a,#%d)" Proc_id.pp at index
   | Fail p -> Format.fprintf ppf "fail(%a)" Proc_id.pp p
+  | Drop { at; index } -> Format.fprintf ppf "drop(%a,#%d)" Proc_id.pp at index

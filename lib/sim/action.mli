@@ -13,6 +13,14 @@ type t =
           [at]'s buffer. *)
   | Fail of Proc_id.t
       (** Fail-stop [p]; failure notices are broadcast to all peers. *)
+  | Drop of { at : Proc_id.t; index : int }
+      (** Receive omission: silently discard the [index]-th buffered
+          item of [at]'s buffer (0-based, arrival order).  The item
+          must be a message — failure notices are a modelling device,
+          not network traffic, and cannot be dropped.  No failure
+          notice is generated: omission faults are invisible to the
+          survivors, which is exactly what makes them harder than
+          fail-stop. *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

@@ -613,22 +613,46 @@ module Make (P : Protocol.S) = struct
           [ Trace.Failed_proc { step; proc = p } ] )
     end
 
+  (* Receive omission: the entry vanishes from the buffer with no
+     other effect — no state change, no knowledge, no notice.  The
+     behavioral delta is the exact inverse of the buffer-append half
+     of [apply_send], so the incremental fingerprint invariants carry
+     over unchanged.  Failure notices cannot be dropped (they are a
+     modelling device, not network traffic), and a failed receiver is
+     fine: the drop is a network event, not a step of the victim. *)
+  let apply_drop ~step c p index =
+    match List.nth_opt c.buffers.(p) index with
+    | None -> Error (Printf.sprintf "drop: no buffer entry #%d at p%d" index p)
+    | Some (Note _) -> Error (Printf.sprintf "drop: entry #%d at p%d is a failure notice" index p)
+    | Some (Data { triple; payload } as entry) ->
+      let track = c.ctx.track in
+      let buffers = Array.copy c.buffers in
+      buffers.(p) <- List.filteri (fun i _ -> i <> index) buffers.(p);
+      let bfp = if track then F.remove c.bfp (fp_entry p entry) else F.zero in
+      Ok
+        ( { c with buffers; bfp; fps_valid = track },
+          [ Trace.Dropped_msg { step; triple; payload } ] )
+
   let apply ~step c action =
     match action with
     | Action.Send_step p ->
-      if p < 0 || p >= c.n then Error "send: processor out of range"
+      if p < 0 || p >= c.n then Error (Printf.sprintf "send: p%d out of range" p)
       else if c.failed.(p) then Error (Printf.sprintf "send: p%d has failed" p)
       else if not (Step_kind.equal (P.step_kind c.states.(p)) Step_kind.Sending) then
         Error (Printf.sprintf "send: p%d is not in a sending state" p)
       else apply_send ~step c p
     | Action.Deliver { at; index } ->
-      if at < 0 || at >= c.n then Error "deliver: processor out of range"
+      if at < 0 || at >= c.n then Error (Printf.sprintf "deliver: p%d out of range" at)
       else if c.failed.(at) then Error (Printf.sprintf "deliver: p%d has failed" at)
       else if not (Step_kind.equal (P.step_kind c.states.(at)) Step_kind.Receiving) then
         Error (Printf.sprintf "deliver: p%d is not in a receiving state" at)
       else apply_deliver ~step c at index
     | Action.Fail p ->
-      if p < 0 || p >= c.n then Error "fail: processor out of range" else apply_fail ~step c p
+      if p < 0 || p >= c.n then Error (Printf.sprintf "fail: p%d out of range" p)
+      else apply_fail ~step c p
+    | Action.Drop { at; index } ->
+      if at < 0 || at >= c.n then Error (Printf.sprintf "drop: p%d out of range" at)
+      else apply_drop ~step c at index
 
   let apply_exn ~step c action =
     match apply ~step c action with
@@ -647,7 +671,8 @@ module Make (P : Protocol.S) = struct
     | _ ->
       let start = step mod c.n in
       let pid = function
-        | Action.Send_step p | Action.Deliver { at = p; _ } | Action.Fail p -> p
+        | Action.Send_step p | Action.Deliver { at = p; _ } | Action.Fail p
+        | Action.Drop { at = p; _ } -> p
       in
       let rotated p = (p - start + c.n) mod c.n in
       let best =
@@ -673,7 +698,7 @@ module Make (P : Protocol.S) = struct
           match List.nth_opt c.buffers.(at) index with
           | Some (Note _) -> true
           | Some (Data _) | None -> false)
-        | Action.Send_step _ | Action.Fail _ -> false
+        | Action.Send_step _ | Action.Fail _ | Action.Drop _ -> false
       in
       let notices = List.filter is_notice actions in
       Some (Prng.pick prng (if notices = [] then actions else notices))
@@ -689,15 +714,43 @@ module Make (P : Protocol.S) = struct
   }
 
   (* The one run loop, shared by {!run}, {!run_prefix} and {!resume}:
-     the order of the three guards (step cap, pending failure, the
-     scheduler) is the observable semantics, so factoring it out is
-     what makes a resumed run provably identical to a fresh one.
+     the order of the guards (step cap, pending failure, pending drop,
+     the scheduler) is the observable semantics, so factoring it out
+     is what makes a resumed run provably identical to a fresh one.
      [snap] is invoked once per loop entry with the configuration and
      reversed trace {e before} the step is taken — successive reversed
      traces share their tails, so recording every boundary is O(steps)
-     extra memory, not O(steps^2). *)
-  let run_loop ~max_steps ~fifo_notices ~scheduler ~snap c0 step0 rev_trace0 failures0 =
-    let rec loop c step rev_trace pending_failures =
+     extra memory, not O(steps^2).
+
+     [faults0] carries the omission faults ({!Fault.Drop},
+     {!Fault.Send_omit}); crashes stay in the [(step, victim)] list so
+     the fail-stop path is bit-identical to what it always was.  A due
+     [Drop] fires as soon as its victim holds a buffered message
+     (consuming the oldest one); a due [Send_omit] piggybacks on the
+     victim's next sending step that actually emits, discarding the
+     freshly buffered copy in the same loop iteration.  Faults are
+     one-shot: each list element fires at most once. *)
+  let remove_one f faults =
+    let rec go acc = function
+      | [] -> List.rev acc
+      | g :: rest -> if Fault.equal f g then List.rev_append acc rest else go (g :: acc) rest
+    in
+    go [] faults
+
+  let first_data_index buffer =
+    Listx.find_index (function Data _ -> true | Note _ -> false) buffer
+
+  let run_loop ~max_steps ~fifo_notices ~scheduler ~snap c0 step0 rev_trace0 failures0
+      faults0 =
+    let due_drop c step faults =
+      List.find_opt
+        (fun (f : Fault.t) ->
+          (match f.Fault.kind with Fault.Drop -> true | Fault.Crash | Fault.Send_omit -> false)
+          && f.Fault.step <= step
+          && first_data_index c.buffers.(f.Fault.victim) <> None)
+        faults
+    in
+    let rec loop c step rev_trace pending_failures pending_faults =
       (match snap with Some f -> f c rev_trace | None -> ());
       if step >= max_steps then
         { final = c; trace = List.rev rev_trace; steps = step; quiescent = false }
@@ -709,26 +762,82 @@ module Make (P : Protocol.S) = struct
           let c', evs = apply_exn ~step c (Action.Fail p) in
           loop c' (step + 1) (List.rev_append evs rev_trace)
             (List.filter (fun (_, q) -> q <> p) pending_failures)
+            pending_faults
         | None -> (
-          let actions = applicable ~fifo_notices c in
-          match scheduler ~step c actions with
-          | None ->
-            { final = c; trace = List.rev rev_trace; steps = step; quiescent = actions = [] }
-          | Some a ->
-            let c', evs = apply_exn ~step c a in
-            loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures)
+          match due_drop c step pending_faults with
+          | Some f ->
+            let index =
+              match first_data_index c.buffers.(f.Fault.victim) with
+              | Some i -> i
+              | None -> assert false
+            in
+            let c', evs = apply_exn ~step c (Action.Drop { at = f.Fault.victim; index }) in
+            loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures
+              (remove_one f pending_faults)
+          | None -> (
+            let actions = applicable ~fifo_notices c in
+            match scheduler ~step c actions with
+            | None ->
+              { final = c; trace = List.rev rev_trace; steps = step; quiescent = actions = [] }
+            | Some a ->
+              let c', evs = apply_exn ~step c a in
+              let c', evs, pending_faults =
+                match a with
+                | Action.Send_step p -> (
+                  let sent_to =
+                    List.find_map
+                      (function
+                        | Trace.Sent { triple; _ } -> Some triple.Triple.receiver
+                        | _ -> None)
+                      evs
+                  in
+                  let omit =
+                    List.find_opt
+                      (fun (f : Fault.t) ->
+                        (match f.Fault.kind with
+                        | Fault.Send_omit -> true
+                        | Fault.Crash | Fault.Drop -> false)
+                        && f.Fault.step <= step
+                        && Proc_id.equal f.Fault.victim p)
+                      pending_faults
+                  in
+                  match (sent_to, omit) with
+                  | Some dst, Some f ->
+                    let index = List.length c'.buffers.(dst) - 1 in
+                    let c'', evs' = apply_exn ~step c' (Action.Drop { at = dst; index }) in
+                    (c'', evs @ evs', remove_one f pending_faults)
+                  | _ -> (c', evs, pending_faults))
+                | Action.Deliver _ | Action.Fail _ | Action.Drop _ ->
+                  (c', evs, pending_faults)
+              in
+              loop c' (step + 1) (List.rev_append evs rev_trace) pending_failures
+                pending_faults))
     in
-    loop c0 step0 rev_trace0 failures0
+    loop c0 step0 rev_trace0 failures0 faults0
 
   (* Linear runs attach no visited store, so by default they carry
      untracked configurations: no hashing, no fingerprint deltas, no
      interning — the fingerprints are recomputed lazily in the
      (unusual) case someone probes the final configuration. *)
+  (* A [Fault.Crash] passed via [faults] joins the [(step, victim)]
+     crash list, so the two entry points cannot disagree on fail-stop
+     semantics; omission faults stay in their own pending list. *)
+  let split_faults faults =
+    List.partition_map
+      (fun (f : Fault.t) ->
+        match f.Fault.kind with
+        | Fault.Crash -> Left (f.Fault.step, f.Fault.victim)
+        | Fault.Drop | Fault.Send_omit -> Right f)
+      faults
+
   let run ?(track_fingerprints = false) ?(max_steps = 100_000) ?(failures = [])
-      ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+      ?(faults = []) ?(fifo_notices = false) ~scheduler ~n ~inputs () =
+    let crash_faults, omission_faults = split_faults faults in
     run_loop ~max_steps ~fifo_notices ~scheduler ~snap:None
       (init_with ~track_fingerprints ~n ~inputs)
-      0 [] failures
+      0 []
+      (failures @ crash_faults)
+      omission_faults
 
   (* ----- memoized failure-free prefixes -----
 
@@ -758,7 +867,7 @@ module Make (P : Protocol.S) = struct
     let ff =
       run_loop ~max_steps ~fifo_notices ~scheduler ~snap:(Some snap)
         (init_with ~track_fingerprints:false ~n ~inputs)
-        0 [] []
+        0 [] [] []
     in
     { snapshots = Array.of_list (List.rev !snaps); ff }
 
@@ -769,15 +878,24 @@ module Make (P : Protocol.S) = struct
      bit-identical to [run ~failures] (pinned by the adversary's
      memo-vs-replay tests).  The returned number is the resume step —
      engine steps answered from the memo instead of re-executed. *)
-  let resume ?(max_steps = 100_000) ?(fifo_notices = false) ~scheduler ~failures ~prefix
-      () =
+  let resume ?(max_steps = 100_000) ?(fifo_notices = false) ~scheduler ~failures
+      ?(faults = []) ~prefix () =
+    let crash_faults, omission_faults = split_faults faults in
+    let failures = failures @ crash_faults in
     let q = prefix.ff.steps in
     let min_k = List.fold_left (fun acc (k, _) -> min acc k) max_int failures in
+    let min_k =
+      List.fold_left (fun acc (f : Fault.t) -> min acc f.Fault.step) min_k omission_faults
+    in
+    (* a drop pending at step k cannot fire before k, and a send-omit
+       cannot either, so the run equals the failure-free prefix up to
+       the earliest fault step — the memo argument is unchanged *)
     if min_k > q then (prefix.ff, q)
     else
       let c, rev_trace = prefix.snapshots.(min_k) in
-      (run_loop ~max_steps ~fifo_notices ~scheduler ~snap:None c min_k rev_trace failures,
-       min_k)
+      ( run_loop ~max_steps ~fifo_notices ~scheduler ~snap:None c min_k rev_trace failures
+          omission_faults,
+        min_k )
 
   (* ----- frozen configurations -----
 
@@ -851,6 +969,7 @@ module Make (P : Protocol.S) = struct
     | Deliver_from of Proc_id.t * Proc_id.t
     | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
     | Deliver_note of Proc_id.t * Proc_id.t
+    | Drop_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
     | Fail_now of Proc_id.t
     | Drain of Proc_id.t
     | Flush_fifo
@@ -909,6 +1028,19 @@ module Make (P : Protocol.S) = struct
           | None -> fail_d (Printf.sprintf "no failure notice about p%d buffered at p%d" about at)
           | Some index -> (
             match apply ~step c (Action.Deliver { at; index }) with
+            | Error e -> fail_d e
+            | Ok (c', evs) -> continue c' step evs rev_trace))
+        | Drop_msg { at; from; index } -> (
+          let pred = function
+            | Data { triple; _ } ->
+              Proc_id.equal triple.Triple.sender from && triple.Triple.index = index
+            | Note _ -> false
+          in
+          match find_entry c at pred with
+          | None ->
+            fail_d (Printf.sprintf "no message p%d->p%d#%d buffered at p%d" from at index at)
+          | Some buffer_index -> (
+            match apply ~step c (Action.Drop { at; index = buffer_index }) with
             | Error e -> fail_d e
             | Ok (c', evs) -> continue c' step evs rev_trace))
         | Fail_now p -> (

@@ -138,7 +138,16 @@ module Make (P : Protocol.S) : sig
 
   val apply : step:int -> config -> Action.t -> (config * P.msg Trace.event list, string) result
   (** Apply one event.  [Error] explains inapplicability or a protocol
-      invariant violation (e.g. revoking a decision). *)
+      invariant violation (e.g. revoking a decision).
+
+      {!Action.Drop} is the receive-omission fault: the named buffer
+      entry vanishes (it must be a [Data] entry — failure notices
+      cannot be dropped) with no state change, no knowledge update and
+      no notice.  Unlike delivery it applies at a failed or
+      non-receiving processor: the drop is a network event, not a step
+      of the victim.  Its fingerprint delta is the exact inverse of
+      the buffer contribution added by the send, preserving the
+      incremental-equals-scratch invariant. *)
 
   val apply_exn : step:int -> config -> Action.t -> config * P.msg Trace.event list
   (** @raise Failure on [Error]. *)
@@ -181,6 +190,7 @@ module Make (P : Protocol.S) : sig
     ?track_fingerprints:bool ->
     ?max_steps:int ->
     ?failures:(int * Proc_id.t) list ->
+    ?faults:Fault.t list ->
     ?fifo_notices:bool ->
     scheduler:scheduler ->
     n:int ->
@@ -190,6 +200,20 @@ module Make (P : Protocol.S) : sig
   (** Run from the initial configuration.  [failures] is a failure
       plan: [(k, p)] fail-stops [p] at global step [k] (failure steps
       consume a step).  Default [max_steps] is 100_000.
+
+      [faults] (default [[]]) is the layered fault plan.  A
+      {!Fault.Crash} joins [failures] verbatim, so passing crashes
+      either way is equivalent.  A {!Fault.Drop} fires at the first
+      step [>= f.step] at which the victim holds a buffered message,
+      silently discarding the oldest one (a fault step consumes a
+      step, like a crash).  A {!Fault.Send_omit} latches onto the
+      victim's next sending step at [>= f.step] that actually emits:
+      the message is sent and immediately dropped from the
+      destination's buffer within the same loop iteration — lost in
+      transit, invisible to both endpoints.  Faults are one-shot and
+      fire in list order when several are due.  With [faults = []]
+      the run is bit-identical to what it was before omission faults
+      existed.
 
       [track_fingerprints] defaults to [false] here, unlike {!init}: a
       linear run attaches no visited store, so incremental fingerprint
@@ -233,16 +257,18 @@ module Make (P : Protocol.S) : sig
     ?fifo_notices:bool ->
     scheduler:scheduler ->
     failures:(int * Proc_id.t) list ->
+    ?faults:Fault.t list ->
     prefix:prefix ->
     unit ->
     run_result * int
-  (** Resume the recorded run with [failures] pending, from the
-      snapshot at the earliest crash step (or answer with the whole
-      failure-free result when every crash lands past its end).  Given
-      the same [scheduler], [max_steps] and [fifo_notices] the prefix
-      was recorded under, the result is bit-identical to
-      [run ~failures]; the returned integer is the number of engine
-      steps answered from the memo instead of re-executed. *)
+  (** Resume the recorded run with [failures] and [faults] pending,
+      from the snapshot at the earliest fault step (or answer with the
+      whole failure-free result when every fault lands past its end —
+      valid because no fault of any kind fires before its step).
+      Given the same [scheduler], [max_steps] and [fifo_notices] the
+      prefix was recorded under, the result is bit-identical to
+      [run ~failures ~faults]; the returned integer is the number of
+      engine steps answered from the memo instead of re-executed. *)
 
   (** {1 Frozen configurations} *)
 
@@ -282,6 +308,11 @@ module Make (P : Protocol.S) : sig
     | Deliver_note of Proc_id.t * Proc_id.t
         (** [Deliver_note (at, about)]: the failure notice about
             [about] *)
+    | Drop_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
+        (** receive omission: silently discard the buffered message
+            with triple [(from, at, index)]; fails if no such message
+            is buffered — replay validates drops against the buffered
+            state exactly like deliveries *)
     | Fail_now of Proc_id.t
     | Drain of Proc_id.t
         (** sending steps until the processor leaves its sending

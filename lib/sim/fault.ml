@@ -1,0 +1,33 @@
+type kind = Crash | Drop | Send_omit
+
+type t = { step : int; victim : Proc_id.t; kind : kind }
+
+let kind_rank = function Crash -> 0 | Drop -> 1 | Send_omit -> 2
+
+let kind_string = function
+  | Crash -> "crash"
+  | Drop -> "drop"
+  | Send_omit -> "send-omit"
+
+let kind_of_string = function
+  | "crash" -> Some Crash
+  | "drop" -> Some Drop
+  | "send-omit" -> Some Send_omit
+  | _ -> None
+
+let compare_kind a b = Int.compare (kind_rank a) (kind_rank b)
+let equal_kind a b = kind_rank a = kind_rank b
+
+let compare a b =
+  let c = Int.compare a.step b.step in
+  if c <> 0 then c
+  else
+    let c = Proc_id.compare a.victim b.victim in
+    if c <> 0 then c else compare_kind a.kind b.kind
+
+let equal a b = compare a b = 0
+
+let is_omission f = match f.kind with Crash -> false | Drop | Send_omit -> true
+
+let pp ppf f =
+  Format.fprintf ppf "%s@@%d(%a)" (kind_string f.kind) f.step Proc_id.pp f.victim

@@ -1,0 +1,38 @@
+(** Fault directives for the layered adversary.
+
+    The paper's model is fail-stop only: a failed processor halts and
+    failure notices are broadcast ({!Action.Fail}).  This module names
+    the wider lattice the adversary subsystem sweeps:
+
+    - [Crash] — the paper's fail-stop fault (notices broadcast);
+    - [Drop] — receive omission: one buffered message at the victim is
+      silently discarded ({!Action.Drop}), no notice anywhere;
+    - [Send_omit] — send omission: the victim's next sent message is
+      lost in transit (modelled as a send immediately followed by a
+      drop of the freshly buffered copy, in one scheduler step).
+
+    A fault is a [(step, victim, kind)] triple; [step] is the earliest
+    engine step at which it may fire.  Crash faults keep the exact
+    firing semantics of the [failures] list (bit-identical fail-stop
+    behaviour); omission faults fire when applicable — a [Drop] waits
+    for a buffered message at the victim, a [Send_omit] waits for the
+    victim's next sending step that actually emits. *)
+
+type kind = Crash | Drop | Send_omit
+
+type t = { step : int; victim : Proc_id.t; kind : kind }
+
+val kind_rank : kind -> int
+(** Canonical order for plan enumeration: crash 0, drop 1, send-omit 2. *)
+
+val kind_string : kind -> string
+val kind_of_string : string -> kind option
+val compare_kind : kind -> kind -> int
+val equal_kind : kind -> kind -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val is_omission : t -> bool
+(** [true] for [Drop] and [Send_omit]. *)
+
+val pp : Format.formatter -> t -> unit

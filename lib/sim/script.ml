@@ -5,6 +5,7 @@ type directive =
   | Deliver_from of Proc_id.t * Proc_id.t
   | Deliver_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
   | Deliver_note of Proc_id.t * Proc_id.t
+  | Drop_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
   | Fail_now of Proc_id.t
   | Drain of Proc_id.t
   | Flush_fifo
@@ -17,6 +18,8 @@ let pp ppf = function
     Format.fprintf ppf "deliver to %a message %a#%d" Proc_id.pp at Proc_id.pp from index
   | Deliver_note (at, about) ->
     Format.fprintf ppf "deliver to %a the notice failed(%a)" Proc_id.pp at Proc_id.pp about
+  | Drop_msg { at; from; index } ->
+    Format.fprintf ppf "drop at %a message %a#%d" Proc_id.pp at Proc_id.pp from index
   | Fail_now p -> Format.fprintf ppf "fail %a" Proc_id.pp p
   | Drain p -> Format.fprintf ppf "drain %a" Proc_id.pp p
   | Flush_fifo -> Format.fprintf ppf "flush (fifo to quiescence)"
@@ -42,6 +45,14 @@ let of_trace trace =
                index = triple.Triple.index;
              })
       | Trace.Delivered_note { at; about; _ } -> Some (Deliver_note (at, about))
+      | Trace.Dropped_msg { triple; _ } ->
+        Some
+          (Drop_msg
+             {
+               at = triple.Triple.receiver;
+               from = triple.Triple.sender;
+               index = triple.Triple.index;
+             })
       | Trace.Failed_proc { proc; _ } -> Some (Fail_now proc)
       | Trace.Decided _ | Trace.Became_amnesic _ | Trace.Halted _ -> None)
     trace
@@ -61,6 +72,14 @@ let to_json = function
   | Deliver_note (at, about) ->
     Json.Obj
       [ ("op", Json.String "deliver_note"); ("at", Json.Int at); ("about", Json.Int about) ]
+  | Drop_msg { at; from; index } ->
+    Json.Obj
+      [
+        ("op", Json.String "drop_msg");
+        ("at", Json.Int at);
+        ("from", Json.Int from);
+        ("index", Json.Int index);
+      ]
   | Fail_now p -> Json.Obj [ ("op", Json.String "fail"); ("proc", Json.Int p) ]
   | Drain p -> Json.Obj [ ("op", Json.String "drain"); ("proc", Json.Int p) ]
   | Flush_fifo -> Json.Obj [ ("op", Json.String "flush_fifo") ]
@@ -88,6 +107,11 @@ let of_json v =
     let* at = int_field "at" v in
     let* about = int_field "about" v in
     Ok (Deliver_note (at, about))
+  | "drop_msg" ->
+    let* at = int_field "at" v in
+    let* from = int_field "from" v in
+    let* index = int_field "index" v in
+    Ok (Drop_msg { at; from; index })
   | "fail" ->
     let* p = int_field "proc" v in
     Ok (Fail_now p)

@@ -22,6 +22,9 @@ type directive =
   | Deliver_note of Proc_id.t * Proc_id.t
       (** [Deliver_note (at, about)]: the failure notice about
           [about] *)
+  | Drop_msg of { at : Proc_id.t; from : Proc_id.t; index : int }
+      (** receive omission: silently discard the buffered message with
+          triple [(from, at, index)] instead of delivering it *)
   | Fail_now of Proc_id.t
   | Drain of Proc_id.t
       (** sending steps until the processor leaves its sending

@@ -3,6 +3,7 @@ type 'msg event =
   | Null_step of { step : int; proc : Proc_id.t }
   | Delivered_msg of { step : int; triple : Triple.t; payload : 'msg }
   | Delivered_note of { step : int; at : Proc_id.t; about : Proc_id.t }
+  | Dropped_msg of { step : int; triple : Triple.t; payload : 'msg }
   | Failed_proc of { step : int; proc : Proc_id.t }
   | Decided of { step : int; proc : Proc_id.t; decision : Decision.t }
   | Became_amnesic of { step : int; proc : Proc_id.t }
@@ -15,6 +16,7 @@ let step_of = function
   | Null_step { step; _ }
   | Delivered_msg { step; _ }
   | Delivered_note { step; _ }
+  | Dropped_msg { step; _ }
   | Failed_proc { step; _ }
   | Decided { step; _ }
   | Became_amnesic { step; _ }
@@ -25,6 +27,7 @@ let proc_of = function
   | Null_step { proc; _ } -> proc
   | Delivered_msg { triple; _ } -> triple.Triple.receiver
   | Delivered_note { at; _ } -> at
+  | Dropped_msg { triple; _ } -> triple.Triple.receiver
   | Failed_proc { proc; _ } -> proc
   | Decided { proc; _ } -> proc
   | Became_amnesic { proc; _ } -> proc
@@ -44,6 +47,11 @@ let decisions t =
 
 let failures t = List.filter_map (function Failed_proc { proc; _ } -> Some proc | _ -> None) t
 
+let drops t =
+  List.filter_map (function Dropped_msg { triple; _ } -> Some triple | _ -> None) t
+
+let drop_count t = List.length (drops t)
+
 let steps_per_proc ~n t =
   let counts = Array.make n 0 in
   let bump p = counts.(p) <- counts.(p) + 1 in
@@ -53,7 +61,7 @@ let steps_per_proc ~n t =
       | Null_step { proc; _ } -> bump proc
       | Delivered_msg { triple; _ } -> bump triple.Triple.receiver
       | Delivered_note { at; _ } -> bump at
-      | Failed_proc _ | Decided _ | Became_amnesic _ | Halted _ -> ())
+      | Dropped_msg _ | Failed_proc _ | Decided _ | Became_amnesic _ | Halted _ -> ())
     t;
   counts
 
@@ -66,6 +74,8 @@ let pp ~pp_msg ppf t =
       Format.fprintf ppf "%4d  recv %a %a" step Triple.pp triple pp_msg payload
     | Delivered_note { step; at; about } ->
       Format.fprintf ppf "%4d  recv %a failed(%a)" step Proc_id.pp at Proc_id.pp about
+    | Dropped_msg { step; triple; payload } ->
+      Format.fprintf ppf "%4d  DROP %a %a" step Triple.pp triple pp_msg payload
     | Failed_proc { step; proc } -> Format.fprintf ppf "%4d  FAIL %a" step Proc_id.pp proc
     | Decided { step; proc; decision } ->
       Format.fprintf ppf "%4d  %a decides %a" step Proc_id.pp proc Decision.pp decision
@@ -98,6 +108,11 @@ let to_csv ~pp_msg t =
           (string_of_int triple.Triple.index)
           (Format.asprintf "%a" pp_msg payload)
       | Delivered_note { step; at; about } -> row step "notice" at (string_of_int about) "" ""
+      | Dropped_msg { step; triple; payload } ->
+        row step "drop" triple.Triple.receiver
+          (string_of_int triple.Triple.sender)
+          (string_of_int triple.Triple.index)
+          (Format.asprintf "%a" pp_msg payload)
       | Failed_proc { step; proc } -> row step "crash" proc "" "" ""
       | Decided { step; proc; decision } -> row step "decide" proc "" "" (Decision.to_string decision)
       | Became_amnesic { step; proc } -> row step "forget" proc "" "" ""

@@ -20,6 +20,9 @@ type 'msg event =
       (** a sending step that emitted no message *)
   | Delivered_msg of { step : int; triple : Triple.t; payload : 'msg }
   | Delivered_note of { step : int; at : Proc_id.t; about : Proc_id.t }
+  | Dropped_msg of { step : int; triple : Triple.t; payload : 'msg }
+      (** an omission fault discarded this buffered message before the
+          receiver could take delivery; no processor observes it *)
   | Failed_proc of { step : int; proc : Proc_id.t }
   | Decided of { step : int; proc : Proc_id.t; decision : Decision.t }
   | Became_amnesic of { step : int; proc : Proc_id.t }
@@ -44,6 +47,12 @@ val decisions : 'msg t -> (Proc_id.t * Decision.t) list
     decisions are irrevocable). *)
 
 val failures : 'msg t -> Proc_id.t list
+
+val drops : 'msg t -> Triple.t list
+(** Every [Dropped_msg] triple, in order. *)
+
+val drop_count : 'msg t -> int
+(** Number of messages lost to omission faults. *)
 
 val steps_per_proc : n:int -> 'msg t -> int array
 (** How many model steps (send or receive) each processor took —

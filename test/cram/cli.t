@@ -2,11 +2,11 @@ The protocol catalogue is stable:
 
   $ patterns-cli list | head -6
   name                      n  description
-  -----------------------  --  ------------------------------------------------------------------------------
+  -----------------------  --  ------------------------------------------------------------------------------------------------
   2pc                      5+  classic two-phase commit, Appendix-protocol fallback (unanimity)
   3pc-5                     5  three-phase commit: the tree protocol on a star topology
+  ben-or                   4+  Ben-Or randomized binary consensus, t = (n-1)/2, deterministic common coin (seed 0), 3-round cap
   coop-2pc                 4+  2PC with cooperative termination ([S81]) — blocking (unanimity)
-  d2pc                     4+  decentralized commit: all-to-all votes (unanimity)
 
 A deterministic run of the chain protocol:
 

@@ -26,7 +26,7 @@ and its frontier_peak is the high-water mark of the work queue:
   >         -e 's/"table_occupancy": [0-9.]*/"table_occupancy": _/' \
   >         -e 's/"idle_seconds": [0-9.]*/"idle_seconds": _/'
   {
-    "schema": "patterns-search-metrics/8",
+    "schema": "patterns-search-metrics/9",
     "outcome": "exhausted",
     "states_expanded": 104,
     "dedup_hits": 32,
@@ -68,6 +68,9 @@ and its frontier_peak is the high-water mark of the work queue:
     "prefix_states_saved": 0,
     "delta_seeds": 0,
     "delta_reused_edges": 0,
+    "drops_injected": 0,
+    "omission_plans": 0,
+    "mobile_faults": 0,
     "shards": [
       { "root": 0, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 17, "seconds": _ },
       { "root": 1, "states_expanded": 13, "dedup_hits": 4, "frontier_peak": 3, "pruned": 0, "fingerprint_probes": 17, "collision_fallbacks": 0, "intern_bindings": 18, "seconds": _ },

@@ -17,7 +17,7 @@ store.  states_expanded — live directive applications — is zero:
   reproduced:
   nonfaulty processors disagree: p0 decided commit but p2 decided abort
   $ sed -n '/"schema"/p;/"states_expanded"/p;/"budget_consumed"/p;/"db_/p' m.json
-    "schema": "patterns-search-metrics/8",
+    "schema": "patterns-search-metrics/9",
     "states_expanded": 0,
     "budget_consumed": 0,
     "db_edges": 36,

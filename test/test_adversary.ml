@@ -12,7 +12,8 @@ let check = Alcotest.check
    hunting *)
 let rule_of_registry entry =
   let open Patterns_protocols in
-  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  if entry.Registry.name = "ben-or" then Decision_rule.Any_input
+  else if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
   else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
   else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
   else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]
@@ -25,17 +26,22 @@ let entry_exn name =
 
 (* ----- plan enumeration ----- *)
 
+let decode_exn ?space ~horizon ~n ~max_faults i =
+  match Plan.decode ?space ~horizon ~n ~max_faults i with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "decode %d: %s" i (Plan.error_string e)
+
 let test_plan_count_and_decode () =
   (* horizon 2, n 2, up to 2 crashes: 3*4 + 3*4*4 + 3*16*4 = 252 *)
-  let horizon = 2 and n = 2 and max_failures = 2 in
-  let total = Plan.count ~horizon ~n ~max_failures in
+  let horizon = 2 and n = 2 and max_faults = 2 in
+  let total = Plan.count ~horizon ~n ~max_faults () in
   check Alcotest.int "count" 252 total;
-  let plans = List.init total (Plan.decode ~horizon ~n ~max_failures) in
+  let plans = List.init total (decode_exn ~horizon ~n ~max_faults) in
   (* bijective: all plans distinct *)
   check Alcotest.int "all distinct" total
     (List.length (List.sort_uniq compare plans));
-  (* canonical: crash counts never decrease along the enumeration *)
-  let crash_counts = List.map (fun p -> List.length p.Plan.failures) plans in
+  (* canonical: fault counts never decrease along the enumeration *)
+  let crash_counts = List.map Plan.fault_count plans in
   let rec sorted = function
     | a :: (b :: _ as rest) -> a <= b && sorted rest
     | _ -> true
@@ -44,23 +50,154 @@ let test_plan_count_and_decode () =
   (* the first block is failure-free, fifo-first, inputs fastest *)
   let p0 = List.nth plans 0 in
   Alcotest.(check bool) "plan 0: fifo, no crashes, inputs 00" true
-    (p0.Plan.flavour = Plan.Fifo && p0.Plan.failures = [] && p0.Plan.inputs = [ false; false ]);
+    (p0.Plan.flavour = Plan.Fifo && p0.Plan.faults = [] && p0.Plan.inputs = [ false; false ]);
   let p4 = List.nth plans 4 in
   Alcotest.(check bool) "plan 4: lifo (flavour-major within a crash count)" true
-    (p4.Plan.flavour = Plan.Lifo && p4.Plan.failures = []);
-  (* every crash step is inside the horizon, every victim inside n *)
+    (p4.Plan.flavour = Plan.Lifo && p4.Plan.faults = []);
+  (* the crash space never decodes an omission kind, and every crash
+     step is inside the horizon, every victim inside n *)
   Alcotest.(check bool) "crash digits in range" true
     (List.for_all
        (fun p ->
-         List.for_all (fun (k, v) -> k >= 0 && k < horizon && v >= 0 && v < n) p.Plan.failures)
+         Plan.omissions p = []
+         && List.for_all
+              (fun (k, v) -> k >= 0 && k < horizon && v >= 0 && v < n)
+              (Plan.crashes p))
        plans);
-  (* out of range raises *)
-  (match Plan.decode ~horizon ~n ~max_failures total with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "decode past the end must raise");
+  (* out of range is an error, not a wrong plan *)
+  (match Plan.decode ~horizon ~n ~max_faults total with
+  | Error Plan.Out_of_range -> ()
+  | Error e -> Alcotest.failf "decode past the end: %s" (Plan.error_string e)
+  | Ok _ -> Alcotest.fail "decode past the end must be Out_of_range");
   (* saturation instead of overflow *)
   check Alcotest.int "saturated count" max_int
-    (Plan.count ~horizon:1_000_000 ~n:7 ~max_failures:20)
+    (Plan.count ~horizon:1_000_000 ~n:7 ~max_faults:20 ())
+
+let test_plan_omission_spaces () =
+  (* horizon 1, n 2: cn = 2, omission base b = cn + 2*horizon = 4.
+     S_0 = 1, S_1 = 2 + 2*(4-2) = 6, S_2 = 4 + 2*(16-4) = 28,
+     count = 3 * 2^2 * (1 + 6 + 28) = 420.  Mobile: base 3cn = 6,
+     count = 12 * (1 + 6 + 36) = 516. *)
+  let horizon = 1 and n = 2 and max_faults = 2 in
+  check Alcotest.int "omission count" 420
+    (Plan.count ~space:Plan.Omission ~horizon ~n ~max_faults ());
+  check Alcotest.int "mobile count" 516
+    (Plan.count ~space:Plan.Mobile ~horizon ~n ~max_faults ());
+  List.iter
+    (fun space ->
+      let total = Plan.count ~space ~horizon ~n ~max_faults () in
+      let plans = List.init total (decode_exn ~space ~horizon ~n ~max_faults) in
+      check Alcotest.int
+        (Printf.sprintf "%s: all distinct" (Plan.space_string space))
+        total
+        (List.length (List.sort_uniq compare plans));
+      (* ascending fault counts, and the crash-only prefix of every
+         fault count is shared: the omission spaces are supersets *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> a <= b && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: fault count ascending" (Plan.space_string space))
+        true
+        (sorted (List.map Plan.fault_count plans));
+      (* the static-victim space never yields two distinct omission
+         victims; the mobile space does *)
+      let mobile_plans = List.filter Plan.is_mobile plans in
+      (match space with
+      | Plan.Omission ->
+        Alcotest.(check bool) "omission space has no mobile plans" true (mobile_plans = [])
+      | Plan.Mobile ->
+        Alcotest.(check bool) "mobile space has mobile plans" true (mobile_plans <> [])
+      | Plan.Crash_only -> ());
+      (* rank is a left inverse of decode over the whole space *)
+      List.iteri
+        (fun i p ->
+          match Plan.rank ~space ~horizon ~n ~max_faults p with
+          | Ok j when j = i -> ()
+          | Ok j -> Alcotest.failf "%s: rank (decode %d) = %d" (Plan.space_string space) i j
+          | Error e -> Alcotest.failf "%s: rank (decode %d): %s" (Plan.space_string space) i (Plan.error_string e))
+        plans)
+    [ Plan.Omission; Plan.Mobile ];
+  (* a crash plan ranks identically in every space's shared prefix of
+     fault count 0; an omission plan is Out_of_range for Crash_only *)
+  let om_plan =
+    {
+      Plan.inputs = [ false; true ];
+      faults = [ { Patterns_sim.Fault.step = 0; victim = 1; kind = Patterns_sim.Fault.Drop } ];
+      flavour = Plan.Fifo;
+    }
+  in
+  (match Plan.rank ~horizon ~n ~max_faults om_plan with
+  | Error Plan.Out_of_range -> ()
+  | _ -> Alcotest.fail "crash space must reject omission kinds");
+  (* distinct omission victims are rejected by the static-victim space *)
+  let mobile_plan =
+    {
+      Plan.inputs = [ false; false ];
+      faults =
+        [
+          { Patterns_sim.Fault.step = 0; victim = 0; kind = Patterns_sim.Fault.Drop };
+          { Patterns_sim.Fault.step = 0; victim = 1; kind = Patterns_sim.Fault.Send_omit };
+        ];
+      flavour = Plan.Lifo;
+    }
+  in
+  (match Plan.rank ~space:Plan.Omission ~horizon ~n ~max_faults mobile_plan with
+  | Error Plan.Out_of_range -> ()
+  | _ -> Alcotest.fail "static-victim space must reject mobile plans");
+  match Plan.rank ~space:Plan.Mobile ~horizon ~n ~max_faults mobile_plan with
+  | Ok i -> (
+    match Plan.decode ~space:Plan.Mobile ~horizon ~n ~max_faults i with
+    | Ok p -> Alcotest.(check bool) "mobile round trip" true (p = mobile_plan)
+    | Error e -> Alcotest.fail (Plan.error_string e))
+  | Error e -> Alcotest.fail (Plan.error_string e)
+
+let test_plan_budget_exceeded () =
+  (* the widened spaces overflow much earlier than the crash space:
+     past the exactly representable boundary both decode and rank
+     answer Budget_exceeded instead of silently saturating *)
+  let horizon = 1_000_000 and n = 7 and max_faults = 20 in
+  (match Plan.decode ~space:Plan.Omission ~horizon ~n ~max_faults (max_int - 1) with
+  | Error Plan.Budget_exceeded -> ()
+  | Error e -> Alcotest.failf "decode: %s" (Plan.error_string e)
+  | Ok _ -> Alcotest.fail "decode past the exact boundary must be Budget_exceeded");
+  let deep_plan =
+    {
+      Plan.inputs = List.init n (fun _ -> false);
+      faults =
+        List.init 3 (fun i ->
+            { Patterns_sim.Fault.step = i; victim = 0; kind = Patterns_sim.Fault.Drop });
+      flavour = Plan.Fifo;
+    }
+  in
+  (match Plan.rank ~space:Plan.Omission ~horizon ~n ~max_faults deep_plan with
+  | Error Plan.Budget_exceeded -> ()
+  | Error e -> Alcotest.failf "rank: %s" (Plan.error_string e)
+  | Ok _ -> Alcotest.fail "rank past the exact boundary must be Budget_exceeded");
+  (* small indices below the boundary still decode fine *)
+  match Plan.decode ~space:Plan.Omission ~horizon ~n ~max_faults 0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "index 0 must stay decodable: %s" (Plan.error_string e)
+
+(* rank . decode = id, qcheck'd over the widened fault-kind space
+   (pins the Budget_exceeded contract's complement: everything inside
+   the representable space is exactly bijective) *)
+let plan_bijection_test =
+  QCheck2.Test.make ~name:"plan: rank . decode = id over every space" ~count:400
+    QCheck2.Gen.(
+      tup4 (int_bound 2) (int_bound 1_000_000) (int_range 1 3) (int_range 2 3))
+    (fun (si, raw_idx, horizon, n) ->
+      let space = List.nth Plan.spaces si in
+      let max_faults = 2 in
+      let total = Plan.count ~space ~horizon ~n ~max_faults () in
+      let idx = raw_idx mod total in
+      match Plan.decode ~space ~horizon ~n ~max_faults idx with
+      | Error _ -> false
+      | Ok plan -> (
+        match Plan.rank ~space ~horizon ~n ~max_faults plan with
+        | Ok i -> i = idx
+        | Error _ -> false))
 
 (* ----- certificate JSON ----- *)
 
@@ -93,6 +230,34 @@ let test_cert_json_roundtrip () =
       | Error e -> Alcotest.fail e)
     Patterns_protocols.Decision_rule.
       [ Unanimity; Broadcast 0; Threshold 3; Subset [ 0; 1 ] ];
+  (* a drop-carrying script bumps the schema to /2 and still round-trips *)
+  let cert2 =
+    {
+      cert with
+      Cert.script =
+        cert.Cert.script @ [ Patterns_sim.Script.Drop_msg { at = 1; from = 0; index = 0 } ];
+    }
+  in
+  (match Cert.to_json cert2 with
+  | Patterns_stdx.Json.Obj fields ->
+    Alcotest.(check (option string)) "drop cert schema"
+      (Some Cert.schema_v2)
+      (match List.assoc_opt "schema" fields with
+      | Some (Patterns_stdx.Json.String s) -> Some s
+      | _ -> None)
+  | _ -> Alcotest.fail "cert json must be an object");
+  (match Cert.of_json (Cert.to_json cert2) with
+  | Ok c -> Alcotest.(check bool) "drop cert round trip" true (c = cert2)
+  | Error e -> Alcotest.fail e);
+  (* drop-free scripts stay on /1 byte for byte *)
+  (match Cert.to_json cert with
+  | Patterns_stdx.Json.Obj fields ->
+    Alcotest.(check (option string)) "fail-stop cert schema"
+      (Some Cert.schema_v1)
+      (match List.assoc_opt "schema" fields with
+      | Some (Patterns_stdx.Json.String s) -> Some s
+      | _ -> None)
+  | _ -> Alcotest.fail "cert json must be an object");
   (* a foreign schema is rejected with a useful error *)
   match Cert.of_json (Patterns_stdx.Json.Obj [ ("schema", Patterns_stdx.Json.String "x") ]) with
   | Error _ -> ()
@@ -235,12 +400,80 @@ let registry_shrink_test =
           && List.length (Cert.crashes small) <= List.length (Cert.crashes cert)
           && (match Replay.replay small with Replay.Reproduced _ -> true | _ -> false)))
 
+(* ----- the omission adversary strictly widens fail-stop -----
+
+   fig3-chain satisfies weak termination under every crash plan of
+   budget 1 at horizon 12 (the whole 2352-plan space is swept), yet a
+   single receive omission violates it: the dropped chain message
+   starves its receiver forever while the failure-notice machinery —
+   which fail-stop recovery rests on — never fires.  The systematic
+   order makes the first hit a minimum-omission-count witness. *)
+let test_omission_widens_fail_stop () =
+  let entry = entry_exn "fig3-chain" in
+  let rule = rule_of_registry entry in
+  let hunt space =
+    Hunt.hunt ~max_failures:1 ~max_runs:8_000 ~mode:Hunt.Systematic ~horizon:12 ~space
+      ~property:Patterns_core.Audit.WT ~rule ~n:4 ~seed:0 entry
+  in
+  (match hunt Plan.Crash_only with
+  | Error tried -> check Alcotest.int "crash space swept clean" 2352 tried
+  | Ok cert -> Alcotest.failf "crash-only WT violation?! %s" cert.Cert.message);
+  match hunt Plan.Omission with
+  | Error tried -> Alcotest.failf "no omission violation in %d plans" tried
+  | Ok cert ->
+    check Alcotest.int "no crashes in the witness" 0 (List.length (Cert.crashes cert));
+    check Alcotest.int "one drop suffices" 1 (List.length (Cert.drops cert));
+    (match Replay.replay cert with
+    | Replay.Reproduced _ -> ()
+    | v -> Alcotest.failf "omission certificate did not reproduce: %d" (Replay.exit_code v))
+
+(* ----- registry-wide omission round-trip oracle -----
+
+   For every registry protocol: a systematic omission-space hunt is
+   jobs-invariant (same cert or same tried count for jobs 1 and 4),
+   and when it finds a violation the certificate replays to
+   Reproduced and shrinks to a certificate that still replays with no
+   more drops than it started with. *)
+let registry_omission_roundtrip_test =
+  let entries = Array.of_list Patterns_protocols.Registry.all in
+  QCheck2.Test.make ~name:"registry: omission hunts are jobs-invariant and round-trip"
+    ~count:12
+    QCheck2.Gen.(pair (int_bound (Array.length entries - 1)) (int_bound 10_000))
+    (fun (i, seed) ->
+      let entry = entries.(i) in
+      let n = entry.Patterns_protocols.Registry.default_n in
+      let property =
+        if seed mod 2 = 0 then Patterns_core.Audit.WT else Patterns_core.Audit.Agreement
+      in
+      let space = if seed mod 3 = 0 then Plan.Mobile else Plan.Omission in
+      let hunt jobs =
+        Hunt.hunt ~max_failures:2 ~max_runs:700 ~jobs ~mode:Hunt.Systematic ~horizon:10
+          ~space ~property ~rule:(rule_of_registry entry) ~n ~seed:0 entry
+      in
+      match (hunt 1, hunt 4) with
+      | Error a, Error b -> a = b
+      | Ok c1, Ok c4 -> (
+        c1 = c4
+        && (match Replay.replay c1 with Replay.Reproduced _ -> true | _ -> false)
+        &&
+        match Shrink.shrink c1 with
+        | Error _ -> false
+        | Ok r ->
+          let small = r.Shrink.cert in
+          List.length small.Cert.script <= List.length c1.Cert.script
+          && List.length (Cert.drops small) <= List.length (Cert.drops c1)
+          && (match Replay.replay small with Replay.Reproduced _ -> true | _ -> false))
+      | _ -> false)
+
 let () =
   Alcotest.run "adversary"
     [
       ( "plan",
         [
           Alcotest.test_case "count and canonical decode" `Quick test_plan_count_and_decode;
+          Alcotest.test_case "omission and mobile spaces" `Quick test_plan_omission_spaces;
+          Alcotest.test_case "budget exceeded is loud" `Quick test_plan_budget_exceeded;
+          QCheck_alcotest.to_alcotest plan_bijection_test;
         ] );
       ( "cert",
         [ Alcotest.test_case "json round trip" `Quick test_cert_json_roundtrip ] );
@@ -253,7 +486,11 @@ let () =
           Alcotest.test_case "certificates are jobs-invariant" `Quick
             test_hunt_jobs_invariant_cert;
           Alcotest.test_case "replay inapplicability" `Slow test_replay_inapplicable;
+          Alcotest.test_case "omission widens fail-stop" `Slow test_omission_widens_fail_stop;
         ] );
       ( "registry",
-        [ QCheck_alcotest.to_alcotest registry_shrink_test ] );
+        [
+          QCheck_alcotest.to_alcotest registry_shrink_test;
+          QCheck_alcotest.to_alcotest registry_omission_roundtrip_test;
+        ] );
     ]

@@ -17,7 +17,8 @@ let check = Alcotest.check
    sweeps *)
 let rule_of_registry entry =
   let open Patterns_protocols in
-  if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
+  if entry.Registry.name = "ben-or" then Decision_rule.Any_input
+  else if entry.Registry.name = "reliable-broadcast" then Decision_rule.Broadcast 0
   else if entry.Registry.name = "termination" then Decision_rule.Threshold 1
   else if entry.Registry.name = "voting-star-thr3-5" then Decision_rule.Threshold 3
   else if entry.Registry.name = "voting-star-subset-5" then Decision_rule.Subset [ 0; 1 ]

@@ -1,7 +1,7 @@
 (* Fingerprint consistency over the whole protocol registry.
 
-   Two invariants, qcheck'd on random walks (failure steps included)
-   through every registered protocol:
+   Two invariants, qcheck'd on random walks (failure steps and
+   receive-omission drops included) through every registered protocol:
 
    - canonicality: [compare_config a b = 0] implies
      [fingerprint a = fingerprint b] (and likewise for the behavioral
@@ -24,6 +24,20 @@ let tests_for entry =
   let (module P : Protocol.S) = entry.Patterns_protocols.Registry.protocol in
   let n = pick_n (module P) ~default_n:entry.Patterns_protocols.Registry.default_n in
   let module E = Engine.Make (P) in
+  (* [Action.Drop] for every buffered [Data] entry: exercises
+     [apply_drop]'s exact-inverse fingerprint delta (notices cannot be
+     dropped, so they are skipped) *)
+  let drop_actions cfg =
+    List.concat_map
+      (fun p ->
+        List.concat
+          (List.mapi
+             (fun i -> function
+               | E.Data _ -> [ Action.Drop { at = p; index = i } ]
+               | E.Note _ -> [])
+             (E.buffer_of cfg p)))
+      (Proc_id.all ~n)
+  in
   let walk ~seed ~steps ~on_config =
     let prng = Prng.create ~seed in
     let inputs = List.init n (fun _ -> Prng.bool prng) in
@@ -31,7 +45,9 @@ let tests_for entry =
       if k = 0 then acc
       else
         let acts =
-          E.applicable cfg @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions cfg else [])
+          E.applicable cfg
+          @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions cfg else [])
+          @ (if Prng.int prng ~bound:4 = 0 then drop_actions cfg else [])
         in
         match acts with
         | [] -> acc
@@ -75,6 +91,7 @@ let tests_for entry =
             let acts =
               E.applicable tracked
               @ (if Prng.int prng ~bound:4 = 0 then E.failure_actions tracked else [])
+              @ (if Prng.int prng ~bound:4 = 0 then drop_actions tracked else [])
             in
             match acts with
             | [] -> ok

@@ -270,7 +270,12 @@ let test_drivers_spill_oracle () =
         (fun entry ->
           check_spill_case ~dir:d entry
             [ (Serial, 1, quarter); (Layers, 4, quarter); (Async, 4, quarter) ])
-        Patterns_protocols.Registry.all)
+        (* the oracle's serial reference BFS must exhaust the reachable
+           space; Ben-Or's is combinatorially explosive even at n = 3
+           (see test_parallel), so it stays out of this uncapped sweep *)
+        (List.filter
+           (fun e -> e.Patterns_protocols.Registry.name <> "ben-or")
+           Patterns_protocols.Registry.all))
 
 let test_drivers_tiny_budget () =
   with_tmpdir (fun d ->
